@@ -1,0 +1,50 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* epsilon split — the memory-optimal split of the error budget (Section 4.1)
+  against window-heavy and hash-heavy splits at equal total error;
+* merge replay strategy — the paper's half-at-start/half-at-end bucket replay
+  against a naive all-at-end replay during order-preserving aggregation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    format_epsilon_split_rows,
+    format_merge_strategy_rows,
+    run_epsilon_split_ablation,
+    run_merge_strategy_ablation,
+)
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_epsilon_split(benchmark):
+    """The optimal split must dominate both skewed splits in memory."""
+    rows = benchmark.pedantic(
+        lambda: run_epsilon_split_ablation(epsilons=(0.05, 0.1, 0.2)), rounds=1, iterations=1
+    )
+    emit("Ablation: epsilon split between window error and hashing error",
+         format_epsilon_split_rows(rows))
+    for epsilon in (0.05, 0.1, 0.2):
+        optimal = next(r for r in rows if r.policy == "optimal" and r.epsilon == epsilon)
+        for policy in ("sw-heavy", "cm-heavy"):
+            skewed = next(r for r in rows if r.policy == policy and r.epsilon == epsilon)
+            assert optimal.memory_bytes <= skewed.memory_bytes
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_merge_replay_strategy(benchmark):
+    """Both strategies are reported; the half/half replay stays within its bound."""
+    rows = benchmark.pedantic(
+        lambda: run_merge_strategy_ablation(num_streams=8, arrivals_per_stream=4_000),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Ablation: bucket replay strategy during exponential-histogram aggregation",
+         format_merge_strategy_rows(rows))
+    half_half = next(r for r in rows if r.strategy == "half-half")
+    # Theorem 4 bound for eps = eps' = 0.05.
+    assert half_half.maximum_error <= 0.05 + 0.05 + 0.05 * 0.05 + 0.01

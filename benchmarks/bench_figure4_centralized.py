@@ -1,0 +1,52 @@
+"""Figure 4 — centralized setup: observed error vs memory (paper Section 7.2).
+
+Regenerates Figures 4(a)-(d): for each data set (wc'98, snmp) and each sketch
+variant (ECM-EH, ECM-DW, ECM-RW), the average and maximum observed error of
+point queries and self-join queries against the sketch's memory footprint,
+sweeping epsilon with delta = 0.1.
+
+Expected shape (paper): every variant stays below its configured epsilon;
+ECM-EH is the most compact, ECM-DW needs roughly twice the space, ECM-RW needs
+at least an order of magnitude more.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_centralized_rows, run_centralized_error_experiment
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="figure4")
+@pytest.mark.parametrize("dataset", ["wc98", "snmp"])
+def test_figure4_centralized_error_vs_memory(
+    benchmark, dataset, bench_records, bench_epsilons, bench_max_keys
+):
+    """One run per data set; prints the figure's rows (variant, eps, memory, error)."""
+
+    def run():
+        return run_centralized_error_experiment(
+            dataset=dataset,
+            epsilons=bench_epsilons,
+            num_records=bench_records,
+            max_keys_per_range=bench_max_keys,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = len(rows)
+    benchmark.extra_info["dataset"] = dataset
+
+    emit("Figure 4 (%s): observed error vs memory, centralized" % dataset,
+         format_centralized_rows(rows))
+
+    # Qualitative checks mirroring the paper's conclusions.
+    for row in rows:
+        assert row.average_error <= row.epsilon, "observed error must stay below epsilon"
+    eh = {r.epsilon: r.memory_bytes for r in rows if r.variant == "ECM-EH" and r.query_type == "point"}
+    dw = {r.epsilon: r.memory_bytes for r in rows if r.variant == "ECM-DW" and r.query_type == "point"}
+    rw = {r.epsilon: r.memory_bytes for r in rows if r.variant == "ECM-RW" and r.query_type == "point"}
+    for epsilon in eh:
+        assert eh[epsilon] < dw[epsilon], "ECM-EH must be more compact than ECM-DW"
+        assert rw[epsilon] > 5 * eh[epsilon], "ECM-RW must cost at least several times ECM-EH"

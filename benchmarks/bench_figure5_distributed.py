@@ -1,0 +1,56 @@
+"""Figure 5 — distributed setup: observed error vs transfer volume (Section 7.3).
+
+The observation sites of each data set (33 wc'98 mirrors; the snmp access
+points, reduced from 535 to 64 at reproduction scale) form a balanced binary
+aggregation tree.  For every epsilon, local ECM-sketches are aggregated to the
+root and the observed error of root-level point and self-join queries is
+plotted against the total transfer volume of the aggregation round.
+
+Expected shape (paper): ECM-EH error stays below epsilon even after iterative
+aggregation, while its transfer volume is at least an order of magnitude lower
+than ECM-RW's lossless aggregation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_distributed_rows, run_distributed_error_experiment
+
+from .conftest import emit
+
+#: snmp's 535 APs are reduced at benchmark scale; wc98 keeps its 33 mirrors.
+NODE_COUNTS = {"wc98": 33, "snmp": 64}
+
+
+@pytest.mark.benchmark(group="figure5")
+@pytest.mark.parametrize("dataset", ["wc98", "snmp"])
+def test_figure5_distributed_error_vs_transfer(
+    benchmark, dataset, bench_records, bench_epsilons, bench_max_keys
+):
+    """One run per data set; prints error-vs-transfer rows for ECM-EH and ECM-RW."""
+
+    def run():
+        return run_distributed_error_experiment(
+            dataset=dataset,
+            epsilons=bench_epsilons,
+            num_records=bench_records,
+            num_nodes=NODE_COUNTS[dataset],
+            max_keys_per_range=bench_max_keys,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["nodes"] = NODE_COUNTS[dataset]
+
+    emit("Figure 5 (%s): observed error vs transfer volume, distributed" % dataset,
+         format_distributed_rows(rows))
+
+    for row in rows:
+        assert row.average_error <= row.epsilon, "aggregated error must stay below epsilon"
+    for epsilon in bench_epsilons:
+        eh = next(r for r in rows if r.variant == "ECM-EH" and r.query_type == "point" and r.epsilon == epsilon)
+        rw = next(r for r in rows if r.variant == "ECM-RW" and r.query_type == "point" and r.epsilon == epsilon)
+        assert rw.transfer_bytes > 5 * eh.transfer_bytes, (
+            "ECM-RW aggregation must cost several times more network than ECM-EH"
+        )

@@ -1,0 +1,58 @@
+"""Figure 6 — influence of the network size (Section 7.3).
+
+Artificial networks of 1..256 servers (a reduced grid by default; set
+``REPRO_BENCH_FULL=1`` for the paper's full grid) receive the wc'98 / snmp
+records divided uniformly across the leaves of a balanced binary tree, with
+epsilon = delta = 0.1.
+
+Expected shape (paper): the ECM-EH observed error grows slowly with the number
+of aggregation levels while the ECM-RW error is flat (lossless merging); the
+transfer volume grows roughly linearly with the node count and is an order of
+magnitude larger for ECM-RW.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_network_size_rows, run_network_size_experiment
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="figure6")
+@pytest.mark.parametrize("dataset", ["wc98", "snmp"])
+def test_figure6_error_and_transfer_vs_network_size(
+    benchmark, dataset, bench_records, bench_network_sizes, bench_max_keys
+):
+    """One run per data set; prints error and transfer volume per network size."""
+
+    def run():
+        return run_network_size_experiment(
+            dataset=dataset,
+            network_sizes=bench_network_sizes,
+            epsilon=0.1,
+            num_records=bench_records,
+            max_keys_per_range=bench_max_keys,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["sizes"] = list(bench_network_sizes)
+
+    emit("Figure 6 (%s): error and transfer volume vs number of nodes" % dataset,
+         format_network_size_rows(rows))
+
+    eh_rows = [row for row in rows if row.variant == "ECM-EH"]
+    rw_rows = [row for row in rows if row.variant == "ECM-RW"]
+    largest = max(bench_network_sizes)
+
+    for row in rows:
+        assert row.point_average_error <= row.epsilon, "error must stay below epsilon at every size"
+    # Transfer volume grows with the network size for both variants.
+    assert eh_rows[0].transfer_bytes < eh_rows[-1].transfer_bytes
+    assert rw_rows[0].transfer_bytes <= rw_rows[-1].transfer_bytes
+    # At the largest size, lossless RW aggregation costs several times more network.
+    eh_large = next(r for r in eh_rows if r.num_nodes == largest)
+    rw_large = next(r for r in rw_rows if r.num_nodes == largest)
+    assert rw_large.transfer_bytes > 5 * eh_large.transfer_bytes

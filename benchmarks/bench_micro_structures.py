@@ -1,0 +1,140 @@
+"""Micro-benchmarks of the individual synopsis structures.
+
+These are conventional pytest-benchmark timings (multiple rounds) of the
+lowest-level operations — sliding-window counter updates and queries, plain
+Count-Min updates, ECM-sketch point and self-join queries, and one
+order-preserving aggregation step.  They complement the table/figure
+benchmarks by making the per-operation costs of Table 2 directly visible in
+the pytest-benchmark report.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import CountMinSketch, ECMSketch
+from repro.windows import (
+    DeterministicWave,
+    ExponentialHistogram,
+    RandomizedWave,
+    merge_exponential_histograms,
+)
+
+WINDOW = 1_000_000.0
+
+
+def _arrivals(count: int, seed: int = 0):
+    rng = random.Random(seed)
+    clock = 0.0
+    out = []
+    for _ in range(count):
+        clock += rng.random() * 10.0
+        out.append(clock)
+    return out
+
+
+@pytest.mark.benchmark(group="micro-window-update")
+def test_update_exponential_histogram(benchmark):
+    arrivals = _arrivals(5_000)
+
+    def run():
+        histogram = ExponentialHistogram(epsilon=0.05, window=WINDOW)
+        for clock in arrivals:
+            histogram.add(clock)
+        return histogram
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="micro-window-update")
+def test_update_deterministic_wave(benchmark):
+    arrivals = _arrivals(5_000)
+
+    def run():
+        wave = DeterministicWave(epsilon=0.05, window=WINDOW, max_arrivals=10_000)
+        for clock in arrivals:
+            wave.add(clock)
+        return wave
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="micro-window-update")
+def test_update_randomized_wave(benchmark):
+    arrivals = _arrivals(5_000)
+
+    def run():
+        wave = RandomizedWave(epsilon=0.1, delta=0.1, window=WINDOW, max_arrivals=10_000)
+        for clock in arrivals:
+            wave.add(clock)
+        return wave
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="micro-window-query")
+def test_query_exponential_histogram(benchmark):
+    arrivals = _arrivals(20_000)
+    histogram = ExponentialHistogram(epsilon=0.05, window=WINDOW)
+    for clock in arrivals:
+        histogram.add(clock)
+    now = arrivals[-1]
+    ranges = [10.0, 100.0, 1_000.0, 10_000.0, 100_000.0]
+
+    benchmark(lambda: [histogram.estimate(r, now=now) for r in ranges])
+
+
+@pytest.mark.benchmark(group="micro-window-merge")
+def test_merge_exponential_histograms_pair(benchmark):
+    histograms = []
+    for seed in range(2):
+        histogram = ExponentialHistogram(epsilon=0.05, window=WINDOW)
+        for clock in _arrivals(10_000, seed=seed):
+            histogram.add(clock)
+        histograms.append(histogram)
+
+    benchmark(lambda: merge_exponential_histograms(histograms))
+
+
+@pytest.mark.benchmark(group="micro-countmin")
+def test_update_plain_countmin(benchmark):
+    rng = random.Random(3)
+    keys = ["key-%d" % rng.randrange(1_000) for _ in range(5_000)]
+
+    def run():
+        sketch = CountMinSketch.from_error(epsilon=0.05, delta=0.1)
+        for key in keys:
+            sketch.add(key)
+        return sketch
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="micro-ecm-query")
+def test_ecm_point_query(benchmark):
+    rng = random.Random(4)
+    sketch = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=WINDOW)
+    clock = 0.0
+    keys = []
+    for _ in range(10_000):
+        clock += rng.random() * 10.0
+        key = "key-%d" % rng.randrange(500)
+        keys.append(key)
+        sketch.add(key, clock)
+    probe = keys[:: len(keys) // 50][:50]
+
+    benchmark(lambda: [sketch.point_query(key, 100_000.0, now=clock) for key in probe])
+
+
+@pytest.mark.benchmark(group="micro-ecm-query")
+def test_ecm_self_join_query(benchmark):
+    rng = random.Random(5)
+    sketch = ECMSketch.for_inner_product_queries(epsilon=0.1, delta=0.1, window=WINDOW)
+    clock = 0.0
+    for _ in range(10_000):
+        clock += rng.random() * 10.0
+        sketch.add("key-%d" % rng.randrange(500), clock)
+
+    benchmark(lambda: sketch.self_join(100_000.0, now=clock))

@@ -1,0 +1,55 @@
+"""Table 2 — space and time complexity of the three ECM-sketch variants.
+
+Table 2 in the paper is analytical; this benchmark reproduces it empirically:
+for each variant and several epsilon values it reports the analytical
+worst-case size (from the formulas of Section 4.2), the measured size of a
+live sketch after ingesting a trace, and the measured per-update and per-query
+latency.
+
+Expected shape: ECM-EH and ECM-DW scale linearly with 1/epsilon (DW about
+twice EH), ECM-RW scales quadratically; update cost is roughly constant per
+variant with ECM-RW several times slower.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_complexity_rows, run_complexity_experiment
+
+from .conftest import emit
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_complexity(benchmark, bench_records, bench_epsilons):
+    """Prints analytical vs measured size and latency per variant and epsilon."""
+
+    def run():
+        return run_complexity_experiment(
+            epsilons=bench_epsilons,
+            num_records=min(bench_records, 6_000),
+            num_queries=200,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = len(rows)
+
+    emit("Table 2: complexity of ECM-EH / ECM-DW / ECM-RW (analytical bound vs measured)",
+         format_complexity_rows(rows))
+
+    def measured(variant, epsilon):
+        return next(r.measured_bytes for r in rows if r.variant == variant and r.epsilon == epsilon)
+
+    def analytical(variant, epsilon):
+        return next(r.analytical_bytes for r in rows if r.variant == variant and r.epsilon == epsilon)
+
+    smallest, largest = min(bench_epsilons), max(bench_epsilons)
+    # Linear vs quadratic scaling with 1/epsilon (the worst-case bounds of Table 2;
+    # measured footprints only approach them once the per-level samples saturate).
+    eh_growth = analytical("ECM-EH", smallest) / analytical("ECM-EH", largest)
+    rw_growth = analytical("ECM-RW", smallest) / analytical("ECM-RW", largest)
+    assert rw_growth > eh_growth, "ECM-RW must grow faster with 1/epsilon than ECM-EH"
+    # The RW footprint dominates at every epsilon.
+    for epsilon in bench_epsilons:
+        assert measured("ECM-RW", epsilon) > 5 * measured("ECM-EH", epsilon)
+        assert measured("ECM-EH", epsilon) < measured("ECM-DW", epsilon)

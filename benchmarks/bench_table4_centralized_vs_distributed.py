@@ -1,0 +1,49 @@
+"""Table 4 — accuracy loss caused by iterative aggregation (Section 7.3).
+
+For epsilon in {0.1, 0.2}, the same stream is summarised (a) by a single
+centralized ECM-sketch and (b) by per-site sketches aggregated up the binary
+tree; the table reports both observed errors and their ratio.
+
+Expected shape (paper): the ratio stays close to 1 (at most ~1.25 for ECM-EH
+point queries on wc'98), i.e. iterative aggregation costs very little accuracy
+— far less than the worst-case bound of Theorem 4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    format_centralized_vs_distributed_rows,
+    run_centralized_vs_distributed_experiment,
+)
+
+from .conftest import emit
+
+NODE_COUNTS = {"wc98": 33, "snmp": 64}
+
+
+@pytest.mark.benchmark(group="table4")
+@pytest.mark.parametrize("dataset", ["wc98", "snmp"])
+def test_table4_centralized_vs_distributed(benchmark, dataset, bench_records, bench_max_keys):
+    """Prints the Table 4 rows for one data set and checks the degradation ratio."""
+
+    def run():
+        return run_centralized_vs_distributed_experiment(
+            dataset=dataset,
+            epsilons=(0.1, 0.2),
+            num_records=bench_records,
+            num_nodes=NODE_COUNTS[dataset],
+            max_keys_per_range=bench_max_keys,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["dataset"] = dataset
+
+    emit("Table 4 (%s): centralized vs distributed observed error" % dataset,
+         format_centralized_vs_distributed_rows(rows))
+
+    for row in rows:
+        assert row.distributed_error <= row.epsilon, "distributed error must stay below epsilon"
+        if row.variant == "ECM-EH":
+            assert row.ratio < 3.0, "aggregation should cost far less than the worst-case bound"

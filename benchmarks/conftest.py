@@ -1,0 +1,62 @@
+"""Shared configuration of the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at *reproduction
+scale* (tens of thousands of synthetic records instead of the papers'
+hundreds of millions of trace records) and prints the corresponding rows, so
+running ``pytest benchmarks/ --benchmark-only -s`` produces the full set of
+tables referenced in EXPERIMENTS.md.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_RECORDS`` — records per trace (default 8000);
+* ``REPRO_BENCH_FULL`` — set to ``1`` to run the paper's full parameter grids
+  (all five epsilon values, all network sizes up to 256).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def _records_default() -> int:
+    return int(os.environ.get("REPRO_BENCH_RECORDS", "8000"))
+
+
+def _full_grid() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_records() -> int:
+    """Number of synthetic records per trace used by the benchmarks."""
+    return _records_default()
+
+
+@pytest.fixture(scope="session")
+def bench_epsilons() -> tuple:
+    """Epsilon sweep: the paper's five values, or a three-value subset by default."""
+    if _full_grid():
+        return (0.05, 0.10, 0.15, 0.20, 0.25)
+    return (0.05, 0.10, 0.25)
+
+
+@pytest.fixture(scope="session")
+def bench_network_sizes() -> tuple:
+    """Figure 6 network sizes: full 1..256 grid, or a subset by default."""
+    if _full_grid():
+        return (1, 2, 4, 8, 16, 32, 64, 128, 256)
+    return (1, 4, 16, 64)
+
+
+@pytest.fixture(scope="session")
+def bench_max_keys() -> int:
+    """Cap on evaluated point-query keys per range (keeps exact recounting fast)."""
+    return 150
+
+
+def emit(title: str, table: str) -> None:
+    """Print one experiment table under a recognisable banner."""
+    banner = "=" * 72
+    print("\n%s\n%s\n%s\n%s" % (banner, title, banner, table))

@@ -1,0 +1,77 @@
+"""Count-based sliding windows: "the last N arrivals" instead of "the last N seconds".
+
+Run with::
+
+    python examples/count_based_windows.py
+
+Some monitoring tasks care about the most recent *N events* rather than a time
+range — e.g. "the error rate over the last 10 000 requests".  The ECM-sketch
+supports this count-based model directly (Section 4.2.1 of the paper): the
+clock fed to ``add`` becomes the global arrival index, and query ranges are
+numbers of arrivals.  This example tracks HTTP status classes over the last
+10 000 requests and shows how the estimates react to a burst of server errors,
+comparing every estimate against an exact recount.  It also demonstrates the
+one capability the model gives up: order-preserving aggregation of count-based
+sketches raises ``WindowModelError``, exactly as the paper proves it must.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import ECMConfig, ECMSketch
+from repro.core.errors import WindowModelError
+from repro.windows import WindowModel
+
+WINDOW_ARRIVALS = 10_000      # the last N requests
+EPSILON = 0.05
+
+
+def main() -> None:
+    rng = random.Random(13)
+    config = ECMConfig.for_point_queries(
+        epsilon=EPSILON, delta=0.05, window=WINDOW_ARRIVALS, model=WindowModel.COUNT_BASED
+    )
+    sketch = ECMSketch(config)
+    history = []  # exact log of status classes, for verification only
+
+    def observe(status: str) -> None:
+        history.append(status)
+        sketch.add(status, clock=float(len(history)))
+
+    def report(label: str) -> None:
+        now = float(len(history))
+        estimate = sketch.point_query("5xx", range_length=WINDOW_ARRIVALS, now=now)
+        exact = sum(1 for status in history[-WINDOW_ARRIVALS:] if status == "5xx")
+        print("%-28s errors in last %d requests: estimate=%6.0f exact=%6d (rate %.2f%%)"
+              % (label, WINDOW_ARRIVALS, estimate, exact, 100.0 * exact / WINDOW_ARRIVALS))
+
+    # Phase 1: healthy traffic (0.5% errors) for 20k requests.
+    for _ in range(20_000):
+        observe("5xx" if rng.random() < 0.005 else "2xx")
+    report("after healthy traffic:")
+
+    # Phase 2: an incident pushes the error rate to 20% for 5k requests.
+    for _ in range(5_000):
+        observe("5xx" if rng.random() < 0.20 else "2xx")
+    report("after the incident:")
+
+    # Short ranges work too: the error rate over the last 1 000 requests.
+    now = float(len(history))
+    recent_estimate = sketch.point_query("5xx", range_length=1_000, now=now)
+    recent_exact = sum(1 for status in history[-1_000:] if status == "5xx")
+    print("errors in the last 1000 requests: estimate=%.0f exact=%d"
+          % (recent_estimate, recent_exact))
+
+    # The documented limitation: count-based sketches cannot be aggregated.
+    other = ECMSketch(config, stream_tag=1)
+    other.add("2xx", clock=1.0)
+    try:
+        ECMSketch.aggregate([sketch, other])
+    except WindowModelError as error:
+        print("\naggregating count-based sketches is rejected as expected:")
+        print("  WindowModelError: %s" % error)
+
+
+if __name__ == "__main__":
+    main()

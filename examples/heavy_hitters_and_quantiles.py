@@ -1,0 +1,86 @@
+"""Heavy hitters, range queries and quantiles over sliding windows (Section 6.1).
+
+Run with::
+
+    python examples/heavy_hitters_and_quantiles.py
+
+The dyadic stack of ECM-sketches answers three classes of queries over the
+sliding window of a skewed integer stream (e.g. per-port packet counts):
+
+* group-testing heavy hitters — which ports carry more than phi of the traffic;
+* range queries — how much traffic falls into a port range;
+* quantiles — the median and tail ports of the in-window distribution.
+
+Every answer is compared against the exact value.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines import ExactStreamSummary
+from repro.queries import HierarchicalECMSketch
+
+WINDOW_SECONDS = 10_000.0
+UNIVERSE_BITS = 16          # ports 0..65535
+EPSILON = 0.02
+PHI = 0.05
+
+
+def main() -> None:
+    rng = random.Random(7)
+    sketch = HierarchicalECMSketch(
+        universe_bits=UNIVERSE_BITS, epsilon=EPSILON, delta=0.05, window=WINDOW_SECONDS
+    )
+    exact = ExactStreamSummary(window=WINDOW_SECONDS)
+
+    # Synthetic port-traffic stream: a few very hot service ports plus a
+    # heavy-tailed remainder.
+    hot_ports = [80, 443, 53, 22]
+    clock = 0.0
+    for _ in range(40_000):
+        clock += rng.random() * 0.4
+        if rng.random() < 0.45:
+            port = rng.choice(hot_ports)
+        else:
+            port = min(int(rng.paretovariate(0.6)), 65_535)
+        sketch.add(port, clock)
+        exact.add(port, clock)
+    now = clock
+
+    total = exact.arrivals(now=now)
+    print("stream: %d packets in the window, %d distinct ports"
+          % (total, exact.distinct_keys()))
+    print("dyadic stack: %d levels, %.1f KiB"
+          % (UNIVERSE_BITS, sketch.memory_bytes() / 1024.0))
+
+    # ---------------------------------------------------------- heavy hitters
+    detected = sketch.heavy_hitters(phi=PHI, now=now)
+    truth = exact.heavy_hitters(phi=PHI, now=now)
+    print("\nports carrying more than %.0f%% of the window traffic:" % (PHI * 100))
+    print("%8s %12s %12s" % ("port", "estimate", "exact"))
+    for port in sorted(detected, key=lambda p: -detected[p]):
+        print("%8d %12.0f %12d" % (port, detected[port], exact.frequency(port, now=now)))
+    missed = set(truth) - set(detected)
+    print("recall of exact heavy hitters: %d/%d (missed: %s)"
+          % (len(set(truth) & set(detected)), len(truth), sorted(missed) or "none"))
+
+    # ----------------------------------------------------------- range queries
+    print("\nrange queries (privileged ports vs ephemeral ports), last 1000 seconds:")
+    for lo, hi, label in [(0, 1023, "0-1023"), (1024, 49_151, "1024-49151"), (49_152, 65_535, "49152-65535")]:
+        estimate = sketch.range_query(lo, hi, range_length=1_000.0, now=now)
+        truth_count = sum(
+            count for key, count in exact.frequencies_in_range(1_000.0, now).items() if lo <= key <= hi
+        )
+        print("  ports %-12s estimate=%8.0f exact=%8d" % (label, estimate, truth_count))
+
+    # --------------------------------------------------------------- quantiles
+    print("\nquantiles of the in-window port distribution:")
+    for fraction in (0.25, 0.5, 0.9, 0.99):
+        approx = sketch.quantile(fraction, now=now)
+        truth_q = exact.quantile(fraction, now=now)
+        print("  q=%.2f  approx=%6d  exact=%6d" % (fraction, approx, truth_q))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: summarise a stream with an ECM-sketch and query sliding windows.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds an ECM-sketch sized for a 5% point-query error, feeds it a
+synthetic web-request trace, and answers point and self-join queries over
+several sliding-window ranges, comparing every estimate against the exact
+answer computed from the raw stream.
+"""
+
+from __future__ import annotations
+
+from repro import ECMSketch
+from repro.baselines import ExactStreamSummary
+from repro.streams import WorldCupSyntheticTrace
+
+WINDOW_SECONDS = 1_000_000.0  # ~11.5 days, as in the paper's experiments
+EPSILON = 0.05
+DELTA = 0.05
+
+
+def main() -> None:
+    # 1. Generate a synthetic trace standing in for the WorldCup'98 HTTP log.
+    trace = WorldCupSyntheticTrace(num_records=20_000, domain_size=1_000).generate()
+    print("trace: %d requests, %d distinct pages, %.0f seconds"
+          % (len(trace), len(trace.keys()), trace.duration()))
+
+    # 2. Build the sketch (epsilon is the total point-query error budget) and
+    #    an exact baseline used only to report the observed error.
+    sketch = ECMSketch.for_point_queries(epsilon=EPSILON, delta=DELTA, window=WINDOW_SECONDS)
+    exact = ExactStreamSummary(window=WINDOW_SECONDS)
+    for record in trace:
+        sketch.add(record.key, record.timestamp)
+        exact.add(record.key, record.timestamp)
+    print("sketch memory: %.1f KiB (exact baseline stores every arrival)"
+          % (sketch.memory_bytes() / 1024.0))
+
+    now = trace.end_time()
+
+    # 3. Point queries over exponentially growing sliding-window ranges.
+    hottest = max(exact.frequencies_in_range(WINDOW_SECONDS, now).items(), key=lambda kv: kv[1])[0]
+    print("\npoint queries for the most popular page %r:" % hottest)
+    print("%12s %12s %12s %12s" % ("range (s)", "estimate", "exact", "rel. error"))
+    for exponent in range(2, 7):
+        range_length = 10.0 ** exponent
+        estimate = sketch.point_query(hottest, range_length, now=now)
+        truth = exact.frequency(hottest, range_length, now)
+        arrivals = exact.arrivals(range_length, now)
+        error = abs(estimate - truth) / max(arrivals, 1)
+        print("%12.0f %12.1f %12d %12.4f" % (range_length, estimate, truth, error))
+
+    # 4. A self-join (second frequency moment) query over the full window.
+    self_join_estimate = sketch.self_join(now=now)
+    self_join_truth = exact.self_join(now=now)
+    print("\nself-join over the full window: estimate=%.0f exact=%d (normalised error %.5f)"
+          % (self_join_estimate, self_join_truth,
+             abs(self_join_estimate - self_join_truth) / exact.arrivals(now=now) ** 2))
+
+    # 5. The guarantee that backs these numbers (Theorem 1).
+    bound = sketch.point_error_bound(exact.arrivals(now=now))
+    print("\nworst-case point-query error bound for the full window: %.1f arrivals" % bound)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline execution environment has no ``wheel`` package, so PEP 517/660
+editable installs (which require building a wheel) fail.  Keeping a classic
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which works without network access.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,66 @@
+"""ECM-sketches: sketch-based querying of distributed sliding-window data streams.
+
+A faithful, self-contained reproduction of Papapetrou, Garofalakis and
+Deligiannakis, *Sketch-based Querying of Distributed Sliding-Window Data
+Streams*, PVLDB 5(10), 2012.
+
+Quickstart::
+
+    from repro import ECMSketch
+
+    sketch = ECMSketch.for_point_queries(epsilon=0.05, delta=0.05, window=3600)
+    sketch.add("10.1.2.3", clock=12.0)
+    sketch.add("10.1.2.3", clock=57.0)
+    estimate = sketch.point_query("10.1.2.3", range_length=3600)
+
+Package layout:
+
+* :mod:`repro.core` — Count-Min sketches, ECM-sketches, error-budget configuration;
+* :mod:`repro.windows` — exponential histograms, deterministic/randomized waves,
+  exact counters, order-preserving aggregation;
+* :mod:`repro.queries` — heavy hitters, range queries and quantiles over sliding windows;
+* :mod:`repro.distributed` — simulated distributed deployments, hierarchical
+  aggregation and geometric-method continuous monitoring;
+* :mod:`repro.streams` — synthetic traces standing in for the paper's data sets;
+* :mod:`repro.baselines` — exact summaries used to measure observed error;
+* :mod:`repro.analysis` — error metrics, memory accounting and throughput harnesses.
+"""
+
+from .core import (
+    ConfigurationError,
+    CounterType,
+    CountMinSketch,
+    ECMConfig,
+    ECMSketch,
+    HashFamily,
+    IncompatibleSketchError,
+    ReproError,
+    WindowModelError,
+)
+from .windows import (
+    DeterministicWave,
+    ExactWindowCounter,
+    ExponentialHistogram,
+    RandomizedWave,
+    WindowModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ECMSketch",
+    "ECMConfig",
+    "CounterType",
+    "CountMinSketch",
+    "HashFamily",
+    "WindowModel",
+    "ExponentialHistogram",
+    "DeterministicWave",
+    "RandomizedWave",
+    "ExactWindowCounter",
+    "ReproError",
+    "ConfigurationError",
+    "IncompatibleSketchError",
+    "WindowModelError",
+]

@@ -1,0 +1,95 @@
+"""Export experiment results to JSON / CSV for plotting and archival.
+
+The experiment runners (:mod:`repro.experiments`) return lists of small
+dataclasses — one per table row or figure point.  This module turns any such
+list into plain dictionaries and writes them to disk, so results can be
+plotted with matplotlib/pandas elsewhere or attached to a report.  Derived
+properties (``memory_megabytes``, ``updates_per_second``, ``ratio``, ...) are
+included alongside the stored fields because they are what the paper's axes
+actually show.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["row_to_dict", "rows_to_dicts", "write_json", "write_csv", "write_rows"]
+
+
+def row_to_dict(row: Any) -> Dict[str, Any]:
+    """Convert one experiment-row dataclass into a flat dictionary.
+
+    Stored dataclass fields come first; computed ``@property`` values are
+    appended (skipping any that fail or return non-scalar values).
+    """
+    if not dataclasses.is_dataclass(row) or isinstance(row, type):
+        raise ConfigurationError("expected a dataclass instance, got %r" % (type(row),))
+    data: Dict[str, Any] = dataclasses.asdict(row)
+    for name in dir(type(row)):
+        if name.startswith("_") or name in data:
+            continue
+        attribute = getattr(type(row), name, None)
+        if isinstance(attribute, property):
+            try:
+                value = getattr(row, name)
+            except Exception:  # pragma: no cover - defensive: skip failing props
+                continue
+            if isinstance(value, (int, float, str, bool)) or value is None:
+                data[name] = value
+    return data
+
+
+def rows_to_dicts(rows: Sequence[Any]) -> List[Dict[str, Any]]:
+    """Convert a list of experiment rows into dictionaries."""
+    return [row_to_dict(row) for row in rows]
+
+
+def write_json(rows: Sequence[Any], path: Union[str, Path], indent: int = 2) -> Path:
+    """Write experiment rows to a JSON file; returns the path written."""
+    path = Path(path)
+    payload = rows_to_dicts(rows)
+    path.write_text(json.dumps(payload, indent=indent, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def write_csv(rows: Sequence[Any], path: Union[str, Path]) -> Path:
+    """Write experiment rows to a CSV file; returns the path written.
+
+    The header is the union of all row keys (rows of mixed types are allowed,
+    missing values are left blank), so a single file can hold, for example,
+    both point-query and self-join rows of Figure 4.
+    """
+    path = Path(path)
+    dicts = rows_to_dicts(rows)
+    if not dicts:
+        raise ConfigurationError("cannot write an empty result set")
+    fieldnames: List[str] = []
+    for entry in dicts:
+        for key in entry:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, restval="")
+        writer.writeheader()
+        for entry in dicts:
+            writer.writerow(entry)
+    return path
+
+
+def write_rows(rows: Sequence[Any], path: Union[str, Path]) -> Path:
+    """Write rows to JSON or CSV depending on the file extension."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        return write_json(rows, path)
+    if suffix == ".csv":
+        return write_csv(rows, path)
+    raise ConfigurationError(
+        "unsupported output extension %r (use .json or .csv)" % (suffix,)
+    )

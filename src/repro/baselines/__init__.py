@@ -1,0 +1,5 @@
+"""Exact baselines used to measure observed errors of the sketches."""
+
+from .exact import ExactStreamSummary
+
+__all__ = ["ExactStreamSummary"]

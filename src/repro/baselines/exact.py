@@ -1,0 +1,195 @@
+"""Exact sliding-window stream summaries (ground truth for every experiment).
+
+The paper reports *observed* errors: each sketch estimate is compared with the
+exact answer computed on the same query range.  :class:`ExactStreamSummary`
+provides those exact answers — per-key frequencies, total arrivals, self-join
+sizes, inner products and heavy hitters over arbitrary suffix ranges — by
+retaining every arrival timestamp.  It is linear-space and therefore only a
+measurement harness, never a competitor.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+from ..streams.stream import Stream, StreamRecord
+
+__all__ = ["ExactStreamSummary"]
+
+
+class ExactStreamSummary:
+    """Stores every arrival and answers sliding-window queries exactly.
+
+    Args:
+        window: Sliding-window length in the stream's clock unit.  Queries may
+            use any range up to this length.
+    """
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise ConfigurationError("window must be positive, got %r" % (window,))
+        self.window = float(window)
+        self._per_key: Dict[Hashable, List[float]] = {}
+        self._all_times: List[float] = []
+        self._last_clock: Optional[float] = None
+
+    # ----------------------------------------------------------------- adds
+    def add(self, key: Hashable, clock: float, value: int = 1) -> None:
+        """Register ``value`` arrivals of ``key`` at ``clock`` (in order)."""
+        if value < 0:
+            raise ConfigurationError("value must be non-negative")
+        if self._last_clock is not None and clock < self._last_clock:
+            raise ConfigurationError(
+                "arrivals must be in order; got %r after %r" % (clock, self._last_clock)
+            )
+        self._last_clock = clock
+        timestamps = self._per_key.setdefault(key, [])
+        for _ in range(value):
+            timestamps.append(clock)
+            self._all_times.append(clock)
+
+    def ingest(self, stream: Stream) -> None:
+        """Add every record of a stream."""
+        for record in stream:
+            self.add(record.key, record.timestamp, record.value)
+
+    @classmethod
+    def from_stream(cls, stream: Stream, window: float) -> "ExactStreamSummary":
+        """Build a summary directly from a stream."""
+        summary = cls(window)
+        summary.ingest(stream)
+        return summary
+
+    # -------------------------------------------------------------- queries
+    def _resolve(self, range_length: Optional[float], now: Optional[float]) -> Tuple[float, float]:
+        if now is None:
+            now = self._last_clock if self._last_clock is not None else 0.0
+        if range_length is None or range_length > self.window:
+            range_length = self.window
+        return now - range_length, now
+
+    @staticmethod
+    def _count_in(timestamps: List[float], start: float, end: float) -> int:
+        left = bisect_right(timestamps, start)
+        right = bisect_right(timestamps, end)
+        return right - left
+
+    def frequency(
+        self, key: Hashable, range_length: Optional[float] = None, now: Optional[float] = None
+    ) -> int:
+        """Exact frequency of ``key`` in the query range ``(now - r, now]``."""
+        start, end = self._resolve(range_length, now)
+        timestamps = self._per_key.get(key)
+        if not timestamps:
+            return 0
+        return self._count_in(timestamps, start, end)
+
+    def arrivals(self, range_length: Optional[float] = None, now: Optional[float] = None) -> int:
+        """Exact total number of arrivals (the L1 norm ``||a_r||_1``)."""
+        start, end = self._resolve(range_length, now)
+        return self._count_in(self._all_times, start, end)
+
+    def keys_in_range(
+        self, range_length: Optional[float] = None, now: Optional[float] = None
+    ) -> List[Hashable]:
+        """Keys with at least one arrival in the query range."""
+        start, end = self._resolve(range_length, now)
+        present = []
+        for key, timestamps in self._per_key.items():
+            if self._count_in(timestamps, start, end) > 0:
+                present.append(key)
+        return present
+
+    def frequencies_in_range(
+        self, range_length: Optional[float] = None, now: Optional[float] = None
+    ) -> Dict[Hashable, int]:
+        """Exact frequency of every key present in the query range."""
+        start, end = self._resolve(range_length, now)
+        result: Dict[Hashable, int] = {}
+        for key, timestamps in self._per_key.items():
+            count = self._count_in(timestamps, start, end)
+            if count:
+                result[key] = count
+        return result
+
+    def self_join(self, range_length: Optional[float] = None, now: Optional[float] = None) -> int:
+        """Exact second frequency moment ``F2`` of the query range."""
+        return sum(count * count for count in self.frequencies_in_range(range_length, now).values())
+
+    def inner_product(
+        self,
+        other: "ExactStreamSummary",
+        range_length: Optional[float] = None,
+        now: Optional[float] = None,
+        other_now: Optional[float] = None,
+    ) -> int:
+        """Exact inner product of two streams over the query range."""
+        mine = self.frequencies_in_range(range_length, now)
+        theirs = other.frequencies_in_range(range_length, other_now if other_now is not None else now)
+        return sum(count * theirs.get(key, 0) for key, count in mine.items())
+
+    def heavy_hitters(
+        self,
+        phi: float,
+        range_length: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> Dict[Hashable, int]:
+        """Keys whose in-range frequency is at least ``phi`` times the arrivals."""
+        if not (0.0 < phi <= 1.0):
+            raise ConfigurationError("phi must be in (0, 1], got %r" % (phi,))
+        total = self.arrivals(range_length, now)
+        threshold = phi * total
+        return {
+            key: count
+            for key, count in self.frequencies_in_range(range_length, now).items()
+            if count >= threshold and count > 0
+        }
+
+    def quantile(
+        self,
+        fraction: float,
+        range_length: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> Optional[Hashable]:
+        """Exact ``fraction``-quantile of the in-range key distribution.
+
+        Keys are ordered by their natural sort order; the quantile is the
+        smallest key whose cumulative in-range frequency reaches ``fraction``
+        of the total.  Only meaningful for orderable key domains (integers).
+        """
+        if not (0.0 <= fraction <= 1.0):
+            raise ConfigurationError("fraction must be in [0, 1], got %r" % (fraction,))
+        frequencies = self.frequencies_in_range(range_length, now)
+        if not frequencies:
+            return None
+        total = sum(frequencies.values())
+        target = fraction * total
+        cumulative = 0
+        for key in sorted(frequencies):
+            cumulative += frequencies[key]
+            if cumulative >= target:
+                return key
+        return sorted(frequencies)[-1]
+
+    # ------------------------------------------------------------- metadata
+    def total_arrivals(self) -> int:
+        """Total number of arrivals ever registered."""
+        return len(self._all_times)
+
+    def distinct_keys(self) -> int:
+        """Number of distinct keys ever seen."""
+        return len(self._per_key)
+
+    @property
+    def last_clock(self) -> Optional[float]:
+        """Clock of the most recent arrival."""
+        return self._last_clock
+
+    def __repr__(self) -> str:
+        return "ExactStreamSummary(window=%g, arrivals=%d, keys=%d)" % (
+            self.window,
+            self.total_arrivals(),
+            self.distinct_keys(),
+        )

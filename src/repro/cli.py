@@ -1,0 +1,222 @@
+"""Command-line interface for the ECM-sketch reproduction.
+
+Usage (installed or via ``python -m repro``)::
+
+    python -m repro list                          # list available experiments
+    python -m repro run figure4 --dataset wc98    # regenerate one experiment
+    python -m repro run table3 --records 20000
+    python -m repro run all --records 5000        # the full evaluation, small scale
+    python -m repro demo --records 10000          # a quick end-to-end sanity demo
+
+The ``run`` subcommand prints exactly the same tables the benchmark suite
+emits, without requiring pytest; it is the lightweight entry point for
+regenerating EXPERIMENTS.md numbers or exploring parameter settings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .analysis.reporting import write_rows
+from .baselines import ExactStreamSummary
+from .core import ECMSketch
+from .experiments import (
+    format_centralized_rows,
+    format_centralized_vs_distributed_rows,
+    format_complexity_rows,
+    format_distributed_rows,
+    format_epsilon_split_rows,
+    format_merge_strategy_rows,
+    format_network_size_rows,
+    format_update_rate_rows,
+    run_centralized_error_experiment,
+    run_centralized_vs_distributed_experiment,
+    run_complexity_experiment,
+    run_distributed_error_experiment,
+    run_epsilon_split_ablation,
+    run_merge_strategy_ablation,
+    run_network_size_experiment,
+    run_update_rate_experiment,
+)
+from .streams import WorldCupSyntheticTrace
+
+__all__ = ["main", "build_parser", "EXPERIMENTS"]
+
+
+def _run_figure4(args: argparse.Namespace) -> ExperimentResult:
+    rows = run_centralized_error_experiment(
+        dataset=args.dataset,
+        epsilons=args.epsilons,
+        num_records=args.records,
+        max_keys_per_range=args.max_keys,
+    )
+    return rows, format_centralized_rows(rows)
+
+
+def _run_table3(args: argparse.Namespace) -> ExperimentResult:
+    rows = run_update_rate_experiment(dataset=args.dataset, num_records=args.records)
+    return rows, format_update_rate_rows(rows)
+
+
+def _run_figure5(args: argparse.Namespace) -> ExperimentResult:
+    rows = run_distributed_error_experiment(
+        dataset=args.dataset,
+        epsilons=args.epsilons,
+        num_records=args.records,
+        num_nodes=args.nodes,
+        max_keys_per_range=args.max_keys,
+    )
+    return rows, format_distributed_rows(rows)
+
+
+def _run_table4(args: argparse.Namespace) -> ExperimentResult:
+    rows = run_centralized_vs_distributed_experiment(
+        dataset=args.dataset,
+        num_records=args.records,
+        num_nodes=args.nodes,
+        max_keys_per_range=args.max_keys,
+    )
+    return rows, format_centralized_vs_distributed_rows(rows)
+
+
+def _run_figure6(args: argparse.Namespace) -> ExperimentResult:
+    rows = run_network_size_experiment(
+        dataset=args.dataset,
+        network_sizes=tuple(args.network_sizes),
+        num_records=args.records,
+        max_keys_per_range=args.max_keys,
+    )
+    return rows, format_network_size_rows(rows)
+
+
+def _run_table2(args: argparse.Namespace) -> ExperimentResult:
+    rows = run_complexity_experiment(
+        epsilons=args.epsilons, dataset=args.dataset, num_records=args.records
+    )
+    return rows, format_complexity_rows(rows)
+
+
+def _run_ablations(args: argparse.Namespace) -> ExperimentResult:
+    split_rows = run_epsilon_split_ablation()
+    merge_rows = run_merge_strategy_ablation()
+    text = "%s\n\n%s" % (
+        format_epsilon_split_rows(split_rows),
+        format_merge_strategy_rows(merge_rows),
+    )
+    return list(split_rows) + list(merge_rows), text
+
+
+#: Result of one experiment runner: its raw rows and the formatted table.
+ExperimentResult = Tuple[List[object], str]
+
+#: Registry of experiment names understood by ``run``.
+EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], ExperimentResult]] = {
+    "table2": _run_table2,
+    "figure4": _run_figure4,
+    "table3": _run_table3,
+    "figure5": _run_figure5,
+    "table4": _run_table4,
+    "figure6": _run_figure6,
+    "ablations": _run_ablations,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ECM-sketch reproduction: regenerate the paper's experiments from the command line.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    run_parser.add_argument("--dataset", choices=["wc98", "snmp"], default="wc98")
+    run_parser.add_argument("--records", type=int, default=8_000,
+                            help="records per synthetic trace (default 8000)")
+    run_parser.add_argument("--epsilons", type=float, nargs="+", default=[0.05, 0.10, 0.25])
+    run_parser.add_argument("--nodes", type=int, default=None,
+                            help="number of sites for the distributed experiments")
+    run_parser.add_argument("--network-sizes", type=int, nargs="+", default=[1, 4, 16, 64],
+                            help="network sizes for figure6")
+    run_parser.add_argument("--max-keys", type=int, default=150,
+                            help="cap on evaluated point-query keys per range")
+    run_parser.add_argument("--output", type=str, default=None,
+                            help="write the raw result rows to this .json or .csv file")
+
+    demo_parser = subparsers.add_parser("demo", help="run a quick end-to-end sanity demo")
+    demo_parser.add_argument("--records", type=int, default=10_000)
+    demo_parser.add_argument("--epsilon", type=float, default=0.05)
+
+    return parser
+
+
+def _demo(records: int, epsilon: float, out: Callable[[str], None]) -> None:
+    """A self-contained sanity demo mirroring examples/quickstart.py."""
+    window = 1_000_000.0
+    trace = WorldCupSyntheticTrace(num_records=records).generate()
+    sketch = ECMSketch.for_point_queries(epsilon=epsilon, delta=0.05, window=window)
+    exact = ExactStreamSummary(window=window)
+    for record in trace:
+        sketch.add(record.key, record.timestamp)
+        exact.add(record.key, record.timestamp)
+    now = trace.end_time()
+    arrivals = exact.arrivals(now=now)
+    worst = 0.0
+    for key, truth in list(exact.frequencies_in_range(None, now).items())[:200]:
+        estimate = sketch.point_query(key, now=now)
+        worst = max(worst, abs(estimate - truth) / arrivals)
+    out("records ingested:        %d" % len(trace))
+    out("sketch memory:           %.1f KiB" % (sketch.memory_bytes() / 1024.0))
+    out("worst observed error:    %.4f (guarantee: %.2f)" % (worst, epsilon))
+    out("self-join estimate:      %.0f (exact %d)" % (sketch.self_join(now=now), exact.self_join(now=now)))
+    out("demo %s" % ("PASSED" if worst <= epsilon else "FAILED"))
+
+
+def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = print) -> int:
+    """CLI entry point.  Returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command is None:
+        parser.print_help()
+        return 2
+
+    if args.command == "list":
+        out("available experiments:")
+        for name in sorted(EXPERIMENTS):
+            out("  %s" % name)
+        out("  all (runs every experiment in sequence)")
+        return 0
+
+    if args.command == "demo":
+        _demo(records=args.records, epsilon=args.epsilon, out=out)
+        return 0
+
+    if args.command == "run":
+        names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        collected: List[object] = []
+        for name in names:
+            rows, table = EXPERIMENTS[name](args)
+            collected.extend(rows)
+            out("")
+            out("=" * 72)
+            out("experiment: %s (dataset=%s, records=%d)" % (name, args.dataset, args.records))
+            out("=" * 72)
+            out(table)
+        if args.output:
+            written = write_rows(collected, args.output)
+            out("")
+            out("raw rows written to %s" % written)
+        return 0
+
+    parser.error("unknown command %r" % (args.command,))
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,429 @@
+"""ECM-sketches: Exponential Count-Min sketches (paper Section 4).
+
+An ECM-sketch is a Count-Min sketch whose integer counters are replaced by
+sliding-window counters, so that every query — point, inner-product or
+self-join — can be restricted to the most recent ``r`` time units (or
+arrivals).  The default counter implementation is the exponential histogram
+(ECM-EH); deterministic waves (ECM-DW) and randomized waves (ECM-RW) are
+supported as drop-in alternatives exactly as in the paper's Section 4.2.2.
+
+Guarantees (with ``||a_r||_1`` the number of arrivals in the query range):
+
+* point queries: ``|est - true| <= (eps_sw + eps_cm + eps_sw*eps_cm) * ||a_r||_1``
+  with probability ``1 - delta`` (Theorems 1 and 3);
+* inner products: ``|est - true| <= (eps_sw**2 + 2*eps_sw + eps_cm*(1+eps_sw)**2)
+  * ||a_r||_1 * ||b_r||_1`` with probability ``1 - delta`` (Theorem 2).
+
+ECM-sketches built with identical configurations (dimensions, hash seed,
+window, counter type) can be aggregated into a single sketch summarising the
+order-preserving union of their streams (Section 5.3); for deterministic
+counters the aggregation inflates the window error from ``eps_sw`` to
+``eps_sw + eps'_sw + eps_sw*eps'_sw``, for randomized waves it is lossless.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Hashable, List, Optional, Sequence
+
+from ..windows.base import SlidingWindowCounter, WindowModel
+from ..windows.deterministic_wave import DeterministicWave
+from ..windows.exponential_histogram import ExponentialHistogram
+from ..windows.merge import (
+    aggregated_error,
+    merge_deterministic_waves,
+    merge_exponential_histograms,
+)
+from ..windows.randomized_wave import RandomizedWave
+from .config import CounterType, ECMConfig
+from .countmin import CountMinSketch
+from .errors import ConfigurationError, IncompatibleSketchError, WindowModelError
+from .hashing import HashFamily
+
+__all__ = ["ECMSketch"]
+
+_FIELD_BITS = 32
+
+
+class ECMSketch:
+    """Sliding-window Count-Min sketch with pluggable window counters.
+
+    Args:
+        config: Full parameterisation (see :class:`~repro.core.config.ECMConfig`).
+        stream_tag: Integer namespace for auto-generated arrival identifiers;
+            give each distributed node a distinct tag so that randomized-wave
+            counters merge losslessly.
+
+    Example:
+        >>> sketch = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=3600)
+        >>> sketch.add("10.0.0.1", clock=100.0)
+        >>> sketch.add("10.0.0.1", clock=200.0)
+        >>> sketch.point_query("10.0.0.1", range_length=3600, now=200.0) >= 2
+        True
+    """
+
+    def __init__(self, config: ECMConfig, stream_tag: int = 0) -> None:
+        self.config = config
+        self.stream_tag = stream_tag
+        self.width = config.width
+        self.depth = config.depth
+        self.window = config.window
+        self.model = config.model
+        self.counter_type = config.counter_type
+        self.hashes = HashFamily(depth=self.depth, width=self.width, seed=config.seed)
+        self._counters: List[List[SlidingWindowCounter]] = [
+            [self._make_counter(row, column) for column in range(self.width)]
+            for row in range(self.depth)
+        ]
+        self._total_arrivals = 0
+        self._last_clock: Optional[float] = None
+        #: Error parameter carried by the sliding-window counters.  Aggregation
+        #: inflates it (Theorem 4); queries report guarantees based on it.
+        self.effective_epsilon_sw = config.epsilon_sw
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def for_point_queries(
+        cls,
+        epsilon: float,
+        delta: float,
+        window: float,
+        model: WindowModel = WindowModel.TIME_BASED,
+        counter_type: CounterType = CounterType.EXPONENTIAL_HISTOGRAM,
+        max_arrivals: Optional[int] = None,
+        seed: int = 0,
+        stream_tag: int = 0,
+    ) -> "ECMSketch":
+        """Sketch sized for a total point-query error of ``epsilon``."""
+        config = ECMConfig.for_point_queries(
+            epsilon=epsilon,
+            delta=delta,
+            window=window,
+            model=model,
+            counter_type=counter_type,
+            max_arrivals=max_arrivals,
+            seed=seed,
+        )
+        return cls(config, stream_tag=stream_tag)
+
+    @classmethod
+    def for_inner_product_queries(
+        cls,
+        epsilon: float,
+        delta: float,
+        window: float,
+        model: WindowModel = WindowModel.TIME_BASED,
+        counter_type: CounterType = CounterType.EXPONENTIAL_HISTOGRAM,
+        max_arrivals: Optional[int] = None,
+        seed: int = 0,
+        stream_tag: int = 0,
+    ) -> "ECMSketch":
+        """Sketch sized for a total inner-product error of ``epsilon``."""
+        config = ECMConfig.for_inner_product_queries(
+            epsilon=epsilon,
+            delta=delta,
+            window=window,
+            model=model,
+            counter_type=counter_type,
+            max_arrivals=max_arrivals,
+            seed=seed,
+        )
+        return cls(config, stream_tag=stream_tag)
+
+    def _make_counter(self, row: int, column: int) -> SlidingWindowCounter:
+        """Instantiate one sliding-window counter for cell ``(row, column)``."""
+        config = self.config
+        if config.counter_type is CounterType.EXPONENTIAL_HISTOGRAM:
+            return ExponentialHistogram(
+                epsilon=config.epsilon_sw, window=config.window, model=config.model
+            )
+        if config.counter_type is CounterType.DETERMINISTIC_WAVE:
+            return DeterministicWave(
+                epsilon=config.epsilon_sw,
+                window=config.window,
+                max_arrivals=int(config.max_arrivals or 1),
+                model=config.model,
+            )
+        if config.counter_type is CounterType.RANDOMIZED_WAVE:
+            return RandomizedWave(
+                epsilon=config.epsilon_sw,
+                delta=config.delta_sw,
+                window=config.window,
+                max_arrivals=int(config.max_arrivals or 1),
+                model=config.model,
+                seed=(config.seed * 1_000_003 + row * 1009 + column) & 0x7FFFFFFF,
+                stream_tag=self.stream_tag,
+            )
+        raise ConfigurationError("unknown counter type %r" % (config.counter_type,))
+
+    # ---------------------------------------------------------------- update
+    def add(self, item: Hashable, clock: float, value: int = 1) -> None:
+        """Register ``value`` arrivals of ``item`` at clock value ``clock``.
+
+        For time-based windows ``clock`` is the arrival time; for count-based
+        windows it is the global arrival index of the stream.
+        """
+        if value < 0:
+            raise ConfigurationError("ECM-sketches operate in the cash-register model; value >= 0")
+        if value == 0:
+            return
+        columns = self.hashes.hash_all(item)
+        for row, column in enumerate(columns):
+            self._counters[row][column].add(clock, value)
+        self._total_arrivals += value
+        self._last_clock = clock
+
+    # --------------------------------------------------------------- queries
+    def _resolve_now(self, now: Optional[float]) -> float:
+        if now is not None:
+            return now
+        return self._last_clock if self._last_clock is not None else 0.0
+
+    def counter_estimate(
+        self, row: int, column: int, range_length: Optional[float] = None, now: Optional[float] = None
+    ) -> float:
+        """Estimated value ``E(row, column, r)`` of one counter for a query range."""
+        return self._counters[row][column].estimate(range_length, self._resolve_now(now))
+
+    def point_query(
+        self, item: Hashable, range_length: Optional[float] = None, now: Optional[float] = None
+    ) -> float:
+        """Estimated frequency of ``item`` within the query range (Theorem 1)."""
+        now_value = self._resolve_now(now)
+        columns = self.hashes.hash_all(item)
+        return min(
+            self._counters[row][column].estimate(range_length, now_value)
+            for row, column in enumerate(columns)
+        )
+
+    def inner_product(
+        self,
+        other: "ECMSketch",
+        range_length: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> float:
+        """Estimated sliding-window inner product of two streams (Theorem 2)."""
+        self._require_compatible(other)
+        now_value = self._resolve_now(now)
+        other_now = other._resolve_now(now)
+        best: Optional[float] = None
+        for row in range(self.depth):
+            row_product = 0.0
+            mine = self._counters[row]
+            theirs = other._counters[row]
+            for column in range(self.width):
+                a = mine[column].estimate(range_length, now_value)
+                if a == 0.0:
+                    continue
+                b = theirs[column].estimate(range_length, other_now)
+                row_product += a * b
+            if best is None or row_product < best:
+                best = row_product
+        return float(best if best is not None else 0.0)
+
+    def self_join(self, range_length: Optional[float] = None, now: Optional[float] = None) -> float:
+        """Estimated second frequency moment ``F2`` within the query range."""
+        now_value = self._resolve_now(now)
+        best: Optional[float] = None
+        for row in range(self.depth):
+            row_product = 0.0
+            for column in range(self.width):
+                value = self._counters[row][column].estimate(range_length, now_value)
+                row_product += value * value
+            if best is None or row_product < best:
+                best = row_product
+        return float(best if best is not None else 0.0)
+
+    def estimate_arrivals(
+        self, range_length: Optional[float] = None, now: Optional[float] = None
+    ) -> float:
+        """Estimate ``||a_r||_1`` by averaging per-row counter sums (Section 6.1)."""
+        now_value = self._resolve_now(now)
+        row_sums = []
+        for row in range(self.depth):
+            row_sums.append(
+                sum(self._counters[row][column].estimate(range_length, now_value) for column in range(self.width))
+            )
+        return sum(row_sums) / float(len(row_sums)) if row_sums else 0.0
+
+    def total_arrivals(self) -> int:
+        """Exact total weight added to the sketch since construction."""
+        return self._total_arrivals
+
+    @property
+    def last_clock(self) -> Optional[float]:
+        """Clock value of the most recent arrival, or ``None`` if empty."""
+        return self._last_clock
+
+    # ------------------------------------------------------------ extraction
+    def counter_estimates_matrix(
+        self, range_length: Optional[float] = None, now: Optional[float] = None
+    ) -> List[List[float]]:
+        """Estimates of every counter for a query range, as a depth x width matrix."""
+        now_value = self._resolve_now(now)
+        return [
+            [self._counters[row][column].estimate(range_length, now_value) for column in range(self.width)]
+            for row in range(self.depth)
+        ]
+
+    def to_countmin(
+        self, range_length: Optional[float] = None, now: Optional[float] = None
+    ) -> CountMinSketch:
+        """Extract a plain Count-Min sketch of the query-range estimates.
+
+        This is the extraction step used by the geometric method (Section 6.2):
+        the sliding-window structure collapses into a fixed-size numeric vector
+        that can be averaged, differenced and monitored.
+        """
+        matrix = self.counter_estimates_matrix(range_length, now)
+        flat: List[float] = []
+        for row in matrix:
+            flat.extend(row)
+        return CountMinSketch.from_vector(flat, width=self.width, depth=self.depth, seed=self.config.seed)
+
+    # ----------------------------------------------------------------- merge
+    def is_compatible_with(self, other: "ECMSketch") -> bool:
+        """True when the two sketches can be combined or compared cell-wise."""
+        return (
+            isinstance(other, ECMSketch)
+            and self.width == other.width
+            and self.depth == other.depth
+            and self.config.seed == other.config.seed
+            and self.window == other.window
+            and self.model == other.model
+            and self.counter_type == other.counter_type
+        )
+
+    def _require_compatible(self, other: "ECMSketch") -> None:
+        if not self.is_compatible_with(other):
+            raise IncompatibleSketchError(
+                "ECM-sketches must share dimensions, hash seed, window, window "
+                "model and counter type to be combined"
+            )
+
+    @classmethod
+    def aggregate(
+        cls,
+        sketches: Sequence["ECMSketch"],
+        epsilon_prime: Optional[float] = None,
+    ) -> "ECMSketch":
+        """Order-preserving aggregation of ECM-sketches (Section 5.3).
+
+        Args:
+            sketches: Input sketches with identical configurations.
+            epsilon_prime: Window-error parameter of the aggregate's counters;
+                defaults to the inputs' window error (the ``2*eps + eps**2``
+                special case of Theorem 4).  Ignored for randomized waves,
+                whose aggregation is lossless.
+
+        Returns:
+            A new :class:`ECMSketch` summarising the order-preserving union of
+            all input streams.
+
+        Raises:
+            WindowModelError: for count-based deterministic inputs, which the
+                paper proves cannot be aggregated.
+            IncompatibleSketchError: for mismatched configurations.
+        """
+        if not sketches:
+            raise ConfigurationError("cannot aggregate an empty list of ECM-sketches")
+        base = sketches[0]
+        for other in sketches[1:]:
+            base._require_compatible(other)
+        if base.counter_type.is_deterministic and base.model is not WindowModel.TIME_BASED:
+            raise WindowModelError(
+                "count-based ECM-sketches with deterministic counters cannot be "
+                "aggregated in an order-preserving way (paper Section 5.1)"
+            )
+        if epsilon_prime is None:
+            epsilon_prime = base.config.epsilon_sw
+
+        if base.counter_type is CounterType.RANDOMIZED_WAVE:
+            result_config = base.config.replaced()
+        else:
+            result_config = base.config.replaced(epsilon_sw=epsilon_prime)
+        result = cls(result_config, stream_tag=base.stream_tag)
+
+        for row in range(base.depth):
+            for column in range(base.width):
+                cells = [sketch._counters[row][column] for sketch in sketches]
+                result._counters[row][column] = cls._merge_cells(
+                    base.counter_type, cells, epsilon_prime
+                )
+        result._total_arrivals = sum(sketch._total_arrivals for sketch in sketches)
+        known_clocks = [s._last_clock for s in sketches if s._last_clock is not None]
+        result._last_clock = max(known_clocks) if known_clocks else None
+        if base.counter_type.is_deterministic:
+            result.effective_epsilon_sw = aggregated_error(
+                max(s.effective_epsilon_sw for s in sketches), epsilon_prime
+            )
+        else:
+            result.effective_epsilon_sw = base.effective_epsilon_sw
+        return result
+
+    @staticmethod
+    def _merge_cells(
+        counter_type: CounterType,
+        cells: Sequence[SlidingWindowCounter],
+        epsilon_prime: float,
+    ) -> SlidingWindowCounter:
+        """Merge the counters occupying the same cell across input sketches."""
+        if counter_type is CounterType.EXPONENTIAL_HISTOGRAM:
+            return merge_exponential_histograms(list(cells), epsilon_prime=epsilon_prime)
+        if counter_type is CounterType.DETERMINISTIC_WAVE:
+            return merge_deterministic_waves(list(cells), epsilon_prime=epsilon_prime)
+        return RandomizedWave.merged(list(cells))
+
+    def merged_with(self, others: Sequence["ECMSketch"], epsilon_prime: Optional[float] = None) -> "ECMSketch":
+        """Convenience wrapper over :meth:`aggregate` including ``self``."""
+        return ECMSketch.aggregate([self, *others], epsilon_prime=epsilon_prime)
+
+    # ----------------------------------------------------- guarantees & size
+    def point_error_bound(self, arrivals_in_range: float) -> float:
+        """Absolute point-query error bound for a range with that many arrivals."""
+        eps = self.effective_epsilon_sw + self.config.epsilon_cm + (
+            self.effective_epsilon_sw * self.config.epsilon_cm
+        )
+        return eps * arrivals_in_range
+
+    def inner_product_error_bound(self, arrivals_a: float, arrivals_b: float) -> float:
+        """Absolute inner-product error bound for ranges with those arrival counts."""
+        eps_sw = self.effective_epsilon_sw
+        eps = eps_sw ** 2 + 2.0 * eps_sw + self.config.epsilon_cm * (1.0 + eps_sw) ** 2
+        return eps * arrivals_a * arrivals_b
+
+    def memory_bytes(self) -> int:
+        """Analytical footprint: the sum of all counter footprints plus the array."""
+        counters = sum(
+            self._counters[row][column].memory_bytes()
+            for row in range(self.depth)
+            for column in range(self.width)
+        )
+        overhead = (self.depth * 2 * _FIELD_BITS + 8 * _FIELD_BITS) // 8
+        return counters + overhead
+
+    def counter(self, row: int, column: int) -> SlidingWindowCounter:
+        """Direct access to one sliding-window counter (read-only use)."""
+        return self._counters[row][column]
+
+    def serialized_bytes(self) -> int:
+        """Bytes needed to ship this sketch over the network.
+
+        Used by the distributed experiments to account transfer volume; equal
+        to the analytical memory footprint (the synopsis is its own wire
+        format under the paper's 32-bit accounting).
+        """
+        return self.memory_bytes()
+
+    def __repr__(self) -> str:
+        return (
+            "ECMSketch(width=%d, depth=%d, counter=%s, window=%g, model=%s, arrivals=%d)"
+            % (
+                self.width,
+                self.depth,
+                self.counter_type.value,
+                self.window,
+                self.model.value,
+                self._total_arrivals,
+            )
+        )

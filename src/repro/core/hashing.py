@@ -1,0 +1,163 @@
+"""Pairwise-independent hash families.
+
+Count-Min sketches and randomized waves both need cheap hash functions drawn
+from a pairwise-independent family.  We use the classic Carter–Wegman
+construction ``h(x) = ((a*x + b) mod p) mod m`` over the Mersenne prime
+``p = 2**61 - 1``, which is fast in pure Python (single multiplication on
+machine integers) and provides the 2-universality required by the Count-Min
+analysis of Cormode & Muthukrishnan.
+
+Items may be arbitrary hashable Python objects; non-integers are first mapped
+to 64-bit integers through a stable (seed-independent) fingerprint so that two
+sketches built with the same seeds hash the same items identically — a
+prerequisite for sketch composition.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Hashable, List, Sequence
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "MERSENNE_PRIME_61",
+    "stable_fingerprint",
+    "PairwiseHash",
+    "HashFamily",
+]
+
+#: The Mersenne prime 2**61 - 1 used as the field size of the hash family.
+MERSENNE_PRIME_61 = (1 << 61) - 1
+
+
+def stable_fingerprint(item: Hashable) -> int:
+    """Map an arbitrary hashable item to a stable 64-bit integer.
+
+    Python's built-in :func:`hash` is randomised per process for strings
+    (``PYTHONHASHSEED``), which would break reproducibility and sketch
+    composition across processes.  Integers are passed through unchanged
+    (folded into 64 bits); everything else goes through blake2b of its
+    ``repr``.
+
+    Args:
+        item: Any hashable value (int, str, tuple, ...).
+
+    Returns:
+        A non-negative integer fitting in 64 bits.
+    """
+    if isinstance(item, bool):
+        # bool is a subclass of int; keep True/False distinct from 1/0 text
+        # representations but still deterministic.
+        return int(item)
+    if isinstance(item, int):
+        return item & 0xFFFFFFFFFFFFFFFF
+    if isinstance(item, bytes):
+        digest = hashlib.blake2b(item, digest_size=8).digest()
+        return int.from_bytes(digest, "little")
+    if isinstance(item, str):
+        digest = hashlib.blake2b(item.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "little")
+    digest = hashlib.blake2b(repr(item).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+@dataclass(frozen=True)
+class PairwiseHash:
+    """A single hash function from the Carter–Wegman pairwise family.
+
+    Attributes:
+        a: Multiplier, drawn uniformly from ``[1, p-1]``.
+        b: Offset, drawn uniformly from ``[0, p-1]``.
+        width: Output range; hashes land in ``[0, width)``.
+    """
+
+    a: int
+    b: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ConfigurationError("hash width must be positive, got %r" % (self.width,))
+        if not (1 <= self.a < MERSENNE_PRIME_61):
+            raise ConfigurationError("hash multiplier out of range")
+        if not (0 <= self.b < MERSENNE_PRIME_61):
+            raise ConfigurationError("hash offset out of range")
+
+    def __call__(self, item: Hashable) -> int:
+        """Hash ``item`` into ``[0, width)``."""
+        x = stable_fingerprint(item)
+        return ((self.a * x + self.b) % MERSENNE_PRIME_61) % self.width
+
+    def hash_int(self, x: int) -> int:
+        """Hash an already-fingerprinted integer into ``[0, width)``."""
+        return ((self.a * x + self.b) % MERSENNE_PRIME_61) % self.width
+
+
+class HashFamily:
+    """A reproducible family of ``depth`` pairwise-independent hash functions.
+
+    Two families constructed with the same ``depth``, ``width`` and ``seed``
+    are identical, which is what allows Count-Min and ECM-sketches built on
+    different nodes to be merged.
+
+    Args:
+        depth: Number of hash functions (rows of the sketch).
+        width: Output range of each function (columns of the sketch).
+        seed: Seed of the pseudo-random generator used to draw ``a`` and
+            ``b`` coefficients.
+    """
+
+    def __init__(self, depth: int, width: int, seed: int = 0) -> None:
+        if depth <= 0:
+            raise ConfigurationError("hash family depth must be positive, got %r" % (depth,))
+        if width <= 0:
+            raise ConfigurationError("hash family width must be positive, got %r" % (width,))
+        self.depth = depth
+        self.width = width
+        self.seed = seed
+        rng = random.Random(seed)
+        self._functions: List[PairwiseHash] = []
+        for _ in range(depth):
+            a = rng.randrange(1, MERSENNE_PRIME_61)
+            b = rng.randrange(0, MERSENNE_PRIME_61)
+            self._functions.append(PairwiseHash(a=a, b=b, width=width))
+
+    @property
+    def functions(self) -> Sequence[PairwiseHash]:
+        """The individual hash functions, row by row."""
+        return tuple(self._functions)
+
+    def hash_all(self, item: Hashable) -> List[int]:
+        """Hash ``item`` with every function of the family.
+
+        Returns:
+            A list of ``depth`` column indices, one per row.
+        """
+        x = stable_fingerprint(item)
+        return [h.hash_int(x) for h in self._functions]
+
+    def hash_row(self, item: Hashable, row: int) -> int:
+        """Hash ``item`` with the function of a single ``row``."""
+        return self._functions[row](item)
+
+    def is_compatible_with(self, other: "HashFamily") -> bool:
+        """Return True when two families are interchangeable for merging."""
+        return (
+            self.depth == other.depth
+            and self.width == other.width
+            and self.seed == other.seed
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HashFamily):
+            return NotImplemented
+        return self.is_compatible_with(other)
+
+    def __hash__(self) -> int:
+        return hash((self.depth, self.width, self.seed))
+
+    def __repr__(self) -> str:
+        return "HashFamily(depth=%d, width=%d, seed=%d)" % (self.depth, self.width, self.seed)

@@ -1,0 +1,29 @@
+"""Distributed deployments: sites, aggregation trees and continuous monitoring."""
+
+from .aggregation import AggregationReport, DistributedDeployment, hierarchical_aggregate
+from .continuous import PeriodicAggregationCoordinator, PropagationStats
+from .geometric import (
+    GeometricMonitor,
+    L2NormSquaredFunction,
+    MonitoringStats,
+    SelfJoinFunction,
+    ThresholdFunction,
+)
+from .node import StreamNode
+from .topology import AggregationTree, TreeVertex
+
+__all__ = [
+    "StreamNode",
+    "AggregationTree",
+    "TreeVertex",
+    "AggregationReport",
+    "hierarchical_aggregate",
+    "DistributedDeployment",
+    "PeriodicAggregationCoordinator",
+    "PropagationStats",
+    "GeometricMonitor",
+    "ThresholdFunction",
+    "L2NormSquaredFunction",
+    "SelfJoinFunction",
+    "MonitoringStats",
+]

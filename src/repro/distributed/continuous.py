@@ -1,0 +1,173 @@
+"""Continuous distributed queries via periodic sketch propagation.
+
+The geometric method (:mod:`repro.distributed.geometric`) answers *threshold*
+queries with event-driven communication.  Many deployments instead need the
+coordinator to answer arbitrary sliding-window queries *at any time* — the
+continuous-query setting that the paper's related work (Chan et al.) addresses
+by scheduling the propagation of local synopses.  This module provides that
+complementary mode: every site keeps its local ECM-sketch, and the coordinator
+re-aggregates the sketches on a fixed period of stream time.  Between rounds
+the coordinator answers queries from the most recent aggregate, so its answers
+are stale by at most one period plus the usual sketch error.
+
+The class tracks both sides of the trade-off — cumulative transfer volume and
+observed staleness — so the period can be chosen quantitatively (see
+``benchmarks/bench_ablation_propagation_period.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional
+
+from ..core.config import ECMConfig
+from ..core.ecm_sketch import ECMSketch
+from ..core.errors import ConfigurationError, EmptyStructureError
+from ..streams.stream import Stream, StreamRecord
+from .aggregation import AggregationReport, hierarchical_aggregate
+from .node import StreamNode
+from .topology import AggregationTree
+
+__all__ = ["PropagationStats", "PeriodicAggregationCoordinator"]
+
+
+@dataclass
+class PropagationStats:
+    """Accounting of a periodic-propagation run."""
+
+    arrivals: int = 0
+    rounds: int = 0
+    transfer_bytes: int = 0
+    messages: int = 0
+    round_clocks: List[float] = field(default_factory=list)
+
+    def transfer_megabytes(self) -> float:
+        """Cumulative transfer volume in megabytes."""
+        return self.transfer_bytes / (1024.0 * 1024.0)
+
+
+class PeriodicAggregationCoordinator:
+    """Answer continuous sliding-window queries from periodically aggregated sketches.
+
+    Args:
+        num_nodes: Number of observation sites.
+        config: Shared ECM-sketch configuration.
+        period: Aggregation period, in stream-clock units.  Smaller periods
+            mean fresher answers and more communication.
+        branching: Fan-in of the aggregation tree.
+        seed: Seed for the tree construction.
+
+    Example:
+        >>> from repro.core import ECMConfig
+        >>> config = ECMConfig.for_point_queries(epsilon=0.2, delta=0.2, window=1000.0)
+        >>> coordinator = PeriodicAggregationCoordinator(num_nodes=2, config=config, period=10.0)
+        >>> coordinator.observe(0, "x", clock=1.0)
+        >>> coordinator.observe(1, "x", clock=12.0)   # crosses t=10: triggers a round
+        >>> coordinator.stats.rounds >= 1
+        True
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        config: ECMConfig,
+        period: float,
+        branching: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if num_nodes <= 0:
+            raise ConfigurationError("num_nodes must be positive, got %r" % (num_nodes,))
+        if period <= 0:
+            raise ConfigurationError("period must be positive, got %r" % (period,))
+        self.config = config
+        self.period = float(period)
+        self.nodes: List[StreamNode] = [StreamNode(node_id=i, config=config) for i in range(num_nodes)]
+        self.tree = AggregationTree(num_leaves=num_nodes, branching=branching, seed=seed)
+        self.stats = PropagationStats()
+        self._root: Optional[ECMSketch] = None
+        self._last_round_clock: Optional[float] = None
+        self._next_round_clock: Optional[float] = None
+
+    # ---------------------------------------------------------------- updates
+    @property
+    def num_nodes(self) -> int:
+        """Number of observation sites."""
+        return len(self.nodes)
+
+    def observe(self, node_id: int, key: Hashable, clock: float, value: int = 1) -> bool:
+        """Route one arrival to its site; aggregate when the period elapses.
+
+        Returns:
+            True when this arrival triggered an aggregation round.
+        """
+        self.nodes[node_id % len(self.nodes)].observe(key, clock, value)
+        self.stats.arrivals += 1
+        if self._next_round_clock is None:
+            self._next_round_clock = clock + self.period
+            return False
+        if clock >= self._next_round_clock:
+            self.run_round(now=clock)
+            return True
+        return False
+
+    def observe_record(self, record: StreamRecord) -> bool:
+        """Process one stream record."""
+        return self.observe(record.node, record.key, record.timestamp, record.value)
+
+    def observe_stream(self, stream: Stream) -> None:
+        """Process a whole stream in order."""
+        for record in stream:
+            self.observe_record(record)
+
+    # ----------------------------------------------------------------- rounds
+    def run_round(self, now: float) -> ECMSketch:
+        """Aggregate the current local sketches into a fresh root sketch."""
+        report = AggregationReport()
+        root = hierarchical_aggregate(
+            [node.sketch for node in self.nodes], tree=self.tree, report=report
+        )
+        self._root = root
+        self._last_round_clock = now
+        self._next_round_clock = now + self.period
+        self.stats.rounds += 1
+        self.stats.transfer_bytes += report.transfer_bytes
+        self.stats.messages += report.messages
+        self.stats.round_clocks.append(now)
+        return root
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def last_round_clock(self) -> Optional[float]:
+        """Stream clock of the most recent aggregation round."""
+        return self._last_round_clock
+
+    def staleness(self, now: float) -> float:
+        """How far the coordinator's view lags the stream, in clock units."""
+        if self._last_round_clock is None:
+            raise EmptyStructureError("no aggregation round has completed yet")
+        return max(0.0, now - self._last_round_clock)
+
+    def root_sketch(self) -> ECMSketch:
+        """The most recent aggregated sketch."""
+        if self._root is None:
+            raise EmptyStructureError("no aggregation round has completed yet")
+        return self._root
+
+    def query_frequency(
+        self, key: Hashable, range_length: Optional[float] = None
+    ) -> float:
+        """Sliding-window frequency of ``key`` as of the last aggregation round."""
+        root = self.root_sketch()
+        return root.point_query(key, range_length, now=self._last_round_clock)
+
+    def query_self_join(self, range_length: Optional[float] = None) -> float:
+        """Sliding-window self-join size as of the last aggregation round."""
+        root = self.root_sketch()
+        return root.self_join(range_length, now=self._last_round_clock)
+
+    def __repr__(self) -> str:
+        return "PeriodicAggregationCoordinator(nodes=%d, period=%g, rounds=%d)" % (
+            len(self.nodes),
+            self.period,
+            self.stats.rounds,
+        )

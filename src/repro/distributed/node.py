@@ -1,0 +1,88 @@
+"""Stream nodes: the local sites of a distributed deployment.
+
+Each node (a web-server mirror, a wireless access point, a NetFlow router...)
+observes its own local stream and maintains a local ECM-sketch.  Nodes are the
+leaves of the aggregation hierarchy built in
+:mod:`repro.distributed.topology`, and the participants of the geometric
+monitoring protocol in :mod:`repro.distributed.geometric`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional
+
+from ..core.config import CounterType, ECMConfig
+from ..core.ecm_sketch import ECMSketch
+from ..core.errors import ConfigurationError
+from ..streams.stream import Stream, StreamRecord
+from ..windows.base import WindowModel
+
+__all__ = ["StreamNode"]
+
+
+class StreamNode:
+    """A site that observes one local stream and maintains a local ECM-sketch.
+
+    Args:
+        node_id: Unique identifier of the node (also used as the randomized
+            wave stream tag so that distributed samples stay distinct).
+        config: ECM-sketch configuration; all nodes of a deployment must share
+            the same configuration for their sketches to be mergeable.
+    """
+
+    def __init__(self, node_id: int, config: ECMConfig) -> None:
+        if node_id < 0:
+            raise ConfigurationError("node_id must be non-negative, got %r" % (node_id,))
+        self.node_id = node_id
+        self.config = config
+        self.sketch = ECMSketch(config, stream_tag=node_id)
+        self.records_processed = 0
+
+    # ---------------------------------------------------------------- update
+    def observe(self, key: Hashable, clock: float, value: int = 1) -> None:
+        """Process one local arrival."""
+        self.sketch.add(key, clock, value)
+        self.records_processed += 1
+
+    def observe_record(self, record: StreamRecord) -> None:
+        """Process one :class:`~repro.streams.stream.StreamRecord`."""
+        self.observe(record.key, record.timestamp, record.value)
+
+    def observe_stream(self, stream: Stream) -> None:
+        """Process every record of a local stream in order."""
+        for record in stream:
+            self.observe_record(record)
+
+    def observe_records(self, records: Iterable[StreamRecord]) -> None:
+        """Process an iterable of records in the given order."""
+        for record in records:
+            self.observe_record(record)
+
+    # --------------------------------------------------------------- queries
+    def local_point_query(
+        self, key: Hashable, range_length: Optional[float] = None, now: Optional[float] = None
+    ) -> float:
+        """Point query against the node's local sketch only."""
+        return self.sketch.point_query(key, range_length, now)
+
+    def local_self_join(
+        self, range_length: Optional[float] = None, now: Optional[float] = None
+    ) -> float:
+        """Self-join query against the node's local sketch only."""
+        return self.sketch.self_join(range_length, now)
+
+    # ------------------------------------------------------------ networking
+    def snapshot(self) -> ECMSketch:
+        """The sketch the node would ship upstream during an aggregation round."""
+        return self.sketch
+
+    def upload_bytes(self) -> int:
+        """Bytes this node transfers when shipping its sketch upstream."""
+        return self.sketch.serialized_bytes()
+
+    def __repr__(self) -> str:
+        return "StreamNode(id=%d, records=%d, counter=%s)" % (
+            self.node_id,
+            self.records_processed,
+            self.config.counter_type.value,
+        )

@@ -1,0 +1,147 @@
+"""Aggregation topologies for distributed deployments.
+
+The paper's distributed experiments organise the observation sites as the
+leaves of a *balanced binary tree* of height ``ceil(log2(n))``; internal tree
+positions are occupied by (randomly chosen) sites responsible for merging the
+sketches of their children, and the root ends up with the ECM-sketch of the
+order-preserving union of all streams after ``ceil(log2(n)) - 1`` aggregation
+steps.  This module models that topology explicitly so that experiments can
+account transfer volume edge by edge and reason about the number of
+aggregation levels (which drives the error inflation of Theorem 4).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["TreeVertex", "AggregationTree"]
+
+
+@dataclass
+class TreeVertex:
+    """A vertex of the aggregation tree.
+
+    Attributes:
+        vertex_id: Identifier unique within the tree.
+        level: 0 for leaves, increasing towards the root.
+        node_id: Identifier of the physical site occupying the vertex (leaves
+            carry their own site; internal vertices are staffed by one of the
+            sites below them).
+        children: Identifiers of the child vertices (empty for leaves).
+        parent: Identifier of the parent vertex (``None`` for the root).
+    """
+
+    vertex_id: int
+    level: int
+    node_id: int
+    children: List[int] = field(default_factory=list)
+    parent: Optional[int] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the vertex has no children."""
+        return not self.children
+
+
+class AggregationTree:
+    """A balanced ``branching``-ary aggregation tree over ``n`` leaf sites.
+
+    Args:
+        num_leaves: Number of observation sites.
+        branching: Fan-in of internal vertices (2 in the paper).
+        seed: Seed used to choose which site staffs each internal vertex.
+    """
+
+    def __init__(self, num_leaves: int, branching: int = 2, seed: int = 0) -> None:
+        if num_leaves <= 0:
+            raise ConfigurationError("num_leaves must be positive, got %r" % (num_leaves,))
+        if branching < 2:
+            raise ConfigurationError("branching must be at least 2, got %r" % (branching,))
+        self.num_leaves = num_leaves
+        self.branching = branching
+        self.seed = seed
+        self.vertices: Dict[int, TreeVertex] = {}
+        self._build()
+
+    # ------------------------------------------------------------------ build
+    def _build(self) -> None:
+        rng = random.Random(self.seed)
+        next_id = 0
+        current_level: List[int] = []
+        for leaf_index in range(self.num_leaves):
+            vertex = TreeVertex(vertex_id=next_id, level=0, node_id=leaf_index)
+            self.vertices[next_id] = vertex
+            current_level.append(next_id)
+            next_id += 1
+        level = 0
+        while len(current_level) > 1:
+            level += 1
+            next_level: List[int] = []
+            for start in range(0, len(current_level), self.branching):
+                group = current_level[start : start + self.branching]
+                # The internal vertex is staffed by one of the sites below it.
+                staff = rng.choice([self.vertices[v].node_id for v in group])
+                vertex = TreeVertex(vertex_id=next_id, level=level, node_id=staff, children=list(group))
+                self.vertices[next_id] = vertex
+                for child in group:
+                    self.vertices[child].parent = next_id
+                next_level.append(next_id)
+                next_id += 1
+            current_level = next_level
+        self.root_id = current_level[0]
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def root(self) -> TreeVertex:
+        """The root vertex."""
+        return self.vertices[self.root_id]
+
+    def leaves(self) -> List[TreeVertex]:
+        """All leaf vertices, ordered by site identifier."""
+        result = [v for v in self.vertices.values() if v.is_leaf]
+        result.sort(key=lambda v: v.node_id)
+        return result
+
+    def internal_vertices(self) -> List[TreeVertex]:
+        """All internal vertices ordered bottom-up (children before parents)."""
+        result = [v for v in self.vertices.values() if not v.is_leaf]
+        result.sort(key=lambda v: v.level)
+        return result
+
+    def height(self) -> int:
+        """Number of aggregation levels (0 for a single-site deployment)."""
+        return self.root.level
+
+    def aggregation_steps(self) -> int:
+        """Number of merge rounds required to reach the root."""
+        return max(0, self.height())
+
+    def expected_height(self) -> int:
+        """The paper's ``ceil(log2(n))`` formula (useful for cross-checking)."""
+        if self.num_leaves == 1:
+            return 0
+        return int(math.ceil(math.log(self.num_leaves, self.branching)))
+
+    def edges(self) -> List[tuple]:
+        """All (child_vertex_id, parent_vertex_id) edges."""
+        return [
+            (vertex.vertex_id, vertex.parent)
+            for vertex in self.vertices.values()
+            if vertex.parent is not None
+        ]
+
+    def children_of(self, vertex_id: int) -> List[TreeVertex]:
+        """The child vertices of a vertex."""
+        return [self.vertices[c] for c in self.vertices[vertex_id].children]
+
+    def __repr__(self) -> str:
+        return "AggregationTree(leaves=%d, branching=%d, height=%d)" % (
+            self.num_leaves,
+            self.branching,
+            self.height(),
+        )

@@ -1,0 +1,92 @@
+"""Experiment runners regenerating every table and figure of the paper's Section 7.
+
+Mapping (see DESIGN.md for the full index):
+
+* Table 2  — :func:`repro.experiments.complexity.run_complexity_experiment`
+* Figure 4 — :func:`repro.experiments.centralized.run_centralized_error_experiment`
+* Table 3  — :func:`repro.experiments.centralized.run_update_rate_experiment`
+* Figure 5 — :func:`repro.experiments.distributed.run_distributed_error_experiment`
+* Table 4  — :func:`repro.experiments.distributed.run_centralized_vs_distributed_experiment`
+* Figure 6 — :func:`repro.experiments.network_size.run_network_size_experiment`
+* Ablations — :mod:`repro.experiments.ablations`
+"""
+
+from .ablations import (
+    EpsilonSplitRow,
+    MergeStrategyRow,
+    format_epsilon_split_rows,
+    format_merge_strategy_rows,
+    run_epsilon_split_ablation,
+    run_merge_strategy_ablation,
+)
+from .centralized import (
+    CentralizedErrorRow,
+    UpdateRateRow,
+    format_centralized_rows,
+    format_update_rate_rows,
+    run_centralized_error_experiment,
+    run_update_rate_experiment,
+)
+from .common import (
+    DEFAULT_DELTA,
+    DEFAULT_EPSILONS,
+    PAPER_WINDOW_SECONDS,
+    VARIANT_LABELS,
+    DatasetSpec,
+    build_sketch,
+    dataset_specs,
+    load_dataset,
+    max_arrivals_bound,
+)
+from .complexity import ComplexityRow, format_complexity_rows, run_complexity_experiment
+from .distributed import (
+    CentralizedVsDistributedRow,
+    DistributedErrorRow,
+    format_centralized_vs_distributed_rows,
+    format_distributed_rows,
+    run_centralized_vs_distributed_experiment,
+    run_distributed_error_experiment,
+)
+from .network_size import (
+    DEFAULT_NETWORK_SIZES,
+    NetworkSizeRow,
+    format_network_size_rows,
+    run_network_size_experiment,
+)
+
+__all__ = [
+    "PAPER_WINDOW_SECONDS",
+    "DEFAULT_EPSILONS",
+    "DEFAULT_DELTA",
+    "VARIANT_LABELS",
+    "DatasetSpec",
+    "dataset_specs",
+    "load_dataset",
+    "build_sketch",
+    "max_arrivals_bound",
+    "CentralizedErrorRow",
+    "UpdateRateRow",
+    "run_centralized_error_experiment",
+    "run_update_rate_experiment",
+    "format_centralized_rows",
+    "format_update_rate_rows",
+    "DistributedErrorRow",
+    "CentralizedVsDistributedRow",
+    "run_distributed_error_experiment",
+    "run_centralized_vs_distributed_experiment",
+    "format_distributed_rows",
+    "format_centralized_vs_distributed_rows",
+    "NetworkSizeRow",
+    "DEFAULT_NETWORK_SIZES",
+    "run_network_size_experiment",
+    "format_network_size_rows",
+    "ComplexityRow",
+    "run_complexity_experiment",
+    "format_complexity_rows",
+    "EpsilonSplitRow",
+    "MergeStrategyRow",
+    "run_epsilon_split_ablation",
+    "run_merge_strategy_ablation",
+    "format_epsilon_split_rows",
+    "format_merge_strategy_rows",
+]

@@ -1,0 +1,213 @@
+"""Ablation studies for design choices called out in DESIGN.md.
+
+Two ablations complement the paper's experiments:
+
+* **epsilon split** — the paper derives the memory-optimal split of the total
+  error budget between the Count-Min part and the sliding-window part
+  (Section 4.1).  The ablation compares that optimal split against a naive
+  50/50 split at equal total error, showing the memory advantage.
+* **merge replay strategy** — the aggregation algorithm replays each bucket as
+  half of its size at the bucket's start time and half at its end time.  The
+  ablation compares this against replaying everything at the bucket end,
+  which biases queries that cut through old buckets and inflates the observed
+  aggregation error.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..analysis.memory import ecm_sketch_bytes
+from ..baselines.exact import ExactStreamSummary
+from ..core.config import (
+    CounterType,
+    point_query_error,
+    split_point_query_deterministic,
+)
+from ..core.errors import ConfigurationError
+from ..windows.base import WindowModel
+from ..windows.exponential_histogram import ExponentialHistogram
+from .common import DEFAULT_DELTA, PAPER_WINDOW_SECONDS
+
+__all__ = [
+    "EpsilonSplitRow",
+    "MergeStrategyRow",
+    "run_epsilon_split_ablation",
+    "run_merge_strategy_ablation",
+    "format_epsilon_split_rows",
+    "format_merge_strategy_rows",
+]
+
+
+@dataclass
+class EpsilonSplitRow:
+    """Memory cost of one epsilon-split policy at one total error budget."""
+
+    policy: str
+    epsilon: float
+    epsilon_sw: float
+    epsilon_cm: float
+    total_error: float
+    memory_bytes: float
+
+
+@dataclass
+class MergeStrategyRow:
+    """Observed aggregation error of one bucket-replay strategy."""
+
+    strategy: str
+    epsilon: float
+    num_streams: int
+    average_error: float
+    maximum_error: float
+
+
+def _skewed_split(epsilon: float, sw_share: float) -> Tuple[float, float]:
+    """Give ``sw_share`` of the budget to the window error, the rest to hashing.
+
+    ``epsilon_cm`` is derived from Theorem 1 so the combined point-query error
+    still equals the target budget exactly.
+    """
+    epsilon_sw = epsilon * sw_share
+    epsilon_cm = (epsilon - epsilon_sw) / (1.0 + epsilon_sw)
+    return epsilon_sw, epsilon_cm
+
+
+def run_epsilon_split_ablation(
+    epsilons: Sequence[float] = (0.05, 0.1, 0.2),
+    window: float = PAPER_WINDOW_SECONDS,
+    max_arrivals: int = 100_000,
+) -> List[EpsilonSplitRow]:
+    """Compare the optimal epsilon split against window-heavy and hash-heavy splits.
+
+    For deterministic counters and point queries the optimum is an even split
+    (``eps_sw = eps_cm = sqrt(1+eps) - 1``); the skewed policies spend 80% of
+    the budget on one side and show the memory penalty of getting it wrong.
+    """
+    rows: List[EpsilonSplitRow] = []
+    for epsilon in epsilons:
+        for policy, splitter in (
+            ("optimal", split_point_query_deterministic),
+            ("sw-heavy", lambda eps: _skewed_split(eps, 0.8)),
+            ("cm-heavy", lambda eps: _skewed_split(eps, 0.2)),
+        ):
+            epsilon_sw, epsilon_cm = splitter(epsilon)
+            rows.append(
+                EpsilonSplitRow(
+                    policy=policy,
+                    epsilon=epsilon,
+                    epsilon_sw=epsilon_sw,
+                    epsilon_cm=epsilon_cm,
+                    total_error=point_query_error(epsilon_sw, epsilon_cm),
+                    memory_bytes=ecm_sketch_bytes(
+                        counter_type=CounterType.EXPONENTIAL_HISTOGRAM,
+                        epsilon_sw=epsilon_sw,
+                        epsilon_cm=epsilon_cm,
+                        delta=DEFAULT_DELTA,
+                        window=window,
+                        max_arrivals=max_arrivals,
+                    ),
+                )
+            )
+    return rows
+
+
+def _merge_with_strategy(
+    histograms: Sequence[ExponentialHistogram],
+    strategy: str,
+    epsilon_prime: float,
+) -> ExponentialHistogram:
+    """Merge exponential histograms replaying buckets per the given strategy."""
+    if strategy not in ("half-half", "all-at-end"):
+        raise ConfigurationError("unknown merge strategy %r" % (strategy,))
+    window = histograms[0].window
+    merged = ExponentialHistogram(epsilon=epsilon_prime, window=window, model=WindowModel.TIME_BASED)
+    events: List[Tuple[float, int]] = []
+    for histogram in histograms:
+        for bucket in histogram.iter_buckets():
+            if strategy == "half-half":
+                low = bucket.size // 2
+                high = bucket.size - low
+                if low:
+                    events.append((bucket.start, low))
+                if high:
+                    events.append((bucket.end, high))
+            else:
+                events.append((bucket.end, bucket.size))
+    events.sort(key=lambda event: event[0])
+    for clock, count in events:
+        merged.add(clock, count)
+    return merged
+
+
+def run_merge_strategy_ablation(
+    epsilon: float = 0.05,
+    num_streams: int = 8,
+    arrivals_per_stream: int = 4_000,
+    window: float = 50_000.0,
+    query_ranges: Sequence[float] = (100.0, 1_000.0, 10_000.0, 50_000.0),
+    seed: int = 17,
+) -> List[MergeStrategyRow]:
+    """Compare the paper's half/half bucket replay against an all-at-end replay."""
+    rng = random.Random(seed)
+    histograms: List[ExponentialHistogram] = []
+    arrival_log: List[float] = []
+    for _ in range(num_streams):
+        histogram = ExponentialHistogram(epsilon=epsilon, window=window, model=WindowModel.TIME_BASED)
+        clock = 0.0
+        for _ in range(arrivals_per_stream):
+            clock += rng.random() * (window / arrivals_per_stream) * 2.0
+            histogram.add(clock)
+            arrival_log.append(clock)
+        histograms.append(histogram)
+    now = max(arrival_log)
+
+    rows: List[MergeStrategyRow] = []
+    for strategy in ("half-half", "all-at-end"):
+        merged = _merge_with_strategy(histograms, strategy, epsilon_prime=epsilon)
+        errors: List[float] = []
+        for range_length in query_ranges:
+            true = sum(1 for t in arrival_log if now - range_length < t <= now)
+            if true == 0:
+                continue
+            estimate = merged.estimate(range_length, now=now)
+            errors.append(abs(estimate - true) / true)
+        rows.append(
+            MergeStrategyRow(
+                strategy=strategy,
+                epsilon=epsilon,
+                num_streams=num_streams,
+                average_error=sum(errors) / len(errors) if errors else 0.0,
+                maximum_error=max(errors) if errors else 0.0,
+            )
+        )
+    return rows
+
+
+# ------------------------------------------------------------------ reporting
+def format_epsilon_split_rows(rows: Sequence[EpsilonSplitRow]) -> str:
+    """Render the epsilon-split ablation as an aligned text table."""
+    header = "%-10s %6s %8s %8s %10s %16s" % (
+        "policy", "eps", "eps_sw", "eps_cm", "total err", "memory(bytes)",
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            "%-10s %6.2f %8.4f %8.4f %10.4f %16.0f"
+            % (row.policy, row.epsilon, row.epsilon_sw, row.epsilon_cm, row.total_error, row.memory_bytes)
+        )
+    return "\n".join(lines)
+
+
+def format_merge_strategy_rows(rows: Sequence[MergeStrategyRow]) -> str:
+    """Render the merge-strategy ablation as an aligned text table."""
+    header = "%-12s %6s %8s %10s %10s" % ("strategy", "eps", "streams", "avg err", "max err")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            "%-12s %6.2f %8d %10.4f %10.4f"
+            % (row.strategy, row.epsilon, row.num_streams, row.average_error, row.maximum_error)
+        )
+    return "\n".join(lines)

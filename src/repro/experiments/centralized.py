@@ -1,0 +1,255 @@
+"""Centralized-setup experiments: Figure 4 and Table 3 (paper Section 7.2).
+
+Figure 4 plots, for each data set and each ECM-sketch variant, the average and
+maximum observed error of point queries and self-join queries against the
+memory footprint of the sketch, sweeping the total error budget
+``epsilon in [0.05, 0.25]`` at ``delta = 0.1``.
+
+Table 3 reports the sustained update rate of the three variants at
+``epsilon = 0.1``.
+
+The runners in this module regenerate both: one row per (variant, epsilon)
+for the figure, one row per variant for the table.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..analysis.metrics import (
+    ErrorSummary,
+    evaluate_point_queries,
+    evaluate_self_join_queries,
+    exponential_query_ranges,
+)
+from ..baselines.exact import ExactStreamSummary
+from ..core.config import CounterType
+from ..core.errors import ConfigurationError
+from ..streams.stream import Stream
+from .common import (
+    DEFAULT_DELTA,
+    DEFAULT_EPSILONS,
+    PAPER_WINDOW_SECONDS,
+    VARIANT_LABELS,
+    build_sketch,
+    load_dataset,
+    max_arrivals_bound,
+)
+
+__all__ = [
+    "CentralizedErrorRow",
+    "UpdateRateRow",
+    "run_centralized_error_experiment",
+    "run_update_rate_experiment",
+    "format_centralized_rows",
+    "format_update_rate_rows",
+]
+
+
+@dataclass
+class CentralizedErrorRow:
+    """One point of Figure 4: a (dataset, variant, epsilon, query type) cell."""
+
+    dataset: str
+    variant: str
+    query_type: str
+    epsilon: float
+    memory_bytes: int
+    average_error: float
+    maximum_error: float
+    queries: int
+
+    @property
+    def memory_megabytes(self) -> float:
+        """Memory on the figure's X axis, in megabytes."""
+        return self.memory_bytes / (1024.0 * 1024.0)
+
+
+@dataclass
+class UpdateRateRow:
+    """One cell of Table 3: sustained update rate of a variant on a data set."""
+
+    dataset: str
+    variant: str
+    epsilon: float
+    records: int
+    elapsed_seconds: float
+
+    @property
+    def updates_per_second(self) -> float:
+        """Updates per second (the unit of Table 3)."""
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.records / self.elapsed_seconds
+
+
+def _evaluate_variant(
+    dataset: str,
+    stream: Stream,
+    exact: ExactStreamSummary,
+    counter_type: CounterType,
+    epsilon: float,
+    query_type: str,
+    window: float,
+    max_keys_per_range: Optional[int],
+    seed: int,
+) -> CentralizedErrorRow:
+    """Build, feed and evaluate one sketch variant at one epsilon."""
+    sketch = build_sketch(
+        counter_type=counter_type,
+        epsilon=epsilon,
+        delta=DEFAULT_DELTA,
+        window=window,
+        max_arrivals=max_arrivals_bound(stream),
+        query_type=query_type,
+        seed=seed,
+    )
+    for record in stream:
+        sketch.add(record.key, record.timestamp, record.value)
+    now = stream.end_time()
+    ranges = exponential_query_ranges(window)
+    if query_type == "point":
+        summary = evaluate_point_queries(
+            sketch, exact, ranges, now=now, max_keys_per_range=max_keys_per_range
+        )
+    else:
+        summary = evaluate_self_join_queries(sketch, exact, ranges, now=now)
+    return CentralizedErrorRow(
+        dataset=dataset,
+        variant=VARIANT_LABELS[counter_type],
+        query_type=query_type,
+        epsilon=epsilon,
+        memory_bytes=sketch.memory_bytes(),
+        average_error=summary.average,
+        maximum_error=summary.maximum,
+        queries=summary.count,
+    )
+
+
+def run_centralized_error_experiment(
+    dataset: str = "wc98",
+    epsilons: Sequence[float] = DEFAULT_EPSILONS,
+    variants: Optional[Sequence[CounterType]] = None,
+    query_types: Sequence[str] = ("point", "self-join"),
+    num_records: Optional[int] = None,
+    window: float = PAPER_WINDOW_SECONDS,
+    max_keys_per_range: Optional[int] = 200,
+    seed: int = 0,
+) -> List[CentralizedErrorRow]:
+    """Regenerate Figure 4 for one data set.
+
+    Randomized-wave sketches are skipped for self-join queries, matching the
+    paper ("the ECM-RW structure does not allow probabilistic guarantees for
+    self-join queries").
+    """
+    if variants is None:
+        variants = (
+            CounterType.EXPONENTIAL_HISTOGRAM,
+            CounterType.DETERMINISTIC_WAVE,
+            CounterType.RANDOMIZED_WAVE,
+        )
+    stream = load_dataset(dataset, num_records=num_records)
+    exact = ExactStreamSummary.from_stream(stream, window=window)
+    rows: List[CentralizedErrorRow] = []
+    for query_type in query_types:
+        if query_type not in ("point", "self-join"):
+            raise ConfigurationError("unknown query type %r" % (query_type,))
+        for counter_type in variants:
+            if query_type == "self-join" and counter_type is CounterType.RANDOMIZED_WAVE:
+                continue
+            for epsilon in epsilons:
+                rows.append(
+                    _evaluate_variant(
+                        dataset=dataset,
+                        stream=stream,
+                        exact=exact,
+                        counter_type=counter_type,
+                        epsilon=epsilon,
+                        query_type=query_type,
+                        window=window,
+                        max_keys_per_range=max_keys_per_range,
+                        seed=seed,
+                    )
+                )
+    return rows
+
+
+def run_update_rate_experiment(
+    dataset: str = "wc98",
+    epsilon: float = 0.1,
+    variants: Optional[Sequence[CounterType]] = None,
+    num_records: Optional[int] = None,
+    window: float = PAPER_WINDOW_SECONDS,
+    seed: int = 0,
+) -> List[UpdateRateRow]:
+    """Regenerate Table 3 (update rates per variant) for one data set."""
+    if variants is None:
+        variants = (
+            CounterType.EXPONENTIAL_HISTOGRAM,
+            CounterType.DETERMINISTIC_WAVE,
+            CounterType.RANDOMIZED_WAVE,
+        )
+    stream = load_dataset(dataset, num_records=num_records)
+    rows: List[UpdateRateRow] = []
+    for counter_type in variants:
+        sketch = build_sketch(
+            counter_type=counter_type,
+            epsilon=epsilon,
+            delta=DEFAULT_DELTA,
+            window=window,
+            max_arrivals=max_arrivals_bound(stream),
+            query_type="point",
+            seed=seed,
+        )
+        start = time.perf_counter()
+        for record in stream:
+            sketch.add(record.key, record.timestamp, record.value)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            UpdateRateRow(
+                dataset=dataset,
+                variant=VARIANT_LABELS[counter_type],
+                epsilon=epsilon,
+                records=len(stream),
+                elapsed_seconds=elapsed,
+            )
+        )
+    return rows
+
+
+# ------------------------------------------------------------------ reporting
+def format_centralized_rows(rows: Sequence[CentralizedErrorRow]) -> str:
+    """Render Figure 4 rows as an aligned text table."""
+    header = "%-6s %-8s %-10s %6s %12s %10s %10s %8s" % (
+        "data", "variant", "query", "eps", "memory(MB)", "avg err", "max err", "queries",
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            "%-6s %-8s %-10s %6.2f %12.3f %10.4f %10.4f %8d"
+            % (
+                row.dataset,
+                row.variant,
+                row.query_type,
+                row.epsilon,
+                row.memory_megabytes,
+                row.average_error,
+                row.maximum_error,
+                row.queries,
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_update_rate_rows(rows: Sequence[UpdateRateRow]) -> str:
+    """Render Table 3 rows as an aligned text table."""
+    header = "%-6s %-8s %6s %10s %14s" % ("data", "variant", "eps", "records", "updates/sec")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            "%-6s %-8s %6.2f %10d %14.0f"
+            % (row.dataset, row.variant, row.epsilon, row.records, row.updates_per_second)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""Higher-level sliding-window queries built on ECM-sketches (paper Section 6)."""
+
+from .dyadic import children_of, dyadic_cover, prefix_of, prefix_range, validate_universe_bits
+from .heavy_hitters import FrequentItemsTracker
+from .hierarchical import HierarchicalECMSketch
+
+__all__ = [
+    "HierarchicalECMSketch",
+    "FrequentItemsTracker",
+    "dyadic_cover",
+    "prefix_of",
+    "prefix_range",
+    "children_of",
+    "validate_universe_bits",
+]

@@ -1,0 +1,92 @@
+"""Dyadic-range decomposition over an integer key universe.
+
+The heavy-hitter, range-query and quantile algorithms of the paper's
+Section 6.1 all rest on the same machinery (inherited from Cormode &
+Muthukrishnan's Count-Min paper): organise the key universe ``[0, 2**L)``
+into dyadic ranges and keep one sketch per dyadic level, so that any interval
+decomposes into at most ``2*L`` sketch lookups.
+
+This module contains the purely combinatorial part: mapping keys to prefixes,
+enumerating the dyadic cover of an interval, and enumerating the children of
+a prefix during the group-testing descent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ..core.errors import ConfigurationError
+
+__all__ = [
+    "validate_universe_bits",
+    "prefix_of",
+    "prefix_range",
+    "children_of",
+    "dyadic_cover",
+]
+
+
+def validate_universe_bits(universe_bits: int) -> int:
+    """Validate the number of bits of the key universe ``[0, 2**bits)``."""
+    if universe_bits <= 0 or universe_bits > 62:
+        raise ConfigurationError(
+            "universe_bits must be in [1, 62], got %r" % (universe_bits,)
+        )
+    return int(universe_bits)
+
+
+def prefix_of(key: int, level: int) -> int:
+    """The dyadic prefix of ``key`` at ``level`` (ranges of length ``2**level``)."""
+    if key < 0:
+        raise ConfigurationError("keys must be non-negative integers, got %r" % (key,))
+    if level < 0:
+        raise ConfigurationError("level must be non-negative, got %r" % (level,))
+    return key >> level
+
+
+def prefix_range(prefix: int, level: int) -> Tuple[int, int]:
+    """The inclusive key interval ``[lo, hi]`` covered by ``prefix`` at ``level``."""
+    lo = prefix << level
+    hi = ((prefix + 1) << level) - 1
+    return lo, hi
+
+
+def children_of(prefix: int, level: int) -> List[Tuple[int, int]]:
+    """The two child prefixes (at ``level - 1``) of ``prefix`` at ``level``.
+
+    Returns a list of ``(child_prefix, child_level)`` pairs; at level 0 the
+    prefix is an individual key and has no children.
+    """
+    if level <= 0:
+        return []
+    return [(prefix << 1, level - 1), ((prefix << 1) | 1, level - 1)]
+
+
+def dyadic_cover(lo: int, hi: int, universe_bits: int) -> Iterator[Tuple[int, int]]:
+    """Decompose the inclusive interval ``[lo, hi]`` into maximal dyadic ranges.
+
+    Yields ``(prefix, level)`` pairs such that the covered intervals are
+    disjoint and their union is exactly ``[lo, hi]``.  At most
+    ``2 * universe_bits`` pairs are produced.  Block levels are capped at
+    ``universe_bits - 1`` so that every block corresponds to a maintained
+    sketch level (the full universe decomposes into its two halves).
+    """
+    validate_universe_bits(universe_bits)
+    if lo < 0 or hi >= (1 << universe_bits):
+        raise ConfigurationError(
+            "interval [%d, %d] is outside the universe [0, %d)" % (lo, hi, 1 << universe_bits)
+        )
+    if lo > hi:
+        return
+    current = lo
+    while current <= hi:
+        # Largest dyadic block starting at `current` that stays within [lo, hi].
+        level = 0
+        while level < universe_bits - 1:
+            next_level = level + 1
+            block = 1 << next_level
+            if current % block != 0 or current + block - 1 > hi:
+                break
+            level = next_level
+        yield current >> level, level
+        current += 1 << level

@@ -1,0 +1,169 @@
+"""Frequent-item tracking over sliding windows for arbitrary key domains.
+
+:class:`~repro.queries.hierarchical.HierarchicalECMSketch` works on integer
+universes ``[0, 2**L)`` — the natural domain for IP addresses or port numbers.
+Many workloads (the paper's web-page URLs and MAC addresses included) use
+string keys instead; :class:`FrequentItemsTracker` bridges the gap with a
+dictionary encoding: every new key is assigned the next integer code, and the
+group-testing heavy-hitter machinery runs on the encoded universe.
+
+The encoding dictionary is the only part of the structure that is not
+sublinear in the number of *distinct* keys; that matches practical deployments
+(e.g. Cisco's NetFlow collector keeps the key dictionary at the coordinator)
+and keeps the per-update sketch costs identical to the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..core.config import CounterType
+from ..core.errors import ConfigurationError
+from ..windows.base import WindowModel
+from .hierarchical import HierarchicalECMSketch
+
+__all__ = ["FrequentItemsTracker"]
+
+
+class FrequentItemsTracker:
+    """Sliding-window heavy hitters over an arbitrary hashable key domain.
+
+    Args:
+        epsilon: Point-query error budget of the underlying sketches.
+        delta: Failure probability of the underlying sketches.
+        window: Sliding-window length.
+        universe_bits: Capacity of the encoded key universe; at most
+            ``2**universe_bits`` distinct keys can be tracked.
+        model: Time-based or count-based window model.
+        counter_type: Sliding-window counter backing the sketches.
+        max_arrivals: Upper bound on arrivals per window (for wave counters).
+        seed: Hash seed.
+
+    Example:
+        >>> tracker = FrequentItemsTracker(epsilon=0.05, delta=0.05,
+        ...                                window=1000, universe_bits=8)
+        >>> for t in range(20):
+        ...     tracker.add("/index.html", clock=float(t))
+        ...     tracker.add("/page/%d" % t, clock=float(t))
+        >>> hitters = tracker.heavy_hitters(phi=0.3)
+        >>> "/index.html" in hitters
+        True
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        delta: float,
+        window: float,
+        universe_bits: int = 20,
+        model: WindowModel = WindowModel.TIME_BASED,
+        counter_type: CounterType = CounterType.EXPONENTIAL_HISTOGRAM,
+        max_arrivals: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        self._sketch = HierarchicalECMSketch(
+            universe_bits=universe_bits,
+            epsilon=epsilon,
+            delta=delta,
+            window=window,
+            model=model,
+            counter_type=counter_type,
+            max_arrivals=max_arrivals,
+            seed=seed,
+        )
+        self._encoding: Dict[Hashable, int] = {}
+        self._decoding: List[Hashable] = []
+
+    # -------------------------------------------------------------- encoding
+    def _encode(self, key: Hashable) -> int:
+        code = self._encoding.get(key)
+        if code is None:
+            code = len(self._decoding)
+            if code >= self._sketch.universe_size:
+                raise ConfigurationError(
+                    "key dictionary is full (%d distinct keys); raise universe_bits"
+                    % (self._sketch.universe_size,)
+                )
+            self._encoding[key] = code
+            self._decoding.append(key)
+        return code
+
+    def _decode(self, code: int) -> Hashable:
+        return self._decoding[code]
+
+    def distinct_keys(self) -> int:
+        """Number of distinct keys seen so far."""
+        return len(self._decoding)
+
+    # ---------------------------------------------------------------- update
+    def add(self, key: Hashable, clock: float, value: int = 1) -> None:
+        """Register ``value`` arrivals of ``key`` at clock ``clock``."""
+        self._sketch.add(self._encode(key), clock, value)
+
+    # --------------------------------------------------------------- queries
+    def frequency(
+        self, key: Hashable, range_length: Optional[float] = None, now: Optional[float] = None
+    ) -> float:
+        """Estimated sliding-window frequency of ``key`` (0 for unseen keys)."""
+        code = self._encoding.get(key)
+        if code is None:
+            return 0.0
+        return self._sketch.point_query(code, range_length, now)
+
+    def estimate_total(
+        self, range_length: Optional[float] = None, now: Optional[float] = None
+    ) -> float:
+        """Estimated number of in-range arrivals."""
+        return self._sketch.estimate_total(range_length, now)
+
+    def heavy_hitters(
+        self,
+        phi: float,
+        range_length: Optional[float] = None,
+        now: Optional[float] = None,
+        absolute_threshold: Optional[float] = None,
+    ) -> Dict[Hashable, float]:
+        """Keys whose estimated in-range frequency reaches the threshold."""
+        detected = self._sketch.heavy_hitters(
+            phi=phi,
+            range_length=range_length,
+            now=now,
+            absolute_threshold=absolute_threshold,
+        )
+        return {
+            self._decode(code): estimate
+            for code, estimate in detected.items()
+            if code < len(self._decoding)
+        }
+
+    def top_k(
+        self, k: int, range_length: Optional[float] = None, now: Optional[float] = None
+    ) -> List[Tuple[Hashable, float]]:
+        """The ``k`` keys with the largest estimated in-range frequencies.
+
+        Implemented by point-querying every registered key; intended for
+        reporting and examples, not for the hot update path.
+        """
+        if k <= 0:
+            raise ConfigurationError("k must be positive, got %r" % (k,))
+        scored = [
+            (key, self._sketch.point_query(code, range_length, now))
+            for key, code in self._encoding.items()
+        ]
+        scored.sort(key=lambda pair: pair[1], reverse=True)
+        return scored[:k]
+
+    # ----------------------------------------------------------------- size
+    def memory_bytes(self) -> int:
+        """Analytical footprint of the sketch stack (excluding the dictionary)."""
+        return self._sketch.memory_bytes()
+
+    def sketch(self) -> HierarchicalECMSketch:
+        """The underlying hierarchical sketch (for advanced/aggregation use)."""
+        return self._sketch
+
+    def __repr__(self) -> str:
+        return "FrequentItemsTracker(distinct_keys=%d, sketch=%r)" % (
+            self.distinct_keys(),
+            self._sketch,
+        )

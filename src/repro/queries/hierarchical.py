@@ -1,0 +1,277 @@
+"""Hierarchical (dyadic) stacks of ECM-sketches (paper Section 6.1).
+
+A :class:`HierarchicalECMSketch` keeps one ECM-sketch per dyadic level of an
+integer key universe.  An arrival of key ``x`` updates level ``i`` with the
+prefix ``x >> i``, so the level-``i`` sketch maintains sliding-window counts
+of dyadic ranges of length ``2**i``.  On top of this stack we implement:
+
+* **heavy hitters** via group testing: descend from the coarsest level and
+  expand only the dyadic ranges whose estimated sliding-window frequency
+  reaches the threshold (Theorem 5);
+* **range queries**: decompose the interval into at most ``2 * log|U|``
+  dyadic ranges and sum the corresponding point estimates;
+* **quantiles**: binary-search the key domain using prefix range queries.
+
+The stack is composable exactly like individual ECM-sketches: aggregating the
+per-level sketches of several nodes yields the stack of the union stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import CounterType, ECMConfig
+from ..core.ecm_sketch import ECMSketch
+from ..core.errors import ConfigurationError
+from ..windows.base import WindowModel
+from .dyadic import children_of, dyadic_cover, prefix_of, prefix_range, validate_universe_bits
+
+__all__ = ["HierarchicalECMSketch"]
+
+
+class HierarchicalECMSketch:
+    """A stack of ECM-sketches over the dyadic levels of an integer universe.
+
+    Args:
+        universe_bits: The key universe is ``[0, 2**universe_bits)``.
+        epsilon: Total point-query error budget of each level's sketch.
+        delta: Failure probability of each level's sketch.
+        window: Sliding-window length.
+        model: Time-based or count-based window model.
+        counter_type: Sliding-window counter backing every sketch.
+        max_arrivals: Upper bound on arrivals per window (for wave counters).
+        seed: Hash seed shared by all levels (and by mergeable peers).
+        stream_tag: Node namespace for randomized-wave identifiers.
+
+    Example:
+        >>> hist = HierarchicalECMSketch(universe_bits=10, epsilon=0.05,
+        ...                              delta=0.05, window=1000)
+        >>> for t in range(100):
+        ...     hist.add(key=7, clock=float(t))
+        >>> heavy = hist.heavy_hitters(phi=0.5)
+        >>> 7 in heavy
+        True
+    """
+
+    def __init__(
+        self,
+        universe_bits: int,
+        epsilon: float,
+        delta: float,
+        window: float,
+        model: WindowModel = WindowModel.TIME_BASED,
+        counter_type: CounterType = CounterType.EXPONENTIAL_HISTOGRAM,
+        max_arrivals: Optional[int] = None,
+        seed: int = 0,
+        stream_tag: int = 0,
+    ) -> None:
+        self.universe_bits = validate_universe_bits(universe_bits)
+        self.window = window
+        self.model = model
+        self.counter_type = counter_type
+        self.seed = seed
+        self.stream_tag = stream_tag
+        self._levels: List[ECMSketch] = []
+        for level in range(self.universe_bits):
+            config = ECMConfig.for_point_queries(
+                epsilon=epsilon,
+                delta=delta,
+                window=window,
+                model=model,
+                counter_type=counter_type,
+                max_arrivals=max_arrivals,
+                seed=seed + level,
+            )
+            self._levels.append(ECMSketch(config, stream_tag=stream_tag))
+        self._total_arrivals = 0
+        self._last_clock: Optional[float] = None
+
+    # --------------------------------------------------------------- update
+    @property
+    def universe_size(self) -> int:
+        """Number of distinct keys representable: ``2**universe_bits``."""
+        return 1 << self.universe_bits
+
+    def add(self, key: int, clock: float, value: int = 1) -> None:
+        """Register ``value`` arrivals of integer ``key`` at clock ``clock``."""
+        if not isinstance(key, int) or key < 0 or key >= self.universe_size:
+            raise ConfigurationError(
+                "key must be an integer in [0, %d), got %r" % (self.universe_size, key)
+            )
+        for level, sketch in enumerate(self._levels):
+            sketch.add(prefix_of(key, level), clock, value)
+        self._total_arrivals += value
+        self._last_clock = clock
+
+    # -------------------------------------------------------------- queries
+    def _resolve_now(self, now: Optional[float]) -> float:
+        if now is not None:
+            return now
+        return self._last_clock if self._last_clock is not None else 0.0
+
+    def point_query(
+        self, key: int, range_length: Optional[float] = None, now: Optional[float] = None
+    ) -> float:
+        """Estimated sliding-window frequency of an individual key."""
+        return self._levels[0].point_query(key, range_length, self._resolve_now(now))
+
+    def prefix_query(
+        self, prefix: int, level: int, range_length: Optional[float] = None, now: Optional[float] = None
+    ) -> float:
+        """Estimated count of the dyadic range ``(prefix, level)``."""
+        if level < 0 or level >= self.universe_bits:
+            raise ConfigurationError("level must be in [0, %d)" % (self.universe_bits,))
+        return self._levels[level].point_query(prefix, range_length, self._resolve_now(now))
+
+    def range_query(
+        self, lo: int, hi: int, range_length: Optional[float] = None, now: Optional[float] = None
+    ) -> float:
+        """Estimated number of arrivals with key in ``[lo, hi]`` in the window range."""
+        now_value = self._resolve_now(now)
+        total = 0.0
+        for prefix, level in dyadic_cover(lo, hi, self.universe_bits):
+            total += self._levels[level].point_query(prefix, range_length, now_value)
+        return total
+
+    def estimate_total(
+        self, range_length: Optional[float] = None, now: Optional[float] = None
+    ) -> float:
+        """Estimate of ``||a_r||_1`` from the level-0 sketch's row averages."""
+        return self._levels[0].estimate_arrivals(range_length, self._resolve_now(now))
+
+    def heavy_hitters(
+        self,
+        phi: float,
+        range_length: Optional[float] = None,
+        now: Optional[float] = None,
+        absolute_threshold: Optional[float] = None,
+    ) -> Dict[int, float]:
+        """Group-testing detection of frequent keys (Theorem 5).
+
+        Args:
+            phi: Relative frequency threshold (fraction of in-range arrivals).
+                Ignored when ``absolute_threshold`` is given.
+            range_length: Query range.
+            now: Right edge of the query range.
+            absolute_threshold: Minimum number of occurrences; when given the
+                detection uses it directly instead of ``phi * ||a_r||_1``.
+
+        Returns:
+            Mapping from detected key to its estimated in-range frequency.
+        """
+        if absolute_threshold is None:
+            if not (0.0 < phi <= 1.0):
+                raise ConfigurationError("phi must be in (0, 1], got %r" % (phi,))
+            threshold = phi * self.estimate_total(range_length, now)
+        else:
+            threshold = float(absolute_threshold)
+        now_value = self._resolve_now(now)
+        result: Dict[int, float] = {}
+        top_level = self.universe_bits - 1
+        # The two prefixes of the coarsest maintained level cover the universe.
+        frontier: List[Tuple[int, int]] = [(0, top_level), (1, top_level)]
+        while frontier:
+            prefix, level = frontier.pop()
+            estimate = self._levels[level].point_query(prefix, range_length, now_value)
+            if estimate < threshold:
+                continue
+            if level == 0:
+                result[prefix] = estimate
+            else:
+                frontier.extend(children_of(prefix, level))
+        return result
+
+    def quantile(
+        self,
+        fraction: float,
+        range_length: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> int:
+        """Approximate ``fraction``-quantile of the in-range key distribution.
+
+        Binary-searches the smallest key ``x`` whose prefix range ``[0, x]``
+        accumulates at least ``fraction`` of the estimated in-range arrivals.
+        """
+        if not (0.0 <= fraction <= 1.0):
+            raise ConfigurationError("fraction must be in [0, 1], got %r" % (fraction,))
+        total = self.estimate_total(range_length, now)
+        target = fraction * total
+        lo, hi = 0, self.universe_size - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.range_query(0, mid, range_length, now) >= target:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def quantiles(
+        self,
+        fractions: Sequence[float],
+        range_length: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> List[int]:
+        """Approximate quantiles for several fractions at once."""
+        return [self.quantile(fraction, range_length, now) for fraction in fractions]
+
+    # ----------------------------------------------------------------- merge
+    def is_compatible_with(self, other: "HierarchicalECMSketch") -> bool:
+        """True when two stacks can be aggregated level by level."""
+        return (
+            isinstance(other, HierarchicalECMSketch)
+            and self.universe_bits == other.universe_bits
+            and self.seed == other.seed
+            and self.window == other.window
+            and self.model == other.model
+            and self.counter_type == other.counter_type
+        )
+
+    @classmethod
+    def aggregate(
+        cls,
+        stacks: Sequence["HierarchicalECMSketch"],
+        epsilon_prime: Optional[float] = None,
+    ) -> "HierarchicalECMSketch":
+        """Order-preserving aggregation of hierarchical sketches (level by level)."""
+        if not stacks:
+            raise ConfigurationError("cannot aggregate an empty list of stacks")
+        base = stacks[0]
+        for other in stacks[1:]:
+            if not base.is_compatible_with(other):
+                raise ConfigurationError(
+                    "hierarchical sketches must share universe, seed, window and counter type"
+                )
+        result = cls.__new__(cls)
+        result.universe_bits = base.universe_bits
+        result.window = base.window
+        result.model = base.model
+        result.counter_type = base.counter_type
+        result.seed = base.seed
+        result.stream_tag = base.stream_tag
+        result._levels = [
+            ECMSketch.aggregate([stack._levels[level] for stack in stacks], epsilon_prime)
+            for level in range(base.universe_bits)
+        ]
+        result._total_arrivals = sum(stack._total_arrivals for stack in stacks)
+        clocks = [stack._last_clock for stack in stacks if stack._last_clock is not None]
+        result._last_clock = max(clocks) if clocks else None
+        return result
+
+    # ---------------------------------------------------------------- sizing
+    def total_arrivals(self) -> int:
+        """Exact total weight added to the stack."""
+        return self._total_arrivals
+
+    def memory_bytes(self) -> int:
+        """Analytical footprint: sum over the per-level sketches."""
+        return sum(level.memory_bytes() for level in self._levels)
+
+    def level_sketch(self, level: int) -> ECMSketch:
+        """Direct access to the sketch maintaining ranges of length ``2**level``."""
+        return self._levels[level]
+
+    def __repr__(self) -> str:
+        return (
+            "HierarchicalECMSketch(universe_bits=%d, levels=%d, window=%g, counter=%s)"
+            % (self.universe_bits, len(self._levels), self.window, self.counter_type.value)
+        )

@@ -1,0 +1,24 @@
+"""Stream abstractions and synthetic workload generators."""
+
+from .generators import (
+    SnmpSyntheticTrace,
+    SyntheticTraceConfig,
+    UniformTrace,
+    WorldCupSyntheticTrace,
+    ZipfSampler,
+    generate_arrival_times,
+    make_trace,
+)
+from .stream import Stream, StreamRecord
+
+__all__ = [
+    "Stream",
+    "StreamRecord",
+    "ZipfSampler",
+    "generate_arrival_times",
+    "SyntheticTraceConfig",
+    "WorldCupSyntheticTrace",
+    "SnmpSyntheticTrace",
+    "UniformTrace",
+    "make_trace",
+]

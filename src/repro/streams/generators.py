@@ -1,0 +1,300 @@
+"""Synthetic workload generators standing in for the paper's real traces.
+
+The paper evaluates ECM-sketches on two real data sets we cannot ship:
+
+* **WorldCup'98** — 1.089 billion HTTP requests to 33 mirrored web servers,
+  keyed by web-page URL;
+* **CRAWDAD SNMP Fall'03/04** — 134 million SNMP records from 535 wireless
+  access points at Dartmouth, keyed by client MAC address.
+
+What the experiments actually depend on is (a) heavy-tailed key popularity,
+(b) in-order, roughly Poisson arrivals with mild diurnal modulation, and
+(c) a partitioning of the arrivals across a known set of observation nodes.
+The generators in this module reproduce those properties with configurable
+scale; see DESIGN.md for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import Hashable, List, Optional, Sequence
+
+from ..core.errors import ConfigurationError
+from .stream import Stream, StreamRecord
+
+__all__ = [
+    "ZipfSampler",
+    "generate_arrival_times",
+    "SyntheticTraceConfig",
+    "WorldCupSyntheticTrace",
+    "SnmpSyntheticTrace",
+    "UniformTrace",
+    "make_trace",
+]
+
+
+class ZipfSampler:
+    """Bounded Zipf(s) sampler over ``{0, ..., domain_size - 1}``.
+
+    Rank ``r`` (1-based) is drawn with probability proportional to
+    ``1 / r**exponent``.  The cumulative distribution is precomputed so each
+    draw is a binary search — fast enough for multi-million record traces.
+    """
+
+    def __init__(self, domain_size: int, exponent: float, seed: int = 0) -> None:
+        if domain_size <= 0:
+            raise ConfigurationError("domain_size must be positive, got %r" % (domain_size,))
+        if exponent < 0:
+            raise ConfigurationError("exponent must be non-negative, got %r" % (exponent,))
+        self.domain_size = domain_size
+        self.exponent = exponent
+        self._rng = random.Random(seed)
+        weights = [1.0 / ((rank + 1) ** exponent) for rank in range(domain_size)]
+        total = sum(weights)
+        cumulative: List[float] = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            cumulative.append(running)
+        cumulative[-1] = 1.0
+        self._cumulative = cumulative
+
+    def sample(self) -> int:
+        """Draw one rank index in ``[0, domain_size)``."""
+        u = self._rng.random()
+        return bisect.bisect_left(self._cumulative, u)
+
+    def sample_many(self, count: int) -> List[int]:
+        """Draw ``count`` independent rank indices."""
+        return [self.sample() for _ in range(count)]
+
+    def probability(self, rank_index: int) -> float:
+        """Probability mass of rank ``rank_index`` (0-based)."""
+        if rank_index < 0 or rank_index >= self.domain_size:
+            return 0.0
+        previous = self._cumulative[rank_index - 1] if rank_index > 0 else 0.0
+        return self._cumulative[rank_index] - previous
+
+
+def generate_arrival_times(
+    num_records: int,
+    duration: float,
+    seed: int = 0,
+    diurnal_amplitude: float = 0.6,
+) -> List[float]:
+    """Monotone arrival timestamps over ``[0, duration]`` with diurnal modulation.
+
+    Arrivals follow a non-homogeneous Poisson-like process whose intensity is
+    ``1 + diurnal_amplitude * sin(2*pi*t / 86400)``; times are drawn by
+    inverse-transform sampling of the integrated intensity and then sorted, so
+    the output is always in order regardless of the modulation.
+    """
+    if num_records < 0:
+        raise ConfigurationError("num_records must be non-negative")
+    if duration <= 0:
+        raise ConfigurationError("duration must be positive")
+    if not (0.0 <= diurnal_amplitude < 1.0):
+        raise ConfigurationError("diurnal_amplitude must be in [0, 1)")
+    rng = random.Random(seed)
+    day = 86400.0
+    times: List[float] = []
+    for _ in range(num_records):
+        # Rejection sampling against the diurnal intensity envelope.
+        while True:
+            candidate = rng.random() * duration
+            intensity = 1.0 + diurnal_amplitude * math.sin(2.0 * math.pi * candidate / day)
+            if rng.random() * (1.0 + diurnal_amplitude) <= intensity:
+                times.append(candidate)
+                break
+    times.sort()
+    return times
+
+
+class SyntheticTraceConfig:
+    """Shared knobs of the synthetic trace generators."""
+
+    def __init__(
+        self,
+        num_records: int,
+        num_nodes: int,
+        domain_size: int,
+        zipf_exponent: float,
+        duration: float,
+        seed: int = 0,
+    ) -> None:
+        if num_records < 0:
+            raise ConfigurationError("num_records must be non-negative")
+        if num_nodes <= 0:
+            raise ConfigurationError("num_nodes must be positive")
+        if domain_size <= 0:
+            raise ConfigurationError("domain_size must be positive")
+        if duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        self.num_records = num_records
+        self.num_nodes = num_nodes
+        self.domain_size = domain_size
+        self.zipf_exponent = zipf_exponent
+        self.duration = duration
+        self.seed = seed
+
+
+class WorldCupSyntheticTrace:
+    """Synthetic stand-in for the WorldCup'98 HTTP request trace.
+
+    Keys are web-page identifiers (``"/page/<rank>"``) with Zipf(1.1)
+    popularity; each request is served by one of ``num_nodes`` mirrors chosen
+    with a mild skew (popular mirrors take more traffic, as in the real
+    deployment).
+    """
+
+    def __init__(
+        self,
+        num_records: int = 50_000,
+        num_nodes: int = 33,
+        domain_size: int = 2_000,
+        zipf_exponent: float = 1.1,
+        duration: float = 1_000_000.0,
+        seed: int = 7,
+    ) -> None:
+        self.config = SyntheticTraceConfig(
+            num_records=num_records,
+            num_nodes=num_nodes,
+            domain_size=domain_size,
+            zipf_exponent=zipf_exponent,
+            duration=duration,
+            seed=seed,
+        )
+
+    def key_for(self, rank_index: int) -> Hashable:
+        """Key string of popularity rank ``rank_index``."""
+        return "/page/%05d" % rank_index
+
+    def generate(self) -> Stream:
+        """Materialise the trace as a :class:`~repro.streams.stream.Stream`."""
+        cfg = self.config
+        key_sampler = ZipfSampler(cfg.domain_size, cfg.zipf_exponent, seed=cfg.seed)
+        node_sampler = ZipfSampler(cfg.num_nodes, 0.3, seed=cfg.seed + 1)
+        times = generate_arrival_times(cfg.num_records, cfg.duration, seed=cfg.seed + 2)
+        records = [
+            StreamRecord(
+                timestamp=timestamp,
+                key=self.key_for(key_sampler.sample()),
+                node=node_sampler.sample(),
+            )
+            for timestamp in times
+        ]
+        return Stream(records, name="wc98-synthetic")
+
+
+class SnmpSyntheticTrace:
+    """Synthetic stand-in for the CRAWDAD SNMP Fall'03/04 trace.
+
+    Keys are anonymised MAC addresses with Zipf(0.9) activity; each client has
+    a "home" access point that observes most of its records (clients roam with
+    probability ``roaming_probability``), matching the locality of the real
+    wireless trace.
+    """
+
+    def __init__(
+        self,
+        num_records: int = 50_000,
+        num_nodes: int = 535,
+        domain_size: int = 3_000,
+        zipf_exponent: float = 0.9,
+        duration: float = 1_000_000.0,
+        roaming_probability: float = 0.2,
+        seed: int = 11,
+    ) -> None:
+        if not (0.0 <= roaming_probability <= 1.0):
+            raise ConfigurationError("roaming_probability must be in [0, 1]")
+        self.roaming_probability = roaming_probability
+        self.config = SyntheticTraceConfig(
+            num_records=num_records,
+            num_nodes=num_nodes,
+            domain_size=domain_size,
+            zipf_exponent=zipf_exponent,
+            duration=duration,
+            seed=seed,
+        )
+
+    def key_for(self, rank_index: int) -> Hashable:
+        """Pseudo MAC-address string for client of popularity rank ``rank_index``."""
+        return "02:%02x:%02x:%02x:%02x:%02x" % (
+            (rank_index >> 24) & 0xFF,
+            (rank_index >> 16) & 0xFF,
+            (rank_index >> 8) & 0xFF,
+            rank_index & 0xFF,
+            0xAB,
+        )
+
+    def generate(self) -> Stream:
+        """Materialise the trace as a :class:`~repro.streams.stream.Stream`."""
+        cfg = self.config
+        rng = random.Random(cfg.seed + 3)
+        key_sampler = ZipfSampler(cfg.domain_size, cfg.zipf_exponent, seed=cfg.seed)
+        home_ap = {
+            rank: rng.randrange(cfg.num_nodes) for rank in range(cfg.domain_size)
+        }
+        times = generate_arrival_times(cfg.num_records, cfg.duration, seed=cfg.seed + 2)
+        records: List[StreamRecord] = []
+        for timestamp in times:
+            rank = key_sampler.sample()
+            if rng.random() < self.roaming_probability:
+                node = rng.randrange(cfg.num_nodes)
+            else:
+                node = home_ap[rank]
+            records.append(
+                StreamRecord(timestamp=timestamp, key=self.key_for(rank), node=node)
+            )
+        return Stream(records, name="snmp-synthetic")
+
+
+class UniformTrace:
+    """Uniform-popularity trace used by property tests and micro-benchmarks."""
+
+    def __init__(
+        self,
+        num_records: int = 10_000,
+        num_nodes: int = 4,
+        domain_size: int = 100,
+        duration: float = 100_000.0,
+        seed: int = 3,
+    ) -> None:
+        self.config = SyntheticTraceConfig(
+            num_records=num_records,
+            num_nodes=num_nodes,
+            domain_size=domain_size,
+            zipf_exponent=0.0,
+            duration=duration,
+            seed=seed,
+        )
+
+    def generate(self) -> Stream:
+        """Materialise the trace as a :class:`~repro.streams.stream.Stream`."""
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        times = generate_arrival_times(cfg.num_records, cfg.duration, seed=cfg.seed + 2,
+                                       diurnal_amplitude=0.0)
+        records = [
+            StreamRecord(
+                timestamp=timestamp,
+                key="item-%d" % rng.randrange(cfg.domain_size),
+                node=rng.randrange(cfg.num_nodes),
+            )
+            for timestamp in times
+        ]
+        return Stream(records, name="uniform")
+
+
+def make_trace(name: str, **overrides: object) -> Stream:
+    """Factory: build a named trace ("wc98", "snmp" or "uniform")."""
+    name = name.lower()
+    if name in ("wc98", "worldcup", "worldcup98"):
+        return WorldCupSyntheticTrace(**overrides).generate()  # type: ignore[arg-type]
+    if name == "snmp":
+        return SnmpSyntheticTrace(**overrides).generate()  # type: ignore[arg-type]
+    if name == "uniform":
+        return UniformTrace(**overrides).generate()  # type: ignore[arg-type]
+    raise ConfigurationError("unknown trace name %r" % (name,))

@@ -1,0 +1,168 @@
+"""Stream abstractions shared by the examples, experiments and tests.
+
+A *stream* is an ordered sequence of :class:`StreamRecord` items: each record
+carries an arrival timestamp, a key (the high-dimensional attribute being
+counted — a web-page URL, an IP address, a MAC address, ...) and the
+identifier of the node that observed it.  The distributed experiments
+partition one logical stream into per-node substreams, and the
+order-preserving aggregation ``S_1 (+) ... (+) S_n`` is by definition the
+original stream again — which is exactly what lets us measure the accuracy of
+aggregated ECM-sketches against a single exact baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["StreamRecord", "Stream"]
+
+
+@dataclass(frozen=True)
+class StreamRecord:
+    """A single arrival.
+
+    Attributes:
+        timestamp: Arrival time in seconds (monotone within a stream).
+        key: The item identifier being counted.
+        node: Identifier of the site that observed the arrival.
+        value: Arrival weight (1 for plain arrivals, larger under the
+            cash-register model).
+    """
+
+    timestamp: float
+    key: Hashable
+    node: int = 0
+    value: int = 1
+
+
+class Stream:
+    """An immutable, time-ordered sequence of :class:`StreamRecord` items."""
+
+    def __init__(self, records: Sequence[StreamRecord], name: str = "stream") -> None:
+        self._records: List[StreamRecord] = sorted(records, key=lambda r: r.timestamp)
+        self.name = name
+
+    # ------------------------------------------------------------- sequence
+    def __iter__(self) -> Iterator[StreamRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, index: int) -> StreamRecord:
+        return self._records[index]
+
+    @property
+    def records(self) -> Sequence[StreamRecord]:
+        """The underlying record list (time-ordered)."""
+        return tuple(self._records)
+
+    def is_empty(self) -> bool:
+        """True when the stream carries no records."""
+        return not self._records
+
+    # ------------------------------------------------------------- metadata
+    def keys(self) -> List[Hashable]:
+        """Distinct keys appearing anywhere in the stream."""
+        seen = {}
+        for record in self._records:
+            seen.setdefault(record.key, None)
+        return list(seen.keys())
+
+    def nodes(self) -> List[int]:
+        """Distinct node identifiers appearing in the stream."""
+        seen = {}
+        for record in self._records:
+            seen.setdefault(record.node, None)
+        return list(seen.keys())
+
+    def start_time(self) -> float:
+        """Timestamp of the first record."""
+        if not self._records:
+            raise ConfigurationError("empty stream has no start time")
+        return self._records[0].timestamp
+
+    def end_time(self) -> float:
+        """Timestamp of the last record."""
+        if not self._records:
+            raise ConfigurationError("empty stream has no end time")
+        return self._records[-1].timestamp
+
+    def duration(self) -> float:
+        """Time span covered by the stream."""
+        return self.end_time() - self.start_time()
+
+    def total_arrivals(self) -> int:
+        """Sum of record values."""
+        return sum(record.value for record in self._records)
+
+    # ---------------------------------------------------------- partitioning
+    def partition_by_node(self) -> Dict[int, "Stream"]:
+        """Split into per-node substreams keyed by node identifier."""
+        groups: Dict[int, List[StreamRecord]] = {}
+        for record in self._records:
+            groups.setdefault(record.node, []).append(record)
+        return {
+            node: Stream(records, name="%s[node=%d]" % (self.name, node))
+            for node, records in groups.items()
+        }
+
+    def reassign_round_robin(self, num_nodes: int) -> "Stream":
+        """Return a copy whose records are spread uniformly over ``num_nodes``.
+
+        Used by the artificial-network experiment (Figure 6), where the paper
+        divides the requests uniformly across 1..256 nodes regardless of the
+        original server assignment.
+        """
+        if num_nodes <= 0:
+            raise ConfigurationError("num_nodes must be positive, got %r" % (num_nodes,))
+        reassigned = [
+            StreamRecord(
+                timestamp=record.timestamp,
+                key=record.key,
+                node=index % num_nodes,
+                value=record.value,
+            )
+            for index, record in enumerate(self._records)
+        ]
+        return Stream(reassigned, name="%s[rr%d]" % (self.name, num_nodes))
+
+    def filter(self, predicate: Callable[[StreamRecord], bool]) -> "Stream":
+        """A new stream containing only the records matching ``predicate``."""
+        return Stream([r for r in self._records if predicate(r)], name="%s[filtered]" % self.name)
+
+    def tail(self, range_length: float, now: Optional[float] = None) -> "Stream":
+        """Records within the last ``range_length`` seconds (a sliding-window view)."""
+        if now is None:
+            now = self.end_time()
+        start = now - range_length
+        return Stream(
+            [r for r in self._records if start < r.timestamp <= now],
+            name="%s[tail]" % self.name,
+        )
+
+    def head(self, count: int) -> "Stream":
+        """The first ``count`` records."""
+        return Stream(self._records[:count], name="%s[head]" % self.name)
+
+    # ----------------------------------------------------------- statistics
+    def key_frequencies(self) -> Dict[Hashable, int]:
+        """Exact key frequencies over the whole stream."""
+        frequencies: Dict[Hashable, int] = {}
+        for record in self._records:
+            frequencies[record.key] = frequencies.get(record.key, 0) + record.value
+        return frequencies
+
+    @classmethod
+    def concatenate(cls, streams: Iterable["Stream"], name: str = "union") -> "Stream":
+        """Order-preserving union of several streams (the paper's ``(+)``)."""
+        records: List[StreamRecord] = []
+        for stream in streams:
+            records.extend(stream.records)
+        return cls(records, name=name)
+
+    def __repr__(self) -> str:
+        return "Stream(name=%r, records=%d)" % (self.name, len(self._records))

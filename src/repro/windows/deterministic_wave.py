@@ -1,0 +1,161 @@
+"""Deterministic waves (Gibbons & Tirthapura; SPAA 2002).
+
+A deterministic wave solves the same basic-counting problem as the exponential
+histogram and with the same asymptotic space, but organises its state as
+*levels of rank checkpoints* instead of buckets, which gives it a constant
+worst-case (not only amortised) update cost.
+
+Level ``i`` records the clock value of every arrival whose rank (1-based count
+of arrivals since the beginning of the stream) is a multiple of ``2**i``.
+Each level retains only its most recent ``ceil(2/epsilon) + 1`` checkpoints,
+so the retained checkpoints of all levels together form the characteristic
+"wave" shape.  A query for a range starting at clock ``s`` walks the levels
+bottom-up and finds the retained checkpoint with the smallest rank whose clock
+is newer than ``s``; the answer ``total_rank - rank + 1`` then over-counts by
+less than ``2**i`` where ``i`` is the level that supplied the checkpoint,
+which the retention policy keeps below ``epsilon`` times the true answer.
+
+Unlike exponential histograms, waves must know an upper bound ``max_arrivals``
+on the number of arrivals per window when they are created (to size the number
+of levels) — exactly the ``u(N, S)`` requirement discussed in Section 4.2.2 of
+the ECM-sketch paper.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from ..core.errors import ConfigurationError
+from .base import SlidingWindowCounter, WindowModel, validate_epsilon
+
+__all__ = ["WaveCheckpoint", "DeterministicWave"]
+
+_FIELD_BITS = 32
+
+
+@dataclass(frozen=True)
+class WaveCheckpoint:
+    """A (clock, rank) checkpoint stored in one wave level."""
+
+    clock: float
+    rank: int
+
+
+class DeterministicWave(SlidingWindowCounter):
+    """Deterministic epsilon-approximate sliding-window counter.
+
+    Args:
+        epsilon: Target relative error, in ``(0, 1)``.
+        window: Sliding-window length ``N``.
+        max_arrivals: Upper bound ``u(N, S)`` on the number of arrivals that
+            can fall inside one window.  Over-estimating it only grows the
+            structure logarithmically; under-estimating it degrades accuracy
+            for ranges that contain more arrivals than the bound.
+        model: Time-based or count-based window model.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        window: float,
+        max_arrivals: int,
+        model: WindowModel = WindowModel.TIME_BASED,
+    ) -> None:
+        super().__init__(window=window, model=model)
+        self.epsilon = validate_epsilon(epsilon)
+        if max_arrivals <= 0:
+            raise ConfigurationError("max_arrivals must be positive, got %r" % (max_arrivals,))
+        self.max_arrivals = int(max_arrivals)
+        #: Checkpoints retained per level (2/epsilon + 1 gives the epsilon bound).
+        self.per_level = int(math.ceil(2.0 / self.epsilon)) + 1
+        #: Number of levels: enough for ranks up to epsilon * max_arrivals per step.
+        self.num_levels = max(1, int(math.ceil(math.log2(max(2.0, self.epsilon * self.max_arrivals)))) + 1)
+        self._levels: List[Deque[WaveCheckpoint]] = [deque() for _ in range(self.num_levels)]
+        self._total_arrivals = 0
+
+    # ----------------------------------------------------------------- adds
+    def add(self, clock: float, count: int = 1) -> None:
+        """Register ``count`` unit arrivals at clock value ``clock``."""
+        if count < 0:
+            raise ConfigurationError("count must be non-negative, got %r" % (count,))
+        if count == 0:
+            return
+        self._advance_clock(clock)
+        for _ in range(count):
+            self._total_arrivals += 1
+            rank = self._total_arrivals
+            self._record(clock, rank)
+        self._expire(clock)
+
+    def _record(self, clock: float, rank: int) -> None:
+        """Store the checkpoint on every level whose stride divides the rank."""
+        level = 0
+        stride = 1
+        while level < self.num_levels and rank % stride == 0:
+            bucket = self._levels[level]
+            bucket.append(WaveCheckpoint(clock=clock, rank=rank))
+            if len(bucket) > self.per_level:
+                bucket.popleft()
+            level += 1
+            stride <<= 1
+
+    # --------------------------------------------------------------- expiry
+    def _expire(self, now: float) -> None:
+        threshold = now - self.window
+        for level in self._levels:
+            while level and level[0].clock <= threshold:
+                level.popleft()
+
+    def expire(self, now: float) -> None:
+        """Drop checkpoints that have left the window ``(now - N, now]``."""
+        self._expire(now)
+
+    # -------------------------------------------------------------- queries
+    def estimate(self, range_length: Optional[float] = None, now: Optional[float] = None) -> float:
+        """Estimate the number of arrivals in the last ``range_length`` clock units."""
+        start, _end = self.resolve_query_bounds(range_length, now)
+        best_rank: Optional[int] = None
+        for level in self._levels:
+            for checkpoint in level:
+                if checkpoint.clock > start:
+                    if best_rank is None or checkpoint.rank < best_rank:
+                        best_rank = checkpoint.rank
+                    break  # checkpoints are rank- and clock-ordered within a level
+        if best_rank is None:
+            return 0.0
+        return float(self._total_arrivals - best_rank + 1)
+
+    def total_arrivals(self) -> int:
+        """Exact number of arrivals registered since construction."""
+        return self._total_arrivals
+
+    # ------------------------------------------------------------ structure
+    def checkpoint_count(self) -> int:
+        """Total number of retained checkpoints across all levels."""
+        return sum(len(level) for level in self._levels)
+
+    def levels_snapshot(self) -> List[List[WaveCheckpoint]]:
+        """A copy of the retained checkpoints, level by level (oldest first)."""
+        return [list(level) for level in self._levels]
+
+    # --------------------------------------------------------------- memory
+    def memory_bytes(self) -> int:
+        """Analytical footprint: one clock and one rank per checkpoint."""
+        per_checkpoint_bits = 2 * _FIELD_BITS
+        overhead_bits = 3 * _FIELD_BITS  # window, arrival counter, level count
+        return (self.checkpoint_count() * per_checkpoint_bits + overhead_bits) // 8
+
+    def memory_bytes_worst_case(self) -> int:
+        """Worst-case footprint with every level full (used for a-priori sizing)."""
+        per_checkpoint_bits = 2 * _FIELD_BITS
+        overhead_bits = 3 * _FIELD_BITS
+        return (self.num_levels * self.per_level * per_checkpoint_bits + overhead_bits) // 8
+
+    def __repr__(self) -> str:
+        return (
+            "DeterministicWave(epsilon=%g, window=%g, levels=%d, per_level=%d)"
+            % (self.epsilon, self.window, self.num_levels, self.per_level)
+        )

@@ -1,0 +1,78 @@
+"""Exact sliding-window counter used as ground truth in tests and experiments.
+
+The exact counter simply stores every arrival clock in a deque and answers
+queries by counting.  Its purpose is purely evaluative: every observed-error
+figure in the paper's experiments compares a synopsis estimate against the
+exact count of the same range, and this class provides that reference answer.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import deque
+from typing import Deque, Optional
+
+from ..core.errors import ConfigurationError
+from .base import SlidingWindowCounter, WindowModel
+
+__all__ = ["ExactWindowCounter"]
+
+_FIELD_BITS = 32
+
+
+class ExactWindowCounter(SlidingWindowCounter):
+    """Stores every in-window arrival clock and answers queries exactly.
+
+    Args:
+        window: Sliding-window length ``N``.
+        model: Time-based or count-based window model (only affects metadata).
+    """
+
+    def __init__(self, window: float, model: WindowModel = WindowModel.TIME_BASED) -> None:
+        super().__init__(window=window, model=model)
+        self._clocks: Deque[float] = deque()
+        self._total_arrivals = 0
+
+    def add(self, clock: float, count: int = 1) -> None:
+        """Register ``count`` unit arrivals at clock value ``clock``."""
+        if count < 0:
+            raise ConfigurationError("count must be non-negative, got %r" % (count,))
+        if count == 0:
+            return
+        self._advance_clock(clock)
+        self._total_arrivals += count
+        for _ in range(count):
+            self._clocks.append(clock)
+        self._expire(clock)
+
+    def _expire(self, now: float) -> None:
+        threshold = now - self.window
+        while self._clocks and self._clocks[0] <= threshold:
+            self._clocks.popleft()
+
+    def expire(self, now: float) -> None:
+        """Drop arrivals that have left the window ``(now - N, now]``."""
+        self._expire(now)
+
+    def estimate(self, range_length: Optional[float] = None, now: Optional[float] = None) -> float:
+        """Exact number of arrivals within the last ``range_length`` clock units."""
+        start, _end = self.resolve_query_bounds(range_length, now)
+        # The deque is sorted (in-order arrivals), so binary search the start.
+        clocks = list(self._clocks)
+        idx = bisect_right(clocks, start)
+        return float(len(clocks) - idx)
+
+    def total_arrivals(self) -> int:
+        """Exact number of arrivals registered since construction."""
+        return self._total_arrivals
+
+    def in_window_count(self) -> int:
+        """Number of arrivals currently retained (i.e. inside the window)."""
+        return len(self._clocks)
+
+    def memory_bytes(self) -> int:
+        """Analytical footprint: one clock per retained arrival."""
+        return (len(self._clocks) * _FIELD_BITS + 2 * _FIELD_BITS) // 8
+
+    def __repr__(self) -> str:
+        return "ExactWindowCounter(window=%g, retained=%d)" % (self.window, len(self._clocks))

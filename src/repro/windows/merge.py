@@ -1,0 +1,225 @@
+"""Order-preserving aggregation of sliding-window synopses (paper Section 5).
+
+The paper's second major contribution is an algorithm that combines *n*
+deterministic sliding-window synopses — each summarising one local stream —
+into a single synopsis of the order-preserving union stream
+``S_plus = S_1 (+) S_2 (+) ... (+) S_n``, something previously possible only
+with randomized (and therefore much larger) structures.
+
+For exponential histograms the algorithm treats every input bucket as a tiny
+log: a bucket of size ``|b|`` spanning ``[s(b), e(b)]`` is replayed as
+``|b|/2`` arrivals at ``s(b)`` and ``|b|/2`` arrivals at ``e(b)``.  Replaying
+all buckets of all inputs in timestamp order into a fresh exponential
+histogram with error parameter ``epsilon_prime`` produces an aggregate whose
+relative error is at most ``epsilon + epsilon_prime + epsilon*epsilon_prime``
+(Theorem 4).  The same replay idea extends to deterministic waves, whose
+checkpoints delimit runs of arrivals with exactly known sizes.
+
+Count-based synopses cannot be aggregated this way (the ordering of the
+"false bits" between arrivals is lost — Figure 2 of the paper); attempting to
+do so raises :class:`~repro.core.errors.WindowModelError`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.errors import ConfigurationError, IncompatibleSketchError, WindowModelError
+from .base import WindowModel
+from .deterministic_wave import DeterministicWave
+from .exponential_histogram import ExponentialHistogram
+
+__all__ = [
+    "aggregated_error",
+    "multi_level_error",
+    "epsilon_for_levels",
+    "bucket_replay_events",
+    "wave_replay_events",
+    "merge_exponential_histograms",
+    "merge_deterministic_waves",
+]
+
+ReplayEvent = Tuple[float, int]
+
+
+# --------------------------------------------------------------------- errors
+def aggregated_error(epsilon: float, epsilon_prime: float) -> float:
+    """Worst-case relative error after one aggregation step (Theorem 4).
+
+    ``epsilon`` is the error of the input synopses, ``epsilon_prime`` the
+    error parameter of the aggregate synopsis.
+    """
+    return epsilon + epsilon_prime + epsilon * epsilon_prime
+
+
+def multi_level_error(epsilon: float, levels: int) -> float:
+    """Worst-case relative error after ``levels`` levels of aggregation.
+
+    Follows the paper's hierarchical analysis: ``err <= h*eps*(1+eps) + eps``
+    for a hierarchy of height ``h`` whose synopses all use error ``eps``.
+    """
+    if levels < 0:
+        raise ConfigurationError("levels must be non-negative, got %r" % (levels,))
+    return levels * epsilon * (1.0 + epsilon) + epsilon
+
+
+def epsilon_for_levels(target_epsilon: float, levels: int) -> float:
+    """Per-synopsis error so that ``levels`` aggregation levels meet a target.
+
+    Inverts :func:`multi_level_error`; the closed form is the paper's
+    ``(sqrt(1 + 2h + h**2 + 4*h*eps) - 1 - h) / (2h)`` expression.  With
+    ``levels == 0`` the target itself is returned.
+    """
+    if target_epsilon <= 0:
+        raise ConfigurationError("target_epsilon must be positive")
+    if levels < 0:
+        raise ConfigurationError("levels must be non-negative, got %r" % (levels,))
+    if levels == 0:
+        return target_epsilon
+    h = float(levels)
+    return (math.sqrt(1.0 + 2.0 * h + h * h + 4.0 * h * target_epsilon) - 1.0 - h) / (2.0 * h)
+
+
+# --------------------------------------------------------------------- replay
+def bucket_replay_events(histogram: ExponentialHistogram) -> List[ReplayEvent]:
+    """Replay events for one exponential histogram.
+
+    Every bucket of size ``c`` contributes ``floor(c/2)`` arrivals at its start
+    timestamp and ``ceil(c/2)`` arrivals at its end timestamp, per the paper's
+    aggregation algorithm.
+
+    Returns:
+        A list of ``(clock, count)`` events, not yet sorted.
+    """
+    events: List[ReplayEvent] = []
+    for bucket in histogram.iter_buckets():
+        half_low = bucket.size // 2
+        half_high = bucket.size - half_low
+        if half_low:
+            events.append((bucket.start, half_low))
+        if half_high:
+            events.append((bucket.end, half_high))
+    return events
+
+
+def wave_replay_events(wave: DeterministicWave) -> List[ReplayEvent]:
+    """Replay events for one deterministic wave.
+
+    The retained checkpoints, ordered by rank, delimit runs of arrivals whose
+    exact size is the rank difference; each run is replayed half at the clock
+    of its older delimiter and half at the clock of its newer delimiter —
+    the same halving strategy used for exponential-histogram buckets.
+    """
+    checkpoints = {}
+    for level in wave.levels_snapshot():
+        for checkpoint in level:
+            checkpoints[checkpoint.rank] = checkpoint.clock
+    if not checkpoints:
+        return []
+    ordered = sorted(checkpoints.items())
+    events: List[ReplayEvent] = []
+    first_rank, first_clock = ordered[0]
+    # Arrivals up to and including the oldest retained checkpoint are replayed
+    # at its clock; anything older has already left every window of interest.
+    events.append((first_clock, 1))
+    previous_rank, previous_clock = first_rank, first_clock
+    for rank, clock in ordered[1:]:
+        gap = rank - previous_rank
+        half_low = gap // 2
+        half_high = gap - half_low
+        if half_low:
+            events.append((previous_clock, half_low))
+        if half_high:
+            events.append((clock, half_high))
+        previous_rank, previous_clock = rank, clock
+    return events
+
+
+def _validate_time_based(
+    synopses: Sequence, expected_window: Optional[float] = None
+) -> float:
+    """Shared validation for order-preserving aggregation inputs."""
+    if not synopses:
+        raise ConfigurationError("cannot aggregate an empty collection of synopses")
+    window = expected_window
+    for synopsis in synopses:
+        if synopsis.model is not WindowModel.TIME_BASED:
+            raise WindowModelError(
+                "order-preserving aggregation is only defined for time-based "
+                "sliding windows (paper Section 5.1, Figure 2)"
+            )
+        if window is None:
+            window = synopsis.window
+        elif synopsis.window != window:
+            raise IncompatibleSketchError(
+                "all synopses must cover the same window length; got %r and %r"
+                % (window, synopsis.window)
+            )
+    assert window is not None
+    return window
+
+
+# ---------------------------------------------------------------------- merge
+def merge_exponential_histograms(
+    histograms: Sequence[ExponentialHistogram],
+    epsilon_prime: Optional[float] = None,
+) -> ExponentialHistogram:
+    """Aggregate time-based exponential histograms into one (paper Section 5.1).
+
+    Args:
+        histograms: The input histograms.  They must all be time-based and
+            cover the same window length.
+        epsilon_prime: Error parameter of the aggregate histogram.  Defaults
+            to the error parameter of the first input, which yields the
+            ``2*eps + eps**2`` special case of Theorem 4.
+
+    Returns:
+        A new :class:`ExponentialHistogram` summarising the order-preserving
+        union of the input streams.
+    """
+    window = _validate_time_based(histograms)
+    if epsilon_prime is None:
+        epsilon_prime = histograms[0].epsilon
+    merged = ExponentialHistogram(
+        epsilon=epsilon_prime, window=window, model=WindowModel.TIME_BASED
+    )
+    events: List[ReplayEvent] = []
+    for histogram in histograms:
+        events.extend(bucket_replay_events(histogram))
+    events.sort(key=lambda event: event[0])
+    for clock, count in events:
+        merged.add(clock, count)
+    return merged
+
+
+def merge_deterministic_waves(
+    waves: Sequence[DeterministicWave],
+    epsilon_prime: Optional[float] = None,
+    max_arrivals: Optional[int] = None,
+) -> DeterministicWave:
+    """Aggregate time-based deterministic waves into one wave.
+
+    Mirrors :func:`merge_exponential_histograms` using checkpoint-delimited
+    replay events.  ``max_arrivals`` of the aggregate defaults to the sum of
+    the inputs' bounds (the union stream can carry at most that many arrivals
+    per window).
+    """
+    window = _validate_time_based(waves)
+    if epsilon_prime is None:
+        epsilon_prime = waves[0].epsilon
+    if max_arrivals is None:
+        max_arrivals = sum(wave.max_arrivals for wave in waves)
+    merged = DeterministicWave(
+        epsilon=epsilon_prime,
+        window=window,
+        max_arrivals=max_arrivals,
+        model=WindowModel.TIME_BASED,
+    )
+    events: List[ReplayEvent] = []
+    for wave in waves:
+        events.extend(wave_replay_events(wave))
+    events.sort(key=lambda event: event[0])
+    for clock, count in events:
+        merged.add(clock, count)
+    return merged

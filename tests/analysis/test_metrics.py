@@ -1,0 +1,123 @@
+"""Unit tests for the observed-error metrics harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ErrorSummary,
+    evaluate_point_queries,
+    evaluate_self_join_queries,
+    exponential_query_ranges,
+    point_query_errors,
+    self_join_error,
+)
+from repro.baselines import ExactStreamSummary
+from repro.core import ECMSketch
+from repro.core.errors import ConfigurationError
+
+
+WINDOW = 100_000.0
+
+
+@pytest.fixture(scope="module")
+def sketch_and_exact(wc98_trace):
+    sketch = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=WINDOW)
+    exact = ExactStreamSummary(window=WINDOW)
+    for record in wc98_trace:
+        sketch.add(record.key, record.timestamp, record.value)
+        exact.add(record.key, record.timestamp, record.value)
+    return sketch, exact, wc98_trace.end_time()
+
+
+class TestErrorSummary:
+    def test_from_errors(self):
+        summary = ErrorSummary.from_errors([0.1, 0.2, 0.3])
+        assert summary.average == pytest.approx(0.2)
+        assert summary.maximum == 0.3
+        assert summary.count == 3
+
+    def test_empty(self):
+        summary = ErrorSummary.from_errors([])
+        assert summary.average == 0.0
+        assert summary.maximum == 0.0
+        assert summary.count == 0
+
+    def test_merge(self):
+        a = ErrorSummary.from_errors([0.1, 0.1])
+        b = ErrorSummary.from_errors([0.4])
+        merged = a.merge(b)
+        assert merged.count == 3
+        assert merged.average == pytest.approx(0.2)
+        assert merged.maximum == 0.4
+
+    def test_merge_empty(self):
+        merged = ErrorSummary.from_errors([]).merge(ErrorSummary.from_errors([]))
+        assert merged.count == 0
+
+
+class TestQueryRanges:
+    def test_exponential_ranges(self):
+        ranges = exponential_query_ranges(1_000_000.0)
+        assert ranges == [10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0]
+
+    def test_window_always_included(self):
+        ranges = exponential_query_ranges(5_000.0)
+        assert ranges[-1] == 5_000.0
+        assert all(r <= 5_000.0 for r in ranges)
+
+    def test_custom_base(self):
+        ranges = exponential_query_ranges(64.0, base=2.0, start_exponent=0)
+        assert ranges[0] == 1.0
+        assert ranges[-1] == 64.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            exponential_query_ranges(0)
+        with pytest.raises(ConfigurationError):
+            exponential_query_ranges(100, base=1.0)
+
+
+class TestObservedErrors:
+    def test_point_query_errors_below_epsilon(self, sketch_and_exact):
+        sketch, exact, now = sketch_and_exact
+        errors = point_query_errors(sketch, exact, range_length=WINDOW, now=now)
+        assert errors
+        assert max(errors) <= 0.1
+        assert len(errors) == len(exact.frequencies_in_range(WINDOW, now))
+
+    def test_max_keys_cap(self, sketch_and_exact):
+        sketch, exact, now = sketch_and_exact
+        errors = point_query_errors(sketch, exact, range_length=WINDOW, now=now, max_keys=10)
+        assert len(errors) == 10
+
+    def test_explicit_keys(self, sketch_and_exact):
+        sketch, exact, now = sketch_and_exact
+        keys = list(exact.frequencies_in_range(WINDOW, now))[:5]
+        errors = point_query_errors(sketch, exact, WINDOW, now=now, keys=keys)
+        assert len(errors) == 5
+
+    def test_empty_range_returns_no_errors(self, sketch_and_exact):
+        sketch, exact, _now = sketch_and_exact
+        # Query a range ending before the first arrival.
+        assert point_query_errors(sketch, exact, range_length=1.0, now=-100.0) == []
+
+    def test_self_join_error_below_epsilon(self, sketch_and_exact):
+        sketch, exact, now = sketch_and_exact
+        error = self_join_error(sketch, exact, range_length=WINDOW, now=now)
+        assert error is not None
+        assert error <= 0.1
+
+    def test_self_join_error_none_for_empty_range(self, sketch_and_exact):
+        sketch, exact, _now = sketch_and_exact
+        assert self_join_error(sketch, exact, range_length=1.0, now=-100.0) is None
+
+    def test_evaluate_over_ranges(self, sketch_and_exact):
+        sketch, exact, now = sketch_and_exact
+        ranges = exponential_query_ranges(WINDOW)
+        point_summary = evaluate_point_queries(sketch, exact, ranges, now=now, max_keys_per_range=50)
+        self_join_summary = evaluate_self_join_queries(sketch, exact, ranges, now=now)
+        assert point_summary.count > 0
+        assert point_summary.average <= point_summary.maximum <= 0.1
+        assert self_join_summary.count == len(ranges)
+        assert self_join_summary.maximum <= 0.1

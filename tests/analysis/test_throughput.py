@@ -1,0 +1,63 @@
+"""Unit tests for the throughput measurement harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ThroughputResult, measure_query_rate, measure_update_rate
+from repro.core import ECMSketch
+from repro.core.errors import ConfigurationError
+from repro.streams import Stream
+
+
+WINDOW = 100_000.0
+
+
+class TestThroughputResult:
+    def test_rate(self):
+        result = ThroughputResult(operations=100, elapsed_seconds=2.0)
+        assert result.rate == 50.0
+
+    def test_zero_elapsed(self):
+        assert ThroughputResult(operations=10, elapsed_seconds=0.0).rate == float("inf")
+
+
+class TestMeasurement:
+    def test_update_rate_counts_all_records(self, uniform_trace):
+        sketch = ECMSketch.for_point_queries(epsilon=0.2, delta=0.2, window=WINDOW)
+        result = measure_update_rate(sketch, uniform_trace)
+        assert result.operations == len(uniform_trace)
+        assert result.elapsed_seconds > 0
+        assert sketch.total_arrivals() == len(uniform_trace)
+
+    def test_update_rate_max_records(self, uniform_trace):
+        sketch = ECMSketch.for_point_queries(epsilon=0.2, delta=0.2, window=WINDOW)
+        result = measure_update_rate(sketch, uniform_trace, max_records=100)
+        assert result.operations == 100
+
+    def test_update_rate_empty_stream_rejected(self):
+        sketch = ECMSketch.for_point_queries(epsilon=0.2, delta=0.2, window=WINDOW)
+        with pytest.raises(ConfigurationError):
+            measure_update_rate(sketch, Stream([]))
+
+    def test_query_rate(self, uniform_trace):
+        sketch = ECMSketch.for_point_queries(epsilon=0.2, delta=0.2, window=WINDOW)
+        measure_update_rate(sketch, uniform_trace)
+        result = measure_query_rate(sketch, uniform_trace.keys()[:50], now=uniform_trace.end_time())
+        assert result.operations == 50
+        assert result.rate > 0
+
+    def test_query_rate_requires_keys(self):
+        sketch = ECMSketch.for_point_queries(epsilon=0.2, delta=0.2, window=WINDOW)
+        with pytest.raises(ConfigurationError):
+            measure_query_rate(sketch, [])
+
+    def test_injected_clock(self, uniform_trace):
+        """A fake clock makes the rate deterministic for testing."""
+        ticks = iter([0.0, 2.0])
+        sketch = ECMSketch.for_point_queries(epsilon=0.2, delta=0.2, window=WINDOW)
+        result = measure_update_rate(
+            sketch, uniform_trace.head(10), clock=lambda: next(ticks)
+        )
+        assert result.elapsed_seconds == 2.0
+        assert result.rate == pytest.approx(5.0)

@@ -1,0 +1,134 @@
+"""Unit tests for the exact sliding-window stream summary baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ExactStreamSummary
+from repro.core.errors import ConfigurationError
+from repro.streams import Stream, StreamRecord
+
+
+def _summary():
+    summary = ExactStreamSummary(window=100.0)
+    arrivals = [
+        ("a", 1.0), ("b", 2.0), ("a", 3.0), ("c", 10.0),
+        ("a", 50.0), ("b", 60.0), ("a", 99.0),
+    ]
+    for key, clock in arrivals:
+        summary.add(key, clock)
+    return summary
+
+
+class TestFrequencies:
+    def test_frequency_full_window(self):
+        summary = _summary()
+        assert summary.frequency("a", now=99.0) == 4
+        assert summary.frequency("b", now=99.0) == 2
+        assert summary.frequency("missing", now=99.0) == 0
+
+    def test_frequency_restricted_range(self):
+        summary = _summary()
+        assert summary.frequency("a", range_length=50.0, now=99.0) == 2
+
+    def test_boundary_is_half_open(self):
+        summary = _summary()
+        # Range (49, 99]: includes the arrivals of "a" at 50 and 99.
+        assert summary.frequency("a", range_length=50.0, now=99.0) == 2
+        # Range (50, 99]: the arrival exactly at the open boundary is excluded.
+        assert summary.frequency("a", range_length=49.0, now=99.0) == 1
+
+    def test_arrivals(self):
+        summary = _summary()
+        assert summary.arrivals(now=99.0) == 7
+        assert summary.arrivals(range_length=10.0, now=99.0) == 1
+
+    def test_frequencies_in_range(self):
+        summary = _summary()
+        frequencies = summary.frequencies_in_range(range_length=60.0, now=99.0)
+        assert frequencies == {"a": 2, "b": 1}
+
+    def test_keys_in_range(self):
+        summary = _summary()
+        assert set(summary.keys_in_range(range_length=60.0, now=99.0)) == {"a", "b"}
+
+    def test_weighted_add(self):
+        summary = ExactStreamSummary(window=100.0)
+        summary.add("x", 1.0, value=3)
+        assert summary.frequency("x", now=1.0) == 3
+
+    def test_out_of_order_rejected(self):
+        summary = ExactStreamSummary(window=100.0)
+        summary.add("x", 10.0)
+        with pytest.raises(ConfigurationError):
+            summary.add("y", 5.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            ExactStreamSummary(window=0)
+
+
+class TestAggregates:
+    def test_self_join(self):
+        summary = _summary()
+        # Full window frequencies: a=4, b=2, c=1 -> F2 = 16 + 4 + 1.
+        assert summary.self_join(now=99.0) == 21
+
+    def test_inner_product(self):
+        a = ExactStreamSummary(window=100.0)
+        b = ExactStreamSummary(window=100.0)
+        for key, clock in [("x", 1.0), ("x", 2.0), ("y", 3.0)]:
+            a.add(key, clock)
+        for key, clock in [("x", 1.5), ("z", 2.5)]:
+            b.add(key, clock)
+        assert a.inner_product(b, now=3.0) == 2  # 2*1 on "x"
+
+    def test_heavy_hitters(self):
+        summary = _summary()
+        hitters = summary.heavy_hitters(phi=0.5, now=99.0)
+        assert set(hitters) == {"a"}
+        assert summary.heavy_hitters(phi=0.01, now=99.0).keys() >= {"a", "b", "c"}
+
+    def test_heavy_hitters_invalid_phi(self):
+        with pytest.raises(ConfigurationError):
+            _summary().heavy_hitters(phi=0.0)
+
+    def test_quantile_integer_domain(self):
+        summary = ExactStreamSummary(window=1_000.0)
+        for clock, key in enumerate([1, 1, 2, 3, 3, 3, 5, 9]):
+            summary.add(key, float(clock))
+        assert summary.quantile(0.0, now=7.0) == 1
+        assert summary.quantile(0.5, now=7.0) == 3
+        assert summary.quantile(1.0, now=7.0) == 9
+
+    def test_quantile_empty_range(self):
+        summary = ExactStreamSummary(window=10.0)
+        assert summary.quantile(0.5) is None
+
+    def test_quantile_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            _summary().quantile(1.5)
+
+
+class TestIngestion:
+    def test_from_stream(self):
+        stream = Stream([
+            StreamRecord(timestamp=1.0, key="a"),
+            StreamRecord(timestamp=2.0, key="b", value=2),
+        ])
+        summary = ExactStreamSummary.from_stream(stream, window=10.0)
+        assert summary.total_arrivals() == 3
+        assert summary.distinct_keys() == 2
+        assert summary.last_clock == 2.0
+
+    def test_matches_brute_force_on_fixture(self, wc98_trace, wc98_exact):
+        now = wc98_trace.end_time()
+        window = 100_000.0
+        expected = {}
+        for record in wc98_trace:
+            if now - 10_000.0 < record.timestamp <= now:
+                expected[record.key] = expected.get(record.key, 0) + record.value
+        assert wc98_exact.frequencies_in_range(10_000.0, now) == expected
+
+    def test_repr(self):
+        assert "ExactStreamSummary" in repr(_summary())

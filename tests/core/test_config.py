@@ -1,0 +1,154 @@
+"""Unit tests for the ECM-sketch error-budget configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CounterType, ECMConfig
+from repro.core.config import (
+    inner_product_error,
+    point_query_error,
+    split_inner_product_deterministic,
+    split_point_query_deterministic,
+    split_point_query_randomized,
+)
+from repro.core.errors import ConfigurationError
+from repro.windows import WindowModel
+
+
+class TestErrorFormulas:
+    def test_point_query_error(self):
+        assert point_query_error(0.1, 0.1) == pytest.approx(0.21)
+
+    def test_inner_product_error(self):
+        assert inner_product_error(0.1, 0.05) == pytest.approx(0.01 + 0.2 + 0.05 * 1.21)
+
+
+class TestDeterministicPointSplit:
+    @pytest.mark.parametrize("epsilon", [0.05, 0.1, 0.2, 0.25])
+    def test_split_meets_budget_exactly(self, epsilon):
+        eps_sw, eps_cm = split_point_query_deterministic(epsilon)
+        assert point_query_error(eps_sw, eps_cm) == pytest.approx(epsilon, rel=1e-9)
+
+    def test_split_is_symmetric(self):
+        eps_sw, eps_cm = split_point_query_deterministic(0.1)
+        assert eps_sw == pytest.approx(eps_cm)
+
+    def test_closed_form_value(self):
+        eps_sw, _ = split_point_query_deterministic(0.1)
+        assert eps_sw == pytest.approx(1.1 ** 0.5 - 1, rel=1e-9)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            split_point_query_deterministic(0.0)
+
+
+class TestRandomizedPointSplit:
+    @pytest.mark.parametrize("epsilon", [0.05, 0.1, 0.2, 0.25])
+    def test_split_meets_budget(self, epsilon):
+        eps_sw, eps_cm = split_point_query_randomized(epsilon)
+        assert point_query_error(eps_sw, eps_cm) == pytest.approx(epsilon, rel=1e-6)
+
+    def test_window_error_larger_than_hash_error(self):
+        """The quadratic memory cost of randomized waves shifts the budget
+        toward a larger window error."""
+        eps_sw, eps_cm = split_point_query_randomized(0.1)
+        assert eps_sw > eps_cm
+
+    def test_paper_example_value(self):
+        eps_sw, eps_cm = split_point_query_randomized(0.1)
+        assert eps_sw == pytest.approx(0.066, abs=1e-3)
+        assert eps_cm == pytest.approx(0.0319, abs=1e-3)
+
+
+class TestInnerProductSplit:
+    @pytest.mark.parametrize("epsilon", [0.05, 0.1, 0.2, 0.25])
+    def test_split_meets_budget(self, epsilon):
+        eps_sw, eps_cm = split_inner_product_deterministic(epsilon)
+        assert inner_product_error(eps_sw, eps_cm) == pytest.approx(epsilon, rel=1e-4)
+
+    @pytest.mark.parametrize("epsilon", [0.05, 0.1, 0.2])
+    def test_split_is_memory_optimal(self, epsilon):
+        """No nearby feasible split should be cheaper in 1/(eps_sw*eps_cm)."""
+        eps_sw, eps_cm = split_inner_product_deterministic(epsilon)
+        best_cost = 1.0 / (eps_sw * eps_cm)
+        for factor in (0.7, 0.9, 1.1, 1.3):
+            candidate_sw = eps_sw * factor
+            candidate_cm = (epsilon - candidate_sw ** 2 - 2 * candidate_sw) / (1 + candidate_sw) ** 2
+            if candidate_cm <= 0 or candidate_sw <= 0:
+                continue
+            assert best_cost <= 1.0 / (candidate_sw * candidate_cm) * (1 + 1e-6)
+
+    def test_both_components_positive(self):
+        eps_sw, eps_cm = split_inner_product_deterministic(0.1)
+        assert eps_sw > 0
+        assert eps_cm > 0
+
+
+class TestECMConfig:
+    def test_for_point_queries_deterministic(self):
+        config = ECMConfig.for_point_queries(epsilon=0.1, delta=0.1, window=1_000)
+        assert config.total_point_error == pytest.approx(0.1)
+        assert config.width >= 1
+        assert config.depth >= 1
+        assert config.counter_type is CounterType.EXPONENTIAL_HISTOGRAM
+
+    def test_for_point_queries_randomized(self):
+        config = ECMConfig.for_point_queries(
+            epsilon=0.1, delta=0.1, window=1_000,
+            counter_type=CounterType.RANDOMIZED_WAVE, max_arrivals=1_000,
+        )
+        assert config.total_point_error == pytest.approx(0.1, rel=1e-6)
+        assert config.total_failure_probability > config.delta
+
+    def test_for_inner_product_queries(self):
+        config = ECMConfig.for_inner_product_queries(epsilon=0.1, delta=0.1, window=1_000)
+        assert config.total_inner_product_error == pytest.approx(0.1, rel=1e-4)
+
+    def test_inner_product_with_randomized_wave_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ECMConfig.for_inner_product_queries(
+                epsilon=0.1, delta=0.1, window=1_000,
+                counter_type=CounterType.RANDOMIZED_WAVE, max_arrivals=100,
+            )
+
+    def test_wave_counters_require_max_arrivals(self):
+        with pytest.raises(ConfigurationError):
+            ECMConfig(
+                epsilon_cm=0.05, epsilon_sw=0.05, delta=0.1, window=100,
+                counter_type=CounterType.DETERMINISTIC_WAVE,
+            )
+
+    def test_exponential_histogram_does_not_require_max_arrivals(self):
+        config = ECMConfig(epsilon_cm=0.05, epsilon_sw=0.05, delta=0.1, window=100)
+        assert config.max_arrivals >= 1
+
+    def test_explicit_dimensions_respected(self):
+        config = ECMConfig(
+            epsilon_cm=0.05, epsilon_sw=0.05, delta=0.1, window=100, width=10, depth=2
+        )
+        assert config.width == 10
+        assert config.depth == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ECMConfig(epsilon_cm=0.0, epsilon_sw=0.05, delta=0.1, window=100)
+        with pytest.raises(ConfigurationError):
+            ECMConfig(epsilon_cm=0.05, epsilon_sw=2.0, delta=0.1, window=100)
+        with pytest.raises(ConfigurationError):
+            ECMConfig(epsilon_cm=0.05, epsilon_sw=0.05, delta=0.0, window=100)
+        with pytest.raises(ConfigurationError):
+            ECMConfig(epsilon_cm=0.05, epsilon_sw=0.05, delta=0.1, window=0)
+
+    def test_replaced_copies_fields(self):
+        config = ECMConfig.for_point_queries(epsilon=0.1, delta=0.1, window=1_000)
+        other = config.replaced(epsilon_sw=0.2)
+        assert other.epsilon_sw == 0.2
+        assert other.epsilon_cm == config.epsilon_cm
+        assert config.epsilon_sw != 0.2  # original untouched
+
+    def test_counter_type_properties(self):
+        assert CounterType.EXPONENTIAL_HISTOGRAM.is_deterministic
+        assert CounterType.DETERMINISTIC_WAVE.is_deterministic
+        assert not CounterType.RANDOMIZED_WAVE.is_deterministic
+        assert str(CounterType.EXPONENTIAL_HISTOGRAM) == "eh"

@@ -1,0 +1,186 @@
+"""Unit tests for the classic Count-Min sketch."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core import CountMinSketch, IncompatibleSketchError
+from repro.core.countmin import dimensions_for_error
+from repro.core.errors import ConfigurationError
+
+
+class TestDimensions:
+    def test_standard_sizing(self):
+        width, depth = dimensions_for_error(epsilon=0.01, delta=0.01)
+        assert width == math.ceil(math.e / 0.01)
+        assert depth == math.ceil(math.log(100))
+
+    @pytest.mark.parametrize("epsilon,delta", [(0, 0.1), (1.5, 0.1), (0.1, 0), (0.1, 1)])
+    def test_invalid_parameters(self, epsilon, delta):
+        with pytest.raises(ConfigurationError):
+            dimensions_for_error(epsilon, delta)
+
+    def test_from_error_constructor(self):
+        sketch = CountMinSketch.from_error(epsilon=0.05, delta=0.05)
+        assert sketch.width == math.ceil(math.e / 0.05)
+        assert sketch.depth == math.ceil(math.log(20))
+
+
+class TestUpdatesAndPointQueries:
+    def test_exact_for_sparse_input(self):
+        sketch = CountMinSketch(width=512, depth=4)
+        sketch.add("a", 3)
+        sketch.add("b", 2)
+        sketch.add("a", 1)
+        assert sketch.point_query("a") == 4
+        assert sketch.point_query("b") == 2
+
+    def test_never_underestimates(self):
+        rng = random.Random(0)
+        sketch = CountMinSketch(width=64, depth=4)
+        truth = {}
+        for _ in range(5_000):
+            key = "k%d" % rng.randrange(500)
+            sketch.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert sketch.point_query(key) >= count
+
+    def test_error_bound_holds_for_most_items(self):
+        rng = random.Random(1)
+        epsilon, delta = 0.02, 0.05
+        sketch = CountMinSketch.from_error(epsilon, delta)
+        truth = {}
+        for _ in range(20_000):
+            key = rng.randrange(2_000)
+            sketch.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        total = sum(truth.values())
+        violations = sum(
+            1 for key, count in truth.items() if sketch.point_query(key) - count > epsilon * total
+        )
+        assert violations <= delta * len(truth) * 2 + 1
+
+    def test_unseen_item_estimate_small(self):
+        sketch = CountMinSketch(width=2048, depth=5)
+        for i in range(100):
+            sketch.add(i)
+        assert sketch.point_query("never-seen") <= 100
+
+    def test_weighted_updates(self):
+        sketch = CountMinSketch(width=128, depth=3)
+        sketch.add("x", 2.5)
+        assert sketch.point_query("x") == pytest.approx(2.5)
+
+    def test_negative_update_rejected(self):
+        sketch = CountMinSketch(width=16, depth=2)
+        with pytest.raises(ConfigurationError):
+            sketch.add("x", -1)
+
+    def test_update_many(self):
+        sketch = CountMinSketch(width=128, depth=3)
+        sketch.update_many(["a", "a", "b"])
+        assert sketch.point_query("a") >= 2
+        assert sketch.total() == 3
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(width=0, depth=3)
+        with pytest.raises(ConfigurationError):
+            CountMinSketch(width=3, depth=0)
+
+
+class TestInnerProductsAndSelfJoins:
+    def test_self_join_overestimates_f2(self):
+        rng = random.Random(3)
+        sketch = CountMinSketch(width=256, depth=4)
+        truth = {}
+        for _ in range(5_000):
+            key = rng.randrange(200)
+            sketch.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        exact_f2 = sum(v * v for v in truth.values())
+        assert sketch.self_join() >= exact_f2
+        assert sketch.self_join() <= exact_f2 + 0.05 * sum(truth.values()) ** 2
+
+    def test_inner_product_accuracy(self):
+        rng = random.Random(4)
+        a = CountMinSketch(width=256, depth=4, seed=9)
+        b = CountMinSketch(width=256, depth=4, seed=9)
+        truth_a, truth_b = {}, {}
+        for _ in range(3_000):
+            key = rng.randrange(300)
+            a.add(key)
+            truth_a[key] = truth_a.get(key, 0) + 1
+            key = rng.randrange(300)
+            b.add(key)
+            truth_b[key] = truth_b.get(key, 0) + 1
+        exact = sum(truth_a.get(k, 0) * truth_b.get(k, 0) for k in truth_a)
+        estimate = a.inner_product(b)
+        assert estimate >= exact
+        assert estimate - exact <= 0.05 * a.total() * b.total()
+
+    def test_inner_product_requires_compatible_sketches(self):
+        a = CountMinSketch(width=64, depth=3, seed=1)
+        b = CountMinSketch(width=64, depth=3, seed=2)
+        with pytest.raises(IncompatibleSketchError):
+            a.inner_product(b)
+
+    def test_inner_product_of_empty_sketches_is_zero(self):
+        a = CountMinSketch(width=16, depth=2)
+        b = CountMinSketch(width=16, depth=2)
+        assert a.inner_product(b) == 0.0
+
+
+class TestMergeAndVectorView:
+    def test_merge_equals_union_stream(self):
+        rng = random.Random(5)
+        merged_target = CountMinSketch(width=128, depth=4, seed=7)
+        part_a = CountMinSketch(width=128, depth=4, seed=7)
+        part_b = CountMinSketch(width=128, depth=4, seed=7)
+        for _ in range(2_000):
+            key = rng.randrange(100)
+            merged_target.add(key)
+            (part_a if rng.random() < 0.5 else part_b).add(key)
+        merged = CountMinSketch.merged([part_a, part_b])
+        assert merged.counters() == merged_target.counters()
+        assert merged.total() == merged_target.total()
+
+    def test_merge_incompatible_rejected(self):
+        a = CountMinSketch(width=64, depth=3, seed=1)
+        b = CountMinSketch(width=32, depth=3, seed=1)
+        with pytest.raises(IncompatibleSketchError):
+            a.merge_inplace(b)
+
+    def test_merge_empty_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch.merged([])
+
+    def test_vector_round_trip(self):
+        sketch = CountMinSketch(width=8, depth=2, seed=3)
+        for i in range(20):
+            sketch.add(i)
+        vector = sketch.as_vector()
+        rebuilt = CountMinSketch.from_vector(vector, width=8, depth=2, seed=3)
+        assert rebuilt.counters() == sketch.counters()
+        assert rebuilt.point_query(5) == sketch.point_query(5)
+
+    def test_from_vector_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch.from_vector([1.0, 2.0], width=3, depth=2)
+
+    def test_counter_accessor(self):
+        sketch = CountMinSketch(width=8, depth=2)
+        sketch.add("a", 2)
+        columns = sketch.hashes.hash_all("a")
+        assert sketch.counter(0, columns[0]) >= 2
+
+    def test_memory_bytes(self):
+        sketch = CountMinSketch(width=100, depth=5)
+        assert sketch.memory_bytes() >= 100 * 5 * 4
+
+    def test_repr(self):
+        assert "CountMinSketch" in repr(CountMinSketch(width=4, depth=2))

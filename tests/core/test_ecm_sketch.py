@@ -1,0 +1,230 @@
+"""Unit tests for the ECM-sketch core structure (single-stream behaviour)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import ExactStreamSummary
+from repro.core import CounterType, ECMConfig, ECMSketch
+from repro.core.errors import ConfigurationError, IncompatibleSketchError
+from repro.windows import WindowModel
+
+
+WINDOW = 100_000.0
+
+
+def _feed(sketch: ECMSketch, exact: ExactStreamSummary, trace) -> None:
+    for record in trace:
+        sketch.add(record.key, record.timestamp, record.value)
+        if exact is not None:
+            pass
+
+
+class TestConstruction:
+    def test_factory_for_point_queries(self):
+        sketch = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=WINDOW)
+        assert sketch.width == sketch.config.width
+        assert sketch.depth == sketch.config.depth
+        assert sketch.counter_type is CounterType.EXPONENTIAL_HISTOGRAM
+
+    def test_factory_for_inner_product_queries(self):
+        sketch = ECMSketch.for_inner_product_queries(epsilon=0.1, delta=0.1, window=WINDOW)
+        assert sketch.config.total_inner_product_error == pytest.approx(0.1, rel=1e-4)
+
+    @pytest.mark.parametrize(
+        "counter_type",
+        [CounterType.EXPONENTIAL_HISTOGRAM, CounterType.DETERMINISTIC_WAVE, CounterType.RANDOMIZED_WAVE],
+    )
+    def test_all_counter_types_instantiable(self, counter_type):
+        sketch = ECMSketch.for_point_queries(
+            epsilon=0.2, delta=0.2, window=WINDOW,
+            counter_type=counter_type, max_arrivals=10_000,
+        )
+        sketch.add("item", clock=1.0)
+        assert sketch.point_query("item", now=1.0) >= 1.0
+
+    def test_unknown_counter_type_rejected(self):
+        config = ECMConfig.for_point_queries(epsilon=0.2, delta=0.2, window=WINDOW)
+        object.__setattr__(config, "counter_type", "bogus")
+        with pytest.raises((ConfigurationError, AttributeError)):
+            ECMSketch(config)
+
+
+class TestUpdatesAndPointQueries:
+    def test_empty_sketch_returns_zero(self):
+        sketch = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=WINDOW)
+        assert sketch.point_query("missing") == 0.0
+        assert sketch.total_arrivals() == 0
+        assert sketch.last_clock is None
+
+    def test_single_item_counted(self):
+        sketch = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=WINDOW)
+        sketch.add("a", clock=10.0)
+        sketch.add("a", clock=20.0)
+        sketch.add("b", clock=30.0)
+        assert sketch.point_query("a", now=30.0) >= 2.0
+        assert sketch.total_arrivals() == 3
+        assert sketch.last_clock == 30.0
+
+    def test_weighted_add(self):
+        sketch = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=WINDOW)
+        sketch.add("a", clock=10.0, value=5)
+        assert sketch.point_query("a", now=10.0) >= 5.0
+        assert sketch.total_arrivals() == 5
+
+    def test_zero_value_is_noop(self):
+        sketch = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=WINDOW)
+        sketch.add("a", clock=10.0, value=0)
+        assert sketch.total_arrivals() == 0
+
+    def test_negative_value_rejected(self):
+        sketch = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=WINDOW)
+        with pytest.raises(ConfigurationError):
+            sketch.add("a", clock=10.0, value=-1)
+
+    def test_point_query_error_bound_on_trace(self, wc98_trace, wc98_exact):
+        epsilon = 0.1
+        sketch = ECMSketch.for_point_queries(epsilon=epsilon, delta=0.1, window=WINDOW)
+        for record in wc98_trace:
+            sketch.add(record.key, record.timestamp, record.value)
+        now = wc98_trace.end_time()
+        for range_length in (1_000.0, 10_000.0, WINDOW):
+            arrivals = wc98_exact.arrivals(range_length, now)
+            frequencies = wc98_exact.frequencies_in_range(range_length, now)
+            for key in list(frequencies)[:60]:
+                estimate = sketch.point_query(key, range_length, now=now)
+                truth = frequencies[key]
+                assert abs(estimate - truth) <= epsilon * arrivals + 1.0
+
+    def test_sliding_window_forgets_old_items(self):
+        sketch = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=100.0)
+        sketch.add("old", clock=0.0)
+        for clock in range(200, 240):
+            sketch.add("new", clock=float(clock))
+        assert sketch.point_query("old", now=239.0) <= 1.0 + 0.1 * 40
+        # A query over the full (expired) window sees essentially only "new".
+        assert sketch.point_query("new", now=239.0) >= 35.0
+
+    def test_query_range_restriction(self):
+        sketch = ECMSketch.for_point_queries(epsilon=0.05, delta=0.05, window=1_000.0)
+        for clock in range(100):
+            sketch.add("x", clock=float(clock))
+        recent = sketch.point_query("x", range_length=10.0, now=99.0)
+        full = sketch.point_query("x", now=99.0)
+        assert recent < full
+        assert recent <= 10 * 1.2 + 1
+
+
+class TestSelfJoinAndInnerProduct:
+    def test_self_join_error_bound_on_trace(self, wc98_trace, wc98_exact):
+        epsilon = 0.1
+        sketch = ECMSketch.for_inner_product_queries(epsilon=epsilon, delta=0.1, window=WINDOW)
+        for record in wc98_trace:
+            sketch.add(record.key, record.timestamp, record.value)
+        now = wc98_trace.end_time()
+        for range_length in (10_000.0, WINDOW):
+            arrivals = wc98_exact.arrivals(range_length, now)
+            estimate = sketch.self_join(range_length, now=now)
+            truth = wc98_exact.self_join(range_length, now)
+            assert abs(estimate - truth) <= epsilon * arrivals ** 2 + 1.0
+
+    def test_inner_product_against_itself_matches_self_join(self, uniform_trace):
+        sketch = ECMSketch.for_inner_product_queries(epsilon=0.1, delta=0.1, window=WINDOW)
+        for record in uniform_trace:
+            sketch.add(record.key, record.timestamp, record.value)
+        now = uniform_trace.end_time()
+        assert sketch.inner_product(sketch, now=now) == pytest.approx(sketch.self_join(now=now))
+
+    def test_inner_product_of_disjoint_streams_is_small(self):
+        a = ECMSketch.for_point_queries(epsilon=0.05, delta=0.05, window=WINDOW, seed=3)
+        b = ECMSketch.for_point_queries(epsilon=0.05, delta=0.05, window=WINDOW, seed=3)
+        for clock in range(200):
+            a.add("a-%d" % clock, clock=float(clock))
+            b.add("b-%d" % clock, clock=float(clock))
+        estimate = a.inner_product(b, now=199.0)
+        assert estimate <= 0.1 * 200 * 200
+
+    def test_inner_product_requires_compatible_sketches(self):
+        a = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=WINDOW, seed=1)
+        b = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=WINDOW, seed=2)
+        with pytest.raises(IncompatibleSketchError):
+            a.inner_product(b)
+
+    def test_inner_product_tracks_overlap(self, rng):
+        a = ECMSketch.for_point_queries(epsilon=0.05, delta=0.05, window=WINDOW)
+        b = ECMSketch.for_point_queries(epsilon=0.05, delta=0.05, window=WINDOW)
+        truth_a, truth_b = {}, {}
+        for clock in range(2_000):
+            key = "k%d" % rng.randrange(50)
+            a.add(key, clock=float(clock))
+            truth_a[key] = truth_a.get(key, 0) + 1
+            key = "k%d" % rng.randrange(50)
+            b.add(key, clock=float(clock))
+            truth_b[key] = truth_b.get(key, 0) + 1
+        exact = sum(truth_a.get(k, 0) * truth_b.get(k, 0) for k in truth_a)
+        estimate = a.inner_product(b, now=1_999.0)
+        assert abs(estimate - exact) <= 0.15 * 2_000 * 2_000
+
+
+class TestEstimateArrivalsAndExtraction:
+    def test_estimate_arrivals_close_to_truth(self, wc98_trace, wc98_exact):
+        sketch = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=WINDOW)
+        for record in wc98_trace:
+            sketch.add(record.key, record.timestamp, record.value)
+        now = wc98_trace.end_time()
+        truth = wc98_exact.arrivals(WINDOW, now)
+        estimate = sketch.estimate_arrivals(WINDOW, now=now)
+        assert abs(estimate - truth) <= 0.15 * truth + 1
+
+    def test_counter_estimates_matrix_shape(self):
+        sketch = ECMSketch.for_point_queries(epsilon=0.2, delta=0.2, window=WINDOW)
+        sketch.add("a", clock=1.0)
+        matrix = sketch.counter_estimates_matrix(now=1.0)
+        assert len(matrix) == sketch.depth
+        assert all(len(row) == sketch.width for row in matrix)
+
+    def test_to_countmin_point_queries_agree(self, uniform_trace):
+        sketch = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=WINDOW)
+        for record in uniform_trace:
+            sketch.add(record.key, record.timestamp, record.value)
+        now = uniform_trace.end_time()
+        extracted = sketch.to_countmin(now=now)
+        for key in list(uniform_trace.keys())[:20]:
+            assert extracted.point_query(key) == pytest.approx(
+                sketch.point_query(key, now=now)
+            )
+
+    def test_error_bound_helpers(self):
+        sketch = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=WINDOW)
+        assert sketch.point_error_bound(1_000) == pytest.approx(0.1 * 1_000, rel=1e-6)
+        assert sketch.inner_product_error_bound(100, 200) > 0
+
+    def test_memory_grows_with_precision(self):
+        coarse = ECMSketch.for_point_queries(epsilon=0.25, delta=0.1, window=WINDOW)
+        fine = ECMSketch.for_point_queries(epsilon=0.05, delta=0.1, window=WINDOW)
+        for clock in range(500):
+            coarse.add("k%d" % (clock % 37), clock=float(clock))
+            fine.add("k%d" % (clock % 37), clock=float(clock))
+        assert fine.memory_bytes() > coarse.memory_bytes()
+        assert fine.serialized_bytes() == fine.memory_bytes()
+
+    def test_counter_accessor_and_repr(self):
+        sketch = ECMSketch.for_point_queries(epsilon=0.2, delta=0.2, window=WINDOW)
+        assert sketch.counter(0, 0) is not None
+        assert "ECMSketch" in repr(sketch)
+
+
+class TestCountBasedModel:
+    def test_count_based_point_queries(self):
+        """Count-based windows index the stream by arrival position."""
+        sketch = ECMSketch.for_point_queries(
+            epsilon=0.1, delta=0.1, window=500, model=WindowModel.COUNT_BASED
+        )
+        for index in range(1, 2_001):
+            key = "hot" if index % 2 == 0 else "cold-%d" % index
+            sketch.add(key, clock=float(index))
+        # Of the last 500 arrivals, ~250 are "hot".
+        estimate = sketch.point_query("hot", range_length=500, now=2_000.0)
+        assert abs(estimate - 250) <= 0.1 * 500 + 2

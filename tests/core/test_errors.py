@@ -1,0 +1,47 @@
+"""Unit tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    ConfigurationError,
+    EmptyStructureError,
+    IncompatibleSketchError,
+    OutOfOrderArrivalError,
+    ReproError,
+    WindowModelError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_class",
+        [
+            ConfigurationError,
+            IncompatibleSketchError,
+            WindowModelError,
+            OutOfOrderArrivalError,
+            EmptyStructureError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_class):
+        assert issubclass(exception_class, ReproError)
+
+    def test_value_error_compatibility(self):
+        """Configuration problems should be catchable as plain ValueError too."""
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(IncompatibleSketchError, ValueError)
+        assert issubclass(WindowModelError, ValueError)
+        assert issubclass(OutOfOrderArrivalError, ValueError)
+
+    def test_runtime_error_compatibility(self):
+        assert issubclass(EmptyStructureError, RuntimeError)
+
+    def test_catching_family(self):
+        with pytest.raises(ReproError):
+            raise WindowModelError("count-based windows cannot be merged")
+
+    def test_messages_preserved(self):
+        error = ConfigurationError("epsilon must be in (0, 1)")
+        assert "epsilon" in str(error)

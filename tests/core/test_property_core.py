@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for Count-Min and ECM-sketches."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CountMinSketch, ECMSketch
+
+
+# Streams of (key, gap) pairs: small key domains force collisions, gaps keep
+# the arrival clocks in order.
+keyed_streams = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=30), st.floats(min_value=0.01, max_value=10.0)),
+    min_size=1,
+    max_size=300,
+)
+
+
+def _materialise(pairs: List[Tuple[int, float]]) -> List[Tuple[int, float]]:
+    clock = 0.0
+    out = []
+    for key, gap in pairs:
+        clock += gap
+        out.append((key, clock))
+    return out
+
+
+@settings(max_examples=50, deadline=None)
+@given(pairs=keyed_streams)
+def test_countmin_point_queries_never_underestimate(pairs):
+    """CM point queries upper-bound the true frequency for every key."""
+    sketch = CountMinSketch(width=32, depth=3, seed=1)
+    truth = Counter()
+    for key, _gap in pairs:
+        sketch.add(key)
+        truth[key] += 1
+    for key, count in truth.items():
+        assert sketch.point_query(key) >= count
+
+
+@settings(max_examples=50, deadline=None)
+@given(pairs=keyed_streams)
+def test_countmin_self_join_never_underestimates(pairs):
+    """CM self-join estimates upper-bound the true second frequency moment."""
+    sketch = CountMinSketch(width=32, depth=3, seed=2)
+    truth = Counter()
+    for key, _gap in pairs:
+        sketch.add(key)
+        truth[key] += 1
+    exact_f2 = sum(v * v for v in truth.values())
+    assert sketch.self_join() >= exact_f2
+
+
+@settings(max_examples=50, deadline=None)
+@given(pairs=keyed_streams)
+def test_countmin_merge_equals_single_sketch(pairs):
+    """Summing two halves of a stream equals sketching the whole stream."""
+    whole = CountMinSketch(width=16, depth=3, seed=3)
+    left = CountMinSketch(width=16, depth=3, seed=3)
+    right = CountMinSketch(width=16, depth=3, seed=3)
+    for index, (key, _gap) in enumerate(pairs):
+        whole.add(key)
+        (left if index % 2 == 0 else right).add(key)
+    merged = CountMinSketch.merged([left, right])
+    assert merged.counters() == whole.counters()
+
+
+@settings(max_examples=30, deadline=None)
+@given(pairs=keyed_streams, fraction=st.floats(min_value=0.05, max_value=1.0))
+def test_ecm_point_query_error_bound(pairs, fraction):
+    """Theorem 1: the point-query error never exceeds eps * ||a_r||_1 (+1 slack)."""
+    epsilon = 0.3
+    sketch = ECMSketch.for_point_queries(epsilon=epsilon, delta=0.2, window=1e9, seed=4)
+    arrivals = _materialise(pairs)
+    for key, clock in arrivals:
+        sketch.add(key, clock)
+    now = arrivals[-1][1]
+    range_length = max(0.01, fraction * now)
+    in_range = [(key, clock) for key, clock in arrivals if clock > now - range_length]
+    truth = Counter(key for key, _clock in in_range)
+    total = len(in_range)
+    for key in truth:
+        estimate = sketch.point_query(key, range_length, now=now)
+        assert abs(estimate - truth[key]) <= epsilon * total + 1.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(pairs=keyed_streams)
+def test_ecm_aggregation_preserves_totals_and_bounds(pairs):
+    """Splitting a stream across two sketches and aggregating keeps Theorem 1
+    within the one-merge inflated budget."""
+    epsilon = 0.3
+    arrivals = _materialise(pairs)
+    parts = [
+        ECMSketch.for_point_queries(epsilon=epsilon, delta=0.2, window=1e9, seed=5, stream_tag=tag)
+        for tag in range(2)
+    ]
+    for index, (key, clock) in enumerate(arrivals):
+        parts[index % 2].add(key, clock)
+    merged = ECMSketch.aggregate(parts)
+    assert merged.total_arrivals() == len(arrivals)
+    now = arrivals[-1][1]
+    truth = Counter(key for key, _clock in arrivals)
+    budget = 2.5 * epsilon  # one aggregation step roughly doubles the window term
+    for key in truth:
+        estimate = merged.point_query(key, now=now)
+        assert abs(estimate - truth[key]) <= budget * len(arrivals) + 1.0

@@ -1,0 +1,145 @@
+"""Unit tests for geometric-method continuous threshold monitoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CounterType, ECMConfig
+from repro.core.errors import ConfigurationError
+from repro.distributed import GeometricMonitor, L2NormSquaredFunction, SelfJoinFunction
+from repro.streams import Stream, StreamRecord
+
+
+WINDOW = 100_000.0
+
+
+def _config(epsilon=0.2):
+    return ECMConfig.for_point_queries(epsilon=epsilon, delta=0.2, window=WINDOW)
+
+
+class TestThresholdFunctions:
+    def test_l2_value(self):
+        function = L2NormSquaredFunction(scale=2.0)
+        assert function.value(np.array([3.0, 4.0])) == pytest.approx(50.0)
+
+    def test_ball_extrema_bracket_values_inside_ball(self):
+        function = L2NormSquaredFunction()
+        center = np.array([1.0, 2.0, 2.0])
+        radius = 0.5
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            direction = rng.normal(size=3)
+            direction /= np.linalg.norm(direction)
+            point = center + direction * radius * rng.random()
+            value = function.value(point)
+            assert function.min_over_ball(center, radius) <= value + 1e-9
+            assert value <= function.max_over_ball(center, radius) + 1e-9
+
+    def test_min_over_ball_clamped_at_zero(self):
+        function = L2NormSquaredFunction()
+        assert function.min_over_ball(np.array([0.1, 0.0]), radius=1.0) == 0.0
+
+    def test_self_join_scale(self):
+        function = SelfJoinFunction(num_sites=4, depth=2)
+        assert function.scale == pytest.approx(16 / 2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            L2NormSquaredFunction(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            SelfJoinFunction(num_sites=0, depth=2)
+
+
+class TestGeometricMonitor:
+    def test_requires_initialization(self):
+        monitor = GeometricMonitor(num_sites=2, config=_config(), threshold=100.0)
+        with pytest.raises(ConfigurationError):
+            monitor.observe(0, "k", clock=1.0)
+        with pytest.raises(ConfigurationError):
+            monitor.current_estimate()
+
+    def test_initialization_synchronizes_all_sites(self):
+        monitor = GeometricMonitor(num_sites=3, config=_config(), threshold=100.0)
+        monitor.initialize(now=0.0)
+        assert monitor.stats.synchronizations == 1
+        assert monitor.stats.messages == 6
+        assert monitor.current_estimate() == 0.0
+        assert not monitor.above_threshold
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            GeometricMonitor(num_sites=0, config=_config(), threshold=10.0)
+        with pytest.raises(ConfigurationError):
+            GeometricMonitor(num_sites=2, config=_config(), threshold=-1.0)
+        with pytest.raises(ConfigurationError):
+            GeometricMonitor(num_sites=2, config=_config(), threshold=10.0, check_every=0)
+
+    def test_crossing_is_detected(self):
+        """Driving one key's frequency up must eventually trip the threshold."""
+        monitor = GeometricMonitor(num_sites=2, config=_config(), threshold=400.0, check_every=1)
+        monitor.initialize(now=0.0)
+        clock = 0.0
+        for index in range(200):
+            clock += 1.0
+            monitor.observe(index % 2, "hot-key", clock=clock)
+            if monitor.above_threshold:
+                break
+        assert monitor.above_threshold
+        assert monitor.stats.synchronizations >= 2
+        assert monitor.current_estimate() >= 400.0 * 0.5
+
+    def test_no_missed_crossing_invariant(self, uniform_trace):
+        """Whenever the protocol believes the function is below the threshold,
+        the true global value must indeed be below it (up to sketch error)."""
+        threshold = 5_0000.0
+        monitor = GeometricMonitor(
+            num_sites=4, config=_config(), threshold=threshold, check_every=10
+        )
+        monitor.initialize(now=0.0)
+        for record in uniform_trace.head(1_500):
+            monitor.observe(record.node, record.key, record.timestamp, record.value)
+            if monitor.stats.arrivals % 300 == 0:
+                exact = monitor.exact_global_value(now=record.timestamp)
+                if not monitor.above_threshold:
+                    assert exact <= threshold * 1.5
+                else:
+                    assert exact >= threshold * 0.5
+
+    def test_communication_is_sublinear_in_arrivals(self, uniform_trace):
+        """The whole point of the geometric method: most arrivals are silent."""
+        monitor = GeometricMonitor(
+            num_sites=4, config=_config(), threshold=10_000_000.0, check_every=1
+        )
+        monitor.initialize(now=0.0)
+        stream = uniform_trace.head(1_000)
+        monitor.observe_stream(stream)
+        assert monitor.stats.arrivals == 1_000
+        # Far fewer synchronisations than arrivals (threshold is far away).
+        assert monitor.stats.synchronizations <= 5
+        assert monitor.stats.transfer_bytes < 1_000 * monitor._vector_bytes
+
+    def test_check_every_reduces_constraint_checks(self, uniform_trace):
+        frequent = GeometricMonitor(num_sites=2, config=_config(), threshold=1e9, check_every=1)
+        sparse = GeometricMonitor(num_sites=2, config=_config(), threshold=1e9, check_every=50)
+        frequent.initialize(now=0.0)
+        sparse.initialize(now=0.0)
+        stream = uniform_trace.head(500)
+        frequent.observe_stream(stream)
+        sparse.observe_stream(stream)
+        assert sparse.stats.constraint_checks < frequent.stats.constraint_checks
+
+    def test_estimate_tracks_self_join_after_sync(self, uniform_trace):
+        config = _config(epsilon=0.1)
+        monitor = GeometricMonitor(num_sites=2, config=config, threshold=1e12, check_every=25)
+        monitor.initialize(now=0.0)
+        stream = uniform_trace.head(1_000)
+        monitor.observe_stream(stream)
+        exact = monitor.exact_global_value(now=stream.end_time())
+        # Force one more synchronisation and compare.
+        monitor._synchronize(now=stream.end_time())
+        assert monitor.current_estimate() == pytest.approx(exact, rel=1e-6)
+
+    def test_repr(self):
+        monitor = GeometricMonitor(num_sites=2, config=_config(), threshold=10.0)
+        assert "GeometricMonitor" in repr(monitor)

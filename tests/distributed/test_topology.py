@@ -1,0 +1,80 @@
+"""Unit tests for the aggregation-tree topology."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.distributed import AggregationTree
+
+
+class TestAggregationTree:
+    @pytest.mark.parametrize("num_leaves", [1, 2, 3, 5, 8, 33, 100, 256])
+    def test_leaf_count(self, num_leaves):
+        tree = AggregationTree(num_leaves=num_leaves)
+        assert len(tree.leaves()) == num_leaves
+        assert sorted(leaf.node_id for leaf in tree.leaves()) == list(range(num_leaves))
+
+    @pytest.mark.parametrize("num_leaves", [1, 2, 4, 16, 33, 256])
+    def test_height_matches_log2(self, num_leaves):
+        tree = AggregationTree(num_leaves=num_leaves)
+        assert tree.height() == tree.expected_height() == (0 if num_leaves == 1 else math.ceil(math.log2(num_leaves)))
+
+    def test_single_leaf_tree(self):
+        tree = AggregationTree(num_leaves=1)
+        assert tree.root.is_leaf
+        assert tree.aggregation_steps() == 0
+        assert tree.edges() == []
+
+    def test_every_non_root_vertex_has_a_parent(self):
+        tree = AggregationTree(num_leaves=13)
+        for vertex in tree.vertices.values():
+            if vertex.vertex_id == tree.root_id:
+                assert vertex.parent is None
+            else:
+                assert vertex.parent is not None
+
+    def test_children_and_parents_are_consistent(self):
+        tree = AggregationTree(num_leaves=9)
+        for vertex in tree.vertices.values():
+            for child_id in vertex.children:
+                assert tree.vertices[child_id].parent == vertex.vertex_id
+
+    def test_internal_vertices_sorted_bottom_up(self):
+        tree = AggregationTree(num_leaves=16)
+        levels = [vertex.level for vertex in tree.internal_vertices()]
+        assert levels == sorted(levels)
+
+    def test_internal_vertices_staffed_by_descendant_site(self):
+        tree = AggregationTree(num_leaves=12, seed=4)
+        def descendant_sites(vertex_id):
+            vertex = tree.vertices[vertex_id]
+            if vertex.is_leaf:
+                return {vertex.node_id}
+            sites = set()
+            for child in vertex.children:
+                sites |= descendant_sites(child)
+            return sites
+        for vertex in tree.internal_vertices():
+            assert vertex.node_id in descendant_sites(vertex.vertex_id)
+
+    def test_branching_factor(self):
+        tree = AggregationTree(num_leaves=27, branching=3)
+        for vertex in tree.internal_vertices():
+            assert 1 <= len(vertex.children) <= 3
+        assert tree.height() == 3
+
+    def test_edge_count(self):
+        tree = AggregationTree(num_leaves=10)
+        assert len(tree.edges()) == len(tree.vertices) - 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            AggregationTree(num_leaves=0)
+        with pytest.raises(ConfigurationError):
+            AggregationTree(num_leaves=4, branching=1)
+
+    def test_repr(self):
+        assert "AggregationTree" in repr(AggregationTree(num_leaves=4))

@@ -1,0 +1,187 @@
+"""Small-scale smoke and shape tests for the experiment runners.
+
+These tests execute every table/figure runner at a reduced scale and assert
+the *qualitative* properties the paper reports (errors below epsilon, memory
+and transfer-volume ordering between variants), not absolute values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CounterType
+from repro.core.errors import ConfigurationError
+from repro.experiments import (
+    dataset_specs,
+    format_centralized_rows,
+    format_centralized_vs_distributed_rows,
+    format_complexity_rows,
+    format_distributed_rows,
+    format_epsilon_split_rows,
+    format_merge_strategy_rows,
+    format_network_size_rows,
+    format_update_rate_rows,
+    load_dataset,
+    run_centralized_error_experiment,
+    run_centralized_vs_distributed_experiment,
+    run_complexity_experiment,
+    run_distributed_error_experiment,
+    run_epsilon_split_ablation,
+    run_merge_strategy_ablation,
+    run_network_size_experiment,
+    run_update_rate_experiment,
+)
+
+
+SMALL = dict(num_records=2_500, max_keys_per_range=30)
+
+
+class TestCommon:
+    def test_dataset_specs(self):
+        specs = dataset_specs()
+        assert specs["wc98"].num_nodes == 33
+        assert specs["snmp"].num_nodes == 535
+
+    def test_load_dataset(self):
+        assert len(load_dataset("wc98", num_records=500)) == 500
+        assert len(load_dataset("snmp", num_records=500)) == 500
+        with pytest.raises(ConfigurationError):
+            load_dataset("unknown")
+
+    def test_load_dataset_is_deterministic(self):
+        a = load_dataset("wc98", num_records=200)
+        b = load_dataset("wc98", num_records=200)
+        assert [r.key for r in a] == [r.key for r in b]
+
+
+class TestFigure4Centralized:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_centralized_error_experiment(
+            dataset="wc98", epsilons=(0.1, 0.25), num_records=2_500, max_keys_per_range=30
+        )
+
+    def test_row_coverage(self, rows):
+        variants = {(row.variant, row.query_type) for row in rows}
+        assert ("ECM-EH", "point") in variants
+        assert ("ECM-DW", "point") in variants
+        assert ("ECM-RW", "point") in variants
+        assert ("ECM-EH", "self-join") in variants
+        # The paper gives no self-join guarantee for randomized waves.
+        assert ("ECM-RW", "self-join") not in variants
+
+    def test_observed_error_below_epsilon(self, rows):
+        for row in rows:
+            assert row.average_error <= row.epsilon
+            assert row.maximum_error <= 1.5 * row.epsilon
+
+    def test_memory_ordering_matches_paper(self, rows):
+        by_variant = {
+            row.variant: row.memory_bytes
+            for row in rows
+            if row.query_type == "point" and row.epsilon == 0.1
+        }
+        assert by_variant["ECM-EH"] < by_variant["ECM-DW"]
+        assert by_variant["ECM-RW"] > 5 * by_variant["ECM-EH"]
+
+    def test_memory_decreases_with_epsilon(self, rows):
+        eh_rows = {row.epsilon: row.memory_bytes for row in rows
+                   if row.variant == "ECM-EH" and row.query_type == "point"}
+        assert eh_rows[0.25] < eh_rows[0.1]
+
+    def test_formatting(self, rows):
+        text = format_centralized_rows(rows)
+        assert "ECM-EH" in text
+        assert "avg err" in text
+
+
+class TestTable3UpdateRates:
+    def test_ordering(self):
+        rows = run_update_rate_experiment(dataset="wc98", num_records=2_000)
+        rates = {row.variant: row.updates_per_second for row in rows}
+        assert rates["ECM-EH"] > rates["ECM-RW"]
+        assert rates["ECM-DW"] > rates["ECM-RW"]
+        text = format_update_rate_rows(rows)
+        assert "updates/sec" in text
+
+
+class TestFigure5AndTable4Distributed:
+    def test_distributed_error_rows(self):
+        rows = run_distributed_error_experiment(
+            dataset="wc98", epsilons=(0.2,), num_records=2_000, num_nodes=8, max_keys_per_range=30
+        )
+        variants = {row.variant for row in rows}
+        assert variants == {"ECM-EH", "ECM-RW"}
+        for row in rows:
+            assert row.average_error <= row.epsilon
+            assert row.transfer_bytes > 0
+        eh_transfer = next(r.transfer_bytes for r in rows if r.variant == "ECM-EH" and r.query_type == "point")
+        rw_transfer = next(r.transfer_bytes for r in rows if r.variant == "ECM-RW" and r.query_type == "point")
+        assert rw_transfer > 5 * eh_transfer
+        assert "transfer(MB)" in format_distributed_rows(rows)
+
+    def test_centralized_vs_distributed_rows(self):
+        rows = run_centralized_vs_distributed_experiment(
+            dataset="wc98", epsilons=(0.2,), num_records=2_000, num_nodes=8,
+            variants=(CounterType.EXPONENTIAL_HISTOGRAM,), max_keys_per_range=30,
+        )
+        assert rows
+        for row in rows:
+            # Aggregation may only degrade accuracy mildly (paper: ratio ~1.0-1.25).
+            assert row.ratio < 3.0
+            assert row.distributed_error <= row.epsilon
+        assert "ratio" in format_centralized_vs_distributed_rows(rows)
+
+
+class TestFigure6NetworkSize:
+    def test_rows_and_trends(self):
+        rows = run_network_size_experiment(
+            dataset="wc98", network_sizes=(1, 4, 16), num_records=2_000,
+            max_keys_per_range=30, epsilon=0.15,
+        )
+        eh_rows = [row for row in rows if row.variant == "ECM-EH"]
+        rw_rows = [row for row in rows if row.variant == "ECM-RW"]
+        assert [row.num_nodes for row in eh_rows] == [1, 4, 16]
+        # Transfer volume grows with network size.
+        assert eh_rows[0].transfer_bytes < eh_rows[-1].transfer_bytes
+        # RW transfers at least 5x the EH volume at the same size.
+        assert rw_rows[-1].transfer_bytes > 5 * eh_rows[-1].transfer_bytes
+        # Errors stay below epsilon even after aggregation.
+        for row in rows:
+            assert row.point_average_error <= row.epsilon
+        assert rw_rows[0].self_join_average_error is None
+        assert "levels" in format_network_size_rows(rows)
+
+
+class TestTable2Complexity:
+    def test_rows(self):
+        rows = run_complexity_experiment(
+            epsilons=(0.1,), num_records=1_500, num_queries=50
+        )
+        by_variant = {row.variant: row for row in rows}
+        assert set(by_variant) == {"ECM-EH", "ECM-DW", "ECM-RW"}
+        assert by_variant["ECM-EH"].measured_bytes < by_variant["ECM-RW"].measured_bytes
+        for row in rows:
+            assert row.update_microseconds > 0
+            assert row.query_microseconds > 0
+            assert row.analytical_bytes > 0
+        assert "bound(bytes)" in format_complexity_rows(rows)
+
+
+class TestAblations:
+    def test_epsilon_split_ablation(self):
+        rows = run_epsilon_split_ablation(epsilons=(0.1,))
+        by_policy = {row.policy: row for row in rows}
+        assert by_policy["optimal"].memory_bytes <= by_policy["sw-heavy"].memory_bytes
+        assert by_policy["optimal"].memory_bytes <= by_policy["cm-heavy"].memory_bytes
+        for row in rows:
+            assert row.total_error == pytest.approx(0.1, rel=1e-3)
+        assert "policy" in format_epsilon_split_rows(rows)
+
+    def test_merge_strategy_ablation(self):
+        rows = run_merge_strategy_ablation(num_streams=4, arrivals_per_stream=1_500)
+        strategies = {row.strategy for row in rows}
+        assert strategies == {"half-half", "all-at-end"}
+        for row in rows:
+            assert 0.0 <= row.average_error <= row.maximum_error
+        assert "strategy" in format_merge_strategy_rows(rows)

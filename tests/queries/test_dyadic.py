@@ -1,0 +1,90 @@
+"""Unit tests (including property tests) for the dyadic-range machinery."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.queries import children_of, dyadic_cover, prefix_of, prefix_range, validate_universe_bits
+
+
+class TestPrefixes:
+    def test_prefix_of(self):
+        assert prefix_of(13, 0) == 13
+        assert prefix_of(13, 1) == 6
+        assert prefix_of(13, 2) == 3
+        assert prefix_of(13, 3) == 1
+
+    def test_prefix_of_invalid(self):
+        with pytest.raises(ConfigurationError):
+            prefix_of(-1, 0)
+        with pytest.raises(ConfigurationError):
+            prefix_of(1, -1)
+
+    def test_prefix_range(self):
+        assert prefix_range(3, 2) == (12, 15)
+        assert prefix_range(0, 4) == (0, 15)
+        assert prefix_range(7, 0) == (7, 7)
+
+    def test_children_partition_parent(self):
+        for prefix in range(8):
+            for level in range(1, 5):
+                lo, hi = prefix_range(prefix, level)
+                children = children_of(prefix, level)
+                covered = []
+                for child_prefix, child_level in children:
+                    child_lo, child_hi = prefix_range(child_prefix, child_level)
+                    covered.extend(range(child_lo, child_hi + 1))
+                assert covered == list(range(lo, hi + 1))
+
+    def test_leaf_has_no_children(self):
+        assert children_of(5, 0) == []
+
+    def test_validate_universe_bits(self):
+        assert validate_universe_bits(16) == 16
+        with pytest.raises(ConfigurationError):
+            validate_universe_bits(0)
+        with pytest.raises(ConfigurationError):
+            validate_universe_bits(63)
+
+
+class TestDyadicCover:
+    def test_full_universe_is_two_blocks_or_less(self):
+        cover = list(dyadic_cover(0, 15, 4))
+        covered = set()
+        for prefix, level in cover:
+            lo, hi = prefix_range(prefix, level)
+            covered.update(range(lo, hi + 1))
+        assert covered == set(range(16))
+        assert len(cover) <= 2
+
+    def test_single_key(self):
+        assert list(dyadic_cover(5, 5, 4)) == [(5, 0)]
+
+    def test_empty_interval(self):
+        assert list(dyadic_cover(7, 3, 4)) == []
+
+    def test_out_of_universe_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(dyadic_cover(0, 16, 4))
+        with pytest.raises(ConfigurationError):
+            list(dyadic_cover(-1, 3, 4))
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_cover_is_exact_and_disjoint(self, data):
+        universe_bits = data.draw(st.integers(min_value=1, max_value=12))
+        size = 1 << universe_bits
+        lo = data.draw(st.integers(min_value=0, max_value=size - 1))
+        hi = data.draw(st.integers(min_value=lo, max_value=size - 1))
+        cover = list(dyadic_cover(lo, hi, universe_bits))
+        covered = []
+        for prefix, level in cover:
+            block_lo, block_hi = prefix_range(prefix, level)
+            covered.extend(range(block_lo, block_hi + 1))
+        assert sorted(covered) == list(range(lo, hi + 1))
+        assert len(covered) == len(set(covered))
+        # At most 2 blocks per level of the decomposition.
+        assert len(cover) <= 2 * universe_bits

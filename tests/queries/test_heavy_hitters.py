@@ -1,0 +1,105 @@
+"""Unit tests for the keyed frequent-items tracker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.queries import FrequentItemsTracker
+
+
+WINDOW = 10_000.0
+
+
+def _tracker(universe_bits=10, epsilon=0.05):
+    return FrequentItemsTracker(
+        epsilon=epsilon, delta=0.05, window=WINDOW, universe_bits=universe_bits
+    )
+
+
+class TestEncoding:
+    def test_distinct_keys_tracked(self):
+        tracker = _tracker()
+        tracker.add("/a", clock=1.0)
+        tracker.add("/b", clock=2.0)
+        tracker.add("/a", clock=3.0)
+        assert tracker.distinct_keys() == 2
+
+    def test_dictionary_capacity_enforced(self):
+        tracker = _tracker(universe_bits=2)
+        for index in range(4):
+            tracker.add("key-%d" % index, clock=float(index))
+        with pytest.raises(ConfigurationError):
+            tracker.add("key-overflow", clock=5.0)
+
+    def test_unseen_key_frequency_zero(self):
+        tracker = _tracker()
+        tracker.add("/a", clock=1.0)
+        assert tracker.frequency("/never") == 0.0
+
+
+class TestQueries:
+    def test_frequency_counts(self):
+        tracker = _tracker()
+        for clock in range(40):
+            tracker.add("/hot", clock=float(clock))
+            if clock % 4 == 0:
+                tracker.add("/cold", clock=float(clock))
+        assert tracker.frequency("/hot", now=39.0) >= 40.0
+        assert tracker.frequency("/cold", now=39.0) >= 10.0
+        assert tracker.estimate_total(now=39.0) >= 45.0
+
+    def test_heavy_hitters_with_string_keys(self, wc98_trace, wc98_exact):
+        tracker = FrequentItemsTracker(
+            epsilon=0.02, delta=0.05, window=100_000.0, universe_bits=12
+        )
+        for record in wc98_trace:
+            tracker.add(record.key, record.timestamp, record.value)
+        now = wc98_trace.end_time()
+        phi = 0.03
+        detected = tracker.heavy_hitters(phi=phi, now=now)
+        exact = wc98_exact.heavy_hitters(phi=phi, now=now)
+        # Theorem 5 guarantees recall of every item above the threshold...
+        assert set(exact).issubset(set(detected))
+        # ...and no item far below the (phi - eps) mark.
+        total = wc98_exact.arrivals(now=now)
+        for key in detected:
+            assert wc98_exact.frequency(key, now=now) >= (phi - 0.02) * total
+
+    def test_heavy_hitters_in_recent_range_only(self):
+        tracker = _tracker(epsilon=0.05)
+        for clock in range(100):
+            tracker.add("/early", clock=float(clock))
+        for clock in range(100, 140):
+            tracker.add("/late", clock=float(clock))
+        recent = tracker.heavy_hitters(phi=0.5, range_length=40.0, now=139.0)
+        assert "/late" in recent
+        assert "/early" not in recent
+
+    def test_top_k(self):
+        tracker = _tracker()
+        for clock in range(30):
+            tracker.add("/popular", clock=float(clock))
+            tracker.add("/page-%d" % (clock % 10), clock=float(clock))
+        top = tracker.top_k(3, now=29.0)
+        assert top[0][0] == "/popular"
+        assert len(top) == 3
+        assert top[0][1] >= top[1][1] >= top[2][1]
+
+    def test_top_k_invalid(self):
+        with pytest.raises(ConfigurationError):
+            _tracker().top_k(0)
+
+    def test_absolute_threshold(self):
+        tracker = _tracker()
+        for clock in range(25):
+            tracker.add("/hot", clock=float(clock))
+        detected = tracker.heavy_hitters(phi=0.0, absolute_threshold=20, now=24.0)
+        assert "/hot" in detected
+
+    def test_memory_and_accessors(self):
+        tracker = _tracker(universe_bits=6)
+        tracker.add("/a", clock=1.0)
+        assert tracker.memory_bytes() > 0
+        assert tracker.sketch().universe_size == 64
+        assert "FrequentItemsTracker" in repr(tracker)

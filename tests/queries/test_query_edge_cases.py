@@ -1,0 +1,77 @@
+"""Edge-case coverage for the query layer that the main suites do not hit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CounterType
+from repro.core.errors import WindowModelError
+from repro.queries import FrequentItemsTracker, HierarchicalECMSketch
+from repro.windows import WindowModel
+
+
+class TestAlternativeCounterBackends:
+    def test_tracker_with_deterministic_wave_counters(self):
+        tracker = FrequentItemsTracker(
+            epsilon=0.1, delta=0.1, window=1_000.0, universe_bits=6,
+            counter_type=CounterType.DETERMINISTIC_WAVE, max_arrivals=5_000,
+        )
+        for clock in range(200):
+            tracker.add("/hot", clock=float(clock))
+            tracker.add("/cold-%d" % (clock % 20), clock=float(clock))
+        hitters = tracker.heavy_hitters(phi=0.3, now=199.0)
+        assert "/hot" in hitters
+
+    def test_hierarchical_with_randomized_wave_counters(self):
+        sketch = HierarchicalECMSketch(
+            universe_bits=5, epsilon=0.2, delta=0.2, window=1_000.0,
+            counter_type=CounterType.RANDOMIZED_WAVE, max_arrivals=2_000,
+        )
+        for clock in range(300):
+            sketch.add(clock % 32, clock=float(clock))
+        assert sketch.range_query(0, 31, now=299.0) >= 250
+
+
+class TestWindowModelInteractions:
+    def test_count_based_stack_refuses_aggregation(self):
+        stacks = []
+        for tag in range(2):
+            stack = HierarchicalECMSketch(
+                universe_bits=4, epsilon=0.2, delta=0.2, window=100,
+                model=WindowModel.COUNT_BASED, stream_tag=tag,
+            )
+            stack.add(3, clock=1.0)
+            stacks.append(stack)
+        with pytest.raises(WindowModelError):
+            HierarchicalECMSketch.aggregate(stacks)
+
+    def test_count_based_tracker_frequency(self):
+        tracker = FrequentItemsTracker(
+            epsilon=0.1, delta=0.1, window=50, universe_bits=7,
+            model=WindowModel.COUNT_BASED,
+        )
+        for index in range(1, 201):
+            tracker.add("even" if index % 2 == 0 else "odd-%d" % (index % 40), clock=float(index))
+        # Of the last 50 arrivals, ~25 are "even".
+        estimate = tracker.frequency("even", range_length=50, now=200.0)
+        assert abs(estimate - 25) <= 0.1 * 50 + 2
+
+
+class TestQuantileAndRangeBoundaries:
+    def test_quantile_of_point_mass(self):
+        sketch = HierarchicalECMSketch(universe_bits=6, epsilon=0.1, delta=0.1, window=1_000.0)
+        for clock in range(100):
+            sketch.add(42, clock=float(clock))
+        assert sketch.quantile(0.0, now=99.0) <= 42
+        assert sketch.quantile(0.5, now=99.0) == 42
+        assert sketch.quantile(1.0, now=99.0) == 42
+
+    def test_range_query_outside_observed_keys_is_small(self):
+        sketch = HierarchicalECMSketch(universe_bits=8, epsilon=0.05, delta=0.05, window=1_000.0)
+        for clock in range(200):
+            sketch.add(clock % 16, clock=float(clock))
+        assert sketch.range_query(200, 255, now=199.0) <= 0.2 * 200
+
+    def test_heavy_hitters_on_empty_sketch(self):
+        sketch = HierarchicalECMSketch(universe_bits=4, epsilon=0.2, delta=0.2, window=100.0)
+        assert sketch.heavy_hitters(phi=0.5, absolute_threshold=1.0) == {}

@@ -1,0 +1,130 @@
+"""Unit tests for the synthetic trace generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.streams import (
+    SnmpSyntheticTrace,
+    UniformTrace,
+    WorldCupSyntheticTrace,
+    ZipfSampler,
+    generate_arrival_times,
+    make_trace,
+)
+
+
+class TestZipfSampler:
+    def test_range(self):
+        sampler = ZipfSampler(domain_size=100, exponent=1.1, seed=0)
+        for value in sampler.sample_many(1_000):
+            assert 0 <= value < 100
+
+    def test_skew(self):
+        """With a Zipf exponent > 1 the most popular item dominates."""
+        sampler = ZipfSampler(domain_size=1_000, exponent=1.2, seed=1)
+        samples = sampler.sample_many(10_000)
+        top_share = samples.count(0) / len(samples)
+        tail_share = samples.count(900) / len(samples)
+        assert top_share > 0.05
+        assert top_share > 10 * max(tail_share, 1e-4)
+
+    def test_uniform_when_exponent_zero(self):
+        sampler = ZipfSampler(domain_size=10, exponent=0.0, seed=2)
+        samples = sampler.sample_many(10_000)
+        counts = [samples.count(i) for i in range(10)]
+        assert max(counts) < 2 * min(counts)
+
+    def test_deterministic_given_seed(self):
+        a = ZipfSampler(domain_size=50, exponent=1.0, seed=7).sample_many(100)
+        b = ZipfSampler(domain_size=50, exponent=1.0, seed=7).sample_many(100)
+        assert a == b
+
+    def test_probability_sums_to_one(self):
+        sampler = ZipfSampler(domain_size=20, exponent=1.0)
+        assert sum(sampler.probability(i) for i in range(20)) == pytest.approx(1.0)
+        assert sampler.probability(-1) == 0.0
+        assert sampler.probability(20) == 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(domain_size=0, exponent=1.0)
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(domain_size=10, exponent=-1.0)
+
+
+class TestArrivalTimes:
+    def test_monotone_and_in_range(self):
+        times = generate_arrival_times(1_000, duration=10_000.0, seed=3)
+        assert times == sorted(times)
+        assert all(0 <= t <= 10_000.0 for t in times)
+        assert len(times) == 1_000
+
+    def test_zero_records(self):
+        assert generate_arrival_times(0, duration=100.0) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            generate_arrival_times(-1, duration=100.0)
+        with pytest.raises(ConfigurationError):
+            generate_arrival_times(10, duration=0.0)
+        with pytest.raises(ConfigurationError):
+            generate_arrival_times(10, duration=100.0, diurnal_amplitude=1.5)
+
+
+class TestTraceGenerators:
+    def test_worldcup_trace_shape(self):
+        trace = WorldCupSyntheticTrace(num_records=2_000, num_nodes=33, domain_size=100).generate()
+        assert len(trace) == 2_000
+        assert all(0 <= record.node < 33 for record in trace)
+        assert all(str(record.key).startswith("/page/") for record in trace)
+
+    def test_worldcup_keys_are_skewed(self):
+        trace = WorldCupSyntheticTrace(num_records=5_000, domain_size=500).generate()
+        frequencies = trace.key_frequencies()
+        top = max(frequencies.values())
+        assert top > 5 * (len(trace) / len(frequencies))
+
+    def test_snmp_trace_shape(self):
+        trace = SnmpSyntheticTrace(num_records=1_500, num_nodes=50, domain_size=100).generate()
+        assert len(trace) == 1_500
+        assert all(0 <= record.node < 50 for record in trace)
+        assert all(":" in str(record.key) for record in trace)
+
+    def test_snmp_locality(self):
+        """Most records of a client should be observed by its home access point."""
+        trace = SnmpSyntheticTrace(
+            num_records=4_000, num_nodes=40, domain_size=50, roaming_probability=0.1
+        ).generate()
+        per_key_nodes = {}
+        for record in trace:
+            per_key_nodes.setdefault(record.key, []).append(record.node)
+        dominant_shares = []
+        for nodes in per_key_nodes.values():
+            if len(nodes) >= 20:
+                most_common = max(set(nodes), key=nodes.count)
+                dominant_shares.append(nodes.count(most_common) / len(nodes))
+        assert dominant_shares and sum(dominant_shares) / len(dominant_shares) > 0.6
+
+    def test_snmp_invalid_roaming(self):
+        with pytest.raises(ConfigurationError):
+            SnmpSyntheticTrace(roaming_probability=1.5)
+
+    def test_uniform_trace_shape(self):
+        trace = UniformTrace(num_records=500, num_nodes=4, domain_size=16).generate()
+        assert len(trace) == 500
+        assert len(trace.keys()) <= 16
+
+    def test_traces_are_reproducible(self):
+        a = WorldCupSyntheticTrace(num_records=300, seed=5).generate()
+        b = WorldCupSyntheticTrace(num_records=300, seed=5).generate()
+        assert [r.key for r in a] == [r.key for r in b]
+        assert [r.timestamp for r in a] == [r.timestamp for r in b]
+
+    def test_make_trace_factory(self):
+        assert len(make_trace("wc98", num_records=100)) == 100
+        assert len(make_trace("snmp", num_records=100)) == 100
+        assert len(make_trace("uniform", num_records=100)) == 100
+        with pytest.raises(ConfigurationError):
+            make_trace("unknown")

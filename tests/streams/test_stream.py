@@ -1,0 +1,103 @@
+"""Unit tests for the stream abstractions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.streams import Stream, StreamRecord
+
+
+def _records():
+    return [
+        StreamRecord(timestamp=3.0, key="b", node=1),
+        StreamRecord(timestamp=1.0, key="a", node=0),
+        StreamRecord(timestamp=2.0, key="a", node=1),
+        StreamRecord(timestamp=5.0, key="c", node=2, value=2),
+    ]
+
+
+class TestStreamBasics:
+    def test_records_sorted_by_time(self):
+        stream = Stream(_records())
+        timestamps = [record.timestamp for record in stream]
+        assert timestamps == sorted(timestamps)
+
+    def test_len_and_getitem(self):
+        stream = Stream(_records())
+        assert len(stream) == 4
+        assert stream[0].timestamp == 1.0
+
+    def test_keys_and_nodes(self):
+        stream = Stream(_records())
+        assert set(stream.keys()) == {"a", "b", "c"}
+        assert set(stream.nodes()) == {0, 1, 2}
+
+    def test_time_bounds_and_duration(self):
+        stream = Stream(_records())
+        assert stream.start_time() == 1.0
+        assert stream.end_time() == 5.0
+        assert stream.duration() == 4.0
+
+    def test_empty_stream_bounds_raise(self):
+        stream = Stream([])
+        assert stream.is_empty()
+        with pytest.raises(ConfigurationError):
+            stream.start_time()
+        with pytest.raises(ConfigurationError):
+            stream.end_time()
+
+    def test_total_arrivals_counts_values(self):
+        stream = Stream(_records())
+        assert stream.total_arrivals() == 5
+
+    def test_key_frequencies(self):
+        stream = Stream(_records())
+        assert stream.key_frequencies() == {"a": 2, "b": 1, "c": 2}
+
+    def test_repr(self):
+        assert "Stream" in repr(Stream(_records()))
+
+
+class TestPartitioning:
+    def test_partition_by_node(self):
+        stream = Stream(_records())
+        parts = stream.partition_by_node()
+        assert set(parts) == {0, 1, 2}
+        assert len(parts[1]) == 2
+        assert all(record.node == 1 for record in parts[1])
+
+    def test_partition_round_trip_via_concatenate(self):
+        stream = Stream(_records())
+        parts = stream.partition_by_node()
+        union = Stream.concatenate(parts.values())
+        assert len(union) == len(stream)
+        assert [r.timestamp for r in union] == [r.timestamp for r in stream]
+
+    def test_reassign_round_robin_balances(self):
+        records = [StreamRecord(timestamp=float(i), key="k", node=0) for i in range(100)]
+        stream = Stream(records)
+        reassigned = stream.reassign_round_robin(4)
+        counts = {}
+        for record in reassigned:
+            counts[record.node] = counts.get(record.node, 0) + 1
+        assert set(counts) == {0, 1, 2, 3}
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_reassign_round_robin_rejects_bad_input(self):
+        with pytest.raises(ConfigurationError):
+            Stream(_records()).reassign_round_robin(0)
+
+    def test_filter(self):
+        stream = Stream(_records())
+        only_a = stream.filter(lambda record: record.key == "a")
+        assert len(only_a) == 2
+
+    def test_tail(self):
+        stream = Stream(_records())
+        recent = stream.tail(range_length=3.0)
+        assert all(record.timestamp > 2.0 for record in recent)
+
+    def test_head(self):
+        stream = Stream(_records())
+        assert len(stream.head(2)) == 2

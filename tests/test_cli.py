@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def run_cli(argv):
+    """Invoke the CLI capturing its output lines; returns (exit_code, lines)."""
+    lines = []
+    code = main(argv, out=lines.append)
+    return code, lines
+
+
+class TestParser:
+    def test_no_command_shows_help(self, capsys):
+        code, _lines = run_cli([])
+        assert code == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_run_requires_known_experiment(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "figure99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "figure4"])
+        assert args.dataset == "wc98"
+        assert args.records == 8_000
+        assert args.epsilons == [0.05, 0.10, 0.25]
+
+    def test_experiment_registry_covers_all_paper_artifacts(self):
+        assert set(EXPERIMENTS) == {
+            "table2", "figure4", "table3", "figure5", "table4", "figure6", "ablations",
+        }
+
+
+class TestCommands:
+    def test_list(self):
+        code, lines = run_cli(["list"])
+        assert code == 0
+        joined = "\n".join(lines)
+        for name in EXPERIMENTS:
+            assert name in joined
+
+    def test_demo_small(self):
+        code, lines = run_cli(["demo", "--records", "1500", "--epsilon", "0.1"])
+        assert code == 0
+        assert any("PASSED" in line for line in lines)
+
+    def test_run_table3_small(self):
+        code, lines = run_cli(["run", "table3", "--records", "1500"])
+        assert code == 0
+        joined = "\n".join(lines)
+        assert "updates/sec" in joined
+        assert "ECM-EH" in joined and "ECM-RW" in joined
+
+    def test_run_figure4_small(self):
+        code, lines = run_cli([
+            "run", "figure4", "--records", "1500", "--epsilons", "0.2", "--max-keys", "20",
+        ])
+        assert code == 0
+        joined = "\n".join(lines)
+        assert "avg err" in joined
+        assert "wc98" in joined
+
+    def test_run_figure6_small(self):
+        code, lines = run_cli([
+            "run", "figure6", "--records", "1200", "--network-sizes", "1", "4", "--max-keys", "20",
+        ])
+        assert code == 0
+        joined = "\n".join(lines)
+        assert "levels" in joined
+
+    def test_run_ablations(self):
+        code, lines = run_cli(["run", "ablations", "--records", "1000"])
+        assert code == 0
+        joined = "\n".join(lines)
+        assert "policy" in joined and "strategy" in joined
+
+    def test_run_on_snmp_dataset(self):
+        code, lines = run_cli([
+            "run", "table3", "--dataset", "snmp", "--records", "1200",
+        ])
+        assert code == 0
+        assert any("snmp" in line for line in lines)
+
+    def test_run_with_json_output(self, tmp_path):
+        output = tmp_path / "table3.json"
+        code, lines = run_cli([
+            "run", "table3", "--records", "1200", "--output", str(output),
+        ])
+        assert code == 0
+        assert output.exists()
+        import json
+
+        payload = json.loads(output.read_text())
+        assert {entry["variant"] for entry in payload} == {"ECM-EH", "ECM-DW", "ECM-RW"}
+        assert any(str(output) in line for line in lines)
+
+    def test_run_with_csv_output(self, tmp_path):
+        output = tmp_path / "ablations.csv"
+        code, _lines = run_cli([
+            "run", "ablations", "--records", "1000", "--output", str(output),
+        ])
+        assert code == 0
+        assert output.exists()
+        header = output.read_text().splitlines()[0]
+        assert "policy" in header

@@ -1,0 +1,101 @@
+"""End-to-end integration tests: the shipped examples must run and make sense.
+
+Each example's ``main()`` is executed with its default (seconds-scale)
+parameters; stdout is captured and checked for the claims the example makes.
+These tests double as integration coverage of the whole public API surface:
+sketch construction, ingestion, querying, aggregation, heavy hitters and
+geometric monitoring all run together exactly as a downstream user would run
+them.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _examples_on_path():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    yield
+    sys.path.remove(str(EXAMPLES_DIR))
+
+
+def _run_example(module_name: str, capsys) -> str:
+    module = importlib.import_module(module_name)
+    module.main()
+    return capsys.readouterr().out
+
+
+@pytest.mark.integration
+def test_quickstart_example(capsys):
+    output = _run_example("quickstart", capsys)
+    assert "point queries for the most popular page" in output
+    assert "self-join over the full window" in output
+    # Every reported relative error column value must be below epsilon (0.05).
+    for line in output.splitlines():
+        parts = line.split()
+        if len(parts) == 4 and parts[0].replace(".", "").isdigit():
+            assert float(parts[3]) <= 0.05
+
+
+@pytest.mark.integration
+def test_network_monitoring_example(capsys):
+    output = _run_example("network_monitoring", capsys)
+    assert "ATTACK CONFIRMED" in output
+    assert "aggregation:" in output
+    assert "203.0.113.7" in output
+
+
+@pytest.mark.integration
+def test_distributed_aggregation_example(capsys):
+    output = _run_example("distributed_aggregation", capsys)
+    assert "ECM-EH" in output and "ECM-RW" in output
+    assert "degradation ratio" in output
+    # The example prints the transfer volume for both variants; the RW one
+    # must be the larger of the two (the paper's headline distributed result).
+    volumes = [
+        float(line.split()[-2])
+        for line in output.splitlines()
+        if line.strip().startswith("transfer volume:")
+    ]
+    assert len(volumes) == 2
+    assert volumes[1] > volumes[0]
+
+
+@pytest.mark.integration
+def test_heavy_hitters_and_quantiles_example(capsys):
+    output = _run_example("heavy_hitters_and_quantiles", capsys)
+    assert "recall of exact heavy hitters" in output
+    # All well-known hot ports must be reported as heavy hitters.
+    for port in ("80", "443", "53", "22"):
+        assert "\n%8s " % port in output or " %s " % port in output
+    assert "quantiles of the in-window port distribution" in output
+
+
+@pytest.mark.integration
+def test_count_based_windows_example(capsys):
+    output = _run_example("count_based_windows", capsys)
+    assert "after the incident" in output
+    assert "WindowModelError" in output
+    # The incident must be clearly visible in the windowed error rate.
+    healthy_line, incident_line = [
+        line for line in output.splitlines() if "errors in last" in line
+    ]
+    healthy_rate = float(healthy_line.split("rate ")[1].rstrip("%)"))
+    incident_rate = float(incident_line.split("rate ")[1].rstrip("%)"))
+    assert incident_rate > 5 * healthy_rate
+
+
+@pytest.mark.integration
+def test_continuous_monitoring_example(capsys):
+    output = _run_example("continuous_monitoring", capsys)
+    assert "threshold crossing detected" in output
+    assert "global synchronisations" in output
+    # Communication must be far below naive per-arrival shipping.
+    assert "x more" in output

@@ -1,0 +1,209 @@
+"""Round-trip tests for the sketch wire format."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core import CountMinSketch, CounterType, ECMConfig, ECMSketch
+from repro.core.errors import ConfigurationError
+from repro.serialization import (
+    FORMAT_VERSION,
+    config_from_dict,
+    config_to_dict,
+    countmin_from_dict,
+    countmin_to_dict,
+    dumps,
+    ecm_sketch_from_dict,
+    ecm_sketch_to_dict,
+    histogram_from_dict,
+    histogram_to_dict,
+    loads,
+    randomized_wave_from_dict,
+    randomized_wave_to_dict,
+    wave_from_dict,
+    wave_to_dict,
+)
+from repro.windows import DeterministicWave, ExponentialHistogram, RandomizedWave, WindowModel
+
+from .conftest import make_arrivals
+
+
+WINDOW = 50_000.0
+
+
+class TestWindowCounterRoundTrips:
+    def test_exponential_histogram_round_trip(self, rng):
+        histogram = ExponentialHistogram(epsilon=0.05, window=WINDOW)
+        arrivals = make_arrivals(rng, 3_000, mean_gap=5.0)
+        for clock in arrivals:
+            histogram.add(clock)
+        restored = histogram_from_dict(histogram_to_dict(histogram))
+        now = histogram.last_clock
+        for range_length in (100, 1_000, 10_000, WINDOW):
+            assert restored.estimate(range_length, now=now) == histogram.estimate(range_length, now=now)
+        assert restored.total_arrivals() == histogram.total_arrivals()
+        assert restored.bucket_count() == histogram.bucket_count()
+
+    def test_restored_histogram_keeps_ingesting(self, rng):
+        histogram = ExponentialHistogram(epsilon=0.1, window=WINDOW)
+        for clock in make_arrivals(rng, 500, mean_gap=5.0):
+            histogram.add(clock)
+        restored = histogram_from_dict(histogram_to_dict(histogram))
+        follow_up = make_arrivals(rng, 500, mean_gap=5.0)
+        base = histogram.last_clock
+        for clock in follow_up:
+            histogram.add(base + clock)
+            restored.add(base + clock)
+        now = histogram.last_clock
+        assert restored.estimate(None, now=now) == histogram.estimate(None, now=now)
+
+    def test_deterministic_wave_round_trip(self, rng):
+        wave = DeterministicWave(epsilon=0.05, window=WINDOW, max_arrivals=10_000)
+        for clock in make_arrivals(rng, 3_000, mean_gap=5.0):
+            wave.add(clock)
+        restored = wave_from_dict(wave_to_dict(wave))
+        now = wave.last_clock
+        for range_length in (100, 1_000, 10_000, WINDOW):
+            assert restored.estimate(range_length, now=now) == wave.estimate(range_length, now=now)
+        assert restored.checkpoint_count() == wave.checkpoint_count()
+
+    def test_randomized_wave_round_trip(self, rng):
+        wave = RandomizedWave(epsilon=0.15, delta=0.1, window=WINDOW, max_arrivals=10_000, seed=5)
+        for clock in make_arrivals(rng, 2_000, mean_gap=5.0):
+            wave.add(clock)
+        restored = randomized_wave_from_dict(randomized_wave_to_dict(wave))
+        now = wave.last_clock
+        for range_length in (100, 1_000, 10_000, WINDOW):
+            assert restored.estimate(range_length, now=now) == wave.estimate(range_length, now=now)
+        assert restored.entry_count() == wave.entry_count()
+
+    def test_restored_randomized_wave_still_merges(self, rng):
+        a = RandomizedWave(epsilon=0.2, delta=0.2, window=WINDOW, max_arrivals=5_000, stream_tag=1)
+        b = RandomizedWave(epsilon=0.2, delta=0.2, window=WINDOW, max_arrivals=5_000, stream_tag=2)
+        for clock in make_arrivals(rng, 500, mean_gap=5.0):
+            a.add(clock)
+            b.add(clock + 0.5)
+        restored = randomized_wave_from_dict(randomized_wave_to_dict(a))
+        merged = RandomizedWave.merged([restored, b])
+        assert merged.total_arrivals() == a.total_arrivals() + b.total_arrivals()
+
+
+class TestCountMinAndConfig:
+    def test_countmin_round_trip(self):
+        rng = random.Random(2)
+        sketch = CountMinSketch(width=64, depth=4, seed=9)
+        for _ in range(2_000):
+            sketch.add("key-%d" % rng.randrange(200))
+        restored = countmin_from_dict(countmin_to_dict(sketch))
+        assert restored.counters() == sketch.counters()
+        assert restored.point_query("key-3") == sketch.point_query("key-3")
+        assert restored.total() == sketch.total()
+
+    def test_config_round_trip(self):
+        config = ECMConfig.for_point_queries(
+            epsilon=0.1, delta=0.1, window=WINDOW,
+            counter_type=CounterType.DETERMINISTIC_WAVE, max_arrivals=5_000, seed=3,
+        )
+        restored = config_from_dict(config_to_dict(config))
+        assert restored.epsilon_cm == config.epsilon_cm
+        assert restored.epsilon_sw == config.epsilon_sw
+        assert restored.counter_type is config.counter_type
+        assert restored.width == config.width
+        assert restored.depth == config.depth
+
+
+class TestECMSketchRoundTrips:
+    @pytest.mark.parametrize(
+        "counter_type",
+        [CounterType.EXPONENTIAL_HISTOGRAM, CounterType.DETERMINISTIC_WAVE, CounterType.RANDOMIZED_WAVE],
+    )
+    def test_round_trip_preserves_queries(self, uniform_trace, counter_type):
+        sketch = ECMSketch.for_point_queries(
+            epsilon=0.2, delta=0.2, window=WINDOW,
+            counter_type=counter_type, max_arrivals=10_000,
+        )
+        for record in uniform_trace:
+            sketch.add(record.key, record.timestamp, record.value)
+        restored = ecm_sketch_from_dict(ecm_sketch_to_dict(sketch))
+        now = uniform_trace.end_time()
+        for key in list(uniform_trace.keys())[:15]:
+            assert restored.point_query(key, now=now) == sketch.point_query(key, now=now)
+        assert restored.total_arrivals() == sketch.total_arrivals()
+        assert restored.memory_bytes() == sketch.memory_bytes()
+
+    def test_restored_sketch_still_aggregates(self, uniform_trace):
+        config = ECMConfig.for_point_queries(epsilon=0.1, delta=0.1, window=WINDOW)
+        parts = [ECMSketch(config, stream_tag=i) for i in range(2)]
+        for index, record in enumerate(uniform_trace):
+            parts[index % 2].add(record.key, record.timestamp, record.value)
+        shipped = [ecm_sketch_from_dict(ecm_sketch_to_dict(part)) for part in parts]
+        merged = ECMSketch.aggregate(shipped)
+        assert merged.total_arrivals() == len(uniform_trace)
+
+    def test_shape_mismatch_rejected(self, uniform_trace):
+        sketch = ECMSketch.for_point_queries(epsilon=0.2, delta=0.2, window=WINDOW)
+        sketch.add("x", clock=1.0)
+        payload = ecm_sketch_to_dict(sketch)
+        payload["counters"] = payload["counters"][:1]
+        with pytest.raises(ConfigurationError):
+            ecm_sketch_from_dict(payload)
+
+
+class TestJsonLayer:
+    def test_dumps_loads_all_kinds(self, rng):
+        histogram = ExponentialHistogram(epsilon=0.1, window=WINDOW)
+        histogram.add(1.0)
+        wave = DeterministicWave(epsilon=0.1, window=WINDOW, max_arrivals=100)
+        wave.add(1.0)
+        rw = RandomizedWave(epsilon=0.3, delta=0.3, window=WINDOW, max_arrivals=100)
+        rw.add(1.0)
+        cm = CountMinSketch(width=8, depth=2)
+        cm.add("x")
+        ecm = ECMSketch.for_point_queries(epsilon=0.2, delta=0.2, window=WINDOW)
+        ecm.add("x", clock=1.0)
+        config = ECMConfig.for_point_queries(epsilon=0.2, delta=0.2, window=WINDOW)
+        for obj, kind in [
+            (histogram, ExponentialHistogram),
+            (wave, DeterministicWave),
+            (rw, RandomizedWave),
+            (cm, CountMinSketch),
+            (ecm, ECMSketch),
+            (config, ECMConfig),
+        ]:
+            data = dumps(obj)
+            assert isinstance(data, bytes)
+            assert json.loads(data.decode())["version"] == FORMAT_VERSION
+            restored = loads(data)
+            assert isinstance(restored, kind)
+
+    def test_loads_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            loads(b"not json at all {")
+        with pytest.raises(ConfigurationError):
+            loads(b'{"no": "kind"}')
+        with pytest.raises(ConfigurationError):
+            loads(b'{"kind": "mystery", "version": 1}')
+
+    def test_version_mismatch_rejected(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=WINDOW)
+        payload = histogram_to_dict(histogram)
+        payload["version"] = 999
+        with pytest.raises(ConfigurationError):
+            histogram_from_dict(payload)
+
+    def test_dumps_rejects_unknown_type(self):
+        with pytest.raises(ConfigurationError):
+            dumps(object())  # type: ignore[arg-type]
+
+    def test_wire_size_tracks_memory_model(self, uniform_trace):
+        """The JSON payload should be the same order of magnitude as the
+        analytical 32-bit footprint (it is a textual encoding, so larger,
+        but not wildly so)."""
+        sketch = ECMSketch.for_point_queries(epsilon=0.2, delta=0.2, window=WINDOW)
+        for record in uniform_trace:
+            sketch.add(record.key, record.timestamp, record.value)
+        payload = dumps(sketch)
+        assert len(payload) < 40 * sketch.memory_bytes()

@@ -1,0 +1,74 @@
+"""Property-based tests for the wire format: round trips on arbitrary streams."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CounterType, ECMSketch
+from repro.serialization import dumps, loads
+from repro.windows import ExponentialHistogram, RandomizedWave
+
+
+keyed_streams = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=20), st.floats(min_value=0.01, max_value=20.0)),
+    min_size=1,
+    max_size=150,
+)
+
+
+def _materialise(pairs) -> List[Tuple[int, float]]:
+    clock = 0.0
+    out = []
+    for key, gap in pairs:
+        clock += gap
+        out.append((key, clock))
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(pairs=keyed_streams, fraction=st.floats(min_value=0.05, max_value=1.0))
+def test_histogram_round_trip_preserves_every_estimate(pairs, fraction):
+    histogram = ExponentialHistogram(epsilon=0.1, window=1e9)
+    arrivals = _materialise(pairs)
+    for _key, clock in arrivals:
+        histogram.add(clock)
+    restored = loads(dumps(histogram))
+    now = arrivals[-1][1]
+    range_length = max(0.01, fraction * now)
+    assert restored.estimate(range_length, now=now) == histogram.estimate(range_length, now=now)
+    assert restored.bucket_count() == histogram.bucket_count()
+
+
+@settings(max_examples=25, deadline=None)
+@given(pairs=keyed_streams, fraction=st.floats(min_value=0.05, max_value=1.0))
+def test_ecm_sketch_round_trip_preserves_point_queries(pairs, fraction):
+    sketch = ECMSketch.for_point_queries(epsilon=0.3, delta=0.3, window=1e9, seed=11)
+    arrivals = _materialise(pairs)
+    for key, clock in arrivals:
+        sketch.add(key, clock)
+    restored = loads(dumps(sketch))
+    now = arrivals[-1][1]
+    range_length = max(0.01, fraction * now)
+    for key in {key for key, _clock in arrivals}:
+        assert restored.point_query(key, range_length, now=now) == sketch.point_query(
+            key, range_length, now=now
+        )
+    assert restored.self_join(range_length, now=now) == sketch.self_join(range_length, now=now)
+
+
+@settings(max_examples=20, deadline=None)
+@given(pairs=keyed_streams)
+def test_randomized_wave_round_trip_preserves_samples(pairs):
+    wave = RandomizedWave(epsilon=0.3, delta=0.3, window=1e9, max_arrivals=1_000, seed=2)
+    arrivals = _materialise(pairs)
+    for _key, clock in arrivals:
+        wave.add(clock)
+    restored = loads(dumps(wave))
+    assert restored.entry_count() == wave.entry_count()
+    now = arrivals[-1][1]
+    for fraction in (0.1, 0.5, 1.0):
+        range_length = max(0.01, fraction * now)
+        assert restored.estimate(range_length, now=now) == wave.estimate(range_length, now=now)

@@ -1,0 +1,82 @@
+"""Unit tests for the sliding-window base abstractions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.windows import ExponentialHistogram, WindowModel
+from repro.windows.base import validate_delta, validate_epsilon, validate_window
+
+
+class TestValidators:
+    @pytest.mark.parametrize("value", [0.01, 0.5, 0.99])
+    def test_valid_epsilon(self, value):
+        assert validate_epsilon(value) == value
+
+    @pytest.mark.parametrize("value", [0.0, 1.0, -0.1, 5.0])
+    def test_invalid_epsilon(self, value):
+        with pytest.raises(ConfigurationError):
+            validate_epsilon(value)
+
+    @pytest.mark.parametrize("value", [0.0, 1.0, 2.0])
+    def test_invalid_delta(self, value):
+        with pytest.raises(ConfigurationError):
+            validate_delta(value)
+
+    def test_valid_delta(self):
+        assert validate_delta(0.05) == 0.05
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_invalid_window(self, value):
+        with pytest.raises(ConfigurationError):
+            validate_window(value)
+
+    def test_valid_window(self):
+        assert validate_window(100) == 100.0
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(ConfigurationError, match="my_eps"):
+            validate_epsilon(2.0, name="my_eps")
+
+
+class TestWindowModel:
+    def test_values(self):
+        assert WindowModel.TIME_BASED.value == "time"
+        assert WindowModel.COUNT_BASED.value == "count"
+
+    def test_str(self):
+        assert str(WindowModel.TIME_BASED) == "time"
+
+
+class TestQueryBoundResolution:
+    def test_defaults_to_last_clock_and_full_window(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=100)
+        histogram.add(50.0)
+        start, end = histogram.resolve_query_bounds(None, None)
+        assert end == 50.0
+        assert start == -50.0
+
+    def test_explicit_now(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=100)
+        histogram.add(50.0)
+        start, end = histogram.resolve_query_bounds(30, 80.0)
+        assert (start, end) == (50.0, 80.0)
+
+    def test_oversized_range_clamped_to_window(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=100)
+        histogram.add(10.0)
+        start, end = histogram.resolve_query_bounds(10_000, 10.0)
+        assert end - start == 100.0
+
+    def test_empty_counter_uses_zero_now(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=100)
+        start, end = histogram.resolve_query_bounds(None, None)
+        assert end == 0.0
+        assert start == -100.0
+
+    def test_non_positive_range_rejected(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=100)
+        histogram.add(1.0)
+        with pytest.raises(ConfigurationError):
+            histogram.resolve_query_bounds(0, 1.0)

@@ -1,0 +1,158 @@
+"""Unit tests for the deterministic wave sliding-window counter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError, OutOfOrderArrivalError
+from repro.windows import DeterministicWave, ExponentialHistogram, WindowModel
+from repro.windows.exact_window import ExactWindowCounter
+
+from ..conftest import make_arrivals
+
+
+class TestConstruction:
+    def test_valid_construction(self):
+        wave = DeterministicWave(epsilon=0.1, window=1000, max_arrivals=10_000)
+        assert wave.epsilon == 0.1
+        assert wave.max_arrivals == 10_000
+        assert wave.num_levels >= 1
+        assert wave.per_level >= 2
+
+    def test_requires_positive_max_arrivals(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicWave(epsilon=0.1, window=1000, max_arrivals=0)
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, -1.0])
+    def test_invalid_epsilon(self, epsilon):
+        with pytest.raises(ConfigurationError):
+            DeterministicWave(epsilon=epsilon, window=1000, max_arrivals=100)
+
+    def test_levels_grow_logarithmically_with_bound(self):
+        small = DeterministicWave(epsilon=0.1, window=1000, max_arrivals=1_000)
+        large = DeterministicWave(epsilon=0.1, window=1000, max_arrivals=1_000_000)
+        assert small.num_levels < large.num_levels
+        assert large.num_levels - small.num_levels <= 12
+
+
+class TestAdd:
+    def test_out_of_order_rejected(self):
+        wave = DeterministicWave(epsilon=0.1, window=1000, max_arrivals=100)
+        wave.add(10.0)
+        with pytest.raises(OutOfOrderArrivalError):
+            wave.add(9.0)
+
+    def test_negative_count_rejected(self):
+        wave = DeterministicWave(epsilon=0.1, window=1000, max_arrivals=100)
+        with pytest.raises(ConfigurationError):
+            wave.add(1.0, count=-2)
+
+    def test_zero_count_noop(self):
+        wave = DeterministicWave(epsilon=0.1, window=1000, max_arrivals=100)
+        wave.add(1.0, count=0)
+        assert wave.total_arrivals() == 0
+
+    def test_bulk_count(self):
+        wave = DeterministicWave(epsilon=0.1, window=1000, max_arrivals=100)
+        wave.add(1.0, count=5)
+        assert wave.total_arrivals() == 5
+
+    def test_every_arrival_recorded_at_level_zero(self):
+        wave = DeterministicWave(epsilon=0.5, window=1000, max_arrivals=100)
+        for clock in [1.0, 2.0, 3.0]:
+            wave.add(clock)
+        level_zero = wave.levels_snapshot()[0]
+        assert len(level_zero) == 3
+
+    def test_level_capacity_enforced(self, rng):
+        wave = DeterministicWave(epsilon=0.2, window=10**9, max_arrivals=100_000)
+        for clock in make_arrivals(rng, 2_000, mean_gap=1.0):
+            wave.add(clock)
+        for level in wave.levels_snapshot():
+            assert len(level) <= wave.per_level
+
+
+class TestEstimate:
+    @pytest.mark.parametrize("epsilon", [0.05, 0.1, 0.2])
+    @pytest.mark.parametrize("range_length", [100, 1_000, 10_000])
+    def test_relative_error_bound(self, rng, epsilon, range_length):
+        window = 50_000.0
+        wave = DeterministicWave(epsilon=epsilon, window=window, max_arrivals=20_000)
+        exact = ExactWindowCounter(window=window)
+        for clock in make_arrivals(rng, 8_000, mean_gap=5.0):
+            wave.add(clock)
+            exact.add(clock)
+        now = wave.last_clock
+        estimate = wave.estimate(range_length, now=now)
+        truth = exact.estimate(range_length, now=now)
+        assert abs(estimate - truth) <= epsilon * truth + 1.0
+
+    def test_never_overestimates(self, rng):
+        """The wave estimator counts back from a retained checkpoint: it can
+        only miss arrivals between the true range start and the checkpoint,
+        never invent extra ones."""
+        wave = DeterministicWave(epsilon=0.1, window=50_000, max_arrivals=20_000)
+        exact = ExactWindowCounter(window=50_000)
+        for clock in make_arrivals(rng, 5_000, mean_gap=4.0):
+            wave.add(clock)
+            exact.add(clock)
+        now = wave.last_clock
+        for range_length in (10, 100, 1_000, 10_000, 50_000):
+            assert wave.estimate(range_length, now=now) <= exact.estimate(range_length, now=now)
+
+    def test_empty_wave_estimates_zero(self):
+        wave = DeterministicWave(epsilon=0.1, window=1000, max_arrivals=100)
+        assert wave.estimate(100, now=10.0) == 0.0
+
+    def test_estimate_monotone_in_range(self, rng):
+        wave = DeterministicWave(epsilon=0.1, window=100_000, max_arrivals=20_000)
+        for clock in make_arrivals(rng, 3_000, mean_gap=3.0):
+            wave.add(clock)
+        now = wave.last_clock
+        estimates = [wave.estimate(r, now=now) for r in (10, 100, 1_000, 10_000)]
+        assert estimates == sorted(estimates)
+
+
+class TestExpiry:
+    def test_expired_checkpoints_dropped(self):
+        wave = DeterministicWave(epsilon=0.1, window=100, max_arrivals=1_000)
+        wave.add(0.0)
+        wave.add(500.0)
+        wave.expire(now=500.0)
+        for level in wave.levels_snapshot():
+            for checkpoint in level:
+                assert checkpoint.clock > 400.0
+
+    def test_window_slides(self, rng):
+        window = 200.0
+        wave = DeterministicWave(epsilon=0.1, window=window, max_arrivals=10_000)
+        exact = ExactWindowCounter(window=window)
+        clock = 0.0
+        for _ in range(5_000):
+            clock += rng.random() * 2.0
+            wave.add(clock)
+            exact.add(clock)
+        estimate = wave.estimate(None, now=clock)
+        truth = exact.estimate(None, now=clock)
+        assert abs(estimate - truth) <= 0.1 * truth + 1.0
+
+
+class TestMemoryComparison:
+    def test_memory_roughly_double_exponential_histogram(self, rng):
+        """The paper observes ECM-EH needs about half the space of ECM-DW."""
+        arrivals = make_arrivals(rng, 6_000, mean_gap=1.0)
+        histogram = ExponentialHistogram(epsilon=0.1, window=10**9)
+        wave = DeterministicWave(epsilon=0.1, window=10**9, max_arrivals=20_000)
+        for clock in arrivals:
+            histogram.add(clock)
+            wave.add(clock)
+        assert histogram.memory_bytes() < wave.memory_bytes()
+        assert wave.memory_bytes() < 8 * histogram.memory_bytes()
+
+    def test_worst_case_memory_formula(self):
+        wave = DeterministicWave(epsilon=0.1, window=1000, max_arrivals=10_000)
+        assert wave.memory_bytes() <= wave.memory_bytes_worst_case()
+
+    def test_repr(self):
+        wave = DeterministicWave(epsilon=0.1, window=1000, max_arrivals=100)
+        assert "DeterministicWave" in repr(wave)

@@ -1,0 +1,75 @@
+"""Unit tests for the exact sliding-window counter baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError, OutOfOrderArrivalError
+from repro.windows import ExactWindowCounter, WindowModel
+
+
+class TestExactWindowCounter:
+    def test_counts_exactly(self):
+        counter = ExactWindowCounter(window=100)
+        for clock in [1.0, 2.0, 3.0, 50.0, 99.0]:
+            counter.add(clock)
+        assert counter.estimate(None, now=99.0) == 5.0
+        assert counter.estimate(50, now=99.0) == 2.0
+
+    def test_boundary_is_half_open(self):
+        """An arrival exactly at the range start is excluded, at the end included."""
+        counter = ExactWindowCounter(window=100)
+        counter.add(10.0)
+        counter.add(20.0)
+        assert counter.estimate(10, now=20.0) == 1.0
+
+    def test_expiry(self):
+        counter = ExactWindowCounter(window=10)
+        counter.add(0.0)
+        counter.add(100.0)
+        assert counter.in_window_count() == 1
+        assert counter.estimate(None, now=100.0) == 1.0
+
+    def test_total_arrivals_includes_expired(self):
+        counter = ExactWindowCounter(window=10)
+        for clock in range(50):
+            counter.add(float(clock))
+        assert counter.total_arrivals() == 50
+        assert counter.in_window_count() <= 11
+
+    def test_bulk_count(self):
+        counter = ExactWindowCounter(window=100)
+        counter.add(5.0, count=4)
+        assert counter.estimate(None, now=5.0) == 4.0
+
+    def test_out_of_order_rejected(self):
+        counter = ExactWindowCounter(window=100)
+        counter.add(10.0)
+        with pytest.raises(OutOfOrderArrivalError):
+            counter.add(5.0)
+
+    def test_negative_count_rejected(self):
+        counter = ExactWindowCounter(window=100)
+        with pytest.raises(ConfigurationError):
+            counter.add(1.0, count=-1)
+
+    def test_memory_linear_in_retained(self):
+        counter = ExactWindowCounter(window=10**9)
+        baseline = counter.memory_bytes()
+        for clock in range(1000):
+            counter.add(float(clock))
+        assert counter.memory_bytes() >= baseline + 1000 * 4
+
+    def test_explicit_expire(self):
+        counter = ExactWindowCounter(window=10)
+        counter.add(0.0)
+        counter.expire(now=100.0)
+        assert counter.in_window_count() == 0
+
+    def test_model_tag(self):
+        counter = ExactWindowCounter(window=10, model=WindowModel.COUNT_BASED)
+        assert counter.model is WindowModel.COUNT_BASED
+
+    def test_repr(self):
+        counter = ExactWindowCounter(window=10)
+        assert "ExactWindowCounter" in repr(counter)

@@ -1,0 +1,257 @@
+"""Unit tests for the exponential histogram sliding-window counter."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError, OutOfOrderArrivalError
+from repro.windows import ExponentialHistogram, WindowModel
+from repro.windows.exact_window import ExactWindowCounter
+
+from ..conftest import make_arrivals
+
+
+class TestConstruction:
+    def test_valid_construction(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=1000)
+        assert histogram.epsilon == 0.1
+        assert histogram.window == 1000
+        assert histogram.model is WindowModel.TIME_BASED
+        assert histogram.is_empty()
+
+    def test_count_based_model(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=500, model=WindowModel.COUNT_BASED)
+        assert histogram.model is WindowModel.COUNT_BASED
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_epsilon(self, epsilon):
+        with pytest.raises(ConfigurationError):
+            ExponentialHistogram(epsilon=epsilon, window=1000)
+
+    @pytest.mark.parametrize("window", [0, -10])
+    def test_invalid_window(self, window):
+        with pytest.raises(ConfigurationError):
+            ExponentialHistogram(epsilon=0.1, window=window)
+
+    def test_k_is_inverse_epsilon(self):
+        histogram = ExponentialHistogram(epsilon=0.05, window=1000)
+        assert histogram.k == math.ceil(1 / 0.05)
+
+    def test_invalid_model(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialHistogram(epsilon=0.1, window=100, model="time")  # type: ignore[arg-type]
+
+
+class TestAdd:
+    def test_single_arrival(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=1000)
+        histogram.add(5.0)
+        assert histogram.total_arrivals() == 1
+        assert histogram.estimate(1000, now=5.0) == 1.0
+
+    def test_zero_count_is_noop(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=1000)
+        histogram.add(5.0, count=0)
+        assert histogram.total_arrivals() == 0
+        assert histogram.is_empty()
+
+    def test_negative_count_rejected(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=1000)
+        with pytest.raises(ConfigurationError):
+            histogram.add(5.0, count=-1)
+
+    def test_bulk_count(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=1000)
+        histogram.add(5.0, count=7)
+        assert histogram.total_arrivals() == 7
+
+    def test_out_of_order_rejected(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=1000)
+        histogram.add(10.0)
+        with pytest.raises(OutOfOrderArrivalError):
+            histogram.add(5.0)
+
+    def test_equal_clock_accepted(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=1000)
+        histogram.add(10.0)
+        histogram.add(10.0)
+        assert histogram.total_arrivals() == 2
+
+    def test_extend_helper(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=1000)
+        histogram.extend([1.0, 2.0, 3.0])
+        assert histogram.total_arrivals() == 3
+
+    def test_last_clock_tracked(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=1000)
+        assert histogram.last_clock is None
+        histogram.add(42.0)
+        assert histogram.last_clock == 42.0
+
+
+class TestInvariant:
+    def test_invariant_holds_under_heavy_load(self, rng):
+        histogram = ExponentialHistogram(epsilon=0.1, window=5_000)
+        for clock in make_arrivals(rng, 5_000, mean_gap=1.0):
+            histogram.add(clock)
+        assert histogram.check_invariant()
+
+    def test_invariant_holds_for_small_epsilon(self, rng):
+        histogram = ExponentialHistogram(epsilon=0.02, window=5_000)
+        for clock in make_arrivals(rng, 3_000, mean_gap=1.0):
+            histogram.add(clock)
+        assert histogram.check_invariant()
+
+    def test_bucket_count_is_logarithmic(self, rng):
+        """The number of buckets must stay O(log(eps*n)/eps), far below n."""
+        histogram = ExponentialHistogram(epsilon=0.1, window=10**9)
+        for clock in make_arrivals(rng, 10_000, mean_gap=1.0):
+            histogram.add(clock)
+        # k/2 + 2 buckets per size class, ~log2(eps*n) + 1 classes.
+        limit = (histogram.k / 2 + 2) * (math.log2(0.1 * 10_000) + 2)
+        assert histogram.bucket_count() <= limit
+
+    def test_bucket_sizes_are_powers_of_two(self, rng):
+        histogram = ExponentialHistogram(epsilon=0.1, window=10**9)
+        for clock in make_arrivals(rng, 2_000, mean_gap=1.0):
+            histogram.add(clock)
+        for bucket in histogram.iter_buckets():
+            assert bucket.size & (bucket.size - 1) == 0
+
+    def test_buckets_ordered_by_time(self, rng):
+        histogram = ExponentialHistogram(epsilon=0.1, window=10**9)
+        for clock in make_arrivals(rng, 2_000, mean_gap=1.0):
+            histogram.add(clock)
+        ends = [b.end for b in histogram.buckets_newest_first()]
+        assert ends == sorted(ends, reverse=True)
+        for bucket in histogram.iter_buckets():
+            assert bucket.start <= bucket.end
+
+
+class TestEstimate:
+    @pytest.mark.parametrize("epsilon", [0.05, 0.1, 0.2])
+    @pytest.mark.parametrize("range_length", [50, 500, 5_000, 50_000])
+    def test_relative_error_bound(self, rng, epsilon, range_length):
+        window = 50_000.0
+        histogram = ExponentialHistogram(epsilon=epsilon, window=window)
+        exact = ExactWindowCounter(window=window)
+        for clock in make_arrivals(rng, 8_000, mean_gap=5.0):
+            histogram.add(clock)
+            exact.add(clock)
+        now = histogram.last_clock
+        estimate = histogram.estimate(range_length, now=now)
+        truth = exact.estimate(range_length, now=now)
+        assert abs(estimate - truth) <= epsilon * truth + 1.0
+
+    def test_empty_histogram_estimates_zero(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=1000)
+        assert histogram.estimate(100, now=50.0) == 0.0
+
+    def test_range_larger_than_window_clamped(self, rng):
+        histogram = ExponentialHistogram(epsilon=0.1, window=1_000)
+        for clock in make_arrivals(rng, 500, mean_gap=1.0):
+            histogram.add(clock)
+        full = histogram.estimate(None, now=histogram.last_clock)
+        oversize = histogram.estimate(10**9, now=histogram.last_clock)
+        assert full == oversize
+
+    def test_estimate_monotone_in_range(self, rng):
+        histogram = ExponentialHistogram(epsilon=0.1, window=100_000)
+        for clock in make_arrivals(rng, 3_000, mean_gap=3.0):
+            histogram.add(clock)
+        now = histogram.last_clock
+        estimates = [histogram.estimate(r, now=now) for r in (10, 100, 1_000, 10_000)]
+        assert estimates == sorted(estimates)
+
+    def test_invalid_query_range(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=1000)
+        histogram.add(1.0)
+        with pytest.raises(ConfigurationError):
+            histogram.estimate(-5, now=1.0)
+
+    def test_recent_range_is_exact_for_fresh_buckets(self):
+        """Queries that only touch size-1 buckets are exact."""
+        histogram = ExponentialHistogram(epsilon=0.5, window=1000)
+        for clock in [1.0, 2.0, 3.0]:
+            histogram.add(clock)
+        assert histogram.estimate(1.5, now=3.0) == 2.0
+
+
+class TestExpiry:
+    def test_old_buckets_expire(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=100)
+        histogram.add(0.0)
+        histogram.add(1.0)
+        histogram.add(500.0)
+        # Arrivals at 0 and 1 are far outside the window ending at 500.
+        assert histogram.estimate(None, now=500.0) <= 2.0
+        assert histogram.arrivals_in_window_upper_bound() <= 2
+
+    def test_explicit_expire(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=100)
+        histogram.add(0.0)
+        histogram.expire(now=1_000.0)
+        assert histogram.is_empty()
+
+    def test_total_arrivals_not_affected_by_expiry(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=10)
+        for clock in range(100):
+            histogram.add(float(clock))
+        assert histogram.total_arrivals() == 100
+
+    def test_window_slides_with_stream(self, rng):
+        """Estimates over the full window track only the recent arrivals."""
+        window = 200.0
+        histogram = ExponentialHistogram(epsilon=0.1, window=window)
+        exact = ExactWindowCounter(window=window)
+        clock = 0.0
+        for _ in range(5_000):
+            clock += rng.random() * 2.0
+            histogram.add(clock)
+            exact.add(clock)
+        estimate = histogram.estimate(None, now=clock)
+        truth = exact.estimate(None, now=clock)
+        assert abs(estimate - truth) <= 0.1 * truth + 1.0
+
+
+class TestCountBasedWindows:
+    def test_count_based_counting(self):
+        """With arrival indices as the clock, the window covers the last N arrivals."""
+        histogram = ExponentialHistogram(epsilon=0.1, window=100, model=WindowModel.COUNT_BASED)
+        for index in range(1, 1_001):
+            histogram.add(float(index))
+        estimate = histogram.estimate(50, now=1_000.0)
+        assert abs(estimate - 50) <= 0.1 * 50 + 1.0
+
+    def test_count_based_expiry(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=10, model=WindowModel.COUNT_BASED)
+        for index in range(1, 101):
+            histogram.add(float(index))
+        assert histogram.arrivals_in_window_upper_bound() <= 10 + histogram.k
+
+
+class TestMemory:
+    def test_memory_positive_and_grows_with_precision(self, rng):
+        arrivals = make_arrivals(rng, 3_000, mean_gap=1.0)
+        coarse = ExponentialHistogram(epsilon=0.2, window=10**9)
+        fine = ExponentialHistogram(epsilon=0.02, window=10**9)
+        for clock in arrivals:
+            coarse.add(clock)
+            fine.add(clock)
+        assert 0 < coarse.memory_bytes() < fine.memory_bytes()
+
+    def test_memory_far_below_exact(self, rng):
+        arrivals = make_arrivals(rng, 5_000, mean_gap=1.0)
+        histogram = ExponentialHistogram(epsilon=0.1, window=10**9)
+        exact = ExactWindowCounter(window=10**9)
+        for clock in arrivals:
+            histogram.add(clock)
+            exact.add(clock)
+        assert histogram.memory_bytes() < exact.memory_bytes() / 10
+
+    def test_repr(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=100)
+        assert "ExponentialHistogram" in repr(histogram)

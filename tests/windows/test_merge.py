@@ -1,0 +1,211 @@
+"""Unit tests for order-preserving aggregation of sliding-window synopses."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError, IncompatibleSketchError, WindowModelError
+from repro.windows import (
+    DeterministicWave,
+    ExponentialHistogram,
+    WindowModel,
+    aggregated_error,
+    bucket_replay_events,
+    epsilon_for_levels,
+    merge_deterministic_waves,
+    merge_exponential_histograms,
+    multi_level_error,
+    wave_replay_events,
+)
+
+from ..conftest import make_arrivals
+
+
+def _build_histograms(rng, num_streams, arrivals_each, epsilon=0.05, window=100_000.0):
+    """Build per-stream histograms and return them with the union arrival log."""
+    histograms = []
+    union = []
+    for _ in range(num_streams):
+        histogram = ExponentialHistogram(epsilon=epsilon, window=window)
+        clock = 0.0
+        for _ in range(arrivals_each):
+            clock += rng.random() * 10.0
+            histogram.add(clock)
+            union.append(clock)
+        histograms.append(histogram)
+    return histograms, union
+
+
+class TestErrorFormulas:
+    def test_aggregated_error_formula(self):
+        assert aggregated_error(0.1, 0.1) == pytest.approx(0.21)
+        assert aggregated_error(0.05, 0.02) == pytest.approx(0.05 + 0.02 + 0.001)
+
+    def test_multi_level_error_zero_levels(self):
+        assert multi_level_error(0.1, 0) == pytest.approx(0.1)
+
+    def test_multi_level_error_grows_linearly(self):
+        one = multi_level_error(0.1, 1)
+        five = multi_level_error(0.1, 5)
+        assert five > one
+        assert five == pytest.approx(5 * 0.1 * 1.1 + 0.1)
+
+    def test_multi_level_error_rejects_negative_levels(self):
+        with pytest.raises(ConfigurationError):
+            multi_level_error(0.1, -1)
+
+    def test_epsilon_for_levels_inverts_multi_level_error(self):
+        for levels in (1, 3, 8):
+            for target in (0.05, 0.1, 0.3):
+                per_node = epsilon_for_levels(target, levels)
+                assert multi_level_error(per_node, levels) == pytest.approx(target, rel=1e-6)
+
+    def test_epsilon_for_levels_zero_levels_identity(self):
+        assert epsilon_for_levels(0.2, 0) == 0.2
+
+    def test_epsilon_for_levels_rejects_bad_input(self):
+        with pytest.raises(ConfigurationError):
+            epsilon_for_levels(0.0, 2)
+        with pytest.raises(ConfigurationError):
+            epsilon_for_levels(0.1, -2)
+
+
+class TestBucketReplay:
+    def test_replay_preserves_total_count(self, rng):
+        histogram = ExponentialHistogram(epsilon=0.1, window=10**9)
+        for clock in make_arrivals(rng, 3_000, mean_gap=2.0):
+            histogram.add(clock)
+        events = bucket_replay_events(histogram)
+        assert sum(count for _, count in events) == histogram.arrivals_in_window_upper_bound()
+
+    def test_replay_events_within_bucket_bounds(self, rng):
+        histogram = ExponentialHistogram(epsilon=0.1, window=10**9)
+        for clock in make_arrivals(rng, 1_000, mean_gap=2.0):
+            histogram.add(clock)
+        bucket_bounds = [(b.start, b.end) for b in histogram.iter_buckets()]
+        for clock, _count in bucket_replay_events(histogram):
+            assert any(start <= clock <= end for start, end in bucket_bounds)
+
+    def test_wave_replay_preserves_order(self, rng):
+        wave = DeterministicWave(epsilon=0.1, window=10**9, max_arrivals=10_000)
+        for clock in make_arrivals(rng, 2_000, mean_gap=2.0):
+            wave.add(clock)
+        events = wave_replay_events(wave)
+        clocks = [clock for clock, _ in sorted(events)]
+        assert clocks == sorted(clocks)
+
+    def test_wave_replay_empty_wave(self):
+        wave = DeterministicWave(epsilon=0.1, window=100, max_arrivals=10)
+        assert wave_replay_events(wave) == []
+
+
+class TestMergeExponentialHistograms:
+    @pytest.mark.parametrize("num_streams", [2, 5, 10])
+    def test_merged_error_within_theorem_4_bound(self, rng, num_streams):
+        epsilon = 0.05
+        histograms, union = _build_histograms(rng, num_streams, 2_000, epsilon=epsilon)
+        merged = merge_exponential_histograms(histograms)
+        now = max(union)
+        bound = aggregated_error(epsilon, epsilon)
+        for range_length in (500, 5_000, 50_000):
+            truth = sum(1 for t in union if now - range_length < t <= now)
+            if truth == 0:
+                continue
+            estimate = merged.estimate(range_length, now=now)
+            assert abs(estimate - truth) <= bound * truth + 1.0
+
+    def test_merge_with_custom_epsilon_prime(self, rng):
+        histograms, union = _build_histograms(rng, 3, 1_000, epsilon=0.05)
+        merged = merge_exponential_histograms(histograms, epsilon_prime=0.02)
+        assert merged.epsilon == 0.02
+        now = max(union)
+        truth = sum(1 for t in union if now - 10_000 < t <= now)
+        estimate = merged.estimate(10_000, now=now)
+        assert abs(estimate - truth) <= aggregated_error(0.05, 0.02) * truth + 1.0
+
+    def test_merge_preserves_window_length(self, rng):
+        histograms, _ = _build_histograms(rng, 2, 500)
+        merged = merge_exponential_histograms(histograms)
+        assert merged.window == histograms[0].window
+
+    def test_merge_single_histogram(self, rng):
+        histograms, union = _build_histograms(rng, 1, 1_000, epsilon=0.05)
+        merged = merge_exponential_histograms(histograms)
+        now = max(union)
+        truth = sum(1 for t in union if now - 5_000 < t <= now)
+        assert abs(merged.estimate(5_000, now=now) - truth) <= aggregated_error(0.05, 0.05) * truth + 1.0
+
+    def test_merge_rejects_empty_list(self):
+        with pytest.raises(ConfigurationError):
+            merge_exponential_histograms([])
+
+    def test_merge_rejects_count_based_inputs(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=100, model=WindowModel.COUNT_BASED)
+        histogram.add(1.0)
+        with pytest.raises(WindowModelError):
+            merge_exponential_histograms([histogram])
+
+    def test_merge_rejects_mismatched_windows(self):
+        a = ExponentialHistogram(epsilon=0.1, window=100)
+        b = ExponentialHistogram(epsilon=0.1, window=200)
+        a.add(1.0)
+        b.add(1.0)
+        with pytest.raises(IncompatibleSketchError):
+            merge_exponential_histograms([a, b])
+
+    def test_multi_level_aggregation_error(self, rng):
+        """Two levels of pairwise aggregation stay within the hierarchical bound."""
+        epsilon = 0.05
+        histograms, union = _build_histograms(rng, 4, 2_000, epsilon=epsilon)
+        level_one = [
+            merge_exponential_histograms(histograms[0:2]),
+            merge_exponential_histograms(histograms[2:4]),
+        ]
+        root = merge_exponential_histograms(level_one)
+        now = max(union)
+        bound = multi_level_error(epsilon, 2)
+        for range_length in (1_000, 20_000, 100_000):
+            truth = sum(1 for t in union if now - range_length < t <= now)
+            if truth == 0:
+                continue
+            estimate = root.estimate(range_length, now=now)
+            assert abs(estimate - truth) <= bound * truth + 1.0
+
+
+class TestMergeDeterministicWaves:
+    def test_merged_wave_error_reasonable(self, rng):
+        epsilon = 0.05
+        waves = []
+        union = []
+        for _ in range(4):
+            wave = DeterministicWave(epsilon=epsilon, window=100_000, max_arrivals=10_000)
+            clock = 0.0
+            for _ in range(2_000):
+                clock += rng.random() * 10.0
+                wave.add(clock)
+                union.append(clock)
+            waves.append(wave)
+        merged = merge_deterministic_waves(waves)
+        now = max(union)
+        bound = aggregated_error(epsilon, epsilon)
+        for range_length in (1_000, 10_000, 90_000):
+            truth = sum(1 for t in union if now - range_length < t <= now)
+            if truth == 0:
+                continue
+            estimate = merged.estimate(range_length, now=now)
+            assert abs(estimate - truth) <= (bound + epsilon) * truth + 2.0
+
+    def test_merged_wave_bound_defaults_to_sum(self, rng):
+        waves = []
+        for _ in range(3):
+            wave = DeterministicWave(epsilon=0.1, window=1_000, max_arrivals=500)
+            wave.add(1.0)
+            waves.append(wave)
+        merged = merge_deterministic_waves(waves)
+        assert merged.max_arrivals == 1_500
+
+    def test_merge_rejects_empty_list(self):
+        with pytest.raises(ConfigurationError):
+            merge_deterministic_waves([])

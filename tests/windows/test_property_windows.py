@@ -1,0 +1,152 @@
+"""Property-based tests (hypothesis) for the sliding-window counters.
+
+These tests drive the counters with arbitrary in-order arrival patterns and
+query ranges, asserting the paper's invariants:
+
+* exponential histograms keep invariant 1 and stay within their relative
+  error bound on every range;
+* deterministic waves never overestimate and stay within their bound;
+* order-preserving aggregation of exponential histograms stays within the
+  Theorem 4 bound;
+* the exact baseline counter matches a brute-force recount.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.windows import (
+    DeterministicWave,
+    ExactWindowCounter,
+    ExponentialHistogram,
+    aggregated_error,
+    merge_exponential_histograms,
+)
+
+
+# Strategy: positive gaps between consecutive arrivals (keeps clocks in order).
+gaps = st.lists(st.floats(min_value=0.01, max_value=50.0), min_size=1, max_size=400)
+epsilons = st.sampled_from([0.05, 0.1, 0.2, 0.4])
+range_fractions = st.floats(min_value=0.001, max_value=1.0)
+
+
+def _clocks_from_gaps(gap_list: List[float]) -> List[float]:
+    clocks = []
+    clock = 0.0
+    for gap in gap_list:
+        clock += gap
+        clocks.append(clock)
+    return clocks
+
+
+def _brute_count(clocks: List[float], start: float, end: float) -> int:
+    return sum(1 for clock in clocks if start < clock <= end)
+
+
+@settings(max_examples=60, deadline=None)
+@given(gap_list=gaps, epsilon=epsilons, fraction=range_fractions)
+def test_exponential_histogram_error_bound(gap_list, epsilon, fraction):
+    """|estimate - truth| <= epsilon * truth for every range within the window."""
+    window = 1e9
+    clocks = _clocks_from_gaps(gap_list)
+    histogram = ExponentialHistogram(epsilon=epsilon, window=window)
+    for clock in clocks:
+        histogram.add(clock)
+    now = clocks[-1]
+    range_length = max(0.01, fraction * now)
+    truth = _brute_count(clocks, now - range_length, now)
+    estimate = histogram.estimate(range_length, now=now)
+    assert abs(estimate - truth) <= epsilon * truth + 0.5
+    assert histogram.check_invariant()
+
+
+@settings(max_examples=60, deadline=None)
+@given(gap_list=gaps, epsilon=epsilons, fraction=range_fractions)
+def test_exponential_histogram_expiry_consistency(gap_list, epsilon, fraction):
+    """With a finite window, full-window estimates track the retained arrivals."""
+    clocks = _clocks_from_gaps(gap_list)
+    window = max(1.0, clocks[-1] * fraction)
+    histogram = ExponentialHistogram(epsilon=epsilon, window=window)
+    for clock in clocks:
+        histogram.add(clock)
+    now = clocks[-1]
+    truth = _brute_count(clocks, now - window, now)
+    estimate = histogram.estimate(None, now=now)
+    assert abs(estimate - truth) <= epsilon * truth + 0.5
+
+
+@settings(max_examples=50, deadline=None)
+@given(gap_list=gaps, epsilon=epsilons, fraction=range_fractions)
+def test_deterministic_wave_never_overestimates(gap_list, epsilon, fraction):
+    """Wave estimates are within the bound and never exceed the truth."""
+    window = 1e9
+    clocks = _clocks_from_gaps(gap_list)
+    wave = DeterministicWave(epsilon=epsilon, window=window, max_arrivals=len(clocks) * 2)
+    for clock in clocks:
+        wave.add(clock)
+    now = clocks[-1]
+    range_length = max(0.01, fraction * now)
+    truth = _brute_count(clocks, now - range_length, now)
+    estimate = wave.estimate(range_length, now=now)
+    assert estimate <= truth
+    assert truth - estimate <= epsilon * truth + 0.5
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    gap_lists=st.lists(gaps, min_size=2, max_size=4),
+    epsilon=st.sampled_from([0.05, 0.1, 0.2]),
+    fraction=range_fractions,
+)
+def test_merged_exponential_histograms_respect_theorem_4(gap_lists, epsilon, fraction):
+    """Aggregation error stays within eps + eps' + eps*eps' on arbitrary inputs."""
+    window = 1e9
+    histograms = []
+    union: List[float] = []
+    for gap_list in gap_lists:
+        clocks = _clocks_from_gaps(gap_list)
+        histogram = ExponentialHistogram(epsilon=epsilon, window=window)
+        for clock in clocks:
+            histogram.add(clock)
+        histograms.append(histogram)
+        union.extend(clocks)
+    merged = merge_exponential_histograms(histograms)
+    now = max(union)
+    range_length = max(0.01, fraction * now)
+    truth = _brute_count(union, now - range_length, now)
+    estimate = merged.estimate(range_length, now=now)
+    bound = aggregated_error(epsilon, epsilon)
+    assert abs(estimate - truth) <= bound * truth + 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(gap_list=gaps, fraction=range_fractions)
+def test_exact_counter_matches_brute_force(gap_list, fraction):
+    """The ground-truth counter agrees with a naive recount on every range."""
+    clocks = _clocks_from_gaps(gap_list)
+    window = max(1.0, clocks[-1])
+    counter = ExactWindowCounter(window=window)
+    for clock in clocks:
+        counter.add(clock)
+    now = clocks[-1]
+    range_length = max(0.01, fraction * window)
+    truth = _brute_count(clocks, now - range_length, now)
+    assert counter.estimate(range_length, now=now) == truth
+
+
+@settings(max_examples=40, deadline=None)
+@given(gap_list=gaps, epsilon=epsilons)
+def test_estimates_monotone_in_range(gap_list, epsilon):
+    """Larger query ranges can never yield smaller estimates."""
+    window = 1e9
+    clocks = _clocks_from_gaps(gap_list)
+    histogram = ExponentialHistogram(epsilon=epsilon, window=window)
+    for clock in clocks:
+        histogram.add(clock)
+    now = clocks[-1]
+    spans = [now * f for f in (0.1, 0.25, 0.5, 1.0)]
+    estimates = [histogram.estimate(max(span, 0.01), now=now) for span in spans]
+    assert estimates == sorted(estimates)

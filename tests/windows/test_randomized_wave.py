@@ -1,0 +1,147 @@
+"""Unit tests for the randomized wave sliding-window counter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError, IncompatibleSketchError
+from repro.windows import ExponentialHistogram, RandomizedWave, WindowModel
+from repro.windows.exact_window import ExactWindowCounter
+
+from ..conftest import make_arrivals
+
+
+class TestConstruction:
+    def test_valid_construction(self):
+        wave = RandomizedWave(epsilon=0.2, delta=0.1, window=1000, max_arrivals=10_000)
+        assert wave.num_copies >= 1
+        assert wave.per_level >= 4
+        assert wave.num_levels >= 1
+
+    def test_requires_positive_max_arrivals(self):
+        with pytest.raises(ConfigurationError):
+            RandomizedWave(epsilon=0.2, delta=0.1, window=1000, max_arrivals=0)
+
+    def test_invalid_delta(self):
+        with pytest.raises(ConfigurationError):
+            RandomizedWave(epsilon=0.2, delta=1.5, window=1000, max_arrivals=100)
+
+    def test_invalid_capacity_constant(self):
+        with pytest.raises(ConfigurationError):
+            RandomizedWave(epsilon=0.2, delta=0.1, window=1000, max_arrivals=100, capacity_constant=0)
+
+    def test_per_level_quadratic_in_epsilon(self):
+        coarse = RandomizedWave(epsilon=0.2, delta=0.1, window=1000, max_arrivals=1_000)
+        fine = RandomizedWave(epsilon=0.05, delta=0.1, window=1000, max_arrivals=1_000)
+        ratio = fine.per_level / coarse.per_level
+        assert ratio == pytest.approx((0.2 / 0.05) ** 2, rel=0.1)
+
+    def test_copies_grow_with_delta(self):
+        loose = RandomizedWave(epsilon=0.2, delta=0.3, window=1000, max_arrivals=1_000)
+        tight = RandomizedWave(epsilon=0.2, delta=0.01, window=1000, max_arrivals=1_000)
+        assert tight.num_copies > loose.num_copies
+
+
+class TestEstimate:
+    @pytest.mark.parametrize("range_length", [500, 5_000, 50_000])
+    def test_relative_error_reasonable(self, rng, range_length):
+        epsilon = 0.1
+        wave = RandomizedWave(epsilon=epsilon, delta=0.1, window=50_000, max_arrivals=20_000)
+        exact = ExactWindowCounter(window=50_000)
+        for clock in make_arrivals(rng, 8_000, mean_gap=5.0):
+            wave.add(clock)
+            exact.add(clock)
+        now = wave.last_clock
+        estimate = wave.estimate(range_length, now=now)
+        truth = exact.estimate(range_length, now=now)
+        # Probabilistic structure: allow a 3x-epsilon cushion to avoid flakes
+        # while still catching the systematic-bias class of bugs.
+        assert abs(estimate - truth) <= 3 * epsilon * truth + 2.0
+
+    def test_small_ranges_exact_when_level_zero_covers(self, rng):
+        wave = RandomizedWave(epsilon=0.2, delta=0.1, window=50_000, max_arrivals=10_000)
+        exact = ExactWindowCounter(window=50_000)
+        arrivals = make_arrivals(rng, 50, mean_gap=5.0)
+        for clock in arrivals:
+            wave.add(clock)
+            exact.add(clock)
+        now = wave.last_clock
+        # Few arrivals: level 0 never overflowed, so estimates are exact.
+        assert wave.estimate(100, now=now) == exact.estimate(100, now=now)
+
+    def test_empty_wave_estimates_zero(self):
+        wave = RandomizedWave(epsilon=0.2, delta=0.1, window=1000, max_arrivals=100)
+        assert wave.estimate(100, now=10.0) == 0.0
+
+    def test_negative_count_rejected(self):
+        wave = RandomizedWave(epsilon=0.2, delta=0.1, window=1000, max_arrivals=100)
+        with pytest.raises(ConfigurationError):
+            wave.add(1.0, count=-1)
+
+
+class TestMerge:
+    def _make_pair(self, rng, count=4_000):
+        wave_a = RandomizedWave(epsilon=0.15, delta=0.1, window=50_000, max_arrivals=20_000, stream_tag=1)
+        wave_b = RandomizedWave(epsilon=0.15, delta=0.1, window=50_000, max_arrivals=20_000, stream_tag=2)
+        arrivals = []
+        clock_a = clock_b = 0.0
+        for _ in range(count):
+            clock_a += rng.random() * 4.0
+            clock_b += rng.random() * 4.0
+            wave_a.add(clock_a)
+            wave_b.add(clock_b)
+            arrivals.extend([clock_a, clock_b])
+        return wave_a, wave_b, arrivals
+
+    def test_merge_counts_union(self, rng):
+        wave_a, wave_b, arrivals = self._make_pair(rng)
+        merged = RandomizedWave.merged([wave_a, wave_b])
+        now = max(arrivals)
+        for range_length in (1_000, 10_000, 40_000):
+            truth = sum(1 for t in arrivals if now - range_length < t <= now)
+            estimate = merged.estimate(range_length, now=now)
+            assert abs(estimate - truth) <= 3 * 0.15 * truth + 2.0
+
+    def test_merge_preserves_total_arrivals(self, rng):
+        wave_a, wave_b, _ = self._make_pair(rng, count=500)
+        merged = RandomizedWave.merged([wave_a, wave_b])
+        assert merged.total_arrivals() == wave_a.total_arrivals() + wave_b.total_arrivals()
+
+    def test_merge_requires_identical_parameters(self):
+        wave_a = RandomizedWave(epsilon=0.2, delta=0.1, window=1000, max_arrivals=100)
+        wave_b = RandomizedWave(epsilon=0.1, delta=0.1, window=1000, max_arrivals=100)
+        with pytest.raises(IncompatibleSketchError):
+            wave_a.merge_inplace([wave_b])
+
+    def test_merge_requires_identical_seed(self):
+        wave_a = RandomizedWave(epsilon=0.2, delta=0.1, window=1000, max_arrivals=100, seed=1)
+        wave_b = RandomizedWave(epsilon=0.2, delta=0.1, window=1000, max_arrivals=100, seed=2)
+        with pytest.raises(IncompatibleSketchError):
+            RandomizedWave.merged([wave_a, wave_b])
+
+    def test_merge_empty_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomizedWave.merged([])
+
+    def test_merge_respects_per_level_capacity(self, rng):
+        wave_a, wave_b, _ = self._make_pair(rng, count=3_000)
+        merged = RandomizedWave.merged([wave_a, wave_b])
+        for copy in merged._copies:
+            for level in copy.levels:
+                assert len(level) <= merged.per_level
+
+
+class TestMemoryComparison:
+    def test_memory_order_of_magnitude_above_exponential_histogram(self, rng):
+        """The quadratic 1/eps^2 dependence must show up as a large gap."""
+        arrivals = make_arrivals(rng, 6_000, mean_gap=1.0)
+        histogram = ExponentialHistogram(epsilon=0.1, window=10**9)
+        wave = RandomizedWave(epsilon=0.1, delta=0.1, window=10**9, max_arrivals=20_000)
+        for clock in arrivals:
+            histogram.add(clock)
+            wave.add(clock)
+        assert wave.memory_bytes() >= 10 * histogram.memory_bytes()
+
+    def test_repr(self):
+        wave = RandomizedWave(epsilon=0.2, delta=0.1, window=1000, max_arrivals=100)
+        assert "RandomizedWave" in repr(wave)
