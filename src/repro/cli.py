@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time as _time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .analysis.reporting import write_rows
@@ -56,7 +57,11 @@ def _run_figure4(args: argparse.Namespace) -> ExperimentResult:
 
 
 def _run_table3(args: argparse.Namespace) -> ExperimentResult:
-    rows = run_update_rate_experiment(dataset=args.dataset, num_records=args.records)
+    rows = run_update_rate_experiment(
+        dataset=args.dataset,
+        num_records=args.records,
+        batch_size=getattr(args, "batch_size", None),
+    )
     return rows, format_update_rate_rows(rows)
 
 
@@ -123,6 +128,17 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], ExperimentResult]] = {
 }
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be strictly positive integers."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError("expected an integer, got %r" % (text,))
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be positive, got %d" % value)
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -147,22 +163,41 @@ def build_parser() -> argparse.ArgumentParser:
                             help="cap on evaluated point-query keys per range")
     run_parser.add_argument("--output", type=str, default=None,
                             help="write the raw result rows to this .json or .csv file")
+    run_parser.add_argument("--batch-size", type=_positive_int, default=None,
+                            help="ingest via the batched fast path (add_many) in chunks "
+                                 "of this many records; affects throughput experiments "
+                                 "such as table3")
 
     demo_parser = subparsers.add_parser("demo", help="run a quick end-to-end sanity demo")
     demo_parser.add_argument("--records", type=int, default=10_000)
     demo_parser.add_argument("--epsilon", type=float, default=0.05)
+    demo_parser.add_argument("--batch-size", type=_positive_int, default=None,
+                             help="ingest via the batched fast path (add_many) in chunks "
+                                  "of this many records")
 
     return parser
 
 
-def _demo(records: int, epsilon: float, out: Callable[[str], None]) -> None:
+def _demo(
+    records: int,
+    epsilon: float,
+    out: Callable[[str], None],
+    batch_size: Optional[int] = None,
+) -> None:
     """A self-contained sanity demo mirroring examples/quickstart.py."""
     window = 1_000_000.0
     trace = WorldCupSyntheticTrace(num_records=records).generate()
     sketch = ECMSketch.for_point_queries(epsilon=epsilon, delta=0.05, window=window)
     exact = ExactStreamSummary(window=window)
+    ingest_start = _time.perf_counter()
+    if batch_size is None:
+        for record in trace:
+            sketch.add(record.key, record.timestamp)
+    else:
+        for chunk in trace.iter_batches(batch_size):
+            sketch.add_many([r.key for r in chunk], [r.timestamp for r in chunk])
+    ingest_elapsed = _time.perf_counter() - ingest_start
     for record in trace:
-        sketch.add(record.key, record.timestamp)
         exact.add(record.key, record.timestamp)
     now = trace.end_time()
     arrivals = exact.arrivals(now=now)
@@ -170,7 +205,11 @@ def _demo(records: int, epsilon: float, out: Callable[[str], None]) -> None:
     for key, truth in list(exact.frequencies_in_range(None, now).items())[:200]:
         estimate = sketch.point_query(key, now=now)
         worst = max(worst, abs(estimate - truth) / arrivals)
-    out("records ingested:        %d" % len(trace))
+    out("records ingested:        %d%s" % (
+        len(trace),
+        "" if batch_size is None else " (batched, batch_size=%d)" % batch_size,
+    ))
+    out("ingestion rate:          %.0f records/s" % (len(trace) / ingest_elapsed if ingest_elapsed > 0 else float("inf")))
     out("sketch memory:           %.1f KiB" % (sketch.memory_bytes() / 1024.0))
     out("worst observed error:    %.4f (guarantee: %.2f)" % (worst, epsilon))
     out("self-join estimate:      %.0f (exact %d)" % (sketch.self_join(now=now), exact.self_join(now=now)))
@@ -194,11 +233,14 @@ def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = prin
         return 0
 
     if args.command == "demo":
-        _demo(records=args.records, epsilon=args.epsilon, out=out)
+        _demo(records=args.records, epsilon=args.epsilon, out=out, batch_size=args.batch_size)
         return 0
 
     if args.command == "run":
         names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        if args.batch_size is not None and any(name != "table3" for name in names):
+            out("note: --batch-size currently affects only the table3 (update-rate) "
+                "experiment; other experiments ingest per-record.")
         collected: List[object] = []
         for name in names:
             rows, table = EXPERIMENTS[name](args)

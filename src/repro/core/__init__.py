@@ -19,7 +19,7 @@ from .errors import (
     ReproError,
     WindowModelError,
 )
-from .hashing import HashFamily, PairwiseHash, stable_fingerprint
+from .hashing import HashFamily, PairwiseHash, stable_fingerprint, stable_fingerprints
 
 __all__ = [
     "CounterType",
@@ -30,6 +30,7 @@ __all__ = [
     "HashFamily",
     "PairwiseHash",
     "stable_fingerprint",
+    "stable_fingerprints",
     "point_query_error",
     "inner_product_error",
     "split_point_query_deterministic",

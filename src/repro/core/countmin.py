@@ -88,11 +88,74 @@ class CountMinSketch:
         for item in items:
             self.add(item)
 
+    def add_many(self, items: Sequence[Hashable], values: Optional[Sequence[float]] = None) -> None:
+        """Batched :meth:`add`: ingest a whole chunk of arrivals in one call.
+
+        Equivalent to ``for item, value in zip(items, values): self.add(item,
+        value)`` — including the floating-point accumulation order per counter
+        — but hashes the entire batch in one vectorized pass, so the per-item
+        Python overhead is paid once per chunk instead of once per arrival.
+
+        Args:
+            items: Batch of items, in stream order.
+            values: Optional per-item weights (defaults to 1 each).
+        """
+        if not len(items):
+            return
+        if values is not None:
+            if len(values) != len(items):
+                raise ConfigurationError(
+                    "values length %d does not match items length %d"
+                    % (len(values), len(items))
+                )
+            if any(v < 0 for v in values):
+                raise ConfigurationError(
+                    "Count-Min operates in the cash-register model; value >= 0"
+                )
+        columns = self.hashes.hash_many(items).tolist()
+        for row, row_columns in enumerate(columns):
+            counters = self._counters[row]
+            if values is None:
+                for column in row_columns:
+                    counters[column] += 1.0
+            else:
+                for column, value in zip(row_columns, values):
+                    counters[column] += value
+        # Sequential accumulation keeps _total bit-identical to the scalar path.
+        total = self._total
+        if values is None:
+            for _ in range(len(items)):
+                total += 1.0
+        else:
+            for value in values:
+                total += value
+        self._total = total
+
     # -------------------------------------------------------------- queries
     def point_query(self, item: Hashable) -> float:
         """Estimated frequency of ``item`` (never an underestimate)."""
         columns = self.hashes.hash_all(item)
         return min(self._counters[row][column] for row, column in enumerate(columns))
+
+    def point_query_many(self, items: Sequence[Hashable]) -> List[float]:
+        """Batched :meth:`point_query` over a whole chunk of items.
+
+        Returns:
+            One estimate per input item, in order; each equals exactly what
+            :meth:`point_query` would return for that item.
+        """
+        if not len(items):
+            return []
+        columns = self.hashes.hash_many(items).tolist()
+        estimates = [self._counters[0][column] for column in columns[0]]
+        for row in range(1, self.depth):
+            counters = self._counters[row]
+            row_columns = columns[row]
+            for index, column in enumerate(row_columns):
+                value = counters[column]
+                if value < estimates[index]:
+                    estimates[index] = value
+        return estimates
 
     def inner_product(self, other: "CountMinSketch") -> float:
         """Estimated inner product of the two summarised frequency vectors."""

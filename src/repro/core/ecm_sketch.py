@@ -24,7 +24,9 @@ counters the aggregation inflates the window error from ``eps_sw`` to
 from __future__ import annotations
 
 import math
-from typing import Callable, Hashable, List, Optional, Sequence
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..windows.base import SlidingWindowCounter, WindowModel
 from ..windows.deterministic_wave import DeterministicWave
@@ -37,12 +39,24 @@ from ..windows.merge import (
 from ..windows.randomized_wave import RandomizedWave
 from .config import CounterType, ECMConfig
 from .countmin import CountMinSketch
-from .errors import ConfigurationError, IncompatibleSketchError, WindowModelError
-from .hashing import HashFamily
+from .errors import (
+    ConfigurationError,
+    IncompatibleSketchError,
+    OutOfOrderArrivalError,
+    WindowModelError,
+)
+from .hashing import HashFamily, stable_fingerprint
 
 __all__ = ["ECMSketch"]
 
 _FIELD_BITS = 32
+#: Entry cap of the per-sketch item-fingerprint memo used by ``add_many``.
+#: The memo is an ingestion accelerator, not synopsis state: it is excluded
+#: from ``memory_bytes()`` (which models the paper's synopsis footprint) and
+#: is wholesale-cleared when it outgrows this cap, trading a one-off
+#: re-fingerprinting of the working set for bounded overhead on
+#: high-cardinality streams.
+_FINGERPRINT_CACHE_LIMIT = 1 << 17
 
 
 class ECMSketch:
@@ -77,6 +91,9 @@ class ECMSketch:
         ]
         self._total_arrivals = 0
         self._last_clock: Optional[float] = None
+        # Item -> stable fingerprint memo used by the batched ingestion path;
+        # cleared when it exceeds _FINGERPRINT_CACHE_LIMIT entries.
+        self._fingerprint_cache: Dict[Hashable, int] = {}
         #: Error parameter carried by the sliding-window counters.  Aggregation
         #: inflates it (Theorem 4); queries report guarantees based on it.
         self.effective_epsilon_sw = config.epsilon_sw
@@ -173,6 +190,143 @@ class ECMSketch:
         self._total_arrivals += value
         self._last_clock = clock
 
+    def add_many(
+        self,
+        items: Sequence[Hashable],
+        clocks: Sequence[float],
+        values: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Batched :meth:`add`: ingest a whole chunk of arrivals in one call.
+
+        The resulting sketch state is byte-for-byte identical to calling
+        :meth:`add` once per arrival in order, but the work is organised for
+        throughput: each distinct item is fingerprinted and hashed exactly
+        once in a NumPy-vectorized pass, and each (row, column) cell receives
+        its arrivals as one contiguous run through
+        :meth:`~repro.windows.base.SlidingWindowCounter.add_batch`, which
+        amortizes the per-arrival bookkeeping.  Grouping by cell is sound
+        because a sliding-window counter's state depends only on its own
+        arrival subsequence, which the stable grouping preserves in order.
+
+        Unlike the scalar path, argument problems (length mismatch, negative
+        value, out-of-order clocks) are detected *before* any state is
+        mutated, so a failed call leaves the sketch untouched.
+
+        Args:
+            items: Batch of items, in stream order.
+            clocks: Non-decreasing clock values, one per item.
+            values: Optional per-item weights (defaults to 1 each).
+        """
+        n = len(items)
+        if len(clocks) != n:
+            raise ConfigurationError(
+                "clocks length %d does not match items length %d" % (len(clocks), n)
+            )
+        if values is not None and len(values) != n:
+            raise ConfigurationError(
+                "values length %d does not match items length %d" % (len(values), n)
+            )
+        if n == 0:
+            return
+        if values is not None and any(v < 0 for v in values):
+            raise ConfigurationError("ECM-sketches operate in the cash-register model; value >= 0")
+        # Zero-weight arrivals are no-ops in the scalar path (they do not even
+        # advance the clock), so drop them before validation and grouping.
+        if values is not None and not all(values):
+            kept = [i for i, v in enumerate(values) if v]
+            if not kept:
+                return
+            items = [items[i] for i in kept]
+            clocks = [clocks[i] for i in kept]
+            values = [values[i] for i in kept]
+            n = len(items)
+        # All-unit weights take the counts-free path (it is both the common
+        # case and the fastest); the type check keeps float weights like 1.0
+        # on the weighted path so arrival totals accumulate exactly as the
+        # scalar path would.
+        if values is not None and all(type(v) is int and v == 1 for v in values):
+            values = None
+        # `asarray` without an explicit dtype keeps integer clocks integral
+        # through the sort round-trip (count-based windows use arrival
+        # indices), so counters store exactly the clock values the scalar
+        # path would have stored.
+        clocks_array = np.asarray(clocks)
+        if (self._last_clock is not None and clocks_array[0] < self._last_clock) or (
+            n > 1 and bool((clocks_array[1:] < clocks_array[:-1]).any())
+        ):
+            previous = self._last_clock
+            for clock in clocks:
+                if previous is not None and clock < previous:
+                    raise OutOfOrderArrivalError(
+                        "arrival clock %r is older than the previous arrival %r"
+                        % (clock, previous)
+                    )
+                previous = clock
+
+        # Fingerprint each item once (memoized across calls — blake2b is the
+        # expensive part; the Carter–Wegman evaluation over all rows and
+        # arrivals is a handful of vectorized passes and needs no dedup).
+        # ``str``/``int`` keys are safe cache keys as-is; other types are
+        # namespaced by class so that `1`, `1.0` and `"1"` never alias.
+        cache = self._fingerprint_cache
+        if len(cache) > _FINGERPRINT_CACHE_LIMIT:
+            cache.clear()
+        cache_get = cache.get
+        fingerprints: List[int] = []
+        fingerprints_append = fingerprints.append
+        for item in items:
+            key = item if type(item) is str or type(item) is int else (item.__class__, item)
+            fingerprint = cache_get(key)
+            if fingerprint is None:
+                fingerprint = stable_fingerprint(item)
+                cache[key] = fingerprint
+            fingerprints_append(fingerprint)
+        columns = self.hashes.hash_fingerprints(
+            np.fromiter(fingerprints, dtype=np.uint64, count=n)
+        )
+
+        values_array = None if values is None else np.asarray(values)
+        # A NumPy sort round-trip (`array[order].tolist()`) hands counters the
+        # exact original clock/value objects only when the array dtype did not
+        # coerce anything — all-int and all-float lists survive, a mixed list
+        # is silently promoted to float64.  Fall back to Python indexing in
+        # the mixed case so batched state stays byte-identical to scalar.
+        clocks_exact = clocks_array.dtype.kind != "f" or all(
+            type(clock) is float for clock in clocks
+        )
+        values_exact = values_array is None or values_array.dtype.kind != "f" or all(
+            type(value) is float for value in values
+        )
+        for row in range(self.depth):
+            row_counters = self._counters[row]
+            arrival_columns = columns[row]
+            # Stable sort by column: each cell's arrivals become one contiguous
+            # slice, still in stream order, so a counter sees exactly the same
+            # arrival subsequence as under per-item `add` calls.
+            order = np.argsort(arrival_columns, kind="stable")
+            sorted_columns = arrival_columns[order]
+            if clocks_exact:
+                sorted_clocks = clocks_array[order].tolist()
+            else:
+                sorted_clocks = [clocks[i] for i in order.tolist()]
+            if values_array is None:
+                sorted_values = None
+            elif values_exact:
+                sorted_values = values_array[order].tolist()
+            else:
+                sorted_values = [values[i] for i in order.tolist()]
+            run_starts = [0] + (np.flatnonzero(np.diff(sorted_columns)) + 1).tolist()
+            run_stops = run_starts[1:] + [n]
+            column_of_run = sorted_columns[run_starts].tolist()
+            for column, start, stop in zip(column_of_run, run_starts, run_stops):
+                row_counters[column].add_batch(
+                    sorted_clocks[start:stop],
+                    None if sorted_values is None else sorted_values[start:stop],
+                    assume_ordered=True,
+                )
+        self._total_arrivals += n if values is None else sum(values)
+        self._last_clock = clocks[-1]
+
     # --------------------------------------------------------------- queries
     def _resolve_now(self, now: Optional[float]) -> float:
         if now is not None:
@@ -195,6 +349,42 @@ class ECMSketch:
             self._counters[row][column].estimate(range_length, now_value)
             for row, column in enumerate(columns)
         )
+
+    def point_query_many(
+        self,
+        items: Sequence[Hashable],
+        range_length: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> List[float]:
+        """Batched :meth:`point_query` over a whole chunk of items.
+
+        Items are hashed in one vectorized pass and every (row, column) cell
+        is estimated at most once per call (estimates are deterministic for a
+        fixed query range, so caching cannot change any answer).
+
+        Returns:
+            One estimate per input item, in order; each equals exactly what
+            :meth:`point_query` would return for that item.
+        """
+        if not len(items):
+            return []
+        now_value = self._resolve_now(now)
+        columns = self.hashes.hash_many(items).tolist()
+        cache: Dict[Tuple[int, int], float] = {}
+        results: List[float] = []
+        for position in range(len(items)):
+            best: Optional[float] = None
+            for row in range(self.depth):
+                column = columns[row][position]
+                key = (row, column)
+                estimate = cache.get(key)
+                if estimate is None:
+                    estimate = self._counters[row][column].estimate(range_length, now_value)
+                    cache[key] = estimate
+                if best is None or estimate < best:
+                    best = estimate
+            results.append(best if best is not None else 0.0)
+        return results
 
     def inner_product(
         self,

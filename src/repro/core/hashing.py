@@ -20,17 +20,39 @@ import random
 from dataclasses import dataclass
 from typing import Hashable, List, Sequence
 
+import numpy as np
+
 from .errors import ConfigurationError
 
 __all__ = [
     "MERSENNE_PRIME_61",
     "stable_fingerprint",
+    "stable_fingerprints",
     "PairwiseHash",
     "HashFamily",
 ]
 
 #: The Mersenne prime 2**61 - 1 used as the field size of the hash family.
 MERSENNE_PRIME_61 = (1 << 61) - 1
+
+#: NumPy constants for the vectorized Carter–Wegman evaluation.  The prime
+#: doubles as the low-61-bit mask (``p = 2**61 - 1`` is all ones).
+_NP_P = np.uint64(MERSENNE_PRIME_61)
+_NP_MASK31 = np.uint64((1 << 31) - 1)
+_NP_61 = np.uint64(61)
+_NP_31 = np.uint64(31)
+_NP_30 = np.uint64(30)
+_NP_2 = np.uint64(2)
+
+
+def _mod_mersenne61(values: "np.ndarray") -> "np.ndarray":
+    """Reduce ``uint64`` values modulo ``2**61 - 1`` without Python-int math.
+
+    Folding the top bits down (``(v & (2**61-1)) + (v >> 61)``) leaves a value
+    in ``[0, p + 7]``; one conditional subtraction finishes the reduction.
+    """
+    folded = (values & _NP_P) + (values >> _NP_61)
+    return np.where(folded >= _NP_P, folded - _NP_P, folded)
 
 
 def stable_fingerprint(item: Hashable) -> int:
@@ -52,8 +74,10 @@ def stable_fingerprint(item: Hashable) -> int:
         # bool is a subclass of int; keep True/False distinct from 1/0 text
         # representations but still deterministic.
         return int(item)
-    if isinstance(item, int):
-        return item & 0xFFFFFFFFFFFFFFFF
+    if isinstance(item, (int, np.integer)):
+        # NumPy integers fingerprint like their Python values, so scalar and
+        # vectorized (integer-array) ingestion agree item for item.
+        return int(item) & 0xFFFFFFFFFFFFFFFF
     if isinstance(item, bytes):
         digest = hashlib.blake2b(item, digest_size=8).digest()
         return int.from_bytes(digest, "little")
@@ -62,6 +86,27 @@ def stable_fingerprint(item: Hashable) -> int:
         return int.from_bytes(digest, "little")
     digest = hashlib.blake2b(repr(item).encode("utf-8"), digest_size=8).digest()
     return int.from_bytes(digest, "little")
+
+
+def stable_fingerprints(items: Sequence[Hashable]) -> "np.ndarray":
+    """Vectorized :func:`stable_fingerprint` over a batch of items.
+
+    Integer-typed NumPy arrays are fingerprinted without touching Python
+    objects; any other input falls back to the scalar fingerprint per item
+    (the blake2b digest is inherently per-object).  The result always agrees
+    element-wise with :func:`stable_fingerprint`.
+
+    Args:
+        items: A sequence (or NumPy array) of hashable values.
+
+    Returns:
+        A ``uint64`` array of fingerprints, one per item.
+    """
+    if isinstance(items, np.ndarray) and np.issubdtype(items.dtype, np.integer):
+        return items.astype(np.uint64, copy=False)
+    return np.fromiter(
+        (stable_fingerprint(item) for item in items), dtype=np.uint64, count=len(items)
+    )
 
 
 @dataclass(frozen=True)
@@ -124,6 +169,14 @@ class HashFamily:
             a = rng.randrange(1, MERSENNE_PRIME_61)
             b = rng.randrange(0, MERSENNE_PRIME_61)
             self._functions.append(PairwiseHash(a=a, b=b, width=width))
+        # Pre-split coefficients into 31-bit halves (column vectors, so a batch
+        # of fingerprints broadcasts to a (depth, n) result): 61-bit operands
+        # would overflow uint64 products, the halves never do.
+        a_column = np.array([[fn.a] for fn in self._functions], dtype=np.uint64)
+        self._a_lo = a_column & _NP_MASK31
+        self._a_hi = a_column >> _NP_31
+        self._b = np.array([[fn.b] for fn in self._functions], dtype=np.uint64)
+        self._np_width = np.uint64(width)
 
     @property
     def functions(self) -> Sequence[PairwiseHash]:
@@ -138,6 +191,40 @@ class HashFamily:
         """
         x = stable_fingerprint(item)
         return [h.hash_int(x) for h in self._functions]
+
+    def hash_many(self, items: Sequence[Hashable]) -> "np.ndarray":
+        """Hash a batch of items with every function of the family at once.
+
+        The evaluation is NumPy-vectorized: fingerprints are reduced modulo the
+        Mersenne prime, the 61-bit Carter–Wegman products are computed via
+        31-bit limbs (``a*x = a_hi*x_hi*2**62 + (a_hi*x_lo + a_lo*x_hi)*2**31 +
+        a_lo*x_lo``, with ``2**61 = 1 (mod p)`` turning the shifted terms into
+        cheap rotations), and every row is processed in the same pass through
+        broadcasting.  Results agree exactly with :meth:`hash_all` per item.
+
+        Args:
+            items: Batch of hashable values (or an integer NumPy array).
+
+        Returns:
+            A ``(depth, len(items))`` array of column indices (``uint64``).
+        """
+        fingerprints = stable_fingerprints(items)
+        return self.hash_fingerprints(fingerprints)
+
+    def hash_fingerprints(self, fingerprints: "np.ndarray") -> "np.ndarray":
+        """Vectorized hashing of already-computed ``uint64`` fingerprints."""
+        x = _mod_mersenne61(fingerprints.astype(np.uint64, copy=False))
+        x_lo = x & _NP_MASK31  # < 2**31
+        x_hi = x >> _NP_31  # < 2**30
+        # a_hi*x_hi*2**62 mod p == 2*a_hi*x_hi mod p (2**61 == 1 mod p).
+        high = _mod_mersenne61(self._a_hi * x_hi * _NP_2)
+        # The middle term is multiplied by 2**31, i.e. rotated left by 31 bits
+        # within the 61-bit field.
+        mid = _mod_mersenne61(self._a_hi * x_lo + self._a_lo * x_hi)
+        mid = _mod_mersenne61(((mid << _NP_31) & _NP_P) + (mid >> _NP_30))
+        low = _mod_mersenne61(self._a_lo * x_lo)
+        hashed = _mod_mersenne61(high + mid + low + self._b)
+        return hashed % self._np_width
 
     def hash_row(self, item: Hashable, row: int) -> int:
         """Hash ``item`` with the function of a single ``row``."""

@@ -9,7 +9,7 @@ monitoring protocol in :mod:`repro.distributed.geometric`.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Optional
+from typing import Hashable, Iterable, Optional, Sequence
 
 from ..core.config import CounterType, ECMConfig
 from ..core.ecm_sketch import ECMSketch
@@ -48,10 +48,34 @@ class StreamNode:
         """Process one :class:`~repro.streams.stream.StreamRecord`."""
         self.observe(record.key, record.timestamp, record.value)
 
-    def observe_stream(self, stream: Stream) -> None:
-        """Process every record of a local stream in order."""
-        for record in stream:
-            self.observe_record(record)
+    def observe_stream(self, stream: Stream, batch_size: Optional[int] = None) -> None:
+        """Process every record of a local stream in order.
+
+        Args:
+            stream: The node's local stream.
+            batch_size: When given, ingest through the batched fast path
+                (:meth:`~repro.core.ecm_sketch.ECMSketch.add_many`) in chunks
+                of this many records.  The resulting sketch state is identical
+                to per-record ingestion, only faster.
+        """
+        if batch_size is None:
+            for record in stream:
+                self.observe_record(record)
+            return
+        for chunk in stream.iter_batches(batch_size):
+            self.observe_batch(chunk)
+
+    def observe_batch(self, records: Sequence[StreamRecord]) -> None:
+        """Process one chunk of in-order records through the batched path."""
+        if not records:
+            return
+        # add_many itself routes all-unit weights onto the counts-free path.
+        self.sketch.add_many(
+            [record.key for record in records],
+            [record.timestamp for record in records],
+            [record.value for record in records],
+        )
+        self.records_processed += len(records)
 
     def observe_records(self, records: Iterable[StreamRecord]) -> None:
         """Process an iterable of records in the given order."""

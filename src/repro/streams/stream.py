@@ -64,6 +64,39 @@ class Stream:
         """True when the stream carries no records."""
         return not self._records
 
+    def iter_batches(self, batch_size: int) -> Iterator[Sequence[StreamRecord]]:
+        """Iterate over the stream in contiguous chunks of ``batch_size`` records.
+
+        The concatenation of the yielded chunks is exactly the stream, in
+        order; the final chunk may be shorter.  This is the chunked-iteration
+        seam used by the batched ingestion path
+        (:meth:`repro.core.ecm_sketch.ECMSketch.add_many`).
+
+        Args:
+            batch_size: Maximum records per chunk (must be positive).
+        """
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive, got %r" % (batch_size,))
+        records = self._records
+        for start in range(0, len(records), batch_size):
+            yield records[start : start + batch_size]
+
+    def columns(self) -> "tuple[List[Hashable], List[float], List[int]]":
+        """The stream pivoted into parallel (keys, timestamps, values) lists.
+
+        This is the layout the batch APIs consume (``add_many(keys,
+        timestamps, values)``); building it once amortizes attribute access
+        over the whole stream.
+        """
+        keys: List[Hashable] = []
+        timestamps: List[float] = []
+        values: List[int] = []
+        for record in self._records:
+            keys.append(record.key)
+            timestamps.append(record.timestamp)
+            values.append(record.value)
+        return keys, timestamps, values
+
     # ------------------------------------------------------------- metadata
     def keys(self) -> List[Hashable]:
         """Distinct keys appearing anywhere in the stream."""

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import abc
 import enum
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 from ..core.errors import ConfigurationError, OutOfOrderArrivalError
 
@@ -181,3 +181,84 @@ class SlidingWindowCounter(abc.ABC):
         """Convenience: add one unit arrival for every clock value in order."""
         for clock in clocks:
             self.add(clock)
+
+    # -------------------------------------------------------------- batching
+    def add_batch(
+        self,
+        clocks: Sequence[float],
+        counts: Optional[Sequence[int]] = None,
+        *,
+        assume_ordered: bool = False,
+    ) -> None:
+        """Register a run of in-order arrivals in one call.
+
+        For a valid run the resulting counter state is byte-for-byte the same
+        as calling :meth:`add` once per element, but concrete counters may
+        override this to amortize per-arrival bookkeeping (clock validation,
+        expiry scans, cascades) across the whole run.  This is the seam
+        :meth:`repro.core.ecm_sketch.ECMSketch.add_many` uses after grouping a
+        batch of arrivals per (row, column) cell.
+
+        Unlike a sequence of scalar :meth:`add` calls (which commit every
+        arrival before the offending one), an invalid run — negative count or
+        out-of-order clock — raises *before any mutation*, leaving the
+        counter untouched.
+
+        Args:
+            clocks: Non-decreasing clock values, one per arrival.
+            counts: Optional per-arrival weights (defaults to 1 each).
+            assume_ordered: Promise that ``clocks`` are non-decreasing and not
+                older than the counter's last arrival, allowing overrides to
+                skip per-arrival order validation.  Only set this when the
+                caller has already validated the run (as ``add_many`` does);
+                passing unordered clocks with this flag corrupts the counter.
+        """
+        self._validate_batch(clocks, counts, assume_ordered)
+        if counts is None:
+            for clock in clocks:
+                self.add(clock)
+        else:
+            for clock, count in zip(clocks, counts):
+                self.add(clock, count)
+
+    def _validate_batch(
+        self,
+        clocks: Sequence[float],
+        counts: Optional[Sequence[int]],
+        assume_ordered: bool,
+    ) -> None:
+        """Validate a whole run upfront so a failed batch mutates nothing.
+
+        Zero-count arrivals are exempt from clock ordering, exactly as in the
+        scalar path (a zero-count :meth:`add` returns before validation).
+        """
+        if counts is not None:
+            if len(counts) != len(clocks):
+                raise ConfigurationError(
+                    "counts length %d does not match clocks length %d"
+                    % (len(counts), len(clocks))
+                )
+            for count in counts:
+                if count < 0:
+                    raise ConfigurationError("count must be non-negative, got %r" % (count,))
+        if assume_ordered:
+            return
+        previous = self._last_clock
+        if counts is None:
+            for clock in clocks:
+                if previous is not None and clock < previous:
+                    raise OutOfOrderArrivalError(
+                        "arrival clock %r is older than the previous arrival %r"
+                        % (clock, previous)
+                    )
+                previous = clock
+        else:
+            for clock, count in zip(clocks, counts):
+                if count == 0:
+                    continue
+                if previous is not None and clock < previous:
+                    raise OutOfOrderArrivalError(
+                        "arrival clock %r is older than the previous arrival %r"
+                        % (clock, previous)
+                    )
+                previous = clock

@@ -28,7 +28,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterator, List, Optional
+from typing import Deque, Iterator, List, Optional, Sequence
 
 from ..core.errors import ConfigurationError
 from .base import SlidingWindowCounter, WindowModel, validate_epsilon
@@ -39,7 +39,7 @@ __all__ = ["Bucket", "ExponentialHistogram"]
 _FIELD_BITS = 32
 
 
-@dataclass
+@dataclass(slots=True)
 class Bucket:
     """A single exponential-histogram bucket.
 
@@ -57,7 +57,7 @@ class Bucket:
 
     def merge_with_older(self, older: "Bucket") -> "Bucket":
         """Return the bucket obtained by merging this bucket with an older one."""
-        return Bucket(size=self.size + older.size, start=older.start, end=self.end)
+        return Bucket(self.size + older.size, older.start, self.end)
 
 
 class ExponentialHistogram(SlidingWindowCounter):
@@ -106,11 +106,147 @@ class ExponentialHistogram(SlidingWindowCounter):
             self._insert_unit(clock)
         self._expire(clock)
 
+    def add_batch(
+        self,
+        clocks: Sequence[float],
+        counts: Optional[Sequence[int]] = None,
+        *,
+        assume_ordered: bool = False,
+    ) -> None:
+        """Bulk-insert a run of in-order arrivals (see the base-class contract).
+
+        Produces exactly the same bucket structure as per-arrival :meth:`add`
+        calls, but pays the per-arrival overhead once per run: the run is
+        validated upfront (so invalid input mutates nothing), attribute
+        lookups are hoisted out of the loop, and the expiry scan only runs
+        when the oldest retained bucket can actually have left the window (a
+        skipped scan is a no-op in the scalar path, so skipping it cannot
+        change state).
+        """
+        if not len(clocks):
+            return
+        self._validate_batch(clocks, counts, assume_ordered)
+        levels = self._levels
+        max_per = self._max_per_level
+        window = self.window
+        last = self._last_clock
+        total = self._total_arrivals
+        upper = self._in_window_upper
+        # Clock of the oldest retained bucket: expiry can only remove something
+        # once `clock - window` reaches it.  Merges may strictly increase the
+        # true minimum; keeping a stale lower value merely triggers a no-op
+        # scan, never a missed expiry.
+        oldest_end = math.inf
+        for level in levels:
+            if level:
+                end = level[0].end
+                if end < oldest_end:
+                    oldest_end = end
+        if counts is None:
+            # When the whole run ends before anything can leave the window
+            # (neither a pre-existing bucket nor one created during the run),
+            # every expiry scan of the scalar path is a no-op and the
+            # per-arrival loop collapses to its insert-and-cascade core.
+            final_threshold = clocks[-1] - window
+            if final_threshold < oldest_end and final_threshold < clocks[0]:
+                self._add_unit_run(clocks)
+                return
+            pairs = [(clock, 1) for clock in clocks]
+        else:
+            pairs = list(zip(clocks, counts))
+        # Level 0 is created lazily exactly like the scalar path, so that an
+        # all-zero or empty batch leaves the structure untouched.
+        level0: Optional[Deque[Bucket]] = levels[0] if levels else None
+        append0 = level0.append if level0 is not None else None
+        try:
+            # The run was validated above, so the loop only applies state.
+            for clock, count in pairs:
+                if count == 0:
+                    continue
+                last = clock
+                total += count
+                upper += count
+                if append0 is None:
+                    levels.append(deque())
+                    level0 = levels[0]
+                    append0 = level0.append
+                for _ in range(count):
+                    append0(Bucket(1, clock, clock))
+                    if len(level0) > max_per:
+                        level = 0
+                        while level < len(levels) and len(levels[level]) > max_per:
+                            bucket_deque = levels[level]
+                            older = bucket_deque.popleft()
+                            newer = bucket_deque.popleft()
+                            if level + 1 >= len(levels):
+                                levels.append(deque())
+                            levels[level + 1].append(
+                                Bucket(newer.size + older.size, older.start, newer.end)
+                            )
+                            level += 1
+                if oldest_end > clock:
+                    oldest_end = clock
+                threshold = clock - window
+                if oldest_end <= threshold:
+                    for bucket_deque in levels:
+                        while bucket_deque and bucket_deque[0].end <= threshold:
+                            upper -= bucket_deque.popleft().size
+                    oldest_end = math.inf
+                    for bucket_deque in levels:
+                        if bucket_deque:
+                            end = bucket_deque[0].end
+                            if end < oldest_end:
+                                oldest_end = end
+        finally:
+            self._last_clock = last
+            self._total_arrivals = total
+            self._in_window_upper = upper
+
+    def _add_unit_run(self, clocks: Sequence[float]) -> None:
+        """Insert a pre-validated run of unit arrivals that triggers no expiry.
+
+        The caller has established that no bucket can leave the window before
+        the run's final clock, so the per-arrival machinery collapses: all
+        unit buckets are appended in one C-speed ``extend`` and the cascade
+        runs once at the end, level by level.  Deferring the cascade is exact:
+        arrivals only ever land at the *newest* end of a level while merges
+        only ever consume the two *oldest* buckets, so for a fixed arrival
+        sequence the greedy left-to-right pairing — and therefore the final
+        bucket structure — is identical whether merges are interleaved after
+        every insert (the scalar path) or performed in one pass per level.
+        The merged pair's newer bucket is reused in place (buckets are owned
+        exclusively by the level deques), avoiding a transient allocation.
+        """
+        levels = self._levels
+        max_per = self._max_per_level
+        if not levels:
+            levels.append(deque())
+        levels[0].extend([Bucket(1, clock, clock) for clock in clocks])
+        level = 0
+        num_levels = len(levels)
+        while level < num_levels and len(levels[level]) > max_per:
+            bucket_deque = levels[level]
+            if level + 1 >= num_levels:
+                levels.append(deque())
+                num_levels += 1
+            append_next = levels[level + 1].append
+            popleft = bucket_deque.popleft
+            while len(bucket_deque) > max_per:
+                older = popleft()
+                newer = popleft()
+                newer.size += older.size
+                newer.start = older.start
+                append_next(newer)
+            level += 1
+        self._last_clock = clocks[-1]
+        self._total_arrivals += len(clocks)
+        self._in_window_upper += len(clocks)
+
     def _insert_unit(self, clock: float) -> None:
         """Insert a single unit arrival as a fresh size-1 bucket and rebalance."""
         if not self._levels:
             self._levels.append(deque())
-        self._levels[0].append(Bucket(size=1, start=clock, end=clock))
+        self._levels[0].append(Bucket(1, clock, clock))
         self._in_window_upper += 1
         self._cascade_merges()
 

@@ -7,6 +7,11 @@ from typing import List, Tuple
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import pytest
+
+#: Property tests explore large input spaces; run `-m 'not slow'` to skip.
+pytestmark = pytest.mark.slow
+
 from repro.core import CounterType, ECMSketch
 from repro.serialization import dumps, loads
 from repro.windows import ExponentialHistogram, RandomizedWave

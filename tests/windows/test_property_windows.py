@@ -18,6 +18,11 @@ from typing import List
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import pytest
+
+#: Property tests explore large input spaces; run `-m 'not slow'` to skip.
+pytestmark = pytest.mark.slow
+
 from repro.windows import (
     DeterministicWave,
     ExactWindowCounter,
