@@ -16,7 +16,7 @@ import pytest
 
 from repro.baselines import ExactStreamSummary
 from repro.core import CounterType, ECMSketch
-from repro.experiments import PAPER_WINDOW_SECONDS, load_dataset
+from repro.experiments import load_dataset
 from repro.windows import WindowModel
 
 from .conftest import emit

@@ -1,0 +1,244 @@
+"""Benchmarks of the vectorized aggregation and the sharded parallel runner.
+
+Covers the two performance claims of the sharded-simulation work:
+
+* **Aggregation speedup** — merging 32+ site sketches through the vectorized
+  ``ECMSketch.merge_many`` must be at least 3x faster than the replay-based
+  reference ``ECMSketch.aggregate`` (identical output, enforced by the
+  equivalence suite).
+* **Site-count scaling** — the per-site cost of a flat ``merge_many`` stays
+  roughly constant as the deployment grows (near-linear total cost).
+
+It also records the runner's sharded-ingest throughput at 1 and 2 workers.
+Run standalone (``PYTHONPATH=src python benchmarks/bench_parallel_runner.py
+[--json out.json]``) for the report the CI benchmark job archives, or via
+``pytest benchmarks/bench_parallel_runner.py`` for pytest-benchmark timings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.core import CounterType, ECMConfig, ECMSketch
+from repro.distributed import run_sharded_ingest
+from repro.streams import WorldCupSyntheticTrace
+
+WINDOW = 1_000_000.0
+#: Site count of the headline aggregation comparison.
+AGGREGATION_SITES = 32
+#: Arrivals ingested per site before aggregating.
+ARRIVALS_PER_SITE = 3_000
+#: Site counts of the scaling sweep.
+SCALING_SITES = (8, 16, 32, 64)
+
+
+def _build_site_sketches(
+    counter_type: CounterType,
+    num_sites: int,
+    arrivals_per_site: int = ARRIVALS_PER_SITE,
+    epsilon: float = 0.1,
+) -> List[ECMSketch]:
+    """Local sketches of a simulated deployment (WorldCup-style keys)."""
+    config = ECMConfig.for_point_queries(
+        epsilon=epsilon,
+        delta=0.1,
+        window=WINDOW,
+        counter_type=counter_type,
+        max_arrivals=10 * arrivals_per_site,
+    )
+    keys = ["/english/images/team_group_header_%d.gif" % index for index in range(200)]
+    sketches = []
+    for site in range(num_sites):
+        rng = random.Random(site)
+        sketch = ECMSketch(config, stream_tag=site)
+        clock = 0.0
+        items, clocks = [], []
+        for _ in range(arrivals_per_site):
+            clock += rng.random() * 5.0
+            items.append(keys[rng.randrange(len(keys))])
+            clocks.append(clock)
+        sketch.add_many(items, clocks)
+        sketches.append(sketch)
+    return sketches
+
+
+def _timed(thunk) -> float:
+    start = time.perf_counter()
+    thunk()
+    return time.perf_counter() - start
+
+
+def _best_of(thunk, rounds: int = 3) -> float:
+    return min(_timed(thunk) for _ in range(rounds))
+
+
+# ------------------------------------------------------------ pytest-benchmark
+@pytest.mark.benchmark(group="aggregation-32-sites")
+@pytest.mark.parametrize(
+    "counter_type",
+    [CounterType.EXPONENTIAL_HISTOGRAM, CounterType.DETERMINISTIC_WAVE],
+    ids=["eh", "dw"],
+)
+def test_aggregate_reference(benchmark, counter_type):
+    sketches = _build_site_sketches(counter_type, AGGREGATION_SITES)
+    benchmark(lambda: ECMSketch.aggregate(sketches))
+
+
+@pytest.mark.benchmark(group="aggregation-32-sites")
+@pytest.mark.parametrize(
+    "counter_type",
+    [CounterType.EXPONENTIAL_HISTOGRAM, CounterType.DETERMINISTIC_WAVE],
+    ids=["eh", "dw"],
+)
+def test_merge_many_vectorized(benchmark, counter_type):
+    sketches = _build_site_sketches(counter_type, AGGREGATION_SITES)
+    benchmark(lambda: ECMSketch.merge_many(sketches))
+
+
+def test_aggregation_speedup_report(capsys):
+    """Measure and report the merge_many/aggregate ratio at 32 sites.
+
+    The acceptance bar is a >= 3x aggregation speedup for the deterministic
+    counters.  Wall-clock ratios are noisy on loaded machines, so the floor
+    is only enforced when REPRO_BENCH_STRICT=1 (as in a dedicated perf job).
+    """
+    import os
+
+    results = _run_aggregation_comparison()
+    with capsys.disabled():
+        for variant, row in results.items():
+            print(
+                "\n%s aggregation of %d sites: reference %.3fs, vectorized %.3fs "
+                "-> %.2fx speedup"
+                % (
+                    variant,
+                    AGGREGATION_SITES,
+                    row["reference_seconds"],
+                    row["vectorized_seconds"],
+                    row["speedup"],
+                )
+            )
+    if os.environ.get("REPRO_BENCH_STRICT") == "1":
+        for variant in ("eh", "dw"):
+            assert results[variant]["speedup"] >= 3.0, (
+                "%s aggregation speedup regressed to %.2fx (< 3x floor)"
+                % (variant, results[variant]["speedup"])
+            )
+
+
+# -------------------------------------------------------------- report helpers
+def _run_aggregation_comparison(rounds: int = 3) -> Dict[str, Dict[str, float]]:
+    """Reference-vs-vectorized aggregation timings at the headline site count."""
+    results: Dict[str, Dict[str, float]] = {}
+    for counter_type, label in (
+        (CounterType.EXPONENTIAL_HISTOGRAM, "eh"),
+        (CounterType.DETERMINISTIC_WAVE, "dw"),
+        (CounterType.RANDOMIZED_WAVE, "rw"),
+    ):
+        arrivals = ARRIVALS_PER_SITE if counter_type is not CounterType.RANDOMIZED_WAVE else 1_500
+        sketches = _build_site_sketches(counter_type, AGGREGATION_SITES, arrivals)
+        reference = _best_of(lambda: ECMSketch.aggregate(sketches), rounds)
+        vectorized = _best_of(lambda: ECMSketch.merge_many(sketches), rounds)
+        results[label] = {
+            "sites": AGGREGATION_SITES,
+            "arrivals_per_site": arrivals,
+            "reference_seconds": reference,
+            "vectorized_seconds": vectorized,
+            "speedup": reference / vectorized,
+        }
+    return results
+
+
+def _run_scaling_sweep(rounds: int = 3) -> List[Dict[str, float]]:
+    """merge_many cost per site as the deployment grows (near-linear target)."""
+    rows: List[Dict[str, float]] = []
+    for num_sites in SCALING_SITES:
+        sketches = _build_site_sketches(CounterType.EXPONENTIAL_HISTOGRAM, num_sites)
+        seconds = _best_of(lambda: ECMSketch.merge_many(sketches), rounds)
+        rows.append(
+            {
+                "sites": num_sites,
+                "seconds": seconds,
+                "seconds_per_site": seconds / num_sites,
+            }
+        )
+    return rows
+
+
+def _run_runner_throughput(records: int = 20_000, num_sites: int = 16) -> List[Dict[str, float]]:
+    """Sharded-ingest throughput at 1 and 2 workers."""
+    trace = WorldCupSyntheticTrace(num_records=records, num_nodes=num_sites).generate()
+    config = ECMConfig.for_point_queries(epsilon=0.1, delta=0.1, window=WINDOW)
+    rows: List[Dict[str, float]] = []
+    for workers in (1, 2):
+        _, report = run_sharded_ingest(
+            trace, num_nodes=num_sites, config=config, workers=workers
+        )
+        rows.append(
+            {
+                "workers": workers,
+                "shards": report.shards,
+                "records": report.records,
+                "ingest_seconds": report.ingest_seconds,
+                "records_per_second": report.records_per_second(),
+            }
+        )
+    return rows
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    """Standalone report (no pytest needed); optionally persists JSON.
+
+    The CI benchmark job runs this with ``--json BENCH_pr2.json`` and uploads
+    the file as the perf-trajectory artifact.
+    """
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", type=str, default=None, help="write results to this file")
+    parser.add_argument("--rounds", type=int, default=3, help="timing rounds (min is kept)")
+    args = parser.parse_args(argv)
+
+    aggregation = _run_aggregation_comparison(rounds=args.rounds)
+    print("Aggregation of %d site sketches (reference replay vs vectorized merge_many):" % AGGREGATION_SITES)
+    for variant, row in aggregation.items():
+        print(
+            "  %-3s reference %7.3fs   vectorized %7.3fs   speedup %5.2fx"
+            % (variant, row["reference_seconds"], row["vectorized_seconds"], row["speedup"])
+        )
+
+    scaling = _run_scaling_sweep(rounds=args.rounds)
+    print("merge_many site-count scaling (ECM-EH, %d arrivals/site):" % ARRIVALS_PER_SITE)
+    for row in scaling:
+        print(
+            "  %3d sites: %7.3fs total   %7.2f ms/site"
+            % (row["sites"], row["seconds"], 1_000.0 * row["seconds_per_site"])
+        )
+
+    runner = _run_runner_throughput()
+    print("Sharded runner ingest throughput (16 sites, 20k records):")
+    for row in runner:
+        print(
+            "  workers=%d shards=%d: %8.0f records/s"
+            % (row["workers"], row["shards"], row["records_per_second"])
+        )
+
+    if args.json:
+        payload = {
+            "benchmark": "bench_parallel_runner",
+            "aggregation_32_sites": aggregation,
+            "scaling": scaling,
+            "runner_throughput": runner,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("results written to %s" % args.json)
+
+
+if __name__ == "__main__":
+    main()

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 
-from repro.core import ECMConfig, ECMSketch
+from repro.core import ECMConfig
 from repro.distributed import DistributedDeployment
 from repro.queries import FrequentItemsTracker
 from repro.streams import Stream, StreamRecord

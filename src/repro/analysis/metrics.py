@@ -16,7 +16,7 @@ range*.  This module reproduces that query workload and the error summaries
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence
+from typing import Hashable, List, Optional, Sequence
 
 from ..baselines.exact import ExactStreamSummary
 from ..core.ecm_sketch import ECMSketch

@@ -10,11 +10,11 @@ measurement harness, never a competitor.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from bisect import bisect_right
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from ..core.errors import ConfigurationError
-from ..streams.stream import Stream, StreamRecord
+from ..streams.stream import Stream
 
 __all__ = ["ExactStreamSummary"]
 

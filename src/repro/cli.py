@@ -72,6 +72,8 @@ def _run_figure5(args: argparse.Namespace) -> ExperimentResult:
         num_records=args.records,
         num_nodes=args.nodes,
         max_keys_per_range=args.max_keys,
+        workers=getattr(args, "workers", None),
+        shards=getattr(args, "shards", None),
     )
     return rows, format_distributed_rows(rows)
 
@@ -82,6 +84,8 @@ def _run_table4(args: argparse.Namespace) -> ExperimentResult:
         num_records=args.records,
         num_nodes=args.nodes,
         max_keys_per_range=args.max_keys,
+        workers=getattr(args, "workers", None),
+        shards=getattr(args, "shards", None),
     )
     return rows, format_centralized_vs_distributed_rows(rows)
 
@@ -92,6 +96,8 @@ def _run_figure6(args: argparse.Namespace) -> ExperimentResult:
         network_sizes=tuple(args.network_sizes),
         num_records=args.records,
         max_keys_per_range=args.max_keys,
+        workers=getattr(args, "workers", None),
+        shards=getattr(args, "shards", None),
     )
     return rows, format_network_size_rows(rows)
 
@@ -167,6 +173,13 @@ def build_parser() -> argparse.ArgumentParser:
                             help="ingest via the batched fast path (add_many) in chunks "
                                  "of this many records; affects throughput experiments "
                                  "such as table3")
+    run_parser.add_argument("--workers", type=_positive_int, default=None,
+                            help="simulate distributed sites in this many worker "
+                                 "processes (sharded runner); affects figure5, table4 "
+                                 "and figure6")
+    run_parser.add_argument("--shards", type=_positive_int, default=None,
+                            help="number of shard work units for the parallel runner "
+                                 "(defaults to --workers)")
 
     demo_parser = subparsers.add_parser("demo", help="run a quick end-to-end sanity demo")
     demo_parser.add_argument("--records", type=int, default=10_000)
@@ -174,6 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
     demo_parser.add_argument("--batch-size", type=_positive_int, default=None,
                              help="ingest via the batched fast path (add_many) in chunks "
                                   "of this many records")
+    demo_parser.add_argument("--workers", type=_positive_int, default=None,
+                             help="also run a sharded distributed demo across this many "
+                                  "worker processes")
+    demo_parser.add_argument("--shards", type=_positive_int, default=None,
+                             help="number of simulated sites for the distributed demo "
+                                  "(defaults to 4 x workers)")
 
     return parser
 
@@ -183,6 +202,8 @@ def _demo(
     epsilon: float,
     out: Callable[[str], None],
     batch_size: Optional[int] = None,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> None:
     """A self-contained sanity demo mirroring examples/quickstart.py."""
     window = 1_000_000.0
@@ -213,7 +234,52 @@ def _demo(
     out("sketch memory:           %.1f KiB" % (sketch.memory_bytes() / 1024.0))
     out("worst observed error:    %.4f (guarantee: %.2f)" % (worst, epsilon))
     out("self-join estimate:      %.0f (exact %d)" % (sketch.self_join(now=now), exact.self_join(now=now)))
-    out("demo %s" % ("PASSED" if worst <= epsilon else "FAILED"))
+    distributed_ok = True
+    if workers is not None or shards is not None:
+        distributed_ok = _demo_distributed(
+            trace, sketch.config, out, workers=workers, shards=shards
+        )
+    out("demo %s" % ("PASSED" if worst <= epsilon and distributed_ok else "FAILED"))
+
+
+def _demo_distributed(
+    trace,
+    config,
+    out: Callable[[str], None],
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+) -> bool:
+    """Sharded distributed section of the demo: parallel sites + aggregation."""
+    from .distributed import DistributedDeployment
+
+    num_sites = shards if shards is not None else 4 * (workers or 1)
+    deployment = DistributedDeployment(num_nodes=num_sites, config=config)
+    deployment.ingest(
+        trace.reassign_round_robin(num_sites), workers=workers, shards=shards
+    )
+    ingest_report = deployment.last_ingest_report
+    aggregate_start = _time.perf_counter()
+    root = deployment.aggregate()
+    aggregate_elapsed = _time.perf_counter() - aggregate_start
+    report = deployment.last_report
+    out("distributed sites:       %d (workers=%s, shards=%s)" % (
+        num_sites,
+        "1" if workers is None else workers,
+        ingest_report.shards if ingest_report else "n/a",
+    ))
+    if ingest_report is not None:
+        out("sharded ingest rate:     %.0f records/s" % ingest_report.records_per_second())
+    out("aggregation time:        %.3f s (%d levels, %.2f MB shipped)" % (
+        aggregate_elapsed,
+        report.levels if report else 0,
+        report.transfer_megabytes() if report else 0.0,
+    ))
+    matches = root.total_arrivals() == len(trace)
+    out("root arrivals:           %d (%s)" % (
+        root.total_arrivals(),
+        "matches trace" if matches else "MISMATCH",
+    ))
+    return matches
 
 
 def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = print) -> int:
@@ -233,7 +299,14 @@ def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = prin
         return 0
 
     if args.command == "demo":
-        _demo(records=args.records, epsilon=args.epsilon, out=out, batch_size=args.batch_size)
+        _demo(
+            records=args.records,
+            epsilon=args.epsilon,
+            out=out,
+            batch_size=args.batch_size,
+            workers=args.workers,
+            shards=args.shards,
+        )
         return 0
 
     if args.command == "run":
@@ -241,6 +314,12 @@ def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = prin
         if args.batch_size is not None and any(name != "table3" for name in names):
             out("note: --batch-size currently affects only the table3 (update-rate) "
                 "experiment; other experiments ingest per-record.")
+        distributed_names = {"figure5", "table4", "figure6"}
+        if (args.workers is not None or args.shards is not None) and any(
+            name not in distributed_names for name in names
+        ):
+            out("note: --workers/--shards affect only the distributed experiments "
+                "(figure5, table4, figure6); other experiments ingest per-record.")
         collected: List[object] = []
         for name in names:
             rows, table = EXPERIMENTS[name](args)

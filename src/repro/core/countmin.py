@@ -15,6 +15,8 @@ from __future__ import annotations
 import math
 from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .errors import ConfigurationError, IncompatibleSketchError
 from .hashing import HashFamily
 
@@ -198,13 +200,43 @@ class CountMinSketch:
 
     @classmethod
     def merged(cls, sketches: Sequence["CountMinSketch"]) -> "CountMinSketch":
-        """Return a new sketch equal to the sum of ``sketches``."""
+        """Return a new sketch equal to the sum of ``sketches``.
+
+        Reference implementation: iterated pairwise :meth:`merge_inplace`.
+        The vectorized :meth:`merge_many` produces identical state and is
+        what the distributed hot paths use.
+        """
         if not sketches:
             raise ConfigurationError("cannot merge an empty list of sketches")
         base = sketches[0]
         result = cls(width=base.width, depth=base.depth, seed=base.seed)
         for sketch in sketches:
             result.merge_inplace(sketch)
+        return result
+
+    @classmethod
+    def merge_many(cls, sketches: Sequence["CountMinSketch"]) -> "CountMinSketch":
+        """NumPy-batched n-ary merge, state-identical to :meth:`merged`.
+
+        Counters are accumulated as whole ``depth x width`` arrays, one
+        vectorized add per input sketch.  The per-cell accumulation order is
+        exactly the left-fold of the pairwise reference, so the resulting
+        floating-point counters (and therefore the serialized state) are
+        bit-identical.
+        """
+        if not sketches:
+            raise ConfigurationError("cannot merge an empty list of sketches")
+        base = sketches[0]
+        for other in sketches:
+            base._require_compatible(other)
+        accumulator = np.zeros((base.depth, base.width), dtype=np.float64)
+        total = 0.0
+        for sketch in sketches:
+            accumulator += np.asarray(sketch._counters, dtype=np.float64)
+            total += sketch._total
+        result = cls(width=base.width, depth=base.depth, seed=base.seed)
+        result._counters = accumulator.tolist()
+        result._total = total
         return result
 
     # ------------------------------------------------------------ internals

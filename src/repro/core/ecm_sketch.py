@@ -23,7 +23,6 @@ counters the aggregation inflates the window error from ``eps_sw`` to
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -33,6 +32,8 @@ from ..windows.deterministic_wave import DeterministicWave
 from ..windows.exponential_histogram import ExponentialHistogram
 from ..windows.merge import (
     aggregated_error,
+    bulk_merge_deterministic_waves,
+    bulk_merge_exponential_histograms,
     merge_deterministic_waves,
     merge_exponential_histograms,
 )
@@ -499,6 +500,12 @@ class ECMSketch:
     ) -> "ECMSketch":
         """Order-preserving aggregation of ECM-sketches (Section 5.3).
 
+        Reference implementation: every cell is merged through the replay-
+        based algorithms of :mod:`repro.windows.merge`.  The vectorized
+        :meth:`merge_many` produces byte-identical state (enforced by the
+        serialization-equality suite) and is what the distributed hot paths
+        use.
+
         Args:
             sketches: Input sketches with identical configurations.
             epsilon_prime: Window-error parameter of the aggregate's counters;
@@ -515,6 +522,34 @@ class ECMSketch:
                 paper proves cannot be aggregated.
             IncompatibleSketchError: for mismatched configurations.
         """
+        return cls._aggregate_with(sketches, epsilon_prime, cls._merge_cells)
+
+    @classmethod
+    def merge_many(
+        cls,
+        sketches: Sequence["ECMSketch"],
+        epsilon_prime: Optional[float] = None,
+    ) -> "ECMSketch":
+        """Vectorized order-preserving aggregation (state-identical to
+        :meth:`aggregate`).
+
+        Every cell's input counters are merged through the NumPy-batched bulk
+        algorithms (deferred exponential-histogram cascade, arithmetic wave
+        reconstruction, batched randomized-wave sample union), which walk the
+        replay events as arrays instead of unit arrivals.  The aggregation
+        semantics, guarantees and error accounting of :meth:`aggregate` apply
+        unchanged; the serialized result is byte-for-byte the same.
+        """
+        return cls._aggregate_with(sketches, epsilon_prime, cls._bulk_merge_cells)
+
+    @classmethod
+    def _aggregate_with(
+        cls,
+        sketches: Sequence["ECMSketch"],
+        epsilon_prime: Optional[float],
+        merge_cells: Callable[[CounterType, Sequence[SlidingWindowCounter], float], SlidingWindowCounter],
+    ) -> "ECMSketch":
+        """Shared aggregation driver, parameterised by the per-cell merge."""
         if not sketches:
             raise ConfigurationError("cannot aggregate an empty list of ECM-sketches")
         base = sketches[0]
@@ -537,7 +572,7 @@ class ECMSketch:
         for row in range(base.depth):
             for column in range(base.width):
                 cells = [sketch._counters[row][column] for sketch in sketches]
-                result._counters[row][column] = cls._merge_cells(
+                result._counters[row][column] = merge_cells(
                     base.counter_type, cells, epsilon_prime
                 )
         result._total_arrivals = sum(sketch._total_arrivals for sketch in sketches)
@@ -557,16 +592,29 @@ class ECMSketch:
         cells: Sequence[SlidingWindowCounter],
         epsilon_prime: float,
     ) -> SlidingWindowCounter:
-        """Merge the counters occupying the same cell across input sketches."""
+        """Replay-based reference merge of one cell across input sketches."""
         if counter_type is CounterType.EXPONENTIAL_HISTOGRAM:
             return merge_exponential_histograms(list(cells), epsilon_prime=epsilon_prime)
         if counter_type is CounterType.DETERMINISTIC_WAVE:
             return merge_deterministic_waves(list(cells), epsilon_prime=epsilon_prime)
-        return RandomizedWave.merged(list(cells))
+        return RandomizedWave.merged(list(cells), vectorized=False)
+
+    @staticmethod
+    def _bulk_merge_cells(
+        counter_type: CounterType,
+        cells: Sequence[SlidingWindowCounter],
+        epsilon_prime: float,
+    ) -> SlidingWindowCounter:
+        """Vectorized merge of one cell across input sketches."""
+        if counter_type is CounterType.EXPONENTIAL_HISTOGRAM:
+            return bulk_merge_exponential_histograms(list(cells), epsilon_prime=epsilon_prime)
+        if counter_type is CounterType.DETERMINISTIC_WAVE:
+            return bulk_merge_deterministic_waves(list(cells), epsilon_prime=epsilon_prime)
+        return RandomizedWave.merged(list(cells), vectorized=True)
 
     def merged_with(self, others: Sequence["ECMSketch"], epsilon_prime: Optional[float] = None) -> "ECMSketch":
-        """Convenience wrapper over :meth:`aggregate` including ``self``."""
-        return ECMSketch.aggregate([self, *others], epsilon_prime=epsilon_prime)
+        """Convenience wrapper over :meth:`merge_many` including ``self``."""
+        return ECMSketch.merge_many([self, *others], epsilon_prime=epsilon_prime)
 
     # ----------------------------------------------------- guarantees & size
     def point_error_bound(self, arrivals_in_range: float) -> float:

@@ -10,6 +10,7 @@ from .geometric import (
     ThresholdFunction,
 )
 from .node import StreamNode
+from .runner import RunnerReport, ShardedIngestRunner, ShardPlan, run_sharded_ingest
 from .topology import AggregationTree, TreeVertex
 
 __all__ = [
@@ -19,6 +20,10 @@ __all__ = [
     "AggregationReport",
     "hierarchical_aggregate",
     "DistributedDeployment",
+    "ShardPlan",
+    "RunnerReport",
+    "ShardedIngestRunner",
+    "run_sharded_ingest",
     "PeriodicAggregationCoordinator",
     "PropagationStats",
     "GeometricMonitor",

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence
 
-from ..core.config import CounterType, ECMConfig
+from ..core.config import ECMConfig
 from ..core.ecm_sketch import ECMSketch
 from ..core.errors import ConfigurationError
 from ..streams.stream import Stream
@@ -107,7 +107,9 @@ def hierarchical_aggregate(
             # Every child ships its sketch to the vertex that merges it.
             report.record_shipment(child.level, sketch.serialized_bytes())
             child_sketches.append(sketch)
-        held[vertex.vertex_id] = ECMSketch.aggregate(child_sketches, epsilon_prime=epsilon_prime)
+        # merge_many is the vectorized aggregation; its state is byte-identical
+        # to ECMSketch.aggregate (the replay-based reference).
+        held[vertex.vertex_id] = ECMSketch.merge_many(child_sketches, epsilon_prime=epsilon_prime)
 
     root_sketch = held[tree.root_id]
     setattr(root_sketch, "aggregation_report", report)
@@ -153,6 +155,7 @@ class DistributedDeployment:
         self.nodes: List[StreamNode] = [StreamNode(node_id=i, config=config) for i in range(num_nodes)]
         self.tree = AggregationTree(num_leaves=num_nodes, branching=branching, seed=seed)
         self.last_report: Optional[AggregationReport] = None
+        self.last_ingest_report = None  # RunnerReport of the last sharded ingest
 
     # ---------------------------------------------------------------- update
     @property
@@ -160,16 +163,46 @@ class DistributedDeployment:
         """Number of observation sites."""
         return len(self.nodes)
 
-    def ingest(self, stream: Stream) -> None:
+    def ingest(
+        self,
+        stream: Stream,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
+        batch_size: Optional[int] = None,
+    ) -> None:
         """Route every record of the stream to the site that observed it.
 
         Records whose ``node`` exceeds the deployment size are assigned by
         modulo, which lets experiments reuse a trace generated for a different
         node count (Figure 6's artificial networks).
+
+        Args:
+            stream: The logical stream to partition across the sites.
+            workers: When given (or when ``shards``/``batch_size`` is given),
+                ingest through the sharded runner
+                (:mod:`repro.distributed.runner`): sites are grouped into
+                shards, replayed through the batched fast path, and — with
+                ``workers >= 2`` — simulated in parallel worker processes.
+                The resulting site sketches are identical to the default
+                per-record loop.
+            shards: Number of shard work units (defaults to ``workers``).
+            batch_size: ``add_many`` chunk size for the sharded path.
         """
-        for record in stream:
-            node = self.nodes[record.node % len(self.nodes)]
-            node.observe_record(record)
+        if workers is None and shards is None and batch_size is None:
+            for record in stream:
+                node = self.nodes[record.node % len(self.nodes)]
+                node.observe_record(record)
+            return
+        from .runner import DEFAULT_BATCH_SIZE, ShardedIngestRunner
+
+        runner = ShardedIngestRunner(
+            self.config,
+            workers=workers,
+            shards=shards,
+            batch_size=DEFAULT_BATCH_SIZE if batch_size is None else batch_size,
+        )
+        runner.ingest(stream, num_nodes=len(self.nodes), nodes=self.nodes)
+        self.last_ingest_report = runner.last_report
 
     def observe(self, node_id: int, key: Hashable, clock: float, value: int = 1) -> None:
         """Feed a single arrival to one site."""

@@ -23,14 +23,12 @@ communication at all is needed.
 from __future__ import annotations
 
 import abc
-import math
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence
+from typing import Dict, Hashable, List, Optional
 
 import numpy as np
 
 from ..core.config import ECMConfig
-from ..core.ecm_sketch import ECMSketch
 from ..core.errors import ConfigurationError
 from ..streams.stream import Stream
 from .node import StreamNode
@@ -252,10 +250,52 @@ class GeometricMonitor:
         self._arrivals_since_check[site_id % len(self.sites)] = 0
         return self._check_site(site, clock)
 
-    def observe_stream(self, stream: Stream) -> None:
-        """Process a whole stream, routing records to their observing sites."""
+    def observe_stream(self, stream: Stream, batch_size: Optional[int] = None) -> None:
+        """Process a whole stream, routing records to their observing sites.
+
+        Args:
+            stream: The stream to route across the sites.
+            batch_size: When given, buffer records per site and ingest them
+                through :meth:`~repro.distributed.node.StreamNode.observe_batch`.
+                All buffers are flushed before every local constraint check
+                (a synchronisation reads every site's statistics vector), so
+                checks run against exactly the state the per-record path
+                would see — protocol decisions, stats and estimates are
+                identical.
+        """
+        if batch_size is None:
+            for record in stream:
+                self.observe(record.node, record.key, record.timestamp, record.value)
+            return
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive, got %r" % (batch_size,))
+        if self.estimate_vector is None:
+            raise ConfigurationError("call initialize() before observing arrivals")
+        buffers: Dict[int, List] = {}
+        buffered = 0
+        num_sites = len(self.sites)
         for record in stream:
-            self.observe(record.node, record.key, record.timestamp, record.value)
+            site_index = record.node % num_sites
+            buffers.setdefault(site_index, []).append(record)
+            buffered += 1
+            self.stats.arrivals += 1
+            self._arrivals_since_check[site_index] += 1
+            if self._arrivals_since_check[site_index] >= self.check_every:
+                self._flush_buffers(buffers)
+                buffered = 0
+                self._arrivals_since_check[site_index] = 0
+                self._check_site(self.sites[site_index], record.timestamp)
+            elif buffered >= batch_size:
+                self._flush_buffers(buffers)
+                buffered = 0
+        self._flush_buffers(buffers)
+
+    def _flush_buffers(self, buffers: Dict[int, List]) -> None:
+        """Ingest and clear all per-site record buffers (stream order kept)."""
+        for site_index, records in buffers.items():
+            if records:
+                self.sites[site_index].node.observe_batch(records)
+                records.clear()
 
     def _check_site(self, site: _MonitoredSite, now: float) -> bool:
         """Evaluate the local geometric constraint of one site."""

@@ -11,11 +11,10 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Optional, Sequence
 
-from ..core.config import CounterType, ECMConfig
+from ..core.config import ECMConfig
 from ..core.ecm_sketch import ECMSketch
 from ..core.errors import ConfigurationError
 from ..streams.stream import Stream, StreamRecord
-from ..windows.base import WindowModel
 
 __all__ = ["StreamNode"]
 
@@ -81,6 +80,43 @@ class StreamNode:
         """Process an iterable of records in the given order."""
         for record in records:
             self.observe_record(record)
+
+    def observe_columns(
+        self,
+        keys: Sequence[Hashable],
+        clocks: Sequence[float],
+        values: Optional[Sequence[int]] = None,
+        batch_size: Optional[int] = None,
+    ) -> None:
+        """Process pre-pivoted parallel columns through the batched path.
+
+        This is the ingestion seam of the sharded runner
+        (:mod:`repro.distributed.runner`): worker processes receive each
+        node's local stream as plain (keys, clocks, values) lists — the
+        cheapest layout to pickle — and feed them here in chunks.  The
+        resulting sketch state is identical to per-record ingestion.
+
+        Args:
+            keys: Item keys, in stream order.
+            clocks: Non-decreasing clock values, one per key.
+            values: Optional per-arrival weights (defaults to 1 each).
+            batch_size: Chunk size for ``add_many`` (defaults to the whole
+                run at once).
+        """
+        total = len(keys)
+        if not total:
+            return
+        step = total if batch_size is None else batch_size
+        if step <= 0:
+            raise ConfigurationError("batch_size must be positive, got %r" % (batch_size,))
+        for start in range(0, total, step):
+            stop = start + step
+            self.sketch.add_many(
+                keys[start:stop],
+                clocks[start:stop],
+                None if values is None else values[start:stop],
+            )
+        self.records_processed += total
 
     # --------------------------------------------------------------- queries
     def local_point_query(

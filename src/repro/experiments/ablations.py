@@ -17,10 +17,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..analysis.memory import ecm_sketch_bytes
-from ..baselines.exact import ExactStreamSummary
 from ..core.config import (
     CounterType,
     point_query_error,

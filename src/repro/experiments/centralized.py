@@ -16,10 +16,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..analysis.metrics import (
-    ErrorSummary,
     evaluate_point_queries,
     evaluate_self_join_queries,
     exponential_query_ranges,

@@ -15,9 +15,8 @@ laptop.  All runners accept a ``num_records`` override for larger runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional
 
-from ..baselines.exact import ExactStreamSummary
 from ..core.config import CounterType, ECMConfig
 from ..core.ecm_sketch import ECMSketch
 from ..core.errors import ConfigurationError

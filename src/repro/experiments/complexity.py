@@ -19,8 +19,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..analysis.memory import ecm_sketch_bytes
-from ..core.config import CounterType, ECMConfig, split_point_query_deterministic, split_point_query_randomized
-from ..streams.stream import Stream
+from ..core.config import CounterType, split_point_query_deterministic, split_point_query_randomized
 from .common import (
     DEFAULT_DELTA,
     PAPER_WINDOW_SECONDS,

@@ -66,8 +66,15 @@ def run_network_size_experiment(
     window: float = PAPER_WINDOW_SECONDS,
     max_keys_per_range: Optional[int] = 200,
     seed: int = 0,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
 ) -> List[NetworkSizeRow]:
-    """Regenerate Figure 6 for one data set."""
+    """Regenerate Figure 6 for one data set.
+
+    With ``workers``/``shards`` every simulated network is ingested through
+    the sharded parallel runner (identical results to the serial loop), which
+    is what makes the larger artificial networks tractable.
+    """
     if variants is None:
         variants = (CounterType.EXPONENTIAL_HISTOGRAM, CounterType.RANDOMIZED_WAVE)
     stream = load_dataset(dataset, num_records=num_records)
@@ -89,7 +96,7 @@ def run_network_size_experiment(
         for size in network_sizes:
             uniform = stream.reassign_round_robin(size)
             deployment = DistributedDeployment(num_nodes=size, config=config)
-            deployment.ingest(uniform)
+            deployment.ingest(uniform, workers=workers, shards=shards)
             root = deployment.aggregate()
             report = deployment.last_report
             point_summary = evaluate_point_queries(

@@ -24,7 +24,7 @@ from ..core.config import CounterType, ECMConfig
 from ..core.ecm_sketch import ECMSketch
 from ..core.errors import ConfigurationError
 from ..windows.base import WindowModel
-from .dyadic import children_of, dyadic_cover, prefix_of, prefix_range, validate_universe_bits
+from .dyadic import children_of, dyadic_cover, prefix_of, validate_universe_bits
 
 __all__ = ["HierarchicalECMSketch"]
 

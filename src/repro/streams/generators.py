@@ -19,7 +19,7 @@ from __future__ import annotations
 import bisect
 import math
 import random
-from typing import Hashable, List, Optional, Sequence
+from typing import Hashable, List
 
 from ..core.errors import ConfigurationError
 from .stream import Stream, StreamRecord

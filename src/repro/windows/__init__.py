@@ -13,6 +13,8 @@ from .exponential_histogram import Bucket, ExponentialHistogram
 from .merge import (
     aggregated_error,
     bucket_replay_events,
+    bulk_merge_deterministic_waves,
+    bulk_merge_exponential_histograms,
     epsilon_for_levels,
     merge_deterministic_waves,
     merge_exponential_histograms,
@@ -37,4 +39,6 @@ __all__ = [
     "wave_replay_events",
     "merge_exponential_histograms",
     "merge_deterministic_waves",
+    "bulk_merge_exponential_histograms",
+    "bulk_merge_deterministic_waves",
 ]

@@ -26,7 +26,9 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional
+from typing import Deque, List, Optional, Sequence
+
+import numpy as np
 
 from ..core.errors import ConfigurationError
 from .base import SlidingWindowCounter, WindowModel, validate_epsilon
@@ -34,6 +36,10 @@ from .base import SlidingWindowCounter, WindowModel, validate_epsilon
 __all__ = ["WaveCheckpoint", "DeterministicWave"]
 
 _FIELD_BITS = 32
+#: Cap on the per-unit expansion of a counted bulk run (8 bytes per unit,
+#: so 32 MiB of transient clock array); larger runs use the scalar path,
+#: whose memory stays proportional to the structure.
+_BULK_EXPANSION_LIMIT = 1 << 22
 
 
 @dataclass(frozen=True)
@@ -89,6 +95,105 @@ class DeterministicWave(SlidingWindowCounter):
             rank = self._total_arrivals
             self._record(clock, rank)
         self._expire(clock)
+
+    def add_batch(
+        self,
+        clocks: Sequence[float],
+        counts: Optional[Sequence[int]] = None,
+        *,
+        assume_ordered: bool = False,
+    ) -> None:
+        """Bulk-insert a run of in-order arrivals (see the base-class contract).
+
+        The wave's per-arrival work — checkpoint recording, capacity eviction
+        and expiry — removes entries from the *front* of each level deque
+        only, so the final retained set of a level is always a suffix of its
+        full checkpoint sequence: the most recent ``per_level`` checkpoints
+        that survive the final expiry threshold.  That makes the whole run
+        computable arithmetically (checkpoint ranks are the multiples of the
+        level stride), with NumPy supplying the rank grids and clock lookups;
+        only the retained checkpoints are materialised.  The resulting state
+        is identical to per-arrival :meth:`add` calls.
+        """
+        if not len(clocks):
+            return
+        self._validate_batch(clocks, counts, assume_ordered)
+        unit_clocks = self._expand_run(clocks, counts)
+        if unit_clocks is None:
+            # Inexact NumPy round-trip (mixed clock types): scalar fallback.
+            if counts is None:
+                for clock in clocks:
+                    self.add(clock)
+            else:
+                for clock, count in zip(clocks, counts):
+                    self.add(clock, count)
+            return
+        if unit_clocks.size:
+            self._bulk_record(unit_clocks)
+
+    def _expand_run(
+        self, clocks: Sequence[float], counts: Optional[Sequence[int]]
+    ) -> Optional["np.ndarray"]:
+        """Per-unit clock array for a validated run, or ``None`` if ineligible.
+
+        Ineligible runs (handled by the scalar fallback): clock values that
+        would not survive the NumPy round-trip exactly (mixed int/float
+        lists, object-dtype clocks such as huge ints), and runs whose unit
+        expansion would exceed :data:`_BULK_EXPANSION_LIMIT` (the expansion
+        is O(total arrivals); the scalar path stays O(structure) in memory).
+        """
+        clocks_array = np.asarray(clocks)
+        if clocks_array.dtype.kind == "f":
+            if not all(type(c) is float for c in clocks):
+                return None
+        elif clocks_array.dtype.kind not in "iu":
+            return None
+        if counts is None:
+            return clocks_array
+        counts_array = np.asarray(counts)
+        if counts_array.dtype.kind not in "iu":
+            return None
+        if int(counts_array.sum()) > _BULK_EXPANSION_LIMIT:
+            return None
+        return np.repeat(clocks_array, counts_array)
+
+    def _bulk_record(self, unit_clocks: "np.ndarray") -> None:
+        """Apply a pre-expanded run of unit arrivals level by level."""
+        total_new = int(unit_clocks.size)
+        base_rank = self._total_arrivals
+        last_clock = unit_clocks[-1].item()
+        threshold = last_clock - self.window
+        per_level = self.per_level
+        for level in range(self.num_levels):
+            stride = 1 << level
+            # Checkpoint ranks this run contributes to the level: multiples of
+            # the stride in (base_rank, base_rank + total_new].
+            first = (base_rank // stride + 1) * stride
+            if first > base_rank + total_new:
+                new_ranks = np.empty(0, dtype=np.int64)
+            else:
+                new_ranks = np.arange(first, base_rank + total_new + 1, stride, dtype=np.int64)
+            if not new_ranks.size and not self._levels[level]:
+                continue
+            keep_new = min(new_ranks.size, per_level)
+            kept_ranks = new_ranks[new_ranks.size - keep_new :]
+            kept_clocks = unit_clocks[kept_ranks - 1 - base_rank]
+            existing = self._levels[level]
+            retained: List[WaveCheckpoint] = []
+            slots_left = per_level - keep_new
+            if slots_left > 0 and existing:
+                retained.extend(list(existing)[max(0, len(existing) - slots_left) :])
+            retained.extend(
+                WaveCheckpoint(clock=clock, rank=rank)
+                for clock, rank in zip(kept_clocks.tolist(), kept_ranks.tolist())
+            )
+            # Final expiry: drop from the front while out of the window.
+            drop = 0
+            while drop < len(retained) and retained[drop].clock <= threshold:
+                drop += 1
+            self._levels[level] = deque(retained[drop:])
+        self._total_arrivals = base_rank + total_new
+        self._last_clock = last_clock
 
     def _record(self, clock: float, rank: int) -> None:
         """Store the checkpoint on every level whose stride divides the rank."""

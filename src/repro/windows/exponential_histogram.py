@@ -30,6 +30,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Iterator, List, Optional, Sequence
 
+import numpy as np
+
 from ..core.errors import ConfigurationError
 from .base import SlidingWindowCounter, WindowModel, validate_epsilon
 
@@ -37,6 +39,10 @@ __all__ = ["Bucket", "ExponentialHistogram"]
 
 #: Bits charged per stored field (size, timestamp) under the paper's 32-bit model.
 _FIELD_BITS = 32
+#: Cap on the per-unit expansion of a counted bulk run (8 bytes per unit,
+#: so 32 MiB of transient clock array); larger runs use the exact per-pair
+#: path, whose memory stays proportional to the structure.
+_BULK_EXPANSION_LIMIT = 1 << 22
 
 
 @dataclass(slots=True)
@@ -153,6 +159,12 @@ class ExponentialHistogram(SlidingWindowCounter):
                 return
             pairs = [(clock, 1) for clock in clocks]
         else:
+            expanded = self._expand_counted_run(clocks, counts)
+            if expanded is not None:
+                if expanded.size:
+                    self._add_counted_run(expanded)
+                # An all-zero run is a no-op in the scalar path as well.
+                return
             pairs = list(zip(clocks, counts))
         # Level 0 is created lazily exactly like the scalar path, so that an
         # all-zero or empty batch leaves the structure untouched.
@@ -241,6 +253,94 @@ class ExponentialHistogram(SlidingWindowCounter):
         self._last_clock = clocks[-1]
         self._total_arrivals += len(clocks)
         self._in_window_upper += len(clocks)
+
+    def _expand_counted_run(
+        self, clocks: Sequence[float], counts: Sequence[int]
+    ) -> Optional["np.ndarray"]:
+        """Expand a counted run into per-unit clocks when the bulk path applies.
+
+        The deferred-cascade bulk insert (:meth:`_add_counted_run`) is only
+        equivalent to the scalar path when (a) the histogram holds no live
+        bucket, so every expiry decision during the run concerns run-created
+        buckets only, and (b) nothing created by the run can expire before the
+        run ends.  The expansion itself must also be *exact*: an integer clock
+        that a NumPy round-trip would coerce to float would serialize
+        differently, so mixed-type clock lists fall back to the scalar loop.
+
+        Returns:
+            The per-unit clock array (possibly empty, for an all-zero run), or
+            ``None`` when the caller must use the exact per-pair path instead.
+        """
+        if self._in_window_upper != 0:
+            return None
+        counts_array = np.asarray(counts)
+        if counts_array.dtype.kind not in "iu":
+            return None
+        if int(counts_array.sum()) > _BULK_EXPANSION_LIMIT:
+            # The expansion is O(total arrivals); beyond this cap the exact
+            # per-pair path keeps transient memory proportional to the
+            # structure instead.
+            return None
+        clocks_array = np.asarray(clocks)
+        if clocks_array.dtype.kind == "f":
+            if not all(type(c) is float for c in clocks):
+                return None
+        elif clocks_array.dtype.kind not in "iu":
+            # Object-dtype clocks (huge ints, Decimal, ...) would not survive
+            # the array round-trip; the scalar path handles them.
+            return None
+        unit_clocks = np.repeat(clocks_array, counts_array)
+        if unit_clocks.size:
+            first = unit_clocks[0].item()
+            last = unit_clocks[-1].item()
+            # Same float arithmetic as the scalar path's `clock - window`.
+            if last - self.window >= first:
+                return None
+        return unit_clocks
+
+    def _add_counted_run(self, unit_clocks: "np.ndarray") -> None:
+        """Bulk-load pre-expanded unit arrivals with the cascade fully deferred.
+
+        Requires the preconditions of :meth:`_expand_counted_run`: no live
+        buckets and no expiry possible during the run.  Under those conditions
+        the scalar path reduces to "append every unit bucket, then cascade" —
+        the same argument as :meth:`_add_unit_run` — and the cascade itself is
+        *arithmetic*: starting from unit buckets only, every level ``l`` holds
+        buckets of exactly ``2**l`` arrivals, each covering a contiguous run
+        of units, so the final structure is computed with NumPy slicing and
+        only the retained buckets (at most ``max_per_level + 1`` per level)
+        are ever materialised as Python objects.
+        """
+        cap = self._max_per_level
+        total_new = int(unit_clocks.size)
+        starts = unit_clocks
+        ends = unit_clocks
+        size = 1
+        level = 0
+        while starts.size > cap:
+            # The scalar cascade pops the two oldest while the level overflows.
+            merges = (starts.size - cap + 1) // 2
+            self._materialize_level(level, size, starts[2 * merges :], ends[2 * merges :])
+            starts = starts[0 : 2 * merges : 2]
+            ends = ends[1 : 2 * merges : 2]
+            size <<= 1
+            level += 1
+        self._materialize_level(level, size, starts, ends)
+        self._last_clock = unit_clocks[-1].item()
+        self._total_arrivals += total_new
+        self._in_window_upper += total_new
+
+    def _materialize_level(
+        self, level: int, size: int, starts: "np.ndarray", ends: "np.ndarray"
+    ) -> None:
+        """Append the retained buckets of one cascade level to the structure."""
+        if not starts.size:
+            return
+        while len(self._levels) <= level:
+            self._levels.append(deque())
+        self._levels[level].extend(
+            Bucket(size, start, end) for start, end in zip(starts.tolist(), ends.tolist())
+        )
 
     def _insert_unit(self, clock: float) -> None:
         """Insert a single unit arrival as a fresh size-1 bucket and rebalance."""

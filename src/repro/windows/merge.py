@@ -23,7 +23,9 @@ do so raises :class:`~repro.core.errors.WindowModelError`.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.errors import ConfigurationError, IncompatibleSketchError, WindowModelError
 from .base import WindowModel
@@ -38,6 +40,8 @@ __all__ = [
     "wave_replay_events",
     "merge_exponential_histograms",
     "merge_deterministic_waves",
+    "bulk_merge_exponential_histograms",
+    "bulk_merge_deterministic_waves",
 ]
 
 ReplayEvent = Tuple[float, int]
@@ -160,6 +164,40 @@ def _validate_time_based(
     return window
 
 
+# ------------------------------------------------------------------ bulk sort
+def _gather_sorted_events(
+    sources: Sequence, event_fn: Callable[[object], List[ReplayEvent]]
+) -> Tuple[List[float], List[int]]:
+    """Replay events of all sources, stably sorted by clock, as two lists.
+
+    Produces exactly the event sequence the replay-based merges build —
+    source by source, then ``sort(key=clock)`` — but orders it with one
+    stable NumPy argsort.  Stability makes the permutation unique, so as long
+    as the clock keys survive the NumPy round-trip exactly the result matches
+    the Python sort; mixed-type clock lists (where a float64 coercion could
+    alias distinct keys) fall back to the keyed Python sort.
+    """
+    clocks: List[float] = []
+    counts: List[int] = []
+    for source in sources:
+        for clock, count in event_fn(source):
+            clocks.append(clock)
+            counts.append(count)
+    if len(clocks) < 32:
+        # Tiny cells: the keyed Python sort is cheaper than a NumPy round-trip.
+        events = sorted(zip(clocks, counts), key=lambda event: event[0])
+        return [event[0] for event in events], [event[1] for event in events]
+    clocks_array = np.asarray(clocks)
+    if clocks_array.dtype.kind == "f" and not all(type(c) is float for c in clocks):
+        events = sorted(zip(clocks, counts), key=lambda event: event[0])
+        return [event[0] for event in events], [event[1] for event in events]
+    order = np.argsort(clocks_array, kind="stable")
+    return (
+        clocks_array[order].tolist(),
+        np.asarray(counts, dtype=np.int64)[order].tolist(),
+    )
+
+
 # ---------------------------------------------------------------------- merge
 def merge_exponential_histograms(
     histograms: Sequence[ExponentialHistogram],
@@ -222,4 +260,62 @@ def merge_deterministic_waves(
     events.sort(key=lambda event: event[0])
     for clock, count in events:
         merged.add(clock, count)
+    return merged
+
+
+# ----------------------------------------------------------------- bulk merge
+def bulk_merge_exponential_histograms(
+    histograms: Sequence[ExponentialHistogram],
+    epsilon_prime: Optional[float] = None,
+) -> ExponentialHistogram:
+    """Vectorized :func:`merge_exponential_histograms` (identical state).
+
+    The replay-based reference merge walks every unit arrival of the union
+    stream through the scalar insert-and-cascade machinery.  This variant
+    gathers all replay events into NumPy arrays, orders them with one stable
+    argsort, and hands the whole run to
+    :meth:`~repro.windows.exponential_histogram.ExponentialHistogram.add_batch`,
+    whose deferred-cascade bulk path materialises only the retained buckets.
+    The merged histogram serializes byte-for-byte the same as the reference
+    (enforced by ``tests/windows/test_bulk_merge_equivalence.py``).
+    """
+    window = _validate_time_based(histograms)
+    if epsilon_prime is None:
+        epsilon_prime = histograms[0].epsilon
+    merged = ExponentialHistogram(
+        epsilon=epsilon_prime, window=window, model=WindowModel.TIME_BASED
+    )
+    clocks, counts = _gather_sorted_events(histograms, bucket_replay_events)
+    if clocks:
+        merged.add_batch(clocks, counts, assume_ordered=True)
+    return merged
+
+
+def bulk_merge_deterministic_waves(
+    waves: Sequence[DeterministicWave],
+    epsilon_prime: Optional[float] = None,
+    max_arrivals: Optional[int] = None,
+) -> DeterministicWave:
+    """Vectorized :func:`merge_deterministic_waves` (identical state).
+
+    Mirrors :func:`bulk_merge_exponential_histograms`: one stable NumPy sort
+    of all checkpoint-delimited replay events, then a single
+    :meth:`~repro.windows.deterministic_wave.DeterministicWave.add_batch`
+    call, whose arithmetic bulk path materialises only the retained
+    checkpoints of each level.
+    """
+    window = _validate_time_based(waves)
+    if epsilon_prime is None:
+        epsilon_prime = waves[0].epsilon
+    if max_arrivals is None:
+        max_arrivals = sum(wave.max_arrivals for wave in waves)
+    merged = DeterministicWave(
+        epsilon=epsilon_prime,
+        window=window,
+        max_arrivals=max_arrivals,
+        model=WindowModel.TIME_BASED,
+    )
+    clocks, counts = _gather_sorted_events(waves, wave_replay_events)
+    if clocks:
+        merged.add_batch(clocks, counts, assume_ordered=True)
     return merged

@@ -13,7 +13,6 @@ from repro.analysis import (
     randomized_wave_bits,
 )
 from repro.core import CounterType
-from repro.core.config import split_point_query_deterministic
 from repro.core.errors import ConfigurationError
 from repro.windows import DeterministicWave, ExponentialHistogram, RandomizedWave
 

@@ -13,7 +13,6 @@ from repro.core.config import (
     split_point_query_randomized,
 )
 from repro.core.errors import ConfigurationError
-from repro.windows import WindowModel
 
 
 class TestErrorFormulas:

@@ -1,0 +1,179 @@
+"""merge_many vs pairwise/replay aggregation: serialized-state equality.
+
+``CountMinSketch.merge_many`` and ``ECMSketch.merge_many`` are the vectorized
+aggregation entry points; they promise byte-identical state relative to the
+reference implementations (``CountMinSketch.merged`` and
+``ECMSketch.aggregate``).  These tests enforce that across all three counter
+types, plus the aggregation edge cases of the distributed layer: empty
+inputs, single inputs, mixed window models and incompatible configurations.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import CounterType, CountMinSketch, ECMConfig, ECMSketch
+from repro.core.errors import (
+    ConfigurationError,
+    IncompatibleSketchError,
+    WindowModelError,
+)
+from repro.serialization import dumps
+from repro.windows import WindowModel
+
+ALL_COUNTER_TYPES = (
+    CounterType.EXPONENTIAL_HISTOGRAM,
+    CounterType.DETERMINISTIC_WAVE,
+    CounterType.RANDOMIZED_WAVE,
+)
+
+WINDOW = 60_000.0
+
+
+def build_site_sketches(counter_type, num_sites=5, records=900, epsilon=0.15, seed=0):
+    config = ECMConfig.for_point_queries(
+        epsilon=epsilon,
+        delta=0.15,
+        window=WINDOW,
+        counter_type=counter_type,
+        max_arrivals=10 * records,
+    )
+    sketches = []
+    for site in range(num_sites):
+        rng = random.Random(seed * 1000 + site)
+        sketch = ECMSketch(config, stream_tag=site)
+        clock = 0.0
+        items, clocks, values = [], [], []
+        for _ in range(records):
+            clock += rng.choice([0.0, rng.random() * 5.0])
+            items.append("key-%d" % rng.randrange(60))
+            clocks.append(clock)
+            values.append(rng.choice([1, 1, 1, 2]))
+        sketch.add_many(items, clocks, values)
+        sketches.append(sketch)
+    return sketches
+
+
+class TestCountMinMergeMany:
+    def test_matches_pairwise_reference(self):
+        sketches = []
+        for seed in range(6):
+            rng = random.Random(seed)
+            sketch = CountMinSketch(width=64, depth=4, seed=3)
+            for _ in range(800):
+                sketch.add("key-%d" % rng.randrange(50), rng.choice([1.0, 2.0, 0.25]))
+            sketches.append(sketch)
+        reference = CountMinSketch.merged(sketches)
+        vectorized = CountMinSketch.merge_many(sketches)
+        # Bit-exact floating-point counters, not just approximately equal.
+        assert dumps(vectorized) == dumps(reference)
+        assert vectorized.total() == reference.total()
+
+    def test_single_input(self):
+        sketch = CountMinSketch(width=16, depth=2)
+        sketch.add("x", 3.0)
+        assert dumps(CountMinSketch.merge_many([sketch])) == dumps(CountMinSketch.merged([sketch]))
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CountMinSketch.merge_many([])
+
+    def test_incompatible_rejected(self):
+        one = CountMinSketch(width=16, depth=2, seed=0)
+        other = CountMinSketch(width=16, depth=2, seed=1)
+        with pytest.raises(IncompatibleSketchError):
+            CountMinSketch.merge_many([one, other])
+
+
+class TestECMMergeManyEquivalence:
+    @pytest.mark.parametrize("counter_type", ALL_COUNTER_TYPES)
+    def test_matches_aggregate_reference(self, counter_type):
+        sketches = build_site_sketches(counter_type)
+        reference = ECMSketch.aggregate(sketches)
+        vectorized = ECMSketch.merge_many(sketches)
+        assert dumps(vectorized) == dumps(reference)
+        assert vectorized.effective_epsilon_sw == reference.effective_epsilon_sw
+        assert vectorized.total_arrivals() == reference.total_arrivals()
+
+    @pytest.mark.parametrize("counter_type", ALL_COUNTER_TYPES)
+    def test_single_site(self, counter_type):
+        sketches = build_site_sketches(counter_type, num_sites=1, records=300)
+        assert dumps(ECMSketch.merge_many(sketches)) == dumps(ECMSketch.aggregate(sketches))
+
+    def test_custom_epsilon_prime(self):
+        sketches = build_site_sketches(CounterType.EXPONENTIAL_HISTOGRAM, num_sites=3)
+        reference = ECMSketch.aggregate(sketches, epsilon_prime=0.05)
+        vectorized = ECMSketch.merge_many(sketches, epsilon_prime=0.05)
+        assert dumps(vectorized) == dumps(reference)
+
+    def test_identical_query_answers(self):
+        sketches = build_site_sketches(CounterType.EXPONENTIAL_HISTOGRAM)
+        reference = ECMSketch.aggregate(sketches)
+        vectorized = ECMSketch.merge_many(sketches)
+        now = max(s.last_clock for s in sketches)
+        for key in ("key-0", "key-7", "key-59", "missing"):
+            for rng in (None, WINDOW / 10.0, WINDOW / 100.0):
+                assert vectorized.point_query(key, rng, now=now) == reference.point_query(
+                    key, rng, now=now
+                )
+        assert vectorized.self_join(now=now) == reference.self_join(now=now)
+
+    def test_merged_with_uses_vectorized_path(self):
+        first, *rest = build_site_sketches(CounterType.EXPONENTIAL_HISTOGRAM, num_sites=3)
+        assert dumps(first.merged_with(rest)) == dumps(ECMSketch.aggregate([first, *rest]))
+
+
+class TestECMMergeManyEdgeCases:
+    def test_empty_collection_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ECMSketch.merge_many([])
+
+    @pytest.mark.parametrize(
+        "counter_type",
+        (CounterType.EXPONENTIAL_HISTOGRAM, CounterType.DETERMINISTIC_WAVE),
+    )
+    def test_count_based_deterministic_rejected(self, counter_type):
+        config = ECMConfig.for_point_queries(
+            epsilon=0.2,
+            delta=0.2,
+            window=1_000,
+            model=WindowModel.COUNT_BASED,
+            counter_type=counter_type,
+            max_arrivals=10_000,
+        )
+        sketches = [ECMSketch(config, stream_tag=tag) for tag in range(2)]
+        with pytest.raises(WindowModelError):
+            ECMSketch.merge_many(sketches)
+
+    def test_count_based_randomized_wave_allowed(self):
+        # Randomized waves are duplicate-insensitive, so even count-based
+        # windows aggregate (losslessly) — the paper's Section 5.2 contrast.
+        config = ECMConfig.for_point_queries(
+            epsilon=0.3,
+            delta=0.3,
+            window=1_000,
+            model=WindowModel.COUNT_BASED,
+            counter_type=CounterType.RANDOMIZED_WAVE,
+            max_arrivals=10_000,
+        )
+        sketches = []
+        for tag in range(2):
+            sketch = ECMSketch(config, stream_tag=tag)
+            for index in range(200):
+                sketch.add("key-%d" % (index % 11), index + 1)
+            sketches.append(sketch)
+        assert dumps(ECMSketch.merge_many(sketches)) == dumps(ECMSketch.aggregate(sketches))
+
+    def test_mixed_counter_types_rejected(self):
+        eh = build_site_sketches(CounterType.EXPONENTIAL_HISTOGRAM, num_sites=1, records=50)[0]
+        dw = build_site_sketches(CounterType.DETERMINISTIC_WAVE, num_sites=1, records=50)[0]
+        with pytest.raises(IncompatibleSketchError):
+            ECMSketch.merge_many([eh, dw])
+
+    def test_mismatched_windows_rejected(self):
+        small = ECMConfig.for_point_queries(epsilon=0.2, delta=0.2, window=100.0)
+        large = ECMConfig.for_point_queries(epsilon=0.2, delta=0.2, window=200.0)
+        with pytest.raises(IncompatibleSketchError):
+            ECMSketch.merge_many([ECMSketch(small), ECMSketch(large)])

@@ -5,10 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import CounterType, ECMConfig
+from repro.core import ECMConfig
 from repro.core.errors import ConfigurationError
 from repro.distributed import GeometricMonitor, L2NormSquaredFunction, SelfJoinFunction
-from repro.streams import Stream, StreamRecord
 
 
 WINDOW = 100_000.0

@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-import random
 
 import pytest
 
 from repro.core.errors import ConfigurationError
 from repro.queries import HierarchicalECMSketch
-from repro.windows import WindowModel
 
 
 WINDOW = 10_000.0

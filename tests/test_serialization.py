@@ -26,7 +26,7 @@ from repro.serialization import (
     wave_from_dict,
     wave_to_dict,
 )
-from repro.windows import DeterministicWave, ExponentialHistogram, RandomizedWave, WindowModel
+from repro.windows import DeterministicWave, ExponentialHistogram, RandomizedWave
 
 from .conftest import make_arrivals
 

@@ -12,7 +12,7 @@ import pytest
 #: Property tests explore large input spaces; run `-m 'not slow'` to skip.
 pytestmark = pytest.mark.slow
 
-from repro.core import CounterType, ECMSketch
+from repro.core import ECMSketch
 from repro.serialization import dumps, loads
 from repro.windows import ExponentialHistogram, RandomizedWave
 

@@ -1,0 +1,232 @@
+"""Serialized-state equality of the bulk merge layer vs the replay reference.
+
+The vectorized merges (``bulk_merge_exponential_histograms``,
+``bulk_merge_deterministic_waves`` and the NumPy-ordered randomized-wave
+sample union) promise *byte-identical* synopsis state relative to the
+replay-based reference algorithms.  These tests drive varied workloads — int
+and float clocks, tied clocks, expiring windows that defeat the deferred
+cascade, degenerate inputs — through both implementations and compare the
+full serialized wire format.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError, IncompatibleSketchError, WindowModelError
+from repro.serialization import dumps
+from repro.windows import (
+    DeterministicWave,
+    ExponentialHistogram,
+    RandomizedWave,
+    WindowModel,
+    bulk_merge_deterministic_waves,
+    bulk_merge_exponential_histograms,
+    merge_deterministic_waves,
+    merge_exponential_histograms,
+)
+
+
+def make_clocks(rng: random.Random, count: int, int_clocks: bool, mean_gap: float = 4.0):
+    """Monotone clocks with frequent ties (ties stress sort stability)."""
+    clock = 0 if int_clocks else 0.0
+    out = []
+    for _ in range(count):
+        if int_clocks:
+            clock += rng.choice([0, 0, 1, 2, 5])
+        else:
+            clock += rng.choice([0.0, 0.0, rng.random() * mean_gap])
+        out.append(clock)
+    return out
+
+
+def build_histograms(rng, num, count, window, epsilon=0.05, int_clocks=False):
+    histograms = []
+    for _ in range(num):
+        histogram = ExponentialHistogram(epsilon=epsilon, window=window)
+        for clock in make_clocks(rng, count, int_clocks):
+            histogram.add(clock)
+        histograms.append(histogram)
+    return histograms
+
+
+def build_waves(rng, num, count, window, epsilon=0.05, int_clocks=False):
+    waves = []
+    for _ in range(num):
+        wave = DeterministicWave(epsilon=epsilon, window=window, max_arrivals=4 * count)
+        for clock in make_clocks(rng, count, int_clocks):
+            wave.add(clock)
+        waves.append(wave)
+    return waves
+
+
+class TestBulkHistogramMerge:
+    @pytest.mark.parametrize("int_clocks", [False, True])
+    @pytest.mark.parametrize("window", [1e6, 800.0])
+    def test_matches_replay_reference(self, int_clocks, window):
+        # The small window forces expiry during the replay, which disables the
+        # deferred-cascade fast path and exercises the exact fallback.
+        rng = random.Random(7)
+        histograms = build_histograms(rng, 6, 1_500, window, int_clocks=int_clocks)
+        reference = merge_exponential_histograms(histograms)
+        bulk = bulk_merge_exponential_histograms(histograms)
+        assert dumps(bulk) == dumps(reference)
+
+    def test_custom_epsilon_prime(self):
+        rng = random.Random(11)
+        histograms = build_histograms(rng, 3, 800, 1e6)
+        reference = merge_exponential_histograms(histograms, epsilon_prime=0.02)
+        bulk = bulk_merge_exponential_histograms(histograms, epsilon_prime=0.02)
+        assert dumps(bulk) == dumps(reference)
+        assert bulk.epsilon == 0.02
+
+    def test_single_input_and_empty_inputs(self):
+        rng = random.Random(3)
+        (histogram,) = build_histograms(rng, 1, 400, 1e6)
+        assert dumps(bulk_merge_exponential_histograms([histogram])) == dumps(
+            merge_exponential_histograms([histogram])
+        )
+        empty = ExponentialHistogram(epsilon=0.1, window=1e6)
+        assert dumps(bulk_merge_exponential_histograms([empty, empty])) == dumps(
+            merge_exponential_histograms([empty, empty])
+        )
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bulk_merge_exponential_histograms([])
+
+    def test_count_based_rejected(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=100, model=WindowModel.COUNT_BASED)
+        with pytest.raises(WindowModelError):
+            bulk_merge_exponential_histograms([histogram])
+
+    def test_mismatched_windows_rejected(self):
+        one = ExponentialHistogram(epsilon=0.1, window=100.0)
+        other = ExponentialHistogram(epsilon=0.1, window=200.0)
+        with pytest.raises(IncompatibleSketchError):
+            bulk_merge_exponential_histograms([one, other])
+
+
+class TestBulkWaveMerge:
+    @pytest.mark.parametrize("int_clocks", [False, True])
+    @pytest.mark.parametrize("window", [1e6, 800.0])
+    def test_matches_replay_reference(self, int_clocks, window):
+        rng = random.Random(13)
+        waves = build_waves(rng, 5, 1_200, window, int_clocks=int_clocks)
+        reference = merge_deterministic_waves(waves)
+        bulk = bulk_merge_deterministic_waves(waves)
+        assert dumps(bulk) == dumps(reference)
+
+    def test_explicit_parameters(self):
+        rng = random.Random(17)
+        waves = build_waves(rng, 3, 600, 1e6)
+        reference = merge_deterministic_waves(waves, epsilon_prime=0.03, max_arrivals=50_000)
+        bulk = bulk_merge_deterministic_waves(waves, epsilon_prime=0.03, max_arrivals=50_000)
+        assert dumps(bulk) == dumps(reference)
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bulk_merge_deterministic_waves([])
+
+    def test_count_based_rejected(self):
+        wave = DeterministicWave(
+            epsilon=0.1, window=100, max_arrivals=1_000, model=WindowModel.COUNT_BASED
+        )
+        with pytest.raises(WindowModelError):
+            bulk_merge_deterministic_waves([wave])
+
+
+class TestWaveBulkLoad:
+    """DeterministicWave.add_batch (arithmetic bulk path) vs scalar adds."""
+
+    @pytest.mark.parametrize("int_clocks", [False, True])
+    @pytest.mark.parametrize("window", [1e6, 300.0])
+    def test_counted_batch_matches_scalar(self, int_clocks, window):
+        rng = random.Random(23)
+        clocks = make_clocks(rng, 900, int_clocks)
+        counts = [rng.choice([0, 1, 1, 2, 7]) for _ in clocks]
+        scalar = DeterministicWave(epsilon=0.08, window=window, max_arrivals=20_000)
+        for clock, count in zip(clocks, counts):
+            scalar.add(clock, count)
+        batched = DeterministicWave(epsilon=0.08, window=window, max_arrivals=20_000)
+        batched.add_batch(clocks, counts)
+        assert dumps(batched) == dumps(scalar)
+
+    def test_batch_onto_existing_state(self):
+        # The bulk path must also be exact when the wave already holds
+        # checkpoints (ranks continue from the pre-existing total).
+        rng = random.Random(29)
+        first = make_clocks(rng, 400, False)
+        second = [first[-1] + clock for clock in make_clocks(rng, 400, False)]
+        scalar = DeterministicWave(epsilon=0.1, window=600.0, max_arrivals=10_000)
+        batched = DeterministicWave(epsilon=0.1, window=600.0, max_arrivals=10_000)
+        for clock in first:
+            scalar.add(clock)
+            batched.add(clock)
+        for clock in second:
+            scalar.add(clock)
+        batched.add_batch(second)
+        assert dumps(batched) == dumps(scalar)
+
+    def test_all_zero_counts_is_a_no_op(self):
+        wave = DeterministicWave(epsilon=0.1, window=100.0, max_arrivals=100)
+        wave.add(5.0)
+        before = dumps(wave)
+        wave.add_batch([6.0, 7.0], [0, 0])
+        assert dumps(wave) == before
+
+    def test_object_dtype_clocks_fall_back_to_scalar(self):
+        # Clocks NumPy cannot hold natively (ints >= 2**63 become an
+        # object-dtype array) must take the scalar path, not crash.
+        clocks = [2**70, 2**70 + 3, 2**70 + 7]
+        scalar = DeterministicWave(epsilon=0.2, window=100.0, max_arrivals=100)
+        for clock in clocks:
+            scalar.add(clock, 2)
+        batched = DeterministicWave(epsilon=0.2, window=100.0, max_arrivals=100)
+        batched.add_batch(clocks, [2, 2, 2])
+        assert dumps(batched) == dumps(scalar)
+
+        scalar_eh = ExponentialHistogram(epsilon=0.2, window=100.0)
+        for clock in clocks:
+            scalar_eh.add(clock, 2)
+        batched_eh = ExponentialHistogram(epsilon=0.2, window=100.0)
+        batched_eh.add_batch(clocks, [2, 2, 2])
+        assert dumps(batched_eh) == dumps(scalar_eh)
+
+
+class TestRandomizedWaveUnion:
+    def build_waves(self, num=4, count=1_500, window=50_000.0):
+        waves = []
+        for tag in range(num):
+            rng = random.Random(100 + tag)
+            wave = RandomizedWave(
+                epsilon=0.15, delta=0.15, window=window, max_arrivals=20_000, stream_tag=tag
+            )
+            for clock in make_clocks(rng, count, False):
+                wave.add(clock)
+            waves.append(wave)
+        return waves
+
+    def test_vectorized_union_matches_python_reference(self):
+        waves = self.build_waves()
+        vectorized = RandomizedWave.merged(waves, vectorized=True)
+        reference = RandomizedWave.merged(waves, vectorized=False)
+        assert dumps(vectorized) == dumps(reference)
+
+    def test_union_with_capacity_pressure(self):
+        # A coarse epsilon keeps per-level capacity tiny, so the union has to
+        # trim samples and advance capacity horizons in both implementations.
+        waves = []
+        for tag in range(3):
+            rng = random.Random(200 + tag)
+            wave = RandomizedWave(
+                epsilon=0.9, delta=0.3, window=1e6, max_arrivals=8_000, stream_tag=tag
+            )
+            for clock in make_clocks(rng, 2_000, False):
+                wave.add(clock)
+            waves.append(wave)
+        assert dumps(RandomizedWave.merged(waves, vectorized=True)) == dumps(
+            RandomizedWave.merged(waves, vectorized=False)
+        )

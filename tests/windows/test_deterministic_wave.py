@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.errors import ConfigurationError, OutOfOrderArrivalError
-from repro.windows import DeterministicWave, ExponentialHistogram, WindowModel
+from repro.windows import DeterministicWave, ExponentialHistogram
 from repro.windows.exact_window import ExactWindowCounter
 
 from ..conftest import make_arrivals

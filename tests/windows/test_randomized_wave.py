@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.errors import ConfigurationError, IncompatibleSketchError
-from repro.windows import ExponentialHistogram, RandomizedWave, WindowModel
+from repro.windows import ExponentialHistogram, RandomizedWave
 from repro.windows.exact_window import ExactWindowCounter
 
 from ..conftest import make_arrivals
