@@ -7,6 +7,7 @@ Usage (installed or via ``python -m repro``)::
     python -m repro run table3 --records 20000
     python -m repro run all --records 5000        # the full evaluation, small scale
     python -m repro demo --records 10000          # a quick end-to-end sanity demo
+    python -m repro heavy-hitters --records 10000 # sliding-window heavy hitters
 
 The ``run`` subcommand prints exactly the same tables the benchmark suite
 emits, without requiring pytest; it is the lightweight entry point for
@@ -30,6 +31,7 @@ from .experiments import (
     format_distributed_rows,
     format_epsilon_split_rows,
     format_merge_strategy_rows,
+    format_frequent_items_rows,
     format_network_size_rows,
     format_update_rate_rows,
     run_centralized_error_experiment,
@@ -37,6 +39,7 @@ from .experiments import (
     run_complexity_experiment,
     run_distributed_error_experiment,
     run_epsilon_split_ablation,
+    run_frequent_items_experiment,
     run_merge_strategy_ablation,
     run_network_size_experiment,
     run_update_rate_experiment,
@@ -194,6 +197,27 @@ def build_parser() -> argparse.ArgumentParser:
                              help="number of simulated sites for the distributed demo "
                                   "(defaults to 4 x workers)")
 
+    hh_parser = subparsers.add_parser(
+        "heavy-hitters",
+        help="sliding-window heavy hitters on a Zipf stream (hierarchical query engine)",
+    )
+    hh_parser.add_argument("--records", type=_positive_int, default=10_000,
+                           help="stream length (default 10000)")
+    hh_parser.add_argument("--domain", type=_positive_int, default=3_000,
+                           help="number of distinct keys (default 3000)")
+    hh_parser.add_argument("--zipf", type=float, default=1.2,
+                           help="Zipf popularity exponent (default 1.2)")
+    hh_parser.add_argument("--phis", type=float, nargs="+", default=[0.01, 0.02, 0.05],
+                           help="relative heavy-hitter thresholds to sweep")
+    hh_parser.add_argument("--epsilon", type=float, default=0.01,
+                           help="point-query error budget of the sketches")
+    hh_parser.add_argument("--universe-bits", type=_positive_int, default=12,
+                           help="encoded key-universe capacity (2**bits distinct keys)")
+    hh_parser.add_argument("--batch-size", type=_positive_int, default=1_024,
+                           help="chunk size of the batched ingest (add_many)")
+    hh_parser.add_argument("--output", type=str, default=None,
+                           help="write the raw result rows to this .json or .csv file")
+
     return parser
 
 
@@ -307,6 +331,26 @@ def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = prin
             workers=args.workers,
             shards=args.shards,
         )
+        return 0
+
+    if args.command == "heavy-hitters":
+        rows = run_frequent_items_experiment(
+            num_records=args.records,
+            domain_size=args.domain,
+            zipf_exponent=args.zipf,
+            phis=args.phis,
+            epsilon=args.epsilon,
+            universe_bits=args.universe_bits,
+            batch_size=args.batch_size,
+        )
+        out("heavy hitters on a Zipf(%.2f) stream (%d records, %d distinct keys)"
+            % (args.zipf, args.records, args.domain))
+        out("")
+        out(format_frequent_items_rows(rows))
+        if args.output:
+            written = write_rows(list(rows), args.output)
+            out("")
+            out("raw rows written to %s" % written)
         return 0
 
     if args.command == "run":

@@ -46,7 +46,7 @@ from .errors import (
     OutOfOrderArrivalError,
     WindowModelError,
 )
-from .hashing import HashFamily, stable_fingerprint
+from .hashing import HashFamily, ItemBatch, stable_fingerprint, stable_fingerprints
 
 __all__ = ["ECMSketch"]
 
@@ -58,6 +58,10 @@ _FIELD_BITS = 32
 #: re-fingerprinting of the working set for bounded overhead on
 #: high-cardinality streams.
 _FINGERPRINT_CACHE_LIMIT = 1 << 17
+#: Batch size below which ``point_query_many`` walks items one by one: the
+#: NumPy dispatch and cell-dedup overheads of the vectorized pass only
+#: amortize past a few dozen items.  Both paths return identical estimates.
+_VECTORIZED_QUERY_CUTOFF = 32
 
 
 class ECMSketch:
@@ -193,7 +197,7 @@ class ECMSketch:
 
     def add_many(
         self,
-        items: Sequence[Hashable],
+        items: ItemBatch,
         clocks: Sequence[float],
         values: Optional[Sequence[int]] = None,
     ) -> None:
@@ -237,7 +241,10 @@ class ECMSketch:
             kept = [i for i, v in enumerate(values) if v]
             if not kept:
                 return
-            items = [items[i] for i in kept]
+            if isinstance(items, np.ndarray):
+                items = items[kept]
+            else:
+                items = [items[i] for i in kept]
             clocks = [clocks[i] for i in kept]
             values = [values[i] for i in kept]
             n = len(items)
@@ -264,27 +271,33 @@ class ECMSketch:
                     )
                 previous = clock
 
-        # Fingerprint each item once (memoized across calls — blake2b is the
-        # expensive part; the Carter–Wegman evaluation over all rows and
-        # arrivals is a handful of vectorized passes and needs no dedup).
-        # ``str``/``int`` keys are safe cache keys as-is; other types are
-        # namespaced by class so that `1`, `1.0` and `"1"` never alias.
-        cache = self._fingerprint_cache
-        if len(cache) > _FINGERPRINT_CACHE_LIMIT:
-            cache.clear()
-        cache_get = cache.get
-        fingerprints: List[int] = []
-        fingerprints_append = fingerprints.append
-        for item in items:
-            key = item if type(item) is str or type(item) is int else (item.__class__, item)
-            fingerprint = cache_get(key)
-            if fingerprint is None:
-                fingerprint = stable_fingerprint(item)
-                cache[key] = fingerprint
-            fingerprints_append(fingerprint)
-        columns = self.hashes.hash_fingerprints(
-            np.fromiter(fingerprints, dtype=np.uint64, count=n)
-        )
+        # Fingerprint each item once.  Integer NumPy arrays (the hierarchical
+        # stack's per-level prefixes) fingerprint as one dtype cast — a
+        # non-negative integer's fingerprint is the integer itself, folded
+        # into 64 bits exactly as the uint64 view does.  Everything else goes
+        # through the per-item memo (blake2b is the expensive part; the
+        # Carter–Wegman evaluation over all rows and arrivals is a handful of
+        # vectorized passes and needs no dedup).  ``str``/``int`` keys are
+        # safe cache keys as-is; other types are namespaced by class so that
+        # `1`, `1.0` and `"1"` never alias.
+        if isinstance(items, np.ndarray) and np.issubdtype(items.dtype, np.integer):
+            fingerprint_array = stable_fingerprints(items)
+        else:
+            cache = self._fingerprint_cache
+            if len(cache) > _FINGERPRINT_CACHE_LIMIT:
+                cache.clear()
+            cache_get = cache.get
+            fingerprints: List[int] = []
+            fingerprints_append = fingerprints.append
+            for item in items:
+                key = item if type(item) is str or type(item) is int else (item.__class__, item)
+                fingerprint = cache_get(key)
+                if fingerprint is None:
+                    fingerprint = stable_fingerprint(item)
+                    cache[key] = fingerprint
+                fingerprints_append(fingerprint)
+            fingerprint_array = np.fromiter(fingerprints, dtype=np.uint64, count=n)
+        columns = self.hashes.hash_fingerprints(fingerprint_array)
 
         values_array = None if values is None else np.asarray(values)
         # A NumPy sort round-trip (`array[order].tolist()`) hands counters the
@@ -326,7 +339,9 @@ class ECMSketch:
                     assume_ordered=True,
                 )
         self._total_arrivals += n if values is None else sum(values)
-        self._last_clock = clocks[-1]
+        last_clock = clocks[-1]
+        # A NumPy scalar here would poison the JSON wire format downstream.
+        self._last_clock = last_clock.item() if isinstance(last_clock, np.generic) else last_clock
 
     # --------------------------------------------------------------- queries
     def _resolve_now(self, now: Optional[float]) -> float:
@@ -353,15 +368,17 @@ class ECMSketch:
 
     def point_query_many(
         self,
-        items: Sequence[Hashable],
+        items: ItemBatch,
         range_length: Optional[float] = None,
         now: Optional[float] = None,
     ) -> List[float]:
         """Batched :meth:`point_query` over a whole chunk of items.
 
-        Items are hashed in one vectorized pass and every (row, column) cell
-        is estimated at most once per call (estimates are deterministic for a
-        fixed query range, so caching cannot change any answer).
+        Items are hashed in one vectorized pass (small batches, where NumPy
+        dispatch overhead would dominate, fall back to per-item hashing with
+        identical results) and every (row, column) cell is estimated at most
+        once per call (estimates are deterministic for a fixed query range,
+        so caching cannot change any answer).
 
         Returns:
             One estimate per input item, in order; each equals exactly what
@@ -370,6 +387,11 @@ class ECMSketch:
         if not len(items):
             return []
         now_value = self._resolve_now(now)
+        if len(items) <= _VECTORIZED_QUERY_CUTOFF:
+            # Small batches: the scalar per-item walk.  Cell reuse is rare
+            # below the cutoff, so the dedup bookkeeping of the vectorized
+            # path costs more than the estimates it saves.
+            return [self.point_query(item, range_length, now_value) for item in items]
         columns = self.hashes.hash_many(items).tolist()
         cache: Dict[Tuple[int, int], float] = {}
         results: List[float] = []

@@ -18,7 +18,7 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
-from typing import Hashable, List, Sequence
+from typing import Hashable, List, Sequence, Union
 
 import numpy as np
 
@@ -26,11 +26,16 @@ from .errors import ConfigurationError
 
 __all__ = [
     "MERSENNE_PRIME_61",
+    "ItemBatch",
     "stable_fingerprint",
     "stable_fingerprints",
     "PairwiseHash",
     "HashFamily",
 ]
+
+#: A batch of items for the vectorized APIs: any sequence of hashable values,
+#: or a NumPy array (integer arrays take the dtype-cast fingerprint path).
+ItemBatch = Union[Sequence[Hashable], "np.ndarray"]
 
 #: The Mersenne prime 2**61 - 1 used as the field size of the hash family.
 MERSENNE_PRIME_61 = (1 << 61) - 1
@@ -88,7 +93,7 @@ def stable_fingerprint(item: Hashable) -> int:
     return int.from_bytes(digest, "little")
 
 
-def stable_fingerprints(items: Sequence[Hashable]) -> "np.ndarray":
+def stable_fingerprints(items: ItemBatch) -> "np.ndarray":
     """Vectorized :func:`stable_fingerprint` over a batch of items.
 
     Integer-typed NumPy arrays are fingerprinted without touching Python
@@ -192,7 +197,7 @@ class HashFamily:
         x = stable_fingerprint(item)
         return [h.hash_int(x) for h in self._functions]
 
-    def hash_many(self, items: Sequence[Hashable]) -> "np.ndarray":
+    def hash_many(self, items: ItemBatch) -> "np.ndarray":
         """Hash a batch of items with every function of the family at once.
 
         The evaluation is NumPy-vectorized: fingerprints are reduced modulo the

@@ -9,6 +9,8 @@ Mapping (see DESIGN.md for the full index):
 * Table 4  — :func:`repro.experiments.distributed.run_centralized_vs_distributed_experiment`
 * Figure 6 — :func:`repro.experiments.network_size.run_network_size_experiment`
 * Ablations — :mod:`repro.experiments.ablations`
+* Frequent items (Section 6.1, beyond the paper's tables) —
+  :func:`repro.experiments.frequent_items.run_frequent_items_experiment`
 """
 
 from .ablations import (
@@ -47,6 +49,11 @@ from .distributed import (
     run_centralized_vs_distributed_experiment,
     run_distributed_error_experiment,
 )
+from .frequent_items import (
+    FrequentItemsRow,
+    format_frequent_items_rows,
+    run_frequent_items_experiment,
+)
 from .network_size import (
     DEFAULT_NETWORK_SIZES,
     NetworkSizeRow,
@@ -83,6 +90,9 @@ __all__ = [
     "ComplexityRow",
     "run_complexity_experiment",
     "format_complexity_rows",
+    "FrequentItemsRow",
+    "run_frequent_items_experiment",
+    "format_frequent_items_rows",
     "EpsilonSplitRow",
     "MergeStrategyRow",
     "run_epsilon_split_ablation",

@@ -15,7 +15,9 @@ and keeps the per-update sketch costs identical to the paper's.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.config import CounterType
 from ..core.errors import ConfigurationError
@@ -100,6 +102,50 @@ class FrequentItemsTracker:
         """Register ``value`` arrivals of ``key`` at clock ``clock``."""
         self._sketch.add(self._encode(key), clock, value)
 
+    def add_many(
+        self,
+        keys: Sequence[Hashable],
+        clocks: Sequence[float],
+        values: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Batched :meth:`add`: dictionary-encode a chunk and ingest it at once.
+
+        The chunk's keys are mapped to their integer codes in a single
+        encoding pass (new keys are assigned codes in first-appearance order,
+        exactly as repeated :meth:`add` calls would), and the resulting code
+        array goes through the stack's vectorized
+        :meth:`~repro.queries.hierarchical.HierarchicalECMSketch.add_many` —
+        sketch state is byte-identical to the scalar loop.
+
+        Unlike the scalar loop, a failed chunk (dictionary overflow, invalid
+        clocks or values) is atomic: neither sketch state nor the key
+        dictionary is changed, so two nodes that retry corrected input end up
+        with identical key→code mappings and their stacks stay mergeable.
+        """
+        n = len(keys)
+        if len(clocks) != n:
+            raise ConfigurationError(
+                "clocks length %d does not match keys length %d" % (len(clocks), n)
+            )
+        if values is not None and len(values) != n:
+            raise ConfigurationError(
+                "values length %d does not match keys length %d" % (len(values), n)
+            )
+        if n == 0:
+            return
+        known_keys = len(self._decoding)
+        codes = np.empty(n, dtype=np.int64)
+        encode = self._encode
+        try:
+            for position, key in enumerate(keys):
+                codes[position] = encode(key)
+            self._sketch.add_many(codes, clocks, values)
+        except Exception:
+            for key in self._decoding[known_keys:]:
+                del self._encoding[key]
+            del self._decoding[known_keys:]
+            raise
+
     # --------------------------------------------------------------- queries
     def frequency(
         self, key: Hashable, range_length: Optional[float] = None, now: Optional[float] = None
@@ -116,19 +162,48 @@ class FrequentItemsTracker:
         """Estimated number of in-range arrivals."""
         return self._sketch.estimate_total(range_length, now)
 
+    def frequency_many(
+        self,
+        keys: Sequence[Hashable],
+        range_length: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> List[float]:
+        """Batched :meth:`frequency`: one estimate per key (0 for unseen keys)."""
+        known: List[int] = []
+        positions: List[int] = []
+        results = [0.0] * len(keys)
+        for position, key in enumerate(keys):
+            code = self._encoding.get(key)
+            if code is not None:
+                known.append(code)
+                positions.append(position)
+        if known:
+            estimates = self._sketch.point_query_many(
+                np.asarray(known, dtype=np.int64), range_length, now
+            )
+            for position, estimate in zip(positions, estimates):
+                results[position] = estimate
+        return results
+
     def heavy_hitters(
         self,
         phi: float,
         range_length: Optional[float] = None,
         now: Optional[float] = None,
         absolute_threshold: Optional[float] = None,
+        batched: bool = True,
     ) -> Dict[Hashable, float]:
-        """Keys whose estimated in-range frequency reaches the threshold."""
+        """Keys whose estimated in-range frequency reaches the threshold.
+
+        An empty query window (or a non-positive ``absolute_threshold``)
+        returns ``{}`` without descending the dyadic tree.
+        """
         detected = self._sketch.heavy_hitters(
             phi=phi,
             range_length=range_length,
             now=now,
             absolute_threshold=absolute_threshold,
+            batched=batched,
         )
         return {
             self._decode(code): estimate

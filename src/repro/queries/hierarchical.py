@@ -12,21 +12,37 @@ of dyadic ranges of length ``2**i``.  On top of this stack we implement:
   dyadic ranges and sum the corresponding point estimates;
 * **quantiles**: binary-search the key domain using prefix range queries.
 
+Both the ingest and the query side have batched fast paths producing results
+(and, for ingest, serialized state) identical to the scalar loops:
+:meth:`HierarchicalECMSketch.add_many` computes all-level prefixes with NumPy
+right-shifts and feeds each level's :meth:`~repro.core.ecm_sketch.ECMSketch.add_many`,
+the default heavy-hitter descent walks the dyadic tree breadth-first with one
+vectorized lookup per level, and :meth:`HierarchicalECMSketch.quantiles`
+shares a single memo of dyadic prefix estimates across all requested
+fractions.
+
 The stack is composable exactly like individual ECM-sketches: aggregating the
 per-level sketches of several nodes yields the stack of the union stream.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import numbers
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..core.config import CounterType, ECMConfig
 from ..core.ecm_sketch import ECMSketch
-from ..core.errors import ConfigurationError
+from ..core.errors import ConfigurationError, EmptyStructureError
 from ..windows.base import WindowModel
 from .dyadic import children_of, dyadic_cover, prefix_of, validate_universe_bits
 
 __all__ = ["HierarchicalECMSketch"]
+
+#: A batch of integer keys (or dyadic prefixes): a sequence of ints or an
+#: integer NumPy array.
+KeyBatch = Union[Sequence[int], "np.ndarray"]
 
 
 class HierarchicalECMSketch:
@@ -93,15 +109,87 @@ class HierarchicalECMSketch:
         return 1 << self.universe_bits
 
     def add(self, key: int, clock: float, value: int = 1) -> None:
-        """Register ``value`` arrivals of integer ``key`` at clock ``clock``."""
-        if not isinstance(key, int) or key < 0 or key >= self.universe_size:
+        """Register ``value`` arrivals of integer ``key`` at clock ``clock``.
+
+        ``key`` may be any integral type — Python ``int`` or a NumPy integer
+        scalar (``np.int64`` elements of a batch array included); both hash
+        identically.
+        """
+        if not isinstance(key, numbers.Integral) or key < 0 or key >= self.universe_size:
             raise ConfigurationError(
                 "key must be an integer in [0, %d), got %r" % (self.universe_size, key)
             )
+        key = int(key)
         for level, sketch in enumerate(self._levels):
             sketch.add(prefix_of(key, level), clock, value)
         self._total_arrivals += value
         self._last_clock = clock
+
+    def add_many(
+        self,
+        keys: KeyBatch,
+        clocks: Union[Sequence[float], "np.ndarray"],
+        values: Optional[Union[Sequence[int], "np.ndarray"]] = None,
+    ) -> None:
+        """Batched :meth:`add`: ingest a whole chunk of integer keys at once.
+
+        The per-level prefixes of the entire chunk are computed with one NumPy
+        right-shift per level and handed to each level's
+        :meth:`~repro.core.ecm_sketch.ECMSketch.add_many`, so the stack state
+        is byte-for-byte identical to calling :meth:`add` once per arrival in
+        order (each level sketch sees exactly the same arrival subsequence —
+        levels are independent structures, so reordering work *across* levels
+        cannot change any of them).
+
+        Argument problems (length mismatch, a key outside the universe,
+        negative values, out-of-order clocks) are detected before any level is
+        mutated, so a failed call leaves the stack untouched.
+
+        Args:
+            keys: Batch of integer keys in ``[0, universe_size)``, in stream
+                order; a list of ints or an integer NumPy array.
+            clocks: Non-decreasing clock values, one per key.
+            values: Optional per-key weights (defaults to 1 each).
+        """
+        keys_array = np.asarray(keys)
+        n = int(keys_array.size)
+        if keys_array.ndim != 1 or (n and not np.issubdtype(keys_array.dtype, np.integer)):
+            raise ConfigurationError(
+                "keys must be a one-dimensional sequence of integers, got dtype %r"
+                % (keys_array.dtype,)
+            )
+        if len(clocks) != n:
+            raise ConfigurationError(
+                "clocks length %d does not match keys length %d" % (len(clocks), n)
+            )
+        if values is not None and len(values) != n:
+            raise ConfigurationError(
+                "values length %d does not match keys length %d" % (len(values), n)
+            )
+        if n == 0:
+            return
+        if int(keys_array.min()) < 0 or int(keys_array.max()) >= self.universe_size:
+            raise ConfigurationError(
+                "keys must be integers in [0, %d)" % (self.universe_size,)
+            )
+        # Normalise NumPy containers *and* NumPy scalars (e.g. a list built by
+        # iterating a NumPy clock array) to plain Python scalars once, up
+        # front: counters store the clock/value objects they are handed, and
+        # the JSON wire format (serialization equality is the batched path's
+        # correctness oracle) only accepts Python scalars.
+        if isinstance(clocks, np.ndarray):
+            clocks = clocks.tolist()
+        else:
+            clocks = [c.item() if isinstance(c, np.generic) else c for c in clocks]
+        if isinstance(values, np.ndarray):
+            values = values.tolist()
+        elif values is not None:
+            values = [v.item() if isinstance(v, np.generic) else v for v in values]
+        for level, sketch in enumerate(self._levels):
+            prefixes = keys_array >> level if level else keys_array
+            sketch.add_many(prefixes, clocks, values)
+        self._total_arrivals += n if values is None else int(sum(values))
+        self._last_clock = clocks[-1]
 
     # -------------------------------------------------------------- queries
     def _resolve_now(self, now: Optional[float]) -> float:
@@ -115,6 +203,20 @@ class HierarchicalECMSketch:
         """Estimated sliding-window frequency of an individual key."""
         return self._levels[0].point_query(key, range_length, self._resolve_now(now))
 
+    def point_query_many(
+        self,
+        keys: KeyBatch,
+        range_length: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> List[float]:
+        """Batched :meth:`point_query`: one estimate per key, in order.
+
+        Keys are hashed in a single vectorized pass through the level-0
+        sketch; each result equals exactly what :meth:`point_query` returns
+        for that key.
+        """
+        return self._levels[0].point_query_many(keys, range_length, self._resolve_now(now))
+
     def prefix_query(
         self, prefix: int, level: int, range_length: Optional[float] = None, now: Optional[float] = None
     ) -> float:
@@ -122,6 +224,18 @@ class HierarchicalECMSketch:
         if level < 0 or level >= self.universe_bits:
             raise ConfigurationError("level must be in [0, %d)" % (self.universe_bits,))
         return self._levels[level].point_query(prefix, range_length, self._resolve_now(now))
+
+    def prefix_query_many(
+        self,
+        prefixes: KeyBatch,
+        level: int,
+        range_length: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> List[float]:
+        """Batched :meth:`prefix_query` over several prefixes of one level."""
+        if level < 0 or level >= self.universe_bits:
+            raise ConfigurationError("level must be in [0, %d)" % (self.universe_bits,))
+        return self._levels[level].point_query_many(prefixes, range_length, self._resolve_now(now))
 
     def range_query(
         self, lo: int, hi: int, range_length: Optional[float] = None, now: Optional[float] = None
@@ -145,8 +259,15 @@ class HierarchicalECMSketch:
         range_length: Optional[float] = None,
         now: Optional[float] = None,
         absolute_threshold: Optional[float] = None,
+        batched: bool = True,
     ) -> Dict[int, float]:
         """Group-testing detection of frequent keys (Theorem 5).
+
+        A non-positive detection threshold — an empty query window under a
+        relative ``phi``, or ``absolute_threshold <= 0`` — returns ``{}``
+        immediately without descending: with no in-range arrivals there is no
+        key with positive in-range frequency, and admitting estimate-zero
+        prefixes would enumerate the entire ``2**universe_bits`` universe.
 
         Args:
             phi: Relative frequency threshold (fraction of in-range arrivals).
@@ -155,6 +276,10 @@ class HierarchicalECMSketch:
             now: Right edge of the query range.
             absolute_threshold: Minimum number of occurrences; when given the
                 detection uses it directly instead of ``phi * ||a_r||_1``.
+            batched: Use the level-synchronized breadth-first descent (one
+                vectorized sketch lookup per frontier level).  ``False``
+                selects the scalar depth-first reference, which returns the
+                same mapping (enforced by the equivalence suite).
 
         Returns:
             Mapping from detected key to its estimated in-range frequency.
@@ -165,10 +290,44 @@ class HierarchicalECMSketch:
             threshold = phi * self.estimate_total(range_length, now)
         else:
             threshold = float(absolute_threshold)
+        if threshold <= 0.0:
+            return {}
         now_value = self._resolve_now(now)
+        if not batched:
+            return self._heavy_hitters_scalar(threshold, range_length, now_value)
+        # The two prefixes of the coarsest maintained level cover the
+        # universe; every level of survivors is expanded with one batched
+        # lookup instead of per-prefix scalar queries.  The frontier lives in
+        # a plain list — ``point_query_many`` takes the vectorized path once
+        # the frontier outgrows its small-batch cutoff, and converting only
+        # then keeps sparse descents free of NumPy dispatch overhead.
+        frontier: List[int] = [0, 1]
+        for level in range(self.universe_bits - 1, 0, -1):
+            estimates = self._levels[level].point_query_many(
+                frontier, range_length, now_value
+            )
+            next_frontier: List[int] = []
+            for prefix, estimate in zip(frontier, estimates):
+                if estimate >= threshold:
+                    left = prefix << 1
+                    next_frontier.append(left)
+                    next_frontier.append(left | 1)
+            if not next_frontier:
+                return {}
+            frontier = next_frontier
+        estimates = self._levels[0].point_query_many(frontier, range_length, now_value)
+        return {
+            key: estimate
+            for key, estimate in zip(frontier, estimates)
+            if estimate >= threshold
+        }
+
+    def _heavy_hitters_scalar(
+        self, threshold: float, range_length: Optional[float], now_value: float
+    ) -> Dict[int, float]:
+        """Scalar depth-first group-testing descent (reference path)."""
         result: Dict[int, float] = {}
         top_level = self.universe_bits - 1
-        # The two prefixes of the coarsest maintained level cover the universe.
         frontier: List[Tuple[int, int]] = [(0, top_level), (1, top_level)]
         while frontier:
             prefix, level = frontier.pop()
@@ -191,10 +350,20 @@ class HierarchicalECMSketch:
 
         Binary-searches the smallest key ``x`` whose prefix range ``[0, x]``
         accumulates at least ``fraction`` of the estimated in-range arrivals.
+
+        Raises:
+            EmptyStructureError: when the estimated number of in-range
+                arrivals is zero — an empty window has no key distribution,
+                so any returned key (the old behavior silently produced key
+                0) would be a bogus quantile.
         """
         if not (0.0 <= fraction <= 1.0):
             raise ConfigurationError("fraction must be in [0, 1], got %r" % (fraction,))
         total = self.estimate_total(range_length, now)
+        if total <= 0.0:
+            raise EmptyStructureError(
+                "quantile of an empty window is undefined (no in-range arrivals)"
+            )
         target = fraction * total
         lo, hi = 0, self.universe_size - 1
         while lo < hi:
@@ -211,8 +380,61 @@ class HierarchicalECMSketch:
         range_length: Optional[float] = None,
         now: Optional[float] = None,
     ) -> List[int]:
-        """Approximate quantiles for several fractions at once."""
-        return [self.quantile(fraction, range_length, now) for fraction in fractions]
+        """Approximate quantiles for several fractions in one shared scan.
+
+        Every fraction runs the same binary search as :meth:`quantile` (and
+        returns exactly the same key), but all searches share one memo of
+        dyadic prefix estimates: each ``[0, mid]`` probe decomposes into at
+        most ``universe_bits`` dyadic blocks, missing blocks are fetched per
+        level through one vectorized
+        :meth:`~repro.core.ecm_sketch.ECMSketch.point_query_many` call, and
+        neighbouring fractions — whose search paths overlap heavily near the
+        top of the tree — reuse each other's estimates instead of re-querying.
+
+        Raises:
+            EmptyStructureError: when the estimated number of in-range
+                arrivals is zero (see :meth:`quantile`).
+        """
+        for fraction in fractions:
+            if not (0.0 <= fraction <= 1.0):
+                raise ConfigurationError(
+                    "fraction must be in [0, 1], got %r" % (fraction,)
+                )
+        total = self.estimate_total(range_length, now)
+        if total <= 0.0:
+            raise EmptyStructureError(
+                "quantile of an empty window is undefined (no in-range arrivals)"
+            )
+        now_value = self._resolve_now(now)
+        cache: Dict[Tuple[int, int], float] = {}
+
+        def cumulative(upper: int) -> float:
+            """Estimate of ``[0, upper]`` from memoized dyadic block estimates."""
+            cover = list(dyadic_cover(0, upper, self.universe_bits))
+            missing: Dict[int, List[int]] = {}
+            for prefix, level in cover:
+                if (level, prefix) not in cache:
+                    missing.setdefault(level, []).append(prefix)
+            for level, prefixes in missing.items():
+                estimates = self._levels[level].point_query_many(
+                    prefixes, range_length, now_value
+                )
+                for prefix, estimate in zip(prefixes, estimates):
+                    cache[(level, prefix)] = estimate
+            return sum(cache[(level, prefix)] for prefix, level in cover)
+
+        results: List[int] = []
+        for fraction in fractions:
+            target = fraction * total
+            lo, hi = 0, self.universe_size - 1
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if cumulative(mid) >= target:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            results.append(lo)
+        return results
 
     # ----------------------------------------------------------------- merge
     def is_compatible_with(self, other: "HierarchicalECMSketch") -> bool:

@@ -26,6 +26,8 @@ from .core.config import CounterType, ECMConfig
 from .core.countmin import CountMinSketch
 from .core.ecm_sketch import ECMSketch
 from .core.errors import ConfigurationError
+from .queries.heavy_hitters import FrequentItemsTracker
+from .queries.hierarchical import HierarchicalECMSketch
 from .windows.base import WindowModel
 from .windows.deterministic_wave import DeterministicWave, WaveCheckpoint
 from .windows.exponential_histogram import Bucket, ExponentialHistogram
@@ -45,6 +47,10 @@ __all__ = [
     "config_from_dict",
     "ecm_sketch_to_dict",
     "ecm_sketch_from_dict",
+    "hierarchical_to_dict",
+    "hierarchical_from_dict",
+    "tracker_to_dict",
+    "tracker_from_dict",
     "dumps",
     "loads",
 ]
@@ -58,6 +64,8 @@ Serializable = Union[
     RandomizedWave,
     CountMinSketch,
     ECMSketch,
+    HierarchicalECMSketch,
+    FrequentItemsTracker,
 ]
 
 
@@ -327,6 +335,91 @@ def ecm_sketch_from_dict(payload: Dict[str, Any]) -> ECMSketch:
     return sketch
 
 
+# -------------------------------------------------------- hierarchical stacks
+def hierarchical_to_dict(stack: HierarchicalECMSketch) -> Dict[str, Any]:
+    """Serialize a hierarchical (dyadic) stack: one ECM-sketch per level."""
+    return {
+        "kind": "hierarchical_ecm_sketch",
+        "version": FORMAT_VERSION,
+        "universe_bits": stack.universe_bits,
+        "window": stack.window,
+        "model": stack.model.value,
+        "counter_type": stack.counter_type.value,
+        "seed": stack.seed,
+        "stream_tag": stack.stream_tag,
+        "total_arrivals": stack.total_arrivals(),
+        "last_clock": stack._last_clock,
+        "levels": [
+            ecm_sketch_to_dict(stack.level_sketch(level))
+            for level in range(stack.universe_bits)
+        ],
+    }
+
+
+def hierarchical_from_dict(payload: Dict[str, Any]) -> HierarchicalECMSketch:
+    """Rebuild a stack serialized by :func:`hierarchical_to_dict`."""
+    _require(payload, "hierarchical_ecm_sketch")
+    universe_bits = int(payload["universe_bits"])
+    levels = payload["levels"]
+    if len(levels) != universe_bits:
+        raise ConfigurationError(
+            "level count %d does not match universe_bits %d"
+            % (len(levels), universe_bits)
+        )
+    stack = HierarchicalECMSketch.__new__(HierarchicalECMSketch)
+    stack.universe_bits = universe_bits
+    stack.window = payload["window"]
+    stack.model = WindowModel(payload["model"])
+    stack.counter_type = CounterType(payload["counter_type"])
+    stack.seed = int(payload["seed"])
+    stack.stream_tag = int(payload["stream_tag"])
+    stack._levels = [ecm_sketch_from_dict(level) for level in levels]
+    stack._total_arrivals = int(payload["total_arrivals"])
+    stack._last_clock = payload["last_clock"]
+    return stack
+
+
+# ------------------------------------------------------- frequent-items tracker
+def tracker_to_dict(tracker: FrequentItemsTracker) -> Dict[str, Any]:
+    """Serialize a keyed frequent-items tracker (sketch stack + dictionary).
+
+    The key dictionary travels as the decoding list (keys in code order), so
+    only JSON-scalar keys — strings, integers, floats, booleans, ``None`` —
+    round-trip losslessly.  Richer hashables (tuples, frozensets, ...) are
+    rejected here, at serialize time, rather than producing a payload that
+    can never be loaded back.
+    """
+    for key in tracker._decoding:
+        if key is not None and not isinstance(key, (str, int, float)):
+            raise ConfigurationError(
+                "tracker keys must be JSON scalars (str/int/float/bool/None) "
+                "to serialize; got %r" % (type(key).__name__,)
+            )
+    return {
+        "kind": "frequent_items_tracker",
+        "version": FORMAT_VERSION,
+        "sketch": hierarchical_to_dict(tracker.sketch()),
+        "keys": list(tracker._decoding),
+    }
+
+
+def tracker_from_dict(payload: Dict[str, Any]) -> FrequentItemsTracker:
+    """Rebuild a tracker serialized by :func:`tracker_to_dict`."""
+    _require(payload, "frequent_items_tracker")
+    tracker = FrequentItemsTracker.__new__(FrequentItemsTracker)
+    tracker._sketch = hierarchical_from_dict(payload["sketch"])
+    tracker._decoding = list(payload["keys"])
+    try:
+        tracker._encoding = {key: code for code, key in enumerate(tracker._decoding)}
+    except TypeError as exc:
+        raise ConfigurationError(
+            "tracker payload contains unhashable keys: %s" % (exc,)
+        ) from exc
+    if len(tracker._encoding) != len(tracker._decoding):
+        raise ConfigurationError("tracker payload contains duplicate keys")
+    return tracker
+
+
 # ------------------------------------------------------------------- JSON layer
 _TO_DICT = {
     ExponentialHistogram: histogram_to_dict,
@@ -334,6 +427,8 @@ _TO_DICT = {
     RandomizedWave: randomized_wave_to_dict,
     CountMinSketch: countmin_to_dict,
     ECMSketch: ecm_sketch_to_dict,
+    HierarchicalECMSketch: hierarchical_to_dict,
+    FrequentItemsTracker: tracker_to_dict,
 }
 
 _FROM_DICT = {
@@ -343,6 +438,8 @@ _FROM_DICT = {
     "countmin": countmin_from_dict,
     "ecm_sketch": ecm_sketch_from_dict,
     "ecm_config": config_from_dict,
+    "hierarchical_ecm_sketch": hierarchical_from_dict,
+    "frequent_items_tracker": tracker_from_dict,
 }
 
 

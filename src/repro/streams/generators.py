@@ -21,6 +21,8 @@ import math
 import random
 from typing import Hashable, List
 
+import numpy as np
+
 from ..core.errors import ConfigurationError
 from .stream import Stream, StreamRecord
 
@@ -67,8 +69,17 @@ class ZipfSampler:
         return bisect.bisect_left(self._cumulative, u)
 
     def sample_many(self, count: int) -> List[int]:
-        """Draw ``count`` independent rank indices."""
-        return [self.sample() for _ in range(count)]
+        """Draw ``count`` independent rank indices.
+
+        Consumes exactly the same pseudo-random sequence as ``count`` calls
+        to :meth:`sample` (and returns the same ranks), but resolves all
+        draws against the cumulative distribution in one vectorized
+        ``searchsorted`` pass.
+        """
+        if count <= 0:
+            return []
+        draws = [self._rng.random() for _ in range(count)]
+        return np.searchsorted(self._cumulative, draws, side="left").tolist()
 
     def probability(self, rank_index: int) -> float:
         """Probability mass of rank ``rank_index`` (0-based)."""

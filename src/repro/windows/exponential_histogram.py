@@ -98,6 +98,11 @@ class ExponentialHistogram(SlidingWindowCounter):
         self._levels: List[Deque[Bucket]] = []
         self._total_arrivals = 0
         self._in_window_upper = 0  # sum of all bucket sizes currently stored
+        # Memoized newest-first bucket view: every estimate() walks the
+        # buckets in time order, and rebuilding + sorting that list per query
+        # dominates the read path (heavy-hitter descents, ||a_r||_1 scans).
+        # Any mutation drops the cache; queries rebuild it lazily.
+        self._newest_first_cache: Optional[List[Bucket]] = None
 
     # ----------------------------------------------------------------- adds
     def add(self, clock: float, count: int = 1) -> None:
@@ -106,6 +111,7 @@ class ExponentialHistogram(SlidingWindowCounter):
             raise ConfigurationError("count must be non-negative, got %r" % (count,))
         if count == 0:
             return
+        self._newest_first_cache = None
         self._advance_clock(clock)
         self._total_arrivals += count
         for _ in range(count):
@@ -132,6 +138,7 @@ class ExponentialHistogram(SlidingWindowCounter):
         if not len(clocks):
             return
         self._validate_batch(clocks, counts, assume_ordered)
+        self._newest_first_cache = None
         levels = self._levels
         max_per = self._max_per_level
         window = self.window
@@ -365,6 +372,7 @@ class ExponentialHistogram(SlidingWindowCounter):
     # --------------------------------------------------------------- expiry
     def _expire(self, now: float) -> None:
         """Drop buckets whose most recent arrival has left the window."""
+        self._newest_first_cache = None
         threshold = now - self.window
         for level in self._levels:
             while level and level[0].end <= threshold:
@@ -379,7 +387,7 @@ class ExponentialHistogram(SlidingWindowCounter):
     def estimate(self, range_length: Optional[float] = None, now: Optional[float] = None) -> float:
         """Estimate the number of arrivals in the last ``range_length`` clock units."""
         start, _end = self.resolve_query_bounds(range_length, now)
-        buckets = self.buckets_newest_first()
+        buckets = self._newest_first_view()
         if not buckets:
             return 0.0
         total = 0.0
@@ -406,17 +414,29 @@ class ExponentialHistogram(SlidingWindowCounter):
         return self._in_window_upper
 
     # ------------------------------------------------------------ structure
-    def buckets_newest_first(self) -> List[Bucket]:
-        """All live buckets ordered from most recent to oldest."""
+    def _newest_first_view(self) -> List[Bucket]:
+        """Memoized newest-first bucket list (internal: never mutate it)."""
+        cached = self._newest_first_cache
+        if cached is not None:
+            return cached
         collected: List[Bucket] = []
         for level in self._levels:
             collected.extend(level)
         collected.sort(key=lambda b: (b.end, b.start), reverse=True)
+        self._newest_first_cache = collected
         return collected
+
+    def buckets_newest_first(self) -> List[Bucket]:
+        """All live buckets ordered from most recent to oldest.
+
+        Returns a fresh list (callers may mutate it freely); the ordering
+        work is memoized between mutations.
+        """
+        return list(self._newest_first_view())
 
     def buckets_oldest_first(self) -> List[Bucket]:
         """All live buckets ordered from oldest to most recent."""
-        return list(reversed(self.buckets_newest_first()))
+        return list(reversed(self._newest_first_view()))
 
     def iter_buckets(self) -> Iterator[Bucket]:
         """Iterate over live buckets in no particular order."""
@@ -440,7 +460,7 @@ class ExponentialHistogram(SlidingWindowCounter):
         guarantee verified by the accuracy tests.
         """
         newer_sum = 0
-        for bucket in self.buckets_newest_first():
+        for bucket in self._newest_first_view():
             if bucket.size > 2.0 * self.epsilon * (1 + newer_sum) + 1.0 + 1e-9:
                 return False
             newer_sum += bucket.size

@@ -57,6 +57,23 @@ class TestCommands:
         assert "updates/sec" in joined
         assert "ECM-EH" in joined and "ECM-RW" in joined
 
+    def test_heavy_hitters_command(self, tmp_path):
+        output = tmp_path / "hh.json"
+        code, lines = run_cli([
+            "heavy-hitters", "--records", "2000", "--domain", "500",
+            "--phis", "0.02", "0.05", "--output", str(output),
+        ])
+        assert code == 0
+        joined = "\n".join(lines)
+        assert "recall" in joined
+        assert "0.0200" in joined and "0.0500" in joined
+        assert output.exists()
+
+    def test_heavy_hitters_rejects_domain_over_universe(self):
+        with pytest.raises(Exception):
+            run_cli(["heavy-hitters", "--records", "100", "--domain", "100",
+                     "--universe-bits", "4"])
+
     def test_run_figure4_small(self):
         code, lines = run_cli([
             "run", "figure4", "--records", "1500", "--epsilons", "0.2", "--max-keys", "20",

@@ -9,6 +9,7 @@ import pytest
 
 from repro.core import CountMinSketch, CounterType, ECMConfig, ECMSketch
 from repro.core.errors import ConfigurationError
+from repro.queries import FrequentItemsTracker, HierarchicalECMSketch
 from repro.serialization import (
     FORMAT_VERSION,
     config_from_dict,
@@ -18,11 +19,15 @@ from repro.serialization import (
     dumps,
     ecm_sketch_from_dict,
     ecm_sketch_to_dict,
+    hierarchical_from_dict,
+    hierarchical_to_dict,
     histogram_from_dict,
     histogram_to_dict,
     loads,
     randomized_wave_from_dict,
     randomized_wave_to_dict,
+    tracker_from_dict,
+    tracker_to_dict,
     wave_from_dict,
     wave_to_dict,
 )
@@ -152,6 +157,99 @@ class TestECMSketchRoundTrips:
             ecm_sketch_from_dict(payload)
 
 
+class TestHierarchicalRoundTrips:
+    @pytest.mark.parametrize(
+        "counter_type",
+        [CounterType.EXPONENTIAL_HISTOGRAM, CounterType.DETERMINISTIC_WAVE, CounterType.RANDOMIZED_WAVE],
+    )
+    def test_round_trip_preserves_queries(self, rng, counter_type):
+        stack = HierarchicalECMSketch(
+            universe_bits=6, epsilon=0.2, delta=0.2, window=WINDOW,
+            counter_type=counter_type, max_arrivals=10_000,
+        )
+        clocks = make_arrivals(rng, 600, mean_gap=5.0)
+        keys = [rng.randrange(64) for _ in clocks]
+        stack.add_many(keys, clocks)
+        restored = hierarchical_from_dict(hierarchical_to_dict(stack))
+        now = clocks[-1]
+        for key in range(0, 64, 7):
+            assert restored.point_query(key, now=now) == stack.point_query(key, now=now)
+        assert restored.heavy_hitters(phi=0.05, now=now) == stack.heavy_hitters(phi=0.05, now=now)
+        assert restored.quantiles([0.25, 0.5, 0.75], now=now) == stack.quantiles(
+            [0.25, 0.5, 0.75], now=now
+        )
+        assert restored.range_query(3, 40, now=now) == stack.range_query(3, 40, now=now)
+        assert restored.total_arrivals() == stack.total_arrivals()
+        assert restored.memory_bytes() == stack.memory_bytes()
+
+    def test_restored_stack_keeps_ingesting_and_aggregates(self, rng):
+        stacks = []
+        for tag in range(2):
+            stack = HierarchicalECMSketch(
+                universe_bits=5, epsilon=0.2, delta=0.2, window=WINDOW,
+                seed=4, stream_tag=tag,
+            )
+            for clock in make_arrivals(rng, 200, mean_gap=5.0):
+                stack.add(rng.randrange(32), clock)
+            stacks.append(stack)
+        shipped = [hierarchical_from_dict(hierarchical_to_dict(stack)) for stack in stacks]
+        shipped[0].add(1, clock=1e9)
+        merged = HierarchicalECMSketch.aggregate(shipped)
+        assert merged.total_arrivals() == sum(stack.total_arrivals() for stack in stacks) + 1
+
+    def test_level_count_mismatch_rejected(self):
+        stack = HierarchicalECMSketch(universe_bits=4, epsilon=0.2, delta=0.2, window=WINDOW)
+        stack.add(3, clock=1.0)
+        payload = hierarchical_to_dict(stack)
+        payload["levels"] = payload["levels"][:2]
+        with pytest.raises(ConfigurationError):
+            hierarchical_from_dict(payload)
+
+
+class TestTrackerRoundTrips:
+    def test_round_trip_preserves_dictionary_and_queries(self, rng):
+        tracker = FrequentItemsTracker(
+            epsilon=0.2, delta=0.2, window=WINDOW, universe_bits=6, seed=8
+        )
+        clocks = make_arrivals(rng, 400, mean_gap=5.0)
+        keys = ["/page/%d" % rng.randrange(40) for _ in clocks]
+        tracker.add_many(keys, clocks)
+        restored = tracker_from_dict(tracker_to_dict(tracker))
+        now = clocks[-1]
+        assert restored.distinct_keys() == tracker.distinct_keys()
+        assert restored.heavy_hitters(phi=0.05, now=now) == tracker.heavy_hitters(phi=0.05, now=now)
+        for key in set(keys[:10]):
+            assert restored.frequency(key, now=now) == tracker.frequency(key, now=now)
+        # The restored tracker keeps encoding new keys after the old ones.
+        restored.add("/page/new", clock=now + 1.0)
+        assert restored.distinct_keys() == tracker.distinct_keys() + 1
+
+    def test_duplicate_keys_rejected(self):
+        tracker = FrequentItemsTracker(epsilon=0.2, delta=0.2, window=WINDOW, universe_bits=4)
+        tracker.add("a", clock=1.0)
+        tracker.add("b", clock=2.0)
+        payload = tracker_to_dict(tracker)
+        payload["keys"] = ["a", "a"]
+        with pytest.raises(ConfigurationError):
+            tracker_from_dict(payload)
+
+    def test_non_json_keys_rejected_at_serialize_time(self):
+        # A tuple key would survive dumps() as a JSON list and only explode at
+        # load time; serialization must refuse it up front instead.
+        tracker = FrequentItemsTracker(epsilon=0.2, delta=0.2, window=WINDOW, universe_bits=4)
+        tracker.add(("src", "dst"), clock=1.0)
+        with pytest.raises(ConfigurationError):
+            tracker_to_dict(tracker)
+
+    def test_unhashable_payload_keys_rejected_at_load_time(self):
+        tracker = FrequentItemsTracker(epsilon=0.2, delta=0.2, window=WINDOW, universe_bits=4)
+        tracker.add("a", clock=1.0)
+        payload = tracker_to_dict(tracker)
+        payload["keys"] = [["src", "dst"]]  # what a hand-written payload could hold
+        with pytest.raises(ConfigurationError):
+            tracker_from_dict(payload)
+
+
 class TestJsonLayer:
     def test_dumps_loads_all_kinds(self, rng):
         histogram = ExponentialHistogram(epsilon=0.1, window=WINDOW)
@@ -165,6 +263,10 @@ class TestJsonLayer:
         ecm = ECMSketch.for_point_queries(epsilon=0.2, delta=0.2, window=WINDOW)
         ecm.add("x", clock=1.0)
         config = ECMConfig.for_point_queries(epsilon=0.2, delta=0.2, window=WINDOW)
+        stack = HierarchicalECMSketch(universe_bits=4, epsilon=0.2, delta=0.2, window=WINDOW)
+        stack.add(3, clock=1.0)
+        tracker = FrequentItemsTracker(epsilon=0.2, delta=0.2, window=WINDOW, universe_bits=4)
+        tracker.add("x", clock=1.0)
         for obj, kind in [
             (histogram, ExponentialHistogram),
             (wave, DeterministicWave),
@@ -172,6 +274,8 @@ class TestJsonLayer:
             (cm, CountMinSketch),
             (ecm, ECMSketch),
             (config, ECMConfig),
+            (stack, HierarchicalECMSketch),
+            (tracker, FrequentItemsTracker),
         ]:
             data = dumps(obj)
             assert isinstance(data, bytes)

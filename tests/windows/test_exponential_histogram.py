@@ -179,6 +179,63 @@ class TestEstimate:
         assert histogram.estimate(1.5, now=3.0) == 2.0
 
 
+class TestBucketViewCache:
+    """The memoized newest-first view must never serve a stale bucket list."""
+
+    def test_interleaved_adds_and_estimates_match_replay(self, rng):
+        live = ExponentialHistogram(epsilon=0.1, window=1_000.0)
+        arrivals = make_arrivals(rng, 1_200, mean_gap=3.0)
+        for index, clock in enumerate(arrivals):
+            live.add(clock)
+            if index % 7 == 0:
+                # Query between mutations so the cache is built and must be
+                # dropped again by the following add.
+                fresh = ExponentialHistogram(epsilon=0.1, window=1_000.0)
+                for replayed in arrivals[: index + 1]:
+                    fresh.add(replayed)
+                assert live.estimate(now=clock) == fresh.estimate(now=clock)
+                assert live.estimate(200.0, now=clock) == fresh.estimate(200.0, now=clock)
+
+    def test_returned_bucket_list_is_safe_to_mutate(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=1_000.0)
+        for clock in range(20):
+            histogram.add(float(clock))
+        baseline = histogram.estimate(now=19.0)
+        view = histogram.buckets_newest_first()
+        view.clear()  # callers own the returned list; the cache must not alias it
+        assert histogram.estimate(now=19.0) == baseline
+        assert histogram.buckets_newest_first()
+
+    def test_expire_invalidates_cached_view(self):
+        histogram = ExponentialHistogram(epsilon=0.1, window=10.0)
+        for clock in range(8):
+            histogram.add(float(clock))
+        assert histogram.estimate(now=7.0) > 0.0  # builds the cache
+        histogram.expire(now=1_000.0)
+        assert histogram.bucket_count() == 0
+        assert histogram.estimate(now=1_000.0) == 0.0
+
+    def test_add_batch_invalidates_cached_view(self, rng):
+        batched = ExponentialHistogram(epsilon=0.1, window=1_000.0)
+        scalar = ExponentialHistogram(epsilon=0.1, window=1_000.0)
+        first = make_arrivals(rng, 300, mean_gap=3.0)
+        base = first[-1]
+        second = [base + clock for clock in make_arrivals(rng, 300, mean_gap=3.0)]
+        for clock in first + second:
+            scalar.add(clock)
+        batched.add_batch(first)
+        assert batched.estimate(now=first[-1]) > 0.0  # builds the cache
+        batched.add_batch(second)
+        assert batched.estimate(now=second[-1]) == scalar.estimate(now=second[-1])
+        assert [
+            (bucket.size, bucket.start, bucket.end)
+            for bucket in batched.buckets_newest_first()
+        ] == [
+            (bucket.size, bucket.start, bucket.end)
+            for bucket in scalar.buckets_newest_first()
+        ]
+
+
 class TestExpiry:
     def test_old_buckets_expire(self):
         histogram = ExponentialHistogram(epsilon=0.1, window=100)
