@@ -44,13 +44,21 @@ def _build_site_sketches(
     arrivals_per_site: int = ARRIVALS_PER_SITE,
     epsilon: float = 0.1,
 ) -> List[ECMSketch]:
-    """Local sketches of a simulated deployment (WorldCup-style keys)."""
+    """Local sketches of a simulated deployment (WorldCup-style keys).
+
+    Built on the object backend: this benchmark isolates the merge-layer
+    algorithms (replay reference vs vectorized bulk merge), and the columnar
+    store's cell interchange would add the same constant to both strategies,
+    diluting the measured ratio.  The columnar backend's own lifecycle is
+    covered by ``bench_columnar_backend.py``.
+    """
     config = ECMConfig.for_point_queries(
         epsilon=epsilon,
         delta=0.1,
         window=WINDOW,
         counter_type=counter_type,
         max_arrivals=10 * arrivals_per_site,
+        backend="object",
     )
     keys = ["/english/images/team_group_header_%d.gif" % index for index in range(200)]
     sketches = []
@@ -130,6 +138,13 @@ def test_aggregation_speedup_report(capsys):
                 "%s aggregation speedup regressed to %.2fx (< 3x floor)"
                 % (variant, results[variant]["speedup"])
             )
+        # Randomized waves auto-fall back to the reference trim below the
+        # selection cutoff, so the vectorized path must never be slower
+        # (0.9x leaves a noise margin on the shared-sort-dominated timing).
+        assert results["rw"]["speedup"] >= 0.9, (
+            "rw aggregation regressed to %.2fx of the reference path"
+            % (results["rw"]["speedup"],)
+        )
 
 
 # -------------------------------------------------------------- report helpers

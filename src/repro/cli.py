@@ -187,6 +187,9 @@ def build_parser() -> argparse.ArgumentParser:
     demo_parser = subparsers.add_parser("demo", help="run a quick end-to-end sanity demo")
     demo_parser.add_argument("--records", type=int, default=10_000)
     demo_parser.add_argument("--epsilon", type=float, default=0.05)
+    demo_parser.add_argument("--backend", choices=["columnar", "object"], default="columnar",
+                             help="counter-grid storage backend (columnar SoA arrays "
+                                  "vs one Python counter object per cell)")
     demo_parser.add_argument("--batch-size", type=_positive_int, default=None,
                              help="ingest via the batched fast path (add_many) in chunks "
                                   "of this many records")
@@ -228,11 +231,14 @@ def _demo(
     batch_size: Optional[int] = None,
     workers: Optional[int] = None,
     shards: Optional[int] = None,
+    backend: str = "columnar",
 ) -> None:
     """A self-contained sanity demo mirroring examples/quickstart.py."""
     window = 1_000_000.0
     trace = WorldCupSyntheticTrace(num_records=records).generate()
-    sketch = ECMSketch.for_point_queries(epsilon=epsilon, delta=0.05, window=window)
+    sketch = ECMSketch.for_point_queries(
+        epsilon=epsilon, delta=0.05, window=window, backend=backend
+    )
     exact = ExactStreamSummary(window=window)
     ingest_start = _time.perf_counter()
     if batch_size is None:
@@ -255,7 +261,11 @@ def _demo(
         "" if batch_size is None else " (batched, batch_size=%d)" % batch_size,
     ))
     out("ingestion rate:          %.0f records/s" % (len(trace) / ingest_elapsed if ingest_elapsed > 0 else float("inf")))
-    out("sketch memory:           %.1f KiB" % (sketch.memory_bytes() / 1024.0))
+    out("sketch memory:           %.1f KiB (%s store; synopsis model %.1f KiB)" % (
+        sketch.memory_bytes() / 1024.0,
+        sketch.backend,
+        sketch.synopsis_bytes() / 1024.0,
+    ))
     out("worst observed error:    %.4f (guarantee: %.2f)" % (worst, epsilon))
     out("self-join estimate:      %.0f (exact %d)" % (sketch.self_join(now=now), exact.self_join(now=now)))
     distributed_ok = True
@@ -330,6 +340,7 @@ def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = prin
             batch_size=args.batch_size,
             workers=args.workers,
             shards=args.shards,
+            backend=args.backend,
         )
         return 0
 

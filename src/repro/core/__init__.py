@@ -9,6 +9,7 @@ from .config import (
     split_point_query_deterministic,
     split_point_query_randomized,
 )
+from .counter_store import CounterStore, ObjectCounterStore
 from .countmin import CountMinSketch, dimensions_for_error
 from .ecm_sketch import ECMSketch
 from .errors import (
@@ -25,6 +26,8 @@ __all__ = [
     "CounterType",
     "ECMConfig",
     "ECMSketch",
+    "CounterStore",
+    "ObjectCounterStore",
     "CountMinSketch",
     "dimensions_for_error",
     "HashFamily",

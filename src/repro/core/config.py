@@ -36,6 +36,7 @@ from .countmin import dimensions_for_error
 from .errors import ConfigurationError
 
 __all__ = [
+    "COLUMNAR_MAX_PER_LIMIT",
     "CounterType",
     "split_point_query_deterministic",
     "split_point_query_randomized",
@@ -44,6 +45,15 @@ __all__ = [
     "inner_product_error",
     "ECMConfig",
 ]
+
+
+#: Largest per-level bucket cap (``ceil(ceil(1/epsilon_sw) / 2) + 1``) for
+#: which a ``backend="columnar"`` request actually uses the columnar store.
+#: The columnar layout pads every (cell, level) to that many slots, so below
+#: ``epsilon_sw ~ 0.008`` the padding of sparse grids outweighs the win of
+#: eliminating per-bucket objects and the config resolves to the object
+#: layout instead.
+COLUMNAR_MAX_PER_LIMIT = 64
 
 
 class CounterType(enum.Enum):
@@ -154,6 +164,16 @@ class ECMConfig:
         seed: Hash seed shared by all sketches that should be mergeable.
         width: Count-Min array width; derived from ``epsilon_cm`` if omitted.
         depth: Count-Min array depth; derived from ``delta`` if omitted.
+        backend: Counter-grid storage backend: ``"columnar"`` (the default)
+            stores all exponential histograms of the sketch in shared
+            structure-of-arrays NumPy buffers
+            (:class:`~repro.windows.columnar_eh.ColumnarEHStore`);
+            ``"object"`` keeps one Python counter object per cell (the
+            reference layout).  Counter types without a columnar
+            implementation (waves) always resolve to the object layout.  The
+            backend is a storage detail: estimates and serialized state are
+            byte-identical across backends, and the field never travels on
+            the wire.
     """
 
     epsilon_cm: float
@@ -167,6 +187,7 @@ class ECMConfig:
     seed: int = 0
     width: int = field(default=0)
     depth: int = field(default=0)
+    backend: str = "columnar"
 
     def __post_init__(self) -> None:
         validate_epsilon(self.epsilon_cm, "epsilon_cm")
@@ -178,6 +199,10 @@ class ECMConfig:
             raise ConfigurationError("model must be a WindowModel")
         if not isinstance(self.counter_type, CounterType):
             raise ConfigurationError("counter_type must be a CounterType")
+        if self.backend not in ("columnar", "object"):
+            raise ConfigurationError(
+                "backend must be 'columnar' or 'object', got %r" % (self.backend,)
+            )
         derived_width, derived_depth = dimensions_for_error(self.epsilon_cm, self.delta)
         if self.width <= 0:
             self.width = derived_width
@@ -204,6 +229,7 @@ class ECMConfig:
         max_arrivals: Optional[int] = None,
         delta_sw: float = 0.05,
         seed: int = 0,
+        backend: str = "columnar",
     ) -> "ECMConfig":
         """Configuration minimising memory for a total point-query error budget."""
         if counter_type is CounterType.RANDOMIZED_WAVE:
@@ -220,6 +246,7 @@ class ECMConfig:
             max_arrivals=max_arrivals,
             delta_sw=delta_sw,
             seed=seed,
+            backend=backend,
         )
 
     @classmethod
@@ -233,6 +260,7 @@ class ECMConfig:
         max_arrivals: Optional[int] = None,
         delta_sw: float = 0.05,
         seed: int = 0,
+        backend: str = "columnar",
     ) -> "ECMConfig":
         """Configuration minimising memory for a total inner-product error budget."""
         if counter_type is CounterType.RANDOMIZED_WAVE:
@@ -251,9 +279,33 @@ class ECMConfig:
             max_arrivals=max_arrivals,
             delta_sw=delta_sw,
             seed=seed,
+            backend=backend,
         )
 
     # ------------------------------------------------------------ summaries
+    @property
+    def resolved_backend(self) -> str:
+        """The storage backend the sketch will actually use.
+
+        The columnar store only implements exponential histograms, so
+        wave-based counter types always resolve to the object-per-cell
+        reference layout.  It also pads every ``(cell, level)`` to
+        ``max_per_level + 2`` bucket slots, which is a win whenever cells
+        carry real load but dominates sparse grids once ``epsilon_sw`` gets
+        tiny (the hierarchical stacks of Section 6.1 are the worst case:
+        many near-empty grids with a few deep cells).  Configs whose
+        per-level bucket cap exceeds :data:`COLUMNAR_MAX_PER_LIMIT`
+        (``epsilon_sw`` below ~0.008) therefore resolve to the object
+        layout as well.
+        """
+        if self.counter_type is not CounterType.EXPONENTIAL_HISTOGRAM or self.backend != "columnar":
+            return "object"
+        k = int(math.ceil(1.0 / self.epsilon_sw))
+        max_per_level = int(math.ceil(k / 2.0)) + 1
+        if max_per_level > COLUMNAR_MAX_PER_LIMIT:
+            return "object"
+        return "columnar"
+
     @property
     def total_point_error(self) -> float:
         """Worst-case point-query error implied by the split (Theorem 1)."""
@@ -285,6 +337,7 @@ class ECMConfig:
             "seed": self.seed,
             "width": self.width,
             "depth": self.depth,
+            "backend": self.backend,
         }
         data.update(overrides)
         return ECMConfig(**data)  # type: ignore[arg-type]

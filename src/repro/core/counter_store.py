@@ -1,0 +1,262 @@
+"""Counter stores: pluggable backing storage for the ECM-sketch counter grid.
+
+An ECM-sketch is a ``depth x width`` grid of sliding-window counters.  How
+that grid is *stored* is independent of the sketch semantics, so the storage
+lives behind the :class:`CounterStore` interface with two implementations:
+
+* :class:`ObjectCounterStore` — the reference layout: one Python counter
+  object per cell (exponential histogram, deterministic wave or randomized
+  wave).  Simple, handles every counter type, and is the ground truth the
+  equivalence suites compare against.
+* :class:`~repro.windows.columnar_eh.ColumnarEHStore` — a structure-of-arrays
+  layout for exponential-histogram grids: every bucket of every cell lives in
+  shared NumPy arrays, so the whole-grid operations (batched ingest, expiry
+  sweeps, multi-cell estimates) run as vectorized passes with no per-bucket
+  Python objects.
+
+Both stores are required to be *observably identical*: estimates, bucket
+structures and serialized state must match byte-for-byte across backends for
+every counter lifecycle (``tests/core/test_columnar_equivalence.py``).
+
+The store interface deliberately mirrors how :class:`~repro.core.ecm_sketch.ECMSketch`
+consumes the grid: scalar updates address one ``(row, column)`` cell, batched
+updates hand over a whole hash row worth of column-grouped runs, and queries
+either read one cell or gather many cells in one call.
+"""
+
+from __future__ import annotations
+
+import abc
+import sys
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..windows.base import SlidingWindowCounter
+
+__all__ = ["CounterStore", "ObjectCounterStore"]
+
+#: Clock/value payload of a batched ingest: a NumPy array whose dtype
+#: round-trips the original scalars exactly, or a plain list holding the
+#: original Python objects (used for mixed int/float batches).
+RunPayload = Union["np.ndarray", Sequence[Any]]
+
+#: One hash row of a column-grouped batch:
+#: ``(row, run_columns, run_starts, run_stops, clocks, values)``.
+RowPayload = Tuple[
+    int, Sequence[int], Sequence[int], Sequence[int], RunPayload, Optional[RunPayload]
+]
+
+
+class CounterStore(abc.ABC):
+    """Backing storage for a ``depth x width`` grid of sliding-window counters.
+
+    All mutating entry points must leave the store in exactly the state the
+    reference per-cell counters would reach for the same arrival sequence;
+    the query entry points must return exactly the reference estimates.
+    """
+
+    #: Identifier reported by :attr:`repro.core.ecm_sketch.ECMSketch.backend`.
+    backend_name: str
+
+    depth: int
+    width: int
+
+    # ------------------------------------------------------------ mutation
+    @abc.abstractmethod
+    def add_single(self, row: int, column: int, clock: float, count: int = 1) -> None:
+        """Register ``count`` unit arrivals at one cell (scalar hot path)."""
+
+    @abc.abstractmethod
+    def ingest_sorted_row(
+        self,
+        row: int,
+        run_columns: Sequence[int],
+        run_starts: Sequence[int],
+        run_stops: Sequence[int],
+        clocks: RunPayload,
+        values: Optional[RunPayload],
+    ) -> None:
+        """Ingest one hash row of a pre-validated, column-grouped batch.
+
+        The caller (``ECMSketch.add_many``) has stably sorted the batch by
+        column, so ``clocks[start:stop]`` is the in-stream-order arrival run
+        of cell ``(row, run_columns[i])``.  ``clocks``/``values`` are either
+        NumPy arrays whose dtype preserves the original scalars exactly, or
+        plain Python lists carrying the original objects (mixed-type
+        batches).  Zero values have already been dropped and clock order has
+        been validated.
+        """
+
+    def ingest_sorted_rows(self, payloads: Sequence[RowPayload]) -> None:
+        """Ingest every hash row of one batch.
+
+        Rows address disjoint cells, so their order is immaterial; stores may
+        override this to process all rows in one combined pass (the columnar
+        store does).
+        """
+        for row, run_columns, run_starts, run_stops, clocks, values in payloads:
+            self.ingest_sorted_row(row, run_columns, run_starts, run_stops, clocks, values)
+
+    @abc.abstractmethod
+    def expire_all(self, now: float) -> None:
+        """Drop buckets/entries outside ``(now - window, now]`` in every cell."""
+
+    # ------------------------------------------------------------- queries
+    @abc.abstractmethod
+    def estimate(
+        self, row: int, column: int, range_length: Optional[float] = None, now: Optional[float] = None
+    ) -> float:
+        """Reference-identical estimate of one cell for a query range."""
+
+    @abc.abstractmethod
+    def estimate_cells(
+        self, cells: "np.ndarray", range_length: Optional[float], now: float
+    ) -> "np.ndarray":
+        """Estimates for many cells (flat ``row * width + column`` ids).
+
+        Returns a float64 array aligned with ``cells``; every element equals
+        exactly what :meth:`estimate` would return for that cell.
+        """
+
+    @abc.abstractmethod
+    def estimate_grid(self, range_length: Optional[float], now: float) -> List[List[float]]:
+        """Estimates of every cell, as a ``depth x width`` nested list."""
+
+    # ----------------------------------------------------- cell interchange
+    @abc.abstractmethod
+    def get_counter(self, row: int, column: int) -> SlidingWindowCounter:
+        """The cell as a reference counter object.
+
+        The object store returns the live counter; columnar stores
+        materialise an equivalent counter on demand (mutating it does *not*
+        write back — use :meth:`set_counter` for that).
+        """
+
+    @abc.abstractmethod
+    def set_counter(self, row: int, column: int, counter: SlidingWindowCounter) -> None:
+        """Replace one cell's state with that of ``counter``."""
+
+    # ------------------------------------------------------------ accounting
+    @abc.abstractmethod
+    def memory_bytes(self) -> int:
+        """Footprint of the backing storage, in bytes.
+
+        Object store: the paper's analytical 32-bit synopsis model (the
+        object graph *is* the synopsis in the reference implementation).
+        Columnar store: the true allocation of the backing arrays.
+        """
+
+    @abc.abstractmethod
+    def synopsis_bytes(self) -> int:
+        """The paper's analytical 32-bit synopsis footprint, in bytes.
+
+        Backend-independent: both stores report the same number for the same
+        logical counter state.  This is what transfer-volume accounting and
+        the paper-reproduction figures use.
+        """
+
+    @abc.abstractmethod
+    def resident_bytes(self) -> int:
+        """Estimated true resident memory of the store, in bytes.
+
+        For the object store this walks the Python object graph (counter
+        objects, level containers, per-bucket objects); for columnar stores
+        it equals :meth:`memory_bytes`.
+        """
+
+
+def _resident_bytes_of_counter(counter: SlidingWindowCounter) -> int:
+    """Estimated resident footprint of one reference counter object."""
+    resident = getattr(counter, "resident_bytes", None)
+    if resident is not None:
+        return int(resident())
+    # Fallback for counter types without a dedicated accounting method: the
+    # shallow object size understates containers but keeps the comparison
+    # conservative.
+    return sys.getsizeof(counter)
+
+
+class ObjectCounterStore(CounterStore):
+    """Reference store: one Python counter object per grid cell."""
+
+    backend_name = "object"
+
+    def __init__(self, grid: List[List[SlidingWindowCounter]]) -> None:
+        self._grid = grid
+        self.depth = len(grid)
+        self.width = len(grid[0]) if grid else 0
+
+    # ------------------------------------------------------------ mutation
+    def add_single(self, row: int, column: int, clock: float, count: int = 1) -> None:
+        self._grid[row][column].add(clock, count)
+
+    def ingest_sorted_row(
+        self,
+        row: int,
+        run_columns: Sequence[int],
+        run_starts: Sequence[int],
+        run_stops: Sequence[int],
+        clocks: RunPayload,
+        values: Optional[RunPayload],
+    ) -> None:
+        clocks_list = clocks.tolist() if isinstance(clocks, np.ndarray) else clocks
+        values_list = values.tolist() if isinstance(values, np.ndarray) else values
+        row_counters = self._grid[row]
+        for column, start, stop in zip(run_columns, run_starts, run_stops):
+            row_counters[column].add_batch(
+                clocks_list[start:stop],
+                None if values_list is None else values_list[start:stop],
+                assume_ordered=True,
+            )
+
+    def expire_all(self, now: float) -> None:
+        for row_counters in self._grid:
+            for counter in row_counters:
+                counter.expire(now)
+
+    # ------------------------------------------------------------- queries
+    def estimate(
+        self, row: int, column: int, range_length: Optional[float] = None, now: Optional[float] = None
+    ) -> float:
+        return self._grid[row][column].estimate(range_length, now)
+
+    def estimate_cells(
+        self, cells: "np.ndarray", range_length: Optional[float], now: float
+    ) -> "np.ndarray":
+        width = self.width
+        return np.array(
+            [
+                self._grid[cell // width][cell % width].estimate(range_length, now)
+                for cell in cells.tolist()
+            ],
+            dtype=np.float64,
+        )
+
+    def estimate_grid(self, range_length: Optional[float], now: float) -> List[List[float]]:
+        return [
+            [counter.estimate(range_length, now) for counter in row_counters]
+            for row_counters in self._grid
+        ]
+
+    # ----------------------------------------------------- cell interchange
+    def get_counter(self, row: int, column: int) -> SlidingWindowCounter:
+        return self._grid[row][column]
+
+    def set_counter(self, row: int, column: int, counter: SlidingWindowCounter) -> None:
+        self._grid[row][column] = counter
+
+    # ------------------------------------------------------------ accounting
+    def memory_bytes(self) -> int:
+        return sum(counter.memory_bytes() for row in self._grid for counter in row)
+
+    def synopsis_bytes(self) -> int:
+        return self.memory_bytes()
+
+    def resident_bytes(self) -> int:
+        total = sys.getsizeof(self._grid)
+        for row_counters in self._grid:
+            total += sys.getsizeof(row_counters)
+            for counter in row_counters:
+                total += _resident_bytes_of_counter(counter)
+        return total

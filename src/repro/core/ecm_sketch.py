@@ -28,6 +28,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..windows.base import SlidingWindowCounter, WindowModel
+from ..windows.columnar_eh import ColumnarEHStore
 from ..windows.deterministic_wave import DeterministicWave
 from ..windows.exponential_histogram import ExponentialHistogram
 from ..windows.merge import (
@@ -39,6 +40,7 @@ from ..windows.merge import (
 )
 from ..windows.randomized_wave import RandomizedWave
 from .config import CounterType, ECMConfig
+from .counter_store import CounterStore, ObjectCounterStore
 from .countmin import CountMinSketch
 from .errors import (
     ConfigurationError,
@@ -90,10 +92,23 @@ class ECMSketch:
         self.model = config.model
         self.counter_type = config.counter_type
         self.hashes = HashFamily(depth=self.depth, width=self.width, seed=config.seed)
-        self._counters: List[List[SlidingWindowCounter]] = [
-            [self._make_counter(row, column) for column in range(self.width)]
-            for row in range(self.depth)
-        ]
+        #: Storage backend actually in use ("columnar" or "object").
+        self.backend = config.resolved_backend
+        if self.backend == "columnar":
+            self._store: CounterStore = ColumnarEHStore(
+                depth=self.depth,
+                width=self.width,
+                epsilon=config.epsilon_sw,
+                window=config.window,
+                model=config.model,
+            )
+        else:
+            self._store = ObjectCounterStore(
+                [
+                    [self._make_counter(row, column) for column in range(self.width)]
+                    for row in range(self.depth)
+                ]
+            )
         self._total_arrivals = 0
         self._last_clock: Optional[float] = None
         # Item -> stable fingerprint memo used by the batched ingestion path;
@@ -115,6 +130,7 @@ class ECMSketch:
         max_arrivals: Optional[int] = None,
         seed: int = 0,
         stream_tag: int = 0,
+        backend: str = "columnar",
     ) -> "ECMSketch":
         """Sketch sized for a total point-query error of ``epsilon``."""
         config = ECMConfig.for_point_queries(
@@ -125,6 +141,7 @@ class ECMSketch:
             counter_type=counter_type,
             max_arrivals=max_arrivals,
             seed=seed,
+            backend=backend,
         )
         return cls(config, stream_tag=stream_tag)
 
@@ -139,6 +156,7 @@ class ECMSketch:
         max_arrivals: Optional[int] = None,
         seed: int = 0,
         stream_tag: int = 0,
+        backend: str = "columnar",
     ) -> "ECMSketch":
         """Sketch sized for a total inner-product error of ``epsilon``."""
         config = ECMConfig.for_inner_product_queries(
@@ -149,6 +167,7 @@ class ECMSketch:
             counter_type=counter_type,
             max_arrivals=max_arrivals,
             seed=seed,
+            backend=backend,
         )
         return cls(config, stream_tag=stream_tag)
 
@@ -190,8 +209,9 @@ class ECMSketch:
         if value == 0:
             return
         columns = self.hashes.hash_all(item)
+        store = self._store
         for row, column in enumerate(columns):
-            self._counters[row][column].add(clock, value)
+            store.add_single(row, column, clock, value)
         self._total_arrivals += value
         self._last_clock = clock
 
@@ -305,14 +325,27 @@ class ECMSketch:
         # coerce anything — all-int and all-float lists survive, a mixed list
         # is silently promoted to float64.  Fall back to Python indexing in
         # the mixed case so batched state stays byte-identical to scalar.
-        clocks_exact = clocks_array.dtype.kind != "f" or all(
-            type(clock) is float for clock in clocks
+        # (`set(map(type, ...))` runs the scan at C speed; an ndarray input
+        # cannot mix scalar types, so it skips the scan entirely.)
+        clocks_exact = (
+            clocks_array.dtype.kind != "f"
+            or isinstance(clocks, np.ndarray)
+            or set(map(type, clocks)) == {float}
         )
-        values_exact = values_array is None or values_array.dtype.kind != "f" or all(
-            type(value) is float for value in values
+        values_exact = (
+            values_array is None
+            or values_array.dtype.kind != "f"
+            or isinstance(values, np.ndarray)
+            or set(map(type, values)) == {float}
         )
+        store = self._store
+        # The columnar store consumes the sorted clock/value arrays directly
+        # (its vector path never materialises Python scalars); the object
+        # store receives plain lists, exactly as the per-cell add_batch seam
+        # always has.  Mixed-type batches stay Python lists for both.
+        keep_arrays = store.backend_name == "columnar"
+        payloads = []
         for row in range(self.depth):
-            row_counters = self._counters[row]
             arrival_columns = columns[row]
             # Stable sort by column: each cell's arrivals become one contiguous
             # slice, still in stream order, so a counter sees exactly the same
@@ -320,25 +353,33 @@ class ECMSketch:
             order = np.argsort(arrival_columns, kind="stable")
             sorted_columns = arrival_columns[order]
             if clocks_exact:
-                sorted_clocks = clocks_array[order].tolist()
+                sorted_clocks = clocks_array[order] if keep_arrays else clocks_array[order].tolist()
             else:
                 sorted_clocks = [clocks[i] for i in order.tolist()]
             if values_array is None:
                 sorted_values = None
             elif values_exact:
-                sorted_values = values_array[order].tolist()
+                sorted_values = values_array[order] if keep_arrays else values_array[order].tolist()
             else:
                 sorted_values = [values[i] for i in order.tolist()]
             run_starts = [0] + (np.flatnonzero(np.diff(sorted_columns)) + 1).tolist()
             run_stops = run_starts[1:] + [n]
             column_of_run = sorted_columns[run_starts].tolist()
-            for column, start, stop in zip(column_of_run, run_starts, run_stops):
-                row_counters[column].add_batch(
-                    sorted_clocks[start:stop],
-                    None if sorted_values is None else sorted_values[start:stop],
-                    assume_ordered=True,
-                )
-        self._total_arrivals += n if values is None else sum(values)
+            payloads.append(
+                (row, column_of_run, run_starts, run_stops, sorted_clocks, sorted_values)
+            )
+        # All rows in one store call: rows address disjoint cells, so the
+        # columnar backend cascades the whole batch in a single pass.
+        store.ingest_sorted_rows(payloads)
+        if values is None:
+            self._total_arrivals += n
+        else:
+            total_weight = sum(values)
+            # A NumPy integer (ndarray values input) would poison the JSON
+            # wire format downstream, like the last_clock guard below.
+            self._total_arrivals += (
+                total_weight.item() if isinstance(total_weight, np.generic) else total_weight
+            )
         last_clock = clocks[-1]
         # A NumPy scalar here would poison the JSON wire format downstream.
         self._last_clock = last_clock.item() if isinstance(last_clock, np.generic) else last_clock
@@ -353,7 +394,7 @@ class ECMSketch:
         self, row: int, column: int, range_length: Optional[float] = None, now: Optional[float] = None
     ) -> float:
         """Estimated value ``E(row, column, r)`` of one counter for a query range."""
-        return self._counters[row][column].estimate(range_length, self._resolve_now(now))
+        return self._store.estimate(row, column, range_length, self._resolve_now(now))
 
     def point_query(
         self, item: Hashable, range_length: Optional[float] = None, now: Optional[float] = None
@@ -361,8 +402,9 @@ class ECMSketch:
         """Estimated frequency of ``item`` within the query range (Theorem 1)."""
         now_value = self._resolve_now(now)
         columns = self.hashes.hash_all(item)
+        store = self._store
         return min(
-            self._counters[row][column].estimate(range_length, now_value)
+            store.estimate(row, column, range_length, now_value)
             for row, column in enumerate(columns)
         )
 
@@ -392,9 +434,21 @@ class ECMSketch:
             # below the cutoff, so the dedup bookkeeping of the vectorized
             # path costs more than the estimates it saves.
             return [self.point_query(item, range_length, now_value) for item in items]
-        columns = self.hashes.hash_many(items).tolist()
+        hashed = self.hashes.hash_many(items)
+        if self.backend == "columnar":
+            # One gathered pass over the deduplicated cells, reading the
+            # estimates straight out of the columnar arrays.
+            flat_cells = hashed.astype(np.int64) + (
+                np.arange(self.depth, dtype=np.int64)[:, None] * np.int64(self.width)
+            )
+            unique_cells, inverse = np.unique(flat_cells, return_inverse=True)
+            unique_estimates = self._store.estimate_cells(unique_cells, range_length, now_value)
+            per_item = unique_estimates[inverse.reshape(flat_cells.shape)].min(axis=0)
+            return per_item.tolist()
+        columns = hashed.tolist()
         cache: Dict[Tuple[int, int], float] = {}
         results: List[float] = []
+        store = self._store
         for position in range(len(items)):
             best: Optional[float] = None
             for row in range(self.depth):
@@ -402,7 +456,7 @@ class ECMSketch:
                 key = (row, column)
                 estimate = cache.get(key)
                 if estimate is None:
-                    estimate = self._counters[row][column].estimate(range_length, now_value)
+                    estimate = store.estimate(row, column, range_length, now_value)
                     cache[key] = estimate
                 if best is None or estimate < best:
                     best = estimate
@@ -419,17 +473,29 @@ class ECMSketch:
         self._require_compatible(other)
         now_value = self._resolve_now(now)
         other_now = other._resolve_now(now)
+        mine = self._store.estimate_grid(range_length, now_value)
         best: Optional[float] = None
+        if other.backend == "columnar":
+            theirs = other._store.estimate_grid(range_length, other_now)
+            for row in range(self.depth):
+                row_product = 0.0
+                for a, b in zip(mine[row], theirs[row]):
+                    if a == 0.0:
+                        continue
+                    row_product += a * b
+                if best is None or row_product < best:
+                    best = row_product
+            return float(best if best is not None else 0.0)
+        # Object backend (mandatory for wave counters, whose estimates are
+        # expensive): keep the lazy skip — other's cell is only estimated
+        # when this sketch's cell is non-zero.
+        other_store = other._store
         for row in range(self.depth):
             row_product = 0.0
-            mine = self._counters[row]
-            theirs = other._counters[row]
-            for column in range(self.width):
-                a = mine[column].estimate(range_length, now_value)
+            for column, a in enumerate(mine[row]):
                 if a == 0.0:
                     continue
-                b = theirs[column].estimate(range_length, other_now)
-                row_product += a * b
+                row_product += a * other_store.estimate(row, column, range_length, other_now)
             if best is None or row_product < best:
                 best = row_product
         return float(best if best is not None else 0.0)
@@ -437,11 +503,11 @@ class ECMSketch:
     def self_join(self, range_length: Optional[float] = None, now: Optional[float] = None) -> float:
         """Estimated second frequency moment ``F2`` within the query range."""
         now_value = self._resolve_now(now)
+        matrix = self._store.estimate_grid(range_length, now_value)
         best: Optional[float] = None
         for row in range(self.depth):
             row_product = 0.0
-            for column in range(self.width):
-                value = self._counters[row][column].estimate(range_length, now_value)
+            for value in matrix[row]:
                 row_product += value * value
             if best is None or row_product < best:
                 best = row_product
@@ -452,11 +518,8 @@ class ECMSketch:
     ) -> float:
         """Estimate ``||a_r||_1`` by averaging per-row counter sums (Section 6.1)."""
         now_value = self._resolve_now(now)
-        row_sums = []
-        for row in range(self.depth):
-            row_sums.append(
-                sum(self._counters[row][column].estimate(range_length, now_value) for column in range(self.width))
-            )
+        matrix = self._store.estimate_grid(range_length, now_value)
+        row_sums = [sum(row_estimates) for row_estimates in matrix]
         return sum(row_sums) / float(len(row_sums)) if row_sums else 0.0
 
     def total_arrivals(self) -> int:
@@ -468,16 +531,27 @@ class ECMSketch:
         """Clock value of the most recent arrival, or ``None`` if empty."""
         return self._last_clock
 
+    # ---------------------------------------------------------------- expiry
+    def expire(self, now: float) -> None:
+        """Sweep every cell, dropping state outside the window ``(now - N, now]``.
+
+        Counters normally expire lazily, on their own update path, so a cell
+        whose stream went quiet retains dead buckets until its next arrival.
+        This hook sweeps the whole grid in one call — a single vectorized
+        pass over the shared arrays on the columnar backend, a per-cell loop
+        on the object backend — and is what the periodic-aggregation
+        coordinator runs before shipping sketches upstream.  Estimates for
+        query ranges ending at or after ``now`` are unaffected.
+        """
+        self._store.expire_all(now)
+
     # ------------------------------------------------------------ extraction
     def counter_estimates_matrix(
         self, range_length: Optional[float] = None, now: Optional[float] = None
     ) -> List[List[float]]:
         """Estimates of every counter for a query range, as a depth x width matrix."""
         now_value = self._resolve_now(now)
-        return [
-            [self._counters[row][column].estimate(range_length, now_value) for column in range(self.width)]
-            for row in range(self.depth)
-        ]
+        return self._store.estimate_grid(range_length, now_value)
 
     def to_countmin(
         self, range_length: Optional[float] = None, now: Optional[float] = None
@@ -593,9 +667,9 @@ class ECMSketch:
 
         for row in range(base.depth):
             for column in range(base.width):
-                cells = [sketch._counters[row][column] for sketch in sketches]
-                result._counters[row][column] = merge_cells(
-                    base.counter_type, cells, epsilon_prime
+                cells = [sketch._store.get_counter(row, column) for sketch in sketches]
+                result._store.set_counter(
+                    row, column, merge_cells(base.counter_type, cells, epsilon_prime)
                 )
         result._total_arrivals = sum(sketch._total_arrivals for sketch in sketches)
         known_clocks = [s._last_clock for s in sketches if s._last_clock is not None]
@@ -653,27 +727,58 @@ class ECMSketch:
         return eps * arrivals_a * arrivals_b
 
     def memory_bytes(self) -> int:
-        """Analytical footprint: the sum of all counter footprints plus the array."""
-        counters = sum(
-            self._counters[row][column].memory_bytes()
-            for row in range(self.depth)
-            for column in range(self.width)
-        )
+        """Footprint of the backing counter store plus the sketch overhead.
+
+        On the object backend this is the paper's analytical 32-bit synopsis
+        model (the per-cell object graphs *are* the synopsis in the reference
+        implementation).  On the columnar backend it is the true allocation
+        of the shared NumPy arrays — what the process actually holds
+        resident.  Use :meth:`synopsis_bytes` for the backend-independent
+        paper-model figure.
+        """
         overhead = (self.depth * 2 * _FIELD_BITS + 8 * _FIELD_BITS) // 8
-        return counters + overhead
+        return self._store.memory_bytes() + overhead
+
+    def synopsis_bytes(self) -> int:
+        """The paper's analytical 32-bit synopsis footprint, in bytes.
+
+        Identical across storage backends for the same logical state; this is
+        the quantity the paper's memory/communication figures are drawn in.
+        """
+        overhead = (self.depth * 2 * _FIELD_BITS + 8 * _FIELD_BITS) // 8
+        return self._store.synopsis_bytes() + overhead
+
+    def resident_memory_bytes(self) -> int:
+        """Estimated true resident memory of the counter grid, in bytes.
+
+        Object backend: a walk of the Python object graph (counter objects,
+        level deques, per-bucket objects).  Columnar backend: the allocation
+        of the backing arrays (equal to :meth:`memory_bytes`).
+        """
+        return self._store.resident_bytes()
 
     def counter(self, row: int, column: int) -> SlidingWindowCounter:
-        """Direct access to one sliding-window counter (read-only use)."""
-        return self._counters[row][column]
+        """One cell as a sliding-window counter object (read-only use).
+
+        The object backend returns the live counter; the columnar backend
+        materialises an equivalent :class:`ExponentialHistogram` on demand
+        (mutating it does not write back).
+        """
+        return self._store.get_counter(row, column)
+
+    def _set_counter(self, row: int, column: int, counter: SlidingWindowCounter) -> None:
+        """Replace one cell's state (merge drivers and deserialization)."""
+        self._store.set_counter(row, column, counter)
 
     def serialized_bytes(self) -> int:
         """Bytes needed to ship this sketch over the network.
 
         Used by the distributed experiments to account transfer volume; equal
-        to the analytical memory footprint (the synopsis is its own wire
-        format under the paper's 32-bit accounting).
+        to the analytical synopsis footprint (the synopsis is its own wire
+        format under the paper's 32-bit accounting), regardless of how the
+        grid is stored locally.
         """
-        return self.memory_bytes()
+        return self.synopsis_bytes()
 
     def __repr__(self) -> str:
         return (

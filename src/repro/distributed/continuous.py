@@ -173,7 +173,19 @@ class PeriodicAggregationCoordinator:
 
     # ----------------------------------------------------------------- rounds
     def run_round(self, now: float) -> ECMSketch:
-        """Aggregate the current local sketches into a fresh root sketch."""
+        """Aggregate the current local sketches into a fresh root sketch.
+
+        Before shipping, every site sweeps its whole counter grid with
+        :meth:`~repro.core.ecm_sketch.ECMSketch.expire` (one vectorized pass
+        on the columnar backend).  Counters only expire lazily on their own
+        update path, so a site whose keys went quiet would otherwise ship
+        buckets that left the window long ago — dead weight in both transfer
+        volume and merge work.  Dropping them cannot change any answer the
+        coordinator serves: its queries end at the round clock ``now``, and
+        the swept buckets lie entirely outside ``(now - N, now]``.
+        """
+        for node in self.nodes:
+            node.sketch.expire(now)
         report = AggregationReport()
         root = hierarchical_aggregate(
             [node.sketch for node in self.nodes], tree=self.tree, report=report

@@ -120,7 +120,9 @@ def _evaluate_variant(
         variant=VARIANT_LABELS[counter_type],
         query_type=query_type,
         epsilon=epsilon,
-        memory_bytes=sketch.memory_bytes(),
+        # The paper's memory axis is the 32-bit synopsis model, independent
+        # of how the counter grid is stored locally.
+        memory_bytes=sketch.synopsis_bytes(),
         average_error=summary.average,
         maximum_error=summary.maximum,
         queries=summary.count,

@@ -111,7 +111,7 @@ def run_complexity_experiment(
                     epsilon_sw=epsilon_sw,
                     epsilon_cm=epsilon_cm,
                     analytical_bytes=analytical,
-                    measured_bytes=sketch.memory_bytes(),
+                    measured_bytes=sketch.synopsis_bytes(),
                     update_microseconds=update_elapsed / max(1, len(stream)) * 1e6,
                     query_microseconds=query_elapsed / max(1, len(keys)) * 1e6,
                 )

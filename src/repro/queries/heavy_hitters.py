@@ -62,6 +62,7 @@ class FrequentItemsTracker:
         counter_type: CounterType = CounterType.EXPONENTIAL_HISTOGRAM,
         max_arrivals: Optional[int] = None,
         seed: int = 0,
+        backend: str = "columnar",
     ) -> None:
         self._sketch = HierarchicalECMSketch(
             universe_bits=universe_bits,
@@ -72,6 +73,7 @@ class FrequentItemsTracker:
             counter_type=counter_type,
             max_arrivals=max_arrivals,
             seed=seed,
+            backend=backend,
         )
         self._encoding: Dict[Hashable, int] = {}
         self._decoding: List[Hashable] = []
@@ -230,8 +232,12 @@ class FrequentItemsTracker:
 
     # ----------------------------------------------------------------- size
     def memory_bytes(self) -> int:
-        """Analytical footprint of the sketch stack (excluding the dictionary)."""
+        """Backing-store footprint of the sketch stack (excluding the dictionary)."""
         return self._sketch.memory_bytes()
+
+    def synopsis_bytes(self) -> int:
+        """Paper-model (32-bit synopsis) footprint of the sketch stack."""
+        return self._sketch.synopsis_bytes()
 
     def sketch(self) -> HierarchicalECMSketch:
         """The underlying hierarchical sketch (for advanced/aggregation use)."""

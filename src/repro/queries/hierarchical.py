@@ -58,6 +58,9 @@ class HierarchicalECMSketch:
         max_arrivals: Upper bound on arrivals per window (for wave counters).
         seed: Hash seed shared by all levels (and by mergeable peers).
         stream_tag: Node namespace for randomized-wave identifiers.
+        backend: Counter-grid storage backend of every level sketch
+            (``"columnar"``/``"object"``; see
+            :class:`~repro.core.config.ECMConfig`).
 
     Example:
         >>> hist = HierarchicalECMSketch(universe_bits=10, epsilon=0.05,
@@ -80,6 +83,7 @@ class HierarchicalECMSketch:
         max_arrivals: Optional[int] = None,
         seed: int = 0,
         stream_tag: int = 0,
+        backend: str = "columnar",
     ) -> None:
         self.universe_bits = validate_universe_bits(universe_bits)
         self.window = window
@@ -97,6 +101,7 @@ class HierarchicalECMSketch:
                 counter_type=counter_type,
                 max_arrivals=max_arrivals,
                 seed=seed + level,
+                backend=backend,
             )
             self._levels.append(ECMSketch(config, stream_tag=stream_tag))
         self._total_arrivals = 0
@@ -485,8 +490,12 @@ class HierarchicalECMSketch:
         return self._total_arrivals
 
     def memory_bytes(self) -> int:
-        """Analytical footprint: sum over the per-level sketches."""
+        """Backing-store footprint: sum over the per-level sketches."""
         return sum(level.memory_bytes() for level in self._levels)
+
+    def synopsis_bytes(self) -> int:
+        """Paper-model (32-bit synopsis) footprint: sum over the levels."""
+        return sum(level.synopsis_bytes() for level in self._levels)
 
     def level_sketch(self, level: int) -> ECMSketch:
         """Direct access to the sketch maintaining ranges of length ``2**level``."""

@@ -328,7 +328,7 @@ def ecm_sketch_from_dict(payload: Dict[str, Any]) -> ECMSketch:
         raise ConfigurationError("counter grid shape does not match the configuration")
     for row in range(sketch.depth):
         for column in range(sketch.width):
-            sketch._counters[row][column] = deserialize_counter(counters[row][column])
+            sketch._set_counter(row, column, deserialize_counter(counters[row][column]))
     sketch._total_arrivals = int(payload["total_arrivals"])
     sketch._last_clock = payload["last_clock"]
     sketch.effective_epsilon_sw = payload["effective_epsilon_sw"]

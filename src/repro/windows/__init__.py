@@ -7,6 +7,7 @@ the order-preserving aggregation algorithms of Section 5.
 """
 
 from .base import SlidingWindowCounter, WindowModel
+from .columnar_eh import ColumnarEHStore
 from .deterministic_wave import DeterministicWave, WaveCheckpoint
 from .exact_window import ExactWindowCounter
 from .exponential_histogram import Bucket, ExponentialHistogram
@@ -27,6 +28,7 @@ __all__ = [
     "SlidingWindowCounter",
     "WindowModel",
     "Bucket",
+    "ColumnarEHStore",
     "ExponentialHistogram",
     "DeterministicWave",
     "WaveCheckpoint",

@@ -1,0 +1,967 @@
+"""Columnar (structure-of-arrays) storage for exponential-histogram grids.
+
+The reference ECM-sketch layout keeps one
+:class:`~repro.windows.exponential_histogram.ExponentialHistogram` object per
+Count-Min cell: ``w x d`` independent object graphs of per-bucket
+:class:`~repro.windows.exponential_histogram.Bucket` dataclasses in per-level
+deques.  That layout is flexible but defeats vectorization — every batched
+ingest still walks Python deques cell by cell — and its resident footprint is
+dominated by per-bucket object headers.
+
+:class:`ColumnarEHStore` stores *all* ``w x d`` histograms of one sketch in
+shared NumPy arrays::
+
+    starts     float64 (cells, levels, slots)   oldest-arrival clock per bucket
+    ends       float64 (cells, levels, slots)   newest-arrival clock per bucket
+    counts     int32   (cells, levels)          live buckets per level
+    totals     int64   (cells,)                 arrivals ever, per cell
+    uppers     int64   (cells,)                 sum of live bucket sizes
+    oldest_end float64 (cells,)                 lower bound on the oldest live
+                                                bucket end (+inf when empty)
+
+``cells`` indexes the grid row-major (``row * width + column``); the level
+and slot axes grow on demand.  Within one ``(cell, level)`` the live buckets
+occupy ``slots[0:count]`` oldest-first — exactly the deque order of the
+reference implementation — so cascaded merges pop from the left, appends go
+at ``count``, and expiry is a prefix drop followed by a left shift.
+
+Two structural invariants of organically-built exponential histograms keep
+the layout this small (*canonical mode*):
+
+* every bucket at level ``l`` holds exactly ``2**l`` arrivals, so sizes are
+  implied by the level index and no per-bucket size array is needed;
+* clocks of one stream are uniformly ints or uniformly floats, so the
+  "serialize as JSON int" property is a store-wide mode rather than a
+  per-bucket flag.
+
+Both invariants hold for every state this codebase produces (inserts,
+batched ingests, replay-based merges, serialization of those).  Loading a
+state that violates them — e.g. a hand-crafted wire payload with odd bucket
+sizes, or a stream mixing int and float clocks — *demotes* the store: the
+explicit ``sizes``/``start_int``/``end_int`` arrays are materialised and
+batched ingests route through the exact reference fallback
+(materialise -> ``add_batch`` -> reload).  Demotion never loses precision;
+it only gives up the vector fast paths.
+
+Equivalence contract: every operation leaves the grid in a state whose
+materialisation (:meth:`get_counter`) is bucket-for-bucket identical to the
+reference object backend, including serialized byte equality.  The batched
+ingest only takes the deferred-cascade vector path when no bucket can expire
+during a run (the same gate as the reference ``add_batch``); runs that cross
+the window boundary use the reference fallback, which is exact by
+construction.
+"""
+
+from __future__ import annotations
+
+import math
+import numbers
+import sys
+from collections import deque
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.counter_store import CounterStore, RowPayload, RunPayload
+from ..core.errors import ConfigurationError, OutOfOrderArrivalError
+from .base import SlidingWindowCounter, WindowModel, validate_epsilon, validate_window
+from .exponential_histogram import _BULK_EXPANSION_LIMIT, Bucket, ExponentialHistogram
+
+__all__ = ["ColumnarEHStore"]
+
+#: Clock magnitude above which an integer does not round-trip float64 exactly.
+_MAX_EXACT_INT = 1 << 53
+
+#: Initial number of level planes; doubles on demand.
+_INITIAL_LEVELS = 2
+
+#: Store-wide clock modes: every clock so far was an int / was a float; the
+#: store is empty; or the stream mixed both and per-bucket flag arrays are
+#: authoritative.
+_MODE_FLOAT = 0
+_MODE_INT = 1
+_MODE_UNSET = 2
+_MODE_MIXED = -1
+
+
+def _is_int_clock(value: Any) -> bool:
+    """True when ``value`` should serialize as a JSON integer (like the
+    reference backend, which stores the original Python object verbatim)."""
+    return isinstance(value, numbers.Integral) and not isinstance(value, bool)
+
+
+class ColumnarEHStore(CounterStore):
+    """All ``depth x width`` exponential histograms of one sketch, columnar.
+
+    Args:
+        depth: Count-Min depth (number of hash rows).
+        width: Count-Min width (columns per row).
+        epsilon: Relative-error parameter shared by every cell.
+        window: Sliding-window length shared by every cell.
+        model: Time-based or count-based window model.
+    """
+
+    backend_name = "columnar"
+
+    def __init__(
+        self,
+        depth: int,
+        width: int,
+        epsilon: float,
+        window: float,
+        model: WindowModel = WindowModel.TIME_BASED,
+    ) -> None:
+        if depth <= 0 or width <= 0:
+            raise ConfigurationError("depth and width must be positive")
+        self.depth = depth
+        self.width = width
+        self.cells = depth * width
+        self.epsilon = validate_epsilon(epsilon)
+        self.window = validate_window(window)
+        if not isinstance(model, WindowModel):
+            raise ConfigurationError("model must be a WindowModel, got %r" % (model,))
+        self.model = model
+        # Same derivation as ExponentialHistogram.__init__, so a materialised
+        # cell cascades exactly like its object-backend twin.
+        self.k = int(math.ceil(1.0 / self.epsilon))
+        self._max_per = int(math.ceil(self.k / 2.0)) + 1
+        self._slots = self._max_per + 2
+        self._num_levels = _INITIAL_LEVELS
+        cells, levels, slots = self.cells, self._num_levels, self._slots
+        self._starts = np.zeros((cells, levels, slots), dtype=np.float64)
+        self._ends = np.zeros((cells, levels, slots), dtype=np.float64)
+        self._counts = np.zeros((cells, levels), dtype=np.int32)
+        self._totals = np.zeros(cells, dtype=np.int64)
+        self._uppers = np.zeros(cells, dtype=np.int64)
+        self._oldest_end = np.full(cells, np.inf, dtype=np.float64)
+        #: Exact clock of the most recent arrival per cell, kept as the
+        #: original Python object so serialization emits it verbatim.
+        self._last_clocks: List[Optional[float]] = [None] * cells
+        #: Canonical mode: sizes implied by level (2**l) and flags by the
+        #: store-wide clock mode; the arrays below stay unallocated until a
+        #: demoting load.
+        self._sizes: Optional["np.ndarray"] = None
+        self._start_int: Optional["np.ndarray"] = None
+        self._end_int: Optional["np.ndarray"] = None
+        self._flag_mode = _MODE_UNSET
+        # Reusable index vectors for the cascade hot path (grown on demand;
+        # slices of these are views, so no per-call allocations).
+        self._lane_cache = np.arange(256, dtype=np.int64)
+        self._row_cache = np.arange(256, dtype=np.int64)[:, None]
+
+    def _lanes(self, n: int) -> "np.ndarray":
+        if n > self._lane_cache.shape[0]:
+            self._lane_cache = np.arange(max(n, 2 * self._lane_cache.shape[0]), dtype=np.int64)
+        return self._lane_cache[:n]
+
+    def _row_index(self, n: int) -> "np.ndarray":
+        if n > self._row_cache.shape[0]:
+            self._row_cache = np.arange(
+                max(n, 2 * self._row_cache.shape[0]), dtype=np.int64
+            )[:, None]
+        return self._row_cache[:n]
+
+    # ------------------------------------------------------------------ growth
+    def _slot_arrays(self) -> List["np.ndarray"]:
+        """Every allocated ``(cells, levels, slots)`` array."""
+        arrays = [self._starts, self._ends]
+        if self._sizes is not None:
+            arrays.append(self._sizes)
+        if self._start_int is not None:
+            arrays.append(self._start_int)
+            assert self._end_int is not None
+            arrays.append(self._end_int)
+        return arrays
+
+    def _reassign_slot_arrays(self, arrays: List["np.ndarray"]) -> None:
+        self._starts, self._ends = arrays[0], arrays[1]
+        index = 2
+        if self._sizes is not None:
+            self._sizes = arrays[index]
+            index += 1
+        if self._start_int is not None:
+            self._start_int = arrays[index]
+            self._end_int = arrays[index + 1]
+
+    def _ensure_level(self, level: int) -> None:
+        if level < self._num_levels:
+            return
+        # Growing the level axis copies every allocated array, so overshoot
+        # the demand generously: +8 planes of headroom means the next growth
+        # needs ~256x more arrivals in the deepest cell (one level per
+        # doubling), turning the doubling ladder a skewed stream would
+        # otherwise climb (2 -> 4 -> 8 -> 16, each step copying the whole
+        # store) into at most one or two small copies per store lifetime.
+        new_levels = max(level + 8, self._num_levels * 2)
+        pad = new_levels - self._num_levels
+        cells, slots = self.cells, self._slots
+        grown = [
+            np.concatenate([array, np.zeros((cells, pad, slots), dtype=array.dtype)], axis=1)
+            for array in self._slot_arrays()
+        ]
+        self._reassign_slot_arrays(grown)
+        self._counts = np.concatenate(
+            [self._counts, np.zeros((cells, pad), dtype=np.int32)], axis=1
+        )
+        if self._sizes is not None:
+            # Demoted stores keep explicit sizes; newly-added planes are only
+            # ever written before being read, so zero-fill is fine.
+            pass
+        self._num_levels = new_levels
+
+    def _ensure_slots(self, needed: int) -> None:
+        if needed <= self._slots:
+            return
+        new_slots = max(needed, self._slots * 2)
+        pad = new_slots - self._slots
+        cells, levels = self.cells, self._num_levels
+        grown = [
+            np.concatenate([array, np.zeros((cells, levels, pad), dtype=array.dtype)], axis=2)
+            for array in self._slot_arrays()
+        ]
+        self._reassign_slot_arrays(grown)
+        self._slots = new_slots
+
+    # --------------------------------------------------------------- demotions
+    @property
+    def _canonical_sizes(self) -> bool:
+        return self._sizes is None
+
+    def _level_size(self, level: int) -> int:
+        return 1 << level
+
+    def _demote_sizes(self) -> None:
+        """Materialise the explicit per-bucket size array (exotic loads)."""
+        if self._sizes is not None:
+            return
+        sizes = np.empty((self.cells, self._num_levels, self._slots), dtype=np.int64)
+        for level in range(self._num_levels):
+            sizes[:, level, :] = self._level_size(level)
+        self._sizes = sizes
+
+    def _demote_flags(self) -> None:
+        """Materialise the per-bucket int/float flag arrays (mixed clocks)."""
+        if self._start_int is not None:
+            return
+        fill = self._flag_mode == _MODE_INT
+        shape = (self.cells, self._num_levels, self._slots)
+        self._start_int = np.full(shape, fill, dtype=bool)
+        self._end_int = np.full(shape, fill, dtype=bool)
+        self._flag_mode = _MODE_MIXED
+
+    def _note_clock_flag(self, is_int: bool) -> None:
+        """Record one clock's int-ness in the store-wide mode."""
+        if self._flag_mode == _MODE_UNSET:
+            self._flag_mode = _MODE_INT if is_int else _MODE_FLOAT
+        elif self._flag_mode == (_MODE_FLOAT if is_int else _MODE_INT):
+            self._demote_flags()
+
+    # ------------------------------------------------------------- clock maths
+    def _clock_to_float(self, value: Any) -> float:
+        """Exact float64 representation of a clock, or a clear error."""
+        if type(value) is float:
+            return value
+        try:
+            as_float = float(value)
+        except OverflowError as exc:
+            raise ConfigurationError(
+                "the columnar backend requires clocks exactly representable "
+                "as float64; got %r" % (value,)
+            ) from exc
+        if isinstance(value, numbers.Integral):
+            if int(as_float) != int(value):
+                raise ConfigurationError(
+                    "the columnar backend requires clocks exactly representable "
+                    "as float64; got %r" % (value,)
+                )
+        elif as_float != value:
+            raise ConfigurationError(
+                "the columnar backend requires clocks exactly representable "
+                "as float64; got %r" % (value,)
+            )
+        return as_float
+
+    @staticmethod
+    def _require_exact_ints(clocks: "np.ndarray") -> None:
+        if clocks.size and int(np.abs(clocks).max()) > _MAX_EXACT_INT:
+            raise ConfigurationError(
+                "the columnar backend requires clocks exactly representable as "
+                "float64 (|clock| <= 2**53)"
+            )
+
+    def _query_start(self, range_length: Optional[float], now: float) -> float:
+        """Query start clock, mirroring ``resolve_query_bounds`` semantics."""
+        if range_length is None or range_length > self.window:
+            range_length = self.window
+        if range_length <= 0:
+            raise ConfigurationError("query range must be positive, got %r" % (range_length,))
+        return now - range_length
+
+    def _recompute_oldest_end(self, cell: int) -> None:
+        counts = self._counts[cell]
+        live = counts > 0
+        if live.any():
+            self._oldest_end[cell] = self._ends[cell][live, 0].min()
+        else:
+            self._oldest_end[cell] = np.inf
+
+    # ---------------------------------------------------------------- mutation
+    def add_single(self, row: int, column: int, clock: float, count: int = 1) -> None:
+        if count < 0:
+            raise ConfigurationError("count must be non-negative, got %r" % (count,))
+        if count == 0:
+            return
+        cell = row * self.width + column
+        last = self._last_clocks[cell]
+        if last is not None and clock < last:
+            raise OutOfOrderArrivalError(
+                "arrival clock %r is older than the previous arrival %r" % (clock, last)
+            )
+        clock_f = self._clock_to_float(clock)
+        is_int = _is_int_clock(clock)
+        self._note_clock_flag(is_int)
+        if not self._canonical_sizes:
+            # Demoted store (exotic bucket sizes): replay through the
+            # reference implementation, which is exact by construction.
+            histogram = self._materialize(cell)
+            histogram.add(clock, count)
+            self._load_cell(cell, histogram)
+            return
+        self._last_clocks[cell] = clock
+        self._totals[cell] += count
+        for _ in range(count):
+            self._insert_unit(cell, clock_f, is_int)
+        self._expire_cell(cell, clock_f)
+
+    def _insert_unit(self, cell: int, clock_f: float, is_int: bool) -> None:
+        """Append one unit bucket at level 0 and cascade overflowing levels."""
+        counts = self._counts
+        level0_count = int(counts[cell, 0])
+        self._ensure_slots(level0_count + 1)
+        starts, ends = self._starts, self._ends
+        starts[cell, 0, level0_count] = clock_f
+        ends[cell, 0, level0_count] = clock_f
+        start_flags, end_flags = self._start_int, self._end_int
+        if start_flags is not None and end_flags is not None:
+            start_flags[cell, 0, level0_count] = is_int
+            end_flags[cell, 0, level0_count] = is_int
+        live = level0_count + 1
+        counts[cell, 0] = live
+        self._uppers[cell] += 1
+        if clock_f < self._oldest_end[cell]:
+            self._oldest_end[cell] = clock_f
+        max_per = self._max_per
+        if live <= max_per:
+            return
+        level = 0
+        shift_arrays = self._slot_arrays()
+        while live > max_per:
+            merged_start = starts[cell, level, 0]
+            merged_end = ends[cell, level, 1]
+            if start_flags is not None and end_flags is not None:
+                merged_start_int = start_flags[cell, level, 0]
+                merged_end_int = end_flags[cell, level, 1]
+            for array in shift_arrays:
+                view = array[cell, level]
+                view[: live - 2] = view[2:live]
+            counts[cell, level] = live - 2
+            if level + 1 >= self._num_levels:
+                self._ensure_level(level + 1)
+                counts = self._counts
+                starts, ends = self._starts, self._ends
+                start_flags, end_flags = self._start_int, self._end_int
+                shift_arrays = self._slot_arrays()
+            next_count = int(counts[cell, level + 1])
+            if next_count + 1 > self._slots:
+                # Only reachable through exotic loaded states; reallocation
+                # invalidates every local alias.
+                self._ensure_slots(next_count + 1)
+                starts, ends = self._starts, self._ends
+                start_flags, end_flags = self._start_int, self._end_int
+                shift_arrays = self._slot_arrays()
+            starts[cell, level + 1, next_count] = merged_start
+            ends[cell, level + 1, next_count] = merged_end
+            if start_flags is not None and end_flags is not None:
+                start_flags[cell, level + 1, next_count] = merged_start_int
+                end_flags[cell, level + 1, next_count] = merged_end_int
+            live = next_count + 1
+            counts[cell, level + 1] = live
+            level += 1
+
+    def _expire_cell(self, cell: int, now_f: float) -> None:
+        threshold = now_f - self.window
+        if self._oldest_end[cell] > threshold:
+            # Nothing can have left the window: the scalar reference scan
+            # would be a pure no-op.
+            return
+        counts = self._counts
+        for level in range(self._num_levels):
+            live = int(counts[cell, level])
+            if not live:
+                continue
+            # Within-level buckets are time-ordered, so expired ones form a
+            # prefix.
+            expired = int((self._ends[cell, level, :live] <= threshold).sum())
+            if not expired:
+                continue
+            if self._sizes is None:
+                self._uppers[cell] -= expired * self._level_size(level)
+            else:
+                self._uppers[cell] -= int(self._sizes[cell, level, :expired].sum())
+            for array in self._slot_arrays():
+                view = array[cell, level]
+                view[: live - expired] = view[expired:live]
+            counts[cell, level] = live - expired
+        self._recompute_oldest_end(cell)
+
+    # ------------------------------------------------------------ batched adds
+    def ingest_sorted_row(
+        self,
+        row: int,
+        run_columns: Sequence[int],
+        run_starts: Sequence[int],
+        run_stops: Sequence[int],
+        clocks: RunPayload,
+        values: Optional[RunPayload],
+    ) -> None:
+        self.ingest_sorted_rows([(row, run_columns, run_starts, run_stops, clocks, values)])
+
+    def ingest_sorted_rows(self, payloads: Sequence[RowPayload]) -> None:
+        """All hash rows of one batch in a single vectorized cascade.
+
+        Rows address disjoint cell ranges, so their column-grouped runs can
+        be concatenated into one run list and cascaded together — this is
+        where the columnar layout pays off: one pass over shared arrays
+        instead of ``depth`` separate passes.
+        """
+        vector_rows: List[RowPayload] = []
+        slow_rows: List[RowPayload] = []
+        int_flag: Optional[bool] = None
+        for payload in payloads:
+            clocks, values = payload[4], payload[5]
+            vector_ready = (
+                self._canonical_sizes
+                and isinstance(clocks, np.ndarray)
+                and clocks.dtype.kind in "iuf"
+                and (
+                    values is None
+                    or (isinstance(values, np.ndarray) and values.dtype.kind in "iu")
+                )
+            )
+            if vector_ready:
+                assert isinstance(clocks, np.ndarray)
+                flag = clocks.dtype.kind in "iu"
+                if self._flag_mode not in (_MODE_UNSET, _MODE_INT if flag else _MODE_FLOAT):
+                    vector_ready = False  # mixed-clock store: flags per bucket
+                elif int_flag is None:
+                    int_flag = flag
+                elif int_flag != flag:
+                    vector_ready = False  # rows of one batch share their dtype
+            if vector_ready:
+                vector_rows.append(payload)
+            else:
+                slow_rows.append(payload)
+        for row, run_columns, run_starts, run_stops, clocks, values in slow_rows:
+            base = row * self.width
+            clocks_list = clocks.tolist() if isinstance(clocks, np.ndarray) else clocks
+            values_list = values.tolist() if isinstance(values, np.ndarray) else values
+            for column, start, stop in zip(run_columns, run_starts, run_stops):
+                self._fallback_run(
+                    base + column,
+                    clocks_list[start:stop],
+                    None if values_list is None else values_list[start:stop],
+                )
+        if not vector_rows:
+            return
+        assert int_flag is not None
+        first_clocks = vector_rows[0][4]
+        assert isinstance(first_clocks, np.ndarray)
+        if int_flag:
+            self._require_exact_ints(first_clocks)
+        self._note_clock_flag(int_flag)
+        if len(vector_rows) == 1:
+            row, run_columns, run_starts, run_stops, clocks, values = vector_rows[0]
+            cells = row * self.width + np.asarray(run_columns, dtype=np.int64)
+            offsets = np.empty(len(run_starts) + 1, dtype=np.int64)
+            offsets[:-1] = run_starts
+            offsets[-1] = run_stops[-1]
+            values_array = None if values is None else np.asarray(values)
+            self._ingest_runs(cells, np.asarray(clocks), offsets, int_flag, values_array)
+            return
+        cell_blocks = []
+        offset_blocks = [np.zeros(1, dtype=np.int64)]
+        clock_blocks = []
+        value_blocks = [] if vector_rows[0][5] is not None else None
+        shift = 0
+        for row, run_columns, run_starts, run_stops, clocks, values in vector_rows:
+            cell_blocks.append(row * self.width + np.asarray(run_columns, dtype=np.int64))
+            block = np.asarray(list(run_starts[1:]) + [run_stops[-1]], dtype=np.int64)
+            offset_blocks.append(block + shift)
+            shift += int(run_stops[-1])
+            clock_blocks.append(np.asarray(clocks))
+            if value_blocks is not None:
+                value_blocks.append(np.asarray(values))
+        self._ingest_runs(
+            np.concatenate(cell_blocks),
+            np.concatenate(clock_blocks),
+            np.concatenate(offset_blocks),
+            int_flag,
+            None if value_blocks is None else np.concatenate(value_blocks),
+        )
+
+    def _fallback_run(
+        self, cell: int, clocks: Sequence[float], values: Optional[Sequence[int]]
+    ) -> None:
+        """Exact-by-construction slow path: replay through the reference EH."""
+        histogram = self._materialize(cell)
+        histogram.add_batch(clocks, values, assume_ordered=True)
+        self._load_cell(cell, histogram)
+
+    def _ingest_runs(
+        self,
+        cells: "np.ndarray",
+        clocks: "np.ndarray",
+        offsets: "np.ndarray",
+        int_flag: bool,
+        values: Optional["np.ndarray"],
+    ) -> None:
+        """Column-grouped runs for distinct cells, vectorized across cells.
+
+        ``clocks[offsets[i]:offsets[i+1]]`` is the arrival run of ``cells[i]``
+        (cells are distinct — one run per Count-Min cell).  Runs that cannot
+        expire anything mid-run take the deferred-cascade vector path; the
+        rest replay through the reference implementation.
+        """
+        run_lengths = np.diff(offsets)
+        if values is not None:
+            unit_bounds = np.concatenate(([0], np.cumsum(values)))[offsets]
+            unit_lengths = np.diff(unit_bounds)
+        else:
+            unit_lengths = run_lengths
+        last_clock_idx = offsets[1:] - 1
+        final_threshold = clocks[last_clock_idx] - self.window
+        first_clocks = clocks[offsets[:-1]].astype(np.float64)
+        # The cached oldest_end is a lower bound on the true oldest live
+        # bucket end, so this gate is at least as strict as the reference
+        # add_batch gate: passing it guarantees that replaying the run
+        # unit-by-unit would never expire anything, which is exactly the
+        # precondition under which the deferred cascade is state-identical.
+        fast = (final_threshold < self._oldest_end[cells]) & (final_threshold < first_clocks)
+        if values is not None:
+            fast &= unit_lengths <= _BULK_EXPANSION_LIMIT
+        if not fast.all():
+            slow_runs = np.flatnonzero(~fast)
+            for index in slow_runs.tolist():
+                low, high = int(offsets[index]), int(offsets[index + 1])
+                self._fallback_run(
+                    int(cells[index]),
+                    clocks[low:high].tolist(),
+                    None if values is None else values[low:high].tolist(),
+                )
+            fast_runs = np.flatnonzero(fast)
+            if not fast_runs.size:
+                return
+            element_fast = np.repeat(fast, run_lengths)
+            if values is None:
+                unit_clocks = clocks[element_fast].astype(np.float64)
+            else:
+                unit_clocks = np.repeat(
+                    clocks[element_fast], values[element_fast]
+                ).astype(np.float64)
+            fast_cells = cells[fast_runs]
+            fast_units = unit_lengths[fast_runs]
+            fast_first = first_clocks[fast_runs]
+            fast_last_idx = last_clock_idx[fast_runs]
+        else:
+            if values is None:
+                unit_clocks = clocks.astype(np.float64)
+            else:
+                unit_clocks = np.repeat(clocks, values).astype(np.float64)
+            fast_cells = cells
+            fast_units = unit_lengths
+            fast_first = first_clocks
+            fast_last_idx = last_clock_idx
+        unit_offsets = np.concatenate(([0], np.cumsum(fast_units)))
+        self._deferred_cascade(fast_cells, unit_clocks, unit_offsets, fast_units)
+        # Bookkeeping identical to the reference path.
+        self._totals[fast_cells] += fast_units
+        self._uppers[fast_cells] += fast_units
+        self._oldest_end[fast_cells] = np.minimum(self._oldest_end[fast_cells], fast_first)
+        last_values = clocks[fast_last_idx].tolist()
+        last_clocks = self._last_clocks
+        for cell, value in zip(fast_cells.tolist(), last_values):
+            last_clocks[cell] = value
+
+    def _deferred_cascade(
+        self,
+        cells: "np.ndarray",
+        unit_clocks: "np.ndarray",
+        unit_offsets: "np.ndarray",
+        unit_counts: "np.ndarray",
+    ) -> None:
+        """Append each cell's unit run at level 0 and cascade all levels.
+
+        Equivalent to the reference ``_add_unit_run``: appending every unit
+        bucket first and then merging each level's oldest pairs greedily
+        yields the same final structure as interleaving merges after every
+        insert, because arrivals only ever land at the newest end of a level
+        while merges only ever consume the two oldest buckets.
+
+        Canonical-mode specialisation: level-0 buckets are unit buckets
+        (``start == end``, size 1), so level 0 cascades a single clock field;
+        higher levels cascade ``(start, end)`` pairs and sizes stay implied
+        by the level index throughout.
+        """
+        max_units = int(unit_counts.max())
+        lane = self._lanes(max_units)[None, :]
+        gather = np.minimum(unit_offsets[:-1, None] + lane, unit_clocks.size - 1)
+        padded_units = unit_clocks[gather]
+        # ---- level 0: one clock field ------------------------------------
+        self._ensure_level(0)
+        existing = self._counts[cells, 0].astype(np.int64)
+        totals = existing + unit_counts
+        sequence = self._compact_level(cells, 0, self._ends, padded_units, existing, totals)
+        merges, retained = self._apply_level(cells, 0, sequence, sequence, existing, totals)
+        if merges is None:
+            return
+        incoming_starts = sequence[:, 0 : 2 * int(merges.max()) : 2]
+        incoming_ends = sequence[:, 1 : 2 * int(merges.max()) : 2]
+        incoming_counts = merges
+        active = cells
+        level = 1
+        while True:
+            keep = incoming_counts > 0
+            if not keep.all():
+                if not keep.any():
+                    return
+                active = active[keep]
+                incoming_starts = incoming_starts[keep]
+                incoming_ends = incoming_ends[keep]
+                incoming_counts = incoming_counts[keep]
+            self._ensure_level(level)
+            existing = self._counts[active, level].astype(np.int64)
+            totals = existing + incoming_counts
+            seq_starts = self._compact_level(
+                active, level, self._starts, incoming_starts, existing, totals
+            )
+            seq_ends = self._compact_level(
+                active, level, self._ends, incoming_ends, existing, totals
+            )
+            merges, retained = self._apply_level(
+                active, level, seq_starts, seq_ends, existing, totals
+            )
+            if merges is None:
+                return
+            pair_stop = 2 * int(merges.max())
+            incoming_starts = seq_starts[:, 0:pair_stop:2]
+            incoming_ends = seq_ends[:, 1:pair_stop:2]
+            incoming_counts = merges
+            level += 1
+
+    def _compact_level(
+        self,
+        cells: "np.ndarray",
+        level: int,
+        slot_array: "np.ndarray",
+        incoming: "np.ndarray",
+        existing: "np.ndarray",
+        totals: "np.ndarray",
+    ) -> "np.ndarray":
+        """Per-cell ``[existing buckets | incoming buckets]`` as a padded matrix."""
+        total_max = int(totals.max())
+        num_cells = cells.shape[0]
+        if not existing.any():
+            if incoming.shape[1] == total_max:
+                return incoming
+            return incoming[:, :total_max]
+        # Place the existing slots first, then scatter incoming at each
+        # cell's own offset; one spare lane absorbs the clipped tails of
+        # cells with fewer incoming buckets.
+        slots = self._slots
+        sequence = np.empty((num_cells, total_max + 1), dtype=np.float64)
+        copy_width = min(slots, total_max + 1)
+        sequence[:, :copy_width] = slot_array[cells, level, :copy_width]
+        lane = self._lanes(incoming.shape[1])[None, :]
+        scatter = np.minimum(existing[:, None] + lane, total_max)
+        sequence[self._row_index(num_cells), scatter] = incoming
+        return sequence[:, :total_max]
+
+    def _apply_level(
+        self,
+        cells: "np.ndarray",
+        level: int,
+        seq_starts: "np.ndarray",
+        seq_ends: "np.ndarray",
+        existing: "np.ndarray",
+        totals: "np.ndarray",
+    ) -> Tuple[Optional["np.ndarray"], "np.ndarray"]:
+        """Write one level's retained buckets back; return the merge counts."""
+        max_per = self._max_per
+        # (totals - max_per + 1) // 2 clamped at zero: the arithmetic shift
+        # floors negatives, so one maximum() replaces the where().
+        merges = np.maximum((totals - (max_per - 1)) >> 1, 0)
+        retained = totals - 2 * merges
+        retained_max = int(retained.max())
+        total_max = seq_ends.shape[1]
+        merges_max = int(merges.max())
+        if merges_max == 0:
+            # Nothing overflows: the sequences are already final — append the
+            # incoming region in place (the existing prefix is unchanged).
+            width = retained_max
+            self._starts[cells, level, :width] = seq_starts[:, :width]
+            self._ends[cells, level, :width] = seq_ends[:, :width]
+            self._counts[cells, level] = retained
+            return None, retained
+        retain_index = np.minimum(
+            2 * merges[:, None] + self._lanes(retained_max)[None, :],
+            max(total_max - 1, 0),
+        )
+        rows = self._row_index(cells.shape[0])
+        self._starts[cells, level, :retained_max] = seq_starts[rows, retain_index]
+        self._ends[cells, level, :retained_max] = seq_ends[rows, retain_index]
+        self._counts[cells, level] = retained
+        return merges, retained
+
+    # ------------------------------------------------------------------ expiry
+    def expire_all(self, now: float) -> None:
+        threshold = now - self.window
+        candidates = np.flatnonzero(self._oldest_end <= threshold)
+        if not candidates.size:
+            return
+        counts = self._counts[candidates]
+        slots = self._slots
+        valid = np.arange(slots)[None, None, :] < counts[:, :, None]
+        ends = self._ends[candidates]
+        # Within-level buckets are time-ordered, so the expired set is a
+        # per-level prefix and the sum directly gives the shift distance.
+        expired_mask = valid & (ends <= threshold)
+        drop = expired_mask.sum(axis=2, dtype=np.int64)
+        if drop.any():
+            if self._sizes is None:
+                level_sizes = np.left_shift(
+                    np.int64(1), np.arange(self._num_levels, dtype=np.int64)
+                )
+                removed = (drop * level_sizes[None, :]).sum(axis=1)
+            else:
+                removed = (self._sizes[candidates] * expired_mask).sum(axis=(1, 2))
+            self._uppers[candidates] -= removed
+            shift_index = np.minimum(
+                np.arange(slots)[None, None, :] + drop[:, :, None], slots - 1
+            )
+            for array in self._slot_arrays():
+                array[candidates] = np.take_along_axis(array[candidates], shift_index, axis=2)
+            self._counts[candidates] = (counts - drop).astype(np.int32)
+        # Exact refresh: these cells were flagged by the (lower bound) cache.
+        new_counts = self._counts[candidates]
+        first_ends = self._ends[candidates][:, :, 0]
+        self._oldest_end[candidates] = np.where(
+            new_counts > 0, first_ends, np.inf
+        ).min(axis=1)
+
+    # ----------------------------------------------------------------- queries
+    def _cell_sizes(self, cell: int) -> "np.ndarray":
+        if self._sizes is not None:
+            return self._sizes[cell]
+        powers = np.left_shift(np.int64(1), np.arange(self._num_levels, dtype=np.int64))
+        return np.broadcast_to(powers[:, None], (self._num_levels, self._slots))
+
+    def estimate(
+        self, row: int, column: int, range_length: Optional[float] = None, now: Optional[float] = None
+    ) -> float:
+        cell = row * self.width + column
+        if now is None:
+            last = self._last_clocks[cell]
+            now = last if last is not None else 0.0
+        start = self._query_start(range_length, now)
+        counts = self._counts[cell]
+        if not counts.any():
+            return 0.0
+        valid = np.arange(self._slots)[None, :] < counts[:, None]
+        ends = self._ends[cell]
+        in_window = valid & (ends > start)
+        if not in_window.any():
+            return 0.0
+        sizes = self._cell_sizes(cell)
+        total = float(sizes[in_window].sum())
+        masked_ends = np.where(in_window, ends, np.inf)
+        min_end = masked_ends.min()
+        tie = in_window & (ends == min_end)
+        masked_starts = np.where(tie, self._starts[cell], np.inf)
+        flat = int(masked_starts.argmin())
+        level, slot = divmod(flat, self._slots)
+        bucket_start = self._starts[cell, level, slot]
+        if bucket_start <= start:
+            total -= float(sizes[level, slot]) / 2.0
+        return total
+
+    def estimate_cells(
+        self, cells: "np.ndarray", range_length: Optional[float], now: float
+    ) -> "np.ndarray":
+        start = self._query_start(range_length, now)
+        slots = self._slots
+        levels = self._num_levels
+        counts = self._counts[cells]
+        valid = np.arange(slots)[None, None, :] < counts[:, :, None]
+        ends = self._ends[cells]
+        in_window = valid & (ends > start)
+        if self._sizes is None:
+            level_sizes = np.left_shift(np.int64(1), np.arange(levels, dtype=np.int64))
+            totals = (in_window.sum(axis=2) * level_sizes[None, :]).sum(axis=1).astype(np.float64)
+            sizes_flat = np.broadcast_to(
+                level_sizes[None, :, None], (cells.shape[0], levels, slots)
+            ).reshape(cells.shape[0], levels * slots)
+        else:
+            sizes = self._sizes[cells]
+            totals = np.where(in_window, sizes, 0).sum(axis=(1, 2)).astype(np.float64)
+            sizes_flat = sizes.reshape(cells.shape[0], levels * slots)
+        num = cells.shape[0]
+        flat_window = in_window.reshape(num, levels * slots)
+        has_overlap = flat_window.any(axis=1)
+        masked_ends = np.where(in_window, ends, np.inf).reshape(num, levels * slots)
+        min_ends = masked_ends.min(axis=1)
+        tie = flat_window & (masked_ends == min_ends[:, None])
+        masked_starts = np.where(tie, self._starts[cells].reshape(num, levels * slots), np.inf)
+        oldest = masked_starts.argmin(axis=1)
+        rows = np.arange(num)
+        oldest_starts = masked_starts[rows, oldest]
+        oldest_sizes = sizes_flat[rows, oldest]
+        partial = has_overlap & (oldest_starts <= start)
+        return totals - np.where(partial, oldest_sizes / 2.0, 0.0)
+
+    def estimate_grid(self, range_length: Optional[float], now: float) -> List[List[float]]:
+        estimates = self.estimate_cells(np.arange(self.cells, dtype=np.int64), range_length, now)
+        return estimates.reshape(self.depth, self.width).tolist()
+
+    # --------------------------------------------------------- cell interchange
+    def get_counter(self, row: int, column: int) -> SlidingWindowCounter:
+        return self._materialize(row * self.width + column)
+
+    def _materialize(self, cell: int) -> ExponentialHistogram:
+        """An object-backend twin of one cell (bucket-for-bucket identical)."""
+        histogram = ExponentialHistogram(
+            epsilon=self.epsilon, window=self.window, model=self.model
+        )
+        counts = self._counts[cell]
+        live_levels = np.flatnonzero(counts)
+        used = int(live_levels[-1]) + 1 if live_levels.size else 0
+        uniform_int = self._flag_mode == _MODE_INT
+        levels: List[deque] = []
+        for level in range(used):
+            bucket_deque: deque = deque()
+            live = int(counts[level])
+            if live:
+                starts = self._starts[cell, level, :live].tolist()
+                ends = self._ends[cell, level, :live].tolist()
+                if self._sizes is None:
+                    sizes: List[int] = [self._level_size(level)] * live
+                else:
+                    sizes = self._sizes[cell, level, :live].tolist()
+                if self._start_int is None:
+                    start_ints = [uniform_int] * live
+                    end_ints = start_ints
+                else:
+                    start_ints = self._start_int[cell, level, :live].tolist()
+                    end_ints = self._end_int[cell, level, :live].tolist()
+                for j in range(live):
+                    start = int(starts[j]) if start_ints[j] else starts[j]
+                    end = int(ends[j]) if end_ints[j] else ends[j]
+                    bucket_deque.append(Bucket(sizes[j], start, end))
+            levels.append(bucket_deque)
+        histogram._levels = levels
+        histogram._total_arrivals = int(self._totals[cell])
+        histogram._in_window_upper = int(self._uppers[cell])
+        histogram._last_clock = self._last_clocks[cell]
+        return histogram
+
+    def set_counter(self, row: int, column: int, counter: SlidingWindowCounter) -> None:
+        if not isinstance(counter, ExponentialHistogram):
+            raise ConfigurationError(
+                "the columnar backend only stores exponential histograms; got %r"
+                % (type(counter).__name__,)
+            )
+        if (
+            counter.epsilon != self.epsilon
+            or counter.window != self.window
+            or counter.model is not self.model
+        ):
+            raise ConfigurationError(
+                "cannot load a counter with different epsilon/window/model into "
+                "a columnar store"
+            )
+        self._load_cell(row * self.width + column, counter)
+
+    def _load_cell(self, cell: int, histogram: ExponentialHistogram) -> None:
+        levels = histogram._levels
+        # Detect whether this state preserves canonical mode before writing.
+        if self._canonical_sizes:
+            for level, bucket_deque in enumerate(levels):
+                expected = 1 << level
+                for bucket in bucket_deque:
+                    if bucket.size != expected or (level == 0 and bucket.start != bucket.end):
+                        self._demote_sizes()
+                        break
+                if not self._canonical_sizes:
+                    break
+        if self._start_int is None:
+            for bucket_deque in levels:
+                for bucket in bucket_deque:
+                    self._note_clock_flag(_is_int_clock(bucket.start))
+                    if self._start_int is not None:
+                        break
+                    self._note_clock_flag(_is_int_clock(bucket.end))
+                    if self._start_int is not None:
+                        break
+                if self._start_int is not None:
+                    break
+        self._counts[cell, :] = 0
+        if levels:
+            self._ensure_level(len(levels) - 1)
+            self._ensure_slots(max(len(level) for level in levels))
+        sizes_array = self._sizes
+        start_flags = self._start_int
+        end_flags = self._end_int
+        for level, bucket_deque in enumerate(levels):
+            for slot, bucket in enumerate(bucket_deque):
+                self._starts[cell, level, slot] = self._clock_to_float(bucket.start)
+                self._ends[cell, level, slot] = self._clock_to_float(bucket.end)
+                if sizes_array is not None:
+                    sizes_array[cell, level, slot] = int(bucket.size)
+                if start_flags is not None and end_flags is not None:
+                    start_flags[cell, level, slot] = _is_int_clock(bucket.start)
+                    end_flags[cell, level, slot] = _is_int_clock(bucket.end)
+            self._counts[cell, level] = len(bucket_deque)
+        if len(levels) < self._num_levels:
+            self._counts[cell, len(levels):] = 0
+        self._totals[cell] = int(histogram.total_arrivals())
+        self._uppers[cell] = int(histogram.arrivals_in_window_upper_bound())
+        self._last_clocks[cell] = histogram.last_clock
+        self._recompute_oldest_end(cell)
+
+    # -------------------------------------------------------------- accounting
+    def bucket_count(self, row: int, column: int) -> int:
+        """Live buckets of one cell (no materialisation needed)."""
+        return int(self._counts[row * self.width + column].sum())
+
+    def total_buckets(self) -> int:
+        """Live buckets across the whole grid."""
+        return int(self._counts.sum())
+
+    def memory_bytes(self) -> int:
+        """True allocation of the backing arrays plus per-cell metadata."""
+        arrays = self._slot_arrays() + [
+            self._counts,
+            self._totals,
+            self._uppers,
+            self._oldest_end,
+        ]
+        array_bytes = sum(array.nbytes for array in arrays)
+        return int(array_bytes) + sys.getsizeof(self._last_clocks)
+
+    def synopsis_bytes(self) -> int:
+        """Paper-model footprint: identical to the object backend's report."""
+        # Per cell: 3 x 32 bits per bucket plus two 32-bit overhead fields,
+        # floor-divided per cell — the exact ExponentialHistogram formula.
+        return 12 * self.total_buckets() + 8 * self.cells
+
+    def resident_bytes(self) -> int:
+        return self.memory_bytes()

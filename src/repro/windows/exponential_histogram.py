@@ -26,6 +26,7 @@ Both time-based and count-based windows are supported through the common
 from __future__ import annotations
 
 import math
+import sys
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Iterator, List, Optional, Sequence
@@ -472,6 +473,27 @@ class ExponentialHistogram(SlidingWindowCounter):
         per_bucket_bits = 3 * _FIELD_BITS
         overhead_bits = 2 * _FIELD_BITS  # window length + arrival counter
         return (self.bucket_count() * per_bucket_bits + overhead_bits) // 8
+
+    def resident_bytes(self) -> int:
+        """Estimated true resident memory of the Python object graph.
+
+        Unlike :meth:`memory_bytes` (the paper's 32-bit synopsis model), this
+        walks what the process actually holds: the histogram object, the
+        level deques, and one :class:`Bucket` object plus three boxed scalars
+        per bucket.  It is what the columnar backend's array footprint should
+        be compared against.
+        """
+        total = sys.getsizeof(self) + sys.getsizeof(self._levels)
+        for level in self._levels:
+            total += sys.getsizeof(level)
+            for bucket in level:
+                total += (
+                    sys.getsizeof(bucket)
+                    + sys.getsizeof(bucket.size)
+                    + sys.getsizeof(bucket.start)
+                    + sys.getsizeof(bucket.end)
+                )
+        return total
 
     # ----------------------------------------------------------------- misc
     def is_empty(self) -> bool:

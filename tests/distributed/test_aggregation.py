@@ -40,7 +40,7 @@ class TestStreamNode:
         node = StreamNode(node_id=1, config=_config())
         node.observe_stream(uniform_trace)
         assert node.records_processed == len(uniform_trace)
-        assert node.upload_bytes() == node.sketch.memory_bytes()
+        assert node.upload_bytes() == node.sketch.synopsis_bytes()
 
     def test_invalid_node_id(self):
         with pytest.raises(ConfigurationError):

@@ -137,7 +137,9 @@ class TestECMSketchRoundTrips:
         for key in list(uniform_trace.keys())[:15]:
             assert restored.point_query(key, now=now) == sketch.point_query(key, now=now)
         assert restored.total_arrivals() == sketch.total_arrivals()
-        assert restored.memory_bytes() == sketch.memory_bytes()
+        # Logical state is identical; allocation granularity of the columnar
+        # arrays may differ, so compare the backend-independent synopsis.
+        assert restored.synopsis_bytes() == sketch.synopsis_bytes()
 
     def test_restored_sketch_still_aggregates(self, uniform_trace):
         config = ECMConfig.for_point_queries(epsilon=0.1, delta=0.1, window=WINDOW)
@@ -180,7 +182,7 @@ class TestHierarchicalRoundTrips:
         )
         assert restored.range_query(3, 40, now=now) == stack.range_query(3, 40, now=now)
         assert restored.total_arrivals() == stack.total_arrivals()
-        assert restored.memory_bytes() == stack.memory_bytes()
+        assert restored.synopsis_bytes() == stack.synopsis_bytes()
 
     def test_restored_stack_keeps_ingesting_and_aggregates(self, rng):
         stacks = []
@@ -310,4 +312,4 @@ class TestJsonLayer:
         for record in uniform_trace:
             sketch.add(record.key, record.timestamp, record.value)
         payload = dumps(sketch)
-        assert len(payload) < 40 * sketch.memory_bytes()
+        assert len(payload) < 40 * sketch.synopsis_bytes()
