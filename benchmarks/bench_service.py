@@ -1,0 +1,248 @@
+"""Benchmarks of the live sketch service (`repro serve` + `repro replay`).
+
+Covers the serving-path acceptance claims:
+
+* **Sustained ingest with concurrent queries** — a real ``repro serve``
+  subprocess (flat mode, EH columnar backend) must sustain at least 50k
+  arrivals/sec through the replay driver at batch size 1024 while answering
+  interleaved point/self-join queries; latency percentiles are reported.
+* **Hierarchical serving** — the same drive against a hierarchical-mode
+  server (point/heavy-hitter/quantile query mix), reported for trajectory.
+* **Snapshot/restore fidelity** — a service snapshotted mid-stream and
+  restored into a fresh process must produce byte-identical sketch state
+  and query answers to an uninterrupted run (asserted unconditionally, not
+  only under ``REPRO_BENCH_STRICT``); snapshot write/load timings and sizes
+  are reported.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_service.py
+[--json out.json]``) for the report the CI benchmark job archives, or via
+``pytest benchmarks/bench_service.py`` (``REPRO_BENCH_STRICT=1`` arms the
+50k arrivals/sec floor).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.serialization import dumps
+from repro.service import ServiceConfig, SketchService, run_replay, wait_for_server
+from repro.streams import WorldCupSyntheticTrace
+
+#: Acceptance floor on sustained ingest (arrivals/second), flat EH columnar.
+THROUGHPUT_FLOOR = 50_000.0
+#: Records replayed against the flat server.
+FLAT_RECORDS = 65_536
+#: Records replayed against the hierarchical server.
+HIER_RECORDS = 16_384
+#: Ingest batch size of the acceptance run.
+BATCH_SIZE = 1_024
+#: One query every this many ingest batches.
+QUERY_EVERY = 8
+
+_SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src"))
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _spawn_server(mode: str, port: int, extra: Optional[List[str]] = None) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--mode", mode, "--backend", "columnar", "--batch-size", str(BATCH_SIZE)]
+        + (extra or []),
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        wait_for_server(port=port)
+    except TimeoutError:
+        if process.poll() is not None:
+            raise RuntimeError("server exited early:\n%s" % (process.stdout.read(),))
+        process.kill()
+        raise
+    return process
+
+
+def _stop_server(process: subprocess.Popen) -> None:
+    if process.poll() is None:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.communicate(timeout=60)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.communicate(timeout=30)
+
+
+def _drive(mode: str, records: int, extra: Optional[List[str]] = None) -> Dict[str, Any]:
+    """Boot a `repro serve` subprocess, run the replay driver, report."""
+    port = _free_port()
+    server = _spawn_server(mode, port, extra)
+    try:
+        report = asyncio.run(
+            run_replay(
+                port=port,
+                records=records,
+                batch_size=BATCH_SIZE,
+                query_every=QUERY_EVERY,
+            )
+        )
+    finally:
+        _stop_server(server)
+    return {
+        "records": report.records,
+        "batch_size": BATCH_SIZE,
+        "elapsed_seconds": report.elapsed_seconds,
+        "drain_seconds": report.drain_seconds,
+        "arrivals_per_second": report.achieved_rate,
+        "queries": report.queries,
+        "query_p50_ms": report.query_p50_ms,
+        "query_p99_ms": report.query_p99_ms,
+        "server_memory_bytes": report.server_stats.get("memory_bytes", 0),
+    }
+
+
+def _snapshot_fidelity(tmp_dir: str) -> Dict[str, Any]:
+    """Mid-stream snapshot -> restore must equal an uninterrupted run, byte for byte."""
+    records = 20_000
+    trace = WorldCupSyntheticTrace(num_records=records, seed=21).generate()
+    keys = [record.key for record in trace]
+    clocks = [record.timestamp for record in trace]
+    half = records // 2
+    snapshot_path = os.path.join(tmp_dir, "bench-service-snapshot.json")
+    config = ServiceConfig(mode="flat", batch_size=BATCH_SIZE, snapshot_path=snapshot_path)
+    probe_keys = sorted(set(keys))[:128]
+
+    async def interrupted() -> Any:
+        async with SketchService(config) as service:
+            await service.ingest(keys[:half], clocks[:half])
+            await service.drain()
+            write_start = time.perf_counter()
+            path = service.snapshot_now()
+            write_seconds = time.perf_counter() - write_start
+            # Measure now: the shutdown snapshots of both full runs will
+            # overwrite this file with full-stream state later.
+            snapshot_bytes = os.path.getsize(path)
+        load_start = time.perf_counter()
+        restored = SketchService.from_snapshot(path)
+        load_seconds = time.perf_counter() - load_start
+        async with restored:
+            await restored.ingest(keys[half:], clocks[half:])
+            await restored.drain()
+            answers = [restored.query("point", {"key": key}) for key in probe_keys]
+            return dumps(restored.state), answers, write_seconds, load_seconds, snapshot_bytes
+
+    async def uninterrupted() -> Any:
+        async with SketchService(config) as service:
+            await service.ingest(keys, clocks)
+            await service.drain()
+            answers = [service.query("point", {"key": key}) for key in probe_keys]
+            return dumps(service.state), answers
+
+    restored_bytes, restored_answers, write_seconds, load_seconds, snapshot_bytes = (
+        asyncio.run(interrupted())
+    )
+    reference_bytes, reference_answers = asyncio.run(uninterrupted())
+    assert restored_bytes == reference_bytes, "restored state diverged from uninterrupted run"
+    assert restored_answers == reference_answers, "restored answers diverged"
+    return {
+        "records": records,
+        "snapshot_bytes": snapshot_bytes,
+        "snapshot_write_seconds": write_seconds,
+        "snapshot_load_seconds": load_seconds,
+        "byte_identical": True,
+        "probe_keys": len(probe_keys),
+    }
+
+
+def _run_service_benchmark(tmp_dir: str) -> Dict[str, Any]:
+    return {
+        "flat": _drive("flat", FLAT_RECORDS),
+        "hierarchical": _drive("hierarchical", HIER_RECORDS, ["--universe-bits", "12"]),
+        "snapshot": _snapshot_fidelity(tmp_dir),
+    }
+
+
+def _format_report(results: Dict[str, Any]) -> List[str]:
+    lines = ["Live sketch service (batch %d, EH columnar backend):" % BATCH_SIZE]
+    for mode in ("flat", "hierarchical"):
+        row = results[mode]
+        lines.append(
+            "  %-13s %6d records   %8.0f arrivals/s   queries p50 %6.2f ms  p99 %6.2f ms"
+            % (
+                mode + ":",
+                row["records"],
+                row["arrivals_per_second"],
+                row["query_p50_ms"],
+                row["query_p99_ms"],
+            )
+        )
+    snap = results["snapshot"]
+    lines.append(
+        "  snapshot:     %6d records   write %6.1f ms   load+restore %6.1f ms   "
+        "%.0f KiB, byte-identical"
+        % (
+            snap["records"],
+            snap["snapshot_write_seconds"] * 1e3,
+            snap["snapshot_load_seconds"] * 1e3,
+            snap["snapshot_bytes"] / 1024.0,
+        )
+    )
+    return lines
+
+
+def test_service_benchmark_report(tmp_path, capsys):
+    """Pytest entry: snapshot fidelity always asserted; strict arms the floor."""
+    results = _run_service_benchmark(str(tmp_path))
+    with capsys.disabled():
+        print()
+        for line in _format_report(results):
+            print(line)
+    assert results["snapshot"]["byte_identical"]
+    assert results["flat"]["records"] == FLAT_RECORDS
+    assert results["flat"]["queries"] > 0, "no queries interleaved with ingest"
+    if os.environ.get("REPRO_BENCH_STRICT") == "1":
+        rate = results["flat"]["arrivals_per_second"]
+        assert rate >= THROUGHPUT_FLOOR, (
+            "flat service sustained %.0f arrivals/s, below the %.0f floor"
+            % (rate, THROUGHPUT_FLOOR)
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    """Standalone report (no pytest needed); optionally persists JSON."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", type=str, default=None, help="write results to this file")
+    args = parser.parse_args(argv)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        results = _run_service_benchmark(tmp_dir)
+    for line in _format_report(results):
+        print(line)
+    if args.json:
+        payload = {"benchmark": "bench_service", **results}
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("results written to %s" % args.json)
+
+
+if __name__ == "__main__":
+    main()

@@ -221,6 +221,75 @@ def build_parser() -> argparse.ArgumentParser:
     hh_parser.add_argument("--output", type=str, default=None,
                            help="write the raw result rows to this .json or .csv file")
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the live sketch service (concurrent ingest/query TCP server)",
+    )
+    serve_parser.add_argument("--host", type=str, default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=7600,
+                              help="TCP port to bind (0 picks a free port; default 7600)")
+    serve_parser.add_argument("--mode", choices=["flat", "hierarchical", "multisite"],
+                              default="flat",
+                              help="served sketch state: one ECM-sketch over arbitrary "
+                                   "keys, a hierarchical stack over an integer universe, "
+                                   "or per-site sketches behind a periodic-aggregation "
+                                   "coordinator")
+    serve_parser.add_argument("--backend", choices=["columnar", "object"], default="columnar",
+                              help="counter-grid storage backend")
+    serve_parser.add_argument("--epsilon", type=float, default=0.05,
+                              help="total point-query error budget (default 0.05)")
+    serve_parser.add_argument("--delta", type=float, default=0.05)
+    serve_parser.add_argument("--window", type=float, default=1_000_000.0,
+                              help="sliding-window length in clock units (default 1e6)")
+    serve_parser.add_argument("--window-model", choices=["time", "count"], default="time")
+    serve_parser.add_argument("--universe-bits", type=_positive_int, default=12,
+                              help="key-universe capacity of the hierarchical mode")
+    serve_parser.add_argument("--sites", type=_positive_int, default=4,
+                              help="observation sites of the multisite mode")
+    serve_parser.add_argument("--period", type=float, default=10_000.0,
+                              help="aggregation period of the multisite mode, in stream "
+                                   "clock units")
+    serve_parser.add_argument("--batch-size", type=_positive_int, default=1_024,
+                              help="micro-batch cap of the ingest loop (add_many call size)")
+    serve_parser.add_argument("--queue-chunks", type=_positive_int, default=64,
+                              help="ingest queue bound, in chunks (backpressure threshold)")
+    serve_parser.add_argument("--expire-every", type=float, default=5.0,
+                              help="seconds between background expire sweeps (0 disables)")
+    serve_parser.add_argument("--snapshot-every", type=float, default=None,
+                              help="seconds between periodic snapshots (requires "
+                                   "--snapshot-path)")
+    serve_parser.add_argument("--snapshot-path", type=str, default=None,
+                              help="snapshot file (atomic replace; also the shutdown "
+                                   "snapshot target)")
+    serve_parser.add_argument("--restore", type=str, default=None, metavar="SNAPSHOT",
+                              help="restore sketch state from this snapshot on boot")
+    serve_parser.add_argument("--seed", type=int, default=0)
+
+    replay_parser = subparsers.add_parser(
+        "replay",
+        help="replay a synthetic trace against a running sketch service",
+    )
+    replay_parser.add_argument("--host", type=str, default="127.0.0.1")
+    replay_parser.add_argument("--port", type=int, default=7600)
+    replay_parser.add_argument("--records", type=_positive_int, default=50_000,
+                               help="trace length (default 50000)")
+    replay_parser.add_argument("--batch-size", type=_positive_int, default=1_024,
+                               help="records per ingest request")
+    replay_parser.add_argument("--rate", type=float, default=None,
+                               help="target arrival rate in records/s (default: as fast "
+                                    "as the server accepts)")
+    replay_parser.add_argument("--query-every", type=int, default=8,
+                               help="issue one query every N ingest batches (0 disables)")
+    replay_parser.add_argument("--dataset", choices=["wc98", "snmp", "uniform"],
+                               default="wc98",
+                               help="flat-mode trace family (hierarchical servers get "
+                                    "integer Zipf keys automatically)")
+    replay_parser.add_argument("--seed", type=int, default=7,
+                               help="trace seed (a serial reference replaying the same "
+                                    "seed sees the exact same stream)")
+    replay_parser.add_argument("--json", type=str, default=None, dest="json_out",
+                               help="also write the report to this JSON file")
+
     return parser
 
 
@@ -316,6 +385,84 @@ def _demo_distributed(
     return matches
 
 
+def _serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """Run the live sketch service until SIGTERM/SIGINT or a shutdown request."""
+    import asyncio
+
+    from .core.config import CounterType
+    from .core.errors import ConfigurationError
+    from .service import ServiceConfig, run_server
+    from .windows.base import WindowModel
+
+    try:
+        config = ServiceConfig(
+            mode=args.mode,
+            epsilon=args.epsilon,
+            delta=args.delta,
+            window=args.window,
+            model=WindowModel(args.window_model),
+            counter_type=CounterType.EXPONENTIAL_HISTOGRAM,
+            backend=args.backend,
+            universe_bits=args.universe_bits,
+            sites=args.sites,
+            period=args.period,
+            batch_size=args.batch_size,
+            queue_chunks=args.queue_chunks,
+            expire_every=args.expire_every if args.expire_every > 0 else None,
+            snapshot_every=args.snapshot_every,
+            snapshot_path=args.snapshot_path,
+            seed=args.seed,
+        )
+    except ConfigurationError as exc:
+        out("error: %s" % (exc,))
+        return 2
+    try:
+        return asyncio.run(
+            run_server(config, host=args.host, port=args.port, restore=args.restore)
+        )
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        return 0
+
+
+def _replay(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """Replay a synthetic trace against a running service and print the report."""
+    import asyncio
+    import json as _json
+
+    from .service import run_replay
+    from .service.client import ServiceRequestError
+
+    try:
+        report = asyncio.run(
+            run_replay(
+                host=args.host,
+                port=args.port,
+                records=args.records,
+                batch_size=args.batch_size,
+                target_rate=args.rate,
+                query_every=args.query_every,
+                seed=args.seed,
+                dataset=args.dataset,
+            )
+        )
+    except ServiceRequestError as exc:
+        # e.g. replaying a second trace whose clocks start below the
+        # server's high-water mark: the server rejects the first chunk.
+        out("error: the service rejected the replay (%s)" % (exc,))
+        return 1
+    except (ConnectionError, OSError) as exc:
+        out("error: could not reach the service at %s:%d (%s)" % (args.host, args.port, exc))
+        return 1
+    for line in report.format_lines():
+        out(line)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            _json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        out("report written to %s" % args.json_out)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = print) -> int:
     """CLI entry point.  Returns a process exit code."""
     parser = build_parser()
@@ -343,6 +490,12 @@ def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = prin
             backend=args.backend,
         )
         return 0
+
+    if args.command == "serve":
+        return _serve(args, out)
+
+    if args.command == "replay":
+        return _replay(args, out)
 
     if args.command == "heavy-hitters":
         rows = run_frequent_items_experiment(

@@ -127,13 +127,25 @@ class PeriodicAggregationCoordinator:
                 per-record path would trigger them.  Rounds, stats and
                 query answers are identical to per-record processing.
         """
+        self.observe_batch(list(stream), batch_size=batch_size)
+
+    def observe_batch(
+        self, records: List[StreamRecord], batch_size: Optional[int] = None
+    ) -> None:
+        """Process one in-order run of records, preserving round semantics.
+
+        This is the reusable core of :meth:`observe_stream` — and the ingest
+        path of the live sketch service (:mod:`repro.service`), which feeds
+        the coordinator micro-batches as they leave its queue.  Aggregation
+        rounds fire at exactly the stream clocks where per-record
+        :meth:`observe` calls would fire them, regardless of ``batch_size``.
+        """
         if batch_size is None:
-            for record in stream:
+            for record in records:
                 self.observe_record(record)
             return
         if batch_size <= 0:
             raise ConfigurationError("batch_size must be positive, got %r" % (batch_size,))
-        records = list(stream)
         position = 0
         total = len(records)
         while position < total:

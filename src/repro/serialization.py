@@ -18,9 +18,10 @@ same result as the original and can keep ingesting new arrivals.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from collections import deque
-from typing import Any, Dict, Union
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from .core.config import CounterType, ECMConfig
 from .core.countmin import CountMinSketch
@@ -51,6 +52,8 @@ __all__ = [
     "hierarchical_from_dict",
     "tracker_to_dict",
     "tracker_from_dict",
+    "to_dict",
+    "from_dict",
     "dumps",
     "loads",
 ]
@@ -292,7 +295,10 @@ def config_from_dict(payload: Dict[str, Any]) -> ECMConfig:
 
 
 # ------------------------------------------------------------------ ECM sketch
-_COUNTER_SERIALIZERS = {
+_COUNTER_SERIALIZERS: Dict[
+    CounterType,
+    Tuple[Callable[[Any], Dict[str, Any]], Callable[[Dict[str, Any]], Any]],
+] = {
     CounterType.EXPONENTIAL_HISTOGRAM: (histogram_to_dict, histogram_from_dict),
     CounterType.DETERMINISTIC_WAVE: (wave_to_dict, wave_from_dict),
     CounterType.RANDOMIZED_WAVE: (randomized_wave_to_dict, randomized_wave_from_dict),
@@ -317,10 +323,22 @@ def ecm_sketch_to_dict(sketch: ECMSketch) -> Dict[str, Any]:
     }
 
 
-def ecm_sketch_from_dict(payload: Dict[str, Any]) -> ECMSketch:
-    """Rebuild an ECM-sketch serialized by :func:`ecm_sketch_to_dict`."""
+def ecm_sketch_from_dict(payload: Dict[str, Any], backend: Optional[str] = None) -> ECMSketch:
+    """Rebuild an ECM-sketch serialized by :func:`ecm_sketch_to_dict`.
+
+    Args:
+        payload: The tagged dictionary.
+        backend: Optional storage-backend override for the rebuilt sketch.
+            The backend is an in-memory layout choice that never travels on
+            the wire (serialized state is byte-identical across backends);
+            callers that know which layout the restored sketch should use —
+            e.g. a service restoring a snapshot under ``backend="object"`` —
+            pass it here instead of accepting the configuration default.
+    """
     _require(payload, "ecm_sketch")
     config = config_from_dict(payload["config"])
+    if backend is not None:
+        config = dataclasses.replace(config, backend=backend)
     sketch = ECMSketch(config, stream_tag=int(payload["stream_tag"]))
     _, deserialize_counter = _COUNTER_SERIALIZERS[config.counter_type]
     counters = payload["counters"]
@@ -356,8 +374,14 @@ def hierarchical_to_dict(stack: HierarchicalECMSketch) -> Dict[str, Any]:
     }
 
 
-def hierarchical_from_dict(payload: Dict[str, Any]) -> HierarchicalECMSketch:
-    """Rebuild a stack serialized by :func:`hierarchical_to_dict`."""
+def hierarchical_from_dict(
+    payload: Dict[str, Any], backend: Optional[str] = None
+) -> HierarchicalECMSketch:
+    """Rebuild a stack serialized by :func:`hierarchical_to_dict`.
+
+    ``backend`` optionally overrides the storage layout of every level
+    sketch, exactly as in :func:`ecm_sketch_from_dict`.
+    """
     _require(payload, "hierarchical_ecm_sketch")
     universe_bits = int(payload["universe_bits"])
     levels = payload["levels"]
@@ -373,7 +397,7 @@ def hierarchical_from_dict(payload: Dict[str, Any]) -> HierarchicalECMSketch:
     stack.counter_type = CounterType(payload["counter_type"])
     stack.seed = int(payload["seed"])
     stack.stream_tag = int(payload["stream_tag"])
-    stack._levels = [ecm_sketch_from_dict(level) for level in levels]
+    stack._levels = [ecm_sketch_from_dict(level, backend=backend) for level in levels]
     stack._total_arrivals = int(payload["total_arrivals"])
     stack._last_clock = payload["last_clock"]
     return stack
@@ -421,7 +445,7 @@ def tracker_from_dict(payload: Dict[str, Any]) -> FrequentItemsTracker:
 
 
 # ------------------------------------------------------------------- JSON layer
-_TO_DICT = {
+_TO_DICT: Dict[type, Callable[[Any], Dict[str, Any]]] = {
     ExponentialHistogram: histogram_to_dict,
     DeterministicWave: wave_to_dict,
     RandomizedWave: randomized_wave_to_dict,
@@ -431,7 +455,7 @@ _TO_DICT = {
     FrequentItemsTracker: tracker_to_dict,
 }
 
-_FROM_DICT = {
+_FROM_DICT: Dict[str, Callable[[Dict[str, Any]], Any]] = {
     "exponential_histogram": histogram_from_dict,
     "deterministic_wave": wave_from_dict,
     "randomized_wave": randomized_wave_from_dict,
@@ -443,16 +467,34 @@ _FROM_DICT = {
 }
 
 
+def to_dict(obj: Union[Serializable, ECMConfig]) -> Dict[str, Any]:
+    """Serialize any wire-format structure to its tagged dictionary form.
+
+    Type-dispatching twin of :func:`dumps` without the JSON layer — callers
+    that embed sketches inside larger documents (e.g. the sketch service's
+    snapshots) compose payloads from this and encode once at the end.
+    """
+    if isinstance(obj, ECMConfig):
+        return config_to_dict(obj)
+    serializer = _TO_DICT.get(type(obj))
+    if serializer is None:
+        raise ConfigurationError("cannot serialize objects of type %r" % (type(obj),))
+    return serializer(obj)
+
+
+def from_dict(payload: Dict[str, Any]) -> Union[Serializable, ECMConfig]:
+    """Rebuild any structure from its tagged dictionary form (see :func:`to_dict`)."""
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise ConfigurationError("payload is missing the 'kind' tag")
+    deserializer = _FROM_DICT.get(payload["kind"])
+    if deserializer is None:
+        raise ConfigurationError("unknown payload kind %r" % (payload["kind"],))
+    return deserializer(payload)
+
+
 def dumps(obj: Union[Serializable, ECMConfig]) -> bytes:
     """Serialize a sketch, synopsis or configuration to JSON bytes."""
-    if isinstance(obj, ECMConfig):
-        payload = config_to_dict(obj)
-    else:
-        serializer = _TO_DICT.get(type(obj))
-        if serializer is None:
-            raise ConfigurationError("cannot serialize objects of type %r" % (type(obj),))
-        payload = serializer(obj)
-    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return json.dumps(to_dict(obj), separators=(",", ":")).encode("utf-8")
 
 
 def loads(data: bytes) -> Union[Serializable, ECMConfig]:
@@ -461,9 +503,4 @@ def loads(data: bytes) -> Union[Serializable, ECMConfig]:
         payload = json.loads(data.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ConfigurationError("payload is not valid JSON: %s" % (exc,)) from exc
-    if not isinstance(payload, dict) or "kind" not in payload:
-        raise ConfigurationError("payload is missing the 'kind' tag")
-    deserializer = _FROM_DICT.get(payload["kind"])
-    if deserializer is None:
-        raise ConfigurationError("unknown payload kind %r" % (payload["kind"],))
-    return deserializer(payload)
+    return from_dict(payload)

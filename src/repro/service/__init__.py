@@ -1,0 +1,56 @@
+"""Long-running sketch service: concurrent ingest/query over a live ECM-sketch.
+
+Every layer below this package runs as a finish-then-report batch job.  The
+paper's setting, however, is a *live* one: coordinators answer sliding-window
+queries at any time over continuously arriving streams.  This package is that
+serving path:
+
+* :class:`~repro.service.core.SketchService` — owns the live sketch state
+  (a flat :class:`~repro.core.ecm_sketch.ECMSketch`, a
+  :class:`~repro.queries.hierarchical.HierarchicalECMSketch`, or a multi-site
+  :class:`~repro.distributed.continuous.PeriodicAggregationCoordinator`)
+  behind a bounded ingest queue.  Arrivals are micro-batched into ``add_many``
+  calls; queries are answered from the live state between batches; background
+  tasks run periodic ``expire`` sweeps and snapshots.
+* :class:`~repro.service.server.SketchServer` — a newline-delimited-JSON TCP
+  front end (``asyncio.start_server``) with graceful drain-on-shutdown.
+* :class:`~repro.service.client.ServiceClient` /
+  :class:`~repro.service.client.SyncServiceClient` — thin protocol clients.
+* :mod:`~repro.service.snapshot` — atomic snapshot/restore of the whole
+  service state on the existing serialization wire format.
+* :mod:`~repro.service.replay` — a load driver that replays a generated
+  stream at a target rate and reports achieved throughput and query latency.
+
+The CLI front ends are ``repro serve`` and ``repro replay``.
+"""
+
+from .config import ServiceConfig
+from .core import IngestRejectedError, ServiceStoppedError, SketchService
+from .client import ServiceClient, SyncServiceClient, wait_for_server
+from .protocol import MAX_LINE_BYTES, ProtocolError, decode_line, encode_message
+from .replay import ReplayReport, build_replay_stream, run_replay
+from .server import SketchServer, run_server
+from .snapshot import load_snapshot, service_state_from_snapshot, snapshot_payload, write_snapshot
+
+__all__ = [
+    "ServiceConfig",
+    "SketchService",
+    "IngestRejectedError",
+    "ServiceStoppedError",
+    "SketchServer",
+    "run_server",
+    "ServiceClient",
+    "SyncServiceClient",
+    "wait_for_server",
+    "ProtocolError",
+    "MAX_LINE_BYTES",
+    "encode_message",
+    "decode_line",
+    "ReplayReport",
+    "build_replay_stream",
+    "run_replay",
+    "snapshot_payload",
+    "write_snapshot",
+    "load_snapshot",
+    "service_state_from_snapshot",
+]

@@ -1,0 +1,271 @@
+"""Thin clients for the sketch-service protocol.
+
+Two flavours over the same newline-delimited-JSON wire format:
+
+* :class:`ServiceClient` — asyncio streams; used by the replay load driver
+  and anything already living in an event loop.
+* :class:`SyncServiceClient` — a blocking socket client for tests, scripts
+  and interactive use; no event loop required.
+
+Both raise :class:`ServiceRequestError` when the server answers
+``{"ok": false}``, carrying the server's error message.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from .protocol import MAX_LINE_BYTES, ProtocolError, decode_line, encode_message
+
+__all__ = ["ServiceRequestError", "ServiceClient", "SyncServiceClient", "wait_for_server"]
+
+
+def wait_for_server(host: str = "127.0.0.1", port: int = 7600, timeout: float = 30.0) -> None:
+    """Block until a server accepts TCP connections on ``host:port``.
+
+    The standard boot handshake for anything spawning ``repro serve`` as a
+    subprocess (tests, benchmarks, scripts): poll with short connects until
+    the listener is up.
+
+    Raises:
+        TimeoutError: Nothing listened within ``timeout`` seconds.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            socket.create_connection((host, port), timeout=0.25).close()
+            return
+        except OSError:
+            time.sleep(0.05)
+    raise TimeoutError("no server listening on %s:%d after %.0f s" % (host, port, timeout))
+
+
+class ServiceRequestError(Exception):
+    """The server rejected a request (``ok: false`` response)."""
+
+
+def _unwrap(response: Dict[str, Any]) -> Any:
+    if not isinstance(response, dict) or "ok" not in response:
+        raise ProtocolError("malformed response: %r" % (response,))
+    if not response["ok"]:
+        raise ServiceRequestError(str(response.get("error", "unknown server error")))
+    return response.get("result")
+
+
+class ServiceClient:
+    """Asyncio client for one sketch-service connection."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1", port: int = 7600) -> "ServiceClient":
+        """Open a connection to a running server."""
+        reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        """Close the connection."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def request(self, message: Dict[str, Any]) -> Any:
+        """Send one request and return its unwrapped result."""
+        self._writer.write(encode_message(message))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return _unwrap(decode_line(line))
+
+    # ------------------------------------------------------------ operations
+    async def ping(self) -> str:
+        return str(await self.request({"op": "ping"}))
+
+    async def info(self) -> Dict[str, Any]:
+        return dict(await self.request({"op": "info"}))
+
+    async def stats(self) -> Dict[str, Any]:
+        return dict(await self.request({"op": "stats"}))
+
+    async def ingest(
+        self,
+        keys: Sequence[Hashable],
+        clocks: Sequence[float],
+        values: Optional[Sequence[int]] = None,
+        site: int = 0,
+    ) -> int:
+        message: Dict[str, Any] = {
+            "op": "ingest", "keys": list(keys), "clocks": list(clocks), "site": site,
+        }
+        if values is not None:
+            message["values"] = list(values)
+        result = await self.request(message)
+        return int(result["accepted"])
+
+    async def drain(self) -> Optional[float]:
+        result = await self.request({"op": "drain"})
+        return result.get("applied_clock")
+
+    async def point(self, key: Hashable, range_length: Optional[float] = None) -> float:
+        message: Dict[str, Any] = {"op": "point", "key": key}
+        if range_length is not None:
+            message["range"] = range_length
+        return float(await self.request(message))
+
+    async def range_query(
+        self, lo: int, hi: int, range_length: Optional[float] = None
+    ) -> float:
+        message: Dict[str, Any] = {"op": "range", "lo": lo, "hi": hi}
+        if range_length is not None:
+            message["range"] = range_length
+        return float(await self.request(message))
+
+    async def heavy_hitters(
+        self, phi: float, range_length: Optional[float] = None
+    ) -> List[Tuple[int, float]]:
+        message: Dict[str, Any] = {"op": "heavy_hitters", "phi": phi}
+        if range_length is not None:
+            message["range"] = range_length
+        return [(int(key), float(estimate)) for key, estimate in await self.request(message)]
+
+    async def quantile(self, fraction: float, range_length: Optional[float] = None) -> int:
+        message: Dict[str, Any] = {"op": "quantile", "fraction": fraction}
+        if range_length is not None:
+            message["range"] = range_length
+        return int(await self.request(message))
+
+    async def self_join(self, range_length: Optional[float] = None) -> float:
+        message: Dict[str, Any] = {"op": "self_join"}
+        if range_length is not None:
+            message["range"] = range_length
+        return float(await self.request(message))
+
+    async def snapshot(self) -> str:
+        result = await self.request({"op": "snapshot"})
+        return str(result["path"])
+
+    async def shutdown(self) -> None:
+        await self.request({"op": "shutdown"})
+
+
+class SyncServiceClient:
+    """Blocking socket client: same operations, no event loop.
+
+    Example:
+        >>> client = SyncServiceClient.connect(port=7600)   # doctest: +SKIP
+        >>> client.ingest(["a", "b"], [1.0, 2.0])           # doctest: +SKIP
+        2
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._socket = sock
+        self._file = sock.makefile("rwb")
+
+    @classmethod
+    def connect(
+        cls, host: str = "127.0.0.1", port: int = 7600, timeout: Optional[float] = 30.0
+    ) -> "SyncServiceClient":
+        """Open a blocking connection to a running server."""
+        sock = socket.create_connection((host, port), timeout=timeout)
+        return cls(sock)
+
+    def close(self) -> None:
+        """Close the connection."""
+        try:
+            self._file.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "SyncServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def request(self, message: Dict[str, Any]) -> Any:
+        """Send one request and return its unwrapped result."""
+        self._file.write(encode_message(message))
+        self._file.flush()
+        line = self._file.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return _unwrap(decode_line(line))
+
+    # ------------------------------------------------------------ operations
+    def ping(self) -> str:
+        return str(self.request({"op": "ping"}))
+
+    def info(self) -> Dict[str, Any]:
+        return dict(self.request({"op": "info"}))
+
+    def stats(self) -> Dict[str, Any]:
+        return dict(self.request({"op": "stats"}))
+
+    def ingest(
+        self,
+        keys: Sequence[Hashable],
+        clocks: Sequence[float],
+        values: Optional[Sequence[int]] = None,
+        site: int = 0,
+    ) -> int:
+        message: Dict[str, Any] = {
+            "op": "ingest", "keys": list(keys), "clocks": list(clocks), "site": site,
+        }
+        if values is not None:
+            message["values"] = list(values)
+        return int(self.request(message)["accepted"])
+
+    def drain(self) -> Optional[float]:
+        return self.request({"op": "drain"}).get("applied_clock")
+
+    def point(self, key: Hashable, range_length: Optional[float] = None) -> float:
+        message: Dict[str, Any] = {"op": "point", "key": key}
+        if range_length is not None:
+            message["range"] = range_length
+        return float(self.request(message))
+
+    def range_query(self, lo: int, hi: int, range_length: Optional[float] = None) -> float:
+        message: Dict[str, Any] = {"op": "range", "lo": lo, "hi": hi}
+        if range_length is not None:
+            message["range"] = range_length
+        return float(self.request(message))
+
+    def heavy_hitters(
+        self, phi: float, range_length: Optional[float] = None
+    ) -> List[Tuple[int, float]]:
+        message: Dict[str, Any] = {"op": "heavy_hitters", "phi": phi}
+        if range_length is not None:
+            message["range"] = range_length
+        return [(int(key), float(estimate)) for key, estimate in self.request(message)]
+
+    def quantile(self, fraction: float, range_length: Optional[float] = None) -> int:
+        message: Dict[str, Any] = {"op": "quantile", "fraction": fraction}
+        if range_length is not None:
+            message["range"] = range_length
+        return int(self.request(message))
+
+    def self_join(self, range_length: Optional[float] = None) -> float:
+        message: Dict[str, Any] = {"op": "self_join"}
+        if range_length is not None:
+            message["range"] = range_length
+        return float(self.request(message))
+
+    def snapshot(self) -> str:
+        return str(self.request({"op": "snapshot"})["path"])
+
+    def shutdown(self) -> None:
+        self.request({"op": "shutdown"})

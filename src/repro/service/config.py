@@ -1,0 +1,174 @@
+"""Configuration of the live sketch service.
+
+One :class:`ServiceConfig` fully determines the served sketch state (mode,
+error budgets, window, backend) plus the service-level knobs (micro-batch
+size, queue bound, background periods).  It round-trips through plain
+dictionaries so snapshots can embed it and a restored process can rebuild an
+identically parameterised service without re-specifying flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..core.config import CounterType
+from ..core.errors import ConfigurationError
+from ..windows.base import WindowModel
+
+__all__ = ["ServiceConfig", "SERVICE_MODES"]
+
+#: Supported service modes.
+#:
+#: * ``"flat"`` — one :class:`~repro.core.ecm_sketch.ECMSketch` over arbitrary
+#:   scalar keys; point / self-join / arrivals queries.
+#: * ``"hierarchical"`` — one
+#:   :class:`~repro.queries.hierarchical.HierarchicalECMSketch` over an integer
+#:   universe; adds range / heavy-hitter / quantile queries.
+#: * ``"multisite"`` — ``sites`` local sketches behind a
+#:   :class:`~repro.distributed.continuous.PeriodicAggregationCoordinator`;
+#:   queries are answered from the latest aggregation round (stale by at most
+#:   one period).
+SERVICE_MODES = ("flat", "hierarchical", "multisite")
+
+
+@dataclass
+class ServiceConfig:
+    """Full parameterisation of a :class:`~repro.service.core.SketchService`.
+
+    Attributes:
+        mode: One of :data:`SERVICE_MODES`.
+        epsilon: Total point-query error budget of the served sketches.
+        delta: Failure probability of the served sketches.
+        window: Sliding-window length (stream-clock units, or arrivals for
+            count-based windows).
+        model: Time-based or count-based window model.
+        counter_type: Sliding-window counter algorithm (EH by default).
+        backend: Counter-grid storage backend (``"columnar"``/``"object"``).
+        universe_bits: Key-universe capacity of the hierarchical mode
+            (``2**universe_bits`` distinct integer keys).
+        sites: Number of observation sites of the multisite mode.
+        period: Aggregation period of the multisite mode, in stream-clock
+            units.
+        batch_size: Micro-batch cap of the ingest loop: queued chunks are
+            coalesced into ``add_many`` calls of at most this many arrivals.
+        queue_chunks: Bound of the ingest queue, in chunks.  A full queue
+            suspends producers (and, through the TCP server, stops reading
+            from their sockets) — that is the backpressure path.
+        expire_every: Wall-clock period of the background ``expire`` sweep,
+            in seconds (``None`` disables the sweep).
+        snapshot_every: Wall-clock period of the background snapshot task,
+            in seconds (``None`` disables periodic snapshots).
+        snapshot_path: Where snapshots are written (atomic replace).  Also
+            the target of the final drain-on-shutdown snapshot.
+        max_arrivals: Arrival cap per window for wave counters.
+        seed: Hash seed shared by all served sketches.
+    """
+
+    mode: str = "flat"
+    epsilon: float = 0.05
+    delta: float = 0.05
+    window: float = 1_000_000.0
+    model: WindowModel = WindowModel.TIME_BASED
+    counter_type: CounterType = CounterType.EXPONENTIAL_HISTOGRAM
+    backend: str = "columnar"
+    universe_bits: int = 12
+    sites: int = 4
+    period: float = 10_000.0
+    batch_size: int = 1_024
+    queue_chunks: int = 64
+    expire_every: Optional[float] = 5.0
+    snapshot_every: Optional[float] = None
+    snapshot_path: Optional[str] = None
+    max_arrivals: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in SERVICE_MODES:
+            raise ConfigurationError(
+                "mode must be one of %s, got %r" % (", ".join(SERVICE_MODES), self.mode)
+            )
+        if self.batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive, got %r" % (self.batch_size,))
+        if self.queue_chunks <= 0:
+            raise ConfigurationError("queue_chunks must be positive, got %r" % (self.queue_chunks,))
+        if self.mode == "multisite" and self.sites <= 0:
+            raise ConfigurationError("sites must be positive, got %r" % (self.sites,))
+        if self.mode == "multisite" and self.period <= 0:
+            raise ConfigurationError("period must be positive, got %r" % (self.period,))
+        if self.expire_every is not None and self.expire_every <= 0:
+            raise ConfigurationError("expire_every must be positive, got %r" % (self.expire_every,))
+        if self.snapshot_every is not None and self.snapshot_every <= 0:
+            raise ConfigurationError(
+                "snapshot_every must be positive, got %r" % (self.snapshot_every,)
+            )
+        if self.snapshot_every is not None and self.snapshot_path is None:
+            raise ConfigurationError("snapshot_every requires snapshot_path")
+
+    # ------------------------------------------------------------- wire form
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dictionary form (JSON-compatible scalars only)."""
+        return {
+            "mode": self.mode,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "window": self.window,
+            "model": self.model.value,
+            "counter_type": self.counter_type.value,
+            "backend": self.backend,
+            "universe_bits": self.universe_bits,
+            "sites": self.sites,
+            "period": self.period,
+            "batch_size": self.batch_size,
+            "queue_chunks": self.queue_chunks,
+            "expire_every": self.expire_every,
+            "snapshot_every": self.snapshot_every,
+            "snapshot_path": self.snapshot_path,
+            "max_arrivals": self.max_arrivals,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ServiceConfig":
+        """Rebuild a configuration serialized by :meth:`to_dict`."""
+        try:
+            return cls(
+                mode=payload["mode"],
+                epsilon=payload["epsilon"],
+                delta=payload["delta"],
+                window=payload["window"],
+                model=WindowModel(payload["model"]),
+                counter_type=CounterType(payload["counter_type"]),
+                backend=payload["backend"],
+                universe_bits=int(payload["universe_bits"]),
+                sites=int(payload["sites"]),
+                period=payload["period"],
+                batch_size=int(payload["batch_size"]),
+                queue_chunks=int(payload["queue_chunks"]),
+                expire_every=payload.get("expire_every"),
+                snapshot_every=payload.get("snapshot_every"),
+                snapshot_path=payload.get("snapshot_path"),
+                max_arrivals=payload.get("max_arrivals"),
+                seed=int(payload.get("seed", 0)),
+            )
+        except (KeyError, ValueError) as exc:
+            raise ConfigurationError("malformed service config payload: %s" % (exc,)) from exc
+
+    # --------------------------------------------------------------- summary
+    def describe(self) -> Dict[str, Any]:
+        """The subset of the configuration a client needs to build matching load."""
+        info: Dict[str, Any] = {
+            "mode": self.mode,
+            "epsilon": self.epsilon,
+            "window": self.window,
+            "model": self.model.value,
+            "counter_type": self.counter_type.value,
+            "backend": self.backend,
+            "batch_size": self.batch_size,
+        }
+        if self.mode == "hierarchical":
+            info["universe_bits"] = self.universe_bits
+        if self.mode == "multisite":
+            info["sites"] = self.sites
+            info["period"] = self.period
+        return info

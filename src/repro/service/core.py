@@ -1,0 +1,715 @@
+"""The live sketch service core: one sketch, one ingest queue, many queries.
+
+:class:`SketchService` owns the live sketch state of one serving process and
+everything that mutates it:
+
+* **Ingest** goes through a bounded :class:`asyncio.Queue` of column chunks.
+  A single consumer task coalesces queued chunks into micro-batches of at
+  most ``batch_size`` arrivals and applies them with the batched fast path
+  (``add_many`` / the coordinator's batched observe), yielding to the event
+  loop between batches.  A full queue suspends producers — that is the
+  backpressure path, and the TCP server propagates it to the socket by simply
+  not reading the next request line until ``ingest`` returns.
+* **Queries** are answered synchronously from the live state.  The event
+  loop is single-threaded, so a query never observes a half-applied batch:
+  it runs either before or after an ``add_many`` call, both of which are
+  consistent sketch states.  Answers therefore trail acknowledged ingest by
+  at most the queue content (use ``drain`` as a read-your-writes barrier).
+* **Background tasks** run the periodic ``expire`` sweep (so quiet cells
+  shed out-of-window state without waiting for their next arrival) and
+  periodic snapshots.  In multisite mode, aggregation rounds fire inside the
+  ingest path itself, at exactly the stream clocks where
+  :class:`~repro.distributed.continuous.PeriodicAggregationCoordinator`
+  would fire them.
+
+Ordering contract: arrival clocks must be globally non-decreasing across all
+producers (the sliding-window structures require in-order streams).  The
+service validates each chunk against its high-water mark *before* enqueueing
+and rejects violations at acknowledgement time, so the apply path never
+fails mid-batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.config import ECMConfig
+from ..core.ecm_sketch import ECMSketch
+from ..core.errors import EmptyStructureError
+from ..distributed.continuous import PeriodicAggregationCoordinator
+from ..queries.hierarchical import HierarchicalECMSketch
+from ..streams.stream import StreamRecord
+from .config import ServiceConfig
+
+__all__ = [
+    "ServiceError",
+    "IngestRejectedError",
+    "ServiceStoppedError",
+    "SketchService",
+]
+
+ServiceState = Union[ECMSketch, HierarchicalECMSketch, PeriodicAggregationCoordinator]
+
+
+class ServiceError(Exception):
+    """Base class of service-level failures."""
+
+
+class IngestRejectedError(ServiceError):
+    """An ingest chunk failed validation and was not enqueued."""
+
+
+class ServiceStoppedError(ServiceError):
+    """The service is draining or stopped and accepts no new work."""
+
+
+@dataclass
+class _IngestChunk:
+    """One validated, not-yet-applied column chunk."""
+
+    site: int
+    keys: List[Hashable]
+    clocks: List[float]
+    values: Optional[List[int]]
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+class SketchService:
+    """Concurrent ingest/query service over one live sketch state.
+
+    Args:
+        config: Full service parameterisation.
+        state: Pre-built sketch state (used by snapshot restore); when
+            ``None`` a fresh state is built from ``config``.
+        records_ingested: Ingest counter carried over from a snapshot.
+        applied_clock: Stream clock carried over from a snapshot.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        state: Optional[ServiceState] = None,
+        records_ingested: int = 0,
+        applied_clock: Optional[float] = None,
+    ) -> None:
+        self.config = config
+        self.state: ServiceState = state if state is not None else self._build_state(config)
+        self.records_ingested = records_ingested
+        self.ingest_batches = 0
+        self.ingest_apply_errors = 0
+        self.background_errors = 0
+        self.snapshots_written = 0
+        self.last_snapshot_path: Optional[str] = None
+        self._applied_clock: Optional[float] = applied_clock
+        self._submitted_clock: Optional[float] = applied_clock
+        self._pending_arrivals = 0
+        self._started_monotonic = time.monotonic()
+        self._snapshot_lock = asyncio.Lock()
+        self._queue: Optional["asyncio.Queue[_IngestChunk]"] = None
+        self._ingest_task: Optional["asyncio.Task[None]"] = None
+        self._background_tasks: List["asyncio.Task[None]"] = []
+        self._stopping = False
+
+    # -------------------------------------------------------------- building
+    @staticmethod
+    def _build_state(config: ServiceConfig) -> ServiceState:
+        ecm_config = ECMConfig.for_point_queries(
+            epsilon=config.epsilon,
+            delta=config.delta,
+            window=config.window,
+            model=config.model,
+            counter_type=config.counter_type,
+            max_arrivals=config.max_arrivals,
+            seed=config.seed,
+            backend=config.backend,
+        )
+        if config.mode == "flat":
+            return ECMSketch(ecm_config)
+        if config.mode == "hierarchical":
+            return HierarchicalECMSketch(
+                universe_bits=config.universe_bits,
+                epsilon=config.epsilon,
+                delta=config.delta,
+                window=config.window,
+                model=config.model,
+                counter_type=config.counter_type,
+                max_arrivals=config.max_arrivals,
+                seed=config.seed,
+                backend=config.backend,
+            )
+        return PeriodicAggregationCoordinator(
+            num_nodes=config.sites, config=ecm_config, period=config.period
+        )
+
+    @classmethod
+    def from_snapshot(cls, path: Union[str, os.PathLike]) -> "SketchService":
+        """Rebuild a service from a snapshot written by :meth:`snapshot_now`."""
+        from .snapshot import load_snapshot, service_state_from_snapshot
+
+        payload = load_snapshot(path)
+        return service_state_from_snapshot(payload)
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Create the ingest queue and spawn the consumer and background tasks."""
+        if self._queue is not None:
+            raise ServiceError("service already started")
+        self._queue = asyncio.Queue(maxsize=self.config.queue_chunks)
+        self._stopping = False
+        self._ingest_task = asyncio.create_task(self._ingest_loop(), name="sketch-ingest")
+        if self.config.expire_every is not None:
+            self._background_tasks.append(
+                asyncio.create_task(self._expire_loop(), name="sketch-expire")
+            )
+        if self.config.snapshot_every is not None:
+            self._background_tasks.append(
+                asyncio.create_task(self._snapshot_loop(), name="sketch-snapshot")
+            )
+
+    async def stop(self, drain: bool = True) -> Optional[str]:
+        """Stop the service; optionally drain the queue and snapshot first.
+
+        Returns:
+            The path of the final snapshot, when one was written.
+        """
+        self._stopping = True
+        final_snapshot: Optional[str] = None
+        if drain and self._queue is not None:
+            await self._queue.join()
+        if self._ingest_task is not None:
+            self._ingest_task.cancel()
+            try:
+                await self._ingest_task
+            except asyncio.CancelledError:
+                pass
+            self._ingest_task = None
+        for task in self._background_tasks:
+            task.cancel()
+        for task in self._background_tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+            except Exception:
+                # Already counted/reported by _background_failure (or the
+                # task died before the guards existed); a stale background
+                # error must not abort the shutdown path below — the final
+                # drain snapshot still has to happen.
+                pass
+        self._background_tasks = []
+        if drain and self.config.snapshot_path is not None:
+            final_snapshot = self.snapshot_now()
+        self._queue = None
+        return final_snapshot
+
+    async def __aenter__(self) -> "SketchService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop(drain=True)
+
+    # ---------------------------------------------------------------- ingest
+    def _validate_chunk(
+        self,
+        keys: Sequence[Hashable],
+        clocks: Sequence[float],
+        values: Optional[Sequence[int]],
+        site: int,
+    ) -> _IngestChunk:
+        if self._stopping or self._queue is None:
+            raise ServiceStoppedError("service is not accepting ingest")
+        n = len(keys)
+        if n == 0:
+            raise IngestRejectedError("empty ingest chunk")
+        if len(clocks) != n:
+            raise IngestRejectedError(
+                "clocks length %d does not match keys length %d" % (len(clocks), n)
+            )
+        if values is not None and len(values) != n:
+            raise IngestRejectedError(
+                "values length %d does not match keys length %d" % (len(values), n)
+            )
+        self._validate_clocks(clocks)
+        if values is not None:
+            for value in values:
+                if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                    raise IngestRejectedError(
+                        "values must be non-negative integers, got %r" % (value,)
+                    )
+        mode = self.config.mode
+        if mode == "hierarchical":
+            universe = 1 << self.config.universe_bits
+            for key in keys:
+                if not isinstance(key, int) or isinstance(key, bool) or not (0 <= key < universe):
+                    raise IngestRejectedError(
+                        "hierarchical keys must be integers in [0, %d), got %r" % (universe, key)
+                    )
+        else:
+            # Flat/multisite keys arrive as arbitrary JSON values; an
+            # unhashable one (list, dict) would otherwise blow up inside
+            # add_many *after* the chunk was acknowledged, killing the
+            # consumer task.  Validation happens here, before the ack.
+            for key in keys:
+                try:
+                    hash(key)
+                except TypeError:
+                    raise IngestRejectedError(
+                        "keys must be hashable scalars, got %s" % (type(key).__name__,)
+                    ) from None
+        if mode == "multisite":
+            if not isinstance(site, int) or not (0 <= site < self.config.sites):
+                raise IngestRejectedError(
+                    "site must be an integer in [0, %d), got %r" % (self.config.sites, site)
+                )
+        # Clocks are passed through as-is: count-based windows carry integer
+        # clocks, and coercing them to float would change the serialized
+        # state relative to a serial reference run (1 vs 1.0 on the wire).
+        return _IngestChunk(
+            site=site,
+            keys=list(keys),
+            clocks=list(clocks),
+            values=list(values) if values is not None else None,
+        )
+
+    #: Chunk size from which clock validation switches to the vectorized
+    #: NumPy pass; below it, per-element checks are cheaper (and give the
+    #: precise offending value in the error message).
+    _VECTOR_VALIDATE_CUTOFF = 64
+
+    def _validate_clocks(self, clocks: Sequence[float]) -> None:
+        """Reject non-numeric, non-finite or out-of-order clocks, pre-ack.
+
+        Finiteness matters for more than hygiene: every comparison against
+        NaN is False, so one NaN clock would disable the ordering high-water
+        mark for the rest of the stream.  Large chunks validate through one
+        vectorized pass — this runs per arrival on the ack hot path.
+        """
+        previous = self._submitted_clock
+        if len(clocks) >= self._VECTOR_VALIDATE_CUTOFF:
+            array = np.asarray(clocks)
+            if (
+                array.ndim == 1
+                and array.dtype != np.bool_
+                and (np.issubdtype(array.dtype, np.floating)
+                     or np.issubdtype(array.dtype, np.integer))
+            ):
+                if not np.isfinite(array).all():
+                    raise IngestRejectedError("clocks must be finite")
+                if (np.diff(array) < 0).any() or (
+                    previous is not None and float(array[0]) < previous
+                ):
+                    raise IngestRejectedError(
+                        "out-of-order clocks (high-water mark %r); arrival clocks "
+                        "must be globally non-decreasing" % (previous,)
+                    )
+                return
+            # Mixed/object dtype: fall through to the scalar walk, which
+            # names the offending element.
+        for clock in clocks:
+            if not isinstance(clock, (int, float)) or isinstance(clock, bool):
+                raise IngestRejectedError("clocks must be numbers, got %r" % (clock,))
+            if not math.isfinite(clock):
+                raise IngestRejectedError("clocks must be finite, got %r" % (clock,))
+            if previous is not None and clock < previous:
+                raise IngestRejectedError(
+                    "out-of-order clock %r (high-water mark %r); arrival clocks "
+                    "must be globally non-decreasing" % (clock, previous)
+                )
+            previous = clock
+
+    async def ingest(
+        self,
+        keys: Sequence[Hashable],
+        clocks: Sequence[float],
+        values: Optional[Sequence[int]] = None,
+        site: int = 0,
+    ) -> int:
+        """Validate and enqueue one chunk of arrivals; returns the accepted count.
+
+        The returned acknowledgement means *accepted and ordered*, not yet
+        applied: a crash before the next snapshot loses unapplied chunks, and
+        queries reflect the chunk only after it leaves the queue (await
+        :meth:`drain` for a barrier).  When the queue is full this call
+        suspends until the consumer frees a slot — backpressure, not loss.
+        """
+        chunk = self._validate_chunk(keys, clocks, values, site)
+        assert self._queue is not None  # _validate_chunk guarantees started
+        self._submitted_clock = chunk.clocks[-1]
+        self._pending_arrivals += len(chunk)
+        await self._queue.put(chunk)
+        return len(chunk)
+
+    async def drain(self) -> None:
+        """Resolve once every acknowledged arrival has been applied."""
+        if self._queue is None:
+            raise ServiceStoppedError("service is not started")
+        await self._queue.join()
+
+    async def _ingest_loop(self) -> None:
+        assert self._queue is not None
+        queue = self._queue
+        batch_cap = self.config.batch_size
+        while True:
+            chunks = [await queue.get()]
+            total = len(chunks[0])
+            # Coalesce whatever else is already queued, up to the micro-batch
+            # cap, so a burst of small client chunks still ingests through
+            # few large add_many calls.
+            while total < batch_cap:
+                try:
+                    chunk = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                chunks.append(chunk)
+                total += len(chunk)
+            # _apply_chunks decrements _pending_arrivals per applied group
+            # and runs synchronously (no await), so no other coroutine can
+            # touch the counter between this capture and the except below.
+            pending_before = self._pending_arrivals
+            try:
+                self._apply_chunks(chunks)
+            except Exception:
+                # Validation runs before the ack, so an apply failure is a
+                # bug — but one that must not kill the consumer: a dead
+                # consumer would silently strand every later acknowledged
+                # chunk and deadlock drain().  Drop the batch, count it,
+                # keep consuming.  The absolute assignment (not -=) avoids
+                # double-counting groups _apply_chunks already decremented
+                # before it raised.
+                self._pending_arrivals = pending_before - total
+                self.ingest_apply_errors += 1
+            finally:
+                for _ in chunks:
+                    queue.task_done()
+            # Yield between micro-batches so queued queries interleave with
+            # a sustained ingest flood instead of starving behind it.
+            await asyncio.sleep(0)
+
+    def _apply_chunks(self, chunks: List[_IngestChunk]) -> None:
+        """Apply coalesced chunks in arrival order, grouped per site."""
+        state = self.state
+        batch_cap = self.config.batch_size
+        index = 0
+        while index < len(chunks):
+            # Merge consecutive chunks from the same site into one call.
+            head = chunks[index]
+            site = head.site
+            group_size = len(head)
+            scan = index + 1
+            while scan < len(chunks):
+                candidate = chunks[scan]
+                if (
+                    candidate.site != site
+                    or group_size + len(candidate) > batch_cap
+                    or (head.values is None) != (candidate.values is None)
+                ):
+                    break
+                group_size += len(candidate)
+                scan += 1
+            if scan == index + 1:
+                # Steady-state common case (consumer keeping up, one chunk
+                # per micro-batch): hand the chunk's own lists to add_many —
+                # _validate_chunk already copied them, a second copy here
+                # would just be hot-path waste.
+                keys: List[Hashable] = head.keys
+                clocks: List[float] = head.clocks
+                values: Optional[List[int]] = head.values
+            else:
+                keys = []
+                clocks = []
+                values = [] if head.values is not None else None
+                for chunk in chunks[index:scan]:
+                    keys.extend(chunk.keys)
+                    clocks.extend(chunk.clocks)
+                    if values is not None and chunk.values is not None:
+                        values.extend(chunk.values)
+            if isinstance(state, PeriodicAggregationCoordinator):
+                records = [
+                    StreamRecord(
+                        timestamp=clocks[i],
+                        key=keys[i],
+                        node=site,
+                        value=values[i] if values is not None else 1,
+                    )
+                    for i in range(len(keys))
+                ]
+                state.observe_batch(records, batch_size=batch_cap)
+            else:
+                for start in range(0, len(keys), batch_cap):
+                    stop = start + batch_cap
+                    state.add_many(
+                        keys[start:stop],
+                        clocks[start:stop],
+                        values[start:stop] if values is not None else None,
+                    )
+            count = len(keys)
+            weight = count if values is None else sum(values)
+            self.records_ingested += weight
+            self._pending_arrivals -= count
+            self._applied_clock = clocks[-1]
+            self.ingest_batches += 1
+            index = scan
+
+    # ----------------------------------------------------- background sweeps
+    def _background_failure(self, task_name: str, error: Exception) -> None:
+        """Count and report a background-task failure without dying.
+
+        A transient error (disk full during a snapshot, say) must not
+        silently kill the loop — the service would keep serving while its
+        durability quietly stopped.  The loop retries on its next period;
+        the counter surfaces the problem in ``stats()``.
+        """
+        self.background_errors += 1
+        print(
+            "sketch-service: background %s failed (%s: %s); will retry"
+            % (task_name, type(error).__name__, error),
+            file=sys.stderr,
+            flush=True,
+        )
+
+    async def _expire_loop(self) -> None:
+        assert self.config.expire_every is not None
+        while True:
+            await asyncio.sleep(self.config.expire_every)
+            try:
+                self.expire_now()
+            except Exception as exc:
+                self._background_failure("expire sweep", exc)
+
+    def expire_now(self) -> None:
+        """Sweep out-of-window state from every served sketch, immediately."""
+        clock = self._applied_clock
+        if clock is None:
+            return
+        state = self.state
+        if isinstance(state, ECMSketch):
+            state.expire(clock)
+        elif isinstance(state, HierarchicalECMSketch):
+            for level in range(state.universe_bits):
+                state.level_sketch(level).expire(clock)
+        else:
+            for node in state.nodes:
+                node.sketch.expire(clock)
+
+    async def _snapshot_loop(self) -> None:
+        assert self.config.snapshot_every is not None
+        while True:
+            await asyncio.sleep(self.config.snapshot_every)
+            try:
+                await self.snapshot_async()
+            except Exception as exc:
+                self._background_failure("snapshot", exc)
+
+    async def snapshot_async(self) -> str:
+        """Snapshot without stalling the event loop for the disk write.
+
+        The payload is built on the loop (that is what makes it a consistent
+        cut between micro-batches), but the JSON encode + fsync + rename —
+        tens of milliseconds even for modest states — run in the default
+        executor so ingest and queries keep flowing.
+        """
+        from .snapshot import snapshot_payload, write_snapshot
+
+        if self.config.snapshot_path is None:
+            raise ServiceError("no snapshot_path configured")
+        # One snapshot at a time: with concurrent writers (the periodic loop
+        # plus a protocol `snapshot` op), an older payload could finish its
+        # os.replace *after* a newer one and silently roll the file back.
+        async with self._snapshot_lock:
+            payload = snapshot_payload(self)
+            loop = asyncio.get_running_loop()
+            path = await loop.run_in_executor(
+                None, write_snapshot, self.config.snapshot_path, payload
+            )
+        self.snapshots_written += 1
+        self.last_snapshot_path = path
+        return path
+
+    def snapshot_now(self) -> str:
+        """Write an atomic snapshot of the applied state; returns the path.
+
+        Synchronous (blocks the caller, and the event loop when called from
+        it) — the right tool at shutdown and in scripts; the periodic
+        snapshot task and the ``snapshot`` protocol op use
+        :meth:`snapshot_async` instead.
+        """
+        from .snapshot import snapshot_payload, write_snapshot
+
+        if self.config.snapshot_path is None:
+            raise ServiceError("no snapshot_path configured")
+        path = write_snapshot(self.config.snapshot_path, snapshot_payload(self))
+        self.snapshots_written += 1
+        self.last_snapshot_path = path
+        return path
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def applied_clock(self) -> Optional[float]:
+        """Stream clock of the most recent *applied* arrival."""
+        return self._applied_clock
+
+    def query(self, op: str, message: Dict[str, Any]) -> Any:
+        """Answer one query operation against the live state.
+
+        Raises:
+            ServiceError: Unknown or mode-incompatible operation, or missing
+                parameters.
+            EmptyStructureError: Multisite queries before the first round.
+        """
+        handler = _QUERY_HANDLERS.get(op)
+        if handler is None:
+            raise ServiceError("unknown query op %r" % (op,))
+        return handler(self, message)
+
+    def _require_flat(self) -> ECMSketch:
+        if not isinstance(self.state, ECMSketch):
+            raise ServiceError("operation requires mode=flat (running %s)" % self.config.mode)
+        return self.state
+
+    def _require_hierarchical(self) -> HierarchicalECMSketch:
+        if not isinstance(self.state, HierarchicalECMSketch):
+            raise ServiceError(
+                "operation requires mode=hierarchical (running %s)" % self.config.mode
+            )
+        return self.state
+
+    def _require_multisite(self) -> PeriodicAggregationCoordinator:
+        if not isinstance(self.state, PeriodicAggregationCoordinator):
+            raise ServiceError("operation requires mode=multisite (running %s)" % self.config.mode)
+        return self.state
+
+    def _query_point(self, message: Dict[str, Any]) -> float:
+        key = _require_param(message, "key")
+        range_length = message.get("range")
+        state = self.state
+        if isinstance(state, PeriodicAggregationCoordinator):
+            return float(state.query_frequency(key, range_length))
+        if isinstance(state, HierarchicalECMSketch):
+            return float(state.point_query(_as_int_key(key), range_length))
+        return float(state.point_query(key, range_length))
+
+    def _query_range(self, message: Dict[str, Any]) -> float:
+        stack = self._require_hierarchical()
+        lo = _as_int_key(_require_param(message, "lo"))
+        hi = _as_int_key(_require_param(message, "hi"))
+        return float(stack.range_query(lo, hi, message.get("range")))
+
+    def _query_heavy_hitters(self, message: Dict[str, Any]) -> List[Tuple[int, float]]:
+        stack = self._require_hierarchical()
+        phi = float(_require_param(message, "phi"))
+        hitters = stack.heavy_hitters(phi, message.get("range"))
+        return sorted(hitters.items(), key=lambda item: (-item[1], item[0]))
+
+    def _query_quantile(self, message: Dict[str, Any]) -> int:
+        stack = self._require_hierarchical()
+        fraction = float(_require_param(message, "fraction"))
+        return int(stack.quantile(fraction, message.get("range")))
+
+    def _query_quantiles(self, message: Dict[str, Any]) -> List[int]:
+        stack = self._require_hierarchical()
+        fractions = _require_param(message, "fractions")
+        if not isinstance(fractions, (list, tuple)) or not fractions:
+            raise ServiceError("fractions must be a non-empty list")
+        return [int(key) for key in stack.quantiles([float(f) for f in fractions],
+                                                    message.get("range"))]
+
+    def _query_self_join(self, message: Dict[str, Any]) -> float:
+        state = self.state
+        if isinstance(state, PeriodicAggregationCoordinator):
+            return float(state.query_self_join(message.get("range")))
+        if isinstance(state, HierarchicalECMSketch):
+            raise ServiceError("self_join is not served in hierarchical mode")
+        return float(state.self_join(message.get("range")))
+
+    def _query_arrivals(self, message: Dict[str, Any]) -> float:
+        sketch = self._require_flat()
+        return float(sketch.estimate_arrivals(message.get("range")))
+
+    def _query_staleness(self, message: Dict[str, Any]) -> float:
+        coordinator = self._require_multisite()
+        now = message.get("now", self._applied_clock)
+        if now is None:
+            raise EmptyStructureError("no arrivals applied yet")
+        return float(coordinator.staleness(float(now)))
+
+    # ------------------------------------------------------------------ stats
+    def info(self) -> Dict[str, Any]:
+        """Static service parameters (what a client needs to build load)."""
+        return self.config.describe()
+
+    def stats(self) -> Dict[str, Any]:
+        """Live service counters."""
+        state = self.state
+        memory: int
+        synopsis: int
+        if isinstance(state, PeriodicAggregationCoordinator):
+            memory = sum(node.sketch.memory_bytes() for node in state.nodes)
+            synopsis = sum(node.sketch.synopsis_bytes() for node in state.nodes)
+        else:
+            memory = state.memory_bytes()
+            synopsis = state.synopsis_bytes()
+        stats: Dict[str, Any] = {
+            "mode": self.config.mode,
+            "backend": self.config.backend,
+            "records_ingested": self.records_ingested,
+            "ingest_batches": self.ingest_batches,
+            "ingest_apply_errors": self.ingest_apply_errors,
+            "background_errors": self.background_errors,
+            "pending_arrivals": self._pending_arrivals,
+            "pending_chunks": self._queue.qsize() if self._queue is not None else 0,
+            "applied_clock": self._applied_clock,
+            "submitted_clock": self._submitted_clock,
+            "memory_bytes": memory,
+            "synopsis_bytes": synopsis,
+            "snapshots_written": self.snapshots_written,
+            "last_snapshot_path": self.last_snapshot_path,
+            "uptime_seconds": time.monotonic() - self._started_monotonic,
+            "draining": self._stopping,
+        }
+        if isinstance(state, PeriodicAggregationCoordinator):
+            stats["rounds"] = state.stats.rounds
+            stats["transfer_bytes"] = state.stats.transfer_bytes
+            stats["last_round_clock"] = state.last_round_clock
+        return stats
+
+    def __repr__(self) -> str:
+        return "SketchService(mode=%s, ingested=%d, pending=%d)" % (
+            self.config.mode,
+            self.records_ingested,
+            self._pending_arrivals,
+        )
+
+
+def _require_param(message: Dict[str, Any], name: str) -> Any:
+    if name not in message:
+        raise ServiceError("missing required parameter %r" % (name,))
+    return message[name]
+
+
+def _as_int_key(key: Any) -> int:
+    if isinstance(key, bool) or not isinstance(key, int):
+        raise ServiceError("hierarchical keys must be integers, got %r" % (key,))
+    return key
+
+
+_QUERY_HANDLERS: Dict[str, Callable[[SketchService, Dict[str, Any]], Any]] = {
+    "point": SketchService._query_point,
+    "range": SketchService._query_range,
+    "heavy_hitters": SketchService._query_heavy_hitters,
+    "quantile": SketchService._query_quantile,
+    "quantiles": SketchService._query_quantiles,
+    "self_join": SketchService._query_self_join,
+    "arrivals": SketchService._query_arrivals,
+    "staleness": SketchService._query_staleness,
+}

@@ -1,0 +1,105 @@
+"""Newline-delimited-JSON wire protocol of the sketch service.
+
+Every request and response is one JSON object on one line, UTF-8 encoded and
+terminated by ``\\n``.  Requests carry an ``op`` field naming the operation
+and operation-specific parameters; an optional ``id`` field is echoed back
+verbatim so clients can pipeline requests over one connection.  Responses are
+``{"ok": true, "result": ...}`` or ``{"ok": false, "error": "..."}``.
+
+Operations (see :meth:`repro.service.server.SketchServer` for dispatch):
+
+========================= ======================================================
+``ping``                  liveness probe; result ``"pong"``
+``info``                  service mode/parameters a client needs to build load
+``stats``                 live counters: ingested, pending, clock, memory, ...
+``ingest``                ``keys``/``clocks``(/``values``/``site``) columns;
+                          acknowledged once *enqueued* (see ``drain``)
+``drain``                 barrier: resolves once every previously acknowledged
+                          arrival has been applied to the sketch state
+``point``                 point-frequency query (``key``, optional ``range``)
+``range``                 range-frequency query (``lo``, ``hi``; hierarchical)
+``heavy_hitters``         ``phi`` threshold (hierarchical)
+``quantile``/``quantiles`` ``fraction``/``fractions`` (hierarchical)
+``self_join``             second frequency moment (flat / multisite)
+``arrivals``              estimated arrivals in the range (flat)
+``staleness``             coordinator lag in clock units (multisite)
+``expire``                sweep out-of-window state from every cell now
+``snapshot``              write a snapshot now; result is the path
+``shutdown``              drain, snapshot (if configured) and stop the server
+========================= ======================================================
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "encode_message",
+    "decode_line",
+    "ok_response",
+    "error_response",
+]
+
+#: Upper bound on one protocol line.  An ingest chunk of a few thousand
+#: arrivals is a few hundred KiB of JSON; 8 MiB leaves an order of magnitude
+#: of headroom while still bounding a malformed (newline-free) client.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(Exception):
+    """A malformed protocol line or message."""
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """Encode one message as a compact JSON line (trailing newline included)."""
+    try:
+        text = json.dumps(message, separators=(",", ":"), allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError("message is not JSON-serializable: %s" % (exc,)) from exc
+    data = text.encode("utf-8")
+    if len(data) + 1 > MAX_LINE_BYTES:
+        raise ProtocolError(
+            "message of %d bytes exceeds the %d-byte line limit" % (len(data), MAX_LINE_BYTES)
+        )
+    return data + b"\n"
+
+
+def _reject_constant(token: str) -> float:
+    # Mirrors encode_message's allow_nan=False: NaN/Infinity are not JSON,
+    # and a NaN smuggled into (say) a clock column defeats every ordering
+    # comparison downstream.
+    raise ValueError("non-finite JSON constant %r is not accepted" % (token,))
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Decode one protocol line into a message dictionary."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            "line of %d bytes exceeds the %d-byte limit" % (len(line), MAX_LINE_BYTES)
+        )
+    try:
+        payload = json.loads(line.decode("utf-8"), parse_constant=_reject_constant)
+    except (UnicodeDecodeError, json.JSONDecodeError, ValueError) as exc:
+        raise ProtocolError("line is not valid JSON: %s" % (exc,)) from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("message must be a JSON object, got %s" % (type(payload).__name__,))
+    return payload
+
+
+def ok_response(result: Any, request_id: Optional[Any] = None) -> Dict[str, Any]:
+    """Successful response envelope."""
+    response: Dict[str, Any] = {"ok": True, "result": result}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def error_response(message: str, request_id: Optional[Any] = None) -> Dict[str, Any]:
+    """Failure response envelope."""
+    response: Dict[str, Any] = {"ok": False, "error": message}
+    if request_id is not None:
+        response["id"] = request_id
+    return response

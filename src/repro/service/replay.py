@@ -1,0 +1,240 @@
+"""Replay load driver: stream a generated trace at a running sketch service.
+
+``repro replay`` (and the service benchmark) use this module to answer the
+operational question every serving layer faces: *what arrival rate does the
+service sustain while answering queries?*  The driver
+
+1. asks the server for its :meth:`~repro.service.config.ServiceConfig.describe`
+   info and builds a matching synthetic trace (string keys for flat mode,
+   bounded integer keys for hierarchical mode, per-batch site assignment for
+   multisite mode; count-based windows replay arrival indices as clocks);
+2. replays the trace in client-side batches, optionally paced to a target
+   arrival rate (unpaced replay measures the saturation throughput — the
+   bounded ingest queue pushes back through TCP, so the driver can never
+   outrun the server by more than the queue);
+3. interleaves queries every ``query_every`` batches, timing each round trip;
+4. drains, so every acknowledged arrival is applied, and reports achieved
+   throughput plus query-latency percentiles.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+from ..streams.generators import IntegerZipfTrace, make_trace
+from ..streams.stream import Stream
+from .client import ServiceClient, ServiceRequestError
+
+__all__ = ["ReplayReport", "build_replay_stream", "run_replay"]
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one replay run."""
+
+    records: int = 0
+    batches: int = 0
+    elapsed_seconds: float = 0.0
+    drain_seconds: float = 0.0
+    achieved_rate: float = 0.0
+    target_rate: Optional[float] = None
+    queries: int = 0
+    query_errors: int = 0
+    query_p50_ms: float = 0.0
+    query_p99_ms: float = 0.0
+    query_max_ms: float = 0.0
+    server_stats: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dictionary form for ``--json`` output."""
+        return {
+            "records": self.records,
+            "batches": self.batches,
+            "elapsed_seconds": self.elapsed_seconds,
+            "drain_seconds": self.drain_seconds,
+            "achieved_rate": self.achieved_rate,
+            "target_rate": self.target_rate,
+            "queries": self.queries,
+            "query_errors": self.query_errors,
+            "query_p50_ms": self.query_p50_ms,
+            "query_p99_ms": self.query_p99_ms,
+            "query_max_ms": self.query_max_ms,
+            "server_stats": self.server_stats,
+        }
+
+    def format_lines(self) -> List[str]:
+        """Human-readable report lines for the CLI."""
+        lines = [
+            "records replayed:       %d (%d batches)" % (self.records, self.batches),
+            "replay time:            %.3f s (+ %.3f s drain)"
+            % (self.elapsed_seconds, self.drain_seconds),
+            "achieved ingest rate:   %.0f records/s%s"
+            % (
+                self.achieved_rate,
+                "" if self.target_rate is None else " (target %.0f/s)" % self.target_rate,
+            ),
+        ]
+        if self.queries:
+            lines.append(
+                "query latency:          p50 %.2f ms   p99 %.2f ms   max %.2f ms (%d queries)"
+                % (self.query_p50_ms, self.query_p99_ms, self.query_max_ms, self.queries)
+            )
+        if self.query_errors:
+            lines.append("query errors:           %d (e.g. pre-first-round multisite reads)"
+                         % self.query_errors)
+        if self.server_stats:
+            lines.append(
+                "server state:           %d ingested, clock %s, %.1f KiB resident"
+                % (
+                    self.server_stats.get("records_ingested", 0),
+                    self.server_stats.get("applied_clock"),
+                    self.server_stats.get("memory_bytes", 0) / 1024.0,
+                )
+            )
+        return lines
+
+
+def build_replay_stream(
+    info: Dict[str, Any],
+    records: int,
+    seed: int = 7,
+    dataset: str = "wc98",
+) -> Tuple[Stream, List[float]]:
+    """Build the trace and per-record clocks matching a server's info.
+
+    Returns:
+        ``(stream, clocks)`` where clocks are the trace timestamps for
+        time-based windows and arrival indices (1-based) for count-based
+        windows.
+    """
+    mode = info.get("mode", "flat")
+    if mode == "hierarchical":
+        universe_bits = int(info["universe_bits"])
+        stream = IntegerZipfTrace(
+            num_records=records, universe_bits=universe_bits, seed=seed
+        ).generate()
+    else:
+        stream = make_trace(dataset, num_records=records, seed=seed)
+    if info.get("model") == "count":
+        clocks = [float(index + 1) for index in range(len(stream))]
+    else:
+        clocks = [record.timestamp for record in stream]
+    return stream, clocks
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+async def run_replay(
+    host: str = "127.0.0.1",
+    port: int = 7600,
+    records: int = 50_000,
+    batch_size: int = 1_024,
+    target_rate: Optional[float] = None,
+    query_every: int = 8,
+    seed: int = 7,
+    dataset: str = "wc98",
+    sample_keys: int = 64,
+) -> ReplayReport:
+    """Replay a synthetic trace against a running server; return the report.
+
+    Args:
+        host: Server host.
+        port: Server port.
+        records: Trace length.
+        batch_size: Records per ingest request.
+        target_rate: Target arrival rate in records/s (``None`` = as fast as
+            the server accepts).
+        query_every: Issue one query every this many ingest batches
+            (0 disables queries).
+        seed: Trace seed — the serial reference in the smoke test replays
+            the same seed to reproduce the exact stream.
+        dataset: Flat-mode trace family (``wc98``/``snmp``/``uniform``).
+        sample_keys: Number of distinct keys sampled for point queries.
+    """
+    if records <= 0:
+        raise ConfigurationError("records must be positive, got %r" % (records,))
+    if batch_size <= 0:
+        raise ConfigurationError("batch_size must be positive, got %r" % (batch_size,))
+    client = await ServiceClient.connect(host, port)
+    try:
+        info = await client.info()
+        trace, clocks = build_replay_stream(info, records, seed=seed, dataset=dataset)
+        keys: List[Any] = [record.key for record in trace]
+        mode = info.get("mode", "flat")
+        sites = int(info.get("sites", 1)) if mode == "multisite" else 1
+        probe_keys: List[Any] = keys[:: max(1, len(keys) // max(1, sample_keys))][:sample_keys]
+        latencies: List[float] = []
+        report = ReplayReport(target_rate=target_rate)
+
+        start = time.perf_counter()
+        sent = 0
+        batch_index = 0
+        for offset in range(0, len(keys), batch_size):
+            stop = offset + batch_size
+            if target_rate is not None and sent:
+                scheduled = start + sent / target_rate
+                delay = scheduled - time.perf_counter()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            site = batch_index % sites
+            sent += await client.ingest(keys[offset:stop], clocks[offset:stop], site=site)
+            batch_index += 1
+            if query_every and batch_index % query_every == 0:
+                query_start = time.perf_counter()
+                try:
+                    await _issue_query(client, mode, probe_keys, batch_index)
+                    latencies.append(time.perf_counter() - query_start)
+                    report.queries += 1
+                except ServiceRequestError:
+                    # e.g. a multisite read before the first aggregation round.
+                    report.query_errors += 1
+        elapsed = time.perf_counter() - start
+        drain_start = time.perf_counter()
+        await client.drain()
+        drain_seconds = time.perf_counter() - drain_start
+
+        report.records = sent
+        report.batches = batch_index
+        report.elapsed_seconds = elapsed
+        report.drain_seconds = drain_seconds
+        total = elapsed + drain_seconds
+        report.achieved_rate = sent / total if total > 0 else float("inf")
+        latencies.sort()
+        report.query_p50_ms = _percentile(latencies, 0.50) * 1e3
+        report.query_p99_ms = _percentile(latencies, 0.99) * 1e3
+        report.query_max_ms = latencies[-1] * 1e3 if latencies else 0.0
+        report.server_stats = await client.stats()
+        return report
+    finally:
+        await client.close()
+
+
+async def _issue_query(
+    client: ServiceClient, mode: str, probe_keys: List[Any], batch_index: int
+) -> None:
+    """Rotate through the query mix a live deployment would serve."""
+    key = probe_keys[batch_index % len(probe_keys)] if probe_keys else None
+    turn = batch_index % 4
+    if mode == "hierarchical":
+        if turn == 0 and key is not None:
+            await client.point(key)
+        elif turn == 1:
+            await client.heavy_hitters(phi=0.02)
+        elif turn == 2:
+            await client.quantile(0.5)
+        elif key is not None:
+            await client.range_query(0, int(key))
+    else:  # flat and multisite serve the same point/self-join mix
+        if turn % 2 == 0 and key is not None:
+            await client.point(key)
+        else:
+            await client.self_join()

@@ -1,0 +1,287 @@
+"""The TCP front end of the sketch service.
+
+One :class:`SketchServer` wraps one :class:`~repro.service.core.SketchService`
+behind a newline-delimited-JSON protocol (:mod:`repro.service.protocol`) on
+``asyncio.start_server``.  Each connection is served by one coroutine that
+reads a request line, dispatches it, and writes the response line — so a
+connection's requests are handled strictly in order, and an ``ingest`` that
+is suspended on the bounded queue stops the connection from being read
+further: backpressure reaches the client's socket, not a buffer.
+
+Shutdown is graceful by default (``shutdown`` op, :func:`run_server` on
+SIGTERM/SIGINT, or :meth:`SketchServer.shutdown`): the listener closes, the
+ingest queue drains, a final snapshot is written when a snapshot path is
+configured, and only then does the process exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+from typing import Any, Callable, Dict, Optional
+
+from ..core.errors import ConfigurationError, EmptyStructureError
+from .config import ServiceConfig
+from .core import IngestRejectedError, ServiceError, ServiceStoppedError, SketchService
+from .protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode_message,
+    error_response,
+    ok_response,
+)
+
+__all__ = ["SketchServer", "run_server"]
+
+#: Query operations dispatched straight to :meth:`SketchService.query`.
+_QUERY_OPS = frozenset(
+    ["point", "range", "heavy_hitters", "quantile", "quantiles", "self_join",
+     "arrivals", "staleness"]
+)
+
+
+class SketchServer:
+    """Serve one :class:`~repro.service.core.SketchService` over TCP.
+
+    Args:
+        service: The service core (not yet started; :meth:`start` starts it).
+        host: Interface to bind.
+        port: Port to bind (0 picks a free port; see :attr:`port` after
+            :meth:`start`).
+    """
+
+    def __init__(self, service: SketchService, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown_event = asyncio.Event()
+        self._shutting_down = False
+        self._connections: "set[asyncio.StreamWriter]" = set()
+        self.connections_served = 0
+        self.requests_served = 0
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Start the service core and bind the listener."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port, limit=MAX_LINE_BYTES
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` request or :meth:`shutdown` arrives."""
+        if self._server is None:
+            raise ServiceError("server is not started")
+        await self._shutdown_event.wait()
+        await self._finalize()
+
+    async def shutdown(self) -> None:
+        """Trigger a graceful shutdown (drain + final snapshot)."""
+        self._shutdown_event.set()
+
+    async def _finalize(self) -> None:
+        if self._shutting_down:
+            return
+        self._shutting_down = True
+        if self._server is not None:
+            self._server.close()
+            # Close every established connection before wait_closed():
+            # handlers parked in readline() wake up with EOF and return.
+            # Without this, Python >= 3.12.1 (where Server.wait_closed
+            # really waits for all handlers) would hang for as long as any
+            # idle client kept its connection open.
+            for writer in list(self._connections):
+                writer.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop(drain=True)
+
+    async def __aenter__(self) -> "SketchServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        self._shutdown_event.set()
+        await self._finalize()
+
+    # ------------------------------------------------------------ connections
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections_served += 1
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(encode_message(error_response("request line too long")))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                response = await self._dispatch_line(line)
+                writer.write(encode_message(response))
+                await writer.drain()
+                if self._shutdown_event.is_set():
+                    # The response (the shutdown ack, or this connection's
+                    # last in-flight request) is on the wire; stop reading.
+                    break
+        except ConnectionResetError:
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch_line(self, line: bytes) -> Dict[str, Any]:
+        try:
+            message = decode_line(line)
+        except ProtocolError as exc:
+            return error_response(str(exc))
+        request_id = message.get("id")
+        try:
+            result = await self._dispatch(message)
+        except (
+            ServiceError,
+            ProtocolError,
+            ConfigurationError,
+            EmptyStructureError,
+        ) as exc:
+            return error_response(str(exc), request_id)
+        except (TypeError, ValueError, KeyError) as exc:
+            return error_response("bad request: %s" % (exc,), request_id)
+        self.requests_served += 1
+        return ok_response(result, request_id)
+
+    async def _dispatch(self, message: Dict[str, Any]) -> Any:
+        op = message.get("op")
+        if not isinstance(op, str):
+            raise ProtocolError("message is missing the 'op' field")
+        service = self.service
+        if op == "ping":
+            return "pong"
+        if op == "info":
+            return service.info()
+        if op == "stats":
+            return service.stats()
+        if op == "ingest":
+            if self._shutdown_event.is_set():
+                raise ServiceStoppedError("server is shutting down")
+            keys = message.get("keys")
+            clocks = message.get("clocks")
+            if not isinstance(keys, list) or not isinstance(clocks, list):
+                raise IngestRejectedError("ingest requires 'keys' and 'clocks' lists")
+            values = message.get("values")
+            if values is not None and not isinstance(values, list):
+                raise IngestRejectedError("'values' must be a list when present")
+            site = message.get("site", 0)
+            if not isinstance(site, int) or isinstance(site, bool):
+                raise IngestRejectedError("'site' must be an integer")
+            accepted = await service.ingest(keys, clocks, values, site=site)
+            return {"accepted": accepted}
+        if op == "drain":
+            await service.drain()
+            return {"applied_clock": service.applied_clock}
+        if op == "expire":
+            service.expire_now()
+            return {"applied_clock": service.applied_clock}
+        if op == "snapshot":
+            return {"path": await service.snapshot_async()}
+        if op == "shutdown":
+            self._shutdown_event.set()
+            return {"stopping": True}
+        if op in _QUERY_OPS:
+            return service.query(op, message)
+        raise ProtocolError("unknown op %r" % (op,))
+
+
+async def run_server(
+    config: ServiceConfig,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    restore: Optional[str] = None,
+    ready: Optional[Callable[[int], None]] = None,
+) -> int:
+    """Boot a server, serve until shutdown, return a process exit code.
+
+    Installs SIGTERM/SIGINT handlers for graceful drain-on-shutdown (on
+    platforms without ``loop.add_signal_handler`` the handlers are skipped
+    and only the protocol-level ``shutdown`` op stops the server).
+
+    Args:
+        config: Service configuration (ignored for sketch state when
+            ``restore`` is given: the snapshot's own configuration wins,
+            with the operational knobs — ``snapshot_path``, periods,
+            ``batch_size``, ``queue_chunks`` — taken from ``config``).
+        host: Interface to bind.
+        port: Port to bind (0 picks a free one).
+        restore: Path of a snapshot to restore state from on boot.
+        ready: Callback invoked with the bound port once serving.
+    """
+    if restore is not None:
+        service = SketchService.from_snapshot(restore)
+        # Operational knobs follow the *current* invocation, not the one
+        # that wrote the snapshot; only the sketch-state parameters (mode,
+        # epsilon, window, backend, ...) are pinned by the snapshot.
+        service.config.snapshot_path = config.snapshot_path
+        service.config.snapshot_every = config.snapshot_every
+        service.config.expire_every = config.expire_every
+        service.config.batch_size = config.batch_size
+        service.config.queue_chunks = config.queue_chunks
+    else:
+        service = SketchService(config)
+    server = SketchServer(service, host=host, port=port)
+    await server.start()
+
+    loop = asyncio.get_running_loop()
+    installed_signals = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, server._shutdown_event.set)
+            installed_signals.append(signum)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - windows
+            pass
+    try:
+        print(
+            "repro-serve: listening on %s:%d (mode=%s, backend=%s%s)"
+            % (
+                server.host,
+                server.port,
+                service.config.mode,
+                service.config.backend,
+                ", restored" if restore is not None else "",
+            ),
+            flush=True,
+        )
+        if ready is not None:
+            ready(server.port)
+        await server.serve_until_shutdown()
+    finally:
+        for signum in installed_signals:
+            loop.remove_signal_handler(signum)
+    print(
+        "repro-serve: drained (%d records ingested, %d requests); %s"
+        % (
+            service.records_ingested,
+            server.requests_served,
+            "final snapshot at %s" % service.last_snapshot_path
+            if service.last_snapshot_path
+            else "no snapshot configured",
+        ),
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - convenience entry
+    sys.exit(asyncio.run(run_server(ServiceConfig())))

@@ -1,6 +1,7 @@
 """Stream abstractions and synthetic workload generators."""
 
 from .generators import (
+    IntegerZipfTrace,
     SnmpSyntheticTrace,
     SyntheticTraceConfig,
     UniformTrace,
@@ -19,6 +20,7 @@ __all__ = [
     "SyntheticTraceConfig",
     "WorldCupSyntheticTrace",
     "SnmpSyntheticTrace",
+    "IntegerZipfTrace",
     "UniformTrace",
     "make_trace",
 ]

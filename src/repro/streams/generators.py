@@ -19,7 +19,7 @@ from __future__ import annotations
 import bisect
 import math
 import random
-from typing import Hashable, List
+from typing import Hashable, List, Optional
 
 import numpy as np
 
@@ -32,6 +32,7 @@ __all__ = [
     "SyntheticTraceConfig",
     "WorldCupSyntheticTrace",
     "SnmpSyntheticTrace",
+    "IntegerZipfTrace",
     "UniformTrace",
     "make_trace",
 ]
@@ -260,6 +261,68 @@ class SnmpSyntheticTrace:
                 StreamRecord(timestamp=timestamp, key=self.key_for(rank), node=node)
             )
         return Stream(records, name="snmp-synthetic")
+
+
+class IntegerZipfTrace:
+    """Zipf-popular *integer* keys over a bounded universe ``[0, 2**bits)``.
+
+    The hierarchical query engine (and the sketch service's hierarchical
+    mode) operates on integer keys of a known universe; this trace is the
+    load generator for those paths.  Keys are popularity ranks shuffled over
+    the universe with a fixed permutation seed, so popular keys are spread
+    across the dyadic ranges instead of clustering at 0.
+    """
+
+    def __init__(
+        self,
+        num_records: int = 50_000,
+        universe_bits: int = 12,
+        num_nodes: int = 4,
+        domain_size: Optional[int] = None,
+        zipf_exponent: float = 1.1,
+        duration: float = 1_000_000.0,
+        seed: int = 13,
+    ) -> None:
+        universe = 1 << universe_bits
+        if domain_size is None:
+            domain_size = min(universe, 4_096)
+        if domain_size > universe:
+            raise ConfigurationError(
+                "domain_size %d exceeds the universe 2**%d" % (domain_size, universe_bits)
+            )
+        self.universe_bits = universe_bits
+        self.config = SyntheticTraceConfig(
+            num_records=num_records,
+            num_nodes=num_nodes,
+            domain_size=domain_size,
+            zipf_exponent=zipf_exponent,
+            duration=duration,
+            seed=seed,
+        )
+        rng = random.Random(seed + 5)
+        keys = rng.sample(range(universe), domain_size)
+        self._rank_to_key = keys
+
+    def key_for(self, rank_index: int) -> int:
+        """Integer key of popularity rank ``rank_index``."""
+        return self._rank_to_key[rank_index]
+
+    def generate(self) -> Stream:
+        """Materialise the trace as a :class:`~repro.streams.stream.Stream`."""
+        cfg = self.config
+        key_sampler = ZipfSampler(cfg.domain_size, cfg.zipf_exponent, seed=cfg.seed)
+        node_sampler = ZipfSampler(cfg.num_nodes, 0.3, seed=cfg.seed + 1)
+        times = generate_arrival_times(cfg.num_records, cfg.duration, seed=cfg.seed + 2)
+        ranks = key_sampler.sample_many(len(times))
+        records = [
+            StreamRecord(
+                timestamp=timestamp,
+                key=self._rank_to_key[rank],
+                node=node_sampler.sample(),
+            )
+            for timestamp, rank in zip(times, ranks)
+        ]
+        return Stream(records, name="integer-zipf")
 
 
 class UniformTrace:

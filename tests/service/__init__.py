@@ -1,0 +1,1 @@
+"""Tests of the live sketch service (repro.service)."""

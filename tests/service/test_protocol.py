@@ -1,0 +1,81 @@
+"""Tests of the newline-delimited-JSON protocol layer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode_message,
+    error_response,
+    ok_response,
+)
+
+
+class TestEncodeMessage:
+    def test_round_trip(self):
+        message = {"op": "ingest", "keys": ["a", 1, None], "clocks": [1.0, 2.5, 3.0]}
+        line = encode_message(message)
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+        assert decode_line(line[:-1]) == message
+
+    def test_compact_encoding(self):
+        assert encode_message({"op": "ping"}) == b'{"op":"ping"}\n'
+
+    def test_rejects_non_serializable(self):
+        with pytest.raises(ProtocolError):
+            encode_message({"op": "ingest", "keys": [object()]})
+
+    def test_rejects_nan(self):
+        # NaN is not JSON; a server must never emit a line a client cannot parse.
+        with pytest.raises(ProtocolError):
+            encode_message({"op": "point", "result": float("nan")})
+
+    def test_rejects_oversized_message(self):
+        with pytest.raises(ProtocolError):
+            encode_message({"op": "ingest", "keys": ["x" * MAX_LINE_BYTES]})
+
+
+class TestDecodeLine:
+    def test_rejects_bad_json(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"{not json")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"[1, 2, 3]")
+
+    def test_rejects_bad_utf8(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b'{"op": "\xff"}')
+
+    def test_rejects_oversized_line(self):
+        line = json.dumps({"op": "x" * MAX_LINE_BYTES}).encode()
+        with pytest.raises(ProtocolError):
+            decode_line(line)
+
+
+class TestEnvelopes:
+    def test_ok_response(self):
+        assert ok_response(42) == {"ok": True, "result": 42}
+        assert ok_response(42, request_id=7) == {"ok": True, "result": 42, "id": 7}
+
+    def test_error_response(self):
+        assert error_response("boom") == {"ok": False, "error": "boom"}
+        assert error_response("boom", request_id="q1") == {
+            "ok": False, "error": "boom", "id": "q1",
+        }
+
+
+class TestNonFiniteConstants:
+    def test_decode_rejects_nan_and_infinity(self):
+        # json.loads accepts bare NaN/Infinity by default; the protocol must
+        # not, or a NaN clock would defeat the ingest ordering checks.
+        for token in (b'{"clocks":[NaN]}', b'{"x":Infinity}', b'{"x":-Infinity}'):
+            with pytest.raises(ProtocolError):
+                decode_line(token)

@@ -1,0 +1,295 @@
+"""In-process tests of the TCP server, clients and replay driver."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    ServiceConfig,
+    ServiceClient,
+    SketchServer,
+    SketchService,
+    run_replay,
+)
+from repro.service.client import ServiceRequestError
+from repro.service.replay import build_replay_stream
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def serve(config: ServiceConfig) -> SketchServer:
+    return SketchServer(SketchService(config))
+
+
+class TestProtocolDispatch:
+    def test_ping_info_stats_and_queries(self):
+        async def body():
+            async with serve(ServiceConfig(mode="flat")) as server:
+                async with await ServiceClient.connect(port=server.port) as client:
+                    assert await client.ping() == "pong"
+                    info = await client.info()
+                    assert info["mode"] == "flat"
+                    await client.ingest(["a", "b", "a"], [1.0, 2.0, 3.0])
+                    await client.drain()
+                    assert await client.point("a") == 2.0
+                    assert await client.self_join() == 5.0
+                    stats = await client.stats()
+                    assert stats["records_ingested"] == 3
+
+        run(body())
+
+    def test_request_id_echo_and_error_envelopes(self):
+        async def body():
+            async with serve(ServiceConfig(mode="flat")) as server:
+                async with await ServiceClient.connect(port=server.port) as client:
+                    response = await client.request({"op": "ping", "id": "q-1"})
+                    assert response == "pong"  # unwrapped; id handled transparently
+                    with pytest.raises(ServiceRequestError):
+                        await client.request({"op": "no-such-op"})
+                    with pytest.raises(ServiceRequestError):
+                        await client.request({"op": "point"})  # missing key
+                    with pytest.raises(ServiceRequestError):
+                        await client.request({"op": "heavy_hitters", "phi": 0.1})  # flat mode
+                    # The connection survives every rejected request.
+                    assert await client.ping() == "pong"
+
+        run(body())
+
+    def test_malformed_line_gets_an_error_response(self):
+        async def body():
+            async with serve(ServiceConfig(mode="flat")) as server:
+                reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+                writer.write(b"this is not json\n")
+                await writer.drain()
+                import json
+
+                response = json.loads(await reader.readline())
+                assert response["ok"] is False
+                writer.close()
+                await writer.wait_closed()
+
+        run(body())
+
+    def test_ingest_validation_reaches_the_client(self):
+        async def body():
+            async with serve(ServiceConfig(mode="flat")) as server:
+                async with await ServiceClient.connect(port=server.port) as client:
+                    await client.ingest(["a"], [5.0])
+                    with pytest.raises(ServiceRequestError):
+                        await client.ingest(["b"], [4.0])  # out of order
+                    with pytest.raises(ServiceRequestError):
+                        await client.request({"op": "ingest", "keys": "ab", "clocks": [1]})
+
+        run(body())
+
+    def test_shutdown_op_drains_and_stops(self):
+        async def body():
+            service = SketchService(ServiceConfig(mode="flat"))
+            server = SketchServer(service)
+            await server.start()
+            client = await ServiceClient.connect(port=server.port)
+            await client.ingest(["a"] * 10, [float(i) for i in range(10)])
+            await client.shutdown()
+            await client.close()
+            await server.serve_until_shutdown()
+            # Shutdown drained the queue before stopping.
+            assert service.records_ingested == 10
+
+        run(body())
+
+    def test_snapshot_op(self, tmp_path):
+        async def body():
+            config = ServiceConfig(mode="flat", snapshot_path=str(tmp_path / "s.json"))
+            async with serve(config) as server:
+                async with await ServiceClient.connect(port=server.port) as client:
+                    await client.ingest(["a"], [1.0])
+                    await client.drain()
+                    path = await client.snapshot()
+                    assert path == str(tmp_path / "s.json")
+
+        run(body())
+
+
+class TestHierarchicalOverTheWire:
+    def test_query_surface(self):
+        async def body():
+            config = ServiceConfig(mode="hierarchical", universe_bits=6, epsilon=0.05)
+            async with serve(config) as server:
+                async with await ServiceClient.connect(port=server.port) as client:
+                    keys = [1, 2, 1, 3, 1, 2] * 40
+                    clocks = [float(i) for i in range(len(keys))]
+                    await client.ingest(keys, clocks)
+                    await client.drain()
+                    assert await client.point(1) >= 120.0
+                    assert await client.range_query(0, 63) >= 240.0
+                    hitters = dict(await client.heavy_hitters(phi=0.2))
+                    assert 1 in hitters
+                    assert isinstance(await client.quantile(0.5), int)
+
+        run(body())
+
+
+class TestReplayDriver:
+    def test_flat_replay_in_process(self):
+        async def body():
+            async with serve(ServiceConfig(mode="flat")) as server:
+                report = await run_replay(
+                    port=server.port, records=4_000, batch_size=512, query_every=2
+                )
+                assert report.records == 4_000
+                assert report.queries > 0
+                assert report.achieved_rate > 0
+                assert report.server_stats["records_ingested"] == 4_000
+                lines = report.format_lines()
+                assert any("achieved ingest rate" in line for line in lines)
+                payload = report.to_dict()
+                assert payload["records"] == 4_000
+
+        run(body())
+
+    def test_paced_replay_respects_target_rate(self):
+        async def body():
+            async with serve(ServiceConfig(mode="flat")) as server:
+                report = await run_replay(
+                    port=server.port, records=2_000, batch_size=250,
+                    target_rate=4_000.0, query_every=0,
+                )
+                # Pacing keeps the achieved rate near (and never wildly above)
+                # the target; generous bound to stay robust on busy CI runners.
+                assert report.achieved_rate <= 4_800.0
+                assert report.queries == 0
+
+        run(body())
+
+    def test_hierarchical_replay_in_process(self):
+        async def body():
+            config = ServiceConfig(mode="hierarchical", universe_bits=10)
+            async with serve(config) as server:
+                report = await run_replay(
+                    port=server.port, records=3_000, batch_size=512, query_every=2
+                )
+                assert report.records == 3_000
+                assert report.queries + report.query_errors > 0
+
+        run(body())
+
+    def test_multisite_replay_in_process(self):
+        async def body():
+            config = ServiceConfig(mode="multisite", sites=3, period=200_000.0)
+            async with serve(config) as server:
+                report = await run_replay(
+                    port=server.port, records=3_000, batch_size=256, query_every=2
+                )
+                assert report.records == 3_000
+                # Early queries may precede the first aggregation round; they
+                # surface as query_errors, not crashes.
+                assert report.queries + report.query_errors > 0
+
+        run(body())
+
+
+class TestBuildReplayStream:
+    def test_count_model_clocks_are_indices(self):
+        trace, clocks = build_replay_stream({"mode": "flat", "model": "count"}, 100)
+        assert clocks == [float(i + 1) for i in range(100)]
+        assert len(trace) == 100
+
+    def test_hierarchical_keys_stay_in_universe(self):
+        trace, _clocks = build_replay_stream(
+            {"mode": "hierarchical", "model": "time", "universe_bits": 6}, 500
+        )
+        assert all(0 <= record.key < 64 for record in trace)
+
+    def test_same_seed_same_stream(self):
+        info = {"mode": "flat", "model": "time"}
+        first, _ = build_replay_stream(info, 200, seed=3)
+        second, _ = build_replay_stream(info, 200, seed=3)
+        assert [r.key for r in first] == [r.key for r in second]
+        assert [r.timestamp for r in first] == [r.timestamp for r in second]
+
+
+class TestShutdownWithConcurrentConnections:
+    def test_idle_connection_does_not_block_shutdown(self):
+        """An idle monitoring client must not stall the drain (Server.wait_closed
+        on Python >= 3.12.1 waits for all connection handlers)."""
+
+        async def body():
+            service = SketchService(ServiceConfig(mode="flat"))
+            server = SketchServer(service)
+            await server.start()
+            # An idle connection that never sends anything.
+            idle = await ServiceClient.connect(port=server.port)
+            # A second client requests shutdown.
+            active = await ServiceClient.connect(port=server.port)
+            await active.ingest(["a"], [1.0])
+            await active.shutdown()
+            await asyncio.wait_for(server.serve_until_shutdown(), timeout=15.0)
+            assert service.records_ingested == 1
+            await active.close()
+            await idle.close()
+
+        run(body())
+
+    def test_raw_nan_ingest_line_is_rejected(self):
+        async def body():
+            async with serve(ServiceConfig(mode="flat")) as server:
+                reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+                writer.write(b'{"op":"ingest","keys":["a"],"clocks":[NaN]}\n')
+                await writer.drain()
+                import json
+
+                response = json.loads(await reader.readline())
+                assert response["ok"] is False
+                writer.close()
+                await writer.wait_closed()
+
+        run(body())
+
+
+class TestReplayCliRejection:
+    def test_second_replay_fails_politely(self):
+        """Replaying twice sends clocks below the watermark: the CLI must
+        report the rejection, not dump a traceback."""
+        from repro.cli import main as cli_main
+
+        async def start():
+            server = serve(ServiceConfig(mode="flat"))
+            await server.start()
+            return server
+
+        # Drive the server in a background thread loop so the CLI's own
+        # asyncio.run calls can nest freely.
+        import threading
+
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True)
+        thread.start()
+        try:
+            server = asyncio.run_coroutine_threadsafe(start(), loop).result(timeout=10)
+            lines = []
+            code = cli_main(
+                ["replay", "--port", str(server.port), "--records", "500",
+                 "--query-every", "0"],
+                out=lines.append,
+            )
+            assert code == 0
+            lines2 = []
+            code2 = cli_main(
+                ["replay", "--port", str(server.port), "--records", "500",
+                 "--query-every", "0"],
+                out=lines2.append,
+            )
+            assert code2 == 1
+            assert any("rejected" in line for line in lines2)
+            asyncio.run_coroutine_threadsafe(server.shutdown(), loop).result(timeout=10)
+            asyncio.run_coroutine_threadsafe(
+                server.serve_until_shutdown(), loop
+            ).result(timeout=30)
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=10)
+            loop.close()

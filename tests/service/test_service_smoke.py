@@ -1,0 +1,167 @@
+"""End-to-end smoke test: `repro serve` + `repro replay` as real processes.
+
+This is the tier-1 twin of the CI ``service-smoke`` job: boot the server CLI
+in a subprocess, replay ~50k records through the replay CLI, check the
+served answers against a serial in-process reference fed the exact same
+trace, then SIGTERM the server and verify it drains, snapshots and exits
+cleanly — and that the snapshot restores to the same answers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import pytest
+
+from repro.core import ECMSketch
+from repro.service import (
+    ServiceConfig,
+    SketchService,
+    SyncServiceClient,
+    build_replay_stream,
+    wait_for_server,
+)
+from repro.service.snapshot import load_snapshot
+
+RECORDS = 50_000
+EPSILON = 0.05
+WINDOW = 1_000_000.0
+SEED = 7
+
+pytestmark = pytest.mark.integration
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _cli_env() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class TestServiceSmoke:
+    def test_serve_replay_reference_and_sigterm_snapshot(self, tmp_path):
+        port = _free_port()
+        snapshot_path = tmp_path / "smoke-snapshot.json"
+        report_path = tmp_path / "replay-report.json"
+        env = _cli_env()
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", str(port),
+                "--mode", "flat",
+                "--epsilon", str(EPSILON),
+                "--window", str(WINDOW),
+                "--snapshot-path", str(snapshot_path),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            wait_for_server(port=port)
+            replay = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "replay",
+                    "--port", str(port),
+                    "--records", str(RECORDS),
+                    "--seed", str(SEED),
+                    "--json", str(report_path),
+                ],
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=300,
+            )
+            assert replay.returncode == 0, replay.stdout + replay.stderr
+            report = json.loads(report_path.read_text())
+            assert report["records"] == RECORDS
+            assert report["server_stats"]["records_ingested"] == RECORDS
+
+            # The replay driver replays a deterministic trace: rebuild it and
+            # the serial reference, then compare served answers exactly.
+            info = {"mode": "flat", "model": "time"}
+            trace, clocks = build_replay_stream(info, RECORDS, seed=SEED)
+            reference = ECMSketch.for_point_queries(
+                epsilon=EPSILON, delta=0.05, window=WINDOW, backend="columnar"
+            )
+            reference.add_many([record.key for record in trace], clocks)
+            probe_keys = sorted({record.key for record in list(trace)[:500]})[:64]
+            with SyncServiceClient.connect(port=port) as client:
+                for key in probe_keys:
+                    assert client.point(key) == reference.point_query(key)
+                assert client.self_join() == reference.self_join()
+
+            # SIGTERM: graceful drain + final snapshot + clean exit.
+            server.send_signal(signal.SIGTERM)
+            output, _ = server.communicate(timeout=60)
+            assert server.returncode == 0, output
+            assert "drained" in output
+            assert snapshot_path.exists()
+
+            payload = load_snapshot(snapshot_path)
+            assert payload["records_ingested"] == RECORDS
+            restored = SketchService.from_snapshot(snapshot_path)
+            for key in probe_keys:
+                assert restored.query("point", {"key": key}) == reference.point_query(key)
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.communicate(timeout=30)
+
+    def test_restore_flag_boots_from_snapshot(self, tmp_path):
+        """`repro serve --restore` resumes from a snapshot written by a peer."""
+        snapshot_path = tmp_path / "seed-snapshot.json"
+        config = ServiceConfig(mode="flat", epsilon=EPSILON, window=WINDOW,
+                               snapshot_path=str(snapshot_path))
+
+        import asyncio
+
+        async def seed():
+            async with SketchService(config) as service:
+                await service.ingest(["x", "y", "x"], [1.0, 2.0, 3.0])
+                await service.drain()
+                service.snapshot_now()
+
+        asyncio.run(seed())
+
+        port = _free_port()
+        env = _cli_env()
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", str(port),
+                "--restore", str(snapshot_path),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            wait_for_server(port=port)
+            with SyncServiceClient.connect(port=port) as client:
+                assert client.point("x") == 2.0
+                stats = client.stats()
+                assert stats["records_ingested"] == 3
+                # The restored server keeps ingesting past the watermark.
+                client.ingest(["x"], [4.0])
+                client.drain()
+                assert client.point("x") == 3.0
+            server.send_signal(signal.SIGTERM)
+            output, _ = server.communicate(timeout=60)
+            assert server.returncode == 0, output
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.communicate(timeout=30)

@@ -126,3 +126,50 @@ class TestCommands:
         assert output.exists()
         header = output.read_text().splitlines()[0]
         assert "policy" in header
+
+
+class TestServeReplayParsers:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 7600
+        assert args.mode == "flat"
+        assert args.backend == "columnar"
+        assert args.batch_size == 1024
+        assert args.restore is None
+
+    def test_serve_full_flag_surface(self):
+        args = build_parser().parse_args([
+            "serve", "--mode", "multisite", "--sites", "8", "--period", "500",
+            "--backend", "object", "--window-model", "count",
+            "--snapshot-every", "2.5", "--snapshot-path", "snap.json",
+            "--restore", "old.json", "--queue-chunks", "16",
+        ])
+        assert args.mode == "multisite"
+        assert args.sites == 8
+        assert args.window_model == "count"
+        assert args.snapshot_every == 2.5
+        assert args.restore == "old.json"
+
+    def test_serve_rejects_bad_mode_and_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--mode", "turbo"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--backend", "ram"])
+
+    def test_serve_rejects_snapshot_period_without_path(self):
+        code, lines = run_cli(["serve", "--snapshot-every", "5"])
+        assert code == 2
+        assert any("snapshot_path" in line for line in lines)
+
+    def test_replay_defaults(self):
+        args = build_parser().parse_args(["replay"])
+        assert args.records == 50_000
+        assert args.batch_size == 1024
+        assert args.rate is None
+        assert args.query_every == 8
+
+    def test_replay_reports_unreachable_server(self):
+        # Port 1 on localhost is never listening: replay must fail politely.
+        code, lines = run_cli(["replay", "--port", "1", "--records", "100"])
+        assert code == 1
+        assert any("could not reach" in line for line in lines)
