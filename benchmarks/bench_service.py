@@ -8,6 +8,12 @@ Covers the serving-path acceptance claims:
   interleaved point/self-join queries; latency percentiles are reported.
 * **Hierarchical serving** — the same drive against a hierarchical-mode
   server (point/heavy-hitter/quantile query mix), reported for trajectory.
+* **Sharded scaling** — the same flat trace against ``--shards 1`` (one
+  connection) and ``--shards 4`` (four shard-affine connections).  The
+  ``speedup`` leaf is the 4-shard/1-shard ingest-rate ratio; under
+  ``REPRO_BENCH_STRICT`` on a ≥4-core host it must clear 2.5×.  The
+  4-shard server's merged answers are checked estimate-for-estimate
+  against per-shard serial references regardless of strictness.
 * **Snapshot/restore fidelity** — a service snapshotted mid-stream and
   restored into a fresh process must produce byte-identical sketch state
   and query answers to an uninterrupted run (asserted unconditionally, not
@@ -17,7 +23,7 @@ Covers the serving-path acceptance claims:
 Run standalone (``PYTHONPATH=src python benchmarks/bench_service.py
 [--json out.json]``) for the report the CI benchmark job archives, or via
 ``pytest benchmarks/bench_service.py`` (``REPRO_BENCH_STRICT=1`` arms the
-50k arrivals/sec floor).
+50k arrivals/sec and sharded-scaling floors).
 """
 
 from __future__ import annotations
@@ -26,87 +32,87 @@ import argparse
 import asyncio
 import json
 import os
-import signal
-import socket
-import subprocess
-import sys
 import time
 from typing import Any, Dict, List, Optional
 
+from repro.core import ECMSketch
 from repro.serialization import dumps
-from repro.service import ServiceConfig, SketchService, run_replay, wait_for_server
+from repro.service import (
+    ServeProcess,
+    ServiceConfig,
+    SketchService,
+    SyncServiceClient,
+    build_replay_stream,
+    run_replay,
+    shard_of,
+)
 from repro.streams import WorldCupSyntheticTrace
 
 #: Acceptance floor on sustained ingest (arrivals/second), flat EH columnar.
 THROUGHPUT_FLOOR = 50_000.0
+#: Acceptance floor on the 4-shard/1-shard ingest-rate ratio (strict mode,
+#: only meaningful with at least 4 cores to run the workers on).
+SHARD_SPEEDUP_FLOOR = 2.5
 #: Records replayed against the flat server.
 FLAT_RECORDS = 65_536
 #: Records replayed against the hierarchical server.
 HIER_RECORDS = 16_384
+#: Records replayed per sharded-scaling row.
+SHARD_RECORDS = 65_536
+#: Shard count of the scaled row.
+SHARD_COUNT = 4
 #: Ingest batch size of the acceptance run.
 BATCH_SIZE = 1_024
 #: One query every this many ingest batches.
 QUERY_EVERY = 8
-
-_SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src"))
-
-
-def _free_port() -> int:
-    with socket.socket() as probe:
-        probe.bind(("127.0.0.1", 0))
-        return probe.getsockname()[1]
+#: Trace seed shared by the replay driver and the serial references.
+SEED = 7
+#: Sketch parameters of the sharded fidelity check — kept explicit so the
+#: serial references are built with exactly what the server serves.
+EPSILON = 0.05
+WINDOW = 1_000_000.0
 
 
-def _spawn_server(mode: str, port: int, extra: Optional[List[str]] = None) -> subprocess.Popen:
-    env = dict(os.environ)
-    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
-    process = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", str(port),
-         "--mode", mode, "--backend", "columnar", "--batch-size", str(BATCH_SIZE)]
-        + (extra or []),
-        env=env,
-        stdout=subprocess.PIPE,
-        stderr=subprocess.STDOUT,
-        text=True,
-    )
-    try:
-        wait_for_server(port=port)
-    except TimeoutError:
-        if process.poll() is not None:
-            raise RuntimeError("server exited early:\n%s" % (process.stdout.read(),))
-        process.kill()
-        raise
-    return process
+def _drive(
+    mode: str,
+    records: int,
+    extra: Optional[List[object]] = None,
+    connections: int = 1,
+    fidelity_shards: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Boot a `repro serve` subprocess, run the replay driver, report.
 
-
-def _stop_server(process: subprocess.Popen) -> None:
-    if process.poll() is None:
-        process.send_signal(signal.SIGTERM)
+    With ``fidelity_shards`` set, the served answers are additionally checked
+    against per-shard serial references fed the same partitioned sub-streams
+    before the server shuts down.
+    """
+    with ServeProcess(
+        "--mode", mode, "--backend", "columnar", "--batch-size", BATCH_SIZE,
+        *(extra or []),
+    ) as server:
+        port = server.wait_ready()
         try:
-            process.communicate(timeout=60)
-        except subprocess.TimeoutExpired:
-            process.kill()
-            process.communicate(timeout=30)
-
-
-def _drive(mode: str, records: int, extra: Optional[List[str]] = None) -> Dict[str, Any]:
-    """Boot a `repro serve` subprocess, run the replay driver, report."""
-    port = _free_port()
-    server = _spawn_server(mode, port, extra)
-    try:
-        report = asyncio.run(
-            run_replay(
-                port=port,
-                records=records,
-                batch_size=BATCH_SIZE,
-                query_every=QUERY_EVERY,
+            report = asyncio.run(
+                run_replay(
+                    port=port,
+                    records=records,
+                    batch_size=BATCH_SIZE,
+                    query_every=QUERY_EVERY,
+                    seed=SEED,
+                    connections=connections,
+                )
             )
-        )
-    finally:
-        _stop_server(server)
-    return {
+            fidelity = (
+                _check_sharded_fidelity(port, records, fidelity_shards)
+                if fidelity_shards is not None
+                else None
+            )
+        finally:
+            server.stop()
+    row = {
         "records": report.records,
         "batch_size": BATCH_SIZE,
+        "connections": connections,
         "elapsed_seconds": report.elapsed_seconds,
         "drain_seconds": report.drain_seconds,
         "arrivals_per_second": report.achieved_rate,
@@ -114,6 +120,60 @@ def _drive(mode: str, records: int, extra: Optional[List[str]] = None) -> Dict[s
         "query_p50_ms": report.query_p50_ms,
         "query_p99_ms": report.query_p99_ms,
         "server_memory_bytes": report.server_stats.get("memory_bytes", 0),
+    }
+    if fidelity is not None:
+        row["answers_match_reference"] = fidelity
+    return row
+
+
+def _check_sharded_fidelity(port: int, records: int, shards: int) -> bool:
+    """Merged answers must match per-shard serial references exactly."""
+    info = {"mode": "flat", "model": "time"}
+    trace, clocks = build_replay_stream(info, records, seed=SEED)
+    keys = [record.key for record in trace]
+    per_shard: Dict[int, Any] = {shard: ([], []) for shard in range(shards)}
+    for key, clock in zip(keys, clocks):
+        bucket = per_shard[shard_of(key, shards)]
+        bucket[0].append(key)
+        bucket[1].append(clock)
+    references = []
+    for shard in range(shards):
+        sketch = ECMSketch.for_point_queries(
+            epsilon=EPSILON, delta=0.05, window=WINDOW, backend="columnar"
+        )
+        sub_keys, sub_clocks = per_shard[shard]
+        if sub_keys:
+            sketch.add_many(sub_keys, sub_clocks)
+        references.append(sketch)
+    probe_keys = sorted(set(keys[:500]))[:64]
+    with SyncServiceClient.connect(port=port) as client:
+        for key in probe_keys:
+            expected = references[shard_of(key, shards)].point_query(key)
+            assert client.point(key) == expected, (
+                "sharded point answer diverged for key %r" % (key,)
+            )
+        expected_self_join = sum(sketch.self_join() for sketch in references)
+        assert client.self_join() == expected_self_join, "sharded self-join diverged"
+    return True
+
+
+def _sharded_scaling() -> Dict[str, Any]:
+    """Same flat trace through 1 shard / 1 connection and 4 shards / 4
+    connections; the ``speedup`` leaf is the tracked scaling ratio."""
+    base = ["--epsilon", EPSILON, "--window", WINDOW]
+    one = _drive("flat", SHARD_RECORDS, base + ["--shards", 1], connections=1)
+    many = _drive(
+        "flat",
+        SHARD_RECORDS,
+        base + ["--shards", SHARD_COUNT],
+        connections=SHARD_COUNT,
+        fidelity_shards=SHARD_COUNT,
+    )
+    return {
+        "shards_1": one,
+        "shards_%d" % SHARD_COUNT: many,
+        "speedup": many["arrivals_per_second"] / one["arrivals_per_second"],
+        "cpu_count": os.cpu_count() or 1,
     }
 
 
@@ -173,7 +233,8 @@ def _snapshot_fidelity(tmp_dir: str) -> Dict[str, Any]:
 def _run_service_benchmark(tmp_dir: str) -> Dict[str, Any]:
     return {
         "flat": _drive("flat", FLAT_RECORDS),
-        "hierarchical": _drive("hierarchical", HIER_RECORDS, ["--universe-bits", "12"]),
+        "hierarchical": _drive("hierarchical", HIER_RECORDS, ["--universe-bits", 12]),
+        "sharded": _sharded_scaling(),
         "snapshot": _snapshot_fidelity(tmp_dir),
     }
 
@@ -192,6 +253,29 @@ def _format_report(results: Dict[str, Any]) -> List[str]:
                 row["query_p99_ms"],
             )
         )
+    sharded = results["sharded"]
+    for shards in (1, SHARD_COUNT):
+        row = sharded["shards_%d" % shards]
+        lines.append(
+            "  %-13s %6d records   %8.0f arrivals/s   %d connection%s"
+            % (
+                "%d shard%s:" % (shards, "s" if shards != 1 else ""),
+                row["records"],
+                row["arrivals_per_second"],
+                row["connections"],
+                "s" if row["connections"] != 1 else "",
+            )
+        )
+    lines.append(
+        "  scaling:      %d-shard speedup %.2fx over 1 shard (%d cores), "
+        "answers match reference: %s"
+        % (
+            SHARD_COUNT,
+            sharded["speedup"],
+            sharded["cpu_count"],
+            sharded["shards_%d" % SHARD_COUNT].get("answers_match_reference", False),
+        )
+    )
     snap = results["snapshot"]
     lines.append(
         "  snapshot:     %6d records   write %6.1f ms   load+restore %6.1f ms   "
@@ -207,7 +291,7 @@ def _format_report(results: Dict[str, Any]) -> List[str]:
 
 
 def test_service_benchmark_report(tmp_path, capsys):
-    """Pytest entry: snapshot fidelity always asserted; strict arms the floor."""
+    """Pytest entry: fidelity always asserted; strict arms the floors."""
     results = _run_service_benchmark(str(tmp_path))
     with capsys.disabled():
         print()
@@ -216,12 +300,21 @@ def test_service_benchmark_report(tmp_path, capsys):
     assert results["snapshot"]["byte_identical"]
     assert results["flat"]["records"] == FLAT_RECORDS
     assert results["flat"]["queries"] > 0, "no queries interleaved with ingest"
+    sharded = results["sharded"]
+    assert sharded["shards_%d" % SHARD_COUNT]["answers_match_reference"] is True
     if os.environ.get("REPRO_BENCH_STRICT") == "1":
         rate = results["flat"]["arrivals_per_second"]
         assert rate >= THROUGHPUT_FLOOR, (
             "flat service sustained %.0f arrivals/s, below the %.0f floor"
             % (rate, THROUGHPUT_FLOOR)
         )
+        # Near-linear scaling needs cores for the workers to scale onto:
+        # on a 1-2 core host the ratio measures scheduling, not sharding.
+        if sharded["cpu_count"] >= SHARD_COUNT:
+            assert sharded["speedup"] >= SHARD_SPEEDUP_FLOOR, (
+                "%d-shard ingest scaled %.2fx over 1 shard, below the %.1fx floor"
+                % (SHARD_COUNT, sharded["speedup"], SHARD_SPEEDUP_FLOOR)
+            )
 
 
 def main(argv: Optional[List[str]] = None) -> None:

@@ -262,8 +262,14 @@ def build_parser() -> argparse.ArgumentParser:
                               help="snapshot file (atomic replace; also the shutdown "
                                    "snapshot target)")
     serve_parser.add_argument("--restore", type=str, default=None, metavar="SNAPSHOT",
-                              help="restore sketch state from this snapshot on boot")
+                              help="restore sketch state from this snapshot (or shard "
+                                   "manifest) on boot")
     serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument("--shards", type=_positive_int, default=None,
+                              help="serve through the sharded tier: partition the key "
+                                   "universe (or the sites) across this many worker "
+                                   "processes behind a merging router (default: one "
+                                   "in-process service)")
 
     replay_parser = subparsers.add_parser(
         "replay",
@@ -287,6 +293,9 @@ def build_parser() -> argparse.ArgumentParser:
     replay_parser.add_argument("--seed", type=int, default=7,
                                help="trace seed (a serial reference replaying the same "
                                     "seed sees the exact same stream)")
+    replay_parser.add_argument("--connections", type=_positive_int, default=1,
+                               help="concurrent shard-affine ingest connections "
+                                    "(capped at the server's shard count; default 1)")
     replay_parser.add_argument("--json", type=str, default=None, dest="json_out",
                                help="also write the report to this JSON file")
 
@@ -412,6 +421,7 @@ def _serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
             snapshot_every=args.snapshot_every,
             snapshot_path=args.snapshot_path,
             seed=args.seed,
+            shards=args.shards,
         )
     except ConfigurationError as exc:
         out("error: %s" % (exc,))
@@ -443,6 +453,7 @@ def _replay(args: argparse.Namespace, out: Callable[[str], None]) -> int:
                 query_every=args.query_every,
                 seed=args.seed,
                 dataset=args.dataset,
+                connections=args.connections,
             )
         )
     except ServiceRequestError as exc:

@@ -19,17 +19,35 @@ serving path:
 * :mod:`~repro.service.snapshot` — atomic snapshot/restore of the whole
   service state on the existing serialization wire format.
 * :mod:`~repro.service.replay` — a load driver that replays a generated
-  stream at a target rate and reports achieved throughput and query latency.
+  stream at a target rate (optionally over several shard-affine connections)
+  and reports achieved throughput and query latency.
+* :mod:`~repro.service.router` / :mod:`~repro.service.shard_worker` — the
+  sharded serving tier: a front-end :class:`~repro.service.router.ShardRouter`
+  hash-partitions the key universe (or the sites) across worker processes,
+  each a full service, and answers queries by merging per-shard estimates
+  (the paper's Theorem 4 order-preserving aggregation).
+* :mod:`~repro.service.launch` — subprocess harness booting ``repro serve``
+  with banner-based (not poll-based) readiness for tests and benchmarks.
 
-The CLI front ends are ``repro serve`` and ``repro replay``.
+The CLI front ends are ``repro serve`` (``--shards N`` for the sharded tier)
+and ``repro replay`` (``--connections M`` for concurrent ingest).
 """
 
 from .config import ServiceConfig
 from .core import IngestRejectedError, ServiceStoppedError, SketchService
 from .client import ServiceClient, SyncServiceClient, wait_for_server
+from .launch import ServeProcess, repro_env
 from .protocol import MAX_LINE_BYTES, ProtocolError, decode_line, encode_message
 from .replay import ReplayReport, build_replay_stream, run_replay
-from .server import SketchServer, run_server
+from .router import (
+    LocalShardBackend,
+    ProcessShardBackend,
+    ShardRouter,
+    shard_column,
+    shard_of,
+)
+from .server import SketchServer, dispatch_service_op, run_server
+from .shard_worker import ShardProcess, ShardUnavailableError, sites_of_shard, worker_config
 from .snapshot import load_snapshot, service_state_from_snapshot, snapshot_payload, write_snapshot
 
 __all__ = [
@@ -39,9 +57,12 @@ __all__ = [
     "ServiceStoppedError",
     "SketchServer",
     "run_server",
+    "dispatch_service_op",
     "ServiceClient",
     "SyncServiceClient",
     "wait_for_server",
+    "ServeProcess",
+    "repro_env",
     "ProtocolError",
     "MAX_LINE_BYTES",
     "encode_message",
@@ -49,6 +70,15 @@ __all__ = [
     "ReplayReport",
     "build_replay_stream",
     "run_replay",
+    "ShardRouter",
+    "LocalShardBackend",
+    "ProcessShardBackend",
+    "shard_of",
+    "shard_column",
+    "ShardProcess",
+    "ShardUnavailableError",
+    "sites_of_shard",
+    "worker_config",
     "snapshot_payload",
     "write_snapshot",
     "load_snapshot",

@@ -154,9 +154,16 @@ class ServiceClient:
             message["range"] = range_length
         return float(await self.request(message))
 
-    async def snapshot(self) -> str:
-        result = await self.request({"op": "snapshot"})
+    async def snapshot(self, path: Optional[str] = None) -> str:
+        message: Dict[str, Any] = {"op": "snapshot"}
+        if path is not None:
+            message["path"] = path
+        result = await self.request(message)
         return str(result["path"])
+
+    async def restart_shard(self, shard: int) -> Dict[str, Any]:
+        """Ask a sharded server to respawn one worker from its snapshot."""
+        return dict(await self.request({"op": "restart_shard", "shard": shard}))
 
     async def shutdown(self) -> None:
         await self.request({"op": "shutdown"})
@@ -264,8 +271,15 @@ class SyncServiceClient:
             message["range"] = range_length
         return float(self.request(message))
 
-    def snapshot(self) -> str:
-        return str(self.request({"op": "snapshot"})["path"])
+    def snapshot(self, path: Optional[str] = None) -> str:
+        message: Dict[str, Any] = {"op": "snapshot"}
+        if path is not None:
+            message["path"] = path
+        return str(self.request(message)["path"])
+
+    def restart_shard(self, shard: int) -> Dict[str, Any]:
+        """Ask a sharded server to respawn one worker from its snapshot."""
+        return dict(self.request({"op": "restart_shard", "shard": shard}))
 
     def shutdown(self) -> None:
         self.request({"op": "shutdown"})

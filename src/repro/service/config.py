@@ -63,6 +63,10 @@ class ServiceConfig:
             the target of the final drain-on-shutdown snapshot.
         max_arrivals: Arrival cap per window for wave counters.
         seed: Hash seed shared by all served sketches.
+        shards: When set, serve through the sharded tier: a front-end router
+            partitions the key universe (or the sites, in multisite mode)
+            across this many :class:`~repro.service.core.SketchService`
+            worker processes.  ``None`` serves from one in-process service.
     """
 
     mode: str = "flat"
@@ -82,6 +86,7 @@ class ServiceConfig:
     snapshot_path: Optional[str] = None
     max_arrivals: Optional[int] = None
     seed: int = 0
+    shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.mode not in SERVICE_MODES:
@@ -104,6 +109,14 @@ class ServiceConfig:
             )
         if self.snapshot_every is not None and self.snapshot_path is None:
             raise ConfigurationError("snapshot_every requires snapshot_path")
+        if self.shards is not None:
+            if self.shards <= 0:
+                raise ConfigurationError("shards must be positive, got %r" % (self.shards,))
+            if self.mode == "multisite" and self.shards > self.sites:
+                raise ConfigurationError(
+                    "multisite sharding partitions sites across workers: shards (%d) "
+                    "cannot exceed sites (%d)" % (self.shards, self.sites)
+                )
 
     # ------------------------------------------------------------- wire form
     def to_dict(self) -> Dict[str, Any]:
@@ -126,6 +139,7 @@ class ServiceConfig:
             "snapshot_path": self.snapshot_path,
             "max_arrivals": self.max_arrivals,
             "seed": self.seed,
+            "shards": self.shards,
         }
 
     @classmethod
@@ -150,6 +164,7 @@ class ServiceConfig:
                 snapshot_path=payload.get("snapshot_path"),
                 max_arrivals=payload.get("max_arrivals"),
                 seed=int(payload.get("seed", 0)),
+                shards=payload.get("shards"),
             )
         except (KeyError, ValueError) as exc:
             raise ConfigurationError("malformed service config payload: %s" % (exc,)) from exc
@@ -171,4 +186,6 @@ class ServiceConfig:
         if self.mode == "multisite":
             info["sites"] = self.sites
             info["period"] = self.period
+        if self.shards is not None:
+            info["shards"] = self.shards
         return info

@@ -54,6 +54,9 @@ __all__ = [
     "IngestRejectedError",
     "ServiceStoppedError",
     "SketchService",
+    "validate_clock_column",
+    "validate_values_column",
+    "validate_keys_for_mode",
 ]
 
 ServiceState = Union[ECMSketch, HierarchicalECMSketch, PeriodicAggregationCoordinator]
@@ -69,6 +72,87 @@ class IngestRejectedError(ServiceError):
 
 class ServiceStoppedError(ServiceError):
     """The service is draining or stopped and accepts no new work."""
+
+
+#: Chunk size from which clock validation switches to the vectorized NumPy
+#: pass; below it, per-element checks are cheaper (and give the precise
+#: offending value in the error message).
+_VECTOR_VALIDATE_CUTOFF = 64
+
+
+def validate_clock_column(clocks: Sequence[float], previous: Optional[float]) -> None:
+    """Reject non-numeric, non-finite or out-of-order clocks, pre-ack.
+
+    Finiteness matters for more than hygiene: every comparison against NaN is
+    False, so one NaN clock would disable the ordering high-water mark for
+    the rest of the stream.  Large chunks validate through one vectorized
+    pass — this runs per arrival on the ack hot path.  Shared by the
+    single-process service (global high-water mark) and the shard router
+    (per-shard high-water marks).
+    """
+    if len(clocks) >= _VECTOR_VALIDATE_CUTOFF:
+        array = np.asarray(clocks)
+        if (
+            array.ndim == 1
+            and array.dtype != np.bool_
+            and (np.issubdtype(array.dtype, np.floating)
+                 or np.issubdtype(array.dtype, np.integer))
+        ):
+            if not np.isfinite(array).all():
+                raise IngestRejectedError("clocks must be finite")
+            if (np.diff(array) < 0).any() or (
+                previous is not None and float(array[0]) < previous
+            ):
+                raise IngestRejectedError(
+                    "out-of-order clocks (high-water mark %r); arrival clocks "
+                    "must be non-decreasing" % (previous,)
+                )
+            return
+        # Mixed/object dtype: fall through to the scalar walk, which names
+        # the offending element.
+    for clock in clocks:
+        if not isinstance(clock, (int, float)) or isinstance(clock, bool):
+            raise IngestRejectedError("clocks must be numbers, got %r" % (clock,))
+        if not math.isfinite(clock):
+            raise IngestRejectedError("clocks must be finite, got %r" % (clock,))
+        if previous is not None and clock < previous:
+            raise IngestRejectedError(
+                "out-of-order clock %r (high-water mark %r); arrival clocks "
+                "must be non-decreasing" % (clock, previous)
+            )
+        previous = clock
+
+
+def validate_values_column(values: Sequence[int]) -> None:
+    """Reject anything but non-negative integers in a values column."""
+    for value in values:
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise IngestRejectedError(
+                "values must be non-negative integers, got %r" % (value,)
+            )
+
+
+def validate_keys_for_mode(keys: Sequence[Hashable], mode: str, universe_bits: int) -> None:
+    """Reject keys the given service mode cannot ingest, pre-ack."""
+    if mode == "hierarchical":
+        universe = 1 << universe_bits
+        for key in keys:
+            if not isinstance(key, int) or isinstance(key, bool) or not (0 <= key < universe):
+                raise IngestRejectedError(
+                    "hierarchical keys must be integers in [0, %d), got %r" % (universe, key)
+                )
+    else:
+        # Flat/multisite keys arrive as arbitrary JSON values; an unhashable
+        # one (list, dict) would otherwise blow up inside add_many *after*
+        # the chunk was acknowledged, killing the consumer task.  Validation
+        # happens here, before the ack.
+        for key in keys:
+            try:
+                hash(key)
+            except TypeError:
+                raise IngestRejectedError(
+                    "keys must be hashable scalars, got %s" % (type(key).__name__,)
+                ) from None
 
 
 @dataclass
@@ -242,31 +326,9 @@ class SketchService:
             )
         self._validate_clocks(clocks)
         if values is not None:
-            for value in values:
-                if not isinstance(value, int) or isinstance(value, bool) or value < 0:
-                    raise IngestRejectedError(
-                        "values must be non-negative integers, got %r" % (value,)
-                    )
+            validate_values_column(values)
         mode = self.config.mode
-        if mode == "hierarchical":
-            universe = 1 << self.config.universe_bits
-            for key in keys:
-                if not isinstance(key, int) or isinstance(key, bool) or not (0 <= key < universe):
-                    raise IngestRejectedError(
-                        "hierarchical keys must be integers in [0, %d), got %r" % (universe, key)
-                    )
-        else:
-            # Flat/multisite keys arrive as arbitrary JSON values; an
-            # unhashable one (list, dict) would otherwise blow up inside
-            # add_many *after* the chunk was acknowledged, killing the
-            # consumer task.  Validation happens here, before the ack.
-            for key in keys:
-                try:
-                    hash(key)
-                except TypeError:
-                    raise IngestRejectedError(
-                        "keys must be hashable scalars, got %s" % (type(key).__name__,)
-                    ) from None
+        validate_keys_for_mode(keys, mode, self.config.universe_bits)
         if mode == "multisite":
             if not isinstance(site, int) or not (0 <= site < self.config.sites):
                 raise IngestRejectedError(
@@ -282,51 +344,9 @@ class SketchService:
             values=list(values) if values is not None else None,
         )
 
-    #: Chunk size from which clock validation switches to the vectorized
-    #: NumPy pass; below it, per-element checks are cheaper (and give the
-    #: precise offending value in the error message).
-    _VECTOR_VALIDATE_CUTOFF = 64
-
     def _validate_clocks(self, clocks: Sequence[float]) -> None:
-        """Reject non-numeric, non-finite or out-of-order clocks, pre-ack.
-
-        Finiteness matters for more than hygiene: every comparison against
-        NaN is False, so one NaN clock would disable the ordering high-water
-        mark for the rest of the stream.  Large chunks validate through one
-        vectorized pass — this runs per arrival on the ack hot path.
-        """
-        previous = self._submitted_clock
-        if len(clocks) >= self._VECTOR_VALIDATE_CUTOFF:
-            array = np.asarray(clocks)
-            if (
-                array.ndim == 1
-                and array.dtype != np.bool_
-                and (np.issubdtype(array.dtype, np.floating)
-                     or np.issubdtype(array.dtype, np.integer))
-            ):
-                if not np.isfinite(array).all():
-                    raise IngestRejectedError("clocks must be finite")
-                if (np.diff(array) < 0).any() or (
-                    previous is not None and float(array[0]) < previous
-                ):
-                    raise IngestRejectedError(
-                        "out-of-order clocks (high-water mark %r); arrival clocks "
-                        "must be globally non-decreasing" % (previous,)
-                    )
-                return
-            # Mixed/object dtype: fall through to the scalar walk, which
-            # names the offending element.
-        for clock in clocks:
-            if not isinstance(clock, (int, float)) or isinstance(clock, bool):
-                raise IngestRejectedError("clocks must be numbers, got %r" % (clock,))
-            if not math.isfinite(clock):
-                raise IngestRejectedError("clocks must be finite, got %r" % (clock,))
-            if previous is not None and clock < previous:
-                raise IngestRejectedError(
-                    "out-of-order clock %r (high-water mark %r); arrival clocks "
-                    "must be globally non-decreasing" % (clock, previous)
-                )
-            previous = clock
+        """Validate a clock column against the service's high-water mark."""
+        validate_clock_column(clocks, self._submitted_clock)
 
     async def ingest(
         self,
@@ -511,17 +531,22 @@ class SketchService:
             except Exception as exc:
                 self._background_failure("snapshot", exc)
 
-    async def snapshot_async(self) -> str:
+    async def snapshot_async(self, path: Optional[str] = None) -> str:
         """Snapshot without stalling the event loop for the disk write.
 
         The payload is built on the loop (that is what makes it a consistent
         cut between micro-batches), but the JSON encode + fsync + rename —
         tens of milliseconds even for modest states — run in the default
         executor so ingest and queries keep flowing.
+
+        Args:
+            path: Explicit destination; overrides ``config.snapshot_path``
+                (the shard router drives per-shard snapshots through this).
         """
         from .snapshot import snapshot_payload, write_snapshot
 
-        if self.config.snapshot_path is None:
+        destination = path if path is not None else self.config.snapshot_path
+        if destination is None:
             raise ServiceError("no snapshot_path configured")
         # One snapshot at a time: with concurrent writers (the periodic loop
         # plus a protocol `snapshot` op), an older payload could finish its
@@ -529,14 +554,14 @@ class SketchService:
         async with self._snapshot_lock:
             payload = snapshot_payload(self)
             loop = asyncio.get_running_loop()
-            path = await loop.run_in_executor(
-                None, write_snapshot, self.config.snapshot_path, payload
+            path_written = await loop.run_in_executor(
+                None, write_snapshot, destination, payload
             )
         self.snapshots_written += 1
-        self.last_snapshot_path = path
-        return path
+        self.last_snapshot_path = path_written
+        return path_written
 
-    def snapshot_now(self) -> str:
+    def snapshot_now(self, path: Optional[str] = None) -> str:
         """Write an atomic snapshot of the applied state; returns the path.
 
         Synchronous (blocks the caller, and the event loop when called from
@@ -546,12 +571,13 @@ class SketchService:
         """
         from .snapshot import snapshot_payload, write_snapshot
 
-        if self.config.snapshot_path is None:
+        destination = path if path is not None else self.config.snapshot_path
+        if destination is None:
             raise ServiceError("no snapshot_path configured")
-        path = write_snapshot(self.config.snapshot_path, snapshot_payload(self))
+        path_written = write_snapshot(destination, snapshot_payload(self))
         self.snapshots_written += 1
-        self.last_snapshot_path = path
-        return path
+        self.last_snapshot_path = path_written
+        return path_written
 
     # ---------------------------------------------------------------- queries
     @property
@@ -607,8 +633,18 @@ class SketchService:
 
     def _query_heavy_hitters(self, message: Dict[str, Any]) -> List[Tuple[int, float]]:
         stack = self._require_hierarchical()
-        phi = float(_require_param(message, "phi"))
-        hitters = stack.heavy_hitters(phi, message.get("range"))
+        absolute = message.get("absolute")
+        if absolute is None:
+            phi = float(_require_param(message, "phi"))
+            hitters = stack.heavy_hitters(phi, message.get("range"))
+        else:
+            # Absolute-threshold detection: used by the shard router, which
+            # converts the relative phi into occurrences against the *global*
+            # arrival total before fanning out (each shard only sees its own
+            # slice of the stream, so a per-shard phi would be meaningless).
+            hitters = stack.heavy_hitters(
+                1.0, message.get("range"), absolute_threshold=float(absolute)
+            )
         return sorted(hitters.items(), key=lambda item: (-item[1], item[0]))
 
     def _query_quantile(self, message: Dict[str, Any]) -> int:
@@ -633,6 +669,9 @@ class SketchService:
         return float(state.self_join(message.get("range")))
 
     def _query_arrivals(self, message: Dict[str, Any]) -> float:
+        state = self.state
+        if isinstance(state, HierarchicalECMSketch):
+            return float(state.estimate_total(message.get("range")))
         sketch = self._require_flat()
         return float(sketch.estimate_arrivals(message.get("range")))
 
@@ -642,6 +681,22 @@ class SketchService:
         if now is None:
             raise EmptyStructureError("no arrivals applied yet")
         return float(coordinator.staleness(float(now)))
+
+    def _query_root_state(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Serialized root aggregate of the latest round (multisite only).
+
+        The shard router merges these per-worker roots with
+        :meth:`~repro.core.ecm_sketch.ECMSketch.merge_many` to answer
+        cross-shard self-join queries (Theorem 4 order-preserving
+        aggregation over the wire format).
+        """
+        from ..serialization import ecm_sketch_to_dict
+
+        coordinator = self._require_multisite()
+        return {
+            "sketch": ecm_sketch_to_dict(coordinator.root_sketch()),
+            "round_clock": coordinator.last_round_clock,
+        }
 
     # ------------------------------------------------------------------ stats
     def info(self) -> Dict[str, Any]:
@@ -712,4 +767,5 @@ _QUERY_HANDLERS: Dict[str, Callable[[SketchService, Dict[str, Any]], Any]] = {
     "self_join": SketchService._query_self_join,
     "arrivals": SketchService._query_arrivals,
     "staleness": SketchService._query_staleness,
+    "root_state": SketchService._query_root_state,
 }

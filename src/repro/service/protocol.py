@@ -18,13 +18,22 @@ Operations (see :meth:`repro.service.server.SketchServer` for dispatch):
                           arrival has been applied to the sketch state
 ``point``                 point-frequency query (``key``, optional ``range``)
 ``range``                 range-frequency query (``lo``, ``hi``; hierarchical)
-``heavy_hitters``         ``phi`` threshold (hierarchical)
+``heavy_hitters``         ``phi`` threshold (hierarchical); the shard router
+                          sends workers ``absolute`` — an occurrence threshold
+                          resolved against the global arrival total — instead
 ``quantile``/``quantiles`` ``fraction``/``fractions`` (hierarchical)
 ``self_join``             second frequency moment (flat / multisite)
-``arrivals``              estimated arrivals in the range (flat)
+``arrivals``              estimated arrivals in the range (flat/hierarchical)
 ``staleness``             coordinator lag in clock units (multisite)
+``root_state``            serialized root aggregate of the latest round plus
+                          its clock (multisite; the router merges these via
+                          ``ECMSketch.merge_many`` for cross-shard self-joins)
 ``expire``                sweep out-of-window state from every cell now
-``snapshot``              write a snapshot now; result is the path
+``snapshot``              write a snapshot now (optional explicit ``path`` —
+                          how the router drives per-shard snapshot files);
+                          result is the path
+``restart_shard``         respawn worker ``shard`` from its last per-shard
+                          snapshot (sharded servers only)
 ``shutdown``              drain, snapshot (if configured) and stop the server
 ========================= ======================================================
 """

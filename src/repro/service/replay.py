@@ -38,6 +38,7 @@ class ReplayReport:
 
     records: int = 0
     batches: int = 0
+    connections: int = 1
     elapsed_seconds: float = 0.0
     drain_seconds: float = 0.0
     achieved_rate: float = 0.0
@@ -54,6 +55,7 @@ class ReplayReport:
         return {
             "records": self.records,
             "batches": self.batches,
+            "connections": self.connections,
             "elapsed_seconds": self.elapsed_seconds,
             "drain_seconds": self.drain_seconds,
             "achieved_rate": self.achieved_rate,
@@ -69,7 +71,12 @@ class ReplayReport:
     def format_lines(self) -> List[str]:
         """Human-readable report lines for the CLI."""
         lines = [
-            "records replayed:       %d (%d batches)" % (self.records, self.batches),
+            "records replayed:       %d (%d batches%s)"
+            % (
+                self.records,
+                self.batches,
+                "" if self.connections <= 1 else ", %d connections" % self.connections,
+            ),
             "replay time:            %.3f s (+ %.3f s drain)"
             % (self.elapsed_seconds, self.drain_seconds),
             "achieved ingest rate:   %.0f records/s%s"
@@ -133,6 +140,67 @@ def _percentile(sorted_values: List[float], fraction: float) -> float:
     return sorted_values[index]
 
 
+def _plan_connections(
+    keys: List[Any],
+    clocks: List[float],
+    mode: str,
+    sites: int,
+    shards: int,
+    groups: int,
+    batch_size: int,
+) -> List[List[Tuple[List[Any], List[float], int]]]:
+    """Partition the trace into per-connection batch plans.
+
+    The sharded router enforces arrival-clock ordering *per shard*, so
+    several connections can ingest concurrently only if each shard's records
+    all flow through one connection, in trace order.  Connection ``c`` owns
+    the shards ``{s : s % groups == c}``; flat/hierarchical records route by
+    :func:`~repro.service.router.shard_of` on the key, multisite batches by
+    the shard owning their site.  With one group the plan is the classic
+    single-connection replay (global batches, round-robin sites).
+    """
+    plans: List[List[Tuple[List[Any], List[float], int]]] = [[] for _ in range(groups)]
+    if groups <= 1:
+        batch_index = 0
+        for offset in range(0, len(keys), batch_size):
+            stop = offset + batch_size
+            plans[0].append((keys[offset:stop], clocks[offset:stop], batch_index % sites))
+            batch_index += 1
+        return plans
+    if mode == "multisite":
+        from .shard_worker import sites_of_shard
+
+        site_shard = [0] * sites
+        for shard in range(shards):
+            for site in sites_of_shard(sites, shards, shard):
+                site_shard[site] = shard
+        batch_index = 0
+        for offset in range(0, len(keys), batch_size):
+            stop = offset + batch_size
+            site = batch_index % sites
+            plans[site_shard[site] % groups].append(
+                (keys[offset:stop], clocks[offset:stop], site)
+            )
+            batch_index += 1
+        return plans
+    from .router import shard_column
+
+    owners = shard_column(keys, shards)
+    pending: List[Tuple[List[Any], List[float]]] = [([], []) for _ in range(groups)]
+    for index, owner in enumerate(owners):
+        connection = owner % groups
+        batch_keys, batch_clocks = pending[connection]
+        batch_keys.append(keys[index])
+        batch_clocks.append(clocks[index])
+        if len(batch_keys) >= batch_size:
+            plans[connection].append((batch_keys, batch_clocks, 0))
+            pending[connection] = ([], [])
+    for connection, (batch_keys, batch_clocks) in enumerate(pending):
+        if batch_keys:
+            plans[connection].append((batch_keys, batch_clocks, 0))
+    return plans
+
+
 async def run_replay(
     host: str = "127.0.0.1",
     port: int = 7600,
@@ -143,6 +211,7 @@ async def run_replay(
     seed: int = 7,
     dataset: str = "wc98",
     sample_keys: int = 64,
+    connections: int = 1,
 ) -> ReplayReport:
     """Replay a synthetic trace against a running server; return the report.
 
@@ -154,60 +223,84 @@ async def run_replay(
         target_rate: Target arrival rate in records/s (``None`` = as fast as
             the server accepts).
         query_every: Issue one query every this many ingest batches
-            (0 disables queries).
+            (0 disables queries; queries always ride connection 0).
         seed: Trace seed — the serial reference in the smoke test replays
             the same seed to reproduce the exact stream.
         dataset: Flat-mode trace family (``wc98``/``snmp``/``uniform``).
         sample_keys: Number of distinct keys sampled for point queries.
+        connections: Concurrent shard-affine ingest connections.  Capped at
+            the server's shard count (an unsharded server always replays
+            over one connection — per-connection order is the only order a
+            single service enforces globally).
     """
     if records <= 0:
         raise ConfigurationError("records must be positive, got %r" % (records,))
     if batch_size <= 0:
         raise ConfigurationError("batch_size must be positive, got %r" % (batch_size,))
+    if connections <= 0:
+        raise ConfigurationError("connections must be positive, got %r" % (connections,))
     client = await ServiceClient.connect(host, port)
+    extra_clients: List[ServiceClient] = []
     try:
         info = await client.info()
         trace, clocks = build_replay_stream(info, records, seed=seed, dataset=dataset)
         keys: List[Any] = [record.key for record in trace]
         mode = info.get("mode", "flat")
         sites = int(info.get("sites", 1)) if mode == "multisite" else 1
+        shards = int(info.get("shards") or 1)
+        groups = max(1, min(connections, shards))
         probe_keys: List[Any] = keys[:: max(1, len(keys) // max(1, sample_keys))][:sample_keys]
         latencies: List[float] = []
-        report = ReplayReport(target_rate=target_rate)
+        report = ReplayReport(target_rate=target_rate, connections=groups)
+
+        plans = _plan_connections(keys, clocks, mode, sites, shards, groups, batch_size)
+        for _ in range(groups - 1):
+            extra_clients.append(await ServiceClient.connect(host, port))
+        clients = [client] + extra_clients
 
         start = time.perf_counter()
-        sent = 0
-        batch_index = 0
-        for offset in range(0, len(keys), batch_size):
-            stop = offset + batch_size
-            if target_rate is not None and sent:
-                scheduled = start + sent / target_rate
-                delay = scheduled - time.perf_counter()
-                if delay > 0:
-                    await asyncio.sleep(delay)
-            site = batch_index % sites
-            sent += await client.ingest(keys[offset:stop], clocks[offset:stop], site=site)
-            batch_index += 1
-            if query_every and batch_index % query_every == 0:
-                query_start = time.perf_counter()
-                try:
-                    await _issue_query(client, mode, probe_keys, batch_index)
-                    latencies.append(time.perf_counter() - query_start)
-                    report.queries += 1
-                except ServiceRequestError:
-                    # e.g. a multisite read before the first aggregation round.
-                    report.query_errors += 1
+        sent_total = 0
+        batches_total = 0
+
+        async def run_connection(index: int) -> None:
+            nonlocal sent_total, batches_total
+            own = clients[index]
+            own_batches = 0
+            for batch_keys, batch_clocks, site in plans[index]:
+                if target_rate is not None and sent_total:
+                    # Pace against the *global* sent count so the aggregate
+                    # arrival rate (not each connection's) hits the target.
+                    scheduled = start + sent_total / target_rate
+                    delay = scheduled - time.perf_counter()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                accepted = await own.ingest(batch_keys, batch_clocks, site=site)
+                sent_total += accepted
+                batches_total += 1
+                own_batches += 1
+                if index == 0 and query_every and own_batches % query_every == 0:
+                    query_start = time.perf_counter()
+                    try:
+                        await _issue_query(own, mode, probe_keys, own_batches)
+                        latencies.append(time.perf_counter() - query_start)
+                        report.queries += 1
+                    except ServiceRequestError:
+                        # e.g. a multisite read before the first aggregation
+                        # round.
+                        report.query_errors += 1
+
+        await asyncio.gather(*(run_connection(index) for index in range(groups)))
         elapsed = time.perf_counter() - start
         drain_start = time.perf_counter()
         await client.drain()
         drain_seconds = time.perf_counter() - drain_start
 
-        report.records = sent
-        report.batches = batch_index
+        report.records = sent_total
+        report.batches = batches_total
         report.elapsed_seconds = elapsed
         report.drain_seconds = drain_seconds
         total = elapsed + drain_seconds
-        report.achieved_rate = sent / total if total > 0 else float("inf")
+        report.achieved_rate = sent_total / total if total > 0 else float("inf")
         latencies.sort()
         report.query_p50_ms = _percentile(latencies, 0.50) * 1e3
         report.query_p99_ms = _percentile(latencies, 0.99) * 1e3
@@ -215,6 +308,8 @@ async def run_replay(
         report.server_stats = await client.stats()
         return report
     finally:
+        for extra in extra_clients:
+            await extra.close()
         await client.close()
 
 

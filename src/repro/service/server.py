@@ -17,9 +17,11 @@ configured, and only then does the process exit.
 from __future__ import annotations
 
 import asyncio
+import inspect
+import json
 import signal
 import sys
-from typing import Any, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Union
 
 from ..core.errors import ConfigurationError, EmptyStructureError
 from .config import ServiceConfig
@@ -33,26 +35,102 @@ from .protocol import (
     ok_response,
 )
 
-__all__ = ["SketchServer", "run_server"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .router import ShardRouter
 
-#: Query operations dispatched straight to :meth:`SketchService.query`.
+__all__ = ["SketchServer", "ServingState", "dispatch_service_op", "run_server"]
+
+#: Anything a :class:`SketchServer` can front: the in-process service core or
+#: the sharded router (which duck-types the same surface with awaitable
+#: results — :func:`dispatch_service_op` awaits whatever it gets back).
+ServingState = Union[SketchService, "ShardRouter"]
+
+#: Query operations dispatched straight to ``service.query``.
 _QUERY_OPS = frozenset(
     ["point", "range", "heavy_hitters", "quantile", "quantiles", "self_join",
-     "arrivals", "staleness"]
+     "arrivals", "staleness", "root_state"]
 )
+
+
+async def _maybe_await(value: Any) -> Any:
+    """Resolve a result that may be a plain value or an awaitable.
+
+    :class:`~repro.service.core.SketchService` answers queries/stats
+    synchronously; the shard router returns coroutines (it has to fan out
+    over worker connections).  One dispatch path serves both.
+    """
+    if inspect.isawaitable(value):
+        return await value
+    return value
+
+
+async def dispatch_service_op(service: ServingState, message: Dict[str, Any]) -> Any:
+    """Dispatch one protocol message against a service (or router) surface.
+
+    Shared by the TCP server and the router's in-process shard backend, so a
+    local shard answers through exactly the code path a TCP worker would.
+    Raises the usual service/protocol errors; the callers map them to error
+    envelopes (TCP) or propagate them (router merge logic).
+    """
+    op = message.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("message is missing the 'op' field")
+    if op == "ping":
+        return "pong"
+    if op == "info":
+        return await _maybe_await(service.info())
+    if op == "stats":
+        return await _maybe_await(service.stats())
+    if op == "ingest":
+        keys = message.get("keys")
+        clocks = message.get("clocks")
+        if not isinstance(keys, list) or not isinstance(clocks, list):
+            raise IngestRejectedError("ingest requires 'keys' and 'clocks' lists")
+        values = message.get("values")
+        if values is not None and not isinstance(values, list):
+            raise IngestRejectedError("'values' must be a list when present")
+        site = message.get("site", 0)
+        if not isinstance(site, int) or isinstance(site, bool):
+            raise IngestRejectedError("'site' must be an integer")
+        accepted = await service.ingest(keys, clocks, values, site=site)
+        return {"accepted": accepted}
+    if op == "drain":
+        await service.drain()
+        return {"applied_clock": service.applied_clock}
+    if op == "expire":
+        await _maybe_await(service.expire_now())
+        return {"applied_clock": service.applied_clock}
+    if op == "snapshot":
+        path = message.get("path")
+        if path is not None and not isinstance(path, str):
+            raise ProtocolError("'path' must be a string when present")
+        return {"path": await service.snapshot_async(path)}
+    if op == "restart_shard":
+        restart = getattr(service, "restart_shard", None)
+        if restart is None:
+            raise ServiceError("restart_shard requires a sharded server")
+        shard = message.get("shard")
+        if not isinstance(shard, int) or isinstance(shard, bool):
+            raise ProtocolError("restart_shard requires an integer 'shard'")
+        return await restart(shard)
+    if op in _QUERY_OPS:
+        return await _maybe_await(service.query(op, message))
+    raise ProtocolError("unknown op %r" % (op,))
 
 
 class SketchServer:
     """Serve one :class:`~repro.service.core.SketchService` over TCP.
 
     Args:
-        service: The service core (not yet started; :meth:`start` starts it).
+        service: The service core, or a
+            :class:`~repro.service.router.ShardRouter` fronting worker
+            processes (not yet started; :meth:`start` starts it).
         host: Interface to bind.
         port: Port to bind (0 picks a free port; see :attr:`port` after
             :meth:`start`).
     """
 
-    def __init__(self, service: SketchService, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(self, service: ServingState, host: str = "127.0.0.1", port: int = 0) -> None:
         self.service = service
         self.host = host
         self.port = port
@@ -165,44 +243,12 @@ class SketchServer:
 
     async def _dispatch(self, message: Dict[str, Any]) -> Any:
         op = message.get("op")
-        if not isinstance(op, str):
-            raise ProtocolError("message is missing the 'op' field")
-        service = self.service
-        if op == "ping":
-            return "pong"
-        if op == "info":
-            return service.info()
-        if op == "stats":
-            return service.stats()
-        if op == "ingest":
-            if self._shutdown_event.is_set():
-                raise ServiceStoppedError("server is shutting down")
-            keys = message.get("keys")
-            clocks = message.get("clocks")
-            if not isinstance(keys, list) or not isinstance(clocks, list):
-                raise IngestRejectedError("ingest requires 'keys' and 'clocks' lists")
-            values = message.get("values")
-            if values is not None and not isinstance(values, list):
-                raise IngestRejectedError("'values' must be a list when present")
-            site = message.get("site", 0)
-            if not isinstance(site, int) or isinstance(site, bool):
-                raise IngestRejectedError("'site' must be an integer")
-            accepted = await service.ingest(keys, clocks, values, site=site)
-            return {"accepted": accepted}
-        if op == "drain":
-            await service.drain()
-            return {"applied_clock": service.applied_clock}
-        if op == "expire":
-            service.expire_now()
-            return {"applied_clock": service.applied_clock}
-        if op == "snapshot":
-            return {"path": await service.snapshot_async()}
         if op == "shutdown":
             self._shutdown_event.set()
             return {"stopping": True}
-        if op in _QUERY_OPS:
-            return service.query(op, message)
-        raise ProtocolError("unknown op %r" % (op,))
+        if op == "ingest" and self._shutdown_event.is_set():
+            raise ServiceStoppedError("server is shutting down")
+        return await dispatch_service_op(self.service, message)
 
 
 async def run_server(
@@ -211,12 +257,17 @@ async def run_server(
     port: int = 0,
     restore: Optional[str] = None,
     ready: Optional[Callable[[int], None]] = None,
+    label: str = "repro-serve",
 ) -> int:
     """Boot a server, serve until shutdown, return a process exit code.
 
     Installs SIGTERM/SIGINT handlers for graceful drain-on-shutdown (on
     platforms without ``loop.add_signal_handler`` the handlers are skipped
     and only the protocol-level ``shutdown`` op stops the server).
+
+    When ``config.shards`` is set (or ``restore`` names a shard manifest)
+    the served state is a :class:`~repro.service.router.ShardRouter` fronting
+    that many worker processes instead of one in-process service.
 
     Args:
         config: Service configuration (ignored for sketch state when
@@ -225,10 +276,25 @@ async def run_server(
             ``batch_size``, ``queue_chunks`` — taken from ``config``).
         host: Interface to bind.
         port: Port to bind (0 picks a free one).
-        restore: Path of a snapshot to restore state from on boot.
+        restore: Path of a snapshot (or shard manifest) to restore from.
         ready: Callback invoked with the bound port once serving.
+        label: Prefix of the stdout banner lines.  Shard workers use a
+            distinct per-shard label so anything parsing the parent's
+            ``repro-serve: listening on`` line never matches a worker's.
     """
+    service: ServingState
+    restore_kind: Optional[str] = None
     if restore is not None:
+        with open(restore, "r", encoding="utf-8") as handle:
+            restore_kind = json.load(handle).get("kind")
+    if config.shards is not None or restore_kind == "shard_manifest":
+        from .router import ShardRouter
+
+        if restore is not None:
+            service = ShardRouter.from_manifest(restore, overrides=config)
+        else:
+            service = ShardRouter(config)
+    elif restore is not None:
         service = SketchService.from_snapshot(restore)
         # Operational knobs follow the *current* invocation, not the one
         # that wrote the snapshot; only the sketch-state parameters (mode,
@@ -253,12 +319,16 @@ async def run_server(
             pass
     try:
         print(
-            "repro-serve: listening on %s:%d (mode=%s, backend=%s%s)"
+            "%s: listening on %s:%d (mode=%s, backend=%s%s%s)"
             % (
+                label,
                 server.host,
                 server.port,
                 service.config.mode,
                 service.config.backend,
+                ", shards=%d" % service.config.shards
+                if service.config.shards is not None
+                else "",
                 ", restored" if restore is not None else "",
             ),
             flush=True,
@@ -270,8 +340,9 @@ async def run_server(
         for signum in installed_signals:
             loop.remove_signal_handler(signum)
     print(
-        "repro-serve: drained (%d records ingested, %d requests); %s"
+        "%s: drained (%d records ingested, %d requests); %s"
         % (
+            label,
             service.records_ingested,
             server.requests_served,
             "final snapshot at %s" % service.last_snapshot_path

@@ -1,0 +1,208 @@
+"""Worker processes of the sharded serving tier.
+
+Each shard worker is a full, unmodified sketch service — a
+:class:`~repro.service.core.SketchService` behind a
+:class:`~repro.service.server.SketchServer` — running in its own process and
+owning one partition of the key universe (or of the sites, in multisite
+mode).  The router (:mod:`repro.service.router`) talks to workers over the
+same newline-delimited-JSON protocol every other client uses, so a worker is
+indistinguishable from a standalone server: it validates clocks against its
+own high-water mark, micro-batches ingest, answers queries, snapshots to an
+explicit per-shard path on request, and restores from that snapshot through
+the ordinary ``run_server(restore=...)`` path (the wire-format state
+transfer of :mod:`repro.serialization`, shared with the distributed runner).
+
+Workers are spawned with the ``spawn`` start method: the router process runs
+an asyncio loop plus executor threads, and forking such a process inherits
+locks in unknown states.  The freshly spawned interpreter re-imports
+:mod:`repro` (so the package must be importable in the child — via an
+installed distribution or an inherited ``PYTHONPATH``), builds the worker's
+service from a plain-dictionary config, binds an ephemeral port, and
+announces ``(pid, port)`` back through a one-shot pipe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import multiprocessing.connection
+import os
+import signal
+import sys
+import time
+from dataclasses import replace
+from typing import Optional
+
+from ..distributed.runner import plan_shards
+from .config import ServiceConfig
+from .core import ServiceError
+
+__all__ = ["ShardUnavailableError", "ShardProcess", "worker_config", "sites_of_shard"]
+
+#: Start method of worker processes (see module docstring for why not fork).
+_SPAWN = multiprocessing.get_context("spawn")
+
+#: How long a spawned worker may take to announce its port.  Spawn boots a
+#: fresh interpreter and imports NumPy; heavily loaded single-core CI
+#: machines take seconds, not milliseconds.
+_READY_TIMEOUT = 120.0
+
+
+class ShardUnavailableError(ServiceError):
+    """A shard worker is dead or unreachable; the request was not served."""
+
+
+def sites_of_shard(sites: int, shards: int, shard_id: int) -> range:
+    """Global site ids owned by one shard (contiguous blocks, like the
+    distributed runner's :func:`~repro.distributed.runner.plan_shards`)."""
+    plan = plan_shards(sites, shards)[shard_id]
+    return range(plan.node_ids[0], plan.node_ids[-1] + 1)
+
+
+def worker_config(config: ServiceConfig, shard_id: int) -> ServiceConfig:
+    """Derive one worker's configuration from the router's.
+
+    The worker is a plain single-process service (``shards=None``) with the
+    same sketch parameters — identical epsilon/window/backend *and hash seed*,
+    which is what makes per-shard states mergeable (Theorem 4 requires
+    matching dimensions and seeds).  Persistence knobs are stripped: the
+    router drives every snapshot through explicit per-shard paths, so workers
+    never write on their own schedule.  In multisite mode the worker's
+    coordinator spans only the sites its shard owns.
+    """
+    if config.shards is None:
+        raise ServiceError("worker_config requires a sharded configuration")
+    sites = config.sites
+    if config.mode == "multisite":
+        sites = len(sites_of_shard(config.sites, config.shards, shard_id))
+    return replace(
+        config,
+        shards=None,
+        sites=sites,
+        snapshot_every=None,
+        snapshot_path=None,
+    )
+
+
+def _shard_worker_main(
+    config_payload: dict,
+    host: str,
+    restore: Optional[str],
+    label: str,
+    connection: multiprocessing.connection.Connection,
+) -> None:
+    """Entry point of a spawned worker process."""
+    from .server import run_server
+
+    config = ServiceConfig.from_dict(config_payload)
+
+    def ready(port: int) -> None:
+        connection.send({"pid": os.getpid(), "port": port})
+        connection.close()
+
+    code = asyncio.run(
+        run_server(config, host=host, port=0, restore=restore, ready=ready, label=label)
+    )
+    sys.exit(code)
+
+
+class ShardProcess:
+    """Handle on one spawned shard-worker process.
+
+    Args:
+        shard_id: Index of the shard this worker owns.
+        config: The *worker's* configuration (already derived through
+            :func:`worker_config`).
+        host: Interface the worker binds (ephemeral port).
+        restore: Per-shard snapshot to restore from on boot.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        config: ServiceConfig,
+        host: str = "127.0.0.1",
+        restore: Optional[str] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.config = config
+        self.host = host
+        self.restore = restore
+        self.port: Optional[int] = None
+        receive_end, send_end = _SPAWN.Pipe(duplex=False)
+        self._ready_connection = receive_end
+        self.process = _SPAWN.Process(
+            target=_shard_worker_main,
+            args=(config.to_dict(), host, restore, "repro-shard%d" % shard_id, send_end),
+            name="repro-shard%d" % shard_id,
+            daemon=True,
+        )
+        self.process.start()
+        # The child holds its own duplicate of the send end; closing ours
+        # makes a worker crash surface as EOF on the receive end instead of
+        # a silent hang.
+        send_end.close()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+    def is_alive(self) -> bool:
+        return self.process.is_alive()
+
+    @property
+    def exitcode(self) -> Optional[int]:
+        return self.process.exitcode
+
+    async def wait_ready(self, timeout: float = _READY_TIMEOUT) -> int:
+        """Wait for the worker's port announcement; returns the port.
+
+        Polls the pipe with short event-loop yields (the connection has no
+        asyncio integration) and watches the process itself, so a worker
+        that dies during boot fails fast instead of timing out.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            if self._ready_connection.poll(0):
+                try:
+                    payload = self._ready_connection.recv()
+                except EOFError:
+                    raise ShardUnavailableError(
+                        "shard %d worker closed its ready pipe without announcing "
+                        "a port (exit code %r)" % (self.shard_id, self.exitcode)
+                    ) from None
+                self._ready_connection.close()
+                self.port = int(payload["port"])
+                return self.port
+            if not self.process.is_alive():
+                raise ShardUnavailableError(
+                    "shard %d worker exited during boot (exit code %r)"
+                    % (self.shard_id, self.exitcode)
+                )
+            if time.monotonic() > deadline:
+                self.kill()
+                raise ShardUnavailableError(
+                    "shard %d worker did not become ready within %.0f s"
+                    % (self.shard_id, timeout)
+                )
+            await asyncio.sleep(0.02)
+
+    def kill(self) -> None:
+        """SIGKILL the worker (fault injection / last-resort cleanup)."""
+        if self.process.is_alive():
+            self.process.kill()
+
+    def terminate(self) -> None:
+        """SIGTERM the worker (its server drains and exits gracefully)."""
+        if self.process.is_alive():
+            os.kill(self.process.pid, signal.SIGTERM)  # type: ignore[arg-type]
+
+    async def join(self, timeout: float = 30.0) -> Optional[int]:
+        """Wait (without blocking the loop) for the process to exit."""
+        deadline = time.monotonic() + timeout
+        while self.process.is_alive() and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        if self.process.is_alive():
+            return None
+        self.process.join(0)
+        return self.process.exitcode

@@ -5,25 +5,27 @@ in a subprocess, replay ~50k records through the replay CLI, check the
 served answers against a serial in-process reference fed the exact same
 trace, then SIGTERM the server and verify it drains, snapshots and exits
 cleanly — and that the snapshot restores to the same answers.
+
+Process management goes through :class:`~repro.service.launch.ServeProcess`:
+the server binds port 0 and announces the kernel-assigned port on its
+banner, so there is no free-port race and no connect-polling loop.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import signal
-import socket
 import subprocess
 import sys
 import pytest
 
 from repro.core import ECMSketch
 from repro.service import (
+    ServeProcess,
     ServiceConfig,
     SketchService,
     SyncServiceClient,
     build_replay_stream,
-    wait_for_server,
+    repro_env,
 )
 from repro.service.snapshot import load_snapshot
 
@@ -35,41 +37,17 @@ SEED = 7
 pytestmark = pytest.mark.integration
 
 
-def _free_port() -> int:
-    with socket.socket() as probe:
-        probe.bind(("127.0.0.1", 0))
-        return probe.getsockname()[1]
-
-
-def _cli_env() -> dict:
-    env = dict(os.environ)
-    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
-    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
-    return env
-
-
 class TestServiceSmoke:
     def test_serve_replay_reference_and_sigterm_snapshot(self, tmp_path):
-        port = _free_port()
         snapshot_path = tmp_path / "smoke-snapshot.json"
         report_path = tmp_path / "replay-report.json"
-        env = _cli_env()
-        server = subprocess.Popen(
-            [
-                sys.executable, "-m", "repro", "serve",
-                "--port", str(port),
-                "--mode", "flat",
-                "--epsilon", str(EPSILON),
-                "--window", str(WINDOW),
-                "--snapshot-path", str(snapshot_path),
-            ],
-            env=env,
-            stdout=subprocess.PIPE,
-            stderr=subprocess.STDOUT,
-            text=True,
-        )
-        try:
-            wait_for_server(port=port)
+        with ServeProcess(
+            "--mode", "flat",
+            "--epsilon", EPSILON,
+            "--window", WINDOW,
+            "--snapshot-path", snapshot_path,
+        ) as server:
+            port = server.wait_ready()
             replay = subprocess.run(
                 [
                     sys.executable, "-m", "repro", "replay",
@@ -78,7 +56,7 @@ class TestServiceSmoke:
                     "--seed", str(SEED),
                     "--json", str(report_path),
                 ],
-                env=env,
+                env=repro_env(),
                 capture_output=True,
                 text=True,
                 timeout=300,
@@ -103,21 +81,15 @@ class TestServiceSmoke:
                 assert client.self_join() == reference.self_join()
 
             # SIGTERM: graceful drain + final snapshot + clean exit.
-            server.send_signal(signal.SIGTERM)
-            output, _ = server.communicate(timeout=60)
-            assert server.returncode == 0, output
-            assert "drained" in output
+            assert server.stop() == 0, server.output
+            assert "drained" in server.output
             assert snapshot_path.exists()
 
-            payload = load_snapshot(snapshot_path)
-            assert payload["records_ingested"] == RECORDS
-            restored = SketchService.from_snapshot(snapshot_path)
-            for key in probe_keys:
-                assert restored.query("point", {"key": key}) == reference.point_query(key)
-        finally:
-            if server.poll() is None:
-                server.kill()
-                server.communicate(timeout=30)
+        payload = load_snapshot(snapshot_path)
+        assert payload["records_ingested"] == RECORDS
+        restored = SketchService.from_snapshot(snapshot_path)
+        for key in probe_keys:
+            assert restored.query("point", {"key": key}) == reference.point_query(key)
 
     def test_restore_flag_boots_from_snapshot(self, tmp_path):
         """`repro serve --restore` resumes from a snapshot written by a peer."""
@@ -135,21 +107,8 @@ class TestServiceSmoke:
 
         asyncio.run(seed())
 
-        port = _free_port()
-        env = _cli_env()
-        server = subprocess.Popen(
-            [
-                sys.executable, "-m", "repro", "serve",
-                "--port", str(port),
-                "--restore", str(snapshot_path),
-            ],
-            env=env,
-            stdout=subprocess.PIPE,
-            stderr=subprocess.STDOUT,
-            text=True,
-        )
-        try:
-            wait_for_server(port=port)
+        with ServeProcess("--restore", snapshot_path) as server:
+            port = server.wait_ready()
             with SyncServiceClient.connect(port=port) as client:
                 assert client.point("x") == 2.0
                 stats = client.stats()
@@ -158,10 +117,4 @@ class TestServiceSmoke:
                 client.ingest(["x"], [4.0])
                 client.drain()
                 assert client.point("x") == 3.0
-            server.send_signal(signal.SIGTERM)
-            output, _ = server.communicate(timeout=60)
-            assert server.returncode == 0, output
-        finally:
-            if server.poll() is None:
-                server.kill()
-                server.communicate(timeout=30)
+            assert server.stop() == 0, server.output

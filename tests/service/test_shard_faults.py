@@ -1,0 +1,237 @@
+"""Fault injection against the process-backed sharded tier.
+
+SIGKILL a shard worker mid-stream and check the router's contract:
+
+* it *reports* — stats answer promptly with the victim listed under
+  ``degraded`` (no hang on a dead connection);
+* it *fails fast* — ingest touching the dead shard and fan-out queries
+  raise :class:`ShardUnavailableError` instead of blocking, while queries
+  owned by healthy shards keep answering;
+* it *recovers* — ``restart_shard`` respawns the worker from its per-shard
+  snapshot, the high-water mark rolls back to the snapshot clock so the
+  lost tail can be re-sent, and post-recovery answers match serial
+  references fed the full trace;
+* a router restarted from the manifest reassembles the exact pre-crash
+  state across all shards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from typing import Any, Dict, List, Tuple
+
+import pytest
+
+from repro.service import ServiceConfig, ShardRouter, SketchService, shard_of
+from repro.service.shard_worker import ShardUnavailableError, worker_config
+
+pytestmark = pytest.mark.integration
+
+SHARDS = 3
+WINDOW = 1_000_000.0
+_STEP_TIMEOUT = 60.0
+
+
+def _config(snapshot_path: str) -> ServiceConfig:
+    return ServiceConfig(
+        mode="flat",
+        epsilon=0.1,
+        window=WINDOW,
+        shards=SHARDS,
+        batch_size=64,
+        expire_every=None,
+        snapshot_path=snapshot_path,
+        seed=5,
+    )
+
+
+def _trace(records: int, start_clock: float = 1.0) -> Tuple[List[str], List[float]]:
+    keys = ["key-%d" % (index % 12) for index in range(records)]
+    clocks = [start_clock + index for index in range(records)]
+    return keys, clocks
+
+
+async def _bounded(awaitable, timeout: float = _STEP_TIMEOUT):
+    """Every step of a fault test must finish or fail — never hang."""
+    return await asyncio.wait_for(awaitable, timeout)
+
+
+async def _reference_answers(
+    config: ServiceConfig, keys: List[str], clocks: List[float]
+) -> Dict[str, Any]:
+    """Serial per-shard references fed the full trace, merged like the router."""
+    references = [SketchService(worker_config(config, shard)) for shard in range(SHARDS)]
+    for reference in references:
+        await reference.start()
+    per_shard: Dict[int, Tuple[List[str], List[float]]] = {}
+    for key, clock in zip(keys, clocks):
+        bucket = per_shard.setdefault(shard_of(key, SHARDS), ([], []))
+        bucket[0].append(key)
+        bucket[1].append(clock)
+    for shard, (sub_keys, sub_clocks) in per_shard.items():
+        await references[shard].ingest(sub_keys, sub_clocks)
+    answers: Dict[str, Any] = {}
+    for reference in references:
+        await reference.drain()
+    probe_keys = sorted(set(keys))
+    answers["points"] = {
+        key: references[shard_of(key, SHARDS)].query("point", {"op": "point", "key": key})
+        for key in probe_keys
+    }
+    answers["self_join"] = float(
+        sum(ref.query("self_join", {"op": "self_join"}) for ref in references)
+    )
+    for reference in references:
+        await reference.stop(drain=False)
+    return answers
+
+
+class TestShardFaults:
+    def test_sigkill_degrades_fails_fast_and_recovers(self, tmp_path):
+        manifest = str(tmp_path / "faults-manifest.json")
+        config = _config(manifest)
+        keys, clocks = _trace(600)
+        cut = 400  # snapshot covers [0, cut); the tail is re-sent after recovery
+
+        async def body():
+            router = ShardRouter(config)
+            await _bounded(router.start(), 120.0)
+            try:
+                await _bounded(router.ingest(keys[:cut], clocks[:cut]))
+                await _bounded(router.drain())
+                await _bounded(router.snapshot_async())
+                await _bounded(router.ingest(keys[cut:], clocks[cut:]))
+                await _bounded(router.drain())
+
+                victim = shard_of(keys[0], SHARDS)
+                router.workers.kill(victim)
+
+                # Degraded status is *reported*, promptly, not hung on.
+                stats = await _bounded(router.stats())
+                assert victim in stats["degraded"]
+                assert not stats["shard_details"][victim]["alive"]
+
+                # Ingest touching the victim fails fast...
+                with pytest.raises(ShardUnavailableError):
+                    await _bounded(
+                        router.ingest(keys[:SHARDS * 4], [clocks[-1] + 1.0] * (SHARDS * 4))
+                    )
+                # ...fan-out queries fail fast...
+                with pytest.raises(ShardUnavailableError):
+                    await _bounded(router.query("self_join", {"op": "self_join"}))
+                with pytest.raises(ShardUnavailableError):
+                    await _bounded(router.drain())
+                # ...and snapshots refuse (a manifest missing a live shard
+                # would restore into silent data loss).
+                with pytest.raises(ShardUnavailableError):
+                    await _bounded(router.snapshot_async())
+
+                # Keys owned by healthy shards still answer.
+                healthy = next(
+                    key for key in sorted(set(keys)) if shard_of(key, SHARDS) != victim
+                )
+                assert (
+                    await _bounded(router.query("point", {"op": "point", "key": healthy}))
+                    >= 0.0
+                )
+
+                # Recovery: respawn from the per-shard snapshot; the victim's
+                # high-water mark rolls back to the snapshot clock.
+                outcome = await _bounded(router.restart_shard(victim), 120.0)
+                assert outcome["restored_from"] is not None
+                victim_snapshot_clock = max(
+                    clock
+                    for key, clock in zip(keys[:cut], clocks[:cut])
+                    if shard_of(key, SHARDS) == victim
+                )
+                assert outcome["applied_clock"] == victim_snapshot_clock
+                assert (await _bounded(router.stats()))["degraded"] == []
+
+                # Re-send the victim's lost tail (snapshot-granular recovery
+                # contract; healthy shards keep their high-water marks, so
+                # only the victim's sub-stream is replayed), then compare
+                # every answer against serial references.
+                lost = [
+                    (key, clock)
+                    for key, clock in zip(keys[cut:], clocks[cut:])
+                    if shard_of(key, SHARDS) == victim
+                ]
+                await _bounded(
+                    router.ingest([key for key, _ in lost], [clock for _, clock in lost])
+                )
+                await _bounded(router.drain())
+                reference = await _reference_answers(config, keys, clocks)
+                for key, expected in reference["points"].items():
+                    served = await _bounded(router.query("point", {"op": "point", "key": key}))
+                    assert served == expected, key
+                assert (
+                    await _bounded(router.query("self_join", {"op": "self_join"}))
+                    == reference["self_join"]
+                )
+            finally:
+                await router.stop(drain=False)
+
+        asyncio.run(body())
+
+    def test_router_restart_from_manifest_reassembles_state(self, tmp_path):
+        manifest = str(tmp_path / "restart-manifest.json")
+        config = _config(manifest)
+        keys, clocks = _trace(500)
+
+        async def body():
+            router = ShardRouter(config)
+            await _bounded(router.start(), 120.0)
+            try:
+                await _bounded(router.ingest(keys, clocks))
+                await _bounded(router.drain())
+            finally:
+                # Graceful stop drains and writes the final manifest.
+                final = await _bounded(router.stop(drain=True), 120.0)
+            assert final == manifest
+            assert os.path.exists(manifest)
+
+            restored = ShardRouter.from_manifest(manifest)
+            await _bounded(restored.start(), 120.0)
+            try:
+                assert restored.records_ingested == len(keys)
+                reference = await _reference_answers(config, keys, clocks)
+                for key, expected in reference["points"].items():
+                    served = await _bounded(
+                        restored.query("point", {"op": "point", "key": key})
+                    )
+                    assert served == expected, key
+                # The restored tier keeps ingesting past the watermark.
+                await _bounded(restored.ingest([keys[0]], [clocks[-1] + 1.0]))
+                await _bounded(restored.drain())
+                bumped = await _bounded(
+                    restored.query("point", {"op": "point", "key": keys[0]})
+                )
+                assert bumped == reference["points"][keys[0]] + 1.0
+            finally:
+                await restored.stop(drain=False)
+
+        asyncio.run(body())
+
+    def test_dead_channel_fails_pending_requests(self, tmp_path):
+        """A request racing a worker death resolves with
+        ShardUnavailableError — it is not a stranded future.  Depending on
+        when the EOF is noticed the error is raised at submit time or when
+        the response future fails; both surface the same exception."""
+        config = _config(str(tmp_path / "inflight-manifest.json"))
+        keys, clocks = _trace(50)
+
+        async def body():
+            router = ShardRouter(config)
+            await _bounded(router.start(), 120.0)
+            try:
+                await _bounded(router.ingest(keys, clocks))
+                await _bounded(router.drain())
+                victim = 0
+                router.workers.kill(victim)
+                with pytest.raises(ShardUnavailableError):
+                    await _bounded(router.workers.submit(victim, {"op": "drain"}))
+            finally:
+                await router.stop(drain=False)
+
+        asyncio.run(body())
