@@ -270,6 +270,32 @@ def build_parser() -> argparse.ArgumentParser:
                                    "universe (or the sites) across this many worker "
                                    "processes behind a merging router (default: one "
                                    "in-process service)")
+    serve_parser.add_argument("--pool", action="store_true",
+                              help="serve a multi-tenant sketch pool: every stateful "
+                                   "op is namespaced by a 'tenant' id, the flags above "
+                                   "become the default tenant configuration, and cold "
+                                   "tenants are evicted to snapshots under --pool-dir")
+    serve_parser.add_argument("--pool-dir", type=str, default=None,
+                              help="durable pool directory (tenant catalog + eviction "
+                                   "snapshots); required with --pool")
+    serve_parser.add_argument("--memory-budget", type=_positive_int, default=None,
+                              metavar="BYTES", dest="memory_budget",
+                              help="resident-memory budget of the pool in bytes; "
+                                   "exceeding it evicts least-recently-touched tenants")
+
+    gateway_parser = subparsers.add_parser(
+        "gateway",
+        help="run the HTTP/REST gateway in front of a running sketch server",
+    )
+    gateway_parser.add_argument("--host", type=str, default="127.0.0.1",
+                                help="interface the gateway binds")
+    gateway_parser.add_argument("--port", type=int, default=8080,
+                                help="HTTP port to bind (0 picks a free port; "
+                                     "default 8080)")
+    gateway_parser.add_argument("--backend-host", type=str, default="127.0.0.1",
+                                help="host of the sketch server to front")
+    gateway_parser.add_argument("--backend-port", type=int, default=7600,
+                                help="port of the sketch server to front")
 
     replay_parser = subparsers.add_parser(
         "replay",
@@ -422,6 +448,9 @@ def _serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
             snapshot_path=args.snapshot_path,
             seed=args.seed,
             shards=args.shards,
+            pool=args.pool,
+            pool_dir=args.pool_dir,
+            memory_budget_bytes=args.memory_budget,
         )
     except ConfigurationError as exc:
         out("error: %s" % (exc,))
@@ -429,6 +458,25 @@ def _serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     try:
         return asyncio.run(
             run_server(config, host=args.host, port=args.port, restore=args.restore)
+        )
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        return 0
+
+
+def _gateway(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """Run the HTTP/REST gateway until SIGTERM/SIGINT."""
+    import asyncio
+
+    from .service.gateway import run_gateway
+
+    try:
+        return asyncio.run(
+            run_gateway(
+                backend_host=args.backend_host,
+                backend_port=args.backend_port,
+                host=args.host,
+                port=args.port,
+            )
         )
     except KeyboardInterrupt:  # pragma: no cover - direct ^C race
         return 0
@@ -504,6 +552,9 @@ def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = prin
 
     if args.command == "serve":
         return _serve(args, out)
+
+    if args.command == "gateway":
+        return _gateway(args, out)
 
     if args.command == "replay":
         return _replay(args, out)

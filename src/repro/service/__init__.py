@@ -14,8 +14,17 @@ serving path:
   tasks run periodic ``expire`` sweeps and snapshots.
 * :class:`~repro.service.server.SketchServer` — a newline-delimited-JSON TCP
   front end (``asyncio.start_server``) with graceful drain-on-shutdown.
+* :class:`~repro.service.pool.TenantPool` — the multi-tenant pool: a SQLite
+  tenant catalog, per-tenant sketch services, and a memory governor that
+  evicts least-recently-touched tenants to snapshots under a byte budget and
+  restores them lazily (byte-identically) on the next touch.
+* :class:`~repro.service.gateway.GatewayServer` — the HTTP/REST face: maps
+  REST routes under ``/v1`` onto protocol messages and protocol error codes
+  onto HTTP statuses.
 * :class:`~repro.service.client.ServiceClient` /
-  :class:`~repro.service.client.SyncServiceClient` — thin protocol clients.
+  :class:`~repro.service.client.SyncServiceClient` — the typed client layer
+  (sync wraps async; results are :mod:`~repro.service.models` dataclasses,
+  failures are :mod:`~repro.service.errors` exceptions).
 * :mod:`~repro.service.snapshot` — atomic snapshot/restore of the whole
   service state on the existing serialization wire format.
 * :mod:`~repro.service.replay` — a load driver that replays a generated
@@ -25,19 +34,51 @@ serving path:
   sharded serving tier: a front-end :class:`~repro.service.router.ShardRouter`
   hash-partitions the key universe (or the sites) across worker processes,
   each a full service, and answers queries by merging per-shard estimates
-  (the paper's Theorem 4 order-preserving aggregation).
+  (the paper's Theorem 4 order-preserving aggregation).  ``--pool`` composes:
+  tenants are hashed across workers, each worker running its own pool.
 * :mod:`~repro.service.launch` — subprocess harness booting ``repro serve``
   with banner-based (not poll-based) readiness for tests and benchmarks.
 
-The CLI front ends are ``repro serve`` (``--shards N`` for the sharded tier)
-and ``repro replay`` (``--connections M`` for concurrent ingest).
+The CLI front ends are ``repro serve`` (``--shards N`` for the sharded tier,
+``--pool --pool-dir D --memory-budget B`` for the tenant pool), ``repro
+gateway`` (the REST front), and ``repro replay`` (``--connections M`` for
+concurrent ingest).
 """
 
 from .config import ServiceConfig
 from .core import IngestRejectedError, ServiceStoppedError, SketchService
-from .client import ServiceClient, SyncServiceClient, wait_for_server
+from .client import ServiceClient, ServiceRequestError, SyncServiceClient, wait_for_server
+from .errors import (
+    ERROR_CODES,
+    BadRequestError,
+    ClockRegressionError,
+    EmptyStateError,
+    InvalidParameterError,
+    ModeMismatchError,
+    PoolDisabledError,
+    ServiceError,
+    TenantEvictedError,
+    TenantExistsError,
+    TenantNotFoundError,
+    TenantRequiredError,
+    UnknownOperationError,
+    VersionMismatchError,
+    error_envelope,
+    exception_for_error,
+)
+from .gateway import STATUS_FOR_CODE, GatewayServer, run_gateway, status_for_code
 from .launch import ServeProcess, repro_env
-from .protocol import MAX_LINE_BYTES, ProtocolError, decode_line, encode_message
+from .models import HeavyHitter, ServerInfo, ServerStats, TenantDescription, TenantStats
+from .pool import TENANT_CONFIG_KEYS, TenantCatalog, TenantPool
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    check_protocol_version,
+    decode_line,
+    encode_message,
+    protocol_major,
+)
 from .replay import ReplayReport, build_replay_stream, run_replay
 from .router import (
     LocalShardBackend,
@@ -53,32 +94,72 @@ from .snapshot import load_snapshot, service_state_from_snapshot, snapshot_paylo
 __all__ = [
     "ServiceConfig",
     "SketchService",
-    "IngestRejectedError",
-    "ServiceStoppedError",
     "SketchServer",
     "run_server",
     "dispatch_service_op",
+    # clients + typed results
     "ServiceClient",
     "SyncServiceClient",
     "wait_for_server",
-    "ServeProcess",
-    "repro_env",
+    "HeavyHitter",
+    "ServerInfo",
+    "ServerStats",
+    "TenantDescription",
+    "TenantStats",
+    # errors
+    "ServiceError",
+    "ServiceRequestError",
+    "BadRequestError",
+    "UnknownOperationError",
+    "InvalidParameterError",
+    "ModeMismatchError",
+    "EmptyStateError",
+    "IngestRejectedError",
+    "ClockRegressionError",
+    "ServiceStoppedError",
+    "ShardUnavailableError",
+    "VersionMismatchError",
+    "PoolDisabledError",
+    "TenantRequiredError",
+    "TenantNotFoundError",
+    "TenantExistsError",
+    "TenantEvictedError",
+    "ERROR_CODES",
+    "error_envelope",
+    "exception_for_error",
+    # protocol
     "ProtocolError",
     "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "protocol_major",
+    "check_protocol_version",
     "encode_message",
     "decode_line",
+    # pool
+    "TenantPool",
+    "TenantCatalog",
+    "TENANT_CONFIG_KEYS",
+    # gateway
+    "GatewayServer",
+    "run_gateway",
+    "STATUS_FOR_CODE",
+    "status_for_code",
+    # harness + replay
+    "ServeProcess",
+    "repro_env",
     "ReplayReport",
     "build_replay_stream",
     "run_replay",
+    # sharded tier
     "ShardRouter",
     "LocalShardBackend",
     "ProcessShardBackend",
     "shard_of",
     "shard_column",
     "ShardProcess",
-    "ShardUnavailableError",
     "sites_of_shard",
     "worker_config",
+    # snapshots
     "snapshot_payload",
     "write_snapshot",
     "load_snapshot",

@@ -1,14 +1,30 @@
-"""Thin clients for the sketch-service protocol.
+"""The client surface of the sketch-service protocol.
 
-Two flavours over the same newline-delimited-JSON wire format:
+One typed request layer, two faces:
 
-* :class:`ServiceClient` — asyncio streams; used by the replay load driver
-  and anything already living in an event loop.
-* :class:`SyncServiceClient` — a blocking socket client for tests, scripts
-  and interactive use; no event loop required.
+* :class:`ServiceClient` — the asyncio implementation.  Every protocol
+  operation is implemented exactly once, here.
+* :class:`SyncServiceClient` — the blocking face for tests, scripts and
+  interactive use: a thin wrapper that drives a private event loop and
+  delegates every call to an inner :class:`ServiceClient`.
 
-Both raise :class:`ServiceRequestError` when the server answers
-``{"ok": false}``, carrying the server's error message.
+Connecting performs the ``hello`` handshake: the client announces its
+:data:`~repro.service.protocol.PROTOCOL_VERSION` and refuses servers with a
+different protocol major (:class:`~repro.service.errors.VersionMismatchError`
+— also raised when the server predates the handshake entirely).
+
+Failures are typed: an ``ok: false`` response raises the exception class
+matching its error code (see :mod:`repro.service.errors`), so
+``except TenantNotFoundError`` works against a remote server exactly like
+in-process.  Results are typed too — :meth:`ServiceClient.get_info` /
+:meth:`ServiceClient.get_stats` return dataclasses, ``heavy_hitters``
+returns :class:`~repro.service.models.HeavyHitter` rows (tuple-compatible
+with the old pairs).  The old dict-returning ``info()``/``stats()`` remain
+as one-release deprecation shims.
+
+Every operation takes an optional ``tenant`` keyword: against a pooled
+server it namespaces the call to that tenant; against a single-sketch
+server passing one raises :class:`~repro.service.errors.PoolDisabledError`.
 """
 
 from __future__ import annotations
@@ -16,9 +32,23 @@ from __future__ import annotations
 import asyncio
 import socket
 import time
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+import warnings
+from typing import Any, Dict, Hashable, List, Optional, Sequence
 
-from .protocol import MAX_LINE_BYTES, ProtocolError, decode_line, encode_message
+from .errors import (
+    ProtocolError,
+    ServiceRequestError,
+    VersionMismatchError,
+    exception_for_error,
+)
+from .models import HeavyHitter, ServerInfo, ServerStats, TenantDescription, TenantStats
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    decode_line,
+    encode_message,
+    protocol_major,
+)
 
 __all__ = ["ServiceRequestError", "ServiceClient", "SyncServiceClient", "wait_for_server"]
 
@@ -43,15 +73,11 @@ def wait_for_server(host: str = "127.0.0.1", port: int = 7600, timeout: float = 
     raise TimeoutError("no server listening on %s:%d after %.0f s" % (host, port, timeout))
 
 
-class ServiceRequestError(Exception):
-    """The server rejected a request (``ok: false`` response)."""
-
-
 def _unwrap(response: Dict[str, Any]) -> Any:
     if not isinstance(response, dict) or "ok" not in response:
         raise ProtocolError("malformed response: %r" % (response,))
     if not response["ok"]:
-        raise ServiceRequestError(str(response.get("error", "unknown server error")))
+        raise exception_for_error(response.get("error"))
     return response.get("result")
 
 
@@ -61,12 +87,35 @@ class ServiceClient:
     def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         self._reader = reader
         self._writer = writer
+        #: Protocol version the server announced at handshake (``None``
+        #: when the connection was opened with ``handshake=False``).
+        self.server_protocol_version: Optional[str] = None
 
     @classmethod
-    async def connect(cls, host: str = "127.0.0.1", port: int = 7600) -> "ServiceClient":
-        """Open a connection to a running server."""
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 7600, handshake: bool = True
+    ) -> "ServiceClient":
+        """Open a connection and (by default) run the version handshake.
+
+        Raises:
+            VersionMismatchError: The server speaks a different protocol
+                major, or predates the ``hello`` operation entirely.
+        """
         reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES)
-        return cls(reader, writer)
+        client = cls(reader, writer)
+        if handshake:
+            try:
+                await client.hello()
+            except VersionMismatchError:
+                await client.close()
+                raise
+            except ServiceRequestError as exc:
+                await client.close()
+                raise VersionMismatchError(
+                    "server did not complete the protocol handshake "
+                    "(pre-2.0 server?): %s" % (exc,)
+                ) from exc
+        return client
 
     async def close(self) -> None:
         """Close the connection."""
@@ -83,7 +132,11 @@ class ServiceClient:
         await self.close()
 
     async def request(self, message: Dict[str, Any]) -> Any:
-        """Send one request and return its unwrapped result."""
+        """Send one request and return its unwrapped result.
+
+        Raises the typed exception for the response's error code on any
+        ``ok: false`` answer.
+        """
         self._writer.write(encode_message(message))
         await self._writer.drain()
         line = await self._reader.readline()
@@ -91,15 +144,62 @@ class ServiceClient:
             raise ConnectionError("server closed the connection")
         return _unwrap(decode_line(line))
 
+    @staticmethod
+    def _message(op: str, tenant: Optional[str], **fields: Any) -> Dict[str, Any]:
+        message: Dict[str, Any] = {"op": op}
+        if tenant is not None:
+            message["tenant"] = tenant
+        for name, value in fields.items():
+            if value is not None:
+                message[name] = value
+        return message
+
+    # ------------------------------------------------------------- handshake
+    async def hello(self) -> Dict[str, Any]:
+        """Exchange protocol versions; raises on an incompatible major."""
+        result = dict(
+            await self.request({"op": "hello", "protocol_version": PROTOCOL_VERSION})
+        )
+        version = str(result.get("protocol_version", ""))
+        if protocol_major(version) != protocol_major(PROTOCOL_VERSION):
+            raise VersionMismatchError(
+                "server speaks protocol %s, this client speaks %s"
+                % (version, PROTOCOL_VERSION)
+            )
+        self.server_protocol_version = version
+        return result
+
     # ------------------------------------------------------------ operations
     async def ping(self) -> str:
         return str(await self.request({"op": "ping"}))
 
+    async def get_info(self) -> ServerInfo:
+        """Static server parameters, typed."""
+        return ServerInfo.from_payload(dict(await self.request({"op": "info"})))
+
+    async def get_stats(self) -> ServerStats:
+        """Live server counters, typed."""
+        return ServerStats.from_payload(dict(await self.request({"op": "stats"})))
+
     async def info(self) -> Dict[str, Any]:
-        return dict(await self.request({"op": "info"}))
+        """Deprecated: use :meth:`get_info` (this returns its ``.raw``)."""
+        warnings.warn(
+            "ServiceClient.info() is deprecated; use get_info() (ServerInfo.raw "
+            "holds the full payload)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return (await self.get_info()).raw
 
     async def stats(self) -> Dict[str, Any]:
-        return dict(await self.request({"op": "stats"}))
+        """Deprecated: use :meth:`get_stats` (this returns its ``.raw``)."""
+        warnings.warn(
+            "ServiceClient.stats() is deprecated; use get_stats() (ServerStats.raw "
+            "holds the full payload)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return (await self.get_stats()).raw
 
     async def ingest(
         self,
@@ -107,70 +207,144 @@ class ServiceClient:
         clocks: Sequence[float],
         values: Optional[Sequence[int]] = None,
         site: int = 0,
+        tenant: Optional[str] = None,
     ) -> int:
-        message: Dict[str, Any] = {
-            "op": "ingest", "keys": list(keys), "clocks": list(clocks), "site": site,
-        }
+        message = self._message("ingest", tenant, site=site)
+        message["keys"] = list(keys)
+        message["clocks"] = list(clocks)
         if values is not None:
             message["values"] = list(values)
         result = await self.request(message)
         return int(result["accepted"])
 
-    async def drain(self) -> Optional[float]:
-        result = await self.request({"op": "drain"})
+    async def drain(self, tenant: Optional[str] = None) -> Optional[float]:
+        result = await self.request(self._message("drain", tenant))
         return result.get("applied_clock")
 
-    async def point(self, key: Hashable, range_length: Optional[float] = None) -> float:
-        message: Dict[str, Any] = {"op": "point", "key": key}
-        if range_length is not None:
-            message["range"] = range_length
+    async def expire(self, tenant: Optional[str] = None) -> Optional[float]:
+        """Force one expiry sweep; returns the applied clock."""
+        result = await self.request(self._message("expire", tenant))
+        return result.get("applied_clock")
+
+    async def point(
+        self,
+        key: Hashable,
+        range_length: Optional[float] = None,
+        tenant: Optional[str] = None,
+    ) -> float:
+        message = self._message("point", tenant, range=range_length)
+        message["key"] = key
         return float(await self.request(message))
 
     async def range_query(
-        self, lo: int, hi: int, range_length: Optional[float] = None
+        self,
+        lo: int,
+        hi: int,
+        range_length: Optional[float] = None,
+        tenant: Optional[str] = None,
     ) -> float:
-        message: Dict[str, Any] = {"op": "range", "lo": lo, "hi": hi}
-        if range_length is not None:
-            message["range"] = range_length
-        return float(await self.request(message))
+        return float(
+            await self.request(self._message("range", tenant, lo=lo, hi=hi, range=range_length))
+        )
 
     async def heavy_hitters(
-        self, phi: float, range_length: Optional[float] = None
-    ) -> List[Tuple[int, float]]:
-        message: Dict[str, Any] = {"op": "heavy_hitters", "phi": phi}
-        if range_length is not None:
-            message["range"] = range_length
-        return [(int(key), float(estimate)) for key, estimate in await self.request(message)]
+        self,
+        phi: float,
+        range_length: Optional[float] = None,
+        tenant: Optional[str] = None,
+    ) -> List[HeavyHitter]:
+        rows = await self.request(
+            self._message("heavy_hitters", tenant, phi=phi, range=range_length)
+        )
+        return [HeavyHitter(int(key), float(estimate)) for key, estimate in rows]
 
-    async def quantile(self, fraction: float, range_length: Optional[float] = None) -> int:
-        message: Dict[str, Any] = {"op": "quantile", "fraction": fraction}
-        if range_length is not None:
-            message["range"] = range_length
-        return int(await self.request(message))
+    async def quantile(
+        self,
+        fraction: float,
+        range_length: Optional[float] = None,
+        tenant: Optional[str] = None,
+    ) -> int:
+        return int(
+            await self.request(
+                self._message("quantile", tenant, fraction=fraction, range=range_length)
+            )
+        )
 
-    async def self_join(self, range_length: Optional[float] = None) -> float:
-        message: Dict[str, Any] = {"op": "self_join"}
-        if range_length is not None:
-            message["range"] = range_length
-        return float(await self.request(message))
+    async def quantiles(
+        self,
+        fractions: Sequence[float],
+        range_length: Optional[float] = None,
+        tenant: Optional[str] = None,
+    ) -> List[int]:
+        result = await self.request(
+            self._message("quantiles", tenant, fractions=list(fractions), range=range_length)
+        )
+        return [int(key) for key in result]
 
-    async def snapshot(self, path: Optional[str] = None) -> str:
-        message: Dict[str, Any] = {"op": "snapshot"}
-        if path is not None:
-            message["path"] = path
-        result = await self.request(message)
+    async def self_join(
+        self, range_length: Optional[float] = None, tenant: Optional[str] = None
+    ) -> float:
+        return float(await self.request(self._message("self_join", tenant, range=range_length)))
+
+    async def arrivals(
+        self, range_length: Optional[float] = None, tenant: Optional[str] = None
+    ) -> float:
+        """Estimated in-window arrival total."""
+        return float(await self.request(self._message("arrivals", tenant, range=range_length)))
+
+    async def staleness(
+        self, now: Optional[float] = None, tenant: Optional[str] = None
+    ) -> float:
+        """Multisite answer staleness at stream clock ``now``."""
+        return float(await self.request(self._message("staleness", tenant, now=now)))
+
+    async def snapshot(
+        self, path: Optional[str] = None, tenant: Optional[str] = None
+    ) -> str:
+        result = await self.request(self._message("snapshot", tenant, path=path))
         return str(result["path"])
 
     async def restart_shard(self, shard: int) -> Dict[str, Any]:
         """Ask a sharded server to respawn one worker from its snapshot."""
         return dict(await self.request({"op": "restart_shard", "shard": shard}))
 
+    # ------------------------------------------------------ tenant lifecycle
+    async def create_tenant(
+        self, tenant: str, config: Optional[Dict[str, Any]] = None
+    ) -> TenantStats:
+        """Create a tenant on a pooled server (optional config overrides)."""
+        result = await self.request(self._message("tenant_create", tenant, config=config))
+        return TenantStats.from_payload(dict(result))
+
+    async def delete_tenant(self, tenant: str) -> None:
+        """Delete a tenant: its live state, snapshot and catalog entry."""
+        await self.request(self._message("tenant_delete", tenant))
+
+    async def list_tenants(self) -> List[TenantDescription]:
+        """Describe every tenant in the pool's catalog."""
+        rows = await self.request({"op": "tenant_list"})
+        return [TenantDescription.from_payload(dict(row)) for row in rows]
+
+    async def tenant_stats(self, tenant: str) -> TenantStats:
+        """Live counters of one tenant (restores it when evicted)."""
+        result = await self.request(self._message("tenant_stats", tenant))
+        return TenantStats.from_payload(dict(result))
+
+    async def pool_sweep(self) -> Dict[str, Any]:
+        """Run the pool's expiry + budget-enforcement sweep immediately."""
+        return dict(await self.request({"op": "pool_sweep"}))
+
     async def shutdown(self) -> None:
         await self.request({"op": "shutdown"})
 
 
 class SyncServiceClient:
-    """Blocking socket client: same operations, no event loop.
+    """Blocking face of :class:`ServiceClient`: same operations, no loop.
+
+    Drives a private event loop around an inner async client, so every
+    operation exists exactly once (in :class:`ServiceClient`) and this class
+    is pure delegation.  Not thread-safe: one thread per client, like one
+    task per async client.
 
     Example:
         >>> client = SyncServiceClient.connect(port=7600)   # doctest: +SKIP
@@ -178,24 +352,40 @@ class SyncServiceClient:
         2
     """
 
-    def __init__(self, sock: socket.socket) -> None:
-        self._socket = sock
-        self._file = sock.makefile("rwb")
+    def __init__(self, loop: asyncio.AbstractEventLoop, client: ServiceClient) -> None:
+        self._loop = loop
+        self._client = client
 
     @classmethod
     def connect(
-        cls, host: str = "127.0.0.1", port: int = 7600, timeout: Optional[float] = 30.0
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 7600,
+        timeout: Optional[float] = 30.0,
+        handshake: bool = True,
     ) -> "SyncServiceClient":
-        """Open a blocking connection to a running server."""
-        sock = socket.create_connection((host, port), timeout=timeout)
-        return cls(sock)
+        """Open a blocking connection (and handshake) to a running server."""
+        loop = asyncio.new_event_loop()
+        try:
+            opening = ServiceClient.connect(host, port, handshake=handshake)
+            if timeout is not None:
+                client = loop.run_until_complete(asyncio.wait_for(opening, timeout))
+            else:
+                client = loop.run_until_complete(opening)
+        except BaseException:
+            loop.close()
+            raise
+        return cls(loop, client)
+
+    def _call(self, coroutine: Any) -> Any:
+        return self._loop.run_until_complete(coroutine)
 
     def close(self) -> None:
-        """Close the connection."""
+        """Close the connection and the private loop."""
         try:
-            self._file.close()
+            self._call(self._client.close())
         finally:
-            self._socket.close()
+            self._loop.close()
 
     def __enter__(self) -> "SyncServiceClient":
         return self
@@ -203,24 +393,46 @@ class SyncServiceClient:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    @property
+    def server_protocol_version(self) -> Optional[str]:
+        return self._client.server_protocol_version
+
     def request(self, message: Dict[str, Any]) -> Any:
         """Send one request and return its unwrapped result."""
-        self._file.write(encode_message(message))
-        self._file.flush()
-        line = self._file.readline(MAX_LINE_BYTES + 1)
-        if not line:
-            raise ConnectionError("server closed the connection")
-        return _unwrap(decode_line(line))
+        return self._call(self._client.request(message))
 
     # ------------------------------------------------------------ operations
     def ping(self) -> str:
-        return str(self.request({"op": "ping"}))
+        return self._call(self._client.ping())
+
+    def hello(self) -> Dict[str, Any]:
+        return self._call(self._client.hello())
+
+    def get_info(self) -> ServerInfo:
+        return self._call(self._client.get_info())
+
+    def get_stats(self) -> ServerStats:
+        return self._call(self._client.get_stats())
 
     def info(self) -> Dict[str, Any]:
-        return dict(self.request({"op": "info"}))
+        """Deprecated: use :meth:`get_info` (this returns its ``.raw``)."""
+        warnings.warn(
+            "SyncServiceClient.info() is deprecated; use get_info() (ServerInfo.raw "
+            "holds the full payload)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._call(self._client.get_info()).raw
 
     def stats(self) -> Dict[str, Any]:
-        return dict(self.request({"op": "stats"}))
+        """Deprecated: use :meth:`get_stats` (this returns its ``.raw``)."""
+        warnings.warn(
+            "SyncServiceClient.stats() is deprecated; use get_stats() (ServerStats.raw "
+            "holds the full payload)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._call(self._client.get_stats()).raw
 
     def ingest(
         self,
@@ -228,58 +440,93 @@ class SyncServiceClient:
         clocks: Sequence[float],
         values: Optional[Sequence[int]] = None,
         site: int = 0,
+        tenant: Optional[str] = None,
     ) -> int:
-        message: Dict[str, Any] = {
-            "op": "ingest", "keys": list(keys), "clocks": list(clocks), "site": site,
-        }
-        if values is not None:
-            message["values"] = list(values)
-        return int(self.request(message)["accepted"])
+        return self._call(self._client.ingest(keys, clocks, values, site=site, tenant=tenant))
 
-    def drain(self) -> Optional[float]:
-        return self.request({"op": "drain"}).get("applied_clock")
+    def drain(self, tenant: Optional[str] = None) -> Optional[float]:
+        return self._call(self._client.drain(tenant=tenant))
 
-    def point(self, key: Hashable, range_length: Optional[float] = None) -> float:
-        message: Dict[str, Any] = {"op": "point", "key": key}
-        if range_length is not None:
-            message["range"] = range_length
-        return float(self.request(message))
+    def expire(self, tenant: Optional[str] = None) -> Optional[float]:
+        return self._call(self._client.expire(tenant=tenant))
 
-    def range_query(self, lo: int, hi: int, range_length: Optional[float] = None) -> float:
-        message: Dict[str, Any] = {"op": "range", "lo": lo, "hi": hi}
-        if range_length is not None:
-            message["range"] = range_length
-        return float(self.request(message))
+    def point(
+        self,
+        key: Hashable,
+        range_length: Optional[float] = None,
+        tenant: Optional[str] = None,
+    ) -> float:
+        return self._call(self._client.point(key, range_length, tenant=tenant))
+
+    def range_query(
+        self,
+        lo: int,
+        hi: int,
+        range_length: Optional[float] = None,
+        tenant: Optional[str] = None,
+    ) -> float:
+        return self._call(self._client.range_query(lo, hi, range_length, tenant=tenant))
 
     def heavy_hitters(
-        self, phi: float, range_length: Optional[float] = None
-    ) -> List[Tuple[int, float]]:
-        message: Dict[str, Any] = {"op": "heavy_hitters", "phi": phi}
-        if range_length is not None:
-            message["range"] = range_length
-        return [(int(key), float(estimate)) for key, estimate in self.request(message)]
+        self,
+        phi: float,
+        range_length: Optional[float] = None,
+        tenant: Optional[str] = None,
+    ) -> List[HeavyHitter]:
+        return self._call(self._client.heavy_hitters(phi, range_length, tenant=tenant))
 
-    def quantile(self, fraction: float, range_length: Optional[float] = None) -> int:
-        message: Dict[str, Any] = {"op": "quantile", "fraction": fraction}
-        if range_length is not None:
-            message["range"] = range_length
-        return int(self.request(message))
+    def quantile(
+        self,
+        fraction: float,
+        range_length: Optional[float] = None,
+        tenant: Optional[str] = None,
+    ) -> int:
+        return self._call(self._client.quantile(fraction, range_length, tenant=tenant))
 
-    def self_join(self, range_length: Optional[float] = None) -> float:
-        message: Dict[str, Any] = {"op": "self_join"}
-        if range_length is not None:
-            message["range"] = range_length
-        return float(self.request(message))
+    def quantiles(
+        self,
+        fractions: Sequence[float],
+        range_length: Optional[float] = None,
+        tenant: Optional[str] = None,
+    ) -> List[int]:
+        return self._call(self._client.quantiles(fractions, range_length, tenant=tenant))
 
-    def snapshot(self, path: Optional[str] = None) -> str:
-        message: Dict[str, Any] = {"op": "snapshot"}
-        if path is not None:
-            message["path"] = path
-        return str(self.request(message)["path"])
+    def self_join(
+        self, range_length: Optional[float] = None, tenant: Optional[str] = None
+    ) -> float:
+        return self._call(self._client.self_join(range_length, tenant=tenant))
+
+    def arrivals(
+        self, range_length: Optional[float] = None, tenant: Optional[str] = None
+    ) -> float:
+        return self._call(self._client.arrivals(range_length, tenant=tenant))
+
+    def staleness(self, now: Optional[float] = None, tenant: Optional[str] = None) -> float:
+        return self._call(self._client.staleness(now, tenant=tenant))
+
+    def snapshot(self, path: Optional[str] = None, tenant: Optional[str] = None) -> str:
+        return self._call(self._client.snapshot(path, tenant=tenant))
 
     def restart_shard(self, shard: int) -> Dict[str, Any]:
-        """Ask a sharded server to respawn one worker from its snapshot."""
-        return dict(self.request({"op": "restart_shard", "shard": shard}))
+        return self._call(self._client.restart_shard(shard))
+
+    # ------------------------------------------------------ tenant lifecycle
+    def create_tenant(
+        self, tenant: str, config: Optional[Dict[str, Any]] = None
+    ) -> TenantStats:
+        return self._call(self._client.create_tenant(tenant, config))
+
+    def delete_tenant(self, tenant: str) -> None:
+        self._call(self._client.delete_tenant(tenant))
+
+    def list_tenants(self) -> List[TenantDescription]:
+        return self._call(self._client.list_tenants())
+
+    def tenant_stats(self, tenant: str) -> TenantStats:
+        return self._call(self._client.tenant_stats(tenant))
+
+    def pool_sweep(self) -> Dict[str, Any]:
+        return self._call(self._client.pool_sweep())
 
     def shutdown(self) -> None:
-        self.request({"op": "shutdown"})
+        self._call(self._client.shutdown())

@@ -67,6 +67,19 @@ class ServiceConfig:
             partitions the key universe (or the sites, in multisite mode)
             across this many :class:`~repro.service.core.SketchService`
             worker processes.  ``None`` serves from one in-process service.
+        pool: Serve a multi-tenant :class:`~repro.service.pool.TenantPool`
+            instead of one sketch: every stateful op is namespaced by a
+            ``tenant`` id, and this config becomes the default tenant
+            parameterisation (per-tenant overrides at ``tenant_create``).
+            Composes with ``shards``: tenants are hashed across workers
+            ahead of the key partition, each worker running its own pool.
+        pool_dir: Durable pool directory — the SQLite tenant catalog plus
+            per-tenant eviction snapshots live here.  Required when ``pool``
+            is set.
+        memory_budget_bytes: Resident-memory budget of the pool, summed over
+            per-tenant ``memory_bytes()``.  When the accounted total exceeds
+            it, cold tenants are evicted (LRU) to snapshots until it fits.
+            ``None`` disables eviction.
     """
 
     mode: str = "flat"
@@ -87,6 +100,9 @@ class ServiceConfig:
     max_arrivals: Optional[int] = None
     seed: int = 0
     shards: Optional[int] = None
+    pool: bool = False
+    pool_dir: Optional[str] = None
+    memory_budget_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.mode not in SERVICE_MODES:
@@ -117,6 +133,23 @@ class ServiceConfig:
                     "multisite sharding partitions sites across workers: shards (%d) "
                     "cannot exceed sites (%d)" % (self.shards, self.sites)
                 )
+        if self.pool:
+            if self.pool_dir is None:
+                raise ConfigurationError("pool requires pool_dir (catalog + eviction snapshots)")
+            if self.snapshot_path is not None or self.snapshot_every is not None:
+                raise ConfigurationError(
+                    "pool manages per-tenant snapshots itself; "
+                    "snapshot_path/snapshot_every do not apply"
+                )
+        if self.memory_budget_bytes is not None:
+            if not self.pool:
+                raise ConfigurationError("memory_budget_bytes requires pool")
+            if self.memory_budget_bytes <= 0:
+                raise ConfigurationError(
+                    "memory_budget_bytes must be positive, got %r" % (self.memory_budget_bytes,)
+                )
+        if self.pool_dir is not None and not self.pool:
+            raise ConfigurationError("pool_dir requires pool")
 
     # ------------------------------------------------------------- wire form
     def to_dict(self) -> Dict[str, Any]:
@@ -140,6 +173,9 @@ class ServiceConfig:
             "max_arrivals": self.max_arrivals,
             "seed": self.seed,
             "shards": self.shards,
+            "pool": self.pool,
+            "pool_dir": self.pool_dir,
+            "memory_budget_bytes": self.memory_budget_bytes,
         }
 
     @classmethod
@@ -165,6 +201,9 @@ class ServiceConfig:
                 max_arrivals=payload.get("max_arrivals"),
                 seed=int(payload.get("seed", 0)),
                 shards=payload.get("shards"),
+                pool=bool(payload.get("pool", False)),
+                pool_dir=payload.get("pool_dir"),
+                memory_budget_bytes=payload.get("memory_budget_bytes"),
             )
         except (KeyError, ValueError) as exc:
             raise ConfigurationError("malformed service config payload: %s" % (exc,)) from exc
@@ -188,4 +227,7 @@ class ServiceConfig:
             info["period"] = self.period
         if self.shards is not None:
             info["shards"] = self.shards
+        if self.pool:
+            info["pool"] = True
+            info["memory_budget_bytes"] = self.memory_budget_bytes
         return info

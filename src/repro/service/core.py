@@ -48,6 +48,15 @@ from ..distributed.continuous import PeriodicAggregationCoordinator
 from ..queries.hierarchical import HierarchicalECMSketch
 from ..streams.stream import StreamRecord
 from .config import ServiceConfig
+from .errors import (
+    ClockRegressionError,
+    IngestRejectedError,
+    InvalidParameterError,
+    ModeMismatchError,
+    ServiceError,
+    ServiceStoppedError,
+    UnknownOperationError,
+)
 
 __all__ = [
     "ServiceError",
@@ -60,18 +69,6 @@ __all__ = [
 ]
 
 ServiceState = Union[ECMSketch, HierarchicalECMSketch, PeriodicAggregationCoordinator]
-
-
-class ServiceError(Exception):
-    """Base class of service-level failures."""
-
-
-class IngestRejectedError(ServiceError):
-    """An ingest chunk failed validation and was not enqueued."""
-
-
-class ServiceStoppedError(ServiceError):
-    """The service is draining or stopped and accepts no new work."""
 
 
 #: Chunk size from which clock validation switches to the vectorized NumPy
@@ -103,7 +100,7 @@ def validate_clock_column(clocks: Sequence[float], previous: Optional[float]) ->
             if (np.diff(array) < 0).any() or (
                 previous is not None and float(array[0]) < previous
             ):
-                raise IngestRejectedError(
+                raise ClockRegressionError(
                     "out-of-order clocks (high-water mark %r); arrival clocks "
                     "must be non-decreasing" % (previous,)
                 )
@@ -116,7 +113,7 @@ def validate_clock_column(clocks: Sequence[float], previous: Optional[float]) ->
         if not math.isfinite(clock):
             raise IngestRejectedError("clocks must be finite, got %r" % (clock,))
         if previous is not None and clock < previous:
-            raise IngestRejectedError(
+            raise ClockRegressionError(
                 "out-of-order clock %r (high-water mark %r); arrival clocks "
                 "must be non-decreasing" % (clock, previous)
             )
@@ -547,7 +544,7 @@ class SketchService:
 
         destination = path if path is not None else self.config.snapshot_path
         if destination is None:
-            raise ServiceError("no snapshot_path configured")
+            raise InvalidParameterError("no snapshot_path configured")
         # One snapshot at a time: with concurrent writers (the periodic loop
         # plus a protocol `snapshot` op), an older payload could finish its
         # os.replace *after* a newer one and silently roll the file back.
@@ -573,7 +570,7 @@ class SketchService:
 
         destination = path if path is not None else self.config.snapshot_path
         if destination is None:
-            raise ServiceError("no snapshot_path configured")
+            raise InvalidParameterError("no snapshot_path configured")
         path_written = write_snapshot(destination, snapshot_payload(self))
         self.snapshots_written += 1
         self.last_snapshot_path = path_written
@@ -595,24 +592,26 @@ class SketchService:
         """
         handler = _QUERY_HANDLERS.get(op)
         if handler is None:
-            raise ServiceError("unknown query op %r" % (op,))
+            raise UnknownOperationError("unknown query op %r" % (op,))
         return handler(self, message)
 
     def _require_flat(self) -> ECMSketch:
         if not isinstance(self.state, ECMSketch):
-            raise ServiceError("operation requires mode=flat (running %s)" % self.config.mode)
+            raise ModeMismatchError("operation requires mode=flat (running %s)" % self.config.mode)
         return self.state
 
     def _require_hierarchical(self) -> HierarchicalECMSketch:
         if not isinstance(self.state, HierarchicalECMSketch):
-            raise ServiceError(
+            raise ModeMismatchError(
                 "operation requires mode=hierarchical (running %s)" % self.config.mode
             )
         return self.state
 
     def _require_multisite(self) -> PeriodicAggregationCoordinator:
         if not isinstance(self.state, PeriodicAggregationCoordinator):
-            raise ServiceError("operation requires mode=multisite (running %s)" % self.config.mode)
+            raise ModeMismatchError(
+                "operation requires mode=multisite (running %s)" % self.config.mode
+            )
         return self.state
 
     def _query_point(self, message: Dict[str, Any]) -> float:
@@ -656,7 +655,7 @@ class SketchService:
         stack = self._require_hierarchical()
         fractions = _require_param(message, "fractions")
         if not isinstance(fractions, (list, tuple)) or not fractions:
-            raise ServiceError("fractions must be a non-empty list")
+            raise InvalidParameterError("fractions must be a non-empty list")
         return [int(key) for key in stack.quantiles([float(f) for f in fractions],
                                                     message.get("range"))]
 
@@ -665,7 +664,7 @@ class SketchService:
         if isinstance(state, PeriodicAggregationCoordinator):
             return float(state.query_self_join(message.get("range")))
         if isinstance(state, HierarchicalECMSketch):
-            raise ServiceError("self_join is not served in hierarchical mode")
+            raise ModeMismatchError("self_join is not served in hierarchical mode")
         return float(state.self_join(message.get("range")))
 
     def _query_arrivals(self, message: Dict[str, Any]) -> float:
@@ -701,7 +700,11 @@ class SketchService:
     # ------------------------------------------------------------------ stats
     def info(self) -> Dict[str, Any]:
         """Static service parameters (what a client needs to build load)."""
-        return self.config.describe()
+        from .protocol import PROTOCOL_VERSION
+
+        info = self.config.describe()
+        info["protocol_version"] = PROTOCOL_VERSION
+        return info
 
     def stats(self) -> Dict[str, Any]:
         """Live service counters."""
@@ -748,13 +751,13 @@ class SketchService:
 
 def _require_param(message: Dict[str, Any], name: str) -> Any:
     if name not in message:
-        raise ServiceError("missing required parameter %r" % (name,))
+        raise InvalidParameterError("missing required parameter %r" % (name,))
     return message[name]
 
 
 def _as_int_key(key: Any) -> int:
     if isinstance(key, bool) or not isinstance(key, int):
-        raise ServiceError("hierarchical keys must be integers, got %r" % (key,))
+        raise InvalidParameterError("hierarchical keys must be integers, got %r" % (key,))
     return key
 
 

@@ -1,0 +1,402 @@
+"""HTTP/REST gateway in front of the NDJSON TCP tier.
+
+``repro gateway`` runs one of these: a small stdlib-asyncio HTTP/1.1 server
+that translates REST calls into protocol messages against a running sketch
+server (single-process, pooled, or the sharded router — the gateway does not
+care, it speaks the same protocol every client does, handshake included).
+
+Routes (all under ``/v1``; responses are JSON envelopes, exactly the wire
+shape of the TCP protocol)::
+
+    GET    /v1/info                         server parameters
+    GET    /v1/stats                        live counters
+    GET    /v1/tenants                      tenant catalog listing
+    PUT    /v1/tenants/{id}                 create tenant (body: config overrides)
+    GET    /v1/tenants/{id}                 tenant stats
+    DELETE /v1/tenants/{id}                 delete tenant
+    POST   /v1/tenants/{id}/ingest          body: {"keys", "clocks", ["values"], ["site"]}
+    POST   /v1/tenants/{id}/drain           apply-barrier for one tenant
+    POST   /v1/tenants/{id}/expire          expiry sweep for one tenant
+    POST   /v1/tenants/{id}/snapshot        snapshot one tenant (body: {"path"}?)
+    GET    /v1/tenants/{id}/query/{op}      any query op; params in the query string
+    POST   /v1/ingest /v1/drain /v1/expire /v1/snapshot      un-namespaced forms
+    POST   /v1/sweep                        pool governor sweep
+    GET    /v1/query/{op}                   un-namespaced query (single-sketch server)
+
+Error mapping is by machine code, not message: the backend's typed error
+envelope passes through verbatim as the response body, and its ``code``
+picks the HTTP status from :data:`STATUS_FOR_CODE` — so the REST surface
+and the TCP surface disagree on transport only, never on the error itself.
+
+Query-string parameters are JSON-decoded when they parse (so ``key=7`` is
+the integer 7, ``key="7"`` the string) and passed through as strings
+otherwise; ``fractions`` accepts a comma-separated list.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from typing import Any, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from .client import ServiceClient
+from .errors import (
+    ProtocolError,
+    ServiceError,
+    ServiceStoppedError,
+    error_envelope,
+)
+from .protocol import MAX_LINE_BYTES
+
+__all__ = ["STATUS_FOR_CODE", "GatewayServer", "run_gateway", "status_for_code"]
+
+#: HTTP status for each protocol error code.  Codes the registry does not
+#: know (a newer server's) fall back to 500 — fail loud, not mislabelled.
+#: ``NOT_FOUND``/``METHOD_NOT_ALLOWED`` are gateway-level routing codes.
+STATUS_FOR_CODE: Dict[str, int] = {
+    "PROTOCOL": 400,
+    "BAD_REQUEST": 400,
+    "UNKNOWN_OP": 400,
+    "INVALID_PARAMETER": 400,
+    "TENANT_REQUIRED": 400,
+    "VERSION_MISMATCH": 400,
+    "POOL_DISABLED": 400,
+    "INGEST_REJECTED": 400,
+    "NOT_FOUND": 404,
+    "TENANT_NOT_FOUND": 404,
+    "METHOD_NOT_ALLOWED": 405,
+    "MODE_MISMATCH": 409,
+    "EMPTY_STRUCTURE": 409,
+    "CLOCK_REGRESSION": 409,
+    "TENANT_EXISTS": 409,
+    "SERVICE_STOPPED": 503,
+    "SHARD_UNAVAILABLE": 503,
+    "TENANT_EVICTED": 500,
+    "INTERNAL": 500,
+}
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Request bodies larger than this are rejected (same bound as the protocol).
+_MAX_BODY_BYTES = MAX_LINE_BYTES
+
+
+def status_for_code(code: Any) -> int:
+    """HTTP status for one error code (500 for anything unknown)."""
+    if isinstance(code, str):
+        return STATUS_FOR_CODE.get(code, 500)
+    return 500
+
+
+class _RouteError(Exception):
+    """A gateway-level routing failure (never reaches the backend)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class _BackendChannel:
+    """One serialized protocol connection to the backend tier.
+
+    Requests on the NDJSON protocol are answered in order, so one connection
+    guarded by a lock serves the gateway; a lost connection fails the
+    in-flight request (503) and reconnects lazily on the next one — the
+    gateway never silently retries, because a died-after-send ingest may
+    already be applied.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._client: Optional[ServiceClient] = None
+        self._lock = asyncio.Lock()
+
+    async def request(self, message: Dict[str, Any]) -> Any:
+        async with self._lock:
+            if self._client is None:
+                self._client = await ServiceClient.connect(self.host, self.port)
+            try:
+                return await self._client.request(message)
+            except (ConnectionError, OSError) as exc:
+                client, self._client = self._client, None
+                await client.close()
+                raise ServiceStoppedError(
+                    "backend connection lost: %s" % (exc,), op=message.get("op")
+                ) from exc
+
+    async def close(self) -> None:
+        async with self._lock:
+            if self._client is not None:
+                await self._client.close()
+                self._client = None
+
+
+def _decode_param(name: str, value: str) -> Any:
+    if name == "fractions":
+        try:
+            return [float(part) for part in value.split(",") if part]
+        except ValueError:
+            raise _RouteError("BAD_REQUEST", "fractions must be comma-separated numbers") from None
+    try:
+        return json.loads(value)
+    except ValueError:
+        return value
+
+
+class GatewayServer:
+    """The HTTP gateway: translate REST requests into protocol messages.
+
+    Args:
+        backend_host: Host of the sketch server to front.
+        backend_port: Port of the sketch server to front.
+        host: Interface the gateway binds.
+        port: Port to bind (0 picks a free port; see :attr:`port` after
+            :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        backend_host: str = "127.0.0.1",
+        backend_port: int = 7600,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.backend = _BackendChannel(backend_host, backend_port)
+        self.host = host
+        self.port = port
+        self.requests_served = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown_event = asyncio.Event()
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Bind the HTTP listener (the backend connection opens lazily)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until :meth:`shutdown` is called."""
+        if self._server is None:
+            raise ServiceError("gateway is not started")
+        await self._shutdown_event.wait()
+        await self.stop()
+
+    async def shutdown(self) -> None:
+        self._shutdown_event.set()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.backend.close()
+
+    async def __aenter__(self) -> "GatewayServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        self._shutdown_event.set()
+        await self.stop()
+
+    # ------------------------------------------------------------------ HTTP
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._handle_request(reader)
+            body = json.dumps(payload).encode("utf-8")
+            writer.write(
+                (
+                    "HTTP/1.1 %d %s\r\n"
+                    "Content-Type: application/json\r\n"
+                    "Content-Length: %d\r\n"
+                    "Connection: close\r\n\r\n" % (status, _REASONS.get(status, "Error"), len(body))
+                ).encode("ascii")
+                + body
+            )
+            await writer.drain()
+            self.requests_served += 1
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict[str, Any]]:
+        op: Optional[str] = None
+        try:
+            method, path, params, body = await self._read_request(reader)
+            message = self._route(method, path, params, body)
+            op = message.get("op")
+            result = await self.backend.request(message)
+            return 200, {"ok": True, "result": result}
+        except _RouteError as exc:
+            envelope = {"code": exc.code, "message": str(exc), "op": op}
+            return status_for_code(exc.code), {"ok": False, "error": envelope}
+        except (ServiceError, ProtocolError) as exc:
+            envelope = error_envelope(exc, op)
+            return status_for_code(envelope["code"]), {"ok": False, "error": envelope}
+        except Exception as exc:  # noqa: BLE001 - the gateway must answer
+            envelope = {"code": "INTERNAL", "message": str(exc), "op": op}
+            return 500, {"ok": False, "error": envelope}
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, List[str], Dict[str, Any], Optional[Dict[str, Any]]]:
+        request_line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise _RouteError("BAD_REQUEST", "malformed request line %r" % request_line)
+        method, target = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            header = (await reader.readline()).decode("latin-1").rstrip("\r\n")
+            if not header:
+                break
+            name, _, value = header.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _RouteError("BAD_REQUEST", "malformed Content-Length") from None
+        if content_length > _MAX_BODY_BYTES:
+            raise _RouteError("BAD_REQUEST", "request body too large")
+        body: Optional[Dict[str, Any]] = None
+        if content_length:
+            raw = await reader.readexactly(content_length)
+            try:
+                decoded = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                raise _RouteError("BAD_REQUEST", "request body is not valid JSON") from None
+            if not isinstance(decoded, dict):
+                raise _RouteError("BAD_REQUEST", "request body must be a JSON object")
+            body = decoded
+        split = urlsplit(target)
+        segments = [unquote(part) for part in split.path.split("/") if part]
+        params = {name: _decode_param(name, value) for name, value in parse_qsl(split.query)}
+        return method, segments, params, body
+
+    # --------------------------------------------------------------- routing
+    def _route(
+        self,
+        method: str,
+        path: List[str],
+        params: Dict[str, Any],
+        body: Optional[Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        """Translate one HTTP request into one protocol message."""
+        if not path or path[0] != "v1":
+            raise _RouteError("NOT_FOUND", "unknown path (the API lives under /v1)")
+        route = path[1:]
+        if not route:
+            raise _RouteError("NOT_FOUND", "no such resource")
+        head = route[0]
+        if head in ("info", "stats"):
+            self._require(method, "GET", "/".join(route))
+            return {"op": head}
+        if head == "query" and len(route) == 2:
+            self._require(method, "GET", "/".join(route))
+            return dict(params, op=route[1])
+        if head in ("ingest", "drain", "expire", "snapshot", "sweep") and len(route) == 1:
+            self._require(method, "POST", head)
+            op = "pool_sweep" if head == "sweep" else head
+            return dict(body or {}, op=op)
+        if head == "tenants":
+            return self._route_tenants(method, route[1:], params, body)
+        raise _RouteError("NOT_FOUND", "no such resource: %s" % "/".join(route))
+
+    def _route_tenants(
+        self,
+        method: str,
+        route: List[str],
+        params: Dict[str, Any],
+        body: Optional[Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        if not route:
+            self._require(method, "GET", "tenants")
+            return {"op": "tenant_list"}
+        tenant = route[0]
+        if len(route) == 1:
+            if method == "PUT":
+                message: Dict[str, Any] = {"op": "tenant_create", "tenant": tenant}
+                if body:
+                    message["config"] = body
+                return message
+            if method == "GET":
+                return {"op": "tenant_stats", "tenant": tenant}
+            if method == "DELETE":
+                return {"op": "tenant_delete", "tenant": tenant}
+            raise _RouteError(
+                "METHOD_NOT_ALLOWED", "tenants/{id} serves PUT, GET and DELETE, not %s" % method
+            )
+        action = route[1]
+        if action == "query" and len(route) == 3:
+            self._require(method, "GET", "tenants/{id}/query")
+            return dict(params, op=route[2], tenant=tenant)
+        if action in ("ingest", "drain", "expire", "snapshot") and len(route) == 2:
+            self._require(method, "POST", "tenants/{id}/%s" % action)
+            return dict(body or {}, op=action, tenant=tenant)
+        raise _RouteError("NOT_FOUND", "no such tenant resource: %s" % "/".join(route))
+
+    @staticmethod
+    def _require(method: str, expected: str, resource: str) -> None:
+        if method != expected:
+            raise _RouteError(
+                "METHOD_NOT_ALLOWED", "%s serves %s, not %s" % (resource, expected, method)
+            )
+
+
+async def run_gateway(
+    backend_host: str = "127.0.0.1",
+    backend_port: int = 7600,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    ready: Optional[Callable[[int], None]] = None,
+    label: str = "repro-gateway",
+) -> int:
+    """Boot a gateway, serve until SIGTERM/SIGINT, return an exit code."""
+    gateway = GatewayServer(backend_host, backend_port, host=host, port=port)
+    await gateway.start()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, gateway._shutdown_event.set)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - windows
+            pass
+    try:
+        print(
+            "%s: listening on %s:%d (backend %s:%d)"
+            % (label, gateway.host, gateway.port, backend_host, backend_port),
+            flush=True,
+        )
+        if ready is not None:
+            ready(gateway.port)
+        await gateway.serve_until_shutdown()
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+    print("%s: stopped (%d requests served)" % (label, gateway.requests_served), flush=True)
+    return 0

@@ -49,11 +49,15 @@ class ServeProcess:
     """One ``repro serve`` subprocess plus its output reader.
 
     Args:
-        *args: Extra CLI arguments after ``repro serve --port 0``
+        *args: Extra CLI arguments after ``repro <subcommand> --port 0``
             (stringified; pass ``"--shards", 4`` style pairs).
         env: Subprocess environment (defaults to :func:`repro_env`).
         label: Banner label announcing readiness (``run_server``'s
             ``label`` parameter; the default CLI prints ``repro-serve``).
+        subcommand: CLI subcommand to boot.  ``repro gateway`` prints the
+            same banner shape under the ``repro-gateway`` label, so the
+            harness serves it too (pass ``subcommand="gateway"``,
+            ``label="repro-gateway"``).
 
     Example:
         with ServeProcess("--mode", "flat") as server:
@@ -67,9 +71,10 @@ class ServeProcess:
         *args: object,
         env: Optional[Dict[str, str]] = None,
         label: str = "repro-serve",
+        subcommand: str = "serve",
     ) -> None:
         self.label = label
-        self.command = [sys.executable, "-m", "repro", "serve", "--port", "0"]
+        self.command = [sys.executable, "-m", "repro", subcommand, "--port", "0"]
         self.command.extend(str(argument) for argument in args)
         self.port: Optional[int] = None
         self._lines: List[str] = []

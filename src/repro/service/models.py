@@ -1,0 +1,139 @@
+"""Typed result models of the client API.
+
+The v2 client surface returns these instead of raw dicts: stable attribute
+access for the fields every caller needs, with the complete wire payload
+preserved on ``raw`` so nothing the server sends is lost.  All models are
+immutable value objects built from one response payload.
+
+:class:`HeavyHitter` is a ``NamedTuple`` on purpose — existing code that
+destructures the old ``(key, estimate)`` pairs keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, NamedTuple, Optional
+
+__all__ = ["HeavyHitter", "ServerInfo", "ServerStats", "TenantDescription", "TenantStats"]
+
+
+class HeavyHitter(NamedTuple):
+    """One heavy hitter; tuple-compatible with the old ``(key, estimate)``."""
+
+    key: int
+    estimate: float
+
+
+@dataclass(frozen=True)
+class ServerInfo:
+    """Static server parameters (the typed face of the ``info`` op)."""
+
+    mode: str
+    backend: str
+    protocol_version: str
+    epsilon: float
+    window: float
+    pool: bool
+    shards: Optional[int]
+    raw: Dict[str, Any] = field(repr=False)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ServerInfo":
+        shards = payload.get("shards")
+        return cls(
+            mode=str(payload.get("mode", "")),
+            backend=str(payload.get("backend", "")),
+            # 1.x servers answered info without a version field.
+            protocol_version=str(payload.get("protocol_version", "1.0")),
+            epsilon=float(payload.get("epsilon", 0.0)),
+            window=float(payload.get("window", 0.0)),
+            pool=bool(payload.get("pool", False)),
+            shards=int(shards) if shards is not None else None,
+            raw=dict(payload),
+        )
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Live server counters (the typed face of the ``stats`` op).
+
+    Works for all three serving shapes — single service, tenant pool and
+    shard router — which share the fields below; shape-specific counters
+    (per-shard details, pool governor totals, aggregation rounds) live in
+    ``raw``.
+    """
+
+    records_ingested: int
+    uptime_seconds: float
+    draining: bool
+    pool: bool
+    applied_clock: Optional[float]
+    memory_bytes: Optional[int]
+    raw: Dict[str, Any] = field(repr=False)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ServerStats":
+        memory = payload.get("memory_bytes", payload.get("accounted_memory_bytes"))
+        return cls(
+            records_ingested=int(payload.get("records_ingested", 0)),
+            uptime_seconds=float(payload.get("uptime_seconds", 0.0)),
+            draining=bool(payload.get("draining", False)),
+            pool=bool(payload.get("pool", False)),
+            applied_clock=payload.get("applied_clock"),
+            memory_bytes=int(memory) if memory is not None else None,
+            raw=dict(payload),
+        )
+
+
+@dataclass(frozen=True)
+class TenantDescription:
+    """One catalog entry from ``tenant_list`` (resident or evicted)."""
+
+    tenant: str
+    resident: bool
+    mode: str
+    backend: str
+    records_ingested: int
+    applied_clock: Optional[float]
+    snapshot_path: Optional[str]
+    memory_bytes: Optional[int]
+    raw: Dict[str, Any] = field(repr=False)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "TenantDescription":
+        memory = payload.get("memory_bytes")
+        return cls(
+            tenant=str(payload["tenant"]),
+            resident=bool(payload.get("resident", False)),
+            mode=str(payload.get("mode", "")),
+            backend=str(payload.get("backend", "")),
+            records_ingested=int(payload.get("records_ingested", 0)),
+            applied_clock=payload.get("applied_clock"),
+            snapshot_path=payload.get("snapshot_path"),
+            memory_bytes=int(memory) if memory is not None else None,
+            raw=dict(payload),
+        )
+
+
+@dataclass(frozen=True)
+class TenantStats:
+    """Live counters of one tenant (``tenant_create`` / ``tenant_stats``)."""
+
+    tenant: str
+    resident: bool
+    records_ingested: int
+    applied_clock: Optional[float]
+    memory_bytes: Optional[int]
+    raw: Dict[str, Any] = field(repr=False)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "TenantStats":
+        memory = payload.get("memory_bytes")
+        return cls(
+            tenant=str(payload.get("tenant", "")),
+            resident=bool(payload.get("resident", False)),
+            records_ingested=int(payload.get("records_ingested", 0)),
+            applied_clock=payload.get("applied_clock"),
+            memory_bytes=int(memory) if memory is not None else None,
+            raw=dict(payload),
+        )

@@ -4,12 +4,31 @@ Every request and response is one JSON object on one line, UTF-8 encoded and
 terminated by ``\\n``.  Requests carry an ``op`` field naming the operation
 and operation-specific parameters; an optional ``id`` field is echoed back
 verbatim so clients can pipeline requests over one connection.  Responses are
-``{"ok": true, "result": ...}`` or ``{"ok": false, "error": "..."}``.
+``{"ok": true, "result": ...}`` or the typed error envelope
+``{"ok": false, "error": {"code": "...", "message": "...", "op": "..."}}``
+(codes are registered in :mod:`repro.service.errors`).
+
+The protocol is versioned (:data:`PROTOCOL_VERSION`, semver-ish
+``major.minor``).  Clients open each connection with a ``hello`` op carrying
+their ``protocol_version``; servers reject a mismatched *major* with a
+``VERSION_MISMATCH`` envelope instead of failing on an unknown op
+mid-stream.  Minor revisions are additive (new ops, new optional fields) and
+interoperate freely.  ``info`` also reports the server's version for
+observability.  Version history: ``1.x`` used a bare-string ``error`` field;
+``2.0`` introduced the typed envelope, the hello exchange and
+tenant-namespaced operations.
+
+On a pooled server (``repro serve --pool``) every stateful op below accepts
+a ``tenant`` field naming the target tenant, plus the tenant lifecycle ops
+``tenant_create``/``tenant_delete``/``tenant_list``/``tenant_stats`` and the
+explicit budget sweep ``pool_sweep``.
 
 Operations (see :meth:`repro.service.server.SketchServer` for dispatch):
 
 ========================= ======================================================
 ``ping``                  liveness probe; result ``"pong"``
+``hello``                 version handshake: client sends ``protocol_version``,
+                          server answers with its own or rejects the major
 ``info``                  service mode/parameters a client needs to build load
 ``stats``                 live counters: ingested, pending, clock, memory, ...
 ``ingest``                ``keys``/``clocks``(/``values``/``site``) columns;
@@ -43,14 +62,29 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Optional
 
+from .errors import ProtocolError, VersionMismatchError, error_envelope
+
 __all__ = [
     "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "PROTOCOL_MAJOR",
     "ProtocolError",
+    "protocol_major",
+    "check_protocol_version",
     "encode_message",
     "decode_line",
     "ok_response",
     "error_response",
+    "error_response_for",
 ]
+
+#: Wire-protocol version spoken by this build, as ``major.minor``.  Majors
+#: gate interoperability (the hello exchange rejects a mismatch); minors are
+#: additive.  2.0 = typed error envelope + hello + tenant namespacing.
+PROTOCOL_VERSION = "2.0"
+
+#: Major component of :data:`PROTOCOL_VERSION`.
+PROTOCOL_MAJOR = 2
 
 #: Upper bound on one protocol line.  An ingest chunk of a few thousand
 #: arrivals is a few hundred KiB of JSON; 8 MiB leaves an order of magnitude
@@ -58,8 +92,30 @@ __all__ = [
 MAX_LINE_BYTES = 8 * 1024 * 1024
 
 
-class ProtocolError(Exception):
-    """A malformed protocol line or message."""
+def protocol_major(version: str) -> int:
+    """Extract the major component of a ``major.minor`` version string."""
+    if not isinstance(version, str):
+        raise ProtocolError("protocol_version must be a string, got %r" % (version,))
+    head = version.split(".", 1)[0]
+    try:
+        return int(head)
+    except ValueError:
+        raise ProtocolError("malformed protocol_version %r" % (version,)) from None
+
+
+def check_protocol_version(version: str) -> None:
+    """Reject a peer version whose major differs from ours.
+
+    Raises:
+        VersionMismatchError: The majors differ (incompatible wire format).
+        ProtocolError: The version string is malformed.
+    """
+    major = protocol_major(version)
+    if major != PROTOCOL_MAJOR:
+        raise VersionMismatchError(
+            "protocol major %d (version %s) is incompatible with this peer's "
+            "major %d (version %s)" % (major, version, PROTOCOL_MAJOR, PROTOCOL_VERSION)
+        )
 
 
 def encode_message(message: Dict[str, Any]) -> bytes:
@@ -106,9 +162,30 @@ def ok_response(result: Any, request_id: Optional[Any] = None) -> Dict[str, Any]
     return response
 
 
-def error_response(message: str, request_id: Optional[Any] = None) -> Dict[str, Any]:
-    """Failure response envelope."""
-    response: Dict[str, Any] = {"ok": False, "error": message}
+def error_response(
+    code: str,
+    message: str,
+    op: Optional[str] = None,
+    request_id: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Typed failure envelope: ``{"ok": false, "error": {code, message, op}}``."""
+    response: Dict[str, Any] = {
+        "ok": False,
+        "error": {"code": code, "message": message, "op": op},
+    }
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def error_response_for(
+    exc: BaseException,
+    op: Optional[str] = None,
+    request_id: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Failure envelope for one exception, via the error-code registry."""
+    envelope = error_envelope(exc, op)
+    response: Dict[str, Any] = {"ok": False, "error": envelope}
     if request_id is not None:
         response["id"] = request_id
     return response

@@ -242,7 +242,7 @@ async def run_replay(
     client = await ServiceClient.connect(host, port)
     extra_clients: List[ServiceClient] = []
     try:
-        info = await client.info()
+        info = (await client.get_info()).raw
         trace, clocks = build_replay_stream(info, records, seed=seed, dataset=dataset)
         keys: List[Any] = [record.key for record in trace]
         mode = info.get("mode", "flat")
@@ -305,7 +305,7 @@ async def run_replay(
         report.query_p50_ms = _percentile(latencies, 0.50) * 1e3
         report.query_p99_ms = _percentile(latencies, 0.99) * 1e3
         report.query_max_ms = latencies[-1] * 1e3 if latencies else 0.0
-        report.server_stats = await client.stats()
+        report.server_stats = (await client.get_stats()).raw
         return report
     finally:
         for extra in extra_clients:

@@ -71,7 +71,24 @@ from .core import (
     validate_values_column,
 )
 from .core import _require_param  # shared "missing required parameter" wording
-from .protocol import MAX_LINE_BYTES, ProtocolError, decode_line, encode_message
+from .errors import (
+    ClockRegressionError,
+    InvalidParameterError,
+    ModeMismatchError,
+    ServiceRequestError,
+    UnknownOperationError,
+    VersionMismatchError,
+    exception_for_error,
+)
+from .pool import TenantPool
+from .protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    check_protocol_version,
+    decode_line,
+    encode_message,
+)
 from .server import dispatch_service_op
 from .shard_worker import ShardProcess, ShardUnavailableError, sites_of_shard, worker_config
 from .snapshot import write_snapshot
@@ -174,7 +191,24 @@ class _ShardChannel:
     @classmethod
     async def connect(cls, shard_id: int, host: str, port: int) -> "_ShardChannel":
         reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES)
-        return cls(shard_id, reader, writer)
+        channel = cls(shard_id, reader, writer)
+        # Version handshake before any real traffic: an incompatible worker
+        # fails loudly here, not on an unknown op mid-stream.
+        try:
+            result = await channel.submit({"op": "hello", "protocol_version": PROTOCOL_VERSION})
+            version = result.get("protocol_version") if isinstance(result, dict) else None
+            if isinstance(version, str):
+                check_protocol_version(version)
+        except VersionMismatchError:
+            await channel.close()
+            raise
+        except ServiceRequestError as exc:
+            await channel.close()
+            raise VersionMismatchError(
+                "shard %d did not complete the protocol handshake "
+                "(pre-%s worker?): %s" % (shard_id, PROTOCOL_VERSION, exc)
+            ) from exc
+        return channel
 
     def submit(self, message: Dict[str, Any]) -> "asyncio.Future[Any]":
         """Write one request; returns the future of its response."""
@@ -217,12 +251,13 @@ class _ShardChannel:
                 else:
                     # Worker-side failures are ordinary service errors (bad
                     # parameters, mode mismatches, ...), not availability
-                    # problems: surface them with the shard named, and keep
+                    # problems: rebuild the typed exception from the envelope
+                    # — its code survives the hop, so the front server
+                    # re-emits the worker's code — name the shard, and keep
                     # the channel healthy.
                     future.set_exception(
-                        ServiceError(
-                            "shard %d: %s"
-                            % (self.shard_id, response.get("error", "unknown error"))
+                        exception_for_error(
+                            response.get("error"), prefix="shard %d" % (self.shard_id,)
                         )
                     )
         except (ConnectionResetError, BrokenPipeError, OSError) as exc:
@@ -453,6 +488,12 @@ class ShardRouter:
         if config.shards is None:
             raise ConfigurationError("ShardRouter requires config.shards to be set")
         self.config = config
+        # Pooled tier: tenants are hashed across shards *ahead of* the key
+        # partition — each tenant lives wholly on shard_of(tenant), whose
+        # worker runs its own TenantPool.  The router is then a forwarder:
+        # no cross-shard merges and no router-side clock marks (ordering is
+        # per tenant, enforced by the owning worker's tenant service).
+        self.supports_tenants = config.pool
         self.num_shards = config.shards
         self.workers = (
             LocalShardBackend(config, host=host)
@@ -473,7 +514,7 @@ class ShardRouter:
         # Multisite: global site id -> (owning shard, site id local to it).
         self._site_shard: List[int] = []
         self._site_local: List[int] = []
-        if config.mode == "multisite":
+        if config.mode == "multisite" and not config.pool:
             for shard in range(self.num_shards):
                 for local_site, site in enumerate(
                     sites_of_shard(config.sites, self.num_shards, shard)
@@ -578,6 +619,12 @@ class ShardRouter:
                     final_path = await self.snapshot_async()
                 except ServiceError:
                     final_path = None
+            if drain and self.config.pool and not degraded:
+                # Each worker's graceful shutdown evicts + snapshots its own
+                # tenants; the per-shard catalogs under pool_dir are the
+                # durable restart state.
+                final_path = self.config.pool_dir
+                self.last_snapshot_path = final_path
             await self.workers.stop(graceful=drain)
         self._started = False
         return final_path
@@ -640,6 +687,49 @@ class ShardRouter:
             [self.workers.submit(shard, message) for shard in range(self.num_shards)]
         )
 
+    # ------------------------------------------------------------ tenant ops
+    def _tenant_shard(self, tenant: str) -> int:
+        """Owning shard of a tenant (hashed ahead of the key partition)."""
+        shard = shard_of(tenant, self.num_shards)
+        self._require_started()
+        if not self.workers.alive(shard):
+            raise ShardUnavailableError("shard %d is down" % (shard,))
+        return shard
+
+    async def _tenant_submit(self, tenant: Optional[str], message: Dict[str, Any]) -> Any:
+        name = TenantPool._require_tenant(tenant)
+        shard = self._tenant_shard(name)
+        results = await self._gather([self.workers.submit(shard, message)])
+        return results[0]
+
+    async def tenant_create(
+        self, tenant: str, overrides: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        message: Dict[str, Any] = {"op": "tenant_create", "tenant": tenant}
+        if overrides is not None:
+            message["config"] = overrides
+        return await self._tenant_submit(tenant, message)
+
+    async def tenant_delete(self, tenant: str) -> Dict[str, Any]:
+        return await self._tenant_submit(tenant, {"op": "tenant_delete", "tenant": tenant})
+
+    async def tenant_stats(self, tenant: str) -> Dict[str, Any]:
+        return await self._tenant_submit(tenant, {"op": "tenant_stats", "tenant": tenant})
+
+    async def tenant_list(self) -> List[Dict[str, Any]]:
+        listings = await self._fan({"op": "tenant_list"})
+        merged = [entry for listing in listings for entry in listing]
+        return sorted(merged, key=lambda entry: entry["tenant"])
+
+    async def sweep(self) -> Dict[str, Any]:
+        reports = await self._fan({"op": "pool_sweep"})
+        return {
+            "accounted_bytes": sum(int(report["accounted_bytes"]) for report in reports),
+            "memory_budget_bytes": self.config.memory_budget_bytes,
+            "resident": sum(int(report["resident"]) for report in reports),
+            "evicted": [tenant for report in reports for tenant in report["evicted"]],
+        }
+
     # ---------------------------------------------------------------- ingest
     async def ingest(
         self,
@@ -647,6 +737,7 @@ class ShardRouter:
         clocks: Sequence[float],
         values: Optional[Sequence[int]] = None,
         site: int = 0,
+        tenant: Optional[str] = None,
     ) -> int:
         """Partition one chunk across shards and await every worker's ack.
 
@@ -662,6 +753,24 @@ class ShardRouter:
         n = len(keys)
         if n == 0:
             raise IngestRejectedError("empty ingest chunk")
+        if self.config.pool:
+            # Forward the whole chunk to the tenant's owner shard; validation
+            # (including the per-tenant clock high-water mark) happens in the
+            # worker's tenant service, which is the ordering authority.
+            result = await self._tenant_submit(
+                tenant,
+                {
+                    "op": "ingest",
+                    "tenant": tenant,
+                    "keys": list(keys),
+                    "clocks": list(clocks),
+                    "values": list(values) if values is not None else None,
+                    "site": site,
+                },
+            )
+            self.records_ingested += n
+            self.ingest_batches += 1
+            return int(result["accepted"])
         if len(clocks) != n:
             raise IngestRejectedError(
                 "clocks length %d does not match keys length %d" % (len(clocks), n)
@@ -714,7 +823,7 @@ class ShardRouter:
             mark = self._high_water[shard]
             first = message["clocks"][0]
             if mark is not None and first < mark:
-                raise IngestRejectedError(
+                raise ClockRegressionError(
                     "shard %d: out-of-order clock %r (high-water mark %r); arrival "
                     "clocks must be non-decreasing per shard" % (shard, first, mark)
                 )
@@ -751,20 +860,38 @@ class ShardRouter:
                 message["values"].append(values[index])
         return parts
 
-    async def drain(self) -> None:
+    async def drain(self, tenant: Optional[str] = None) -> Any:
         """Barrier: resolves once every shard has applied its acknowledged
         arrivals.  Raises :class:`ShardUnavailableError` if any shard is
         down (its acknowledged tail cannot be applied)."""
+        if self.config.pool:
+            if tenant is not None:
+                return await self._tenant_submit(tenant, {"op": "drain", "tenant": tenant})
+            results = await self._fan({"op": "drain"})
+            clocks = [result.get("applied_clock") for result in results]
+            finite = [clock for clock in clocks if clock is not None]
+            return {"applied_clock": max(finite) if finite else None}
         await self._fan({"op": "drain"})
+        return None
 
-    async def expire_now(self) -> None:
+    async def expire_now(self, tenant: Optional[str] = None) -> Any:
+        if self.config.pool:
+            if tenant is not None:
+                return await self._tenant_submit(tenant, {"op": "expire", "tenant": tenant})
+            results = await self._fan({"op": "expire"})
+            return {"applied_clock": None, "swept": [result.get("swept") for result in results]}
         await self._fan({"op": "expire"})
+        return None
 
     # --------------------------------------------------------------- queries
     async def query(self, op: str, message: Dict[str, Any]) -> Any:
+        if self.config.pool:
+            # A tenant lives wholly on its owner shard: forward the query
+            # verbatim, no cross-shard merge semantics involved.
+            return await self._tenant_submit(message.get("tenant"), dict(message, op=op))
         handler = _ROUTER_QUERY_HANDLERS.get(op)
         if handler is None:
-            raise ServiceError("unknown query op %r" % (op,))
+            raise UnknownOperationError("unknown query op %r" % (op,))
         return await handler(self, message)
 
     def _owner_shard(self, key: Hashable) -> int:
@@ -795,7 +922,7 @@ class ShardRouter:
     async def _query_self_join(self, message: Dict[str, Any]) -> float:
         mode = self.config.mode
         if mode == "hierarchical":
-            raise ServiceError("self_join is not served in hierarchical mode")
+            raise ModeMismatchError("self_join is not served in hierarchical mode")
         if mode == "flat":
             # The key partition is disjoint, so F2 has no cross-shard
             # product terms: the per-shard self-joins sum exactly.
@@ -893,7 +1020,7 @@ class ShardRouter:
     async def _query_quantiles(self, message: Dict[str, Any]) -> List[int]:
         fractions = _require_param(message, "fractions")
         if not isinstance(fractions, (list, tuple)) or not fractions:
-            raise ServiceError("fractions must be a non-empty list")
+            raise InvalidParameterError("fractions must be a non-empty list")
         validated = [self._validate_fraction(fraction) for fraction in fractions]
         range_length = message.get("range")
         total = await self._quantile_total(range_length)
@@ -909,7 +1036,9 @@ class ShardRouter:
 
     # ------------------------------------------------------------ inspection
     def info(self) -> Dict[str, Any]:
-        return self.config.describe()
+        info = self.config.describe()
+        info["protocol_version"] = PROTOCOL_VERSION
+        return info
 
     async def stats(self) -> Dict[str, Any]:
         """Aggregated live counters plus per-shard detail and health."""
@@ -949,6 +1078,26 @@ class ShardRouter:
                 entry["pending_arrivals"] = stats.get("pending_arrivals")
                 entry["memory_bytes"] = stats.get("memory_bytes")
             details.append(entry)
+        if self.config.pool:
+            return {
+                "mode": self.config.mode,
+                "backend": self.config.backend,
+                "pool": True,
+                "shards": self.num_shards,
+                "degraded": self.degraded_shards(),
+                "tenants_total": total("tenants_total"),
+                "tenants_resident": total("tenants_resident"),
+                "tenants_created": total("tenants_created"),
+                "evictions": total("evictions"),
+                "restores": total("restores"),
+                "accounted_memory_bytes": total("accounted_memory_bytes"),
+                "memory_budget_bytes": self.config.memory_budget_bytes,
+                "records_ingested": total("records_ingested"),
+                "background_errors": total("background_errors"),
+                "uptime_seconds": time.monotonic() - self._started_monotonic,
+                "draining": self._stopping,
+                "shard_details": details,
+            }
         return {
             "mode": self.config.mode,
             "backend": self.config.backend,
@@ -972,7 +1121,9 @@ class ShardRouter:
         }
 
     # ----------------------------------------------------------- persistence
-    async def snapshot_async(self, path: Optional[str] = None) -> str:
+    async def snapshot_async(
+        self, path: Optional[str] = None, tenant: Optional[str] = None
+    ) -> str:
         """Fan per-shard snapshots out, then atomically write the manifest.
 
         Shard snapshots are epoch-versioned (``<base>.shard<k>.e<epoch>``)
@@ -983,9 +1134,24 @@ class ShardRouter:
         restore into silent data loss.
         """
         self._require_started()
+        if self.config.pool:
+            # Pooled workers snapshot their own tenants into per-shard pool
+            # directories; the SQLite catalogs are the manifest, so there is
+            # no router-level manifest file to write.
+            if tenant is not None:
+                result = await self._tenant_submit(
+                    tenant, {"op": "snapshot", "tenant": tenant, "path": path}
+                )
+                self.last_snapshot_path = str(result["path"])
+                return self.last_snapshot_path
+            await self._fan({"op": "snapshot"})
+            self.snapshots_written += 1
+            assert self.config.pool_dir is not None
+            self.last_snapshot_path = self.config.pool_dir
+            return self.config.pool_dir
         base = path if path is not None else self.config.snapshot_path
         if base is None:
-            raise ServiceError("no snapshot_path configured")
+            raise InvalidParameterError("no snapshot_path configured")
         async with self._snapshot_lock:
             self._require_all_shards()
             epoch = self._snapshot_epoch + 1
@@ -1040,7 +1206,7 @@ class ShardRouter:
         """
         self._require_started()
         if not (0 <= shard < self.num_shards):
-            raise ServiceError(
+            raise InvalidParameterError(
                 "shard must be in [0, %d), got %r" % (self.num_shards, shard)
             )
         restore = self._restore_paths.get(shard)

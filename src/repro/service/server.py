@@ -26,29 +26,45 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Union
 from ..core.errors import ConfigurationError, EmptyStructureError
 from .config import ServiceConfig
 from .core import IngestRejectedError, ServiceError, ServiceStoppedError, SketchService
+from .errors import (
+    BadRequestError,
+    PoolDisabledError,
+    TenantRequiredError,
+    UnknownOperationError,
+)
 from .protocol import (
     MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
     ProtocolError,
+    check_protocol_version,
     decode_line,
     encode_message,
     error_response,
+    error_response_for,
     ok_response,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .pool import TenantPool
     from .router import ShardRouter
 
 __all__ = ["SketchServer", "ServingState", "dispatch_service_op", "run_server"]
 
-#: Anything a :class:`SketchServer` can front: the in-process service core or
-#: the sharded router (which duck-types the same surface with awaitable
-#: results — :func:`dispatch_service_op` awaits whatever it gets back).
-ServingState = Union[SketchService, "ShardRouter"]
+#: Anything a :class:`SketchServer` can front: the in-process service core,
+#: the multi-tenant pool, or the sharded router (which duck-type the same
+#: surface, sometimes with awaitable results — :func:`dispatch_service_op`
+#: awaits whatever it gets back).
+ServingState = Union[SketchService, "TenantPool", "ShardRouter"]
 
 #: Query operations dispatched straight to ``service.query``.
 _QUERY_OPS = frozenset(
     ["point", "range", "heavy_hitters", "quantile", "quantiles", "self_join",
      "arrivals", "staleness", "root_state"]
+)
+
+#: Tenant lifecycle + pool-governor operations (pooled servers only).
+_TENANT_OPS = frozenset(
+    ["tenant_create", "tenant_delete", "tenant_list", "tenant_stats", "pool_sweep"]
 )
 
 
@@ -75,12 +91,44 @@ async def dispatch_service_op(service: ServingState, message: Dict[str, Any]) ->
     op = message.get("op")
     if not isinstance(op, str):
         raise ProtocolError("message is missing the 'op' field")
+    pooled = bool(getattr(service, "supports_tenants", False))
+    tenant = message.get("tenant")
+    if tenant is not None:
+        if not isinstance(tenant, str):
+            raise BadRequestError("'tenant' must be a string", op=op)
+        if not pooled:
+            raise PoolDisabledError(
+                "this server hosts a single sketch, not a tenant pool "
+                "(start it with --pool to serve tenant %r)" % (tenant,),
+                op=op,
+            )
     if op == "ping":
         return "pong"
+    if op == "hello":
+        version = message.get("protocol_version", PROTOCOL_VERSION)
+        check_protocol_version(version)
+        return {"server": "repro-sketch-service", "protocol_version": PROTOCOL_VERSION}
     if op == "info":
         return await _maybe_await(service.info())
     if op == "stats":
         return await _maybe_await(service.stats())
+    if op in _TENANT_OPS:
+        if not pooled:
+            raise PoolDisabledError("%s requires a pooled server (--pool)" % (op,), op=op)
+        if op == "tenant_list":
+            return await _maybe_await(service.tenant_list())
+        if op == "pool_sweep":
+            return await _maybe_await(service.sweep())
+        if tenant is None:
+            raise TenantRequiredError("%s requires a 'tenant'" % (op,), op=op)
+        if op == "tenant_create":
+            overrides = message.get("config")
+            if overrides is not None and not isinstance(overrides, dict):
+                raise BadRequestError("'config' must be an object when present", op=op)
+            return await _maybe_await(service.tenant_create(tenant, overrides))
+        if op == "tenant_delete":
+            return await _maybe_await(service.tenant_delete(tenant))
+        return await _maybe_await(service.tenant_stats(tenant))
     if op == "ingest":
         keys = message.get("keys")
         clocks = message.get("clocks")
@@ -92,18 +140,27 @@ async def dispatch_service_op(service: ServingState, message: Dict[str, Any]) ->
         site = message.get("site", 0)
         if not isinstance(site, int) or isinstance(site, bool):
             raise IngestRejectedError("'site' must be an integer")
-        accepted = await service.ingest(keys, clocks, values, site=site)
+        if pooled:
+            accepted = await service.ingest(keys, clocks, values, site=site, tenant=tenant)
+        else:
+            accepted = await service.ingest(keys, clocks, values, site=site)
         return {"accepted": accepted}
     if op == "drain":
+        if pooled:
+            return await _maybe_await(service.drain(tenant=tenant))
         await service.drain()
         return {"applied_clock": service.applied_clock}
     if op == "expire":
+        if pooled:
+            return await _maybe_await(service.expire_now(tenant=tenant))
         await _maybe_await(service.expire_now())
         return {"applied_clock": service.applied_clock}
     if op == "snapshot":
         path = message.get("path")
         if path is not None and not isinstance(path, str):
             raise ProtocolError("'path' must be a string when present")
+        if pooled:
+            return {"path": await _maybe_await(service.snapshot_async(path, tenant=tenant))}
         return {"path": await service.snapshot_async(path)}
     if op == "restart_shard":
         restart = getattr(service, "restart_shard", None)
@@ -115,7 +172,7 @@ async def dispatch_service_op(service: ServingState, message: Dict[str, Any]) ->
         return await restart(shard)
     if op in _QUERY_OPS:
         return await _maybe_await(service.query(op, message))
-    raise ProtocolError("unknown op %r" % (op,))
+    raise UnknownOperationError("unknown op %r" % (op,))
 
 
 class SketchServer:
@@ -199,7 +256,7 @@ class SketchServer:
                 try:
                     line = await reader.readline()
                 except (asyncio.LimitOverrunError, ValueError):
-                    writer.write(encode_message(error_response("request line too long")))
+                    writer.write(encode_message(error_response("PROTOCOL", "request line too long")))
                     await writer.drain()
                     break
                 if not line:
@@ -225,8 +282,9 @@ class SketchServer:
         try:
             message = decode_line(line)
         except ProtocolError as exc:
-            return error_response(str(exc))
+            return error_response_for(exc)
         request_id = message.get("id")
+        op = message.get("op") if isinstance(message.get("op"), str) else None
         try:
             result = await self._dispatch(message)
         except (
@@ -235,9 +293,9 @@ class SketchServer:
             ConfigurationError,
             EmptyStructureError,
         ) as exc:
-            return error_response(str(exc), request_id)
+            return error_response_for(exc, op, request_id)
         except (TypeError, ValueError, KeyError) as exc:
-            return error_response("bad request: %s" % (exc,), request_id)
+            return error_response("BAD_REQUEST", "bad request: %s" % (exc,), op, request_id)
         self.requests_served += 1
         return ok_response(result, request_id)
 
@@ -285,6 +343,11 @@ async def run_server(
     service: ServingState
     restore_kind: Optional[str] = None
     if restore is not None:
+        if config.pool:
+            raise ConfigurationError(
+                "--restore does not apply to a pooled server: the pool directory "
+                "(catalog + per-tenant snapshots) is the durable state"
+            )
         with open(restore, "r", encoding="utf-8") as handle:
             restore_kind = json.load(handle).get("kind")
     if config.shards is not None or restore_kind == "shard_manifest":
@@ -294,6 +357,10 @@ async def run_server(
             service = ShardRouter.from_manifest(restore, overrides=config)
         else:
             service = ShardRouter(config)
+    elif config.pool:
+        from .pool import TenantPool
+
+        service = TenantPool(config)
     elif restore is not None:
         service = SketchService.from_snapshot(restore)
         # Operational knobs follow the *current* invocation, not the one
@@ -319,7 +386,7 @@ async def run_server(
             pass
     try:
         print(
-            "%s: listening on %s:%d (mode=%s, backend=%s%s%s)"
+            "%s: listening on %s:%d (mode=%s, backend=%s%s%s%s)"
             % (
                 label,
                 server.host,
@@ -329,6 +396,7 @@ async def run_server(
                 ", shards=%d" % service.config.shards
                 if service.config.shards is not None
                 else "",
+                ", pool" if service.config.pool else "",
                 ", restored" if restore is not None else "",
             ),
             flush=True,

@@ -35,7 +35,7 @@ from typing import Optional
 
 from ..distributed.runner import plan_shards
 from .config import ServiceConfig
-from .core import ServiceError
+from .errors import ServiceError, ShardUnavailableError
 
 __all__ = ["ShardUnavailableError", "ShardProcess", "worker_config", "sites_of_shard"]
 
@@ -46,10 +46,6 @@ _SPAWN = multiprocessing.get_context("spawn")
 #: fresh interpreter and imports NumPy; heavily loaded single-core CI
 #: machines take seconds, not milliseconds.
 _READY_TIMEOUT = 120.0
-
-
-class ShardUnavailableError(ServiceError):
-    """A shard worker is dead or unreachable; the request was not served."""
 
 
 def sites_of_shard(sites: int, shards: int, shard_id: int) -> range:
@@ -69,18 +65,31 @@ def worker_config(config: ServiceConfig, shard_id: int) -> ServiceConfig:
     router drives every snapshot through explicit per-shard paths, so workers
     never write on their own schedule.  In multisite mode the worker's
     coordinator spans only the sites its shard owns.
+
+    In pool mode each worker runs its own :class:`~repro.service.pool
+    .TenantPool` over the tenants hashed to its shard: the pool directory
+    becomes a per-shard subdirectory and the memory budget is split evenly
+    across workers (each worker governs only the tenants it owns).
     """
     if config.shards is None:
         raise ServiceError("worker_config requires a sharded configuration")
     sites = config.sites
     if config.mode == "multisite":
         sites = len(sites_of_shard(config.sites, config.shards, shard_id))
+    pool_dir = config.pool_dir
+    budget = config.memory_budget_bytes
+    if config.pool and pool_dir is not None:
+        pool_dir = os.path.join(pool_dir, "shard%d" % shard_id)
+        if budget is not None:
+            budget = max(1, budget // config.shards)
     return replace(
         config,
         shards=None,
         sites=sites,
         snapshot_every=None,
         snapshot_path=None,
+        pool_dir=pool_dir,
+        memory_budget_bytes=budget,
     )
 
 

@@ -1,0 +1,357 @@
+"""Tests of the HTTP/REST gateway: routing, parity with the TCP client,
+and the error-code -> status mapping, all in-process.
+
+The HTTP side is driven with a raw asyncio stream client (the gateway
+serves one request per connection), never with blocking ``urllib`` calls —
+those would run on the same loop as the gateway and deadlock it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+
+import pytest
+
+from repro.service import (
+    GatewayServer,
+    ServiceClient,
+    ServiceConfig,
+    SketchServer,
+    SketchService,
+    TenantPool,
+)
+
+EPSILON = 0.1
+WINDOW = 1_000_000.0
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def http(
+    port: int, method: str, path: str, body: Optional[Dict[str, Any]] = None
+) -> Tuple[int, Dict[str, Any]]:
+    """One HTTP exchange against the gateway; returns (status, payload)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        encoded = b"" if body is None else json.dumps(body).encode()
+        head = "%s %s HTTP/1.1\r\nHost: gateway\r\nContent-Length: %d\r\n\r\n" % (
+            method,
+            path,
+            len(encoded),
+        )
+        writer.write(head.encode("ascii") + encoded)
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    header, _, rest = raw.partition(b"\r\n\r\n")
+    status = int(header.split(None, 2)[1])
+    return status, json.loads(rest)
+
+
+async def get(port: int, path: str) -> Any:
+    """GET that must succeed; returns the unwrapped result."""
+    status, payload = await http(port, "GET", path)
+    assert status == 200, payload
+    assert payload["ok"] is True
+    return payload["result"]
+
+
+def pool_config(pool_dir) -> ServiceConfig:
+    return ServiceConfig(
+        mode="flat",
+        epsilon=EPSILON,
+        delta=0.05,
+        window=WINDOW,
+        pool=True,
+        pool_dir=str(pool_dir),
+        expire_every=None,
+        snapshot_every=None,
+    )
+
+
+class _Stack:
+    """Pooled sketch server + gateway + TCP client, as one context."""
+
+    def __init__(self, pool_dir) -> None:
+        self.server = SketchServer(TenantPool(pool_config(pool_dir)))
+        self.gateway: GatewayServer = None  # type: ignore[assignment]
+        self.client: ServiceClient = None  # type: ignore[assignment]
+
+    async def __aenter__(self) -> "_Stack":
+        await self.server.__aenter__()
+        self.gateway = GatewayServer(backend_port=self.server.port, port=0)
+        await self.gateway.start()
+        self.client = await ServiceClient.connect(port=self.server.port)
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.client.close()
+        await self.gateway.stop()
+        await self.server.__aexit__(*exc_info)
+
+
+class TestQueryParity:
+    """Every query op answers identically over HTTP and over TCP."""
+
+    def test_flat_tenant(self, tmp_path):
+        async def body():
+            async with _Stack(tmp_path) as stack:
+                port = stack.gateway.port
+                await stack.client.create_tenant("flat1")
+                keys = ["k%d" % (index % 23) for index in range(300)]
+                clocks = [float(index + 1) for index in range(300)]
+                status, payload = await http(
+                    port,
+                    "POST",
+                    "/v1/tenants/flat1/ingest",
+                    {"keys": keys, "clocks": clocks},
+                )
+                assert status == 200 and payload["result"] == {"accepted": 300}
+                await http(port, "POST", "/v1/tenants/flat1/drain")
+
+                tcp = stack.client
+                assert await get(port, "/v1/tenants/flat1/query/point?key=k3") == await tcp.point(
+                    "k3", tenant="flat1"
+                )
+                assert await get(
+                    port, "/v1/tenants/flat1/query/point?key=k3&range=100"
+                ) == await tcp.point("k3", range_length=100, tenant="flat1")
+                assert await get(port, "/v1/tenants/flat1/query/self_join") == await tcp.self_join(
+                    tenant="flat1"
+                )
+                assert await get(port, "/v1/tenants/flat1/query/arrivals") == await tcp.arrivals(
+                    tenant="flat1"
+                )
+
+        run(body())
+
+    def test_hierarchical_tenant(self, tmp_path):
+        async def body():
+            async with _Stack(tmp_path) as stack:
+                port = stack.gateway.port
+                await stack.client.create_tenant(
+                    "hier", config={"mode": "hierarchical", "universe_bits": 8}
+                )
+                keys = [(index * 7) % 256 for index in range(300)]
+                clocks = [float(index + 1) for index in range(300)]
+                await http(
+                    port, "POST", "/v1/tenants/hier/ingest", {"keys": keys, "clocks": clocks}
+                )
+                await http(port, "POST", "/v1/tenants/hier/drain")
+
+                tcp = stack.client
+                base = "/v1/tenants/hier/query"
+                assert await get(port, base + "/point?key=5") == await tcp.point(
+                    5, tenant="hier"
+                )
+                assert await get(port, base + "/range?lo=0&hi=63") == await tcp.range_query(
+                    0, 63, tenant="hier"
+                )
+                over_tcp = await tcp.heavy_hitters(phi=0.05, tenant="hier")
+                assert await get(port, base + "/heavy_hitters?phi=0.05") == [
+                    list(hitter) for hitter in over_tcp
+                ]
+                assert await get(port, base + "/quantile?fraction=0.5") == await tcp.quantile(
+                    0.5, tenant="hier"
+                )
+                assert await get(
+                    port, base + "/quantiles?fractions=0.25,0.5,0.75"
+                ) == await tcp.quantiles([0.25, 0.5, 0.75], tenant="hier")
+                assert await get(port, base + "/arrivals") == await tcp.arrivals(tenant="hier")
+
+        run(body())
+
+    def test_multisite_tenant(self, tmp_path):
+        async def body():
+            async with _Stack(tmp_path) as stack:
+                port = stack.gateway.port
+                await stack.client.create_tenant(
+                    "multi", config={"mode": "multisite", "sites": 2, "period": 50.0}
+                )
+                keys = ["k%d" % (index % 11) for index in range(300)]
+                clocks = [float(index + 1) for index in range(300)]
+                for site in (0, 1):
+                    await http(
+                        port,
+                        "POST",
+                        "/v1/tenants/multi/ingest",
+                        {"keys": keys, "clocks": clocks, "site": site},
+                    )
+                await http(port, "POST", "/v1/tenants/multi/drain")
+
+                tcp = stack.client
+                base = "/v1/tenants/multi/query"
+                assert await get(port, base + "/point?key=k3") == await tcp.point(
+                    "k3", tenant="multi"
+                )
+                assert await get(port, base + "/self_join") == await tcp.self_join(
+                    tenant="multi"
+                )
+                assert await get(port, base + "/staleness?now=300") == await tcp.staleness(
+                    300.0, tenant="multi"
+                )
+                # root_state has no typed client method (it is the router's
+                # merge input); parity is against the raw protocol op.
+                over_tcp = await tcp.request({"op": "root_state", "tenant": "multi"})
+                assert await get(port, base + "/root_state") == over_tcp
+
+        run(body())
+
+
+class TestTenantRest:
+    def test_lifecycle_over_rest(self, tmp_path):
+        async def body():
+            async with _Stack(tmp_path) as stack:
+                port = stack.gateway.port
+                status, payload = await http(
+                    port,
+                    "PUT",
+                    "/v1/tenants/hier",
+                    {"mode": "hierarchical", "universe_bits": 8},
+                )
+                assert status == 200
+                assert payload["result"]["tenant"] == "hier"
+                assert payload["result"]["resident"] is True
+                await http(port, "PUT", "/v1/tenants/flat1")
+
+                listing = await get(port, "/v1/tenants")
+                assert {entry["tenant"] for entry in listing} == {"flat1", "hier"}
+                modes = {entry["tenant"]: entry["mode"] for entry in listing}
+                assert modes == {"flat1": "flat", "hier": "hierarchical"}
+
+                stats = await get(port, "/v1/tenants/hier")
+                assert stats["records_ingested"] == 0
+
+                status, payload = await http(port, "DELETE", "/v1/tenants/hier")
+                assert status == 200 and payload["result"] == {"deleted": "hier"}
+                status, payload = await http(port, "GET", "/v1/tenants/hier")
+                assert status == 404
+
+                info = await get(port, "/v1/info")
+                assert info["pool"] is True
+                assert info["protocol_version"] == "2.0"
+                stats = await get(port, "/v1/stats")
+                assert stats["tenants_total"] == 1
+                assert stack.gateway.requests_served >= 8
+
+        run(body())
+
+    def test_sweep_over_rest(self, tmp_path):
+        async def body():
+            async with _Stack(tmp_path) as stack:
+                port = stack.gateway.port
+                await http(port, "PUT", "/v1/tenants/alpha")
+                status, payload = await http(port, "POST", "/v1/sweep")
+                assert status == 200
+                assert payload["result"]["resident"] == 1
+                assert payload["result"]["evicted"] == []
+
+        run(body())
+
+
+class TestStatusMapping:
+    """Live HTTP statuses for each error family, end to end."""
+
+    def test_pooled_statuses(self, tmp_path):
+        async def body():
+            async with _Stack(tmp_path) as stack:
+                port = stack.gateway.port
+                await http(port, "PUT", "/v1/tenants/flat1")
+
+                async def expect(status, code, method, path, body=None):
+                    got_status, payload = await http(port, method, path, body)
+                    assert got_status == status, (path, payload)
+                    assert payload["ok"] is False
+                    assert payload["error"]["code"] == code, (path, payload)
+
+                await expect(404, "TENANT_NOT_FOUND", "GET", "/v1/tenants/ghost")
+                await expect(409, "TENANT_EXISTS", "PUT", "/v1/tenants/flat1")
+                await expect(400, "TENANT_REQUIRED", "GET", "/v1/query/point?key=a")
+                await expect(
+                    409, "MODE_MISMATCH", "GET", "/v1/tenants/flat1/query/heavy_hitters?phi=0.1"
+                )
+                await expect(
+                    400, "INVALID_PARAMETER", "GET", "/v1/tenants/flat1/query/point"
+                )
+                await expect(
+                    400, "UNKNOWN_OP", "GET", "/v1/tenants/flat1/query/bogus"
+                )
+                await expect(404, "NOT_FOUND", "GET", "/nowhere")
+                await expect(404, "NOT_FOUND", "GET", "/v1/nowhere")
+                await expect(405, "METHOD_NOT_ALLOWED", "POST", "/v1/info")
+                await expect(405, "METHOD_NOT_ALLOWED", "PATCH", "/v1/tenants/flat1")
+                await expect(
+                    409,
+                    "CLOCK_REGRESSION",
+                    "POST",
+                    "/v1/tenants/flat1/ingest",
+                    {"keys": ["a", "b"], "clocks": [5.0, 1.0]},
+                )
+
+        run(body())
+
+    def test_bad_body_is_a_400(self, tmp_path):
+        async def body():
+            async with _Stack(tmp_path) as stack:
+                port = stack.gateway.port
+                reader, writer = await asyncio.open_connection("127.0.0.1", port)
+                raw = b"POST /v1/tenants/x/ingest HTTP/1.1\r\nContent-Length: 9\r\n\r\n{not json"
+                writer.write(raw)
+                await writer.drain()
+                response = await reader.read()
+                writer.close()
+                await writer.wait_closed()
+                header, _, rest = response.partition(b"\r\n\r\n")
+                assert b" 400 " in header.split(b"\r\n")[0]
+                payload = json.loads(rest)
+                assert payload["error"]["code"] in ("BAD_REQUEST", "PROTOCOL")
+
+        run(body())
+
+    def test_dead_backend_is_a_503(self, tmp_path):
+        async def body():
+            pool = TenantPool(pool_config(tmp_path))
+            server = SketchServer(pool)
+            await server.__aenter__()
+            gateway = GatewayServer(backend_port=server.port, port=0)
+            await gateway.start()
+            try:
+                status, _ = await http(gateway.port, "GET", "/v1/info")
+                assert status == 200
+                await server.__aexit__(None, None, None)
+                status, payload = await http(gateway.port, "GET", "/v1/info")
+                assert status == 503
+                assert payload["error"]["code"] == "SERVICE_STOPPED"
+            finally:
+                await gateway.stop()
+
+        run(body())
+
+    def test_unpooled_backend_maps_pool_disabled(self, tmp_path):
+        async def body():
+            config = ServiceConfig(mode="flat", epsilon=EPSILON, delta=0.05, window=WINDOW)
+            async with SketchServer(SketchService(config)) as server:
+                gateway = GatewayServer(backend_port=server.port, port=0)
+                await gateway.start()
+                try:
+                    status, payload = await http(gateway.port, "PUT", "/v1/tenants/alpha")
+                    assert status == 400
+                    assert payload["error"]["code"] == "POOL_DISABLED"
+                    # Tenant-less queries still flow through the gateway.
+                    status, payload = await http(
+                        gateway.port, "POST", "/v1/ingest", {"keys": ["a"], "clocks": [1.0]}
+                    )
+                    assert status == 200 and payload["result"] == {"accepted": 1}
+                    await http(gateway.port, "POST", "/v1/drain")
+                    result = await get(gateway.port, "/v1/query/point?key=a")
+                    assert result == 1.0
+                finally:
+                    await gateway.stop()
+
+        run(body())

@@ -6,13 +6,19 @@ import json
 
 import pytest
 
+from repro.service.errors import VersionMismatchError
 from repro.service.protocol import (
     MAX_LINE_BYTES,
+    PROTOCOL_MAJOR,
+    PROTOCOL_VERSION,
     ProtocolError,
+    check_protocol_version,
     decode_line,
     encode_message,
     error_response,
+    error_response_for,
     ok_response,
+    protocol_major,
 )
 
 
@@ -66,10 +72,50 @@ class TestEnvelopes:
         assert ok_response(42, request_id=7) == {"ok": True, "result": 42, "id": 7}
 
     def test_error_response(self):
-        assert error_response("boom") == {"ok": False, "error": "boom"}
-        assert error_response("boom", request_id="q1") == {
-            "ok": False, "error": "boom", "id": "q1",
+        assert error_response("INTERNAL", "boom") == {
+            "ok": False,
+            "error": {"code": "INTERNAL", "message": "boom", "op": None},
         }
+        assert error_response("BAD_REQUEST", "boom", op="ingest", request_id="q1") == {
+            "ok": False,
+            "error": {"code": "BAD_REQUEST", "message": "boom", "op": "ingest"},
+            "id": "q1",
+        }
+
+    def test_error_response_for_typed_exception(self):
+        response = error_response_for(VersionMismatchError("nope", op="hello"))
+        assert response["ok"] is False
+        assert response["error"]["code"] == "VERSION_MISMATCH"
+        assert response["error"]["op"] == "hello"
+
+    def test_error_response_for_plain_exception(self):
+        response = error_response_for(ValueError("bad value"), op="point")
+        assert response["error"]["code"] == "BAD_REQUEST"
+        assert response["error"]["op"] == "point"
+
+
+class TestProtocolVersion:
+    def test_major_of_current_version(self):
+        assert protocol_major(PROTOCOL_VERSION) == PROTOCOL_MAJOR
+
+    def test_major_parses_leading_component(self):
+        assert protocol_major("2.17") == 2
+        assert protocol_major("10.0") == 10
+
+    def test_major_rejects_malformed(self):
+        for version in ("", "x.y", None, 2):
+            with pytest.raises(ProtocolError):
+                protocol_major(version)  # type: ignore[arg-type]
+
+    def test_check_accepts_same_major(self):
+        check_protocol_version(PROTOCOL_VERSION)
+        check_protocol_version("%d.99" % PROTOCOL_MAJOR)
+
+    def test_check_rejects_other_major(self):
+        with pytest.raises(VersionMismatchError):
+            check_protocol_version("%d.0" % (PROTOCOL_MAJOR + 1))
+        with pytest.raises(VersionMismatchError):
+            check_protocol_version("1.0")
 
 
 class TestNonFiniteConstants:

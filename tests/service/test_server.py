@@ -31,14 +31,21 @@ class TestProtocolDispatch:
             async with serve(ServiceConfig(mode="flat")) as server:
                 async with await ServiceClient.connect(port=server.port) as client:
                     assert await client.ping() == "pong"
-                    info = await client.info()
-                    assert info["mode"] == "flat"
+                    info = await client.get_info()
+                    assert info.mode == "flat"
+                    assert info.raw["mode"] == "flat"
                     await client.ingest(["a", "b", "a"], [1.0, 2.0, 3.0])
                     await client.drain()
                     assert await client.point("a") == 2.0
                     assert await client.self_join() == 5.0
-                    stats = await client.stats()
-                    assert stats["records_ingested"] == 3
+                    stats = await client.get_stats()
+                    assert stats.records_ingested == 3
+                    # The 1.x dict-returning surface survives one release as
+                    # a deprecated shim over the typed results.
+                    with pytest.warns(DeprecationWarning):
+                        assert (await client.info())["mode"] == "flat"
+                    with pytest.warns(DeprecationWarning):
+                        assert (await client.stats())["records_ingested"] == 3
 
         run(body())
 

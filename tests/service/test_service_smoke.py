@@ -111,7 +111,7 @@ class TestServiceSmoke:
             port = server.wait_ready()
             with SyncServiceClient.connect(port=port) as client:
                 assert client.point("x") == 2.0
-                stats = client.stats()
+                stats = client.get_stats().raw
                 assert stats["records_ingested"] == 3
                 # The restored server keeps ingesting past the watermark.
                 client.ingest(["x"], [4.0])

@@ -84,7 +84,7 @@ def _wait_degraded(client, victim, timeout=30.0):
     client side, so this is a bounded poll, not a readiness sleep."""
     deadline = time.monotonic() + timeout
     while time.monotonic() < deadline:
-        stats = client.stats()
+        stats = client.get_stats().raw
         if victim in stats["degraded"]:
             return stats
         time.sleep(0.05)
@@ -125,13 +125,13 @@ class TestShardSmoke:
 
             references, probe_keys = _build_references()
             with SyncServiceClient.connect(port=port) as client:
-                info = client.info()
+                info = client.get_info().raw
                 assert info["shards"] == SHARDS
                 _assert_matches_references(client, references, probe_keys)
 
                 # Snapshot the healthy tier, then SIGKILL one worker by pid.
                 assert client.snapshot() == str(manifest)
-                stats = client.stats()
+                stats = client.get_stats().raw
                 victim = 1
                 pid = stats["shard_details"][victim]["pid"]
                 os.kill(pid, signal.SIGKILL)
@@ -141,7 +141,7 @@ class TestShardSmoke:
                 # per-shard snapshot and verify the answers came back.
                 outcome = client.restart_shard(victim)
                 assert outcome["restored_from"] is not None
-                assert client.stats()["degraded"] == []
+                assert client.get_stats().raw["degraded"] == []
                 _assert_matches_references(client, references, probe_keys)
 
             # SIGTERM: graceful drain + final manifest + clean exit.
@@ -154,8 +154,8 @@ class TestShardSmoke:
         with ServeProcess("--restore", manifest) as restored:
             port = restored.wait_ready()
             with SyncServiceClient.connect(port=port) as client:
-                assert client.info()["shards"] == SHARDS
-                assert client.stats()["records_ingested"] == RECORDS
+                assert client.get_info().raw["shards"] == SHARDS
+                assert client.get_stats().raw["records_ingested"] == RECORDS
                 references, probe_keys = _build_references()
                 _assert_matches_references(client, references, probe_keys)
             assert restored.stop() == 0, restored.output
