@@ -34,7 +34,6 @@ import argparse
 import json
 import random
 import time
-from typing import Dict, List, Optional
 
 import numpy as np
 import pytest
@@ -63,7 +62,7 @@ QUERY_BATCH = 4_096
 def _workload(seed: int = 1):
     rng = random.Random(seed)
     keys = np.asarray([rng.randrange(1 << KEY_BITS) for _ in range(INGEST_RECORDS)])
-    clocks: List[float] = []
+    clocks: list[float] = []
     clock = 0.0
     for _ in range(INGEST_RECORDS):
         clock += rng.random()
@@ -195,7 +194,7 @@ def test_columnar_backend_report(capsys):
 
 
 # -------------------------------------------------------------- report helpers
-def _run_columnar_comparison(rounds: int = 3) -> Dict[str, Dict[str, float]]:
+def _run_columnar_comparison(rounds: int = 3) -> dict[str, dict[str, float]]:
     """Columnar-vs-object timings for ingest, expiry, queries and memory."""
     keys, clocks = _workload()
     now = clocks[-1]
@@ -284,7 +283,7 @@ def _run_columnar_comparison(rounds: int = 3) -> Dict[str, Dict[str, float]]:
     }
 
 
-def main(argv: Optional[List[str]] = None) -> None:
+def main(argv: list[str] | None = None) -> None:
     """Standalone report (no pytest needed); optionally persists JSON.
 
     The CI benchmark job runs this with ``--json BENCH_columnar.json`` and

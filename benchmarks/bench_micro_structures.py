@@ -146,7 +146,7 @@ def _ecm_ingest_workload(count: int = 8_192, distinct: int = 500, seed: int = 6)
 
 def _ecm_ingest_scalar(items, clocks):
     sketch = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=WINDOW)
-    for item, clock in zip(items, clocks):
+    for item, clock in zip(items, clocks, strict=False):
         sketch.add(item, clock)
     return sketch
 

@@ -21,7 +21,6 @@ import argparse
 import json
 import random
 import time
-from typing import Dict, List, Optional
 
 import pytest
 
@@ -43,7 +42,7 @@ def _build_site_sketches(
     num_sites: int,
     arrivals_per_site: int = ARRIVALS_PER_SITE,
     epsilon: float = 0.1,
-) -> List[ECMSketch]:
+) -> list[ECMSketch]:
     """Local sketches of a simulated deployment (WorldCup-style keys).
 
     Built on the object backend: this benchmark isolates the merge-layer
@@ -148,9 +147,9 @@ def test_aggregation_speedup_report(capsys):
 
 
 # -------------------------------------------------------------- report helpers
-def _run_aggregation_comparison(rounds: int = 3) -> Dict[str, Dict[str, float]]:
+def _run_aggregation_comparison(rounds: int = 3) -> dict[str, dict[str, float]]:
     """Reference-vs-vectorized aggregation timings at the headline site count."""
-    results: Dict[str, Dict[str, float]] = {}
+    results: dict[str, dict[str, float]] = {}
     for counter_type, label in (
         (CounterType.EXPONENTIAL_HISTOGRAM, "eh"),
         (CounterType.DETERMINISTIC_WAVE, "dw"),
@@ -170,9 +169,9 @@ def _run_aggregation_comparison(rounds: int = 3) -> Dict[str, Dict[str, float]]:
     return results
 
 
-def _run_scaling_sweep(rounds: int = 3) -> List[Dict[str, float]]:
+def _run_scaling_sweep(rounds: int = 3) -> list[dict[str, float]]:
     """merge_many cost per site as the deployment grows (near-linear target)."""
-    rows: List[Dict[str, float]] = []
+    rows: list[dict[str, float]] = []
     for num_sites in SCALING_SITES:
         sketches = _build_site_sketches(CounterType.EXPONENTIAL_HISTOGRAM, num_sites)
         seconds = _best_of(lambda: ECMSketch.merge_many(sketches), rounds)
@@ -186,11 +185,11 @@ def _run_scaling_sweep(rounds: int = 3) -> List[Dict[str, float]]:
     return rows
 
 
-def _run_runner_throughput(records: int = 20_000, num_sites: int = 16) -> List[Dict[str, float]]:
+def _run_runner_throughput(records: int = 20_000, num_sites: int = 16) -> list[dict[str, float]]:
     """Sharded-ingest throughput at 1 and 2 workers."""
     trace = WorldCupSyntheticTrace(num_records=records, num_nodes=num_sites).generate()
     config = ECMConfig.for_point_queries(epsilon=0.1, delta=0.1, window=WINDOW)
-    rows: List[Dict[str, float]] = []
+    rows: list[dict[str, float]] = []
     for workers in (1, 2):
         _, report = run_sharded_ingest(
             trace, num_nodes=num_sites, config=config, workers=workers
@@ -207,7 +206,7 @@ def _run_runner_throughput(records: int = 20_000, num_sites: int = 16) -> List[D
     return rows
 
 
-def main(argv: Optional[List[str]] = None) -> None:
+def main(argv: list[str] | None = None) -> None:
     """Standalone report (no pytest needed); optionally persists JSON.
 
     The CI benchmark job runs this with ``--json BENCH_pr2.json`` and uploads

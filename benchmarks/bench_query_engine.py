@@ -26,7 +26,6 @@ import argparse
 import json
 import random
 import time
-from typing import Dict, List, Optional
 
 import numpy as np
 import pytest
@@ -52,7 +51,7 @@ def _ingest_workload(seed: int = 1):
     """Uniform integer keys + monotone clocks for the ingest comparison."""
     rng = random.Random(seed)
     keys = [rng.randrange(1 << INGEST_UNIVERSE_BITS) for _ in range(INGEST_RECORDS)]
-    clocks: List[float] = []
+    clocks: list[float] = []
     clock = 0.0
     for _ in range(INGEST_RECORDS):
         clock += rng.random()
@@ -73,7 +72,7 @@ def _descent_stack(seed: int = 1):
     keys = np.array(
         [min(int(rng.paretovariate(1.05)) - 1, limit) for _ in range(DESCENT_RECORDS)]
     )
-    clocks: List[float] = []
+    clocks: list[float] = []
     clock = 0.0
     for _ in range(DESCENT_RECORDS):
         clock += rng.random()
@@ -102,7 +101,7 @@ def test_ingest_scalar(benchmark):
 
     def run():
         stack = _build_stack(INGEST_UNIVERSE_BITS)
-        for key, clock in zip(keys, clocks):
+        for key, clock in zip(keys, clocks, strict=False):
             stack.add(key, clock)
         return stack
 
@@ -195,14 +194,14 @@ def test_query_engine_speedup_report(capsys):
 
 
 # -------------------------------------------------------------- report helpers
-def _run_query_engine_comparison(rounds: int = 3) -> Dict[str, Dict[str, float]]:
+def _run_query_engine_comparison(rounds: int = 3) -> dict[str, dict[str, float]]:
     """Scalar-vs-batched timings for ingest, descent and quantiles."""
     keys, clocks = _ingest_workload()
     keys_array = np.asarray(keys)
 
     def ingest_scalar():
         stack = _build_stack(INGEST_UNIVERSE_BITS)
-        for key, clock in zip(keys, clocks):
+        for key, clock in zip(keys, clocks, strict=False):
             stack.add(key, clock)
 
     def ingest_batched():
@@ -261,7 +260,7 @@ def _run_query_engine_comparison(rounds: int = 3) -> Dict[str, Dict[str, float]]
     }
 
 
-def main(argv: Optional[List[str]] = None) -> None:
+def main(argv: list[str] | None = None) -> None:
     """Standalone report (no pytest needed); optionally persists JSON.
 
     The CI benchmark job runs this with ``--json BENCH_query_engine.json``

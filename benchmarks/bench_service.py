@@ -33,7 +33,7 @@ import asyncio
 import json
 import os
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any
 
 from repro.core import ECMSketch
 from repro.serialization import dumps
@@ -76,10 +76,10 @@ WINDOW = 1_000_000.0
 def _drive(
     mode: str,
     records: int,
-    extra: Optional[List[object]] = None,
+    extra: list[object] | None = None,
     connections: int = 1,
-    fidelity_shards: Optional[int] = None,
-) -> Dict[str, Any]:
+    fidelity_shards: int | None = None,
+) -> dict[str, Any]:
     """Boot a `repro serve` subprocess, run the replay driver, report.
 
     With ``fidelity_shards`` set, the served answers are additionally checked
@@ -131,8 +131,8 @@ def _check_sharded_fidelity(port: int, records: int, shards: int) -> bool:
     info = {"mode": "flat", "model": "time"}
     trace, clocks = build_replay_stream(info, records, seed=SEED)
     keys = [record.key for record in trace]
-    per_shard: Dict[int, Any] = {shard: ([], []) for shard in range(shards)}
-    for key, clock in zip(keys, clocks):
+    per_shard: dict[int, Any] = {shard: ([], []) for shard in range(shards)}
+    for key, clock in zip(keys, clocks, strict=False):
         bucket = per_shard[shard_of(key, shards)]
         bucket[0].append(key)
         bucket[1].append(clock)
@@ -157,7 +157,7 @@ def _check_sharded_fidelity(port: int, records: int, shards: int) -> bool:
     return True
 
 
-def _sharded_scaling() -> Dict[str, Any]:
+def _sharded_scaling() -> dict[str, Any]:
     """Same flat trace through 1 shard / 1 connection and 4 shards / 4
     connections; the ``speedup`` leaf is the tracked scaling ratio."""
     base = ["--epsilon", EPSILON, "--window", WINDOW]
@@ -177,7 +177,7 @@ def _sharded_scaling() -> Dict[str, Any]:
     }
 
 
-def _snapshot_fidelity(tmp_dir: str) -> Dict[str, Any]:
+def _snapshot_fidelity(tmp_dir: str) -> dict[str, Any]:
     """Mid-stream snapshot -> restore must equal an uninterrupted run, byte for byte."""
     records = 20_000
     trace = WorldCupSyntheticTrace(num_records=records, seed=21).generate()
@@ -230,7 +230,7 @@ def _snapshot_fidelity(tmp_dir: str) -> Dict[str, Any]:
     }
 
 
-def _run_service_benchmark(tmp_dir: str) -> Dict[str, Any]:
+def _run_service_benchmark(tmp_dir: str) -> dict[str, Any]:
     return {
         "flat": _drive("flat", FLAT_RECORDS),
         "hierarchical": _drive("hierarchical", HIER_RECORDS, ["--universe-bits", 12]),
@@ -239,7 +239,7 @@ def _run_service_benchmark(tmp_dir: str) -> Dict[str, Any]:
     }
 
 
-def _format_report(results: Dict[str, Any]) -> List[str]:
+def _format_report(results: dict[str, Any]) -> list[str]:
     lines = ["Live sketch service (batch %d, EH columnar backend):" % BATCH_SIZE]
     for mode in ("flat", "hierarchical"):
         row = results[mode]
@@ -317,7 +317,7 @@ def test_service_benchmark_report(tmp_path, capsys):
             )
 
 
-def main(argv: Optional[List[str]] = None) -> None:
+def main(argv: list[str] | None = None) -> None:
     """Standalone report (no pytest needed); optionally persists JSON."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--json", type=str, default=None, help="write results to this file")

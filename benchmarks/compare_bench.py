@@ -25,7 +25,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from collections.abc import Iterator
+from typing import Any
 
 #: Fractional slack a fresh speedup may lose against its baseline.
 DEFAULT_TOLERANCE = 0.25
@@ -42,7 +43,7 @@ DEFAULT_FLOOR_CLAMP = 4.0
 RATIO_KEYS = frozenset(["speedup"])
 
 
-def iter_ratio_leaves(tree: Any, prefix: str = "") -> Iterator[Tuple[str, float]]:
+def iter_ratio_leaves(tree: Any, prefix: str = "") -> Iterator[tuple[str, float]]:
     """Yield ``(dotted.path, value)`` for every gated ratio leaf in a JSON tree."""
     if isinstance(tree, dict):
         for key in sorted(tree):
@@ -62,12 +63,12 @@ def compare_trees(
     fresh: Any,
     tolerance: float,
     floor_clamp: float = DEFAULT_FLOOR_CLAMP,
-) -> Tuple[List[str], List[str]]:
+) -> tuple[list[str], list[str]]:
     """Compare two benchmark trees; returns (report_lines, regression_lines)."""
     baseline_leaves = dict(iter_ratio_leaves(baseline))
     fresh_leaves = dict(iter_ratio_leaves(fresh))
-    report: List[str] = []
-    regressions: List[str] = []
+    report: list[str] = []
+    regressions: list[str] = []
     for path, base_value in sorted(baseline_leaves.items()):
         fresh_value = fresh_leaves.get(path)
         if fresh_value is None:
@@ -101,7 +102,7 @@ def compare_files(
     fresh_path: str,
     tolerance: float,
     floor_clamp: float = DEFAULT_FLOOR_CLAMP,
-) -> Tuple[List[str], List[str]]:
+) -> tuple[list[str], list[str]]:
     """Compare one baseline/fresh file pair."""
     with open(baseline_path, "r", encoding="utf-8") as handle:
         baseline = json.load(handle)
@@ -130,7 +131,7 @@ def self_test(tolerance: float = DEFAULT_TOLERANCE) -> int:
     _, clamp_pass = compare_trees(clamped, clamped_fresh, tolerance)
     _, clamp_fail = compare_trees(clamped, {"sweep": {"speedup": 3.0}}, tolerance)
 
-    failures: List[str] = []
+    failures: list[str] = []
     if not must_fail:
         failures.append("guard did not flag a 30%% speedup regression")
     if must_pass:
@@ -152,7 +153,7 @@ def self_test(tolerance: float = DEFAULT_TOLERANCE) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--pair",
@@ -190,7 +191,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not args.pair:
         parser.error("nothing to do: pass --pair BASELINE FRESH (or --self-test)")
 
-    all_regressions: Dict[str, List[str]] = {}
+    all_regressions: dict[str, list[str]] = {}
     for baseline_path, fresh_path in args.pair:
         print("%s vs %s:" % (baseline_path, fresh_path))
         report, regressions = compare_files(

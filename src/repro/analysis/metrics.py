@@ -16,7 +16,7 @@ range*.  This module reproduces that query workload and the error summaries
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, List, Optional, Sequence
+from collections.abc import Hashable, Sequence
 
 from ..baselines.exact import ExactStreamSummary
 from ..core.ecm_sketch import ECMSketch
@@ -41,13 +41,13 @@ class ErrorSummary:
     count: int
 
     @classmethod
-    def from_errors(cls, errors: Sequence[float]) -> "ErrorSummary":
+    def from_errors(cls, errors: Sequence[float]) -> ErrorSummary:
         """Summarise a list of observed errors."""
         if not errors:
             return cls(average=0.0, maximum=0.0, count=0)
         return cls(average=sum(errors) / len(errors), maximum=max(errors), count=len(errors))
 
-    def merge(self, other: "ErrorSummary") -> "ErrorSummary":
+    def merge(self, other: ErrorSummary) -> ErrorSummary:
         """Combine two summaries (weighted average, overall maximum)."""
         total = self.count + other.count
         if total == 0:
@@ -56,13 +56,13 @@ class ErrorSummary:
         return ErrorSummary(average=average, maximum=max(self.maximum, other.maximum), count=total)
 
 
-def exponential_query_ranges(window: float, base: float = 10.0, start_exponent: int = 1) -> List[float]:
+def exponential_query_ranges(window: float, base: float = 10.0, start_exponent: int = 1) -> list[float]:
     """The paper's exponentially increasing query ranges ``10**i``, capped at the window."""
     if window <= 0:
         raise ConfigurationError("window must be positive, got %r" % (window,))
     if base <= 1:
         raise ConfigurationError("base must be greater than 1, got %r" % (base,))
-    ranges: List[float] = []
+    ranges: list[float] = []
     exponent = start_exponent
     while True:
         value = base ** exponent
@@ -78,10 +78,10 @@ def point_query_errors(
     sketch: ECMSketch,
     exact: ExactStreamSummary,
     range_length: float,
-    now: Optional[float] = None,
-    keys: Optional[Sequence[Hashable]] = None,
-    max_keys: Optional[int] = None,
-) -> List[float]:
+    now: float | None = None,
+    keys: Sequence[Hashable] | None = None,
+    max_keys: int | None = None,
+) -> list[float]:
     """Observed point-query errors for every distinct in-range key.
 
     Args:
@@ -105,7 +105,7 @@ def point_query_errors(
         keys = list(frequencies.keys())
     if max_keys is not None:
         keys = list(keys)[:max_keys]
-    errors: List[float] = []
+    errors: list[float] = []
     for key in keys:
         estimate = sketch.point_query(key, range_length, now)
         true = frequencies.get(key, exact.frequency(key, range_length, now))
@@ -117,8 +117,8 @@ def self_join_error(
     sketch: ECMSketch,
     exact: ExactStreamSummary,
     range_length: float,
-    now: Optional[float] = None,
-) -> Optional[float]:
+    now: float | None = None,
+) -> float | None:
     """Observed self-join error ``|est - true| / ||a_r||_1**2`` for one range."""
     arrivals = exact.arrivals(range_length, now)
     if arrivals == 0:
@@ -132,11 +132,11 @@ def evaluate_point_queries(
     sketch: ECMSketch,
     exact: ExactStreamSummary,
     ranges: Sequence[float],
-    now: Optional[float] = None,
-    max_keys_per_range: Optional[int] = None,
+    now: float | None = None,
+    max_keys_per_range: int | None = None,
 ) -> ErrorSummary:
     """Observed point-query error summary over several query ranges."""
-    all_errors: List[float] = []
+    all_errors: list[float] = []
     for range_length in ranges:
         all_errors.extend(
             point_query_errors(sketch, exact, range_length, now, max_keys=max_keys_per_range)
@@ -148,10 +148,10 @@ def evaluate_self_join_queries(
     sketch: ECMSketch,
     exact: ExactStreamSummary,
     ranges: Sequence[float],
-    now: Optional[float] = None,
+    now: float | None = None,
 ) -> ErrorSummary:
     """Observed self-join error summary over several query ranges."""
-    errors: List[float] = []
+    errors: list[float] = []
     for range_length in ranges:
         error = self_join_error(sketch, exact, range_length, now)
         if error is not None:

@@ -15,14 +15,15 @@ import csv
 import dataclasses
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Sequence, Union
+from collections.abc import Sequence
+from typing import Any
 
 from ..core.errors import ConfigurationError
 
 __all__ = ["row_to_dict", "rows_to_dicts", "write_json", "write_csv", "write_rows"]
 
 
-def row_to_dict(row: Any) -> Dict[str, Any]:
+def row_to_dict(row: Any) -> dict[str, Any]:
     """Convert one experiment-row dataclass into a flat dictionary.
 
     Stored dataclass fields come first; computed ``@property`` values are
@@ -30,7 +31,7 @@ def row_to_dict(row: Any) -> Dict[str, Any]:
     """
     if not dataclasses.is_dataclass(row) or isinstance(row, type):
         raise ConfigurationError("expected a dataclass instance, got %r" % (type(row),))
-    data: Dict[str, Any] = dataclasses.asdict(row)
+    data: dict[str, Any] = dataclasses.asdict(row)
     for name in dir(type(row)):
         if name.startswith("_") or name in data:
             continue
@@ -45,12 +46,12 @@ def row_to_dict(row: Any) -> Dict[str, Any]:
     return data
 
 
-def rows_to_dicts(rows: Sequence[Any]) -> List[Dict[str, Any]]:
+def rows_to_dicts(rows: Sequence[Any]) -> list[dict[str, Any]]:
     """Convert a list of experiment rows into dictionaries."""
     return [row_to_dict(row) for row in rows]
 
 
-def write_json(rows: Sequence[Any], path: Union[str, Path], indent: int = 2) -> Path:
+def write_json(rows: Sequence[Any], path: str | Path, indent: int = 2) -> Path:
     """Write experiment rows to a JSON file; returns the path written."""
     path = Path(path)
     payload = rows_to_dicts(rows)
@@ -58,7 +59,7 @@ def write_json(rows: Sequence[Any], path: Union[str, Path], indent: int = 2) -> 
     return path
 
 
-def write_csv(rows: Sequence[Any], path: Union[str, Path]) -> Path:
+def write_csv(rows: Sequence[Any], path: str | Path) -> Path:
     """Write experiment rows to a CSV file; returns the path written.
 
     The header is the union of all row keys (rows of mixed types are allowed,
@@ -69,7 +70,7 @@ def write_csv(rows: Sequence[Any], path: Union[str, Path]) -> Path:
     dicts = rows_to_dicts(rows)
     if not dicts:
         raise ConfigurationError("cannot write an empty result set")
-    fieldnames: List[str] = []
+    fieldnames: list[str] = []
     for entry in dicts:
         for key in entry:
             if key not in fieldnames:
@@ -82,7 +83,7 @@ def write_csv(rows: Sequence[Any], path: Union[str, Path]) -> Path:
     return path
 
 
-def write_rows(rows: Sequence[Any], path: Union[str, Path]) -> Path:
+def write_rows(rows: Sequence[Any], path: str | Path) -> Path:
     """Write rows to JSON or CSV depending on the file extension."""
     path = Path(path)
     suffix = path.suffix.lower()

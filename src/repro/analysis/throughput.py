@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional
+from collections.abc import Callable, Iterable
 
 from ..core.ecm_sketch import ECMSketch
 from ..core.errors import ConfigurationError
@@ -38,7 +38,7 @@ class ThroughputResult:
 def measure_update_rate(
     sketch: ECMSketch,
     stream: Stream,
-    max_records: Optional[int] = None,
+    max_records: int | None = None,
     clock: Callable[[], float] = time.perf_counter,
 ) -> ThroughputResult:
     """Feed a stream into a sketch and measure sustained updates per second."""
@@ -57,8 +57,8 @@ def measure_update_rate(
 def measure_query_rate(
     sketch: ECMSketch,
     keys: Iterable,
-    range_length: Optional[float] = None,
-    now: Optional[float] = None,
+    range_length: float | None = None,
+    now: float | None = None,
     clock: Callable[[], float] = time.perf_counter,
 ) -> ThroughputResult:
     """Measure sustained point queries per second over the given keys."""

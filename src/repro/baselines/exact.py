@@ -11,7 +11,7 @@ measurement harness, never a competitor.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, Hashable, List, Optional, Tuple
+from collections.abc import Hashable
 
 from ..core.errors import ConfigurationError
 from ..streams.stream import Stream
@@ -31,9 +31,9 @@ class ExactStreamSummary:
         if window <= 0:
             raise ConfigurationError("window must be positive, got %r" % (window,))
         self.window = float(window)
-        self._per_key: Dict[Hashable, List[float]] = {}
-        self._all_times: List[float] = []
-        self._last_clock: Optional[float] = None
+        self._per_key: dict[Hashable, list[float]] = {}
+        self._all_times: list[float] = []
+        self._last_clock: float | None = None
 
     # ----------------------------------------------------------------- adds
     def add(self, key: Hashable, clock: float, value: int = 1) -> None:
@@ -56,14 +56,14 @@ class ExactStreamSummary:
             self.add(record.key, record.timestamp, record.value)
 
     @classmethod
-    def from_stream(cls, stream: Stream, window: float) -> "ExactStreamSummary":
+    def from_stream(cls, stream: Stream, window: float) -> ExactStreamSummary:
         """Build a summary directly from a stream."""
         summary = cls(window)
         summary.ingest(stream)
         return summary
 
     # -------------------------------------------------------------- queries
-    def _resolve(self, range_length: Optional[float], now: Optional[float]) -> Tuple[float, float]:
+    def _resolve(self, range_length: float | None, now: float | None) -> tuple[float, float]:
         if now is None:
             now = self._last_clock if self._last_clock is not None else 0.0
         if range_length is None or range_length > self.window:
@@ -71,13 +71,13 @@ class ExactStreamSummary:
         return now - range_length, now
 
     @staticmethod
-    def _count_in(timestamps: List[float], start: float, end: float) -> int:
+    def _count_in(timestamps: list[float], start: float, end: float) -> int:
         left = bisect_right(timestamps, start)
         right = bisect_right(timestamps, end)
         return right - left
 
     def frequency(
-        self, key: Hashable, range_length: Optional[float] = None, now: Optional[float] = None
+        self, key: Hashable, range_length: float | None = None, now: float | None = None
     ) -> int:
         """Exact frequency of ``key`` in the query range ``(now - r, now]``."""
         start, end = self._resolve(range_length, now)
@@ -86,14 +86,14 @@ class ExactStreamSummary:
             return 0
         return self._count_in(timestamps, start, end)
 
-    def arrivals(self, range_length: Optional[float] = None, now: Optional[float] = None) -> int:
+    def arrivals(self, range_length: float | None = None, now: float | None = None) -> int:
         """Exact total number of arrivals (the L1 norm ``||a_r||_1``)."""
         start, end = self._resolve(range_length, now)
         return self._count_in(self._all_times, start, end)
 
     def keys_in_range(
-        self, range_length: Optional[float] = None, now: Optional[float] = None
-    ) -> List[Hashable]:
+        self, range_length: float | None = None, now: float | None = None
+    ) -> list[Hashable]:
         """Keys with at least one arrival in the query range."""
         start, end = self._resolve(range_length, now)
         present = []
@@ -103,27 +103,27 @@ class ExactStreamSummary:
         return present
 
     def frequencies_in_range(
-        self, range_length: Optional[float] = None, now: Optional[float] = None
-    ) -> Dict[Hashable, int]:
+        self, range_length: float | None = None, now: float | None = None
+    ) -> dict[Hashable, int]:
         """Exact frequency of every key present in the query range."""
         start, end = self._resolve(range_length, now)
-        result: Dict[Hashable, int] = {}
+        result: dict[Hashable, int] = {}
         for key, timestamps in self._per_key.items():
             count = self._count_in(timestamps, start, end)
             if count:
                 result[key] = count
         return result
 
-    def self_join(self, range_length: Optional[float] = None, now: Optional[float] = None) -> int:
+    def self_join(self, range_length: float | None = None, now: float | None = None) -> int:
         """Exact second frequency moment ``F2`` of the query range."""
         return sum(count * count for count in self.frequencies_in_range(range_length, now).values())
 
     def inner_product(
         self,
-        other: "ExactStreamSummary",
-        range_length: Optional[float] = None,
-        now: Optional[float] = None,
-        other_now: Optional[float] = None,
+        other: ExactStreamSummary,
+        range_length: float | None = None,
+        now: float | None = None,
+        other_now: float | None = None,
     ) -> int:
         """Exact inner product of two streams over the query range."""
         mine = self.frequencies_in_range(range_length, now)
@@ -133,9 +133,9 @@ class ExactStreamSummary:
     def heavy_hitters(
         self,
         phi: float,
-        range_length: Optional[float] = None,
-        now: Optional[float] = None,
-    ) -> Dict[Hashable, int]:
+        range_length: float | None = None,
+        now: float | None = None,
+    ) -> dict[Hashable, int]:
         """Keys whose in-range frequency is at least ``phi`` times the arrivals."""
         if not (0.0 < phi <= 1.0):
             raise ConfigurationError("phi must be in (0, 1], got %r" % (phi,))
@@ -150,9 +150,9 @@ class ExactStreamSummary:
     def quantile(
         self,
         fraction: float,
-        range_length: Optional[float] = None,
-        now: Optional[float] = None,
-    ) -> Optional[Hashable]:
+        range_length: float | None = None,
+        now: float | None = None,
+    ) -> Hashable | None:
         """Exact ``fraction``-quantile of the in-range key distribution.
 
         Keys are ordered by their natural sort order; the quantile is the
@@ -183,7 +183,7 @@ class ExactStreamSummary:
         return len(self._per_key)
 
     @property
-    def last_clock(self) -> Optional[float]:
+    def last_clock(self) -> float | None:
         """Clock of the most recent arrival."""
         return self._last_clock
 

@@ -19,11 +19,16 @@ from __future__ import annotations
 import argparse
 import sys
 import time as _time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
 
 from .analysis.reporting import write_rows
 from .baselines import ExactStreamSummary
 from .core import ECMSketch
+
+if TYPE_CHECKING:
+    from .core.config import ECMConfig
+    from .streams.stream import Stream
 from .experiments import (
     format_centralized_rows,
     format_centralized_vs_distributed_rows,
@@ -123,10 +128,10 @@ def _run_ablations(args: argparse.Namespace) -> ExperimentResult:
 
 
 #: Result of one experiment runner: its raw rows and the formatted table.
-ExperimentResult = Tuple[List[object], str]
+ExperimentResult = tuple[list[object], str]
 
 #: Registry of experiment names understood by ``run``.
-EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], ExperimentResult]] = {
+EXPERIMENTS: dict[str, Callable[[argparse.Namespace], ExperimentResult]] = {
     "table2": _run_table2,
     "figure4": _run_figure4,
     "table3": _run_table3,
@@ -142,7 +147,7 @@ def _positive_int(text: str) -> int:
     try:
         value = int(text)
     except ValueError:
-        raise argparse.ArgumentTypeError("expected an integer, got %r" % (text,))
+        raise argparse.ArgumentTypeError("expected an integer, got %r" % (text,)) from None
     if value <= 0:
         raise argparse.ArgumentTypeError("must be positive, got %d" % value)
     return value
@@ -325,16 +330,68 @@ def build_parser() -> argparse.ArgumentParser:
     replay_parser.add_argument("--json", type=str, default=None, dest="json_out",
                                help="also write the report to this JSON file")
 
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the repo's AST invariant checker (reprolint) over source paths",
+    )
+    lint_parser.add_argument("paths", nargs="*", default=["src"],
+                             help="files or directories to check (default: src)")
+    lint_parser.add_argument("--format", choices=["text", "json"], default="text",
+                             dest="lint_format", help="report format (default: text)")
+    lint_parser.add_argument("--rules", type=str, default=None, metavar="RL001,RL002",
+                             help="comma-separated subset of rule codes to run")
+    lint_parser.add_argument("--list-rules", action="store_true",
+                             help="print the rule catalog and exit")
+
     return parser
+
+
+def _lint(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """Delegate to ``tools.reprolint`` so contributors get ``repro lint``.
+
+    The checker lives in the repository's ``tools/`` tree, not in the
+    installed package, so this locates a checkout when ``tools`` is not
+    already importable (installed-package invocation from the repo root).
+    """
+    try:
+        from tools.reprolint.cli import main as lint_main
+    except ImportError:
+        root = _find_checkout_root()
+        if root is None:
+            out("error: cannot find the repository checkout (tools/reprolint); "
+                "run from the repo root or python -m tools.reprolint directly")
+            return 2
+        sys.path.insert(0, root)
+        from tools.reprolint.cli import main as lint_main
+    argv = list(args.paths)
+    argv += ["--format", args.lint_format]
+    if args.rules:
+        argv += ["--rules", args.rules]
+    if args.list_rules:
+        argv += ["--list-rules"]
+    return lint_main(argv, out=out)
+
+
+def _find_checkout_root() -> str | None:
+    """Nearest directory (cwd upward, then this file upward) with tools/reprolint."""
+    import pathlib
+
+    candidates = [pathlib.Path.cwd(), *pathlib.Path.cwd().resolve().parents]
+    here = pathlib.Path(__file__).resolve()
+    candidates += list(here.parents)
+    for candidate in candidates:
+        if (candidate / "tools" / "reprolint" / "__init__.py").is_file():
+            return str(candidate)
+    return None
 
 
 def _demo(
     records: int,
     epsilon: float,
     out: Callable[[str], None],
-    batch_size: Optional[int] = None,
-    workers: Optional[int] = None,
-    shards: Optional[int] = None,
+    batch_size: int | None = None,
+    workers: int | None = None,
+    shards: int | None = None,
     backend: str = "columnar",
 ) -> None:
     """A self-contained sanity demo mirroring examples/quickstart.py."""
@@ -381,11 +438,11 @@ def _demo(
 
 
 def _demo_distributed(
-    trace,
-    config,
+    trace: Stream,
+    config: ECMConfig,
     out: Callable[[str], None],
-    workers: Optional[int] = None,
-    shards: Optional[int] = None,
+    workers: int | None = None,
+    shards: int | None = None,
 ) -> bool:
     """Sharded distributed section of the demo: parallel sites + aggregation."""
     from .distributed import DistributedDeployment
@@ -522,7 +579,7 @@ def _replay(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = print) -> int:
+def main(argv: Sequence[str] | None = None, out: Callable[[str], None] = print) -> int:
     """CLI entry point.  Returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -559,6 +616,9 @@ def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = prin
     if args.command == "replay":
         return _replay(args, out)
 
+    if args.command == "lint":
+        return _lint(args, out)
+
     if args.command == "heavy-hitters":
         rows = run_frequent_items_experiment(
             num_records=args.records,
@@ -590,7 +650,7 @@ def main(argv: Optional[Sequence[str]] = None, out: Callable[[str], None] = prin
         ):
             out("note: --workers/--shards affect only the distributed experiments "
                 "(figure5, table4, figure6); other experiments ingest per-record.")
-        collected: List[object] = []
+        collected: list[object] = []
         for name in names:
             rows, table = EXPERIMENTS[name](args)
             collected.extend(rows)

@@ -29,7 +29,6 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
 
 from ..windows.base import WindowModel, validate_delta, validate_epsilon, validate_window
 from .countmin import dimensions_for_error
@@ -83,7 +82,7 @@ def inner_product_error(epsilon_sw: float, epsilon_cm: float) -> float:
     return epsilon_sw ** 2 + 2.0 * epsilon_sw + epsilon_cm * (1.0 + epsilon_sw) ** 2
 
 
-def split_point_query_deterministic(epsilon: float) -> Tuple[float, float]:
+def split_point_query_deterministic(epsilon: float) -> tuple[float, float]:
     """Memory-optimal ``(epsilon_sw, epsilon_cm)`` for point queries, EH/DW counters.
 
     The memory bound ``~ 1/(epsilon_sw * epsilon_cm)`` under the constraint of
@@ -94,7 +93,7 @@ def split_point_query_deterministic(epsilon: float) -> Tuple[float, float]:
     return value, value
 
 
-def split_point_query_randomized(epsilon: float) -> Tuple[float, float]:
+def split_point_query_randomized(epsilon: float) -> tuple[float, float]:
     """Memory-optimal ``(epsilon_sw, epsilon_cm)`` for point queries, RW counters.
 
     Randomized-wave memory grows as ``1/epsilon_sw**2``, shifting the optimum
@@ -111,7 +110,7 @@ def split_point_query_randomized(epsilon: float) -> Tuple[float, float]:
     return epsilon_sw, epsilon_cm
 
 
-def split_inner_product_deterministic(epsilon: float) -> Tuple[float, float]:
+def split_inner_product_deterministic(epsilon: float) -> tuple[float, float]:
     """Memory-optimal ``(epsilon_sw, epsilon_cm)`` for inner products, EH/DW counters.
 
     Minimises ``1/(epsilon_sw * epsilon_cm)`` subject to Theorem 2's constraint
@@ -182,7 +181,7 @@ class ECMConfig:
     window: float
     model: WindowModel = WindowModel.TIME_BASED
     counter_type: CounterType = CounterType.EXPONENTIAL_HISTOGRAM
-    max_arrivals: Optional[int] = None
+    max_arrivals: int | None = None
     delta_sw: float = 0.05
     seed: int = 0
     width: int = field(default=0)
@@ -226,11 +225,11 @@ class ECMConfig:
         window: float,
         model: WindowModel = WindowModel.TIME_BASED,
         counter_type: CounterType = CounterType.EXPONENTIAL_HISTOGRAM,
-        max_arrivals: Optional[int] = None,
+        max_arrivals: int | None = None,
         delta_sw: float = 0.05,
         seed: int = 0,
         backend: str = "columnar",
-    ) -> "ECMConfig":
+    ) -> ECMConfig:
         """Configuration minimising memory for a total point-query error budget."""
         if counter_type is CounterType.RANDOMIZED_WAVE:
             epsilon_sw, epsilon_cm = split_point_query_randomized(epsilon)
@@ -257,11 +256,11 @@ class ECMConfig:
         window: float,
         model: WindowModel = WindowModel.TIME_BASED,
         counter_type: CounterType = CounterType.EXPONENTIAL_HISTOGRAM,
-        max_arrivals: Optional[int] = None,
+        max_arrivals: int | None = None,
         delta_sw: float = 0.05,
         seed: int = 0,
         backend: str = "columnar",
-    ) -> "ECMConfig":
+    ) -> ECMConfig:
         """Configuration minimising memory for a total inner-product error budget."""
         if counter_type is CounterType.RANDOMIZED_WAVE:
             raise ConfigurationError(
@@ -323,7 +322,7 @@ class ECMConfig:
             return self.delta + self.delta_sw
         return self.delta
 
-    def replaced(self, **overrides: object) -> "ECMConfig":
+    def replaced(self, **overrides: object) -> ECMConfig:
         """A copy of the configuration with selected fields replaced."""
         data = {
             "epsilon_cm": self.epsilon_cm,

@@ -28,7 +28,8 @@ from __future__ import annotations
 
 import abc
 import sys
-from typing import Any, List, Optional, Sequence, Tuple, Union
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -39,12 +40,12 @@ __all__ = ["CounterStore", "ObjectCounterStore"]
 #: Clock/value payload of a batched ingest: a NumPy array whose dtype
 #: round-trips the original scalars exactly, or a plain list holding the
 #: original Python objects (used for mixed int/float batches).
-RunPayload = Union["np.ndarray", Sequence[Any]]
+RunPayload = np.ndarray | Sequence[Any]
 
 #: One hash row of a column-grouped batch:
 #: ``(row, run_columns, run_starts, run_stops, clocks, values)``.
-RowPayload = Tuple[
-    int, Sequence[int], Sequence[int], Sequence[int], RunPayload, Optional[RunPayload]
+RowPayload = tuple[
+    int, Sequence[int], Sequence[int], Sequence[int], RunPayload, RunPayload | None
 ]
 
 
@@ -75,7 +76,7 @@ class CounterStore(abc.ABC):
         run_starts: Sequence[int],
         run_stops: Sequence[int],
         clocks: RunPayload,
-        values: Optional[RunPayload],
+        values: RunPayload | None,
     ) -> None:
         """Ingest one hash row of a pre-validated, column-grouped batch.
 
@@ -105,14 +106,14 @@ class CounterStore(abc.ABC):
     # ------------------------------------------------------------- queries
     @abc.abstractmethod
     def estimate(
-        self, row: int, column: int, range_length: Optional[float] = None, now: Optional[float] = None
+        self, row: int, column: int, range_length: float | None = None, now: float | None = None
     ) -> float:
         """Reference-identical estimate of one cell for a query range."""
 
     @abc.abstractmethod
     def estimate_cells(
-        self, cells: "np.ndarray", range_length: Optional[float], now: float
-    ) -> "np.ndarray":
+        self, cells: np.ndarray, range_length: float | None, now: float
+    ) -> np.ndarray:
         """Estimates for many cells (flat ``row * width + column`` ids).
 
         Returns a float64 array aligned with ``cells``; every element equals
@@ -120,7 +121,7 @@ class CounterStore(abc.ABC):
         """
 
     @abc.abstractmethod
-    def estimate_grid(self, range_length: Optional[float], now: float) -> List[List[float]]:
+    def estimate_grid(self, range_length: float | None, now: float) -> list[list[float]]:
         """Estimates of every cell, as a ``depth x width`` nested list."""
 
     # ----------------------------------------------------- cell interchange
@@ -182,7 +183,7 @@ class ObjectCounterStore(CounterStore):
 
     backend_name = "object"
 
-    def __init__(self, grid: List[List[SlidingWindowCounter]]) -> None:
+    def __init__(self, grid: list[list[SlidingWindowCounter]]) -> None:
         self._grid = grid
         self.depth = len(grid)
         self.width = len(grid[0]) if grid else 0
@@ -198,12 +199,12 @@ class ObjectCounterStore(CounterStore):
         run_starts: Sequence[int],
         run_stops: Sequence[int],
         clocks: RunPayload,
-        values: Optional[RunPayload],
+        values: RunPayload | None,
     ) -> None:
         clocks_list = clocks.tolist() if isinstance(clocks, np.ndarray) else clocks
         values_list = values.tolist() if isinstance(values, np.ndarray) else values
         row_counters = self._grid[row]
-        for column, start, stop in zip(run_columns, run_starts, run_stops):
+        for column, start, stop in zip(run_columns, run_starts, run_stops, strict=False):
             row_counters[column].add_batch(
                 clocks_list[start:stop],
                 None if values_list is None else values_list[start:stop],
@@ -217,13 +218,13 @@ class ObjectCounterStore(CounterStore):
 
     # ------------------------------------------------------------- queries
     def estimate(
-        self, row: int, column: int, range_length: Optional[float] = None, now: Optional[float] = None
+        self, row: int, column: int, range_length: float | None = None, now: float | None = None
     ) -> float:
         return self._grid[row][column].estimate(range_length, now)
 
     def estimate_cells(
-        self, cells: "np.ndarray", range_length: Optional[float], now: float
-    ) -> "np.ndarray":
+        self, cells: np.ndarray, range_length: float | None, now: float
+    ) -> np.ndarray:
         width = self.width
         return np.array(
             [
@@ -233,7 +234,7 @@ class ObjectCounterStore(CounterStore):
             dtype=np.float64,
         )
 
-    def estimate_grid(self, range_length: Optional[float], now: float) -> List[List[float]]:
+    def estimate_grid(self, range_length: float | None, now: float) -> list[list[float]]:
         return [
             [counter.estimate(range_length, now) for counter in row_counters]
             for row_counters in self._grid

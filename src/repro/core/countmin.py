@@ -13,7 +13,7 @@ sliding-window counter; see :mod:`repro.core.ecm_sketch`.
 from __future__ import annotations
 
 import math
-from typing import Hashable, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Hashable, Iterable, Sequence
 
 import numpy as np
 
@@ -25,7 +25,7 @@ __all__ = ["CountMinSketch", "dimensions_for_error"]
 _COUNTER_BITS = 32
 
 
-def dimensions_for_error(epsilon: float, delta: float) -> Tuple[int, int]:
+def dimensions_for_error(epsilon: float, delta: float) -> tuple[int, int]:
     """Width and depth of a Count-Min array for a target ``(epsilon, delta)``.
 
     Uses the standard sizing ``w = ceil(e / epsilon)`` and
@@ -65,12 +65,12 @@ class CountMinSketch:
         self.depth = depth
         self.seed = seed
         self.hashes = HashFamily(depth=depth, width=width, seed=seed)
-        self._counters: List[List[float]] = [[0.0] * width for _ in range(depth)]
+        self._counters: list[list[float]] = [[0.0] * width for _ in range(depth)]
         self._total = 0.0
 
     # --------------------------------------------------------------- factory
     @classmethod
-    def from_error(cls, epsilon: float, delta: float, seed: int = 0) -> "CountMinSketch":
+    def from_error(cls, epsilon: float, delta: float, seed: int = 0) -> CountMinSketch:
         """Construct a sketch sized for a target error and failure probability."""
         width, depth = dimensions_for_error(epsilon, delta)
         return cls(width=width, depth=depth, seed=seed)
@@ -90,7 +90,7 @@ class CountMinSketch:
         for item in items:
             self.add(item)
 
-    def add_many(self, items: Sequence[Hashable], values: Optional[Sequence[float]] = None) -> None:
+    def add_many(self, items: Sequence[Hashable], values: Sequence[float] | None = None) -> None:
         """Batched :meth:`add`: ingest a whole chunk of arrivals in one call.
 
         Equivalent to ``for item, value in zip(items, values): self.add(item,
@@ -121,7 +121,7 @@ class CountMinSketch:
                 for column in row_columns:
                     counters[column] += 1.0
             else:
-                for column, value in zip(row_columns, values):
+                for column, value in zip(row_columns, values, strict=False):
                     counters[column] += value
         # Sequential accumulation keeps _total bit-identical to the scalar path.
         total = self._total
@@ -139,7 +139,7 @@ class CountMinSketch:
         columns = self.hashes.hash_all(item)
         return min(self._counters[row][column] for row, column in enumerate(columns))
 
-    def point_query_many(self, items: Sequence[Hashable]) -> List[float]:
+    def point_query_many(self, items: Sequence[Hashable]) -> list[float]:
         """Batched :meth:`point_query` over a whole chunk of items.
 
         Returns:
@@ -159,13 +159,13 @@ class CountMinSketch:
                     estimates[index] = value
         return estimates
 
-    def inner_product(self, other: "CountMinSketch") -> float:
+    def inner_product(self, other: CountMinSketch) -> float:
         """Estimated inner product of the two summarised frequency vectors."""
         self._require_compatible(other)
         best = None
         for row in range(self.depth):
             row_product = sum(
-                a * b for a, b in zip(self._counters[row], other._counters[row])
+                a * b for a, b in zip(self._counters[row], other._counters[row], strict=False)
             )
             if best is None or row_product < best:
                 best = row_product
@@ -180,7 +180,7 @@ class CountMinSketch:
         return self._total
 
     # ---------------------------------------------------------------- merge
-    def _require_compatible(self, other: "CountMinSketch") -> None:
+    def _require_compatible(self, other: CountMinSketch) -> None:
         if not isinstance(other, CountMinSketch):
             raise IncompatibleSketchError("expected a CountMinSketch, got %r" % (type(other),))
         if not self.hashes.is_compatible_with(other.hashes):
@@ -188,7 +188,7 @@ class CountMinSketch:
                 "Count-Min sketches must share width, depth and hash seed to be combined"
             )
 
-    def merge_inplace(self, other: "CountMinSketch") -> None:
+    def merge_inplace(self, other: CountMinSketch) -> None:
         """Add another sketch's counters to this one (linear merge)."""
         self._require_compatible(other)
         for row in range(self.depth):
@@ -199,7 +199,7 @@ class CountMinSketch:
         self._total += other._total
 
     @classmethod
-    def merged(cls, sketches: Sequence["CountMinSketch"]) -> "CountMinSketch":
+    def merged(cls, sketches: Sequence[CountMinSketch]) -> CountMinSketch:
         """Return a new sketch equal to the sum of ``sketches``.
 
         Reference implementation: iterated pairwise :meth:`merge_inplace`.
@@ -215,7 +215,7 @@ class CountMinSketch:
         return result
 
     @classmethod
-    def merge_many(cls, sketches: Sequence["CountMinSketch"]) -> "CountMinSketch":
+    def merge_many(cls, sketches: Sequence[CountMinSketch]) -> CountMinSketch:
         """NumPy-batched n-ary merge, state-identical to :meth:`merged`.
 
         Counters are accumulated as whole ``depth x width`` arrays, one
@@ -240,7 +240,7 @@ class CountMinSketch:
         return result
 
     # ------------------------------------------------------------ internals
-    def counters(self) -> List[List[float]]:
+    def counters(self) -> list[list[float]]:
         """A copy of the counter array (row-major)."""
         return [list(row) for row in self._counters]
 
@@ -248,9 +248,9 @@ class CountMinSketch:
         """Value of a single counter."""
         return self._counters[row][column]
 
-    def as_vector(self) -> List[float]:
+    def as_vector(self) -> list[float]:
         """The counter array flattened row-major (used by the geometric method)."""
-        flat: List[float] = []
+        flat: list[float] = []
         for row in self._counters:
             flat.extend(row)
         return flat
@@ -258,7 +258,7 @@ class CountMinSketch:
     @classmethod
     def from_vector(
         cls, vector: Sequence[float], width: int, depth: int, seed: int = 0
-    ) -> "CountMinSketch":
+    ) -> CountMinSketch:
         """Rebuild a sketch from a flattened counter vector."""
         if len(vector) != width * depth:
             raise ConfigurationError(

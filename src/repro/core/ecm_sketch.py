@@ -23,7 +23,7 @@ counters the aggregation inflates the window error from ``eps_sw`` to
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Hashable, Sequence
 
 import numpy as np
 
@@ -110,10 +110,10 @@ class ECMSketch:
                 ]
             )
         self._total_arrivals = 0
-        self._last_clock: Optional[float] = None
+        self._last_clock: float | None = None
         # Item -> stable fingerprint memo used by the batched ingestion path;
         # cleared when it exceeds _FINGERPRINT_CACHE_LIMIT entries.
-        self._fingerprint_cache: Dict[Hashable, int] = {}
+        self._fingerprint_cache: dict[Hashable, int] = {}
         #: Error parameter carried by the sliding-window counters.  Aggregation
         #: inflates it (Theorem 4); queries report guarantees based on it.
         self.effective_epsilon_sw = config.epsilon_sw
@@ -127,11 +127,11 @@ class ECMSketch:
         window: float,
         model: WindowModel = WindowModel.TIME_BASED,
         counter_type: CounterType = CounterType.EXPONENTIAL_HISTOGRAM,
-        max_arrivals: Optional[int] = None,
+        max_arrivals: int | None = None,
         seed: int = 0,
         stream_tag: int = 0,
         backend: str = "columnar",
-    ) -> "ECMSketch":
+    ) -> ECMSketch:
         """Sketch sized for a total point-query error of ``epsilon``."""
         config = ECMConfig.for_point_queries(
             epsilon=epsilon,
@@ -153,11 +153,11 @@ class ECMSketch:
         window: float,
         model: WindowModel = WindowModel.TIME_BASED,
         counter_type: CounterType = CounterType.EXPONENTIAL_HISTOGRAM,
-        max_arrivals: Optional[int] = None,
+        max_arrivals: int | None = None,
         seed: int = 0,
         stream_tag: int = 0,
         backend: str = "columnar",
-    ) -> "ECMSketch":
+    ) -> ECMSketch:
         """Sketch sized for a total inner-product error of ``epsilon``."""
         config = ECMConfig.for_inner_product_queries(
             epsilon=epsilon,
@@ -219,7 +219,7 @@ class ECMSketch:
         self,
         items: ItemBatch,
         clocks: Sequence[float],
-        values: Optional[Sequence[int]] = None,
+        values: Sequence[int] | None = None,
     ) -> None:
         """Batched :meth:`add`: ingest a whole chunk of arrivals in one call.
 
@@ -307,7 +307,7 @@ class ECMSketch:
             if len(cache) > _FINGERPRINT_CACHE_LIMIT:
                 cache.clear()
             cache_get = cache.get
-            fingerprints: List[int] = []
+            fingerprints: list[int] = []
             fingerprints_append = fingerprints.append
             for item in items:
                 key = item if type(item) is str or type(item) is int else (item.__class__, item)
@@ -385,19 +385,19 @@ class ECMSketch:
         self._last_clock = last_clock.item() if isinstance(last_clock, np.generic) else last_clock
 
     # --------------------------------------------------------------- queries
-    def _resolve_now(self, now: Optional[float]) -> float:
+    def _resolve_now(self, now: float | None) -> float:
         if now is not None:
             return now
         return self._last_clock if self._last_clock is not None else 0.0
 
     def counter_estimate(
-        self, row: int, column: int, range_length: Optional[float] = None, now: Optional[float] = None
+        self, row: int, column: int, range_length: float | None = None, now: float | None = None
     ) -> float:
         """Estimated value ``E(row, column, r)`` of one counter for a query range."""
         return self._store.estimate(row, column, range_length, self._resolve_now(now))
 
     def point_query(
-        self, item: Hashable, range_length: Optional[float] = None, now: Optional[float] = None
+        self, item: Hashable, range_length: float | None = None, now: float | None = None
     ) -> float:
         """Estimated frequency of ``item`` within the query range (Theorem 1)."""
         now_value = self._resolve_now(now)
@@ -411,9 +411,9 @@ class ECMSketch:
     def point_query_many(
         self,
         items: ItemBatch,
-        range_length: Optional[float] = None,
-        now: Optional[float] = None,
-    ) -> List[float]:
+        range_length: float | None = None,
+        now: float | None = None,
+    ) -> list[float]:
         """Batched :meth:`point_query` over a whole chunk of items.
 
         Items are hashed in one vectorized pass (small batches, where NumPy
@@ -446,11 +446,11 @@ class ECMSketch:
             per_item = unique_estimates[inverse.reshape(flat_cells.shape)].min(axis=0)
             return per_item.tolist()
         columns = hashed.tolist()
-        cache: Dict[Tuple[int, int], float] = {}
-        results: List[float] = []
+        cache: dict[tuple[int, int], float] = {}
+        results: list[float] = []
         store = self._store
         for position in range(len(items)):
-            best: Optional[float] = None
+            best: float | None = None
             for row in range(self.depth):
                 column = columns[row][position]
                 key = (row, column)
@@ -465,21 +465,21 @@ class ECMSketch:
 
     def inner_product(
         self,
-        other: "ECMSketch",
-        range_length: Optional[float] = None,
-        now: Optional[float] = None,
+        other: ECMSketch,
+        range_length: float | None = None,
+        now: float | None = None,
     ) -> float:
         """Estimated sliding-window inner product of two streams (Theorem 2)."""
         self._require_compatible(other)
         now_value = self._resolve_now(now)
         other_now = other._resolve_now(now)
         mine = self._store.estimate_grid(range_length, now_value)
-        best: Optional[float] = None
+        best: float | None = None
         if other.backend == "columnar":
             theirs = other._store.estimate_grid(range_length, other_now)
             for row in range(self.depth):
                 row_product = 0.0
-                for a, b in zip(mine[row], theirs[row]):
+                for a, b in zip(mine[row], theirs[row], strict=False):
                     if a == 0.0:
                         continue
                     row_product += a * b
@@ -500,11 +500,11 @@ class ECMSketch:
                 best = row_product
         return float(best if best is not None else 0.0)
 
-    def self_join(self, range_length: Optional[float] = None, now: Optional[float] = None) -> float:
+    def self_join(self, range_length: float | None = None, now: float | None = None) -> float:
         """Estimated second frequency moment ``F2`` within the query range."""
         now_value = self._resolve_now(now)
         matrix = self._store.estimate_grid(range_length, now_value)
-        best: Optional[float] = None
+        best: float | None = None
         for row in range(self.depth):
             row_product = 0.0
             for value in matrix[row]:
@@ -514,7 +514,7 @@ class ECMSketch:
         return float(best if best is not None else 0.0)
 
     def estimate_arrivals(
-        self, range_length: Optional[float] = None, now: Optional[float] = None
+        self, range_length: float | None = None, now: float | None = None
     ) -> float:
         """Estimate ``||a_r||_1`` by averaging per-row counter sums (Section 6.1)."""
         now_value = self._resolve_now(now)
@@ -527,7 +527,7 @@ class ECMSketch:
         return self._total_arrivals
 
     @property
-    def last_clock(self) -> Optional[float]:
+    def last_clock(self) -> float | None:
         """Clock value of the most recent arrival, or ``None`` if empty."""
         return self._last_clock
 
@@ -547,14 +547,14 @@ class ECMSketch:
 
     # ------------------------------------------------------------ extraction
     def counter_estimates_matrix(
-        self, range_length: Optional[float] = None, now: Optional[float] = None
-    ) -> List[List[float]]:
+        self, range_length: float | None = None, now: float | None = None
+    ) -> list[list[float]]:
         """Estimates of every counter for a query range, as a depth x width matrix."""
         now_value = self._resolve_now(now)
         return self._store.estimate_grid(range_length, now_value)
 
     def to_countmin(
-        self, range_length: Optional[float] = None, now: Optional[float] = None
+        self, range_length: float | None = None, now: float | None = None
     ) -> CountMinSketch:
         """Extract a plain Count-Min sketch of the query-range estimates.
 
@@ -563,13 +563,13 @@ class ECMSketch:
         that can be averaged, differenced and monitored.
         """
         matrix = self.counter_estimates_matrix(range_length, now)
-        flat: List[float] = []
+        flat: list[float] = []
         for row in matrix:
             flat.extend(row)
         return CountMinSketch.from_vector(flat, width=self.width, depth=self.depth, seed=self.config.seed)
 
     # ----------------------------------------------------------------- merge
-    def is_compatible_with(self, other: "ECMSketch") -> bool:
+    def is_compatible_with(self, other: ECMSketch) -> bool:
         """True when the two sketches can be combined or compared cell-wise."""
         return (
             isinstance(other, ECMSketch)
@@ -581,7 +581,7 @@ class ECMSketch:
             and self.counter_type == other.counter_type
         )
 
-    def _require_compatible(self, other: "ECMSketch") -> None:
+    def _require_compatible(self, other: ECMSketch) -> None:
         if not self.is_compatible_with(other):
             raise IncompatibleSketchError(
                 "ECM-sketches must share dimensions, hash seed, window, window "
@@ -591,9 +591,9 @@ class ECMSketch:
     @classmethod
     def aggregate(
         cls,
-        sketches: Sequence["ECMSketch"],
-        epsilon_prime: Optional[float] = None,
-    ) -> "ECMSketch":
+        sketches: Sequence[ECMSketch],
+        epsilon_prime: float | None = None,
+    ) -> ECMSketch:
         """Order-preserving aggregation of ECM-sketches (Section 5.3).
 
         Reference implementation: every cell is merged through the replay-
@@ -623,9 +623,9 @@ class ECMSketch:
     @classmethod
     def merge_many(
         cls,
-        sketches: Sequence["ECMSketch"],
-        epsilon_prime: Optional[float] = None,
-    ) -> "ECMSketch":
+        sketches: Sequence[ECMSketch],
+        epsilon_prime: float | None = None,
+    ) -> ECMSketch:
         """Vectorized order-preserving aggregation (state-identical to
         :meth:`aggregate`).
 
@@ -641,10 +641,10 @@ class ECMSketch:
     @classmethod
     def _aggregate_with(
         cls,
-        sketches: Sequence["ECMSketch"],
-        epsilon_prime: Optional[float],
+        sketches: Sequence[ECMSketch],
+        epsilon_prime: float | None,
         merge_cells: Callable[[CounterType, Sequence[SlidingWindowCounter], float], SlidingWindowCounter],
-    ) -> "ECMSketch":
+    ) -> ECMSketch:
         """Shared aggregation driver, parameterised by the per-cell merge."""
         if not sketches:
             raise ConfigurationError("cannot aggregate an empty list of ECM-sketches")
@@ -708,7 +708,7 @@ class ECMSketch:
             return bulk_merge_deterministic_waves(list(cells), epsilon_prime=epsilon_prime)
         return RandomizedWave.merged(list(cells), vectorized=True)
 
-    def merged_with(self, others: Sequence["ECMSketch"], epsilon_prime: Optional[float] = None) -> "ECMSketch":
+    def merged_with(self, others: Sequence[ECMSketch], epsilon_prime: float | None = None) -> ECMSketch:
         """Convenience wrapper over :meth:`merge_many` including ``self``."""
         return ECMSketch.merge_many([self, *others], epsilon_prime=epsilon_prime)
 

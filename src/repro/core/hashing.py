@@ -18,7 +18,7 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
-from typing import Hashable, List, Sequence, Union
+from collections.abc import Hashable, Sequence
 
 import numpy as np
 
@@ -35,7 +35,7 @@ __all__ = [
 
 #: A batch of items for the vectorized APIs: any sequence of hashable values,
 #: or a NumPy array (integer arrays take the dtype-cast fingerprint path).
-ItemBatch = Union[Sequence[Hashable], "np.ndarray"]
+ItemBatch = Sequence[Hashable] | np.ndarray
 
 #: The Mersenne prime 2**61 - 1 used as the field size of the hash family.
 MERSENNE_PRIME_61 = (1 << 61) - 1
@@ -50,7 +50,7 @@ _NP_30 = np.uint64(30)
 _NP_2 = np.uint64(2)
 
 
-def _mod_mersenne61(values: "np.ndarray") -> "np.ndarray":
+def _mod_mersenne61(values: np.ndarray) -> np.ndarray:
     """Reduce ``uint64`` values modulo ``2**61 - 1`` without Python-int math.
 
     Folding the top bits down (``(v & (2**61-1)) + (v >> 61)``) leaves a value
@@ -93,7 +93,7 @@ def stable_fingerprint(item: Hashable) -> int:
     return int.from_bytes(digest, "little")
 
 
-def stable_fingerprints(items: ItemBatch) -> "np.ndarray":
+def stable_fingerprints(items: ItemBatch) -> np.ndarray:
     """Vectorized :func:`stable_fingerprint` over a batch of items.
 
     Integer-typed NumPy arrays are fingerprinted without touching Python
@@ -169,7 +169,7 @@ class HashFamily:
         self.width = width
         self.seed = seed
         rng = random.Random(seed)
-        self._functions: List[PairwiseHash] = []
+        self._functions: list[PairwiseHash] = []
         for _ in range(depth):
             a = rng.randrange(1, MERSENNE_PRIME_61)
             b = rng.randrange(0, MERSENNE_PRIME_61)
@@ -188,7 +188,7 @@ class HashFamily:
         """The individual hash functions, row by row."""
         return tuple(self._functions)
 
-    def hash_all(self, item: Hashable) -> List[int]:
+    def hash_all(self, item: Hashable) -> list[int]:
         """Hash ``item`` with every function of the family.
 
         Returns:
@@ -197,7 +197,7 @@ class HashFamily:
         x = stable_fingerprint(item)
         return [h.hash_int(x) for h in self._functions]
 
-    def hash_many(self, items: ItemBatch) -> "np.ndarray":
+    def hash_many(self, items: ItemBatch) -> np.ndarray:
         """Hash a batch of items with every function of the family at once.
 
         The evaluation is NumPy-vectorized: fingerprints are reduced modulo the
@@ -216,7 +216,7 @@ class HashFamily:
         fingerprints = stable_fingerprints(items)
         return self.hash_fingerprints(fingerprints)
 
-    def hash_fingerprints(self, fingerprints: "np.ndarray") -> "np.ndarray":
+    def hash_fingerprints(self, fingerprints: np.ndarray) -> np.ndarray:
         """Vectorized hashing of already-computed ``uint64`` fingerprints."""
         x = _mod_mersenne61(fingerprints.astype(np.uint64, copy=False))
         x_lo = x & _NP_MASK31  # < 2**31
@@ -235,7 +235,7 @@ class HashFamily:
         """Hash ``item`` with the function of a single ``row``."""
         return self._functions[row](item)
 
-    def is_compatible_with(self, other: "HashFamily") -> bool:
+    def is_compatible_with(self, other: HashFamily) -> bool:
         """Return True when two families are interchangeable for merging."""
         return (
             self.depth == other.depth

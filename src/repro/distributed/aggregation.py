@@ -12,7 +12,7 @@ Figures 5 and 6.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence
+from collections.abc import Hashable, Sequence
 
 from ..core.config import ECMConfig
 from ..core.ecm_sketch import ECMSketch
@@ -40,7 +40,7 @@ class AggregationReport:
     transfer_bytes: int = 0
     messages: int = 0
     levels: int = 0
-    per_level_bytes: Dict[int, int] = field(default_factory=dict)
+    per_level_bytes: dict[int, int] = field(default_factory=dict)
 
     def record_shipment(self, level: int, size: int) -> None:
         """Charge one sketch shipment originating at ``level``."""
@@ -55,9 +55,9 @@ class AggregationReport:
 
 def hierarchical_aggregate(
     sketches: Sequence[ECMSketch],
-    tree: Optional[AggregationTree] = None,
-    epsilon_prime: Optional[float] = None,
-    report: Optional[AggregationReport] = None,
+    tree: AggregationTree | None = None,
+    epsilon_prime: float | None = None,
+    report: AggregationReport | None = None,
 ) -> ECMSketch:
     """Aggregate local sketches up a tree, charging per-edge transfer volume.
 
@@ -90,7 +90,7 @@ def hierarchical_aggregate(
     report.levels = tree.height()
 
     # Sketch currently held at each tree vertex.
-    held: Dict[int, ECMSketch] = {}
+    held: dict[int, ECMSketch] = {}
     for leaf in tree.leaves():
         held[leaf.vertex_id] = sketches[leaf.node_id]
 
@@ -101,7 +101,7 @@ def hierarchical_aggregate(
 
     for vertex in tree.internal_vertices():
         children = tree.children_of(vertex.vertex_id)
-        child_sketches: List[ECMSketch] = []
+        child_sketches: list[ECMSketch] = []
         for child in children:
             sketch = held.pop(child.vertex_id)
             # Every child ships its sketch to the vertex that merges it.
@@ -152,9 +152,9 @@ class DistributedDeployment:
         if num_nodes <= 0:
             raise ConfigurationError("num_nodes must be positive, got %r" % (num_nodes,))
         self.config = config
-        self.nodes: List[StreamNode] = [StreamNode(node_id=i, config=config) for i in range(num_nodes)]
+        self.nodes: list[StreamNode] = [StreamNode(node_id=i, config=config) for i in range(num_nodes)]
         self.tree = AggregationTree(num_leaves=num_nodes, branching=branching, seed=seed)
-        self.last_report: Optional[AggregationReport] = None
+        self.last_report: AggregationReport | None = None
         self.last_ingest_report = None  # RunnerReport of the last sharded ingest
 
     # ---------------------------------------------------------------- update
@@ -166,9 +166,9 @@ class DistributedDeployment:
     def ingest(
         self,
         stream: Stream,
-        workers: Optional[int] = None,
-        shards: Optional[int] = None,
-        batch_size: Optional[int] = None,
+        workers: int | None = None,
+        shards: int | None = None,
+        batch_size: int | None = None,
     ) -> None:
         """Route every record of the stream to the site that observed it.
 
@@ -209,11 +209,11 @@ class DistributedDeployment:
         self.nodes[node_id % len(self.nodes)].observe(key, clock, value)
 
     # ----------------------------------------------------------- aggregation
-    def local_sketches(self) -> List[ECMSketch]:
+    def local_sketches(self) -> list[ECMSketch]:
         """The local sketches of all sites, ordered by site id."""
         return [node.sketch for node in self.nodes]
 
-    def aggregate(self, epsilon_prime: Optional[float] = None) -> ECMSketch:
+    def aggregate(self, epsilon_prime: float | None = None) -> ECMSketch:
         """Run one full aggregation round and return the root sketch."""
         report = AggregationReport()
         root = hierarchical_aggregate(

@@ -18,7 +18,7 @@ observed staleness — so the period can be chosen quantitatively (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, List, Optional
+from collections.abc import Hashable
 
 from ..core.config import ECMConfig
 from ..core.ecm_sketch import ECMSketch
@@ -39,7 +39,7 @@ class PropagationStats:
     rounds: int = 0
     transfer_bytes: int = 0
     messages: int = 0
-    round_clocks: List[float] = field(default_factory=list)
+    round_clocks: list[float] = field(default_factory=list)
 
     def transfer_megabytes(self) -> float:
         """Cumulative transfer volume in megabytes."""
@@ -81,12 +81,12 @@ class PeriodicAggregationCoordinator:
             raise ConfigurationError("period must be positive, got %r" % (period,))
         self.config = config
         self.period = float(period)
-        self.nodes: List[StreamNode] = [StreamNode(node_id=i, config=config) for i in range(num_nodes)]
+        self.nodes: list[StreamNode] = [StreamNode(node_id=i, config=config) for i in range(num_nodes)]
         self.tree = AggregationTree(num_leaves=num_nodes, branching=branching, seed=seed)
         self.stats = PropagationStats()
-        self._root: Optional[ECMSketch] = None
-        self._last_round_clock: Optional[float] = None
-        self._next_round_clock: Optional[float] = None
+        self._root: ECMSketch | None = None
+        self._last_round_clock: float | None = None
+        self._next_round_clock: float | None = None
 
     # ---------------------------------------------------------------- updates
     @property
@@ -114,7 +114,7 @@ class PeriodicAggregationCoordinator:
         """Process one stream record."""
         return self.observe(record.node, record.key, record.timestamp, record.value)
 
-    def observe_stream(self, stream: Stream, batch_size: Optional[int] = None) -> None:
+    def observe_stream(self, stream: Stream, batch_size: int | None = None) -> None:
         """Process a whole stream in order.
 
         Args:
@@ -130,7 +130,7 @@ class PeriodicAggregationCoordinator:
         self.observe_batch(list(stream), batch_size=batch_size)
 
     def observe_batch(
-        self, records: List[StreamRecord], batch_size: Optional[int] = None
+        self, records: list[StreamRecord], batch_size: int | None = None
     ) -> None:
         """Process one in-order run of records, preserving round semantics.
 
@@ -162,7 +162,7 @@ class PeriodicAggregationCoordinator:
             # Extend the segment until the record that crosses the round
             # boundary (it is observed *before* the round runs) or the cap.
             scan = position
-            boundary: Optional[int] = None
+            boundary: int | None = None
             while scan < total and scan - position < batch_size:
                 if records[scan].timestamp >= next_round:
                     boundary = scan
@@ -174,7 +174,7 @@ class PeriodicAggregationCoordinator:
                 self.run_round(now=records[boundary].timestamp)
             position = stop
 
-    def _observe_segment(self, segment: List[StreamRecord]) -> None:
+    def _observe_segment(self, segment: list[StreamRecord]) -> None:
         """Feed one round-free run of records to its sites, batched per site."""
         per_node: dict = {}
         for record in segment:
@@ -213,7 +213,7 @@ class PeriodicAggregationCoordinator:
 
     # ---------------------------------------------------------------- queries
     @property
-    def last_round_clock(self) -> Optional[float]:
+    def last_round_clock(self) -> float | None:
         """Stream clock of the most recent aggregation round."""
         return self._last_round_clock
 
@@ -230,13 +230,13 @@ class PeriodicAggregationCoordinator:
         return self._root
 
     def query_frequency(
-        self, key: Hashable, range_length: Optional[float] = None
+        self, key: Hashable, range_length: float | None = None
     ) -> float:
         """Sliding-window frequency of ``key`` as of the last aggregation round."""
         root = self.root_sketch()
         return root.point_query(key, range_length, now=self._last_round_clock)
 
-    def query_self_join(self, range_length: Optional[float] = None) -> float:
+    def query_self_join(self, range_length: float | None = None) -> float:
         """Sliding-window self-join size as of the last aggregation round."""
         root = self.root_sketch()
         return root.self_join(range_length, now=self._last_round_clock)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional
+from collections.abc import Hashable
 
 import numpy as np
 
@@ -125,7 +125,7 @@ class MonitoringStats:
     synchronizations: int = 0
     messages: int = 0
     transfer_bytes: int = 0
-    threshold_crossings: List[float] = field(default_factory=list)
+    threshold_crossings: list[float] = field(default_factory=list)
 
     def transfer_megabytes(self) -> float:
         """Transfer volume in megabytes."""
@@ -135,16 +135,16 @@ class MonitoringStats:
 class _MonitoredSite:
     """Internal per-site state of the geometric monitoring protocol."""
 
-    def __init__(self, node_id: int, config: ECMConfig, range_length: Optional[float]) -> None:
+    def __init__(self, node_id: int, config: ECMConfig, range_length: float | None) -> None:
         self.node = StreamNode(node_id=node_id, config=config)
         self.range_length = range_length
-        self.synced_vector: Optional[np.ndarray] = None
+        self.synced_vector: np.ndarray | None = None
 
-    def local_vector(self, now: Optional[float]) -> np.ndarray:
+    def local_vector(self, now: float | None) -> np.ndarray:
         matrix = self.node.sketch.counter_estimates_matrix(self.range_length, now)
         return np.asarray(matrix, dtype=float).ravel()
 
-    def drift_vector(self, estimate: np.ndarray, now: Optional[float]) -> np.ndarray:
+    def drift_vector(self, estimate: np.ndarray, now: float | None) -> np.ndarray:
         if self.synced_vector is None:
             raise ConfigurationError("site has not been synchronised yet")
         return estimate + (self.local_vector(now) - self.synced_vector)
@@ -180,8 +180,8 @@ class GeometricMonitor:
         num_sites: int,
         config: ECMConfig,
         threshold: float,
-        function: Optional[ThresholdFunction] = None,
-        range_length: Optional[float] = None,
+        function: ThresholdFunction | None = None,
+        range_length: float | None = None,
         check_every: int = 1,
     ) -> None:
         if num_sites <= 0:
@@ -195,15 +195,15 @@ class GeometricMonitor:
         self.range_length = range_length
         self.check_every = check_every
         self.function = function or SelfJoinFunction(num_sites=num_sites, depth=config.depth)
-        self.sites: List[_MonitoredSite] = [
+        self.sites: list[_MonitoredSite] = [
             _MonitoredSite(node_id=i, config=config, range_length=range_length)
             for i in range(num_sites)
         ]
-        self.estimate_vector: Optional[np.ndarray] = None
-        self.estimate_value: Optional[float] = None
+        self.estimate_vector: np.ndarray | None = None
+        self.estimate_value: float | None = None
         self.above_threshold = False
         self.stats = MonitoringStats()
-        self._arrivals_since_check: Dict[int, int] = {i: 0 for i in range(num_sites)}
+        self._arrivals_since_check: dict[int, int] = {i: 0 for i in range(num_sites)}
         self._vector_bytes = config.width * config.depth * 4  # 32-bit counters
 
     # ----------------------------------------------------------------- setup
@@ -212,17 +212,17 @@ class GeometricMonitor:
         """Number of observation sites."""
         return len(self.sites)
 
-    def initialize(self, now: Optional[float] = None) -> None:
+    def initialize(self, now: float | None = None) -> None:
         """Initial synchronisation: collect all local vectors, broadcast ``e``."""
         self._synchronize(now)
 
-    def _synchronize(self, now: Optional[float]) -> None:
+    def _synchronize(self, now: float | None) -> None:
         vectors = [site.local_vector(now) for site in self.sites]
         self.estimate_vector = np.mean(vectors, axis=0)
         self.estimate_value = self.function.value(self.estimate_vector)
         previous_side = self.above_threshold
         self.above_threshold = self.estimate_value >= self.threshold
-        for site, vector in zip(self.sites, vectors):
+        for site, vector in zip(self.sites, vectors, strict=False):
             site.synced_vector = vector
         # n uploads of local vectors + n broadcasts of the estimate vector.
         self.stats.synchronizations += 1
@@ -250,7 +250,7 @@ class GeometricMonitor:
         self._arrivals_since_check[site_id % len(self.sites)] = 0
         return self._check_site(site, clock)
 
-    def observe_stream(self, stream: Stream, batch_size: Optional[int] = None) -> None:
+    def observe_stream(self, stream: Stream, batch_size: int | None = None) -> None:
         """Process a whole stream, routing records to their observing sites.
 
         Args:
@@ -271,7 +271,7 @@ class GeometricMonitor:
             raise ConfigurationError("batch_size must be positive, got %r" % (batch_size,))
         if self.estimate_vector is None:
             raise ConfigurationError("call initialize() before observing arrivals")
-        buffers: Dict[int, List] = {}
+        buffers: dict[int, list] = {}
         buffered = 0
         num_sites = len(self.sites)
         for record in stream:
@@ -290,7 +290,7 @@ class GeometricMonitor:
                 buffered = 0
         self._flush_buffers(buffers)
 
-    def _flush_buffers(self, buffers: Dict[int, List]) -> None:
+    def _flush_buffers(self, buffers: dict[int, list]) -> None:
         """Ingest and clear all per-site record buffers (stream order kept)."""
         for site_index, records in buffers.items():
             if records:
@@ -316,7 +316,7 @@ class GeometricMonitor:
             return True
         return False
 
-    def synchronize(self, now: Optional[float] = None) -> float:
+    def synchronize(self, now: float | None = None) -> float:
         """Force a global synchronisation and return the refreshed estimate.
 
         Useful for periodic reporting: between violations the coordinator's
@@ -334,7 +334,7 @@ class GeometricMonitor:
             raise ConfigurationError("monitor has not been initialised")
         return self.estimate_value
 
-    def exact_global_value(self, now: Optional[float] = None) -> float:
+    def exact_global_value(self, now: float | None = None) -> float:
         """Function value recomputed from all current local vectors (for tests).
 
         This performs the communication the protocol is designed to avoid; it

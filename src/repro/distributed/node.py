@@ -9,7 +9,7 @@ monitoring protocol in :mod:`repro.distributed.geometric`.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Optional, Sequence
+from collections.abc import Hashable, Iterable, Sequence
 
 from ..core.config import ECMConfig
 from ..core.ecm_sketch import ECMSketch
@@ -47,7 +47,7 @@ class StreamNode:
         """Process one :class:`~repro.streams.stream.StreamRecord`."""
         self.observe(record.key, record.timestamp, record.value)
 
-    def observe_stream(self, stream: Stream, batch_size: Optional[int] = None) -> None:
+    def observe_stream(self, stream: Stream, batch_size: int | None = None) -> None:
         """Process every record of a local stream in order.
 
         Args:
@@ -85,8 +85,8 @@ class StreamNode:
         self,
         keys: Sequence[Hashable],
         clocks: Sequence[float],
-        values: Optional[Sequence[int]] = None,
-        batch_size: Optional[int] = None,
+        values: Sequence[int] | None = None,
+        batch_size: int | None = None,
     ) -> None:
         """Process pre-pivoted parallel columns through the batched path.
 
@@ -120,13 +120,13 @@ class StreamNode:
 
     # --------------------------------------------------------------- queries
     def local_point_query(
-        self, key: Hashable, range_length: Optional[float] = None, now: Optional[float] = None
+        self, key: Hashable, range_length: float | None = None, now: float | None = None
     ) -> float:
         """Point query against the node's local sketch only."""
         return self.sketch.point_query(key, range_length, now)
 
     def local_self_join(
-        self, range_length: Optional[float] = None, now: Optional[float] = None
+        self, range_length: float | None = None, now: float | None = None
     ) -> float:
         """Self-join query against the node's local sketch only."""
         return self.sketch.self_join(range_length, now)

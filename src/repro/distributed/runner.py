@@ -35,7 +35,8 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from collections.abc import Hashable
+from typing import Any
 
 from ..core.config import ECMConfig
 from ..core.errors import ConfigurationError
@@ -48,7 +49,7 @@ __all__ = ["ShardPlan", "RunnerReport", "ShardedIngestRunner", "run_sharded_inge
 DEFAULT_BATCH_SIZE = 1_024
 
 #: One site's local stream, pivoted into the picklable column layout.
-NodeColumns = Tuple[List[Hashable], List[float], List[int]]
+NodeColumns = tuple[list[Hashable], list[float], list[int]]
 
 
 @dataclass(frozen=True)
@@ -61,7 +62,7 @@ class ShardPlan:
     """
 
     shard_id: int
-    node_ids: Tuple[int, ...]
+    node_ids: tuple[int, ...]
 
 
 @dataclass
@@ -83,7 +84,7 @@ class RunnerReport:
     records: int = 0
     partition_seconds: float = 0.0
     ingest_seconds: float = 0.0
-    per_shard_records: List[int] = field(default_factory=list)
+    per_shard_records: list[int] = field(default_factory=list)
 
     def records_per_second(self) -> float:
         """Overall ingestion throughput of the run."""
@@ -92,7 +93,7 @@ class RunnerReport:
         return self.records / self.ingest_seconds
 
 
-def plan_shards(num_nodes: int, shards: int) -> List[ShardPlan]:
+def plan_shards(num_nodes: int, shards: int) -> list[ShardPlan]:
     """Group ``num_nodes`` sites into ``shards`` contiguous work units.
 
     Contiguous blocks (rather than round-robin) keep each shard's sites
@@ -105,7 +106,7 @@ def plan_shards(num_nodes: int, shards: int) -> List[ShardPlan]:
         raise ConfigurationError("shards must be positive, got %r" % (shards,))
     shards = min(shards, num_nodes)
     base, extra = divmod(num_nodes, shards)
-    plans: List[ShardPlan] = []
+    plans: list[ShardPlan] = []
     start = 0
     for shard_id in range(shards):
         size = base + (1 if shard_id < extra else 0)
@@ -114,14 +115,14 @@ def plan_shards(num_nodes: int, shards: int) -> List[ShardPlan]:
     return plans
 
 
-def _partition_columns(stream: Stream, num_nodes: int) -> Dict[int, NodeColumns]:
+def _partition_columns(stream: Stream, num_nodes: int) -> dict[int, NodeColumns]:
     """Route every record to its site, as per-site column lists.
 
     Uses the same ``record.node % num_nodes`` rule as
     :meth:`~repro.distributed.aggregation.DistributedDeployment.ingest`, so a
     trace generated for a different node count lands on the same sites.
     """
-    columns: Dict[int, NodeColumns] = {}
+    columns: dict[int, NodeColumns] = {}
     for record in stream:
         node_id = record.node % num_nodes
         entry = columns.get(node_id)
@@ -135,8 +136,8 @@ def _partition_columns(stream: Stream, num_nodes: int) -> Dict[int, NodeColumns]
 
 
 def _ingest_shard_payload(
-    payload: Tuple[Dict[str, Any], List[Tuple[int, NodeColumns]], int],
-) -> List[Tuple[int, int, Dict[str, Any]]]:
+    payload: tuple[dict[str, Any], list[tuple[int, NodeColumns]], int],
+) -> list[tuple[int, int, dict[str, Any]]]:
     """Worker entry point: simulate one shard's sites and ship their state.
 
     Module-level (picklable) by design.  The configuration and the resulting
@@ -150,7 +151,7 @@ def _ingest_shard_payload(
 
     config_payload, node_columns, batch_size = payload
     config = config_from_dict(config_payload)
-    results: List[Tuple[int, int, Dict[str, Any]]] = []
+    results: list[tuple[int, int, dict[str, Any]]] = []
     for node_id, (keys, clocks, values) in node_columns:
         node = StreamNode(node_id=node_id, config=config)
         node.observe_columns(keys, clocks, values, batch_size=batch_size)
@@ -184,8 +185,8 @@ class ShardedIngestRunner:
     def __init__(
         self,
         config: ECMConfig,
-        workers: Optional[int] = None,
-        shards: Optional[int] = None,
+        workers: int | None = None,
+        shards: int | None = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
         if workers is not None and workers <= 0:
@@ -198,11 +199,11 @@ class ShardedIngestRunner:
         self.workers = 1 if workers is None else workers
         self.shards = self.workers if shards is None else shards
         self.batch_size = batch_size
-        self.last_report: Optional[RunnerReport] = None
+        self.last_report: RunnerReport | None = None
 
     def ingest(
-        self, stream: Stream, num_nodes: int, nodes: Optional[List[StreamNode]] = None
-    ) -> List[StreamNode]:
+        self, stream: Stream, num_nodes: int, nodes: list[StreamNode] | None = None
+    ) -> list[StreamNode]:
         """Replay ``stream`` into ``num_nodes`` sites and return them.
 
         Args:
@@ -231,7 +232,7 @@ class ShardedIngestRunner:
 
         plans = plan_shards(num_nodes, self.shards)
         report.shards = len(plans)
-        shard_work: List[List[Tuple[int, NodeColumns]]] = []
+        shard_work: list[list[tuple[int, NodeColumns]]] = []
         for plan in plans:
             work = [
                 (node_id, columns[node_id]) for node_id in plan.node_ids if node_id in columns
@@ -266,11 +267,11 @@ def run_sharded_ingest(
     stream: Stream,
     num_nodes: int,
     config: ECMConfig,
-    workers: Optional[int] = None,
-    shards: Optional[int] = None,
+    workers: int | None = None,
+    shards: int | None = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
-    nodes: Optional[List[StreamNode]] = None,
-) -> Tuple[List[StreamNode], RunnerReport]:
+    nodes: list[StreamNode] | None = None,
+) -> tuple[list[StreamNode], RunnerReport]:
     """Convenience wrapper: build a runner, ingest, return sites and report."""
     runner = ShardedIngestRunner(
         config, workers=workers, shards=shards, batch_size=batch_size

@@ -15,7 +15,6 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
 
 from ..core.errors import ConfigurationError
 
@@ -39,8 +38,8 @@ class TreeVertex:
     vertex_id: int
     level: int
     node_id: int
-    children: List[int] = field(default_factory=list)
-    parent: Optional[int] = None
+    children: list[int] = field(default_factory=list)
+    parent: int | None = None
 
     @property
     def is_leaf(self) -> bool:
@@ -65,14 +64,14 @@ class AggregationTree:
         self.num_leaves = num_leaves
         self.branching = branching
         self.seed = seed
-        self.vertices: Dict[int, TreeVertex] = {}
+        self.vertices: dict[int, TreeVertex] = {}
         self._build()
 
     # ------------------------------------------------------------------ build
     def _build(self) -> None:
         rng = random.Random(self.seed)
         next_id = 0
-        current_level: List[int] = []
+        current_level: list[int] = []
         for leaf_index in range(self.num_leaves):
             vertex = TreeVertex(vertex_id=next_id, level=0, node_id=leaf_index)
             self.vertices[next_id] = vertex
@@ -81,7 +80,7 @@ class AggregationTree:
         level = 0
         while len(current_level) > 1:
             level += 1
-            next_level: List[int] = []
+            next_level: list[int] = []
             for start in range(0, len(current_level), self.branching):
                 group = current_level[start : start + self.branching]
                 # The internal vertex is staffed by one of the sites below it.
@@ -101,13 +100,13 @@ class AggregationTree:
         """The root vertex."""
         return self.vertices[self.root_id]
 
-    def leaves(self) -> List[TreeVertex]:
+    def leaves(self) -> list[TreeVertex]:
         """All leaf vertices, ordered by site identifier."""
         result = [v for v in self.vertices.values() if v.is_leaf]
         result.sort(key=lambda v: v.node_id)
         return result
 
-    def internal_vertices(self) -> List[TreeVertex]:
+    def internal_vertices(self) -> list[TreeVertex]:
         """All internal vertices ordered bottom-up (children before parents)."""
         result = [v for v in self.vertices.values() if not v.is_leaf]
         result.sort(key=lambda v: v.level)
@@ -127,7 +126,7 @@ class AggregationTree:
             return 0
         return int(math.ceil(math.log(self.num_leaves, self.branching)))
 
-    def edges(self) -> List[tuple]:
+    def edges(self) -> list[tuple]:
         """All (child_vertex_id, parent_vertex_id) edges."""
         return [
             (vertex.vertex_id, vertex.parent)
@@ -135,7 +134,7 @@ class AggregationTree:
             if vertex.parent is not None
         ]
 
-    def children_of(self, vertex_id: int) -> List[TreeVertex]:
+    def children_of(self, vertex_id: int) -> list[TreeVertex]:
         """The child vertices of a vertex."""
         return [self.vertices[c] for c in self.vertices[vertex_id].children]
 

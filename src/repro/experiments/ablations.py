@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..analysis.memory import ecm_sketch_bytes
 from ..core.config import (
@@ -63,7 +63,7 @@ class MergeStrategyRow:
     maximum_error: float
 
 
-def _skewed_split(epsilon: float, sw_share: float) -> Tuple[float, float]:
+def _skewed_split(epsilon: float, sw_share: float) -> tuple[float, float]:
     """Give ``sw_share`` of the budget to the window error, the rest to hashing.
 
     ``epsilon_cm`` is derived from Theorem 1 so the combined point-query error
@@ -78,14 +78,14 @@ def run_epsilon_split_ablation(
     epsilons: Sequence[float] = (0.05, 0.1, 0.2),
     window: float = PAPER_WINDOW_SECONDS,
     max_arrivals: int = 100_000,
-) -> List[EpsilonSplitRow]:
+) -> list[EpsilonSplitRow]:
     """Compare the optimal epsilon split against window-heavy and hash-heavy splits.
 
     For deterministic counters and point queries the optimum is an even split
     (``eps_sw = eps_cm = sqrt(1+eps) - 1``); the skewed policies spend 80% of
     the budget on one side and show the memory penalty of getting it wrong.
     """
-    rows: List[EpsilonSplitRow] = []
+    rows: list[EpsilonSplitRow] = []
     for epsilon in epsilons:
         for policy, splitter in (
             ("optimal", split_point_query_deterministic),
@@ -123,7 +123,7 @@ def _merge_with_strategy(
         raise ConfigurationError("unknown merge strategy %r" % (strategy,))
     window = histograms[0].window
     merged = ExponentialHistogram(epsilon=epsilon_prime, window=window, model=WindowModel.TIME_BASED)
-    events: List[Tuple[float, int]] = []
+    events: list[tuple[float, int]] = []
     for histogram in histograms:
         for bucket in histogram.iter_buckets():
             if strategy == "half-half":
@@ -148,11 +148,11 @@ def run_merge_strategy_ablation(
     window: float = 50_000.0,
     query_ranges: Sequence[float] = (100.0, 1_000.0, 10_000.0, 50_000.0),
     seed: int = 17,
-) -> List[MergeStrategyRow]:
+) -> list[MergeStrategyRow]:
     """Compare the paper's half/half bucket replay against an all-at-end replay."""
     rng = random.Random(seed)
-    histograms: List[ExponentialHistogram] = []
-    arrival_log: List[float] = []
+    histograms: list[ExponentialHistogram] = []
+    arrival_log: list[float] = []
     for _ in range(num_streams):
         histogram = ExponentialHistogram(epsilon=epsilon, window=window, model=WindowModel.TIME_BASED)
         clock = 0.0
@@ -163,10 +163,10 @@ def run_merge_strategy_ablation(
         histograms.append(histogram)
     now = max(arrival_log)
 
-    rows: List[MergeStrategyRow] = []
+    rows: list[MergeStrategyRow] = []
     for strategy in ("half-half", "all-at-end"):
         merged = _merge_with_strategy(histograms, strategy, epsilon_prime=epsilon)
-        errors: List[float] = []
+        errors: list[float] = []
         for range_length in query_ranges:
             true = sum(1 for t in arrival_log if now - range_length < t <= now)
             if true == 0:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from ..analysis.metrics import (
     evaluate_point_queries,
@@ -92,7 +92,7 @@ def _evaluate_variant(
     epsilon: float,
     query_type: str,
     window: float,
-    max_keys_per_range: Optional[int],
+    max_keys_per_range: int | None,
     seed: int,
 ) -> CentralizedErrorRow:
     """Build, feed and evaluate one sketch variant at one epsilon."""
@@ -132,13 +132,13 @@ def _evaluate_variant(
 def run_centralized_error_experiment(
     dataset: str = "wc98",
     epsilons: Sequence[float] = DEFAULT_EPSILONS,
-    variants: Optional[Sequence[CounterType]] = None,
+    variants: Sequence[CounterType] | None = None,
     query_types: Sequence[str] = ("point", "self-join"),
-    num_records: Optional[int] = None,
+    num_records: int | None = None,
     window: float = PAPER_WINDOW_SECONDS,
-    max_keys_per_range: Optional[int] = 200,
+    max_keys_per_range: int | None = 200,
     seed: int = 0,
-) -> List[CentralizedErrorRow]:
+) -> list[CentralizedErrorRow]:
     """Regenerate Figure 4 for one data set.
 
     Randomized-wave sketches are skipped for self-join queries, matching the
@@ -153,7 +153,7 @@ def run_centralized_error_experiment(
         )
     stream = load_dataset(dataset, num_records=num_records)
     exact = ExactStreamSummary.from_stream(stream, window=window)
-    rows: List[CentralizedErrorRow] = []
+    rows: list[CentralizedErrorRow] = []
     for query_type in query_types:
         if query_type not in ("point", "self-join"):
             raise ConfigurationError("unknown query type %r" % (query_type,))
@@ -180,12 +180,12 @@ def run_centralized_error_experiment(
 def run_update_rate_experiment(
     dataset: str = "wc98",
     epsilon: float = 0.1,
-    variants: Optional[Sequence[CounterType]] = None,
-    num_records: Optional[int] = None,
+    variants: Sequence[CounterType] | None = None,
+    num_records: int | None = None,
     window: float = PAPER_WINDOW_SECONDS,
     seed: int = 0,
-    batch_size: Optional[int] = None,
-) -> List[UpdateRateRow]:
+    batch_size: int | None = None,
+) -> list[UpdateRateRow]:
     """Regenerate Table 3 (update rates per variant) for one data set.
 
     Args:
@@ -201,7 +201,7 @@ def run_update_rate_experiment(
             CounterType.RANDOMIZED_WAVE,
         )
     stream = load_dataset(dataset, num_records=num_records)
-    rows: List[UpdateRateRow] = []
+    rows: list[UpdateRateRow] = []
     for counter_type in variants:
         sketch = build_sketch(
             counter_type=counter_type,

@@ -15,7 +15,6 @@ laptop.  All runners accept a ``num_records`` override for larger runs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
 
 from ..core.config import CounterType, ECMConfig
 from ..core.ecm_sketch import ECMSketch
@@ -46,7 +45,7 @@ DEFAULT_EPSILONS = (0.05, 0.10, 0.15, 0.20, 0.25)
 DEFAULT_DELTA = 0.1
 
 #: Human-readable labels of the sketch variants, as used in the paper's plots.
-VARIANT_LABELS: Dict[CounterType, str] = {
+VARIANT_LABELS: dict[CounterType, str] = {
     CounterType.EXPONENTIAL_HISTOGRAM: "ECM-EH",
     CounterType.DETERMINISTIC_WAVE: "ECM-DW",
     CounterType.RANDOMIZED_WAVE: "ECM-RW",
@@ -64,7 +63,7 @@ class DatasetSpec:
     default_records: int
 
 
-def dataset_specs() -> Dict[str, DatasetSpec]:
+def dataset_specs() -> dict[str, DatasetSpec]:
     """The two data sets of the paper, at reproduction scale."""
     return {
         "wc98": DatasetSpec(
@@ -76,7 +75,7 @@ def dataset_specs() -> Dict[str, DatasetSpec]:
     }
 
 
-def load_dataset(name: str, num_records: Optional[int] = None, seed: int = 7) -> Stream:
+def load_dataset(name: str, num_records: int | None = None, seed: int = 7) -> Stream:
     """Generate the named synthetic data set.
 
     Args:

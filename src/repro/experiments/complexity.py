@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from ..analysis.memory import ecm_sketch_bytes
 from ..core.config import CounterType, split_point_query_deterministic, split_point_query_randomized
@@ -52,13 +52,13 @@ class ComplexityRow:
 
 def run_complexity_experiment(
     epsilons: Sequence[float] = (0.05, 0.1, 0.2),
-    variants: Optional[Sequence[CounterType]] = None,
+    variants: Sequence[CounterType] | None = None,
     dataset: str = "wc98",
-    num_records: Optional[int] = 10_000,
+    num_records: int | None = 10_000,
     num_queries: int = 200,
     window: float = PAPER_WINDOW_SECONDS,
     seed: int = 0,
-) -> List[ComplexityRow]:
+) -> list[ComplexityRow]:
     """Regenerate Table 2 with both analytical bounds and measured costs."""
     if variants is None:
         variants = (
@@ -69,7 +69,7 @@ def run_complexity_experiment(
     stream = load_dataset(dataset, num_records=num_records)
     bound = max_arrivals_bound(stream)
     keys = stream.keys()[:num_queries]
-    rows: List[ComplexityRow] = []
+    rows: list[ComplexityRow] = []
     for counter_type in variants:
         for epsilon in epsilons:
             if counter_type is CounterType.RANDOMIZED_WAVE:

@@ -17,7 +17,7 @@ for the order-preserving union stream.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from ..analysis.metrics import (
     evaluate_point_queries,
@@ -121,8 +121,8 @@ def _run_deployment(
     stream: Stream,
     num_nodes: int,
     config: ECMConfig,
-    workers: Optional[int] = None,
-    shards: Optional[int] = None,
+    workers: int | None = None,
+    shards: int | None = None,
 ) -> DistributedDeployment:
     deployment = DistributedDeployment(num_nodes=num_nodes, config=config)
     # ingest() itself picks the per-record loop when workers/shards are both
@@ -134,16 +134,16 @@ def _run_deployment(
 def run_distributed_error_experiment(
     dataset: str = "wc98",
     epsilons: Sequence[float] = DEFAULT_EPSILONS,
-    variants: Optional[Sequence[CounterType]] = None,
+    variants: Sequence[CounterType] | None = None,
     query_types: Sequence[str] = ("point", "self-join"),
-    num_records: Optional[int] = None,
-    num_nodes: Optional[int] = None,
+    num_records: int | None = None,
+    num_nodes: int | None = None,
     window: float = PAPER_WINDOW_SECONDS,
-    max_keys_per_range: Optional[int] = 200,
+    max_keys_per_range: int | None = 200,
     seed: int = 0,
-    workers: Optional[int] = None,
-    shards: Optional[int] = None,
-) -> List[DistributedErrorRow]:
+    workers: int | None = None,
+    shards: int | None = None,
+) -> list[DistributedErrorRow]:
     """Regenerate Figure 5 for one data set.
 
     ECM-RW self-join rows are skipped (no guarantee, as in the paper);
@@ -161,7 +161,7 @@ def run_distributed_error_experiment(
     now = stream.end_time()
     ranges = exponential_query_ranges(window)
     bound = max_arrivals_bound(stream)
-    rows: List[DistributedErrorRow] = []
+    rows: list[DistributedErrorRow] = []
     for query_type in query_types:
         for counter_type in variants:
             if query_type == "self-join" and counter_type is CounterType.RANDOMIZED_WAVE:
@@ -195,16 +195,16 @@ def run_distributed_error_experiment(
 def run_centralized_vs_distributed_experiment(
     dataset: str = "wc98",
     epsilons: Sequence[float] = (0.1, 0.2),
-    variants: Optional[Sequence[CounterType]] = None,
+    variants: Sequence[CounterType] | None = None,
     query_types: Sequence[str] = ("point", "self-join"),
-    num_records: Optional[int] = None,
-    num_nodes: Optional[int] = None,
+    num_records: int | None = None,
+    num_nodes: int | None = None,
     window: float = PAPER_WINDOW_SECONDS,
-    max_keys_per_range: Optional[int] = 200,
+    max_keys_per_range: int | None = 200,
     seed: int = 0,
-    workers: Optional[int] = None,
-    shards: Optional[int] = None,
-) -> List[CentralizedVsDistributedRow]:
+    workers: int | None = None,
+    shards: int | None = None,
+) -> list[CentralizedVsDistributedRow]:
     """Regenerate Table 4 for one data set."""
     if variants is None:
         variants = (CounterType.EXPONENTIAL_HISTOGRAM, CounterType.RANDOMIZED_WAVE)
@@ -215,7 +215,7 @@ def run_centralized_vs_distributed_experiment(
     now = stream.end_time()
     ranges = exponential_query_ranges(window)
     bound = max_arrivals_bound(stream)
-    rows: List[CentralizedVsDistributedRow] = []
+    rows: list[CentralizedVsDistributedRow] = []
     for query_type in query_types:
         for counter_type in variants:
             if query_type == "self-join" and counter_type is CounterType.RANDOMIZED_WAVE:

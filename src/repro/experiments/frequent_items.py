@@ -22,7 +22,7 @@ from __future__ import annotations
 import time
 from collections import Counter
 from dataclasses import dataclass
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from ..core.errors import ConfigurationError
 from ..queries.heavy_hitters import FrequentItemsTracker
@@ -61,7 +61,7 @@ class FrequentItemsRow:
 
 def _zipf_keyed_stream(
     num_records: int, domain_size: int, zipf_exponent: float, seed: int
-) -> List[str]:
+) -> list[str]:
     """Zipf-popularity key sequence (rank ``r`` drawn ∝ ``1 / r**exponent``)."""
     sampler = ZipfSampler(domain_size, zipf_exponent, seed=seed)
     return ["key-%05d" % rank for rank in sampler.sample_many(num_records)]
@@ -77,7 +77,7 @@ def run_frequent_items_experiment(
     universe_bits: int = 12,
     batch_size: int = 1_024,
     seed: int = 7,
-) -> List[FrequentItemsRow]:
+) -> list[FrequentItemsRow]:
     """Run the Zipf frequent-items sweep; one row per ``phi``.
 
     Args:
@@ -120,7 +120,7 @@ def run_frequent_items_experiment(
 
     scalar_tracker = build_tracker()
     scalar_start = time.perf_counter()
-    for key, clock in zip(keys, clocks):
+    for key, clock in zip(keys, clocks, strict=False):
         scalar_tracker.add(key, clock)
     scalar_elapsed = time.perf_counter() - scalar_start
 
@@ -133,7 +133,7 @@ def run_frequent_items_experiment(
 
     now = clocks[-1]
     total = num_records
-    rows: List[FrequentItemsRow] = []
+    rows: list[FrequentItemsRow] = []
     for phi in phis:
         descent_start = time.perf_counter()
         detected = tracker.heavy_hitters(phi=phi, now=now)

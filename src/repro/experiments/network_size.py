@@ -13,7 +13,7 @@ ECM-RW transfer volume is roughly an order of magnitude larger.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from ..analysis.metrics import (
     evaluate_point_queries,
@@ -47,7 +47,7 @@ class NetworkSizeRow:
     num_nodes: int
     epsilon: float
     point_average_error: float
-    self_join_average_error: Optional[float]
+    self_join_average_error: float | None
     transfer_bytes: int
     aggregation_levels: int
 
@@ -60,15 +60,15 @@ class NetworkSizeRow:
 def run_network_size_experiment(
     dataset: str = "wc98",
     network_sizes: Sequence[int] = DEFAULT_NETWORK_SIZES,
-    variants: Optional[Sequence[CounterType]] = None,
+    variants: Sequence[CounterType] | None = None,
     epsilon: float = 0.1,
-    num_records: Optional[int] = None,
+    num_records: int | None = None,
     window: float = PAPER_WINDOW_SECONDS,
-    max_keys_per_range: Optional[int] = 200,
+    max_keys_per_range: int | None = 200,
     seed: int = 0,
-    workers: Optional[int] = None,
-    shards: Optional[int] = None,
-) -> List[NetworkSizeRow]:
+    workers: int | None = None,
+    shards: int | None = None,
+) -> list[NetworkSizeRow]:
     """Regenerate Figure 6 for one data set.
 
     With ``workers``/``shards`` every simulated network is ingested through
@@ -82,7 +82,7 @@ def run_network_size_experiment(
     now = stream.end_time()
     ranges = exponential_query_ranges(window)
     bound = max_arrivals_bound(stream)
-    rows: List[NetworkSizeRow] = []
+    rows: list[NetworkSizeRow] = []
     for counter_type in variants:
         config = ECMConfig.for_point_queries(
             epsilon=epsilon,
@@ -103,7 +103,7 @@ def run_network_size_experiment(
                 root, exact, ranges, now=now, max_keys_per_range=max_keys_per_range
             )
             if counter_type is CounterType.RANDOMIZED_WAVE:
-                self_join_error: Optional[float] = None
+                self_join_error: float | None = None
             else:
                 self_join_error = evaluate_self_join_queries(root, exact, ranges, now=now).average
             rows.append(

@@ -13,7 +13,7 @@ a prefix during the group-testing descent.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from collections.abc import Iterator
 
 from ..core.errors import ConfigurationError
 
@@ -44,14 +44,14 @@ def prefix_of(key: int, level: int) -> int:
     return key >> level
 
 
-def prefix_range(prefix: int, level: int) -> Tuple[int, int]:
+def prefix_range(prefix: int, level: int) -> tuple[int, int]:
     """The inclusive key interval ``[lo, hi]`` covered by ``prefix`` at ``level``."""
     lo = prefix << level
     hi = ((prefix + 1) << level) - 1
     return lo, hi
 
 
-def children_of(prefix: int, level: int) -> List[Tuple[int, int]]:
+def children_of(prefix: int, level: int) -> list[tuple[int, int]]:
     """The two child prefixes (at ``level - 1``) of ``prefix`` at ``level``.
 
     Returns a list of ``(child_prefix, child_level)`` pairs; at level 0 the
@@ -62,7 +62,7 @@ def children_of(prefix: int, level: int) -> List[Tuple[int, int]]:
     return [(prefix << 1, level - 1), ((prefix << 1) | 1, level - 1)]
 
 
-def dyadic_cover(lo: int, hi: int, universe_bits: int) -> Iterator[Tuple[int, int]]:
+def dyadic_cover(lo: int, hi: int, universe_bits: int) -> Iterator[tuple[int, int]]:
     """Decompose the inclusive interval ``[lo, hi]`` into maximal dyadic ranges.
 
     Yields ``(prefix, level)`` pairs such that the covered intervals are

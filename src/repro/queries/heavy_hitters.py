@@ -15,7 +15,7 @@ and keeps the per-update sketch costs identical to the paper's.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from collections.abc import Hashable, Sequence
 
 import numpy as np
 
@@ -60,7 +60,7 @@ class FrequentItemsTracker:
         universe_bits: int = 20,
         model: WindowModel = WindowModel.TIME_BASED,
         counter_type: CounterType = CounterType.EXPONENTIAL_HISTOGRAM,
-        max_arrivals: Optional[int] = None,
+        max_arrivals: int | None = None,
         seed: int = 0,
         backend: str = "columnar",
     ) -> None:
@@ -75,8 +75,8 @@ class FrequentItemsTracker:
             seed=seed,
             backend=backend,
         )
-        self._encoding: Dict[Hashable, int] = {}
-        self._decoding: List[Hashable] = []
+        self._encoding: dict[Hashable, int] = {}
+        self._decoding: list[Hashable] = []
 
     # -------------------------------------------------------------- encoding
     def _encode(self, key: Hashable) -> int:
@@ -108,7 +108,7 @@ class FrequentItemsTracker:
         self,
         keys: Sequence[Hashable],
         clocks: Sequence[float],
-        values: Optional[Sequence[int]] = None,
+        values: Sequence[int] | None = None,
     ) -> None:
         """Batched :meth:`add`: dictionary-encode a chunk and ingest it at once.
 
@@ -150,7 +150,7 @@ class FrequentItemsTracker:
 
     # --------------------------------------------------------------- queries
     def frequency(
-        self, key: Hashable, range_length: Optional[float] = None, now: Optional[float] = None
+        self, key: Hashable, range_length: float | None = None, now: float | None = None
     ) -> float:
         """Estimated sliding-window frequency of ``key`` (0 for unseen keys)."""
         code = self._encoding.get(key)
@@ -159,7 +159,7 @@ class FrequentItemsTracker:
         return self._sketch.point_query(code, range_length, now)
 
     def estimate_total(
-        self, range_length: Optional[float] = None, now: Optional[float] = None
+        self, range_length: float | None = None, now: float | None = None
     ) -> float:
         """Estimated number of in-range arrivals."""
         return self._sketch.estimate_total(range_length, now)
@@ -167,12 +167,12 @@ class FrequentItemsTracker:
     def frequency_many(
         self,
         keys: Sequence[Hashable],
-        range_length: Optional[float] = None,
-        now: Optional[float] = None,
-    ) -> List[float]:
+        range_length: float | None = None,
+        now: float | None = None,
+    ) -> list[float]:
         """Batched :meth:`frequency`: one estimate per key (0 for unseen keys)."""
-        known: List[int] = []
-        positions: List[int] = []
+        known: list[int] = []
+        positions: list[int] = []
         results = [0.0] * len(keys)
         for position, key in enumerate(keys):
             code = self._encoding.get(key)
@@ -183,18 +183,18 @@ class FrequentItemsTracker:
             estimates = self._sketch.point_query_many(
                 np.asarray(known, dtype=np.int64), range_length, now
             )
-            for position, estimate in zip(positions, estimates):
+            for position, estimate in zip(positions, estimates, strict=False):
                 results[position] = estimate
         return results
 
     def heavy_hitters(
         self,
         phi: float,
-        range_length: Optional[float] = None,
-        now: Optional[float] = None,
-        absolute_threshold: Optional[float] = None,
+        range_length: float | None = None,
+        now: float | None = None,
+        absolute_threshold: float | None = None,
         batched: bool = True,
-    ) -> Dict[Hashable, float]:
+    ) -> dict[Hashable, float]:
         """Keys whose estimated in-range frequency reaches the threshold.
 
         An empty query window (or a non-positive ``absolute_threshold``)
@@ -214,8 +214,8 @@ class FrequentItemsTracker:
         }
 
     def top_k(
-        self, k: int, range_length: Optional[float] = None, now: Optional[float] = None
-    ) -> List[Tuple[Hashable, float]]:
+        self, k: int, range_length: float | None = None, now: float | None = None
+    ) -> list[tuple[Hashable, float]]:
         """The ``k`` keys with the largest estimated in-range frequencies.
 
         Implemented by point-querying every registered key; intended for

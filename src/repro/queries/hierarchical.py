@@ -28,7 +28,7 @@ per-level sketches of several nodes yields the stack of the union stream.
 from __future__ import annotations
 
 import numbers
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -42,7 +42,7 @@ __all__ = ["HierarchicalECMSketch"]
 
 #: A batch of integer keys (or dyadic prefixes): a sequence of ints or an
 #: integer NumPy array.
-KeyBatch = Union[Sequence[int], "np.ndarray"]
+KeyBatch = Sequence[int] | np.ndarray
 
 
 class HierarchicalECMSketch:
@@ -80,7 +80,7 @@ class HierarchicalECMSketch:
         window: float,
         model: WindowModel = WindowModel.TIME_BASED,
         counter_type: CounterType = CounterType.EXPONENTIAL_HISTOGRAM,
-        max_arrivals: Optional[int] = None,
+        max_arrivals: int | None = None,
         seed: int = 0,
         stream_tag: int = 0,
         backend: str = "columnar",
@@ -91,7 +91,7 @@ class HierarchicalECMSketch:
         self.counter_type = counter_type
         self.seed = seed
         self.stream_tag = stream_tag
-        self._levels: List[ECMSketch] = []
+        self._levels: list[ECMSketch] = []
         for level in range(self.universe_bits):
             config = ECMConfig.for_point_queries(
                 epsilon=epsilon,
@@ -105,7 +105,7 @@ class HierarchicalECMSketch:
             )
             self._levels.append(ECMSketch(config, stream_tag=stream_tag))
         self._total_arrivals = 0
-        self._last_clock: Optional[float] = None
+        self._last_clock: float | None = None
 
     # --------------------------------------------------------------- update
     @property
@@ -133,8 +133,8 @@ class HierarchicalECMSketch:
     def add_many(
         self,
         keys: KeyBatch,
-        clocks: Union[Sequence[float], "np.ndarray"],
-        values: Optional[Union[Sequence[int], "np.ndarray"]] = None,
+        clocks: Sequence[float] | np.ndarray,
+        values: Sequence[int] | np.ndarray | None = None,
     ) -> None:
         """Batched :meth:`add`: ingest a whole chunk of integer keys at once.
 
@@ -197,13 +197,13 @@ class HierarchicalECMSketch:
         self._last_clock = clocks[-1]
 
     # -------------------------------------------------------------- queries
-    def _resolve_now(self, now: Optional[float]) -> float:
+    def _resolve_now(self, now: float | None) -> float:
         if now is not None:
             return now
         return self._last_clock if self._last_clock is not None else 0.0
 
     def point_query(
-        self, key: int, range_length: Optional[float] = None, now: Optional[float] = None
+        self, key: int, range_length: float | None = None, now: float | None = None
     ) -> float:
         """Estimated sliding-window frequency of an individual key."""
         return self._levels[0].point_query(key, range_length, self._resolve_now(now))
@@ -211,9 +211,9 @@ class HierarchicalECMSketch:
     def point_query_many(
         self,
         keys: KeyBatch,
-        range_length: Optional[float] = None,
-        now: Optional[float] = None,
-    ) -> List[float]:
+        range_length: float | None = None,
+        now: float | None = None,
+    ) -> list[float]:
         """Batched :meth:`point_query`: one estimate per key, in order.
 
         Keys are hashed in a single vectorized pass through the level-0
@@ -223,7 +223,7 @@ class HierarchicalECMSketch:
         return self._levels[0].point_query_many(keys, range_length, self._resolve_now(now))
 
     def prefix_query(
-        self, prefix: int, level: int, range_length: Optional[float] = None, now: Optional[float] = None
+        self, prefix: int, level: int, range_length: float | None = None, now: float | None = None
     ) -> float:
         """Estimated count of the dyadic range ``(prefix, level)``."""
         if level < 0 or level >= self.universe_bits:
@@ -234,16 +234,16 @@ class HierarchicalECMSketch:
         self,
         prefixes: KeyBatch,
         level: int,
-        range_length: Optional[float] = None,
-        now: Optional[float] = None,
-    ) -> List[float]:
+        range_length: float | None = None,
+        now: float | None = None,
+    ) -> list[float]:
         """Batched :meth:`prefix_query` over several prefixes of one level."""
         if level < 0 or level >= self.universe_bits:
             raise ConfigurationError("level must be in [0, %d)" % (self.universe_bits,))
         return self._levels[level].point_query_many(prefixes, range_length, self._resolve_now(now))
 
     def range_query(
-        self, lo: int, hi: int, range_length: Optional[float] = None, now: Optional[float] = None
+        self, lo: int, hi: int, range_length: float | None = None, now: float | None = None
     ) -> float:
         """Estimated number of arrivals with key in ``[lo, hi]`` in the window range."""
         now_value = self._resolve_now(now)
@@ -253,7 +253,7 @@ class HierarchicalECMSketch:
         return total
 
     def estimate_total(
-        self, range_length: Optional[float] = None, now: Optional[float] = None
+        self, range_length: float | None = None, now: float | None = None
     ) -> float:
         """Estimate of ``||a_r||_1`` from the level-0 sketch's row averages."""
         return self._levels[0].estimate_arrivals(range_length, self._resolve_now(now))
@@ -261,11 +261,11 @@ class HierarchicalECMSketch:
     def heavy_hitters(
         self,
         phi: float,
-        range_length: Optional[float] = None,
-        now: Optional[float] = None,
-        absolute_threshold: Optional[float] = None,
+        range_length: float | None = None,
+        now: float | None = None,
+        absolute_threshold: float | None = None,
         batched: bool = True,
-    ) -> Dict[int, float]:
+    ) -> dict[int, float]:
         """Group-testing detection of frequent keys (Theorem 5).
 
         A non-positive detection threshold — an empty query window under a
@@ -306,13 +306,13 @@ class HierarchicalECMSketch:
         # a plain list — ``point_query_many`` takes the vectorized path once
         # the frontier outgrows its small-batch cutoff, and converting only
         # then keeps sparse descents free of NumPy dispatch overhead.
-        frontier: List[int] = [0, 1]
+        frontier: list[int] = [0, 1]
         for level in range(self.universe_bits - 1, 0, -1):
             estimates = self._levels[level].point_query_many(
                 frontier, range_length, now_value
             )
-            next_frontier: List[int] = []
-            for prefix, estimate in zip(frontier, estimates):
+            next_frontier: list[int] = []
+            for prefix, estimate in zip(frontier, estimates, strict=False):
                 if estimate >= threshold:
                     left = prefix << 1
                     next_frontier.append(left)
@@ -323,17 +323,17 @@ class HierarchicalECMSketch:
         estimates = self._levels[0].point_query_many(frontier, range_length, now_value)
         return {
             key: estimate
-            for key, estimate in zip(frontier, estimates)
+            for key, estimate in zip(frontier, estimates, strict=False)
             if estimate >= threshold
         }
 
     def _heavy_hitters_scalar(
-        self, threshold: float, range_length: Optional[float], now_value: float
-    ) -> Dict[int, float]:
+        self, threshold: float, range_length: float | None, now_value: float
+    ) -> dict[int, float]:
         """Scalar depth-first group-testing descent (reference path)."""
-        result: Dict[int, float] = {}
+        result: dict[int, float] = {}
         top_level = self.universe_bits - 1
-        frontier: List[Tuple[int, int]] = [(0, top_level), (1, top_level)]
+        frontier: list[tuple[int, int]] = [(0, top_level), (1, top_level)]
         while frontier:
             prefix, level = frontier.pop()
             estimate = self._levels[level].point_query(prefix, range_length, now_value)
@@ -348,8 +348,8 @@ class HierarchicalECMSketch:
     def quantile(
         self,
         fraction: float,
-        range_length: Optional[float] = None,
-        now: Optional[float] = None,
+        range_length: float | None = None,
+        now: float | None = None,
     ) -> int:
         """Approximate ``fraction``-quantile of the in-range key distribution.
 
@@ -382,9 +382,9 @@ class HierarchicalECMSketch:
     def quantiles(
         self,
         fractions: Sequence[float],
-        range_length: Optional[float] = None,
-        now: Optional[float] = None,
-    ) -> List[int]:
+        range_length: float | None = None,
+        now: float | None = None,
+    ) -> list[int]:
         """Approximate quantiles for several fractions in one shared scan.
 
         Every fraction runs the same binary search as :meth:`quantile` (and
@@ -411,12 +411,12 @@ class HierarchicalECMSketch:
                 "quantile of an empty window is undefined (no in-range arrivals)"
             )
         now_value = self._resolve_now(now)
-        cache: Dict[Tuple[int, int], float] = {}
+        cache: dict[tuple[int, int], float] = {}
 
         def cumulative(upper: int) -> float:
             """Estimate of ``[0, upper]`` from memoized dyadic block estimates."""
             cover = list(dyadic_cover(0, upper, self.universe_bits))
-            missing: Dict[int, List[int]] = {}
+            missing: dict[int, list[int]] = {}
             for prefix, level in cover:
                 if (level, prefix) not in cache:
                     missing.setdefault(level, []).append(prefix)
@@ -424,11 +424,11 @@ class HierarchicalECMSketch:
                 estimates = self._levels[level].point_query_many(
                     prefixes, range_length, now_value
                 )
-                for prefix, estimate in zip(prefixes, estimates):
+                for prefix, estimate in zip(prefixes, estimates, strict=False):
                     cache[(level, prefix)] = estimate
             return sum(cache[(level, prefix)] for prefix, level in cover)
 
-        results: List[int] = []
+        results: list[int] = []
         for fraction in fractions:
             target = fraction * total
             lo, hi = 0, self.universe_size - 1
@@ -442,7 +442,7 @@ class HierarchicalECMSketch:
         return results
 
     # ----------------------------------------------------------------- merge
-    def is_compatible_with(self, other: "HierarchicalECMSketch") -> bool:
+    def is_compatible_with(self, other: HierarchicalECMSketch) -> bool:
         """True when two stacks can be aggregated level by level."""
         return (
             isinstance(other, HierarchicalECMSketch)
@@ -456,9 +456,9 @@ class HierarchicalECMSketch:
     @classmethod
     def aggregate(
         cls,
-        stacks: Sequence["HierarchicalECMSketch"],
-        epsilon_prime: Optional[float] = None,
-    ) -> "HierarchicalECMSketch":
+        stacks: Sequence[HierarchicalECMSketch],
+        epsilon_prime: float | None = None,
+    ) -> HierarchicalECMSketch:
         """Order-preserving aggregation of hierarchical sketches (level by level)."""
         if not stacks:
             raise ConfigurationError("cannot aggregate an empty list of stacks")

@@ -21,7 +21,8 @@ from __future__ import annotations
 import dataclasses
 import json
 from collections import deque
-from typing import Any, Callable, Dict, Optional, Tuple, Union
+from collections.abc import Callable
+from typing import Any
 
 from .core.config import CounterType, ECMConfig
 from .core.countmin import CountMinSketch
@@ -61,18 +62,18 @@ __all__ = [
 #: Version tag embedded in every serialized payload.
 FORMAT_VERSION = 1
 
-Serializable = Union[
-    ExponentialHistogram,
-    DeterministicWave,
-    RandomizedWave,
-    CountMinSketch,
-    ECMSketch,
-    HierarchicalECMSketch,
-    FrequentItemsTracker,
-]
+Serializable = (
+    ExponentialHistogram
+    | DeterministicWave
+    | RandomizedWave
+    | CountMinSketch
+    | ECMSketch
+    | HierarchicalECMSketch
+    | FrequentItemsTracker
+)
 
 
-def _require(payload: Dict[str, Any], kind: str) -> None:
+def _require(payload: dict[str, Any], kind: str) -> None:
     if payload.get("kind") != kind:
         raise ConfigurationError(
             "expected a %r payload, got %r" % (kind, payload.get("kind"))
@@ -85,7 +86,7 @@ def _require(payload: Dict[str, Any], kind: str) -> None:
 
 
 # -------------------------------------------------------- exponential histogram
-def histogram_to_dict(histogram: ExponentialHistogram) -> Dict[str, Any]:
+def histogram_to_dict(histogram: ExponentialHistogram) -> dict[str, Any]:
     """Serialize an exponential histogram to a plain dictionary."""
     return {
         "kind": "exponential_histogram",
@@ -102,7 +103,7 @@ def histogram_to_dict(histogram: ExponentialHistogram) -> Dict[str, Any]:
     }
 
 
-def histogram_from_dict(payload: Dict[str, Any]) -> ExponentialHistogram:
+def histogram_from_dict(payload: dict[str, Any]) -> ExponentialHistogram:
     """Rebuild an exponential histogram serialized by :func:`histogram_to_dict`."""
     _require(payload, "exponential_histogram")
     histogram = ExponentialHistogram(
@@ -124,7 +125,7 @@ def histogram_from_dict(payload: Dict[str, Any]) -> ExponentialHistogram:
 
 
 # ------------------------------------------------------------ deterministic wave
-def wave_to_dict(wave: DeterministicWave) -> Dict[str, Any]:
+def wave_to_dict(wave: DeterministicWave) -> dict[str, Any]:
     """Serialize a deterministic wave to a plain dictionary."""
     return {
         "kind": "deterministic_wave",
@@ -142,7 +143,7 @@ def wave_to_dict(wave: DeterministicWave) -> Dict[str, Any]:
     }
 
 
-def wave_from_dict(payload: Dict[str, Any]) -> DeterministicWave:
+def wave_from_dict(payload: dict[str, Any]) -> DeterministicWave:
     """Rebuild a deterministic wave serialized by :func:`wave_to_dict`."""
     _require(payload, "deterministic_wave")
     wave = DeterministicWave(
@@ -163,7 +164,7 @@ def wave_from_dict(payload: Dict[str, Any]) -> DeterministicWave:
 
 
 # -------------------------------------------------------------- randomized wave
-def randomized_wave_to_dict(wave: RandomizedWave) -> Dict[str, Any]:
+def randomized_wave_to_dict(wave: RandomizedWave) -> dict[str, Any]:
     """Serialize a randomized wave (including its sampled entries)."""
     copies = []
     for copy in wave._copies:
@@ -198,7 +199,7 @@ def randomized_wave_to_dict(wave: RandomizedWave) -> Dict[str, Any]:
     }
 
 
-def randomized_wave_from_dict(payload: Dict[str, Any]) -> RandomizedWave:
+def randomized_wave_from_dict(payload: dict[str, Any]) -> RandomizedWave:
     """Rebuild a randomized wave serialized by :func:`randomized_wave_to_dict`."""
     _require(payload, "randomized_wave")
     wave = RandomizedWave(
@@ -213,7 +214,7 @@ def randomized_wave_from_dict(payload: Dict[str, Any]) -> RandomizedWave:
     )
     if len(payload["copies"]) != len(wave._copies):
         raise ConfigurationError("copy count mismatch in randomized-wave payload")
-    for copy, copy_payload in zip(wave._copies, payload["copies"]):
+    for copy, copy_payload in zip(wave._copies, payload["copies"], strict=False):
         copy.hash_a = int(copy_payload["hash_a"])
         copy.hash_b = int(copy_payload["hash_b"])
         copy.capacity_horizon = [
@@ -232,7 +233,7 @@ def randomized_wave_from_dict(payload: Dict[str, Any]) -> RandomizedWave:
 
 
 # ------------------------------------------------------------------- Count-Min
-def countmin_to_dict(sketch: CountMinSketch) -> Dict[str, Any]:
+def countmin_to_dict(sketch: CountMinSketch) -> dict[str, Any]:
     """Serialize a plain Count-Min sketch."""
     return {
         "kind": "countmin",
@@ -245,7 +246,7 @@ def countmin_to_dict(sketch: CountMinSketch) -> Dict[str, Any]:
     }
 
 
-def countmin_from_dict(payload: Dict[str, Any]) -> CountMinSketch:
+def countmin_from_dict(payload: dict[str, Any]) -> CountMinSketch:
     """Rebuild a Count-Min sketch serialized by :func:`countmin_to_dict`."""
     _require(payload, "countmin")
     sketch = CountMinSketch(
@@ -257,7 +258,7 @@ def countmin_from_dict(payload: Dict[str, Any]) -> CountMinSketch:
 
 
 # ------------------------------------------------------------------ ECM config
-def config_to_dict(config: ECMConfig) -> Dict[str, Any]:
+def config_to_dict(config: ECMConfig) -> dict[str, Any]:
     """Serialize an :class:`ECMConfig`."""
     return {
         "kind": "ecm_config",
@@ -276,7 +277,7 @@ def config_to_dict(config: ECMConfig) -> Dict[str, Any]:
     }
 
 
-def config_from_dict(payload: Dict[str, Any]) -> ECMConfig:
+def config_from_dict(payload: dict[str, Any]) -> ECMConfig:
     """Rebuild an :class:`ECMConfig` serialized by :func:`config_to_dict`."""
     _require(payload, "ecm_config")
     return ECMConfig(
@@ -295,9 +296,9 @@ def config_from_dict(payload: Dict[str, Any]) -> ECMConfig:
 
 
 # ------------------------------------------------------------------ ECM sketch
-_COUNTER_SERIALIZERS: Dict[
+_COUNTER_SERIALIZERS: dict[
     CounterType,
-    Tuple[Callable[[Any], Dict[str, Any]], Callable[[Dict[str, Any]], Any]],
+    tuple[Callable[[Any], dict[str, Any]], Callable[[dict[str, Any]], Any]],
 ] = {
     CounterType.EXPONENTIAL_HISTOGRAM: (histogram_to_dict, histogram_from_dict),
     CounterType.DETERMINISTIC_WAVE: (wave_to_dict, wave_from_dict),
@@ -305,7 +306,7 @@ _COUNTER_SERIALIZERS: Dict[
 }
 
 
-def ecm_sketch_to_dict(sketch: ECMSketch) -> Dict[str, Any]:
+def ecm_sketch_to_dict(sketch: ECMSketch) -> dict[str, Any]:
     """Serialize a whole ECM-sketch (configuration plus every counter)."""
     serialize_counter, _ = _COUNTER_SERIALIZERS[sketch.counter_type]
     return {
@@ -323,7 +324,7 @@ def ecm_sketch_to_dict(sketch: ECMSketch) -> Dict[str, Any]:
     }
 
 
-def ecm_sketch_from_dict(payload: Dict[str, Any], backend: Optional[str] = None) -> ECMSketch:
+def ecm_sketch_from_dict(payload: dict[str, Any], backend: str | None = None) -> ECMSketch:
     """Rebuild an ECM-sketch serialized by :func:`ecm_sketch_to_dict`.
 
     Args:
@@ -354,7 +355,7 @@ def ecm_sketch_from_dict(payload: Dict[str, Any], backend: Optional[str] = None)
 
 
 # -------------------------------------------------------- hierarchical stacks
-def hierarchical_to_dict(stack: HierarchicalECMSketch) -> Dict[str, Any]:
+def hierarchical_to_dict(stack: HierarchicalECMSketch) -> dict[str, Any]:
     """Serialize a hierarchical (dyadic) stack: one ECM-sketch per level."""
     return {
         "kind": "hierarchical_ecm_sketch",
@@ -375,7 +376,7 @@ def hierarchical_to_dict(stack: HierarchicalECMSketch) -> Dict[str, Any]:
 
 
 def hierarchical_from_dict(
-    payload: Dict[str, Any], backend: Optional[str] = None
+    payload: dict[str, Any], backend: str | None = None
 ) -> HierarchicalECMSketch:
     """Rebuild a stack serialized by :func:`hierarchical_to_dict`.
 
@@ -404,7 +405,7 @@ def hierarchical_from_dict(
 
 
 # ------------------------------------------------------- frequent-items tracker
-def tracker_to_dict(tracker: FrequentItemsTracker) -> Dict[str, Any]:
+def tracker_to_dict(tracker: FrequentItemsTracker) -> dict[str, Any]:
     """Serialize a keyed frequent-items tracker (sketch stack + dictionary).
 
     The key dictionary travels as the decoding list (keys in code order), so
@@ -427,7 +428,7 @@ def tracker_to_dict(tracker: FrequentItemsTracker) -> Dict[str, Any]:
     }
 
 
-def tracker_from_dict(payload: Dict[str, Any]) -> FrequentItemsTracker:
+def tracker_from_dict(payload: dict[str, Any]) -> FrequentItemsTracker:
     """Rebuild a tracker serialized by :func:`tracker_to_dict`."""
     _require(payload, "frequent_items_tracker")
     tracker = FrequentItemsTracker.__new__(FrequentItemsTracker)
@@ -445,7 +446,7 @@ def tracker_from_dict(payload: Dict[str, Any]) -> FrequentItemsTracker:
 
 
 # ------------------------------------------------------------------- JSON layer
-_TO_DICT: Dict[type, Callable[[Any], Dict[str, Any]]] = {
+_TO_DICT: dict[type, Callable[[Any], dict[str, Any]]] = {
     ExponentialHistogram: histogram_to_dict,
     DeterministicWave: wave_to_dict,
     RandomizedWave: randomized_wave_to_dict,
@@ -455,7 +456,7 @@ _TO_DICT: Dict[type, Callable[[Any], Dict[str, Any]]] = {
     FrequentItemsTracker: tracker_to_dict,
 }
 
-_FROM_DICT: Dict[str, Callable[[Dict[str, Any]], Any]] = {
+_FROM_DICT: dict[str, Callable[[dict[str, Any]], Any]] = {
     "exponential_histogram": histogram_from_dict,
     "deterministic_wave": wave_from_dict,
     "randomized_wave": randomized_wave_from_dict,
@@ -467,7 +468,7 @@ _FROM_DICT: Dict[str, Callable[[Dict[str, Any]], Any]] = {
 }
 
 
-def to_dict(obj: Union[Serializable, ECMConfig]) -> Dict[str, Any]:
+def to_dict(obj: Serializable | ECMConfig) -> dict[str, Any]:
     """Serialize any wire-format structure to its tagged dictionary form.
 
     Type-dispatching twin of :func:`dumps` without the JSON layer — callers
@@ -482,7 +483,7 @@ def to_dict(obj: Union[Serializable, ECMConfig]) -> Dict[str, Any]:
     return serializer(obj)
 
 
-def from_dict(payload: Dict[str, Any]) -> Union[Serializable, ECMConfig]:
+def from_dict(payload: dict[str, Any]) -> Serializable | ECMConfig:
     """Rebuild any structure from its tagged dictionary form (see :func:`to_dict`)."""
     if not isinstance(payload, dict) or "kind" not in payload:
         raise ConfigurationError("payload is missing the 'kind' tag")
@@ -492,12 +493,12 @@ def from_dict(payload: Dict[str, Any]) -> Union[Serializable, ECMConfig]:
     return deserializer(payload)
 
 
-def dumps(obj: Union[Serializable, ECMConfig]) -> bytes:
+def dumps(obj: Serializable | ECMConfig) -> bytes:
     """Serialize a sketch, synopsis or configuration to JSON bytes."""
     return json.dumps(to_dict(obj), separators=(",", ":")).encode("utf-8")
 
 
-def loads(data: bytes) -> Union[Serializable, ECMConfig]:
+def loads(data: bytes) -> Serializable | ECMConfig:
     """Deserialize JSON bytes produced by :func:`dumps`."""
     try:
         payload = json.loads(data.decode("utf-8"))

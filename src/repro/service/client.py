@@ -28,12 +28,14 @@ server passing one raises :class:`~repro.service.errors.PoolDisabledError`.
 """
 
 from __future__ import annotations
+import contextlib
 
 import asyncio
 import socket
 import time
 import warnings
-from typing import Any, Dict, Hashable, List, Optional, Sequence
+from collections.abc import Hashable, Sequence
+from typing import Any
 
 from .errors import (
     ProtocolError,
@@ -73,7 +75,7 @@ def wait_for_server(host: str = "127.0.0.1", port: int = 7600, timeout: float = 
     raise TimeoutError("no server listening on %s:%d after %.0f s" % (host, port, timeout))
 
 
-def _unwrap(response: Dict[str, Any]) -> Any:
+def _unwrap(response: dict[str, Any]) -> Any:
     if not isinstance(response, dict) or "ok" not in response:
         raise ProtocolError("malformed response: %r" % (response,))
     if not response["ok"]:
@@ -89,12 +91,12 @@ class ServiceClient:
         self._writer = writer
         #: Protocol version the server announced at handshake (``None``
         #: when the connection was opened with ``handshake=False``).
-        self.server_protocol_version: Optional[str] = None
+        self.server_protocol_version: str | None = None
 
     @classmethod
     async def connect(
         cls, host: str = "127.0.0.1", port: int = 7600, handshake: bool = True
-    ) -> "ServiceClient":
+    ) -> ServiceClient:
         """Open a connection and (by default) run the version handshake.
 
         Raises:
@@ -120,18 +122,16 @@ class ServiceClient:
     async def close(self) -> None:
         """Close the connection."""
         self._writer.close()
-        try:
+        with contextlib.suppress(ConnectionResetError, BrokenPipeError):
             await self._writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError):
-            pass
 
-    async def __aenter__(self) -> "ServiceClient":
+    async def __aenter__(self) -> ServiceClient:
         return self
 
     async def __aexit__(self, *exc_info: object) -> None:
         await self.close()
 
-    async def request(self, message: Dict[str, Any]) -> Any:
+    async def request(self, message: dict[str, Any]) -> Any:
         """Send one request and return its unwrapped result.
 
         Raises the typed exception for the response's error code on any
@@ -145,8 +145,8 @@ class ServiceClient:
         return _unwrap(decode_line(line))
 
     @staticmethod
-    def _message(op: str, tenant: Optional[str], **fields: Any) -> Dict[str, Any]:
-        message: Dict[str, Any] = {"op": op}
+    def _message(op: str, tenant: str | None, **fields: Any) -> dict[str, Any]:
+        message: dict[str, Any] = {"op": op}
         if tenant is not None:
             message["tenant"] = tenant
         for name, value in fields.items():
@@ -155,7 +155,7 @@ class ServiceClient:
         return message
 
     # ------------------------------------------------------------- handshake
-    async def hello(self) -> Dict[str, Any]:
+    async def hello(self) -> dict[str, Any]:
         """Exchange protocol versions; raises on an incompatible major."""
         result = dict(
             await self.request({"op": "hello", "protocol_version": PROTOCOL_VERSION})
@@ -181,7 +181,7 @@ class ServiceClient:
         """Live server counters, typed."""
         return ServerStats.from_payload(dict(await self.request({"op": "stats"})))
 
-    async def info(self) -> Dict[str, Any]:
+    async def info(self) -> dict[str, Any]:
         """Deprecated: use :meth:`get_info` (this returns its ``.raw``)."""
         warnings.warn(
             "ServiceClient.info() is deprecated; use get_info() (ServerInfo.raw "
@@ -191,7 +191,7 @@ class ServiceClient:
         )
         return (await self.get_info()).raw
 
-    async def stats(self) -> Dict[str, Any]:
+    async def stats(self) -> dict[str, Any]:
         """Deprecated: use :meth:`get_stats` (this returns its ``.raw``)."""
         warnings.warn(
             "ServiceClient.stats() is deprecated; use get_stats() (ServerStats.raw "
@@ -205,9 +205,9 @@ class ServiceClient:
         self,
         keys: Sequence[Hashable],
         clocks: Sequence[float],
-        values: Optional[Sequence[int]] = None,
+        values: Sequence[int] | None = None,
         site: int = 0,
-        tenant: Optional[str] = None,
+        tenant: str | None = None,
     ) -> int:
         message = self._message("ingest", tenant, site=site)
         message["keys"] = list(keys)
@@ -217,11 +217,11 @@ class ServiceClient:
         result = await self.request(message)
         return int(result["accepted"])
 
-    async def drain(self, tenant: Optional[str] = None) -> Optional[float]:
+    async def drain(self, tenant: str | None = None) -> float | None:
         result = await self.request(self._message("drain", tenant))
         return result.get("applied_clock")
 
-    async def expire(self, tenant: Optional[str] = None) -> Optional[float]:
+    async def expire(self, tenant: str | None = None) -> float | None:
         """Force one expiry sweep; returns the applied clock."""
         result = await self.request(self._message("expire", tenant))
         return result.get("applied_clock")
@@ -229,8 +229,8 @@ class ServiceClient:
     async def point(
         self,
         key: Hashable,
-        range_length: Optional[float] = None,
-        tenant: Optional[str] = None,
+        range_length: float | None = None,
+        tenant: str | None = None,
     ) -> float:
         message = self._message("point", tenant, range=range_length)
         message["key"] = key
@@ -240,8 +240,8 @@ class ServiceClient:
         self,
         lo: int,
         hi: int,
-        range_length: Optional[float] = None,
-        tenant: Optional[str] = None,
+        range_length: float | None = None,
+        tenant: str | None = None,
     ) -> float:
         return float(
             await self.request(self._message("range", tenant, lo=lo, hi=hi, range=range_length))
@@ -250,9 +250,9 @@ class ServiceClient:
     async def heavy_hitters(
         self,
         phi: float,
-        range_length: Optional[float] = None,
-        tenant: Optional[str] = None,
-    ) -> List[HeavyHitter]:
+        range_length: float | None = None,
+        tenant: str | None = None,
+    ) -> list[HeavyHitter]:
         rows = await self.request(
             self._message("heavy_hitters", tenant, phi=phi, range=range_length)
         )
@@ -261,8 +261,8 @@ class ServiceClient:
     async def quantile(
         self,
         fraction: float,
-        range_length: Optional[float] = None,
-        tenant: Optional[str] = None,
+        range_length: float | None = None,
+        tenant: str | None = None,
     ) -> int:
         return int(
             await self.request(
@@ -273,44 +273,44 @@ class ServiceClient:
     async def quantiles(
         self,
         fractions: Sequence[float],
-        range_length: Optional[float] = None,
-        tenant: Optional[str] = None,
-    ) -> List[int]:
+        range_length: float | None = None,
+        tenant: str | None = None,
+    ) -> list[int]:
         result = await self.request(
             self._message("quantiles", tenant, fractions=list(fractions), range=range_length)
         )
         return [int(key) for key in result]
 
     async def self_join(
-        self, range_length: Optional[float] = None, tenant: Optional[str] = None
+        self, range_length: float | None = None, tenant: str | None = None
     ) -> float:
         return float(await self.request(self._message("self_join", tenant, range=range_length)))
 
     async def arrivals(
-        self, range_length: Optional[float] = None, tenant: Optional[str] = None
+        self, range_length: float | None = None, tenant: str | None = None
     ) -> float:
         """Estimated in-window arrival total."""
         return float(await self.request(self._message("arrivals", tenant, range=range_length)))
 
     async def staleness(
-        self, now: Optional[float] = None, tenant: Optional[str] = None
+        self, now: float | None = None, tenant: str | None = None
     ) -> float:
         """Multisite answer staleness at stream clock ``now``."""
         return float(await self.request(self._message("staleness", tenant, now=now)))
 
     async def snapshot(
-        self, path: Optional[str] = None, tenant: Optional[str] = None
+        self, path: str | None = None, tenant: str | None = None
     ) -> str:
         result = await self.request(self._message("snapshot", tenant, path=path))
         return str(result["path"])
 
-    async def restart_shard(self, shard: int) -> Dict[str, Any]:
+    async def restart_shard(self, shard: int) -> dict[str, Any]:
         """Ask a sharded server to respawn one worker from its snapshot."""
         return dict(await self.request({"op": "restart_shard", "shard": shard}))
 
     # ------------------------------------------------------ tenant lifecycle
     async def create_tenant(
-        self, tenant: str, config: Optional[Dict[str, Any]] = None
+        self, tenant: str, config: dict[str, Any] | None = None
     ) -> TenantStats:
         """Create a tenant on a pooled server (optional config overrides)."""
         result = await self.request(self._message("tenant_create", tenant, config=config))
@@ -320,7 +320,7 @@ class ServiceClient:
         """Delete a tenant: its live state, snapshot and catalog entry."""
         await self.request(self._message("tenant_delete", tenant))
 
-    async def list_tenants(self) -> List[TenantDescription]:
+    async def list_tenants(self) -> list[TenantDescription]:
         """Describe every tenant in the pool's catalog."""
         rows = await self.request({"op": "tenant_list"})
         return [TenantDescription.from_payload(dict(row)) for row in rows]
@@ -330,7 +330,7 @@ class ServiceClient:
         result = await self.request(self._message("tenant_stats", tenant))
         return TenantStats.from_payload(dict(result))
 
-    async def pool_sweep(self) -> Dict[str, Any]:
+    async def pool_sweep(self) -> dict[str, Any]:
         """Run the pool's expiry + budget-enforcement sweep immediately."""
         return dict(await self.request({"op": "pool_sweep"}))
 
@@ -361,9 +361,9 @@ class SyncServiceClient:
         cls,
         host: str = "127.0.0.1",
         port: int = 7600,
-        timeout: Optional[float] = 30.0,
+        timeout: float | None = 30.0,
         handshake: bool = True,
-    ) -> "SyncServiceClient":
+    ) -> SyncServiceClient:
         """Open a blocking connection (and handshake) to a running server."""
         loop = asyncio.new_event_loop()
         try:
@@ -387,17 +387,17 @@ class SyncServiceClient:
         finally:
             self._loop.close()
 
-    def __enter__(self) -> "SyncServiceClient":
+    def __enter__(self) -> SyncServiceClient:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     @property
-    def server_protocol_version(self) -> Optional[str]:
+    def server_protocol_version(self) -> str | None:
         return self._client.server_protocol_version
 
-    def request(self, message: Dict[str, Any]) -> Any:
+    def request(self, message: dict[str, Any]) -> Any:
         """Send one request and return its unwrapped result."""
         return self._call(self._client.request(message))
 
@@ -405,7 +405,7 @@ class SyncServiceClient:
     def ping(self) -> str:
         return self._call(self._client.ping())
 
-    def hello(self) -> Dict[str, Any]:
+    def hello(self) -> dict[str, Any]:
         return self._call(self._client.hello())
 
     def get_info(self) -> ServerInfo:
@@ -414,7 +414,7 @@ class SyncServiceClient:
     def get_stats(self) -> ServerStats:
         return self._call(self._client.get_stats())
 
-    def info(self) -> Dict[str, Any]:
+    def info(self) -> dict[str, Any]:
         """Deprecated: use :meth:`get_info` (this returns its ``.raw``)."""
         warnings.warn(
             "SyncServiceClient.info() is deprecated; use get_info() (ServerInfo.raw "
@@ -424,7 +424,7 @@ class SyncServiceClient:
         )
         return self._call(self._client.get_info()).raw
 
-    def stats(self) -> Dict[str, Any]:
+    def stats(self) -> dict[str, Any]:
         """Deprecated: use :meth:`get_stats` (this returns its ``.raw``)."""
         warnings.warn(
             "SyncServiceClient.stats() is deprecated; use get_stats() (ServerStats.raw "
@@ -438,23 +438,23 @@ class SyncServiceClient:
         self,
         keys: Sequence[Hashable],
         clocks: Sequence[float],
-        values: Optional[Sequence[int]] = None,
+        values: Sequence[int] | None = None,
         site: int = 0,
-        tenant: Optional[str] = None,
+        tenant: str | None = None,
     ) -> int:
         return self._call(self._client.ingest(keys, clocks, values, site=site, tenant=tenant))
 
-    def drain(self, tenant: Optional[str] = None) -> Optional[float]:
+    def drain(self, tenant: str | None = None) -> float | None:
         return self._call(self._client.drain(tenant=tenant))
 
-    def expire(self, tenant: Optional[str] = None) -> Optional[float]:
+    def expire(self, tenant: str | None = None) -> float | None:
         return self._call(self._client.expire(tenant=tenant))
 
     def point(
         self,
         key: Hashable,
-        range_length: Optional[float] = None,
-        tenant: Optional[str] = None,
+        range_length: float | None = None,
+        tenant: str | None = None,
     ) -> float:
         return self._call(self._client.point(key, range_length, tenant=tenant))
 
@@ -462,70 +462,70 @@ class SyncServiceClient:
         self,
         lo: int,
         hi: int,
-        range_length: Optional[float] = None,
-        tenant: Optional[str] = None,
+        range_length: float | None = None,
+        tenant: str | None = None,
     ) -> float:
         return self._call(self._client.range_query(lo, hi, range_length, tenant=tenant))
 
     def heavy_hitters(
         self,
         phi: float,
-        range_length: Optional[float] = None,
-        tenant: Optional[str] = None,
-    ) -> List[HeavyHitter]:
+        range_length: float | None = None,
+        tenant: str | None = None,
+    ) -> list[HeavyHitter]:
         return self._call(self._client.heavy_hitters(phi, range_length, tenant=tenant))
 
     def quantile(
         self,
         fraction: float,
-        range_length: Optional[float] = None,
-        tenant: Optional[str] = None,
+        range_length: float | None = None,
+        tenant: str | None = None,
     ) -> int:
         return self._call(self._client.quantile(fraction, range_length, tenant=tenant))
 
     def quantiles(
         self,
         fractions: Sequence[float],
-        range_length: Optional[float] = None,
-        tenant: Optional[str] = None,
-    ) -> List[int]:
+        range_length: float | None = None,
+        tenant: str | None = None,
+    ) -> list[int]:
         return self._call(self._client.quantiles(fractions, range_length, tenant=tenant))
 
     def self_join(
-        self, range_length: Optional[float] = None, tenant: Optional[str] = None
+        self, range_length: float | None = None, tenant: str | None = None
     ) -> float:
         return self._call(self._client.self_join(range_length, tenant=tenant))
 
     def arrivals(
-        self, range_length: Optional[float] = None, tenant: Optional[str] = None
+        self, range_length: float | None = None, tenant: str | None = None
     ) -> float:
         return self._call(self._client.arrivals(range_length, tenant=tenant))
 
-    def staleness(self, now: Optional[float] = None, tenant: Optional[str] = None) -> float:
+    def staleness(self, now: float | None = None, tenant: str | None = None) -> float:
         return self._call(self._client.staleness(now, tenant=tenant))
 
-    def snapshot(self, path: Optional[str] = None, tenant: Optional[str] = None) -> str:
+    def snapshot(self, path: str | None = None, tenant: str | None = None) -> str:
         return self._call(self._client.snapshot(path, tenant=tenant))
 
-    def restart_shard(self, shard: int) -> Dict[str, Any]:
+    def restart_shard(self, shard: int) -> dict[str, Any]:
         return self._call(self._client.restart_shard(shard))
 
     # ------------------------------------------------------ tenant lifecycle
     def create_tenant(
-        self, tenant: str, config: Optional[Dict[str, Any]] = None
+        self, tenant: str, config: dict[str, Any] | None = None
     ) -> TenantStats:
         return self._call(self._client.create_tenant(tenant, config))
 
     def delete_tenant(self, tenant: str) -> None:
         self._call(self._client.delete_tenant(tenant))
 
-    def list_tenants(self) -> List[TenantDescription]:
+    def list_tenants(self) -> list[TenantDescription]:
         return self._call(self._client.list_tenants())
 
     def tenant_stats(self, tenant: str) -> TenantStats:
         return self._call(self._client.tenant_stats(tenant))
 
-    def pool_sweep(self) -> Dict[str, Any]:
+    def pool_sweep(self) -> dict[str, Any]:
         return self._call(self._client.pool_sweep())
 
     def shutdown(self) -> None:

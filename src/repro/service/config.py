@@ -10,7 +10,7 @@ identically parameterised service without re-specifying flags.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any
 
 from ..core.config import CounterType
 from ..core.errors import ConfigurationError
@@ -94,15 +94,15 @@ class ServiceConfig:
     period: float = 10_000.0
     batch_size: int = 1_024
     queue_chunks: int = 64
-    expire_every: Optional[float] = 5.0
-    snapshot_every: Optional[float] = None
-    snapshot_path: Optional[str] = None
-    max_arrivals: Optional[int] = None
+    expire_every: float | None = 5.0
+    snapshot_every: float | None = None
+    snapshot_path: str | None = None
+    max_arrivals: int | None = None
     seed: int = 0
-    shards: Optional[int] = None
+    shards: int | None = None
     pool: bool = False
-    pool_dir: Optional[str] = None
-    memory_budget_bytes: Optional[int] = None
+    pool_dir: str | None = None
+    memory_budget_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in SERVICE_MODES:
@@ -152,7 +152,7 @@ class ServiceConfig:
             raise ConfigurationError("pool_dir requires pool")
 
     # ------------------------------------------------------------- wire form
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         """Plain-dictionary form (JSON-compatible scalars only)."""
         return {
             "mode": self.mode,
@@ -179,7 +179,7 @@ class ServiceConfig:
         }
 
     @classmethod
-    def from_dict(cls, payload: Dict[str, Any]) -> "ServiceConfig":
+    def from_dict(cls, payload: dict[str, Any]) -> ServiceConfig:
         """Rebuild a configuration serialized by :meth:`to_dict`."""
         try:
             return cls(
@@ -209,9 +209,9 @@ class ServiceConfig:
             raise ConfigurationError("malformed service config payload: %s" % (exc,)) from exc
 
     # --------------------------------------------------------------- summary
-    def describe(self) -> Dict[str, Any]:
+    def describe(self) -> dict[str, Any]:
         """The subset of the configuration a client needs to build matching load."""
-        info: Dict[str, Any] = {
+        info: dict[str, Any] = {
             "mode": self.mode,
             "epsilon": self.epsilon,
             "window": self.window,

@@ -30,6 +30,7 @@ fails mid-batch.
 """
 
 from __future__ import annotations
+import contextlib
 
 import asyncio
 import math
@@ -37,7 +38,8 @@ import os
 import sys
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple, Union
+from collections.abc import Callable, Hashable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -68,7 +70,7 @@ __all__ = [
     "validate_keys_for_mode",
 ]
 
-ServiceState = Union[ECMSketch, HierarchicalECMSketch, PeriodicAggregationCoordinator]
+ServiceState = ECMSketch | HierarchicalECMSketch | PeriodicAggregationCoordinator
 
 
 #: Chunk size from which clock validation switches to the vectorized NumPy
@@ -77,7 +79,7 @@ ServiceState = Union[ECMSketch, HierarchicalECMSketch, PeriodicAggregationCoordi
 _VECTOR_VALIDATE_CUTOFF = 64
 
 
-def validate_clock_column(clocks: Sequence[float], previous: Optional[float]) -> None:
+def validate_clock_column(clocks: Sequence[float], previous: float | None) -> None:
     """Reject non-numeric, non-finite or out-of-order clocks, pre-ack.
 
     Finiteness matters for more than hygiene: every comparison against NaN is
@@ -145,7 +147,9 @@ def validate_keys_for_mode(keys: Sequence[Hashable], mode: str, universe_bits: i
         # happens here, before the ack.
         for key in keys:
             try:
-                hash(key)
+                # Hashability probe only — the salted value is discarded, so
+                # process-randomized hashing cannot leak into sketch state.
+                hash(key)  # reprolint: disable=RL001 -- probe, not partitioning
             except TypeError:
                 raise IngestRejectedError(
                     "keys must be hashable scalars, got %s" % (type(key).__name__,)
@@ -157,9 +161,9 @@ class _IngestChunk:
     """One validated, not-yet-applied column chunk."""
 
     site: int
-    keys: List[Hashable]
-    clocks: List[float]
-    values: Optional[List[int]]
+    keys: list[Hashable]
+    clocks: list[float]
+    values: list[int] | None
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -179,9 +183,9 @@ class SketchService:
     def __init__(
         self,
         config: ServiceConfig,
-        state: Optional[ServiceState] = None,
+        state: ServiceState | None = None,
         records_ingested: int = 0,
-        applied_clock: Optional[float] = None,
+        applied_clock: float | None = None,
     ) -> None:
         self.config = config
         self.state: ServiceState = state if state is not None else self._build_state(config)
@@ -190,15 +194,15 @@ class SketchService:
         self.ingest_apply_errors = 0
         self.background_errors = 0
         self.snapshots_written = 0
-        self.last_snapshot_path: Optional[str] = None
-        self._applied_clock: Optional[float] = applied_clock
-        self._submitted_clock: Optional[float] = applied_clock
+        self.last_snapshot_path: str | None = None
+        self._applied_clock: float | None = applied_clock
+        self._submitted_clock: float | None = applied_clock
         self._pending_arrivals = 0
         self._started_monotonic = time.monotonic()
         self._snapshot_lock = asyncio.Lock()
-        self._queue: Optional["asyncio.Queue[_IngestChunk]"] = None
-        self._ingest_task: Optional["asyncio.Task[None]"] = None
-        self._background_tasks: List["asyncio.Task[None]"] = []
+        self._queue: asyncio.Queue[_IngestChunk] | None = None
+        self._ingest_task: asyncio.Task[None] | None = None
+        self._background_tasks: list[asyncio.Task[None]] = []
         self._stopping = False
 
     # -------------------------------------------------------------- building
@@ -233,7 +237,7 @@ class SketchService:
         )
 
     @classmethod
-    def from_snapshot(cls, path: Union[str, os.PathLike]) -> "SketchService":
+    def from_snapshot(cls, path: str | os.PathLike) -> SketchService:
         """Rebuild a service from a snapshot written by :meth:`snapshot_now`."""
         from .snapshot import load_snapshot, service_state_from_snapshot
 
@@ -257,22 +261,20 @@ class SketchService:
                 asyncio.create_task(self._snapshot_loop(), name="sketch-snapshot")
             )
 
-    async def stop(self, drain: bool = True) -> Optional[str]:
+    async def stop(self, drain: bool = True) -> str | None:
         """Stop the service; optionally drain the queue and snapshot first.
 
         Returns:
             The path of the final snapshot, when one was written.
         """
         self._stopping = True
-        final_snapshot: Optional[str] = None
+        final_snapshot: str | None = None
         if drain and self._queue is not None:
             await self._queue.join()
         if self._ingest_task is not None:
             self._ingest_task.cancel()
-            try:
+            with contextlib.suppress(asyncio.CancelledError):
                 await self._ingest_task
-            except asyncio.CancelledError:
-                pass
             self._ingest_task = None
         for task in self._background_tasks:
             task.cancel()
@@ -293,7 +295,7 @@ class SketchService:
         self._queue = None
         return final_snapshot
 
-    async def __aenter__(self) -> "SketchService":
+    async def __aenter__(self) -> SketchService:
         await self.start()
         return self
 
@@ -305,7 +307,7 @@ class SketchService:
         self,
         keys: Sequence[Hashable],
         clocks: Sequence[float],
-        values: Optional[Sequence[int]],
+        values: Sequence[int] | None,
         site: int,
     ) -> _IngestChunk:
         if self._stopping or self._queue is None:
@@ -326,11 +328,12 @@ class SketchService:
             validate_values_column(values)
         mode = self.config.mode
         validate_keys_for_mode(keys, mode, self.config.universe_bits)
-        if mode == "multisite":
-            if not isinstance(site, int) or not (0 <= site < self.config.sites):
-                raise IngestRejectedError(
-                    "site must be an integer in [0, %d), got %r" % (self.config.sites, site)
-                )
+        if mode == "multisite" and (
+            not isinstance(site, int) or not (0 <= site < self.config.sites)
+        ):
+            raise IngestRejectedError(
+                "site must be an integer in [0, %d), got %r" % (self.config.sites, site)
+            )
         # Clocks are passed through as-is: count-based windows carry integer
         # clocks, and coercing them to float would change the serialized
         # state relative to a serial reference run (1 vs 1.0 on the wire).
@@ -349,7 +352,7 @@ class SketchService:
         self,
         keys: Sequence[Hashable],
         clocks: Sequence[float],
-        values: Optional[Sequence[int]] = None,
+        values: Sequence[int] | None = None,
         site: int = 0,
     ) -> int:
         """Validate and enqueue one chunk of arrivals; returns the accepted count.
@@ -413,7 +416,7 @@ class SketchService:
             # a sustained ingest flood instead of starving behind it.
             await asyncio.sleep(0)
 
-    def _apply_chunks(self, chunks: List[_IngestChunk]) -> None:
+    def _apply_chunks(self, chunks: list[_IngestChunk]) -> None:
         """Apply coalesced chunks in arrival order, grouped per site."""
         state = self.state
         batch_cap = self.config.batch_size
@@ -439,9 +442,9 @@ class SketchService:
                 # per micro-batch): hand the chunk's own lists to add_many —
                 # _validate_chunk already copied them, a second copy here
                 # would just be hot-path waste.
-                keys: List[Hashable] = head.keys
-                clocks: List[float] = head.clocks
-                values: Optional[List[int]] = head.values
+                keys: list[Hashable] = head.keys
+                clocks: list[float] = head.clocks
+                values: list[int] | None = head.values
             else:
                 keys = []
                 clocks = []
@@ -528,7 +531,7 @@ class SketchService:
             except Exception as exc:
                 self._background_failure("snapshot", exc)
 
-    async def snapshot_async(self, path: Optional[str] = None) -> str:
+    async def snapshot_async(self, path: str | None = None) -> str:
         """Snapshot without stalling the event loop for the disk write.
 
         The payload is built on the loop (that is what makes it a consistent
@@ -558,7 +561,7 @@ class SketchService:
         self.last_snapshot_path = path_written
         return path_written
 
-    def snapshot_now(self, path: Optional[str] = None) -> str:
+    def snapshot_now(self, path: str | None = None) -> str:
         """Write an atomic snapshot of the applied state; returns the path.
 
         Synchronous (blocks the caller, and the event loop when called from
@@ -578,11 +581,11 @@ class SketchService:
 
     # ---------------------------------------------------------------- queries
     @property
-    def applied_clock(self) -> Optional[float]:
+    def applied_clock(self) -> float | None:
         """Stream clock of the most recent *applied* arrival."""
         return self._applied_clock
 
-    def query(self, op: str, message: Dict[str, Any]) -> Any:
+    def query(self, op: str, message: dict[str, Any]) -> Any:
         """Answer one query operation against the live state.
 
         Raises:
@@ -614,7 +617,7 @@ class SketchService:
             )
         return self.state
 
-    def _query_point(self, message: Dict[str, Any]) -> float:
+    def _query_point(self, message: dict[str, Any]) -> float:
         key = _require_param(message, "key")
         range_length = message.get("range")
         state = self.state
@@ -624,13 +627,13 @@ class SketchService:
             return float(state.point_query(_as_int_key(key), range_length))
         return float(state.point_query(key, range_length))
 
-    def _query_range(self, message: Dict[str, Any]) -> float:
+    def _query_range(self, message: dict[str, Any]) -> float:
         stack = self._require_hierarchical()
         lo = _as_int_key(_require_param(message, "lo"))
         hi = _as_int_key(_require_param(message, "hi"))
         return float(stack.range_query(lo, hi, message.get("range")))
 
-    def _query_heavy_hitters(self, message: Dict[str, Any]) -> List[Tuple[int, float]]:
+    def _query_heavy_hitters(self, message: dict[str, Any]) -> list[tuple[int, float]]:
         stack = self._require_hierarchical()
         absolute = message.get("absolute")
         if absolute is None:
@@ -646,12 +649,12 @@ class SketchService:
             )
         return sorted(hitters.items(), key=lambda item: (-item[1], item[0]))
 
-    def _query_quantile(self, message: Dict[str, Any]) -> int:
+    def _query_quantile(self, message: dict[str, Any]) -> int:
         stack = self._require_hierarchical()
         fraction = float(_require_param(message, "fraction"))
         return int(stack.quantile(fraction, message.get("range")))
 
-    def _query_quantiles(self, message: Dict[str, Any]) -> List[int]:
+    def _query_quantiles(self, message: dict[str, Any]) -> list[int]:
         stack = self._require_hierarchical()
         fractions = _require_param(message, "fractions")
         if not isinstance(fractions, (list, tuple)) or not fractions:
@@ -659,7 +662,7 @@ class SketchService:
         return [int(key) for key in stack.quantiles([float(f) for f in fractions],
                                                     message.get("range"))]
 
-    def _query_self_join(self, message: Dict[str, Any]) -> float:
+    def _query_self_join(self, message: dict[str, Any]) -> float:
         state = self.state
         if isinstance(state, PeriodicAggregationCoordinator):
             return float(state.query_self_join(message.get("range")))
@@ -667,21 +670,21 @@ class SketchService:
             raise ModeMismatchError("self_join is not served in hierarchical mode")
         return float(state.self_join(message.get("range")))
 
-    def _query_arrivals(self, message: Dict[str, Any]) -> float:
+    def _query_arrivals(self, message: dict[str, Any]) -> float:
         state = self.state
         if isinstance(state, HierarchicalECMSketch):
             return float(state.estimate_total(message.get("range")))
         sketch = self._require_flat()
         return float(sketch.estimate_arrivals(message.get("range")))
 
-    def _query_staleness(self, message: Dict[str, Any]) -> float:
+    def _query_staleness(self, message: dict[str, Any]) -> float:
         coordinator = self._require_multisite()
         now = message.get("now", self._applied_clock)
         if now is None:
             raise EmptyStructureError("no arrivals applied yet")
         return float(coordinator.staleness(float(now)))
 
-    def _query_root_state(self, message: Dict[str, Any]) -> Dict[str, Any]:
+    def _query_root_state(self, message: dict[str, Any]) -> dict[str, Any]:
         """Serialized root aggregate of the latest round (multisite only).
 
         The shard router merges these per-worker roots with
@@ -698,7 +701,7 @@ class SketchService:
         }
 
     # ------------------------------------------------------------------ stats
-    def info(self) -> Dict[str, Any]:
+    def info(self) -> dict[str, Any]:
         """Static service parameters (what a client needs to build load)."""
         from .protocol import PROTOCOL_VERSION
 
@@ -706,7 +709,7 @@ class SketchService:
         info["protocol_version"] = PROTOCOL_VERSION
         return info
 
-    def stats(self) -> Dict[str, Any]:
+    def stats(self) -> dict[str, Any]:
         """Live service counters."""
         state = self.state
         memory: int
@@ -717,7 +720,7 @@ class SketchService:
         else:
             memory = state.memory_bytes()
             synopsis = state.synopsis_bytes()
-        stats: Dict[str, Any] = {
+        stats: dict[str, Any] = {
             "mode": self.config.mode,
             "backend": self.config.backend,
             "records_ingested": self.records_ingested,
@@ -749,7 +752,7 @@ class SketchService:
         )
 
 
-def _require_param(message: Dict[str, Any], name: str) -> Any:
+def _require_param(message: dict[str, Any], name: str) -> Any:
     if name not in message:
         raise InvalidParameterError("missing required parameter %r" % (name,))
     return message[name]
@@ -761,7 +764,7 @@ def _as_int_key(key: Any) -> int:
     return key
 
 
-_QUERY_HANDLERS: Dict[str, Callable[[SketchService, Dict[str, Any]], Any]] = {
+_QUERY_HANDLERS: dict[str, Callable[[SketchService, dict[str, Any]], Any]] = {
     "point": SketchService._query_point,
     "range": SketchService._query_range,
     "heavy_hitters": SketchService._query_heavy_hitters,

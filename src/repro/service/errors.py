@@ -19,7 +19,7 @@ maps to its exception class and a one-line description (rendered into
 
 from __future__ import annotations
 
-from typing import Any, ClassVar, Dict, Optional, Type
+from typing import Any, ClassVar
 
 from ..core.errors import ConfigurationError, EmptyStructureError
 
@@ -57,7 +57,7 @@ class ServiceError(Exception):
 
     code: ClassVar[str] = "INTERNAL"
 
-    def __init__(self, message: str = "", op: Optional[str] = None) -> None:
+    def __init__(self, message: str = "", op: str | None = None) -> None:
         super().__init__(message)
         self.op = op
 
@@ -72,7 +72,7 @@ class ServiceRequestError(ServiceError):
     """
 
     def __init__(
-        self, message: str = "", op: Optional[str] = None, wire_code: Optional[str] = None
+        self, message: str = "", op: str | None = None, wire_code: str | None = None
     ) -> None:
         super().__init__(message, op=op)
         if wire_code is not None:
@@ -182,7 +182,7 @@ class TenantEvictedError(ServiceRequestError):
 #: Error-code registry: code -> (exception class, one-line description).
 #: Rendered into docs/api.md; the gateway's HTTP status table covers exactly
 #: these codes (pinned by tests).
-ERROR_CODES: Dict[str, tuple] = {
+ERROR_CODES: dict[str, tuple] = {
     "PROTOCOL": (ProtocolError, "Malformed protocol line or message (not valid single-line JSON)."),
     "BAD_REQUEST": (BadRequestError, "Structurally invalid request: wrong types or missing fields."),
     "UNKNOWN_OP": (UnknownOperationError, "The request named an operation this server does not serve."),
@@ -214,12 +214,12 @@ ERROR_CODES: Dict[str, tuple] = {
     "INTERNAL": (ServiceRequestError, "Unexpected server-side failure."),
 }
 
-_CODE_TO_EXCEPTION: Dict[str, Type[ServiceRequestError]] = {
+_CODE_TO_EXCEPTION: dict[str, type[ServiceRequestError]] = {
     code: cls for code, (cls, _description) in ERROR_CODES.items() if code != "INTERNAL"
 }
 
 
-def error_envelope(exc: BaseException, op: Optional[str] = None) -> Dict[str, Any]:
+def error_envelope(exc: BaseException, op: str | None = None) -> dict[str, Any]:
     """Build the wire-form error envelope for one exception.
 
     Exceptions outside the service hierarchy map onto stable codes too:
@@ -243,7 +243,7 @@ def error_envelope(exc: BaseException, op: Optional[str] = None) -> Dict[str, An
     return {"code": code, "message": str(exc), "op": op}
 
 
-def exception_for_error(error: Any, prefix: Optional[str] = None) -> ServiceRequestError:
+def exception_for_error(error: Any, prefix: str | None = None) -> ServiceRequestError:
     """Rebuild the typed exception for one received error payload.
 
     Accepts the structured envelope (``{"code", "message", "op"}``) and, for

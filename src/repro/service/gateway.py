@@ -34,11 +34,13 @@ otherwise; ``fractions`` accepts a comma-separated list.
 """
 
 from __future__ import annotations
+import contextlib
 
 import asyncio
 import json
 import signal
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from collections.abc import Callable
+from typing import Any
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 from .client import ServiceClient
@@ -55,7 +57,7 @@ __all__ = ["STATUS_FOR_CODE", "GatewayServer", "run_gateway", "status_for_code"]
 #: HTTP status for each protocol error code.  Codes the registry does not
 #: know (a newer server's) fall back to 500 — fail loud, not mislabelled.
 #: ``NOT_FOUND``/``METHOD_NOT_ALLOWED`` are gateway-level routing codes.
-STATUS_FOR_CODE: Dict[str, int] = {
+STATUS_FOR_CODE: dict[str, int] = {
     "PROTOCOL": 400,
     "BAD_REQUEST": 400,
     "UNKNOWN_OP": 400,
@@ -119,15 +121,21 @@ class _BackendChannel:
     def __init__(self, host: str, port: int) -> None:
         self.host = host
         self.port = port
-        self._client: Optional[ServiceClient] = None
+        self._client: ServiceClient | None = None
         self._lock = asyncio.Lock()
 
-    async def request(self, message: Dict[str, Any]) -> Any:
+    async def request(self, message: dict[str, Any]) -> Any:
+        # The lock intentionally serializes the whole round-trip: a channel
+        # is ONE backend connection, and the TCP protocol is one-request-
+        # one-response per connection (no interleaving), so peers queueing
+        # behind the await is the design, not the RL003 race.
         async with self._lock:
             if self._client is None:
-                self._client = await ServiceClient.connect(self.host, self.port)
+                self._client = await ServiceClient.connect(  # reprolint: disable=RL003
+                    self.host, self.port
+                )
             try:
-                return await self._client.request(message)
+                return await self._client.request(message)  # reprolint: disable=RL003
             except (ConnectionError, OSError) as exc:
                 client, self._client = self._client, None
                 await client.close()
@@ -176,7 +184,7 @@ class GatewayServer:
         self.host = host
         self.port = port
         self.requests_served = 0
-        self._server: Optional[asyncio.AbstractServer] = None
+        self._server: asyncio.AbstractServer | None = None
         self._shutdown_event = asyncio.Event()
 
     # ------------------------------------------------------------- lifecycle
@@ -206,7 +214,7 @@ class GatewayServer:
             self._server = None
         await self.backend.close()
 
-    async def __aenter__(self) -> "GatewayServer":
+    async def __aenter__(self) -> GatewayServer:
         await self.start()
         return self
 
@@ -236,15 +244,13 @@ class GatewayServer:
             pass
         finally:
             writer.close()
-            try:
+            with contextlib.suppress(ConnectionResetError, BrokenPipeError):
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
 
     async def _handle_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[int, Dict[str, Any]]:
-        op: Optional[str] = None
+    ) -> tuple[int, dict[str, Any]]:
+        op: str | None = None
         try:
             method, path, params, body = await self._read_request(reader)
             message = self._route(method, path, params, body)
@@ -263,7 +269,7 @@ class GatewayServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[str, List[str], Dict[str, Any], Optional[Dict[str, Any]]]:
+    ) -> tuple[str, list[str], dict[str, Any], dict[str, Any] | None]:
         request_line = (await reader.readline()).decode("latin-1").rstrip("\r\n")
         parts = request_line.split()
         if len(parts) != 3:
@@ -282,7 +288,7 @@ class GatewayServer:
                     raise _RouteError("BAD_REQUEST", "malformed Content-Length") from None
         if content_length > _MAX_BODY_BYTES:
             raise _RouteError("BAD_REQUEST", "request body too large")
-        body: Optional[Dict[str, Any]] = None
+        body: dict[str, Any] | None = None
         if content_length:
             raw = await reader.readexactly(content_length)
             try:
@@ -301,10 +307,10 @@ class GatewayServer:
     def _route(
         self,
         method: str,
-        path: List[str],
-        params: Dict[str, Any],
-        body: Optional[Dict[str, Any]],
-    ) -> Dict[str, Any]:
+        path: list[str],
+        params: dict[str, Any],
+        body: dict[str, Any] | None,
+    ) -> dict[str, Any]:
         """Translate one HTTP request into one protocol message."""
         if not path or path[0] != "v1":
             raise _RouteError("NOT_FOUND", "unknown path (the API lives under /v1)")
@@ -329,17 +335,17 @@ class GatewayServer:
     def _route_tenants(
         self,
         method: str,
-        route: List[str],
-        params: Dict[str, Any],
-        body: Optional[Dict[str, Any]],
-    ) -> Dict[str, Any]:
+        route: list[str],
+        params: dict[str, Any],
+        body: dict[str, Any] | None,
+    ) -> dict[str, Any]:
         if not route:
             self._require(method, "GET", "tenants")
             return {"op": "tenant_list"}
         tenant = route[0]
         if len(route) == 1:
             if method == "PUT":
-                message: Dict[str, Any] = {"op": "tenant_create", "tenant": tenant}
+                message: dict[str, Any] = {"op": "tenant_create", "tenant": tenant}
                 if body:
                     message["config"] = body
                 return message
@@ -372,7 +378,7 @@ async def run_gateway(
     backend_port: int = 7600,
     host: str = "127.0.0.1",
     port: int = 8080,
-    ready: Optional[Callable[[int], None]] = None,
+    ready: Callable[[int], None] | None = None,
     label: str = "repro-gateway",
 ) -> int:
     """Boot a gateway, serve until SIGTERM/SIGINT, return an exit code."""
@@ -381,11 +387,9 @@ async def run_gateway(
     loop = asyncio.get_running_loop()
     installed = []
     for signum in (signal.SIGTERM, signal.SIGINT):
-        try:
+        with contextlib.suppress(NotImplementedError, RuntimeError):
             loop.add_signal_handler(signum, gateway._shutdown_event.set)
             installed.append(signum)
-        except (NotImplementedError, RuntimeError):  # pragma: no cover - windows
-            pass
     try:
         print(
             "%s: listening on %s:%d (backend %s:%d)"

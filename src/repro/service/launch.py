@@ -17,13 +17,13 @@ connect-polling loops.  The differences matter for flakiness:
 """
 
 from __future__ import annotations
+import contextlib
 
 import os
 import re
 import subprocess
 import sys
 import threading
-from typing import Dict, List, Optional
 
 __all__ = ["ServeProcess", "repro_env"]
 
@@ -35,7 +35,7 @@ _BANNER = re.compile(r"^(?P<label>[A-Za-z0-9_.-]+): listening on (?P<host>\S+):(
 _READY_TIMEOUT = 120.0
 
 
-def repro_env(extra: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+def repro_env(extra: dict[str, str] | None = None) -> dict[str, str]:
     """Subprocess environment with this checkout's ``src/`` on PYTHONPATH."""
     env = dict(os.environ)
     src = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
@@ -69,15 +69,15 @@ class ServeProcess:
     def __init__(
         self,
         *args: object,
-        env: Optional[Dict[str, str]] = None,
+        env: dict[str, str] | None = None,
         label: str = "repro-serve",
         subcommand: str = "serve",
     ) -> None:
         self.label = label
         self.command = [sys.executable, "-m", "repro", subcommand, "--port", "0"]
         self.command.extend(str(argument) for argument in args)
-        self.port: Optional[int] = None
-        self._lines: List[str] = []
+        self.port: int | None = None
+        self._lines: list[str] = []
         self._lock = threading.Lock()
         self._ready = threading.Event()
         self.process = subprocess.Popen(
@@ -114,7 +114,7 @@ class ServeProcess:
             return "".join(self._lines)
 
     @property
-    def returncode(self) -> Optional[int]:
+    def returncode(self) -> int | None:
         return self.process.poll()
 
     def wait_ready(self, timeout: float = _READY_TIMEOUT) -> int:
@@ -158,7 +158,7 @@ class ServeProcess:
         self._reader.join(timeout=10.0)
         return self.process.returncode if self.process.returncode is not None else -1
 
-    def __enter__(self) -> "ServeProcess":
+    def __enter__(self) -> ServeProcess:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
@@ -166,8 +166,6 @@ class ServeProcess:
         # themselves; anything still running here is torn down hard.
         if self.process.poll() is None:
             self.process.kill()
-            try:
+            with contextlib.suppress(subprocess.TimeoutExpired):
                 self.process.wait(30.0)
-            except subprocess.TimeoutExpired:
-                pass
         self._reader.join(timeout=10.0)

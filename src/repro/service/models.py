@@ -12,7 +12,7 @@ destructures the old ``(key, estimate)`` pairs keeps working unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, NamedTuple, Optional
+from typing import Any, NamedTuple
 
 __all__ = ["HeavyHitter", "ServerInfo", "ServerStats", "TenantDescription", "TenantStats"]
 
@@ -34,11 +34,11 @@ class ServerInfo:
     epsilon: float
     window: float
     pool: bool
-    shards: Optional[int]
-    raw: Dict[str, Any] = field(repr=False)
+    shards: int | None
+    raw: dict[str, Any] = field(repr=False)
 
     @classmethod
-    def from_payload(cls, payload: Dict[str, Any]) -> "ServerInfo":
+    def from_payload(cls, payload: dict[str, Any]) -> ServerInfo:
         shards = payload.get("shards")
         return cls(
             mode=str(payload.get("mode", "")),
@@ -67,12 +67,12 @@ class ServerStats:
     uptime_seconds: float
     draining: bool
     pool: bool
-    applied_clock: Optional[float]
-    memory_bytes: Optional[int]
-    raw: Dict[str, Any] = field(repr=False)
+    applied_clock: float | None
+    memory_bytes: int | None
+    raw: dict[str, Any] = field(repr=False)
 
     @classmethod
-    def from_payload(cls, payload: Dict[str, Any]) -> "ServerStats":
+    def from_payload(cls, payload: dict[str, Any]) -> ServerStats:
         memory = payload.get("memory_bytes", payload.get("accounted_memory_bytes"))
         return cls(
             records_ingested=int(payload.get("records_ingested", 0)),
@@ -94,13 +94,13 @@ class TenantDescription:
     mode: str
     backend: str
     records_ingested: int
-    applied_clock: Optional[float]
-    snapshot_path: Optional[str]
-    memory_bytes: Optional[int]
-    raw: Dict[str, Any] = field(repr=False)
+    applied_clock: float | None
+    snapshot_path: str | None
+    memory_bytes: int | None
+    raw: dict[str, Any] = field(repr=False)
 
     @classmethod
-    def from_payload(cls, payload: Dict[str, Any]) -> "TenantDescription":
+    def from_payload(cls, payload: dict[str, Any]) -> TenantDescription:
         memory = payload.get("memory_bytes")
         return cls(
             tenant=str(payload["tenant"]),
@@ -122,12 +122,12 @@ class TenantStats:
     tenant: str
     resident: bool
     records_ingested: int
-    applied_clock: Optional[float]
-    memory_bytes: Optional[int]
-    raw: Dict[str, Any] = field(repr=False)
+    applied_clock: float | None
+    memory_bytes: int | None
+    raw: dict[str, Any] = field(repr=False)
 
     @classmethod
-    def from_payload(cls, payload: Dict[str, Any]) -> "TenantStats":
+    def from_payload(cls, payload: dict[str, Any]) -> TenantStats:
         memory = payload.get("memory_bytes")
         return cls(
             tenant=str(payload.get("tenant", "")),

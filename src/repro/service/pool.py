@@ -30,15 +30,19 @@ triggers a restore; it never observes half a tenant.
 """
 
 from __future__ import annotations
+import contextlib
 
 import asyncio
+import functools
 import json
 import os
 import re
 import sqlite3
 import sys
 import time
-from typing import Any, Dict, Hashable, List, Optional, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from collections.abc import Callable, Hashable, Sequence
+from typing import Any, TypeVar
 
 from ..core.errors import ConfigurationError
 from .config import ServiceConfig
@@ -54,6 +58,8 @@ from .errors import (
 )
 
 __all__ = ["TenantCatalog", "TenantPool", "TENANT_ID_PATTERN"]
+
+_T = TypeVar("_T")
 
 #: Valid tenant ids: path-safe (snapshots are named after them), 1-128 chars.
 TENANT_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.:-]{0,127}$")
@@ -97,10 +103,17 @@ class TenantCatalog:
     """SQLite-backed tenant catalog (id -> config + lifecycle metadata).
 
     Single-writer by construction: only the pool that owns the directory
-    touches it, from one event loop, so plain autocommit-per-statement
-    durability is enough.  On open, residency flags left behind by a crash
-    are cleared — those tenants' last eviction snapshots (if any) are their
-    durable state, exactly like a tenant evicted before the crash.
+    touches it, so plain autocommit-per-statement durability is enough.  On
+    open, residency flags left behind by a crash are cleared — those
+    tenants' last eviction snapshots (if any) are their durable state,
+    exactly like a tenant evicted before the crash.
+
+    Threading: the synchronous methods are the catalog's surface (scripts
+    and tests call them directly), but the pool's async paths route every
+    one of them through :meth:`call`, which runs the statement on the
+    catalog's own single worker thread — a SQLite commit is an fsync, and
+    an fsync on the event loop stalls ingest, queries and heartbeats
+    together.  One worker thread keeps the single-writer ordering.
     """
 
     def __init__(self, path: str) -> None:
@@ -108,17 +121,37 @@ class TenantCatalog:
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        self._connection = sqlite3.connect(path)
+        # check_same_thread=False because statements run on the catalog's
+        # worker thread via call() but open/close may happen on the caller's;
+        # the single-worker executor serializes all access.
+        self._connection = sqlite3.connect(path, check_same_thread=False)
         self._connection.row_factory = sqlite3.Row
         self._connection.execute(_SCHEMA)
         # Crash recovery: anything marked resident belongs to a dead process.
         self._connection.execute("UPDATE tenants SET resident = 0 WHERE resident != 0")
         self._connection.commit()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="tenant-catalog"
+        )
+
+    async def call(self, method: Callable[..., _T], /, *args: Any) -> _T:
+        """Run one synchronous catalog method off the event loop.
+
+        ``await catalog.call(catalog.touch, tenant, now, seq)`` executes the
+        statement on the catalog's single worker thread, so the commit's
+        fsync never runs on the loop.  This is the only way the pool's async
+        paths are allowed to reach the catalog.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, functools.partial(method, *args))
 
     def close(self) -> None:
         self._connection.close()
+        # wait=False: close() itself may be running on the worker thread
+        # (via call()), and a thread cannot join itself.
+        self._executor.shutdown(wait=False)
 
-    def create(self, tenant: str, config_payload: Dict[str, Any], now: float, seq: int) -> None:
+    def create(self, tenant: str, config_payload: dict[str, Any], now: float, seq: int) -> None:
         try:
             self._connection.execute(
                 "INSERT INTO tenants (tenant, config, created_at, last_touched, touch_seq, "
@@ -129,7 +162,7 @@ class TenantCatalog:
             raise TenantExistsError("tenant %r already exists" % (tenant,)) from None
         self._connection.commit()
 
-    def get(self, tenant: str) -> Optional[sqlite3.Row]:
+    def get(self, tenant: str) -> sqlite3.Row | None:
         cursor = self._connection.execute("SELECT * FROM tenants WHERE tenant = ?", (tenant,))
         return cursor.fetchone()
 
@@ -138,7 +171,7 @@ class TenantCatalog:
         self._connection.commit()
         return cursor.rowcount > 0
 
-    def rows(self) -> List[sqlite3.Row]:
+    def rows(self) -> list[sqlite3.Row]:
         cursor = self._connection.execute("SELECT * FROM tenants ORDER BY tenant")
         return list(cursor.fetchall())
 
@@ -164,7 +197,7 @@ class TenantCatalog:
         tenant: str,
         snapshot_path: str,
         records_ingested: int,
-        applied_clock: Optional[float],
+        applied_clock: float | None,
     ) -> None:
         self._connection.execute(
             "UPDATE tenants SET resident = 0, snapshot_path = ?, records_ingested = ?, "
@@ -206,14 +239,18 @@ class TenantPool:
         self.evictions = 0
         self.restores = 0
         self.background_errors = 0
-        self.last_snapshot_path: Optional[str] = None
-        self._resident: Dict[str, SketchService] = {}
-        self._locks: Dict[str, asyncio.Lock] = {}
+        self.last_snapshot_path: str | None = None
+        self._resident: dict[str, SketchService] = {}
+        self._locks: dict[str, asyncio.Lock] = {}
         self._touch_seq = self.catalog.max_touch_seq()
+        # Cached catalog cardinality so stats()/info()/__repr__ stay
+        # synchronous without a SQLite query on the event loop; maintained
+        # on create/delete, seeded from the durable catalog here.
+        self._tenant_count = self.catalog.count()
         self._started = False
         self._stopping = False
         self._started_monotonic = time.monotonic()
-        self._sweep_task: Optional["asyncio.Task[None]"] = None
+        self._sweep_task: asyncio.Task[None] | None = None
 
     # ------------------------------------------------------------- lifecycle
     async def start(self) -> None:
@@ -226,17 +263,15 @@ class TenantPool:
         if self.config.expire_every is not None:
             self._sweep_task = asyncio.create_task(self._sweep_loop(), name="pool-sweep")
 
-    async def stop(self, drain: bool = True) -> Optional[str]:
+    async def stop(self, drain: bool = True) -> str | None:
         """Stop the pool; with ``drain`` every resident tenant is evicted
         (drained + snapshotted), making the catalog + snapshots a complete
         restart manifest.  Returns the pool directory when drained."""
         self._stopping = True
         if self._sweep_task is not None:
             self._sweep_task.cancel()
-            try:
+            with contextlib.suppress(asyncio.CancelledError):
                 await self._sweep_task
-            except asyncio.CancelledError:
-                pass
             self._sweep_task = None
         if drain:
             for tenant in list(self._resident):
@@ -246,11 +281,11 @@ class TenantPool:
             for tenant, service in list(self._resident.items()):
                 await service.stop(drain=False)
                 del self._resident[tenant]
-        self.catalog.close()
+        await self.catalog.call(self.catalog.close)
         self._started = False
         return self.last_snapshot_path
 
-    async def __aenter__(self) -> "TenantPool":
+    async def __aenter__(self) -> TenantPool:
         await self.start()
         return self
 
@@ -273,12 +308,12 @@ class TenantPool:
         return tenant
 
     @staticmethod
-    def _require_tenant(tenant: Optional[str]) -> str:
+    def _require_tenant(tenant: str | None) -> str:
         if tenant is None:
             raise TenantRequiredError("this operation requires a 'tenant' on a pooled server")
         return TenantPool._validate_tenant_id(tenant)
 
-    def tenant_config(self, overrides: Dict[str, Any]) -> ServiceConfig:
+    def tenant_config(self, overrides: dict[str, Any]) -> ServiceConfig:
         """Default tenant configuration with per-tenant overrides applied.
 
         Only sketch-state parameters (:data:`TENANT_CONFIG_KEYS`) may be
@@ -311,9 +346,9 @@ class TenantPool:
     def _snapshot_path_for(self, tenant: str) -> str:
         return os.path.join(self.pool_dir, "tenants", "%s.snapshot.json" % tenant)
 
-    def _touch(self, tenant: str) -> None:
+    async def _touch(self, tenant: str) -> None:
         self._touch_seq += 1
-        self.catalog.touch(tenant, time.time(), self._touch_seq)
+        await self.catalog.call(self.catalog.touch, tenant, time.time(), self._touch_seq)
 
     # ------------------------------------------------------- residency + LRU
     async def _acquire(self, tenant: str) -> SketchService:
@@ -329,13 +364,13 @@ class TenantPool:
             raise ServiceStoppedError("pool is not accepting requests")
         service = self._resident.get(tenant)
         if service is None:
-            row = self.catalog.get(tenant)
+            row = await self.catalog.call(self.catalog.get, tenant)
             if row is None:
                 raise TenantNotFoundError("unknown tenant %r" % (tenant,))
             service = await self._restore(tenant, row)
             self._resident[tenant] = service
-            self.catalog.mark_resident(tenant)
-        self._touch(tenant)
+            await self.catalog.call(self.catalog.mark_resident, tenant)
+        await self._touch(tenant)
         return service
 
     async def _restore(self, tenant: str, row: sqlite3.Row) -> SketchService:
@@ -371,11 +406,14 @@ class TenantPool:
             path = self._snapshot_path_for(tenant)
             # stop(drain=True) empties the ingest queue; the tenant config
             # carries no snapshot_path, so the final write below is the only
-            # one — through the same atomic snapshot format as PR 5.
+            # one — through the same atomic snapshot format as PR 5.  The
+            # write and the catalog commit both run off-loop: eviction of a
+            # cold tenant must not stall the hot ones.
             await service.stop(drain=True)
-            service.snapshot_now(path)
-            self.catalog.mark_evicted(
-                tenant, path, service.records_ingested, service.applied_clock
+            await service.snapshot_async(path)
+            await self.catalog.call(
+                self.catalog.mark_evicted,
+                tenant, path, service.records_ingested, service.applied_clock,
             )
             del self._resident[tenant]
             self.evictions += 1
@@ -390,14 +428,14 @@ class TenantPool:
         stats = service.stats()
         return int(stats["memory_bytes"])
 
-    def _eviction_order(self) -> List[str]:
+    async def _eviction_order(self) -> list[str]:
         """Resident tenants, coldest (smallest touch_seq) first."""
-        sequence: Dict[str, int] = {}
-        for row in self.catalog.rows():
+        sequence: dict[str, int] = {}
+        for row in await self.catalog.call(self.catalog.rows):
             sequence[row["tenant"]] = int(row["touch_seq"])
         return sorted(self._resident, key=lambda tenant: sequence.get(tenant, 0))
 
-    async def _enforce_budget(self) -> List[str]:
+    async def _enforce_budget(self) -> list[str]:
         """Evict cold tenants until the accounted total fits the budget.
 
         Never evicts the last (hottest) resident: a single tenant larger
@@ -407,9 +445,9 @@ class TenantPool:
         budget = self.config.memory_budget_bytes
         if budget is None:
             return []
-        evicted: List[str] = []
+        evicted: list[str] = []
         while self.accounted_bytes() > budget and len(self._resident) > 1:
-            for tenant in self._eviction_order():
+            for tenant in await self._eviction_order():
                 if await self._evict(tenant):
                     evicted.append(tenant)
                     break
@@ -417,7 +455,7 @@ class TenantPool:
                 break
         return evicted
 
-    async def sweep(self) -> Dict[str, Any]:
+    async def sweep(self) -> dict[str, Any]:
         """Expire out-of-window state and enforce the budget, immediately."""
         for tenant in list(self._resident):
             async with self._lock_for(tenant):
@@ -449,54 +487,59 @@ class TenantPool:
 
     # ------------------------------------------------------ tenant lifecycle
     async def tenant_create(
-        self, tenant: str, overrides: Optional[Dict[str, Any]] = None
-    ) -> Dict[str, Any]:
+        self, tenant: str, overrides: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
         """Create a tenant (resident immediately); returns its description."""
         tenant = self._require_tenant(tenant)
         if self._stopping or not self._started:
             raise ServiceStoppedError("pool is not accepting requests")
         config = self.tenant_config(overrides or {})
         async with self._lock_for(tenant):
-            if tenant in self._resident or self.catalog.get(tenant) is not None:
+            existing = tenant in self._resident or (
+                await self.catalog.call(self.catalog.get, tenant) is not None
+            )
+            if existing:
                 raise TenantExistsError("tenant %r already exists" % (tenant,))
             self._touch_seq += 1
-            self.catalog.create(tenant, config.to_dict(), time.time(), self._touch_seq)
+            await self.catalog.call(
+                self.catalog.create, tenant, config.to_dict(), time.time(), self._touch_seq
+            )
             service = SketchService(config)
             await service.start()
             self._resident[tenant] = service
             self.tenants_created += 1
+            self._tenant_count += 1
         await self._enforce_budget()
         return await self.tenant_stats(tenant)
 
-    async def tenant_delete(self, tenant: str) -> Dict[str, Any]:
+    async def tenant_delete(self, tenant: str) -> dict[str, Any]:
         """Delete a tenant: stop it, drop its snapshot and catalog row."""
         tenant = self._require_tenant(tenant)
         async with self._lock_for(tenant):
             service = self._resident.pop(tenant, None)
             if service is not None:
                 await service.stop(drain=False)
-            existed = self.catalog.delete(tenant)
+            existed = await self.catalog.call(self.catalog.delete, tenant)
             if not existed:
                 raise TenantNotFoundError("unknown tenant %r" % (tenant,))
-            try:
+            self._tenant_count -= 1
+            with contextlib.suppress(FileNotFoundError):
                 os.unlink(self._snapshot_path_for(tenant))
-            except FileNotFoundError:
-                pass
         self._locks.pop(tenant, None)
         return {"deleted": tenant}
 
-    async def tenant_list(self) -> List[Dict[str, Any]]:
+    async def tenant_list(self) -> list[dict[str, Any]]:
         """Describe every tenant in the catalog (resident or evicted)."""
         listing = []
-        for row in self.catalog.rows():
+        for row in await self.catalog.call(self.catalog.rows):
             listing.append(self._describe_row(row))
         return listing
 
-    def _describe_row(self, row: sqlite3.Row) -> Dict[str, Any]:
+    def _describe_row(self, row: sqlite3.Row) -> dict[str, Any]:
         tenant = row["tenant"]
         config = json.loads(row["config"])
         service = self._resident.get(tenant)
-        description: Dict[str, Any] = {
+        description: dict[str, Any] = {
             "tenant": tenant,
             "resident": service is not None,
             "mode": config.get("mode"),
@@ -514,7 +557,7 @@ class TenantPool:
         }
         return description
 
-    async def tenant_stats(self, tenant: str) -> Dict[str, Any]:
+    async def tenant_stats(self, tenant: str) -> dict[str, Any]:
         """Live counters of one tenant (restores it when evicted)."""
         tenant = self._require_tenant(tenant)
         async with self._lock_for(tenant):
@@ -529,9 +572,9 @@ class TenantPool:
         self,
         keys: Sequence[Hashable],
         clocks: Sequence[float],
-        values: Optional[Sequence[int]] = None,
+        values: Sequence[int] | None = None,
         site: int = 0,
-        tenant: Optional[str] = None,
+        tenant: str | None = None,
     ) -> int:
         """Validate and enqueue one chunk into one tenant's service."""
         name = self._require_tenant(tenant)
@@ -542,10 +585,10 @@ class TenantPool:
         await self._enforce_budget()
         return accepted
 
-    async def drain(self, tenant: Optional[str] = None) -> Dict[str, Any]:
+    async def drain(self, tenant: str | None = None) -> dict[str, Any]:
         """Apply-barrier for one tenant, or for every resident tenant."""
         if tenant is None:
-            clocks: List[Any] = []
+            clocks: list[Any] = []
             for name in list(self._resident):
                 async with self._lock_for(name):
                     service = self._resident.get(name)
@@ -560,7 +603,7 @@ class TenantPool:
             await service.drain()
             return {"applied_clock": service.applied_clock}
 
-    async def expire_now(self, tenant: Optional[str] = None) -> Dict[str, Any]:
+    async def expire_now(self, tenant: str | None = None) -> dict[str, Any]:
         """Expire out-of-window state in one tenant (or all resident)."""
         if tenant is None:
             result = await self.sweep()
@@ -572,7 +615,7 @@ class TenantPool:
             return {"applied_clock": service.applied_clock}
 
     async def snapshot_async(
-        self, path: Optional[str] = None, tenant: Optional[str] = None
+        self, path: str | None = None, tenant: str | None = None
     ) -> str:
         """Snapshot one tenant (staying resident), or every resident tenant.
 
@@ -591,14 +634,16 @@ class TenantPool:
             destination = path if path is not None else self._snapshot_path_for(name)
             await service.drain()
             written = await service.snapshot_async(destination)
-            self.catalog.mark_evicted(  # records the durable watermarks ...
-                name, written, service.records_ingested, service.applied_clock
+            await self.catalog.call(  # records the durable watermarks ...
+                self.catalog.mark_evicted,
+                name, written, service.records_ingested, service.applied_clock,
             )
-            self.catalog.mark_resident(name)  # ... without leaving residency
+            # ... without leaving residency
+            await self.catalog.call(self.catalog.mark_resident, name)
         self.last_snapshot_path = written
         return written
 
-    async def query(self, op: str, message: Dict[str, Any]) -> Any:
+    async def query(self, op: str, message: dict[str, Any]) -> Any:
         """Answer one query op against the tenant named in the message."""
         name = self._require_tenant(message.get("tenant"))
         async with self._lock_for(name):
@@ -607,26 +652,26 @@ class TenantPool:
 
     # ------------------------------------------------------------------ info
     @property
-    def applied_clock(self) -> Optional[float]:
+    def applied_clock(self) -> float | None:
         clocks = [service.applied_clock for service in self._resident.values()]
         finite = [clock for clock in clocks if clock is not None]
         return max(finite) if finite else None
 
-    def info(self) -> Dict[str, Any]:
+    def info(self) -> dict[str, Any]:
         from .protocol import PROTOCOL_VERSION
 
         info = self.config.describe()
         info["protocol_version"] = PROTOCOL_VERSION
         info["pool"] = True
-        info["tenants"] = self.catalog.count()
+        info["tenants"] = self._tenant_count
         return info
 
-    def stats(self) -> Dict[str, Any]:
+    def stats(self) -> dict[str, Any]:
         return {
             "mode": self.config.mode,
             "backend": self.config.backend,
             "pool": True,
-            "tenants_total": self.catalog.count(),
+            "tenants_total": self._tenant_count,
             "tenants_resident": len(self._resident),
             "tenants_created": self.tenants_created,
             "evictions": self.evictions,
@@ -641,7 +686,7 @@ class TenantPool:
 
     def __repr__(self) -> str:
         return "TenantPool(tenants=%d, resident=%d, ingested=%d)" % (
-            self.catalog.count() if self._started else -1,
+            self._tenant_count if self._started else -1,
             len(self._resident),
             self.records_ingested,
         )

@@ -60,7 +60,7 @@ Operations (see :meth:`repro.service.server.SketchServer` for dispatch):
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional
+from typing import Any
 
 from .errors import ProtocolError, VersionMismatchError, error_envelope
 
@@ -118,7 +118,7 @@ def check_protocol_version(version: str) -> None:
         )
 
 
-def encode_message(message: Dict[str, Any]) -> bytes:
+def encode_message(message: dict[str, Any]) -> bytes:
     """Encode one message as a compact JSON line (trailing newline included)."""
     try:
         text = json.dumps(message, separators=(",", ":"), allow_nan=False)
@@ -139,7 +139,7 @@ def _reject_constant(token: str) -> float:
     raise ValueError("non-finite JSON constant %r is not accepted" % (token,))
 
 
-def decode_line(line: bytes) -> Dict[str, Any]:
+def decode_line(line: bytes) -> dict[str, Any]:
     """Decode one protocol line into a message dictionary."""
     if len(line) > MAX_LINE_BYTES:
         raise ProtocolError(
@@ -154,9 +154,9 @@ def decode_line(line: bytes) -> Dict[str, Any]:
     return payload
 
 
-def ok_response(result: Any, request_id: Optional[Any] = None) -> Dict[str, Any]:
+def ok_response(result: Any, request_id: Any | None = None) -> dict[str, Any]:
     """Successful response envelope."""
-    response: Dict[str, Any] = {"ok": True, "result": result}
+    response: dict[str, Any] = {"ok": True, "result": result}
     if request_id is not None:
         response["id"] = request_id
     return response
@@ -165,11 +165,11 @@ def ok_response(result: Any, request_id: Optional[Any] = None) -> Dict[str, Any]
 def error_response(
     code: str,
     message: str,
-    op: Optional[str] = None,
-    request_id: Optional[Any] = None,
-) -> Dict[str, Any]:
+    op: str | None = None,
+    request_id: Any | None = None,
+) -> dict[str, Any]:
     """Typed failure envelope: ``{"ok": false, "error": {code, message, op}}``."""
-    response: Dict[str, Any] = {
+    response: dict[str, Any] = {
         "ok": False,
         "error": {"code": code, "message": message, "op": op},
     }
@@ -180,12 +180,12 @@ def error_response(
 
 def error_response_for(
     exc: BaseException,
-    op: Optional[str] = None,
-    request_id: Optional[Any] = None,
-) -> Dict[str, Any]:
+    op: str | None = None,
+    request_id: Any | None = None,
+) -> dict[str, Any]:
     """Failure envelope for one exception, via the error-code registry."""
     envelope = error_envelope(exc, op)
-    response: Dict[str, Any] = {"ok": False, "error": envelope}
+    response: dict[str, Any] = {"ok": False, "error": envelope}
     if request_id is not None:
         response["id"] = request_id
     return response

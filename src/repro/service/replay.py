@@ -22,7 +22,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any
 
 from ..core.errors import ConfigurationError
 from ..streams.generators import IntegerZipfTrace, make_trace
@@ -42,15 +42,15 @@ class ReplayReport:
     elapsed_seconds: float = 0.0
     drain_seconds: float = 0.0
     achieved_rate: float = 0.0
-    target_rate: Optional[float] = None
+    target_rate: float | None = None
     queries: int = 0
     query_errors: int = 0
     query_p50_ms: float = 0.0
     query_p99_ms: float = 0.0
     query_max_ms: float = 0.0
-    server_stats: Dict[str, Any] = field(default_factory=dict)
+    server_stats: dict[str, Any] = field(default_factory=dict)
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         """Plain-dictionary form for ``--json`` output."""
         return {
             "records": self.records,
@@ -68,7 +68,7 @@ class ReplayReport:
             "server_stats": self.server_stats,
         }
 
-    def format_lines(self) -> List[str]:
+    def format_lines(self) -> list[str]:
         """Human-readable report lines for the CLI."""
         lines = [
             "records replayed:       %d (%d batches%s)"
@@ -106,11 +106,11 @@ class ReplayReport:
 
 
 def build_replay_stream(
-    info: Dict[str, Any],
+    info: dict[str, Any],
     records: int,
     seed: int = 7,
     dataset: str = "wc98",
-) -> Tuple[Stream, List[float]]:
+) -> tuple[Stream, list[float]]:
     """Build the trace and per-record clocks matching a server's info.
 
     Returns:
@@ -133,7 +133,7 @@ def build_replay_stream(
     return stream, clocks
 
 
-def _percentile(sorted_values: List[float], fraction: float) -> float:
+def _percentile(sorted_values: list[float], fraction: float) -> float:
     if not sorted_values:
         return 0.0
     index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
@@ -141,14 +141,14 @@ def _percentile(sorted_values: List[float], fraction: float) -> float:
 
 
 def _plan_connections(
-    keys: List[Any],
-    clocks: List[float],
+    keys: list[Any],
+    clocks: list[float],
     mode: str,
     sites: int,
     shards: int,
     groups: int,
     batch_size: int,
-) -> List[List[Tuple[List[Any], List[float], int]]]:
+) -> list[list[tuple[list[Any], list[float], int]]]:
     """Partition the trace into per-connection batch plans.
 
     The sharded router enforces arrival-clock ordering *per shard*, so
@@ -159,7 +159,7 @@ def _plan_connections(
     the shard owning their site.  With one group the plan is the classic
     single-connection replay (global batches, round-robin sites).
     """
-    plans: List[List[Tuple[List[Any], List[float], int]]] = [[] for _ in range(groups)]
+    plans: list[list[tuple[list[Any], list[float], int]]] = [[] for _ in range(groups)]
     if groups <= 1:
         batch_index = 0
         for offset in range(0, len(keys), batch_size):
@@ -186,7 +186,7 @@ def _plan_connections(
     from .router import shard_column
 
     owners = shard_column(keys, shards)
-    pending: List[Tuple[List[Any], List[float]]] = [([], []) for _ in range(groups)]
+    pending: list[tuple[list[Any], list[float]]] = [([], []) for _ in range(groups)]
     for index, owner in enumerate(owners):
         connection = owner % groups
         batch_keys, batch_clocks = pending[connection]
@@ -206,7 +206,7 @@ async def run_replay(
     port: int = 7600,
     records: int = 50_000,
     batch_size: int = 1_024,
-    target_rate: Optional[float] = None,
+    target_rate: float | None = None,
     query_every: int = 8,
     seed: int = 7,
     dataset: str = "wc98",
@@ -240,17 +240,17 @@ async def run_replay(
     if connections <= 0:
         raise ConfigurationError("connections must be positive, got %r" % (connections,))
     client = await ServiceClient.connect(host, port)
-    extra_clients: List[ServiceClient] = []
+    extra_clients: list[ServiceClient] = []
     try:
         info = (await client.get_info()).raw
         trace, clocks = build_replay_stream(info, records, seed=seed, dataset=dataset)
-        keys: List[Any] = [record.key for record in trace]
+        keys: list[Any] = [record.key for record in trace]
         mode = info.get("mode", "flat")
         sites = int(info.get("sites", 1)) if mode == "multisite" else 1
         shards = int(info.get("shards") or 1)
         groups = max(1, min(connections, shards))
-        probe_keys: List[Any] = keys[:: max(1, len(keys) // max(1, sample_keys))][:sample_keys]
-        latencies: List[float] = []
+        probe_keys: list[Any] = keys[:: max(1, len(keys) // max(1, sample_keys))][:sample_keys]
+        latencies: list[float] = []
         report = ReplayReport(target_rate=target_rate, connections=groups)
 
         plans = _plan_connections(keys, clocks, mode, sites, shards, groups, batch_size)
@@ -314,7 +314,7 @@ async def run_replay(
 
 
 async def _issue_query(
-    client: ServiceClient, mode: str, probe_keys: List[Any], batch_index: int
+    client: ServiceClient, mode: str, probe_keys: list[Any], batch_index: int
 ) -> None:
     """Rotate through the query mix a live deployment would serve."""
     key = probe_keys[batch_index % len(probe_keys)] if probe_keys else None

@@ -46,6 +46,7 @@ pre-crash state.  A single crashed worker restarts the same way
 """
 
 from __future__ import annotations
+import contextlib
 
 import asyncio
 import json
@@ -53,7 +54,8 @@ import os
 import time
 import zlib
 from collections import deque
-from typing import Any, Awaitable, Callable, Deque, Dict, Hashable, List, Optional, Sequence
+from collections.abc import Awaitable, Callable, Hashable, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -145,7 +147,7 @@ def shard_of(key: Hashable, shards: int) -> int:
 _VECTOR_PARTITION_CUTOFF = 64
 
 
-def shard_column(keys: Sequence[Hashable], shards: int) -> List[int]:
+def shard_column(keys: Sequence[Hashable], shards: int) -> list[int]:
     """Shard index of every key in a column (vectorized for integer keys).
 
     The NumPy path reproduces :func:`shard_of` bit-for-bit: unsigned 64-bit
@@ -180,16 +182,16 @@ class _ShardChannel:
         self, shard_id: int, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.shard_id = shard_id
-        self.closed_reason: Optional[str] = None
+        self.closed_reason: str | None = None
         self._reader = reader
         self._writer = writer
-        self._pending: Deque["asyncio.Future[Any]"] = deque()
+        self._pending: deque[asyncio.Future[Any]] = deque()
         self._reader_task = asyncio.create_task(
             self._read_loop(), name="repro-shard%d-reader" % shard_id
         )
 
     @classmethod
-    async def connect(cls, shard_id: int, host: str, port: int) -> "_ShardChannel":
+    async def connect(cls, shard_id: int, host: str, port: int) -> _ShardChannel:
         reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES)
         channel = cls(shard_id, reader, writer)
         # Version handshake before any real traffic: an incompatible worker
@@ -210,13 +212,13 @@ class _ShardChannel:
             ) from exc
         return channel
 
-    def submit(self, message: Dict[str, Any]) -> "asyncio.Future[Any]":
+    def submit(self, message: dict[str, Any]) -> asyncio.Future[Any]:
         """Write one request; returns the future of its response."""
         if self.closed_reason is not None:
             raise ShardUnavailableError(
                 "shard %d is down (%s)" % (self.shard_id, self.closed_reason)
             )
-        future: "asyncio.Future[Any]" = asyncio.get_running_loop().create_future()
+        future: asyncio.Future[Any] = asyncio.get_running_loop().create_future()
         self._pending.append(future)
         try:
             self._writer.write(encode_message(message))
@@ -279,16 +281,12 @@ class _ShardChannel:
 
     async def close(self) -> None:
         self._reader_task.cancel()
-        try:
+        with contextlib.suppress(asyncio.CancelledError):
             await self._reader_task
-        except asyncio.CancelledError:
-            pass
         self._fail_pending("closed")
         self._writer.close()
-        try:
+        with contextlib.suppress(ConnectionResetError, BrokenPipeError, OSError):
             await self._writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError, OSError):
-            pass
 
 
 class LocalShardBackend:
@@ -308,13 +306,13 @@ class LocalShardBackend:
     def __init__(self, config: ServiceConfig, host: str = "127.0.0.1") -> None:
         self.num_shards = int(config.shards or 0)
         self._configs = [worker_config(config, shard) for shard in range(self.num_shards)]
-        self.services: List[Optional[SketchService]] = [None] * self.num_shards
+        self.services: list[SketchService | None] = [None] * self.num_shards
 
-    async def start(self, restore_paths: Dict[int, str]) -> None:
+    async def start(self, restore_paths: dict[int, str]) -> None:
         for shard in range(self.num_shards):
             await self._boot(shard, restore_paths.get(shard))
 
-    async def _boot(self, shard: int, restore: Optional[str]) -> None:
+    async def _boot(self, shard: int, restore: str | None) -> None:
         if restore is not None:
             service = SketchService.from_snapshot(restore)
         else:
@@ -325,13 +323,13 @@ class LocalShardBackend:
     def alive(self, shard: int) -> bool:
         return self.services[shard] is not None
 
-    def submit(self, shard: int, message: Dict[str, Any]) -> "Awaitable[Any]":
+    def submit(self, shard: int, message: dict[str, Any]) -> Awaitable[Any]:
         service = self.services[shard]
         if service is None:
             raise ShardUnavailableError("shard %d is down" % (shard,))
         return asyncio.ensure_future(dispatch_service_op(service, message))
 
-    async def restart(self, shard: int, restore: Optional[str]) -> None:
+    async def restart(self, shard: int, restore: str | None) -> None:
         service = self.services[shard]
         self.services[shard] = None
         if service is not None:
@@ -350,7 +348,7 @@ class LocalShardBackend:
         if service is not None:
             asyncio.ensure_future(service.stop(drain=False))
 
-    def describe(self, shard: int) -> Dict[str, Any]:
+    def describe(self, shard: int) -> dict[str, Any]:
         return {"shard": shard, "alive": self.alive(shard), "pid": None, "port": None}
 
     async def stop(self, graceful: bool = True) -> None:
@@ -367,10 +365,10 @@ class ProcessShardBackend:
         self.num_shards = int(config.shards or 0)
         self.host = host
         self._config = config
-        self.processes: List[Optional[ShardProcess]] = [None] * self.num_shards
-        self.channels: List[Optional[_ShardChannel]] = [None] * self.num_shards
+        self.processes: list[ShardProcess | None] = [None] * self.num_shards
+        self.channels: list[_ShardChannel | None] = [None] * self.num_shards
 
-    async def start(self, restore_paths: Dict[int, str]) -> None:
+    async def start(self, restore_paths: dict[int, str]) -> None:
         # Spawn every process first (they boot concurrently), then collect
         # ports and connect.  A boot failure kills the already-spawned rest.
         for shard in range(self.num_shards):
@@ -402,14 +400,14 @@ class ProcessShardBackend:
             and channel.closed_reason is None
         )
 
-    def submit(self, shard: int, message: Dict[str, Any]) -> "Awaitable[Any]":
+    def submit(self, shard: int, message: dict[str, Any]) -> Awaitable[Any]:
         if not self.alive(shard):
             raise ShardUnavailableError("shard %d is down" % (shard,))
         channel = self.channels[shard]
         assert channel is not None
         return channel.submit(message)
 
-    async def restart(self, shard: int, restore: Optional[str]) -> None:
+    async def restart(self, shard: int, restore: str | None) -> None:
         channel = self.channels[shard]
         process = self.processes[shard]
         self.channels[shard] = None
@@ -429,7 +427,7 @@ class ProcessShardBackend:
         if process is not None:
             process.kill()
 
-    def describe(self, shard: int) -> Dict[str, Any]:
+    def describe(self, shard: int) -> dict[str, Any]:
         process = self.processes[shard]
         return {
             "shard": shard,
@@ -445,10 +443,8 @@ class ProcessShardBackend:
             acks = []
             for channel in self.channels:
                 if channel is not None and channel.closed_reason is None:
-                    try:
+                    with contextlib.suppress(ShardUnavailableError):
                         acks.append(channel.submit({"op": "shutdown"}))
-                    except ShardUnavailableError:
-                        pass
             if acks:
                 await asyncio.gather(*acks, return_exceptions=True)
         for shard, channel in enumerate(self.channels):
@@ -500,8 +496,8 @@ class ShardRouter:
             if local
             else ProcessShardBackend(config, host=host)
         )
-        self._high_water: List[Optional[float]] = [None] * self.num_shards
-        self._restore_paths: Dict[int, str] = {}
+        self._high_water: list[float | None] = [None] * self.num_shards
+        self._restore_paths: dict[int, str] = {}
         self._snapshot_epoch = 0
         self._snapshot_lock = asyncio.Lock()
         self._started = False
@@ -510,13 +506,13 @@ class ShardRouter:
         self.records_ingested = 0
         self.ingest_batches = 0
         self.snapshots_written = 0
-        self.last_snapshot_path: Optional[str] = None
+        self.last_snapshot_path: str | None = None
         # Multisite: global site id -> (owning shard, site id local to it).
-        self._site_shard: List[int] = []
-        self._site_local: List[int] = []
+        self._site_shard: list[int] = []
+        self._site_local: list[int] = []
         if config.mode == "multisite" and not config.pool:
             for shard in range(self.num_shards):
-                for local_site, site in enumerate(
+                for local_site, _site in enumerate(
                     sites_of_shard(config.sites, self.num_shards, shard)
                 ):
                     self._site_shard.append(shard)
@@ -527,10 +523,10 @@ class ShardRouter:
     def from_manifest(
         cls,
         path: str,
-        overrides: Optional[ServiceConfig] = None,
+        overrides: ServiceConfig | None = None,
         local: bool = False,
         host: str = "127.0.0.1",
-    ) -> "ShardRouter":
+    ) -> ShardRouter:
         """Rebuild a router from a shard manifest written by ``snapshot``.
 
         The manifest's configuration pins everything that determines sketch
@@ -603,10 +599,10 @@ class ShardRouter:
             int(shard_stats.get("records_ingested", 0)) for shard_stats in stats
         )
 
-    async def stop(self, drain: bool = True) -> Optional[str]:
+    async def stop(self, drain: bool = True) -> str | None:
         """Drain, final-snapshot (when configured and healthy), stop workers."""
         self._stopping = True
-        final_path: Optional[str] = None
+        final_path: str | None = None
         if self._started:
             degraded = self.degraded_shards()
             if drain and not degraded:
@@ -629,7 +625,7 @@ class ShardRouter:
         self._started = False
         return final_path
 
-    async def __aenter__(self) -> "ShardRouter":
+    async def __aenter__(self) -> ShardRouter:
         await self.start()
         return self
 
@@ -638,13 +634,13 @@ class ShardRouter:
 
     # ----------------------------------------------------------------- state
     @property
-    def applied_clock(self) -> Optional[float]:
+    def applied_clock(self) -> float | None:
         """Highest ingest high-water mark across shards (equals the applied
         clock once :meth:`drain` has resolved)."""
         marks = [mark for mark in self._high_water if mark is not None]
         return max(marks) if marks else None
 
-    def degraded_shards(self) -> List[int]:
+    def degraded_shards(self) -> list[int]:
         """Shards that are down (dead worker or broken connection)."""
         if not self._started:
             return []
@@ -666,7 +662,7 @@ class ShardRouter:
                 )
             )
 
-    async def _gather(self, futures: Sequence["Awaitable[Any]"]) -> List[Any]:
+    async def _gather(self, futures: Sequence[Awaitable[Any]]) -> list[Any]:
         """Await all submissions; raise the first failure after all settle.
 
         ``return_exceptions`` keeps every future retrieved even when one
@@ -679,7 +675,7 @@ class ShardRouter:
                 raise result
         return list(results)
 
-    async def _fan(self, message: Dict[str, Any]) -> List[Any]:
+    async def _fan(self, message: dict[str, Any]) -> list[Any]:
         """Send one message to every shard; per-shard results in shard order."""
         self._require_started()
         self._require_all_shards()
@@ -696,32 +692,32 @@ class ShardRouter:
             raise ShardUnavailableError("shard %d is down" % (shard,))
         return shard
 
-    async def _tenant_submit(self, tenant: Optional[str], message: Dict[str, Any]) -> Any:
+    async def _tenant_submit(self, tenant: str | None, message: dict[str, Any]) -> Any:
         name = TenantPool._require_tenant(tenant)
         shard = self._tenant_shard(name)
         results = await self._gather([self.workers.submit(shard, message)])
         return results[0]
 
     async def tenant_create(
-        self, tenant: str, overrides: Optional[Dict[str, Any]] = None
-    ) -> Dict[str, Any]:
-        message: Dict[str, Any] = {"op": "tenant_create", "tenant": tenant}
+        self, tenant: str, overrides: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        message: dict[str, Any] = {"op": "tenant_create", "tenant": tenant}
         if overrides is not None:
             message["config"] = overrides
         return await self._tenant_submit(tenant, message)
 
-    async def tenant_delete(self, tenant: str) -> Dict[str, Any]:
+    async def tenant_delete(self, tenant: str) -> dict[str, Any]:
         return await self._tenant_submit(tenant, {"op": "tenant_delete", "tenant": tenant})
 
-    async def tenant_stats(self, tenant: str) -> Dict[str, Any]:
+    async def tenant_stats(self, tenant: str) -> dict[str, Any]:
         return await self._tenant_submit(tenant, {"op": "tenant_stats", "tenant": tenant})
 
-    async def tenant_list(self) -> List[Dict[str, Any]]:
+    async def tenant_list(self) -> list[dict[str, Any]]:
         listings = await self._fan({"op": "tenant_list"})
         merged = [entry for listing in listings for entry in listing]
         return sorted(merged, key=lambda entry: entry["tenant"])
 
-    async def sweep(self) -> Dict[str, Any]:
+    async def sweep(self) -> dict[str, Any]:
         reports = await self._fan({"op": "pool_sweep"})
         return {
             "accounted_bytes": sum(int(report["accounted_bytes"]) for report in reports),
@@ -735,9 +731,9 @@ class ShardRouter:
         self,
         keys: Sequence[Hashable],
         clocks: Sequence[float],
-        values: Optional[Sequence[int]] = None,
+        values: Sequence[int] | None = None,
         site: int = 0,
-        tenant: Optional[str] = None,
+        tenant: str | None = None,
     ) -> int:
         """Partition one chunk across shards and await every worker's ack.
 
@@ -840,10 +836,10 @@ class ShardRouter:
         self,
         keys: Sequence[Hashable],
         clocks: Sequence[float],
-        values: Optional[Sequence[int]],
-    ) -> Dict[int, Dict[str, Any]]:
+        values: Sequence[int] | None,
+    ) -> dict[int, dict[str, Any]]:
         shard_ids = shard_column(keys, self.num_shards)
-        parts: Dict[int, Dict[str, Any]] = {}
+        parts: dict[int, dict[str, Any]] = {}
         for index, shard in enumerate(shard_ids):
             message = parts.get(shard)
             if message is None:
@@ -860,7 +856,7 @@ class ShardRouter:
                 message["values"].append(values[index])
         return parts
 
-    async def drain(self, tenant: Optional[str] = None) -> Any:
+    async def drain(self, tenant: str | None = None) -> Any:
         """Barrier: resolves once every shard has applied its acknowledged
         arrivals.  Raises :class:`ShardUnavailableError` if any shard is
         down (its acknowledged tail cannot be applied)."""
@@ -874,7 +870,7 @@ class ShardRouter:
         await self._fan({"op": "drain"})
         return None
 
-    async def expire_now(self, tenant: Optional[str] = None) -> Any:
+    async def expire_now(self, tenant: str | None = None) -> Any:
         if self.config.pool:
             if tenant is not None:
                 return await self._tenant_submit(tenant, {"op": "expire", "tenant": tenant})
@@ -884,7 +880,7 @@ class ShardRouter:
         return None
 
     # --------------------------------------------------------------- queries
-    async def query(self, op: str, message: Dict[str, Any]) -> Any:
+    async def query(self, op: str, message: dict[str, Any]) -> Any:
         if self.config.pool:
             # A tenant lives wholly on its owner shard: forward the query
             # verbatim, no cross-shard merge semantics involved.
@@ -901,10 +897,10 @@ class ShardRouter:
             raise ShardUnavailableError("shard %d is down" % (shard,))
         return shard
 
-    async def _fan_sum(self, message: Dict[str, Any]) -> float:
+    async def _fan_sum(self, message: dict[str, Any]) -> float:
         return float(sum(float(result) for result in await self._fan(message)))
 
-    async def _query_point(self, message: Dict[str, Any]) -> float:
+    async def _query_point(self, message: dict[str, Any]) -> float:
         key = _require_param(message, "key")
         if self.config.mode == "multisite":
             # Every worker coordinates a block of sites; the key's frequency
@@ -913,13 +909,13 @@ class ShardRouter:
         shard = self._owner_shard(key)
         return float(await self.workers.submit(shard, message))
 
-    async def _query_arrivals(self, message: Dict[str, Any]) -> float:
+    async def _query_arrivals(self, message: dict[str, Any]) -> float:
         return await self._fan_sum(message)
 
-    async def _query_range(self, message: Dict[str, Any]) -> float:
+    async def _query_range(self, message: dict[str, Any]) -> float:
         return await self._fan_sum(message)
 
-    async def _query_self_join(self, message: Dict[str, Any]) -> float:
+    async def _query_self_join(self, message: dict[str, Any]) -> float:
         mode = self.config.mode
         if mode == "hierarchical":
             raise ModeMismatchError("self_join is not served in hierarchical mode")
@@ -941,14 +937,14 @@ class ShardRouter:
         now = max(clocks) if clocks else None
         return float(merged.self_join(message.get("range"), now=now))
 
-    async def _query_staleness(self, message: Dict[str, Any]) -> float:
+    async def _query_staleness(self, message: dict[str, Any]) -> float:
         now = message.get("now", self.applied_clock)
         if now is None:
             raise EmptyStructureError("no arrivals applied yet")
         results = await self._fan({"op": "staleness", "now": float(now)})
         return float(max(float(result) for result in results))
 
-    async def _query_heavy_hitters(self, message: Dict[str, Any]) -> List[Any]:
+    async def _query_heavy_hitters(self, message: dict[str, Any]) -> list[Any]:
         range_length = message.get("range")
         absolute = message.get("absolute")
         if absolute is None:
@@ -966,7 +962,7 @@ class ShardRouter:
         return sorted(merged, key=lambda item: (-item[1], item[0]))
 
     async def _cumulative(
-        self, upper: int, range_length: Optional[float], cache: Dict[int, float]
+        self, upper: int, range_length: float | None, cache: dict[int, float]
     ) -> float:
         estimate = cache.get(upper)
         if estimate is None:
@@ -980,8 +976,8 @@ class ShardRouter:
         self,
         fraction: float,
         total: float,
-        range_length: Optional[float],
-        cache: Dict[int, float],
+        range_length: float | None,
+        cache: dict[int, float],
     ) -> int:
         # The exact binary search of HierarchicalECMSketch.quantile, with
         # each cumulative probe answered by a fanned range query — summing
@@ -996,7 +992,7 @@ class ShardRouter:
                 lo = mid + 1
         return lo
 
-    async def _quantile_total(self, range_length: Optional[float]) -> float:
+    async def _quantile_total(self, range_length: float | None) -> float:
         total = await self._fan_sum({"op": "arrivals", "range": range_length})
         if total <= 0.0:
             raise EmptyStructureError(
@@ -1011,50 +1007,48 @@ class ShardRouter:
             raise ConfigurationError("fraction must be in [0, 1], got %r" % (fraction,))
         return fraction
 
-    async def _query_quantile(self, message: Dict[str, Any]) -> int:
+    async def _query_quantile(self, message: dict[str, Any]) -> int:
         fraction = self._validate_fraction(_require_param(message, "fraction"))
         range_length = message.get("range")
         total = await self._quantile_total(range_length)
         return await self._quantile_search(fraction, total, range_length, {})
 
-    async def _query_quantiles(self, message: Dict[str, Any]) -> List[int]:
+    async def _query_quantiles(self, message: dict[str, Any]) -> list[int]:
         fractions = _require_param(message, "fractions")
         if not isinstance(fractions, (list, tuple)) or not fractions:
             raise InvalidParameterError("fractions must be a non-empty list")
         validated = [self._validate_fraction(fraction) for fraction in fractions]
         range_length = message.get("range")
         total = await self._quantile_total(range_length)
-        cache: Dict[int, float] = {}
+        cache: dict[int, float] = {}
         return [
             await self._quantile_search(fraction, total, range_length, cache)
             for fraction in validated
         ]
 
-    async def _query_root_state(self, message: Dict[str, Any]) -> Any:
+    async def _query_root_state(self, message: dict[str, Any]) -> Any:
         results = await self._fan(message)
         return results[0] if self.num_shards == 1 else results
 
     # ------------------------------------------------------------ inspection
-    def info(self) -> Dict[str, Any]:
+    def info(self) -> dict[str, Any]:
         info = self.config.describe()
         info["protocol_version"] = PROTOCOL_VERSION
         return info
 
-    async def stats(self) -> Dict[str, Any]:
+    async def stats(self) -> dict[str, Any]:
         """Aggregated live counters plus per-shard detail and health."""
         self._require_started()
-        futures: Dict[int, "Awaitable[Any]"] = {}
+        futures: dict[int, Awaitable[Any]] = {}
         for shard in range(self.num_shards):
             if self.workers.alive(shard):
-                try:
+                with contextlib.suppress(ShardUnavailableError):
                     futures[shard] = self.workers.submit(shard, {"op": "stats"})
-                except ShardUnavailableError:
-                    pass
         settled = await asyncio.gather(*futures.values(), return_exceptions=True)
-        per_shard: Dict[int, Optional[Dict[str, Any]]] = {
+        per_shard: dict[int, dict[str, Any] | None] = {
             shard: None for shard in range(self.num_shards)
         }
-        for shard, result in zip(futures.keys(), settled):
+        for shard, result in zip(futures.keys(), settled, strict=False):
             if not isinstance(result, BaseException):
                 per_shard[shard] = result
 
@@ -1122,7 +1116,7 @@ class ShardRouter:
 
     # ----------------------------------------------------------- persistence
     async def snapshot_async(
-        self, path: Optional[str] = None, tenant: Optional[str] = None
+        self, path: str | None = None, tenant: str | None = None
     ) -> str:
         """Fan per-shard snapshots out, then atomically write the manifest.
 
@@ -1188,15 +1182,13 @@ class ShardRouter:
             self._restore_paths = shard_paths
             self._snapshot_epoch = epoch
             for old_path in superseded:
-                try:
+                with contextlib.suppress(OSError):
                     os.unlink(old_path)
-                except OSError:
-                    pass
         self.snapshots_written += 1
         self.last_snapshot_path = base
         return base
 
-    async def restart_shard(self, shard: int) -> Dict[str, Any]:
+    async def restart_shard(self, shard: int) -> dict[str, Any]:
         """Respawn one worker, restoring its last per-shard snapshot.
 
         The shard's high-water mark is reset to the worker's restored clock,
@@ -1230,8 +1222,8 @@ class ShardRouter:
         )
 
 
-_ROUTER_QUERY_HANDLERS: Dict[
-    str, Callable[[ShardRouter, Dict[str, Any]], "Awaitable[Any]"]
+_ROUTER_QUERY_HANDLERS: dict[
+    str, Callable[[ShardRouter, dict[str, Any]], Awaitable[Any]]
 ] = {
     "point": ShardRouter._query_point,
     "range": ShardRouter._query_range,

@@ -15,13 +15,15 @@ configured, and only then does the process exit.
 """
 
 from __future__ import annotations
+import contextlib
 
 import asyncio
 import inspect
 import json
 import signal
 import sys
-from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Union
+from collections.abc import Callable
+from typing import Any, TYPE_CHECKING
 
 from ..core.errors import ConfigurationError, EmptyStructureError
 from .config import ServiceConfig
@@ -54,7 +56,9 @@ __all__ = ["SketchServer", "ServingState", "dispatch_service_op", "run_server"]
 #: the multi-tenant pool, or the sharded router (which duck-type the same
 #: surface, sometimes with awaitable results — :func:`dispatch_service_op`
 #: awaits whatever it gets back).
-ServingState = Union[SketchService, "TenantPool", "ShardRouter"]
+# The whole alias is a string: the pool/router halves are TYPE_CHECKING-only
+# (import cycle), so the union must not evaluate at runtime.
+ServingState = "SketchService | TenantPool | ShardRouter"
 
 #: Query operations dispatched straight to ``service.query``.
 _QUERY_OPS = frozenset(
@@ -80,7 +84,7 @@ async def _maybe_await(value: Any) -> Any:
     return value
 
 
-async def dispatch_service_op(service: ServingState, message: Dict[str, Any]) -> Any:
+async def dispatch_service_op(service: ServingState, message: dict[str, Any]) -> Any:
     """Dispatch one protocol message against a service (or router) surface.
 
     Shared by the TCP server and the router's in-process shard backend, so a
@@ -191,10 +195,10 @@ class SketchServer:
         self.service = service
         self.host = host
         self.port = port
-        self._server: Optional[asyncio.AbstractServer] = None
+        self._server: asyncio.AbstractServer | None = None
         self._shutdown_event = asyncio.Event()
         self._shutting_down = False
-        self._connections: "set[asyncio.StreamWriter]" = set()
+        self._connections: set[asyncio.StreamWriter] = set()
         self.connections_served = 0
         self.requests_served = 0
 
@@ -237,7 +241,7 @@ class SketchServer:
             self._server = None
         await self.service.stop(drain=True)
 
-    async def __aenter__(self) -> "SketchServer":
+    async def __aenter__(self) -> SketchServer:
         await self.start()
         return self
 
@@ -273,12 +277,10 @@ class SketchServer:
         finally:
             self._connections.discard(writer)
             writer.close()
-            try:
+            with contextlib.suppress(ConnectionResetError, BrokenPipeError):
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
 
-    async def _dispatch_line(self, line: bytes) -> Dict[str, Any]:
+    async def _dispatch_line(self, line: bytes) -> dict[str, Any]:
         try:
             message = decode_line(line)
         except ProtocolError as exc:
@@ -299,7 +301,7 @@ class SketchServer:
         self.requests_served += 1
         return ok_response(result, request_id)
 
-    async def _dispatch(self, message: Dict[str, Any]) -> Any:
+    async def _dispatch(self, message: dict[str, Any]) -> Any:
         op = message.get("op")
         if op == "shutdown":
             self._shutdown_event.set()
@@ -313,8 +315,8 @@ async def run_server(
     config: ServiceConfig,
     host: str = "127.0.0.1",
     port: int = 0,
-    restore: Optional[str] = None,
-    ready: Optional[Callable[[int], None]] = None,
+    restore: str | None = None,
+    ready: Callable[[int], None] | None = None,
     label: str = "repro-serve",
 ) -> int:
     """Boot a server, serve until shutdown, return a process exit code.
@@ -341,14 +343,16 @@ async def run_server(
             ``repro-serve: listening on`` line never matches a worker's.
     """
     service: ServingState
-    restore_kind: Optional[str] = None
+    restore_kind: str | None = None
     if restore is not None:
         if config.pool:
             raise ConfigurationError(
                 "--restore does not apply to a pooled server: the pool directory "
                 "(catalog + per-tenant snapshots) is the durable state"
             )
-        with open(restore, "r", encoding="utf-8") as handle:
+        # Boot-time one-shot read, before any listener exists: nothing else
+        # runs on this loop yet, so there is no ingest/query to stall.
+        with open(restore, "r", encoding="utf-8") as handle:  # reprolint: disable=RL002
             restore_kind = json.load(handle).get("kind")
     if config.shards is not None or restore_kind == "shard_manifest":
         from .router import ShardRouter
@@ -379,11 +383,9 @@ async def run_server(
     loop = asyncio.get_running_loop()
     installed_signals = []
     for signum in (signal.SIGTERM, signal.SIGINT):
-        try:
+        with contextlib.suppress(NotImplementedError, RuntimeError):
             loop.add_signal_handler(signum, server._shutdown_event.set)
             installed_signals.append(signum)
-        except (NotImplementedError, RuntimeError):  # pragma: no cover - windows
-            pass
     try:
         print(
             "%s: listening on %s:%d (mode=%s, backend=%s%s%s%s)"

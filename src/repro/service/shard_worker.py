@@ -31,7 +31,6 @@ import signal
 import sys
 import time
 from dataclasses import replace
-from typing import Optional
 
 from ..distributed.runner import plan_shards
 from .config import ServiceConfig
@@ -96,7 +95,7 @@ def worker_config(config: ServiceConfig, shard_id: int) -> ServiceConfig:
 def _shard_worker_main(
     config_payload: dict,
     host: str,
-    restore: Optional[str],
+    restore: str | None,
     label: str,
     connection: multiprocessing.connection.Connection,
 ) -> None:
@@ -131,13 +130,13 @@ class ShardProcess:
         shard_id: int,
         config: ServiceConfig,
         host: str = "127.0.0.1",
-        restore: Optional[str] = None,
+        restore: str | None = None,
     ) -> None:
         self.shard_id = shard_id
         self.config = config
         self.host = host
         self.restore = restore
-        self.port: Optional[int] = None
+        self.port: int | None = None
         receive_end, send_end = _SPAWN.Pipe(duplex=False)
         self._ready_connection = receive_end
         self.process = _SPAWN.Process(
@@ -153,14 +152,14 @@ class ShardProcess:
         send_end.close()
 
     @property
-    def pid(self) -> Optional[int]:
+    def pid(self) -> int | None:
         return self.process.pid
 
     def is_alive(self) -> bool:
         return self.process.is_alive()
 
     @property
-    def exitcode(self) -> Optional[int]:
+    def exitcode(self) -> int | None:
         return self.process.exitcode
 
     async def wait_ready(self, timeout: float = _READY_TIMEOUT) -> int:
@@ -206,7 +205,7 @@ class ShardProcess:
         if self.process.is_alive():
             os.kill(self.process.pid, signal.SIGTERM)  # type: ignore[arg-type]
 
-    async def join(self, timeout: float = 30.0) -> Optional[int]:
+    async def join(self, timeout: float = 30.0) -> int | None:
         """Wait (without blocking the loop) for the process to exit."""
         deadline = time.monotonic() + timeout
         while self.process.is_alive() and time.monotonic() < deadline:

@@ -14,11 +14,12 @@ directory, is fsynced, and is moved over the destination with
 """
 
 from __future__ import annotations
+import contextlib
 
 import json
 import os
 import tempfile
-from typing import TYPE_CHECKING, Any, Dict, Union
+from typing import Any, TYPE_CHECKING
 
 from ..core.errors import ConfigurationError
 from ..distributed.continuous import PeriodicAggregationCoordinator
@@ -47,7 +48,7 @@ SNAPSHOT_KIND = "service_snapshot"
 SNAPSHOT_VERSION = 1
 
 
-def snapshot_payload(service: "SketchService") -> Dict[str, Any]:
+def snapshot_payload(service: SketchService) -> dict[str, Any]:
     """Serialize the *applied* state of a service to a plain dictionary.
 
     Arrivals still sitting in the ingest queue are not part of the snapshot;
@@ -58,7 +59,7 @@ def snapshot_payload(service: "SketchService") -> Dict[str, Any]:
 
     assert isinstance(service, SketchService)
     state = service.state
-    state_payload: Dict[str, Any]
+    state_payload: dict[str, Any]
     if isinstance(state, PeriodicAggregationCoordinator):
         state_payload = {
             "nodes": [ecm_sketch_to_dict(node.sketch) for node in state.nodes],
@@ -88,7 +89,7 @@ def snapshot_payload(service: "SketchService") -> Dict[str, Any]:
     }
 
 
-def write_snapshot(path: Union[str, os.PathLike], payload: Dict[str, Any]) -> str:
+def write_snapshot(path: str | os.PathLike, payload: dict[str, Any]) -> str:
     """Atomically write a snapshot document; returns the final path."""
     destination = os.fspath(path)
     directory = os.path.dirname(destination) or "."
@@ -103,15 +104,13 @@ def write_snapshot(path: Union[str, os.PathLike], payload: Dict[str, Any]) -> st
             os.fsync(handle.fileno())
         os.replace(temporary, destination)
     except BaseException:
-        try:
+        with contextlib.suppress(OSError):
             os.unlink(temporary)
-        except OSError:
-            pass
         raise
     return destination
 
 
-def load_snapshot(path: Union[str, os.PathLike]) -> Dict[str, Any]:
+def load_snapshot(path: str | os.PathLike) -> dict[str, Any]:
     """Read and validate a snapshot document."""
     with open(os.fspath(path), "r", encoding="utf-8") as handle:
         try:
@@ -128,7 +127,7 @@ def load_snapshot(path: Union[str, os.PathLike]) -> Dict[str, Any]:
     return payload
 
 
-def service_state_from_snapshot(payload: Dict[str, Any]) -> "SketchService":
+def service_state_from_snapshot(payload: dict[str, Any]) -> SketchService:
     """Rebuild a :class:`~repro.service.core.SketchService` from a snapshot."""
     from .core import SketchService
 
@@ -148,7 +147,7 @@ def service_state_from_snapshot(payload: Dict[str, Any]) -> "SketchService":
                 % (len(node_payloads), len(coordinator.nodes))
             )
         processed = state_payload.get("records_processed", [0] * len(node_payloads))
-        for node, node_payload, count in zip(coordinator.nodes, node_payloads, processed):
+        for node, node_payload, count in zip(coordinator.nodes, node_payloads, processed, strict=False):
             node.sketch = ecm_sketch_from_dict(node_payload, backend=config.backend)
             node.records_processed = int(count)
         root_payload = state_payload.get("root")

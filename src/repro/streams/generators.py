@@ -19,7 +19,7 @@ from __future__ import annotations
 import bisect
 import math
 import random
-from typing import Hashable, List, Optional
+from collections.abc import Hashable
 
 import numpy as np
 
@@ -56,7 +56,7 @@ class ZipfSampler:
         self._rng = random.Random(seed)
         weights = [1.0 / ((rank + 1) ** exponent) for rank in range(domain_size)]
         total = sum(weights)
-        cumulative: List[float] = []
+        cumulative: list[float] = []
         running = 0.0
         for weight in weights:
             running += weight / total
@@ -69,7 +69,7 @@ class ZipfSampler:
         u = self._rng.random()
         return bisect.bisect_left(self._cumulative, u)
 
-    def sample_many(self, count: int) -> List[int]:
+    def sample_many(self, count: int) -> list[int]:
         """Draw ``count`` independent rank indices.
 
         Consumes exactly the same pseudo-random sequence as ``count`` calls
@@ -95,7 +95,7 @@ def generate_arrival_times(
     duration: float,
     seed: int = 0,
     diurnal_amplitude: float = 0.6,
-) -> List[float]:
+) -> list[float]:
     """Monotone arrival timestamps over ``[0, duration]`` with diurnal modulation.
 
     Arrivals follow a non-homogeneous Poisson-like process whose intensity is
@@ -111,7 +111,7 @@ def generate_arrival_times(
         raise ConfigurationError("diurnal_amplitude must be in [0, 1)")
     rng = random.Random(seed)
     day = 86400.0
-    times: List[float] = []
+    times: list[float] = []
     for _ in range(num_records):
         # Rejection sampling against the diurnal intensity envelope.
         while True:
@@ -250,7 +250,7 @@ class SnmpSyntheticTrace:
             rank: rng.randrange(cfg.num_nodes) for rank in range(cfg.domain_size)
         }
         times = generate_arrival_times(cfg.num_records, cfg.duration, seed=cfg.seed + 2)
-        records: List[StreamRecord] = []
+        records: list[StreamRecord] = []
         for timestamp in times:
             rank = key_sampler.sample()
             if rng.random() < self.roaming_probability:
@@ -278,7 +278,7 @@ class IntegerZipfTrace:
         num_records: int = 50_000,
         universe_bits: int = 12,
         num_nodes: int = 4,
-        domain_size: Optional[int] = None,
+        domain_size: int | None = None,
         zipf_exponent: float = 1.1,
         duration: float = 1_000_000.0,
         seed: int = 13,
@@ -320,7 +320,7 @@ class IntegerZipfTrace:
                 key=self._rank_to_key[rank],
                 node=node_sampler.sample(),
             )
-            for timestamp, rank in zip(times, ranks)
+            for timestamp, rank in zip(times, ranks, strict=False)
         ]
         return Stream(records, name="integer-zipf")
 

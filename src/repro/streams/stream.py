@@ -13,7 +13,7 @@ aggregated ECM-sketches against a single exact baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence
+from collections.abc import Callable, Hashable, Iterable, Iterator, Sequence
 
 from ..core.errors import ConfigurationError
 
@@ -42,7 +42,7 @@ class Stream:
     """An immutable, time-ordered sequence of :class:`StreamRecord` items."""
 
     def __init__(self, records: Sequence[StreamRecord], name: str = "stream") -> None:
-        self._records: List[StreamRecord] = sorted(records, key=lambda r: r.timestamp)
+        self._records: list[StreamRecord] = sorted(records, key=lambda r: r.timestamp)
         self.name = name
 
     # ------------------------------------------------------------- sequence
@@ -81,16 +81,16 @@ class Stream:
         for start in range(0, len(records), batch_size):
             yield records[start : start + batch_size]
 
-    def columns(self) -> "tuple[List[Hashable], List[float], List[int]]":
+    def columns(self) -> tuple[list[Hashable], list[float], list[int]]:
         """The stream pivoted into parallel (keys, timestamps, values) lists.
 
         This is the layout the batch APIs consume (``add_many(keys,
         timestamps, values)``); building it once amortizes attribute access
         over the whole stream.
         """
-        keys: List[Hashable] = []
-        timestamps: List[float] = []
-        values: List[int] = []
+        keys: list[Hashable] = []
+        timestamps: list[float] = []
+        values: list[int] = []
         for record in self._records:
             keys.append(record.key)
             timestamps.append(record.timestamp)
@@ -98,14 +98,14 @@ class Stream:
         return keys, timestamps, values
 
     # ------------------------------------------------------------- metadata
-    def keys(self) -> List[Hashable]:
+    def keys(self) -> list[Hashable]:
         """Distinct keys appearing anywhere in the stream."""
         seen = {}
         for record in self._records:
             seen.setdefault(record.key, None)
         return list(seen.keys())
 
-    def nodes(self) -> List[int]:
+    def nodes(self) -> list[int]:
         """Distinct node identifiers appearing in the stream."""
         seen = {}
         for record in self._records:
@@ -133,9 +133,9 @@ class Stream:
         return sum(record.value for record in self._records)
 
     # ---------------------------------------------------------- partitioning
-    def partition_by_node(self) -> Dict[int, "Stream"]:
+    def partition_by_node(self) -> dict[int, Stream]:
         """Split into per-node substreams keyed by node identifier."""
-        groups: Dict[int, List[StreamRecord]] = {}
+        groups: dict[int, list[StreamRecord]] = {}
         for record in self._records:
             groups.setdefault(record.node, []).append(record)
         return {
@@ -143,7 +143,7 @@ class Stream:
             for node, records in groups.items()
         }
 
-    def reassign_round_robin(self, num_nodes: int) -> "Stream":
+    def reassign_round_robin(self, num_nodes: int) -> Stream:
         """Return a copy whose records are spread uniformly over ``num_nodes``.
 
         Used by the artificial-network experiment (Figure 6), where the paper
@@ -163,11 +163,11 @@ class Stream:
         ]
         return Stream(reassigned, name="%s[rr%d]" % (self.name, num_nodes))
 
-    def filter(self, predicate: Callable[[StreamRecord], bool]) -> "Stream":
+    def filter(self, predicate: Callable[[StreamRecord], bool]) -> Stream:
         """A new stream containing only the records matching ``predicate``."""
         return Stream([r for r in self._records if predicate(r)], name="%s[filtered]" % self.name)
 
-    def tail(self, range_length: float, now: Optional[float] = None) -> "Stream":
+    def tail(self, range_length: float, now: float | None = None) -> Stream:
         """Records within the last ``range_length`` seconds (a sliding-window view)."""
         if now is None:
             now = self.end_time()
@@ -177,22 +177,22 @@ class Stream:
             name="%s[tail]" % self.name,
         )
 
-    def head(self, count: int) -> "Stream":
+    def head(self, count: int) -> Stream:
         """The first ``count`` records."""
         return Stream(self._records[:count], name="%s[head]" % self.name)
 
     # ----------------------------------------------------------- statistics
-    def key_frequencies(self) -> Dict[Hashable, int]:
+    def key_frequencies(self) -> dict[Hashable, int]:
         """Exact key frequencies over the whole stream."""
-        frequencies: Dict[Hashable, int] = {}
+        frequencies: dict[Hashable, int] = {}
         for record in self._records:
             frequencies[record.key] = frequencies.get(record.key, 0) + record.value
         return frequencies
 
     @classmethod
-    def concatenate(cls, streams: Iterable["Stream"], name: str = "union") -> "Stream":
+    def concatenate(cls, streams: Iterable[Stream], name: str = "union") -> Stream:
         """Order-preserving union of several streams (the paper's ``(+)``)."""
-        records: List[StreamRecord] = []
+        records: list[StreamRecord] = []
         for stream in streams:
             records.extend(stream.records)
         return cls(records, name=name)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import abc
 import enum
-from typing import Iterable, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 from ..core.errors import ConfigurationError, OutOfOrderArrivalError
 
@@ -103,7 +103,7 @@ class SlidingWindowCounter(abc.ABC):
         if not isinstance(model, WindowModel):
             raise ConfigurationError("model must be a WindowModel, got %r" % (model,))
         self.model = model
-        self._last_clock: Optional[float] = None
+        self._last_clock: float | None = None
 
     # ------------------------------------------------------------------ API
     @abc.abstractmethod
@@ -115,7 +115,7 @@ class SlidingWindowCounter(abc.ABC):
         """
 
     @abc.abstractmethod
-    def estimate(self, range_length: Optional[float] = None, now: Optional[float] = None) -> float:
+    def estimate(self, range_length: float | None = None, now: float | None = None) -> float:
         """Estimate the number of arrivals within the last ``range_length`` clock units.
 
         Args:
@@ -154,13 +154,13 @@ class SlidingWindowCounter(abc.ABC):
         self._last_clock = clock
 
     @property
-    def last_clock(self) -> Optional[float]:
+    def last_clock(self) -> float | None:
         """Clock value of the most recent arrival, or ``None`` if empty."""
         return self._last_clock
 
     def resolve_query_bounds(
-        self, range_length: Optional[float], now: Optional[float]
-    ) -> Tuple[float, float]:
+        self, range_length: float | None, now: float | None
+    ) -> tuple[float, float]:
         """Resolve (query start, query end) clock values for an estimate call.
 
         The query covers the half-open interval ``(start, end]``: an arrival
@@ -186,7 +186,7 @@ class SlidingWindowCounter(abc.ABC):
     def add_batch(
         self,
         clocks: Sequence[float],
-        counts: Optional[Sequence[int]] = None,
+        counts: Sequence[int] | None = None,
         *,
         assume_ordered: bool = False,
     ) -> None:
@@ -218,13 +218,13 @@ class SlidingWindowCounter(abc.ABC):
             for clock in clocks:
                 self.add(clock)
         else:
-            for clock, count in zip(clocks, counts):
+            for clock, count in zip(clocks, counts, strict=False):
                 self.add(clock, count)
 
     def _validate_batch(
         self,
         clocks: Sequence[float],
-        counts: Optional[Sequence[int]],
+        counts: Sequence[int] | None,
         assume_ordered: bool,
     ) -> None:
         """Validate a whole run upfront so a failed batch mutates nothing.
@@ -253,7 +253,7 @@ class SlidingWindowCounter(abc.ABC):
                     )
                 previous = clock
         else:
-            for clock, count in zip(clocks, counts):
+            for clock, count in zip(clocks, counts, strict=False):
                 if count == 0:
                     continue
                 if previous is not None and clock < previous:

@@ -58,7 +58,8 @@ import math
 import numbers
 import sys
 from collections import deque
-from typing import Any, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -136,25 +137,25 @@ class ColumnarEHStore(CounterStore):
         self._oldest_end = np.full(cells, np.inf, dtype=np.float64)
         #: Exact clock of the most recent arrival per cell, kept as the
         #: original Python object so serialization emits it verbatim.
-        self._last_clocks: List[Optional[float]] = [None] * cells
+        self._last_clocks: list[float | None] = [None] * cells
         #: Canonical mode: sizes implied by level (2**l) and flags by the
         #: store-wide clock mode; the arrays below stay unallocated until a
         #: demoting load.
-        self._sizes: Optional["np.ndarray"] = None
-        self._start_int: Optional["np.ndarray"] = None
-        self._end_int: Optional["np.ndarray"] = None
+        self._sizes: np.ndarray | None = None
+        self._start_int: np.ndarray | None = None
+        self._end_int: np.ndarray | None = None
         self._flag_mode = _MODE_UNSET
         # Reusable index vectors for the cascade hot path (grown on demand;
         # slices of these are views, so no per-call allocations).
         self._lane_cache = np.arange(256, dtype=np.int64)
         self._row_cache = np.arange(256, dtype=np.int64)[:, None]
 
-    def _lanes(self, n: int) -> "np.ndarray":
+    def _lanes(self, n: int) -> np.ndarray:
         if n > self._lane_cache.shape[0]:
             self._lane_cache = np.arange(max(n, 2 * self._lane_cache.shape[0]), dtype=np.int64)
         return self._lane_cache[:n]
 
-    def _row_index(self, n: int) -> "np.ndarray":
+    def _row_index(self, n: int) -> np.ndarray:
         if n > self._row_cache.shape[0]:
             self._row_cache = np.arange(
                 max(n, 2 * self._row_cache.shape[0]), dtype=np.int64
@@ -162,7 +163,7 @@ class ColumnarEHStore(CounterStore):
         return self._row_cache[:n]
 
     # ------------------------------------------------------------------ growth
-    def _slot_arrays(self) -> List["np.ndarray"]:
+    def _slot_arrays(self) -> list[np.ndarray]:
         """Every allocated ``(cells, levels, slots)`` array."""
         arrays = [self._starts, self._ends]
         if self._sizes is not None:
@@ -173,7 +174,7 @@ class ColumnarEHStore(CounterStore):
             arrays.append(self._end_int)
         return arrays
 
-    def _reassign_slot_arrays(self, arrays: List["np.ndarray"]) -> None:
+    def _reassign_slot_arrays(self, arrays: list[np.ndarray]) -> None:
         self._starts, self._ends = arrays[0], arrays[1]
         index = 2
         if self._sizes is not None:
@@ -282,14 +283,14 @@ class ColumnarEHStore(CounterStore):
         return as_float
 
     @staticmethod
-    def _require_exact_ints(clocks: "np.ndarray") -> None:
+    def _require_exact_ints(clocks: np.ndarray) -> None:
         if clocks.size and int(np.abs(clocks).max()) > _MAX_EXACT_INT:
             raise ConfigurationError(
                 "the columnar backend requires clocks exactly representable as "
                 "float64 (|clock| <= 2**53)"
             )
 
-    def _query_start(self, range_length: Optional[float], now: float) -> float:
+    def _query_start(self, range_length: float | None, now: float) -> float:
         """Query start clock, mirroring ``resolve_query_bounds`` semantics."""
         if range_length is None or range_length > self.window:
             range_length = self.window
@@ -422,7 +423,7 @@ class ColumnarEHStore(CounterStore):
         run_starts: Sequence[int],
         run_stops: Sequence[int],
         clocks: RunPayload,
-        values: Optional[RunPayload],
+        values: RunPayload | None,
     ) -> None:
         self.ingest_sorted_rows([(row, run_columns, run_starts, run_stops, clocks, values)])
 
@@ -434,9 +435,9 @@ class ColumnarEHStore(CounterStore):
         where the columnar layout pays off: one pass over shared arrays
         instead of ``depth`` separate passes.
         """
-        vector_rows: List[RowPayload] = []
-        slow_rows: List[RowPayload] = []
-        int_flag: Optional[bool] = None
+        vector_rows: list[RowPayload] = []
+        slow_rows: list[RowPayload] = []
+        int_flag: bool | None = None
         for payload in payloads:
             clocks, values = payload[4], payload[5]
             vector_ready = (
@@ -465,7 +466,7 @@ class ColumnarEHStore(CounterStore):
             base = row * self.width
             clocks_list = clocks.tolist() if isinstance(clocks, np.ndarray) else clocks
             values_list = values.tolist() if isinstance(values, np.ndarray) else values
-            for column, start, stop in zip(run_columns, run_starts, run_stops):
+            for column, start, stop in zip(run_columns, run_starts, run_stops, strict=False):
                 self._fallback_run(
                     base + column,
                     clocks_list[start:stop],
@@ -510,7 +511,7 @@ class ColumnarEHStore(CounterStore):
         )
 
     def _fallback_run(
-        self, cell: int, clocks: Sequence[float], values: Optional[Sequence[int]]
+        self, cell: int, clocks: Sequence[float], values: Sequence[int] | None
     ) -> None:
         """Exact-by-construction slow path: replay through the reference EH."""
         histogram = self._materialize(cell)
@@ -519,11 +520,11 @@ class ColumnarEHStore(CounterStore):
 
     def _ingest_runs(
         self,
-        cells: "np.ndarray",
-        clocks: "np.ndarray",
-        offsets: "np.ndarray",
+        cells: np.ndarray,
+        clocks: np.ndarray,
+        offsets: np.ndarray,
         int_flag: bool,
-        values: Optional["np.ndarray"],
+        values: np.ndarray | None,
     ) -> None:
         """Column-grouped runs for distinct cells, vectorized across cells.
 
@@ -589,15 +590,15 @@ class ColumnarEHStore(CounterStore):
         self._oldest_end[fast_cells] = np.minimum(self._oldest_end[fast_cells], fast_first)
         last_values = clocks[fast_last_idx].tolist()
         last_clocks = self._last_clocks
-        for cell, value in zip(fast_cells.tolist(), last_values):
+        for cell, value in zip(fast_cells.tolist(), last_values, strict=False):
             last_clocks[cell] = value
 
     def _deferred_cascade(
         self,
-        cells: "np.ndarray",
-        unit_clocks: "np.ndarray",
-        unit_offsets: "np.ndarray",
-        unit_counts: "np.ndarray",
+        cells: np.ndarray,
+        unit_clocks: np.ndarray,
+        unit_offsets: np.ndarray,
+        unit_counts: np.ndarray,
     ) -> None:
         """Append each cell's unit run at level 0 and cascade all levels.
 
@@ -660,13 +661,13 @@ class ColumnarEHStore(CounterStore):
 
     def _compact_level(
         self,
-        cells: "np.ndarray",
+        cells: np.ndarray,
         level: int,
-        slot_array: "np.ndarray",
-        incoming: "np.ndarray",
-        existing: "np.ndarray",
-        totals: "np.ndarray",
-    ) -> "np.ndarray":
+        slot_array: np.ndarray,
+        incoming: np.ndarray,
+        existing: np.ndarray,
+        totals: np.ndarray,
+    ) -> np.ndarray:
         """Per-cell ``[existing buckets | incoming buckets]`` as a padded matrix."""
         total_max = int(totals.max())
         num_cells = cells.shape[0]
@@ -688,13 +689,13 @@ class ColumnarEHStore(CounterStore):
 
     def _apply_level(
         self,
-        cells: "np.ndarray",
+        cells: np.ndarray,
         level: int,
-        seq_starts: "np.ndarray",
-        seq_ends: "np.ndarray",
-        existing: "np.ndarray",
-        totals: "np.ndarray",
-    ) -> Tuple[Optional["np.ndarray"], "np.ndarray"]:
+        seq_starts: np.ndarray,
+        seq_ends: np.ndarray,
+        existing: np.ndarray,
+        totals: np.ndarray,
+    ) -> tuple[np.ndarray | None, np.ndarray]:
         """Write one level's retained buckets back; return the merge counts."""
         max_per = self._max_per
         # (totals - max_per + 1) // 2 clamped at zero: the arithmetic shift
@@ -759,14 +760,14 @@ class ColumnarEHStore(CounterStore):
         ).min(axis=1)
 
     # ----------------------------------------------------------------- queries
-    def _cell_sizes(self, cell: int) -> "np.ndarray":
+    def _cell_sizes(self, cell: int) -> np.ndarray:
         if self._sizes is not None:
             return self._sizes[cell]
         powers = np.left_shift(np.int64(1), np.arange(self._num_levels, dtype=np.int64))
         return np.broadcast_to(powers[:, None], (self._num_levels, self._slots))
 
     def estimate(
-        self, row: int, column: int, range_length: Optional[float] = None, now: Optional[float] = None
+        self, row: int, column: int, range_length: float | None = None, now: float | None = None
     ) -> float:
         cell = row * self.width + column
         if now is None:
@@ -795,8 +796,8 @@ class ColumnarEHStore(CounterStore):
         return total
 
     def estimate_cells(
-        self, cells: "np.ndarray", range_length: Optional[float], now: float
-    ) -> "np.ndarray":
+        self, cells: np.ndarray, range_length: float | None, now: float
+    ) -> np.ndarray:
         start = self._query_start(range_length, now)
         slots = self._slots
         levels = self._num_levels
@@ -828,7 +829,7 @@ class ColumnarEHStore(CounterStore):
         partial = has_overlap & (oldest_starts <= start)
         return totals - np.where(partial, oldest_sizes / 2.0, 0.0)
 
-    def estimate_grid(self, range_length: Optional[float], now: float) -> List[List[float]]:
+    def estimate_grid(self, range_length: float | None, now: float) -> list[list[float]]:
         estimates = self.estimate_cells(np.arange(self.cells, dtype=np.int64), range_length, now)
         return estimates.reshape(self.depth, self.width).tolist()
 
@@ -845,7 +846,7 @@ class ColumnarEHStore(CounterStore):
         live_levels = np.flatnonzero(counts)
         used = int(live_levels[-1]) + 1 if live_levels.size else 0
         uniform_int = self._flag_mode == _MODE_INT
-        levels: List[deque] = []
+        levels: list[deque] = []
         for level in range(used):
             bucket_deque: deque = deque()
             live = int(counts[level])
@@ -853,7 +854,7 @@ class ColumnarEHStore(CounterStore):
                 starts = self._starts[cell, level, :live].tolist()
                 ends = self._ends[cell, level, :live].tolist()
                 if self._sizes is None:
-                    sizes: List[int] = [self._level_size(level)] * live
+                    sizes: list[int] = [self._level_size(level)] * live
                 else:
                     sizes = self._sizes[cell, level, :live].tolist()
                 if self._start_int is None:

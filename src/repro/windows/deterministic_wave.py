@@ -26,7 +26,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -79,7 +79,7 @@ class DeterministicWave(SlidingWindowCounter):
         self.per_level = int(math.ceil(2.0 / self.epsilon)) + 1
         #: Number of levels: enough for ranks up to epsilon * max_arrivals per step.
         self.num_levels = max(1, int(math.ceil(math.log2(max(2.0, self.epsilon * self.max_arrivals)))) + 1)
-        self._levels: List[Deque[WaveCheckpoint]] = [deque() for _ in range(self.num_levels)]
+        self._levels: list[deque[WaveCheckpoint]] = [deque() for _ in range(self.num_levels)]
         self._total_arrivals = 0
 
     # ----------------------------------------------------------------- adds
@@ -99,7 +99,7 @@ class DeterministicWave(SlidingWindowCounter):
     def add_batch(
         self,
         clocks: Sequence[float],
-        counts: Optional[Sequence[int]] = None,
+        counts: Sequence[int] | None = None,
         *,
         assume_ordered: bool = False,
     ) -> None:
@@ -125,15 +125,15 @@ class DeterministicWave(SlidingWindowCounter):
                 for clock in clocks:
                     self.add(clock)
             else:
-                for clock, count in zip(clocks, counts):
+                for clock, count in zip(clocks, counts, strict=False):
                     self.add(clock, count)
             return
         if unit_clocks.size:
             self._bulk_record(unit_clocks)
 
     def _expand_run(
-        self, clocks: Sequence[float], counts: Optional[Sequence[int]]
-    ) -> Optional["np.ndarray"]:
+        self, clocks: Sequence[float], counts: Sequence[int] | None
+    ) -> np.ndarray | None:
         """Per-unit clock array for a validated run, or ``None`` if ineligible.
 
         Ineligible runs (handled by the scalar fallback): clock values that
@@ -157,7 +157,7 @@ class DeterministicWave(SlidingWindowCounter):
             return None
         return np.repeat(clocks_array, counts_array)
 
-    def _bulk_record(self, unit_clocks: "np.ndarray") -> None:
+    def _bulk_record(self, unit_clocks: np.ndarray) -> None:
         """Apply a pre-expanded run of unit arrivals level by level."""
         total_new = int(unit_clocks.size)
         base_rank = self._total_arrivals
@@ -179,13 +179,13 @@ class DeterministicWave(SlidingWindowCounter):
             kept_ranks = new_ranks[new_ranks.size - keep_new :]
             kept_clocks = unit_clocks[kept_ranks - 1 - base_rank]
             existing = self._levels[level]
-            retained: List[WaveCheckpoint] = []
+            retained: list[WaveCheckpoint] = []
             slots_left = per_level - keep_new
             if slots_left > 0 and existing:
                 retained.extend(list(existing)[max(0, len(existing) - slots_left) :])
             retained.extend(
                 WaveCheckpoint(clock=clock, rank=rank)
-                for clock, rank in zip(kept_clocks.tolist(), kept_ranks.tolist())
+                for clock, rank in zip(kept_clocks.tolist(), kept_ranks.tolist(), strict=False)
             )
             # Final expiry: drop from the front while out of the window.
             drop = 0
@@ -219,10 +219,10 @@ class DeterministicWave(SlidingWindowCounter):
         self._expire(now)
 
     # -------------------------------------------------------------- queries
-    def estimate(self, range_length: Optional[float] = None, now: Optional[float] = None) -> float:
+    def estimate(self, range_length: float | None = None, now: float | None = None) -> float:
         """Estimate the number of arrivals in the last ``range_length`` clock units."""
         start, _end = self.resolve_query_bounds(range_length, now)
-        best_rank: Optional[int] = None
+        best_rank: int | None = None
         for level in self._levels:
             for checkpoint in level:
                 if checkpoint.clock > start:
@@ -242,7 +242,7 @@ class DeterministicWave(SlidingWindowCounter):
         """Total number of retained checkpoints across all levels."""
         return sum(len(level) for level in self._levels)
 
-    def levels_snapshot(self) -> List[List[WaveCheckpoint]]:
+    def levels_snapshot(self) -> list[list[WaveCheckpoint]]:
         """A copy of the retained checkpoints, level by level (oldest first)."""
         return [list(level) for level in self._levels]
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from collections import deque
-from typing import Deque, Optional
 
 from ..core.errors import ConfigurationError
 from .base import SlidingWindowCounter, WindowModel
@@ -30,7 +29,7 @@ class ExactWindowCounter(SlidingWindowCounter):
 
     def __init__(self, window: float, model: WindowModel = WindowModel.TIME_BASED) -> None:
         super().__init__(window=window, model=model)
-        self._clocks: Deque[float] = deque()
+        self._clocks: deque[float] = deque()
         self._total_arrivals = 0
 
     def add(self, clock: float, count: int = 1) -> None:
@@ -54,7 +53,7 @@ class ExactWindowCounter(SlidingWindowCounter):
         """Drop arrivals that have left the window ``(now - N, now]``."""
         self._expire(now)
 
-    def estimate(self, range_length: Optional[float] = None, now: Optional[float] = None) -> float:
+    def estimate(self, range_length: float | None = None, now: float | None = None) -> float:
         """Exact number of arrivals within the last ``range_length`` clock units."""
         start, _end = self.resolve_query_bounds(range_length, now)
         # The deque is sorted (in-order arrivals), so binary search the start.

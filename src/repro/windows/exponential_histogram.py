@@ -29,7 +29,7 @@ import math
 import sys
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterator, List, Optional, Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -62,7 +62,7 @@ class Bucket:
     start: float
     end: float
 
-    def merge_with_older(self, older: "Bucket") -> "Bucket":
+    def merge_with_older(self, older: Bucket) -> Bucket:
         """Return the bucket obtained by merging this bucket with an older one."""
         return Bucket(self.size + older.size, older.start, self.end)
 
@@ -96,14 +96,14 @@ class ExponentialHistogram(SlidingWindowCounter):
         self.k = int(math.ceil(1.0 / self.epsilon))
         self._max_per_level = int(math.ceil(self.k / 2.0)) + 1
         # Level i holds buckets of size 2**i, most recent at the right end.
-        self._levels: List[Deque[Bucket]] = []
+        self._levels: list[deque[Bucket]] = []
         self._total_arrivals = 0
         self._in_window_upper = 0  # sum of all bucket sizes currently stored
         # Memoized newest-first bucket view: every estimate() walks the
         # buckets in time order, and rebuilding + sorting that list per query
         # dominates the read path (heavy-hitter descents, ||a_r||_1 scans).
         # Any mutation drops the cache; queries rebuild it lazily.
-        self._newest_first_cache: Optional[List[Bucket]] = None
+        self._newest_first_cache: list[Bucket] | None = None
 
     # ----------------------------------------------------------------- adds
     def add(self, clock: float, count: int = 1) -> None:
@@ -122,7 +122,7 @@ class ExponentialHistogram(SlidingWindowCounter):
     def add_batch(
         self,
         clocks: Sequence[float],
-        counts: Optional[Sequence[int]] = None,
+        counts: Sequence[int] | None = None,
         *,
         assume_ordered: bool = False,
     ) -> None:
@@ -173,10 +173,10 @@ class ExponentialHistogram(SlidingWindowCounter):
                     self._add_counted_run(expanded)
                 # An all-zero run is a no-op in the scalar path as well.
                 return
-            pairs = list(zip(clocks, counts))
+            pairs = list(zip(clocks, counts, strict=False))
         # Level 0 is created lazily exactly like the scalar path, so that an
         # all-zero or empty batch leaves the structure untouched.
-        level0: Optional[Deque[Bucket]] = levels[0] if levels else None
+        level0: deque[Bucket] | None = levels[0] if levels else None
         append0 = level0.append if level0 is not None else None
         try:
             # The run was validated above, so the loop only applies state.
@@ -264,7 +264,7 @@ class ExponentialHistogram(SlidingWindowCounter):
 
     def _expand_counted_run(
         self, clocks: Sequence[float], counts: Sequence[int]
-    ) -> Optional["np.ndarray"]:
+    ) -> np.ndarray | None:
         """Expand a counted run into per-unit clocks when the bulk path applies.
 
         The deferred-cascade bulk insert (:meth:`_add_counted_run`) is only
@@ -306,7 +306,7 @@ class ExponentialHistogram(SlidingWindowCounter):
                 return None
         return unit_clocks
 
-    def _add_counted_run(self, unit_clocks: "np.ndarray") -> None:
+    def _add_counted_run(self, unit_clocks: np.ndarray) -> None:
         """Bulk-load pre-expanded unit arrivals with the cascade fully deferred.
 
         Requires the preconditions of :meth:`_expand_counted_run`: no live
@@ -339,7 +339,7 @@ class ExponentialHistogram(SlidingWindowCounter):
         self._in_window_upper += total_new
 
     def _materialize_level(
-        self, level: int, size: int, starts: "np.ndarray", ends: "np.ndarray"
+        self, level: int, size: int, starts: np.ndarray, ends: np.ndarray
     ) -> None:
         """Append the retained buckets of one cascade level to the structure."""
         if not starts.size:
@@ -347,7 +347,7 @@ class ExponentialHistogram(SlidingWindowCounter):
         while len(self._levels) <= level:
             self._levels.append(deque())
         self._levels[level].extend(
-            Bucket(size, start, end) for start, end in zip(starts.tolist(), ends.tolist())
+            Bucket(size, start, end) for start, end in zip(starts.tolist(), ends.tolist(), strict=False)
         )
 
     def _insert_unit(self, clock: float) -> None:
@@ -385,14 +385,14 @@ class ExponentialHistogram(SlidingWindowCounter):
         self._expire(now)
 
     # -------------------------------------------------------------- queries
-    def estimate(self, range_length: Optional[float] = None, now: Optional[float] = None) -> float:
+    def estimate(self, range_length: float | None = None, now: float | None = None) -> float:
         """Estimate the number of arrivals in the last ``range_length`` clock units."""
         start, _end = self.resolve_query_bounds(range_length, now)
         buckets = self._newest_first_view()
         if not buckets:
             return 0.0
         total = 0.0
-        oldest_overlapping: Optional[Bucket] = None
+        oldest_overlapping: Bucket | None = None
         for bucket in buckets:
             if bucket.end <= start:
                 break
@@ -415,19 +415,19 @@ class ExponentialHistogram(SlidingWindowCounter):
         return self._in_window_upper
 
     # ------------------------------------------------------------ structure
-    def _newest_first_view(self) -> List[Bucket]:
+    def _newest_first_view(self) -> list[Bucket]:
         """Memoized newest-first bucket list (internal: never mutate it)."""
         cached = self._newest_first_cache
         if cached is not None:
             return cached
-        collected: List[Bucket] = []
+        collected: list[Bucket] = []
         for level in self._levels:
             collected.extend(level)
         collected.sort(key=lambda b: (b.end, b.start), reverse=True)
         self._newest_first_cache = collected
         return collected
 
-    def buckets_newest_first(self) -> List[Bucket]:
+    def buckets_newest_first(self) -> list[Bucket]:
         """All live buckets ordered from most recent to oldest.
 
         Returns a fresh list (callers may mutate it freely); the ordering
@@ -435,7 +435,7 @@ class ExponentialHistogram(SlidingWindowCounter):
         """
         return list(self._newest_first_view())
 
-    def buckets_oldest_first(self) -> List[Bucket]:
+    def buckets_oldest_first(self) -> list[Bucket]:
         """All live buckets ordered from oldest to most recent."""
         return list(reversed(self._newest_first_view()))
 

@@ -23,7 +23,7 @@ do so raises :class:`~repro.core.errors.WindowModelError`.
 from __future__ import annotations
 
 import math
-from typing import Callable, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -44,7 +44,7 @@ __all__ = [
     "bulk_merge_deterministic_waves",
 ]
 
-ReplayEvent = Tuple[float, int]
+ReplayEvent = tuple[float, int]
 
 
 # --------------------------------------------------------------------- errors
@@ -86,7 +86,7 @@ def epsilon_for_levels(target_epsilon: float, levels: int) -> float:
 
 
 # --------------------------------------------------------------------- replay
-def bucket_replay_events(histogram: ExponentialHistogram) -> List[ReplayEvent]:
+def bucket_replay_events(histogram: ExponentialHistogram) -> list[ReplayEvent]:
     """Replay events for one exponential histogram.
 
     Every bucket of size ``c`` contributes ``floor(c/2)`` arrivals at its start
@@ -96,7 +96,7 @@ def bucket_replay_events(histogram: ExponentialHistogram) -> List[ReplayEvent]:
     Returns:
         A list of ``(clock, count)`` events, not yet sorted.
     """
-    events: List[ReplayEvent] = []
+    events: list[ReplayEvent] = []
     for bucket in histogram.iter_buckets():
         half_low = bucket.size // 2
         half_high = bucket.size - half_low
@@ -107,7 +107,7 @@ def bucket_replay_events(histogram: ExponentialHistogram) -> List[ReplayEvent]:
     return events
 
 
-def wave_replay_events(wave: DeterministicWave) -> List[ReplayEvent]:
+def wave_replay_events(wave: DeterministicWave) -> list[ReplayEvent]:
     """Replay events for one deterministic wave.
 
     The retained checkpoints, ordered by rank, delimit runs of arrivals whose
@@ -122,7 +122,7 @@ def wave_replay_events(wave: DeterministicWave) -> List[ReplayEvent]:
     if not checkpoints:
         return []
     ordered = sorted(checkpoints.items())
-    events: List[ReplayEvent] = []
+    events: list[ReplayEvent] = []
     first_rank, first_clock = ordered[0]
     # Arrivals up to and including the oldest retained checkpoint are replayed
     # at its clock; anything older has already left every window of interest.
@@ -141,7 +141,7 @@ def wave_replay_events(wave: DeterministicWave) -> List[ReplayEvent]:
 
 
 def _validate_time_based(
-    synopses: Sequence, expected_window: Optional[float] = None
+    synopses: Sequence, expected_window: float | None = None
 ) -> float:
     """Shared validation for order-preserving aggregation inputs."""
     if not synopses:
@@ -166,8 +166,8 @@ def _validate_time_based(
 
 # ------------------------------------------------------------------ bulk sort
 def _gather_sorted_events(
-    sources: Sequence, event_fn: Callable[[object], List[ReplayEvent]]
-) -> Tuple[List[float], List[int]]:
+    sources: Sequence, event_fn: Callable[[object], list[ReplayEvent]]
+) -> tuple[list[float], list[int]]:
     """Replay events of all sources, stably sorted by clock, as two lists.
 
     Produces exactly the event sequence the replay-based merges build —
@@ -177,19 +177,19 @@ def _gather_sorted_events(
     the Python sort; mixed-type clock lists (where a float64 coercion could
     alias distinct keys) fall back to the keyed Python sort.
     """
-    clocks: List[float] = []
-    counts: List[int] = []
+    clocks: list[float] = []
+    counts: list[int] = []
     for source in sources:
         for clock, count in event_fn(source):
             clocks.append(clock)
             counts.append(count)
     if len(clocks) < 32:
         # Tiny cells: the keyed Python sort is cheaper than a NumPy round-trip.
-        events = sorted(zip(clocks, counts), key=lambda event: event[0])
+        events = sorted(zip(clocks, counts, strict=False), key=lambda event: event[0])
         return [event[0] for event in events], [event[1] for event in events]
     clocks_array = np.asarray(clocks)
     if clocks_array.dtype.kind == "f" and not all(type(c) is float for c in clocks):
-        events = sorted(zip(clocks, counts), key=lambda event: event[0])
+        events = sorted(zip(clocks, counts, strict=False), key=lambda event: event[0])
         return [event[0] for event in events], [event[1] for event in events]
     order = np.argsort(clocks_array, kind="stable")
     return (
@@ -201,7 +201,7 @@ def _gather_sorted_events(
 # ---------------------------------------------------------------------- merge
 def merge_exponential_histograms(
     histograms: Sequence[ExponentialHistogram],
-    epsilon_prime: Optional[float] = None,
+    epsilon_prime: float | None = None,
 ) -> ExponentialHistogram:
     """Aggregate time-based exponential histograms into one (paper Section 5.1).
 
@@ -222,7 +222,7 @@ def merge_exponential_histograms(
     merged = ExponentialHistogram(
         epsilon=epsilon_prime, window=window, model=WindowModel.TIME_BASED
     )
-    events: List[ReplayEvent] = []
+    events: list[ReplayEvent] = []
     for histogram in histograms:
         events.extend(bucket_replay_events(histogram))
     events.sort(key=lambda event: event[0])
@@ -233,8 +233,8 @@ def merge_exponential_histograms(
 
 def merge_deterministic_waves(
     waves: Sequence[DeterministicWave],
-    epsilon_prime: Optional[float] = None,
-    max_arrivals: Optional[int] = None,
+    epsilon_prime: float | None = None,
+    max_arrivals: int | None = None,
 ) -> DeterministicWave:
     """Aggregate time-based deterministic waves into one wave.
 
@@ -254,7 +254,7 @@ def merge_deterministic_waves(
         max_arrivals=max_arrivals,
         model=WindowModel.TIME_BASED,
     )
-    events: List[ReplayEvent] = []
+    events: list[ReplayEvent] = []
     for wave in waves:
         events.extend(wave_replay_events(wave))
     events.sort(key=lambda event: event[0])
@@ -266,7 +266,7 @@ def merge_deterministic_waves(
 # ----------------------------------------------------------------- bulk merge
 def bulk_merge_exponential_histograms(
     histograms: Sequence[ExponentialHistogram],
-    epsilon_prime: Optional[float] = None,
+    epsilon_prime: float | None = None,
 ) -> ExponentialHistogram:
     """Vectorized :func:`merge_exponential_histograms` (identical state).
 
@@ -293,8 +293,8 @@ def bulk_merge_exponential_histograms(
 
 def bulk_merge_deterministic_waves(
     waves: Sequence[DeterministicWave],
-    epsilon_prime: Optional[float] = None,
-    max_arrivals: Optional[int] = None,
+    epsilon_prime: float | None = None,
+    max_arrivals: int | None = None,
 ) -> DeterministicWave:
     """Vectorized :func:`merge_deterministic_waves` (identical state).
 

@@ -32,7 +32,6 @@ import statistics
 from collections import deque
 from dataclasses import dataclass
 from operator import attrgetter
-from typing import Deque, List, Optional
 
 import numpy as np
 
@@ -82,7 +81,9 @@ def _trailing_zeros(value: int, limit: int) -> int:
     return zeros
 
 
-def _select_newest(entries: List[_Entry], per_level: int):
+def _select_newest(
+    entries: list[_Entry], per_level: int
+) -> tuple[list[_Entry], float] | None:
     """The newest ``per_level`` entries, clock-ordered, plus the trim horizon.
 
     Equivalent to the reference trim — stable-sort everything by clock, keep
@@ -144,18 +145,18 @@ class RandomizedWaveCopy:
         # Level deques are allocated lazily: an ECM-RW sketch holds thousands
         # of copies and most of their levels never receive a sample, so eager
         # allocation would dominate the footprint of large deployments.
-        self._levels: List[Optional[Deque[_Entry]]] = [None] * num_levels
+        self._levels: list[deque[_Entry] | None] = [None] * num_levels
         #: Most recent clock value ever evicted from each level because of the
         #: capacity cap.  A level is usable for a query start ``s`` only when
         #: this value is ``<= s``.
-        self.capacity_horizon: List[float] = [float("-inf")] * num_levels
+        self.capacity_horizon: list[float] = [float("-inf")] * num_levels
 
     @property
-    def levels(self) -> List[Deque[_Entry]]:
+    def levels(self) -> list[deque[_Entry]]:
         """Materialised view of the level samples (empty deques where unused)."""
         return [bucket if bucket is not None else deque() for bucket in self._levels]
 
-    def _level(self, index: int) -> Deque[_Entry]:
+    def _level(self, index: int) -> deque[_Entry]:
         bucket = self._levels[index]
         if bucket is None:
             bucket = deque()
@@ -202,7 +203,7 @@ class RandomizedWaveCopy:
     def entry_count(self) -> int:
         return sum(len(bucket) for bucket in self._levels if bucket is not None)
 
-    def merge_from(self, others: List["RandomizedWaveCopy"], vectorized: bool = True) -> None:
+    def merge_from(self, others: list[RandomizedWaveCopy], vectorized: bool = True) -> None:
         """Union this copy with others sharing the same hash coefficients.
 
         Each level's union is processed as one batch.  With ``vectorized``
@@ -217,7 +218,7 @@ class RandomizedWaveCopy:
         yield identical merged state.
         """
         for level in range(self.num_levels):
-            combined: List[_Entry] = list(self._levels[level] or ())
+            combined: list[_Entry] = list(self._levels[level] or ())
             horizon = self.capacity_horizon[level]
             contributed = bool(combined)
             for other in others:
@@ -295,7 +296,7 @@ class RandomizedWave(SlidingWindowCounter):
         self.num_levels = max(1, int(math.ceil(math.log2(max(2.0, float(self.max_arrivals))))) + 1)
         # Draw per-copy hash coefficients from a reproducible family.
         family = HashFamily(depth=self.num_copies, width=2 ** 61 - 3, seed=seed)
-        self._copies: List[RandomizedWaveCopy] = [
+        self._copies: list[RandomizedWaveCopy] = [
             RandomizedWaveCopy(
                 num_levels=self.num_levels,
                 per_level=self.per_level,
@@ -307,7 +308,7 @@ class RandomizedWave(SlidingWindowCounter):
         self._total_arrivals = 0
 
     # ----------------------------------------------------------------- adds
-    def add(self, clock: float, count: int = 1, uid: Optional[object] = None) -> None:
+    def add(self, clock: float, count: int = 1, uid: object | None = None) -> None:
         """Register ``count`` unit arrivals at clock value ``clock``.
 
         When ``uid`` is omitted a unique identifier is generated from the
@@ -340,7 +341,7 @@ class RandomizedWave(SlidingWindowCounter):
         self._expire(now)
 
     # -------------------------------------------------------------- queries
-    def estimate(self, range_length: Optional[float] = None, now: Optional[float] = None) -> float:
+    def estimate(self, range_length: float | None = None, now: float | None = None) -> float:
         """Estimate the number of arrivals in the last ``range_length`` clock units."""
         start, _end = self.resolve_query_bounds(range_length, now)
         estimates = [copy.estimate(start) for copy in self._copies]
@@ -351,7 +352,7 @@ class RandomizedWave(SlidingWindowCounter):
         return self._total_arrivals
 
     # ---------------------------------------------------------------- merge
-    def is_compatible_with(self, other: "RandomizedWave") -> bool:
+    def is_compatible_with(self, other: RandomizedWave) -> bool:
         """True when ``other`` can be merged into this wave."""
         return (
             isinstance(other, RandomizedWave)
@@ -365,7 +366,7 @@ class RandomizedWave(SlidingWindowCounter):
             and self.num_copies == other.num_copies
         )
 
-    def merge_inplace(self, others: List["RandomizedWave"], vectorized: bool = True) -> None:
+    def merge_inplace(self, others: list[RandomizedWave], vectorized: bool = True) -> None:
         """Union the samples of ``others`` into this wave (lossless aggregation).
 
         Args:
@@ -395,7 +396,7 @@ class RandomizedWave(SlidingWindowCounter):
         self._last_clock = max(known) if known else None
 
     @classmethod
-    def merged(cls, waves: List["RandomizedWave"], vectorized: bool = True) -> "RandomizedWave":
+    def merged(cls, waves: list[RandomizedWave], vectorized: bool = True) -> RandomizedWave:
         """Return a new wave equal to the lossless union of ``waves``."""
         if not waves:
             raise ConfigurationError("cannot merge an empty list of waves")

@@ -105,7 +105,7 @@ class TestCountMinBatchEquivalence:
         batched = CountMinSketch(width=50, depth=4, seed=9)
         items = ["item-%d" % rng.randrange(30) for _ in range(500)]
         values = [float(rng.randrange(1, 4)) for _ in items]
-        for item, value in zip(items, values):
+        for item, value in zip(items, values, strict=False):
             scalar.add(item, value)
         position = 0
         while position < len(items):
@@ -161,7 +161,7 @@ class TestExponentialHistogramAddBatch:
             counts.append(rng.choice([0, 1, 1, 2, 5]))
         scalar = ExponentialHistogram(epsilon=0.1, window=window, model=model)
         batched = ExponentialHistogram(epsilon=0.1, window=window, model=model)
-        for c, k in zip(clocks, counts):
+        for c, k in zip(clocks, counts, strict=False):
             scalar.add(c, k)
         batched.add_batch(clocks, counts)
         assert histogram_to_dict(scalar) == histogram_to_dict(batched)
@@ -216,7 +216,7 @@ class TestECMSketchBatchEquivalence:
         scalar = ECMSketch.for_point_queries(**kwargs)
         batched = ECMSketch.for_point_queries(**kwargs)
         items, clocks, values = make_keyed_stream(rng, 800, model)
-        for item, clock, value in zip(items, clocks, values):
+        for item, clock, value in zip(items, clocks, values, strict=False):
             scalar.add(item, clock, value)
         position = 0
         while position < len(items):
@@ -250,7 +250,7 @@ class TestECMSketchBatchEquivalence:
         scalar = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=1e6)
         batched = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=1e6)
         items, clocks, _ = make_keyed_stream(rng, 1000, WindowModel.TIME_BASED, distinct=200)
-        for item, clock in zip(items, clocks):
+        for item, clock in zip(items, clocks, strict=False):
             scalar.add(item, clock)
         batched.add_many(items, clocks)
         assert dumps(scalar) == dumps(batched)
@@ -262,7 +262,7 @@ class TestECMSketchBatchEquivalence:
         batched = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=1e6)
         items = [1, 1.0, True, "1", (1,), 1, "1", 1.0] * 20
         clocks = [float(index) for index in range(len(items))]
-        for item, clock in zip(items, clocks):
+        for item, clock in zip(items, clocks, strict=False):
             scalar.add(item, clock)
         batched.add_many(items, clocks)
         assert dumps(scalar) == dumps(batched)
@@ -274,7 +274,7 @@ class TestECMSketchBatchEquivalence:
         batched = ECMSketch.for_point_queries(epsilon=0.1, delta=0.1, window=1e6)
         items = ["x", "y", "x", "z"]
         clocks = [1, 2.5, 7, 9]
-        for item, clock in zip(items, clocks):
+        for item, clock in zip(items, clocks, strict=False):
             scalar.add(item, clock)
         batched.add_many(items, clocks)
         assert dumps(scalar) == dumps(batched)
@@ -340,7 +340,7 @@ class TestECMSketchBatchEquivalence:
         ]
         for tag in range(2):
             items, clocks, _ = make_keyed_stream(rng, 300, WindowModel.TIME_BASED)
-            for item, clock in zip(items, clocks):
+            for item, clock in zip(items, clocks, strict=False):
                 locals_scalar[tag].add(item, clock)
             locals_batched[tag].add_many(items, clocks)
         merged_scalar = ECMSketch.aggregate(locals_scalar)

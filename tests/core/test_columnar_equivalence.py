@@ -14,7 +14,6 @@ The deterministic tests pin the named scenarios; the hypothesis driver
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
 
 import pytest
 from hypothesis import given, settings
@@ -34,7 +33,7 @@ def _pair(
     window: float = WINDOW,
     model: WindowModel = WindowModel.TIME_BASED,
     seed: int = 3,
-) -> Tuple[ECMSketch, ECMSketch]:
+) -> tuple[ECMSketch, ECMSketch]:
     """The same configuration on both backends."""
     sketches = []
     for backend in ("object", "columnar"):

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from collections import Counter
-from typing import List, Tuple
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -25,7 +24,7 @@ keyed_streams = st.lists(
 )
 
 
-def _materialise(pairs: List[Tuple[int, float]]) -> List[Tuple[int, float]]:
+def _materialise(pairs: list[tuple[int, float]]) -> list[tuple[int, float]]:
     clock = 0.0
     out = []
     for key, gap in pairs:

@@ -79,7 +79,7 @@ class TestRunnerEquivalence:
         assert report.shards == 3
         assert report.records == len(wc98_trace)
         assert sum(report.per_shard_records) == len(wc98_trace)
-        for mine, theirs in zip(nodes, serial.nodes):
+        for mine, theirs in zip(nodes, serial.nodes, strict=False):
             assert mine.records_processed == theirs.records_processed
             assert dumps(mine.sketch) == dumps(theirs.sketch)
 
@@ -89,7 +89,7 @@ class TestRunnerEquivalence:
         parallel.ingest(wc98_trace, workers=2)
         assert parallel.last_ingest_report is not None
         assert parallel.last_ingest_report.workers == 2
-        for mine, theirs in zip(parallel.nodes, serial.nodes):
+        for mine, theirs in zip(parallel.nodes, serial.nodes, strict=False):
             assert dumps(mine.sketch) == dumps(theirs.sketch)
         assert dumps(parallel.aggregate()) == dumps(serial.aggregate())
 
@@ -159,7 +159,7 @@ class TestBatchedProtocolEquivalence:
         assert batched.stats.arrivals == scalar.stats.arrivals
         assert batched.stats.transfer_bytes == scalar.stats.transfer_bytes
         assert dumps(batched.root_sketch()) == dumps(scalar.root_sketch())
-        for mine, theirs in zip(batched.nodes, scalar.nodes):
+        for mine, theirs in zip(batched.nodes, scalar.nodes, strict=False):
             assert dumps(mine.sketch) == dumps(theirs.sketch)
 
     def test_periodic_coordinator_batch_size_validation(self, eh_config, wc98_trace):
@@ -190,7 +190,7 @@ class TestBatchedProtocolEquivalence:
         ):
             assert getattr(batched.stats, attribute) == getattr(scalar.stats, attribute)
         assert batched.current_estimate() == scalar.current_estimate()
-        for mine, theirs in zip(batched.sites, scalar.sites):
+        for mine, theirs in zip(batched.sites, scalar.sites, strict=False):
             assert dumps(mine.node.sketch) == dumps(theirs.node.sketch)
 
     def test_geometric_monitor_requires_initialization(self, wc98_trace, eh_config):

@@ -71,7 +71,7 @@ class TestBatchedIngestEquivalence:
         keys, clocks, values = make_integer_stream(rng, 400, model)
         scalar = make_stack(counter_type, model)
         batched = make_stack(counter_type, model)
-        for key, clock, value in zip(keys, clocks, values):
+        for key, clock, value in zip(keys, clocks, values, strict=False):
             scalar.add(key, clock, value)
         for start in range(0, len(keys), 96):
             stop = start + 96
@@ -252,7 +252,7 @@ class TestTrackerBatchEquivalence:
         keys = ["page-%d" % rng.randrange(60) for _ in range(500)]
         clocks = [float(index) for index in range(500)]
         values = [rng.choice([1, 1, 2]) for _ in range(500)]
-        for key, clock, value in zip(keys, clocks, values):
+        for key, clock, value in zip(keys, clocks, values, strict=False):
             scalar.add(key, clock, value)
         for start in range(0, 500, 128):
             stop = start + 128
@@ -272,7 +272,7 @@ class TestTrackerBatchEquivalence:
         reference = FrequentItemsTracker(
             epsilon=0.2, delta=0.2, window=100.0, universe_bits=4
         )
-        for key, clock in zip(["c", "a", "c", "b"], [1.0, 2.0, 3.0, 4.0]):
+        for key, clock in zip(["c", "a", "c", "b"], [1.0, 2.0, 3.0, 4.0], strict=False):
             reference.add(key, clock)
         assert dumps(tracker) == dumps(reference)
 

@@ -106,20 +106,22 @@ class TestWireRoundTrips:
     def test_typed_exceptions_over_the_wire(self):
         async def body():
             service = SketchService(ServiceConfig(mode="flat"))
-            async with SketchServer(service) as server:
-                async with await ServiceClient.connect(port=server.port) as client:
-                    with pytest.raises(UnknownOperationError):
-                        await client.request({"op": "no-such-op"})
-                    with pytest.raises(InvalidParameterError):
-                        await client.request({"op": "point"})  # missing key
-                    with pytest.raises(ModeMismatchError):
-                        await client.heavy_hitters(phi=0.1)  # flat mode
-                    with pytest.raises(PoolDisabledError):
-                        await client.point("a", tenant="alpha")  # no pool
-                    with pytest.raises(ClockRegressionError):
-                        await client.ingest(["a", "b"], [5.0, 1.0])
-                    # The connection survives every rejected request.
-                    assert await client.ping() == "pong"
+            async with (
+                SketchServer(service) as server,
+                await ServiceClient.connect(port=server.port) as client,
+            ):
+                with pytest.raises(UnknownOperationError):
+                    await client.request({"op": "no-such-op"})
+                with pytest.raises(InvalidParameterError):
+                    await client.request({"op": "point"})  # missing key
+                with pytest.raises(ModeMismatchError):
+                    await client.heavy_hitters(phi=0.1)  # flat mode
+                with pytest.raises(PoolDisabledError):
+                    await client.point("a", tenant="alpha")  # no pool
+                with pytest.raises(ClockRegressionError):
+                    await client.ingest(["a", "b"], [5.0, 1.0])
+                # The connection survives every rejected request.
+                assert await client.ping() == "pong"
 
         run(body())
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any, Dict, Optional, Tuple
+from typing import Any
 
 import pytest
 
@@ -32,8 +32,8 @@ def run(coroutine):
 
 
 async def http(
-    port: int, method: str, path: str, body: Optional[Dict[str, Any]] = None
-) -> Tuple[int, Dict[str, Any]]:
+    port: int, method: str, path: str, body: dict[str, Any] | None = None
+) -> tuple[int, dict[str, Any]]:
     """One HTTP exchange against the gateway; returns (status, payload)."""
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
     try:
@@ -83,7 +83,7 @@ class _Stack:
         self.gateway: GatewayServer = None  # type: ignore[assignment]
         self.client: ServiceClient = None  # type: ignore[assignment]
 
-    async def __aenter__(self) -> "_Stack":
+    async def __aenter__(self) -> _Stack:
         await self.server.__aenter__()
         self.gateway = GatewayServer(backend_port=self.server.port, port=0)
         await self.gateway.start()

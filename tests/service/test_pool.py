@@ -9,6 +9,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import time
 
 import pytest
 
@@ -229,6 +230,48 @@ class TestMemoryGovernor:
                     assert stats["records_ingested"] == 500, tenant
                 assert pool.stats()["evictions"] >= 2
                 assert pool.stats()["restores"] >= 2
+
+        run(body())
+
+    def test_eviction_does_not_stall_the_loop(self, tmp_path, monkeypatch):
+        """A slow catalog commit during eviction must not block the loop.
+
+        The catalog write runs on the catalog's worker thread (reprolint
+        RL002 is the static side of this invariant); a heartbeat coroutine
+        must keep ticking while an eviction sits inside a pathologically
+        slow ``mark_evicted``.  Before the off-loop catalog, this test
+        observes a frozen loop: ~0 beats across the whole eviction.
+        """
+
+        async def body():
+            async with TenantPool(pool_config(tmp_path)) as pool:
+                await pool.tenant_create("cold")
+                await fill(pool, "cold", seed=3, records=200)
+
+                real_mark_evicted = TenantCatalog.mark_evicted
+
+                def slow_mark_evicted(catalog, *args):
+                    time.sleep(0.6)  # worker thread, not the event loop
+                    return real_mark_evicted(catalog, *args)
+
+                monkeypatch.setattr(TenantCatalog, "mark_evicted", slow_mark_evicted)
+
+                beats = 0
+                stop = asyncio.Event()
+
+                async def heartbeat():
+                    nonlocal beats
+                    while not stop.is_set():
+                        await asyncio.sleep(0.01)
+                        beats += 1
+
+                ticker = asyncio.create_task(heartbeat())
+                assert await pool._evict("cold") is True
+                stop.set()
+                await ticker
+                # A loop frozen for the 0.6s commit yields ~0 beats; the
+                # off-loop commit yields ~60.  10 leaves slack for slow CI.
+                assert beats >= 10, "event loop stalled during eviction (%d beats)" % beats
 
         run(body())
 

@@ -28,41 +28,45 @@ def serve(config: ServiceConfig) -> SketchServer:
 class TestProtocolDispatch:
     def test_ping_info_stats_and_queries(self):
         async def body():
-            async with serve(ServiceConfig(mode="flat")) as server:
-                async with await ServiceClient.connect(port=server.port) as client:
-                    assert await client.ping() == "pong"
-                    info = await client.get_info()
-                    assert info.mode == "flat"
-                    assert info.raw["mode"] == "flat"
-                    await client.ingest(["a", "b", "a"], [1.0, 2.0, 3.0])
-                    await client.drain()
-                    assert await client.point("a") == 2.0
-                    assert await client.self_join() == 5.0
-                    stats = await client.get_stats()
-                    assert stats.records_ingested == 3
-                    # The 1.x dict-returning surface survives one release as
-                    # a deprecated shim over the typed results.
-                    with pytest.warns(DeprecationWarning):
-                        assert (await client.info())["mode"] == "flat"
-                    with pytest.warns(DeprecationWarning):
-                        assert (await client.stats())["records_ingested"] == 3
+            async with (
+                serve(ServiceConfig(mode="flat")) as server,
+                await ServiceClient.connect(port=server.port) as client,
+            ):
+                assert await client.ping() == "pong"
+                info = await client.get_info()
+                assert info.mode == "flat"
+                assert info.raw["mode"] == "flat"
+                await client.ingest(["a", "b", "a"], [1.0, 2.0, 3.0])
+                await client.drain()
+                assert await client.point("a") == 2.0
+                assert await client.self_join() == 5.0
+                stats = await client.get_stats()
+                assert stats.records_ingested == 3
+                # The 1.x dict-returning surface survives one release as
+                # a deprecated shim over the typed results.
+                with pytest.warns(DeprecationWarning):
+                    assert (await client.info())["mode"] == "flat"
+                with pytest.warns(DeprecationWarning):
+                    assert (await client.stats())["records_ingested"] == 3
 
         run(body())
 
     def test_request_id_echo_and_error_envelopes(self):
         async def body():
-            async with serve(ServiceConfig(mode="flat")) as server:
-                async with await ServiceClient.connect(port=server.port) as client:
-                    response = await client.request({"op": "ping", "id": "q-1"})
-                    assert response == "pong"  # unwrapped; id handled transparently
-                    with pytest.raises(ServiceRequestError):
-                        await client.request({"op": "no-such-op"})
-                    with pytest.raises(ServiceRequestError):
-                        await client.request({"op": "point"})  # missing key
-                    with pytest.raises(ServiceRequestError):
-                        await client.request({"op": "heavy_hitters", "phi": 0.1})  # flat mode
-                    # The connection survives every rejected request.
-                    assert await client.ping() == "pong"
+            async with (
+                serve(ServiceConfig(mode="flat")) as server,
+                await ServiceClient.connect(port=server.port) as client,
+            ):
+                response = await client.request({"op": "ping", "id": "q-1"})
+                assert response == "pong"  # unwrapped; id handled transparently
+                with pytest.raises(ServiceRequestError):
+                    await client.request({"op": "no-such-op"})
+                with pytest.raises(ServiceRequestError):
+                    await client.request({"op": "point"})  # missing key
+                with pytest.raises(ServiceRequestError):
+                    await client.request({"op": "heavy_hitters", "phi": 0.1})  # flat mode
+                # The connection survives every rejected request.
+                assert await client.ping() == "pong"
 
         run(body())
 
@@ -83,13 +87,15 @@ class TestProtocolDispatch:
 
     def test_ingest_validation_reaches_the_client(self):
         async def body():
-            async with serve(ServiceConfig(mode="flat")) as server:
-                async with await ServiceClient.connect(port=server.port) as client:
-                    await client.ingest(["a"], [5.0])
-                    with pytest.raises(ServiceRequestError):
-                        await client.ingest(["b"], [4.0])  # out of order
-                    with pytest.raises(ServiceRequestError):
-                        await client.request({"op": "ingest", "keys": "ab", "clocks": [1]})
+            async with (
+                serve(ServiceConfig(mode="flat")) as server,
+                await ServiceClient.connect(port=server.port) as client,
+            ):
+                await client.ingest(["a"], [5.0])
+                with pytest.raises(ServiceRequestError):
+                    await client.ingest(["b"], [4.0])  # out of order
+                with pytest.raises(ServiceRequestError):
+                    await client.request({"op": "ingest", "keys": "ab", "clocks": [1]})
 
         run(body())
 
@@ -111,12 +117,14 @@ class TestProtocolDispatch:
     def test_snapshot_op(self, tmp_path):
         async def body():
             config = ServiceConfig(mode="flat", snapshot_path=str(tmp_path / "s.json"))
-            async with serve(config) as server:
-                async with await ServiceClient.connect(port=server.port) as client:
-                    await client.ingest(["a"], [1.0])
-                    await client.drain()
-                    path = await client.snapshot()
-                    assert path == str(tmp_path / "s.json")
+            async with (
+                serve(config) as server,
+                await ServiceClient.connect(port=server.port) as client,
+            ):
+                await client.ingest(["a"], [1.0])
+                await client.drain()
+                path = await client.snapshot()
+                assert path == str(tmp_path / "s.json")
 
         run(body())
 
@@ -125,17 +133,19 @@ class TestHierarchicalOverTheWire:
     def test_query_surface(self):
         async def body():
             config = ServiceConfig(mode="hierarchical", universe_bits=6, epsilon=0.05)
-            async with serve(config) as server:
-                async with await ServiceClient.connect(port=server.port) as client:
-                    keys = [1, 2, 1, 3, 1, 2] * 40
-                    clocks = [float(i) for i in range(len(keys))]
-                    await client.ingest(keys, clocks)
-                    await client.drain()
-                    assert await client.point(1) >= 120.0
-                    assert await client.range_query(0, 63) >= 240.0
-                    hitters = dict(await client.heavy_hitters(phi=0.2))
-                    assert 1 in hitters
-                    assert isinstance(await client.quantile(0.5), int)
+            async with (
+                serve(config) as server,
+                await ServiceClient.connect(port=server.port) as client,
+            ):
+                keys = [1, 2, 1, 3, 1, 2] * 40
+                clocks = [float(i) for i in range(len(keys))]
+                await client.ingest(keys, clocks)
+                await client.drain()
+                assert await client.point(1) >= 120.0
+                assert await client.range_query(0, 63) >= 240.0
+                hitters = dict(await client.heavy_hitters(phi=0.2))
+                assert 1 in hitters
+                assert isinstance(await client.quantile(0.5), int)
 
         run(body())
 

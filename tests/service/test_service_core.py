@@ -8,6 +8,7 @@ import pytest
 
 from repro.core import ECMSketch
 from repro.core.config import ECMConfig
+from repro.core.errors import ConfigurationError
 from repro.distributed.continuous import PeriodicAggregationCoordinator
 from repro.queries.hierarchical import HierarchicalECMSketch
 from repro.serialization import dumps
@@ -32,11 +33,11 @@ def flat_config(**overrides) -> ServiceConfig:
 
 class TestServiceConfig:
     def test_rejects_unknown_mode(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ConfigurationError):
             ServiceConfig(mode="turbo")
 
     def test_rejects_snapshot_period_without_path(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ConfigurationError):
             ServiceConfig(snapshot_every=5.0)
 
     def test_round_trips_through_dict(self):

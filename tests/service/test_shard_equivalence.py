@@ -19,7 +19,7 @@ Random traces sweep window models (time/count), storage backends
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any
 
 import pytest
 from hypothesis import given, settings
@@ -102,7 +102,7 @@ class TestPartitionFunction:
 # --------------------------------------------------------------------------
 # Trace strategies
 # --------------------------------------------------------------------------
-def _clocks(model: WindowModel, gaps: List[float], count: int) -> List[float]:
+def _clocks(model: WindowModel, gaps: list[float], count: int) -> list[float]:
     if model == WindowModel.COUNT_BASED:
         return [float(index + 1) for index in range(count)]
     clock = 0.0
@@ -136,7 +136,7 @@ backends = st.sampled_from(["columnar", "object"])
 shard_counts = st.sampled_from(SHARD_COUNTS)
 
 
-def _config(mode: str, model: WindowModel, backend: str, shards: Optional[int]) -> ServiceConfig:
+def _config(mode: str, model: WindowModel, backend: str, shards: int | None) -> ServiceConfig:
     return ServiceConfig(
         mode=mode,
         epsilon=EPSILON,
@@ -153,8 +153,8 @@ def _config(mode: str, model: WindowModel, backend: str, shards: Optional[int]) 
 
 
 async def _drive(
-    config: ServiceConfig, keys: List[Any], clocks: List[float], chunk: int = 17
-) -> Tuple[ShardRouter, List[SketchService]]:
+    config: ServiceConfig, keys: list[Any], clocks: list[float], chunk: int = 17
+) -> tuple[ShardRouter, list[SketchService]]:
     """Start router + per-shard serial references, feed both the same trace.
 
     The references are fed the *partitioned* sub-streams directly — the same
@@ -171,7 +171,7 @@ async def _drive(
     for offset in range(0, len(keys), chunk):
         stop = offset + chunk
         await router.ingest(keys[offset:stop], clocks[offset:stop])
-        per_shard: Dict[int, Tuple[List[Any], List[float]]] = {}
+        per_shard: dict[int, tuple[list[Any], list[float]]] = {}
         for index in range(offset, min(stop, len(keys))):
             bucket = per_shard.setdefault(owners[index], ([], []))
             bucket[0].append(keys[index])
@@ -184,13 +184,13 @@ async def _drive(
     return router, references
 
 
-async def _shutdown(router: ShardRouter, references: List[SketchService]) -> None:
+async def _shutdown(router: ShardRouter, references: list[SketchService]) -> None:
     await router.stop(drain=True)
     for reference in references:
         await reference.stop(drain=True)
 
 
-def _ref_sum(references: List[SketchService], op: str, message: Dict[str, Any]) -> float:
+def _ref_sum(references: list[SketchService], op: str, message: dict[str, Any]) -> float:
     return float(sum(float(ref.query(op, dict(message))) for ref in references))
 
 
@@ -267,10 +267,10 @@ def test_flat_single_shard_router_is_byte_identical(trace, model, backend):
 # Hierarchical mode
 # --------------------------------------------------------------------------
 def _reference_quantile(
-    references: List[SketchService], fraction: float, range_length: Optional[float]
+    references: list[SketchService], fraction: float, range_length: float | None
 ) -> int:
     """The router's documented quantile semantics, evaluated over references."""
-    message: Dict[str, Any] = {"op": "arrivals"}
+    message: dict[str, Any] = {"op": "arrivals"}
     if range_length is not None:
         message["range"] = range_length
     total = _ref_sum(references, "arrivals", message)
@@ -278,7 +278,7 @@ def _reference_quantile(
     lo, hi = 0, (1 << UNIVERSE_BITS) - 1
     while lo < hi:
         mid = (lo + hi) // 2
-        probe: Dict[str, Any] = {"op": "range", "lo": 0, "hi": mid}
+        probe: dict[str, Any] = {"op": "range", "lo": 0, "hi": mid}
         if range_length is not None:
             probe["range"] = range_length
         if _ref_sum(references, "range", probe) >= target:

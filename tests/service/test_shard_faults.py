@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import asyncio
 import os
-from typing import Any, Dict, List, Tuple
+from typing import Any
 
 import pytest
 
@@ -46,7 +46,7 @@ def _config(snapshot_path: str) -> ServiceConfig:
     )
 
 
-def _trace(records: int, start_clock: float = 1.0) -> Tuple[List[str], List[float]]:
+def _trace(records: int, start_clock: float = 1.0) -> tuple[list[str], list[float]]:
     keys = ["key-%d" % (index % 12) for index in range(records)]
     clocks = [start_clock + index for index in range(records)]
     return keys, clocks
@@ -58,20 +58,20 @@ async def _bounded(awaitable, timeout: float = _STEP_TIMEOUT):
 
 
 async def _reference_answers(
-    config: ServiceConfig, keys: List[str], clocks: List[float]
-) -> Dict[str, Any]:
+    config: ServiceConfig, keys: list[str], clocks: list[float]
+) -> dict[str, Any]:
     """Serial per-shard references fed the full trace, merged like the router."""
     references = [SketchService(worker_config(config, shard)) for shard in range(SHARDS)]
     for reference in references:
         await reference.start()
-    per_shard: Dict[int, Tuple[List[str], List[float]]] = {}
-    for key, clock in zip(keys, clocks):
+    per_shard: dict[int, tuple[list[str], list[float]]] = {}
+    for key, clock in zip(keys, clocks, strict=False):
         bucket = per_shard.setdefault(shard_of(key, SHARDS), ([], []))
         bucket[0].append(key)
         bucket[1].append(clock)
     for shard, (sub_keys, sub_clocks) in per_shard.items():
         await references[shard].ingest(sub_keys, sub_clocks)
-    answers: Dict[str, Any] = {}
+    answers: dict[str, Any] = {}
     for reference in references:
         await reference.drain()
     probe_keys = sorted(set(keys))
@@ -142,7 +142,7 @@ class TestShardFaults:
                 assert outcome["restored_from"] is not None
                 victim_snapshot_clock = max(
                     clock
-                    for key, clock in zip(keys[:cut], clocks[:cut])
+                    for key, clock in zip(keys[:cut], clocks[:cut], strict=False)
                     if shard_of(key, SHARDS) == victim
                 )
                 assert outcome["applied_clock"] == victim_snapshot_clock
@@ -154,7 +154,7 @@ class TestShardFaults:
                 # every answer against serial references.
                 lost = [
                     (key, clock)
-                    for key, clock in zip(keys[cut:], clocks[cut:])
+                    for key, clock in zip(keys[cut:], clocks[cut:], strict=False)
                     if shard_of(key, SHARDS) == victim
                 ]
                 await _bounded(

@@ -55,7 +55,7 @@ def _build_references():
     trace, clocks = build_replay_stream(info, RECORDS, seed=SEED)
     keys = [record.key for record in trace]
     per_shard = {shard: ([], []) for shard in range(SHARDS)}
-    for key, clock in zip(keys, clocks):
+    for key, clock in zip(keys, clocks, strict=False):
         bucket = per_shard[shard_of(key, SHARDS)]
         bucket[0].append(key)
         bucket[1].append(clock)

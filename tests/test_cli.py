@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
+from repro.core.errors import ConfigurationError
 
 
 def run_cli(argv):
@@ -70,7 +71,7 @@ class TestCommands:
         assert output.exists()
 
     def test_heavy_hitters_rejects_domain_over_universe(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ConfigurationError):
             run_cli(["heavy-hitters", "--records", "100", "--domain", "100",
                      "--universe-bits", "4"])
 
@@ -173,3 +174,29 @@ class TestServeReplayParsers:
         code, lines = run_cli(["replay", "--port", "1", "--records", "100"])
         assert code == 1
         assert any("could not reach" in line for line in lines)
+
+
+class TestLint:
+    """``repro lint`` delegates to tools/reprolint (the checkout's checker)."""
+
+    def test_lint_smoke_on_a_clean_file(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        code, lines = run_cli(["lint", str(clean)])
+        assert code == 0
+        assert lines[-1] == "reprolint: clean"
+
+    def test_lint_flags_and_reports_findings(self, tmp_path):
+        dirty = tmp_path / "src" / "repro" / "service" / "bad.py"
+        dirty.parent.mkdir(parents=True)
+        dirty.write_text("x = hash('a')\n", encoding="utf-8")
+        code, lines = run_cli(["lint", str(dirty), "--rules", "RL001"])
+        assert code == 1
+        assert any("RL001" in line for line in lines)
+
+    def test_lint_list_rules(self):
+        code, lines = run_cli(["lint", "--list-rules"])
+        assert code == 0
+        joined = "\n".join(lines)
+        for rule_code in ["RL001", "RL002", "RL003", "RL004", "RL005"]:
+            assert rule_code in joined

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import List, Tuple
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -24,7 +23,7 @@ keyed_streams = st.lists(
 )
 
 
-def _materialise(pairs) -> List[Tuple[int, float]]:
+def _materialise(pairs) -> list[tuple[int, float]]:
     clock = 0.0
     out = []
     for key, gap in pairs:

@@ -148,7 +148,7 @@ class TestWaveBulkLoad:
         clocks = make_clocks(rng, 900, int_clocks)
         counts = [rng.choice([0, 1, 1, 2, 7]) for _ in clocks]
         scalar = DeterministicWave(epsilon=0.08, window=window, max_arrivals=20_000)
-        for clock, count in zip(clocks, counts):
+        for clock, count in zip(clocks, counts, strict=False):
             scalar.add(clock, count)
         batched = DeterministicWave(epsilon=0.08, window=window, max_arrivals=20_000)
         batched.add_batch(clocks, counts)

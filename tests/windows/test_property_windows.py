@@ -13,7 +13,6 @@ query ranges, asserting the paper's invariants:
 
 from __future__ import annotations
 
-from typing import List
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -38,7 +37,7 @@ epsilons = st.sampled_from([0.05, 0.1, 0.2, 0.4])
 range_fractions = st.floats(min_value=0.001, max_value=1.0)
 
 
-def _clocks_from_gaps(gap_list: List[float]) -> List[float]:
+def _clocks_from_gaps(gap_list: list[float]) -> list[float]:
     clocks = []
     clock = 0.0
     for gap in gap_list:
@@ -47,7 +46,7 @@ def _clocks_from_gaps(gap_list: List[float]) -> List[float]:
     return clocks
 
 
-def _brute_count(clocks: List[float], start: float, end: float) -> int:
+def _brute_count(clocks: list[float], start: float, end: float) -> int:
     return sum(1 for clock in clocks if start < clock <= end)
 
 
@@ -110,7 +109,7 @@ def test_merged_exponential_histograms_respect_theorem_4(gap_lists, epsilon, fra
     """Aggregation error stays within eps + eps' + eps*eps' on arbitrary inputs."""
     window = 1e9
     histograms = []
-    union: List[float] = []
+    union: list[float] = []
     for gap_list in gap_lists:
         clocks = _clocks_from_gaps(gap_list)
         histogram = ExponentialHistogram(epsilon=epsilon, window=window)

@@ -1,0 +1,1 @@
+"""Repository tooling: static analysis and CI guards (not shipped in the wheel)."""

@@ -1,0 +1,16 @@
+"""``python -m tools.reprolint`` — run the invariant checker.
+
+Exit codes: 0 clean, 1 findings, 2 usage or parse errors.  ``repro lint``
+delegates here, so contributors get the same behaviour either way.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Sequence
+
+from .cli import main
+
+if __name__ == "__main__":  # pragma: no cover - thin module entry
+    argv: Sequence[str] = sys.argv[1:]
+    sys.exit(main(argv))

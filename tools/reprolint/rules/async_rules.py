@@ -1,0 +1,343 @@
+"""Event-loop safety rules: RL002 (no blocking in async) and RL003
+(no slow awaits under a mutating lock).
+
+The whole serving tier hangs off one asyncio loop (PR 5): the ingest
+consumer, every connection handler, the snapshot and sweep timers.  A
+synchronous ``time.sleep``/file/socket/sqlite call inside an ``async def``
+stalls all of them at once — ingest backpressure, query latency, heartbeats.
+And holding a tenant/service lock across a network round-trip while the
+body also mutates shared maps is the evict/restore race shape PR 7 fixed by
+hand.  These rules make both regressions visible at review time.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import Finding, ModuleFile
+from . import Rule, dotted_name, register
+
+#: Exact dotted calls that block the loop.
+_BLOCKING_CALLS = frozenset(
+    ["time.sleep", "open", "io.open", "os.fsync", "os.replace", "sqlite3.connect",
+     "socket.create_connection", "socket.getaddrinfo", "shutil.copy", "shutil.copytree",
+     "shutil.rmtree", "urllib.request.urlopen"]
+)
+
+#: Dotted prefixes that block the loop whatever the member.
+_BLOCKING_PREFIXES = ("sqlite3.", "subprocess.", "requests.")
+
+#: Awaited calls that park the coroutine on the network or a timer; holding
+#: a lock across one of these while mutating shared state is the RL003 race
+#: shape.  ``connect``/``request``/``submit`` are this repo's client and
+#: shard-channel round-trips.
+_SLOW_AWAIT_NAMES = frozenset(["request", "connect", "submit", "open_connection"])
+_SLOW_AWAIT_CALLS = frozenset(
+    ["asyncio.sleep", "asyncio.wait", "asyncio.wait_for", "asyncio.gather", "asyncio.shield",
+     "asyncio.open_connection", "asyncio.start_server", "asyncio.to_thread"]
+)
+
+
+def _is_blocking_name(name: str) -> bool:
+    if name in _BLOCKING_CALLS:
+        return True
+    return name.startswith(_BLOCKING_PREFIXES)
+
+
+class _ClassModel:
+    """What RL002 knows about one class defined in the scanned module."""
+
+    def __init__(self) -> None:
+        #: Attributes assigned from a blocking resource (``self._connection
+        #: = sqlite3.connect(...)``) in any method.
+        self.blocking_attrs: set[str] = set()
+        #: Attributes assigned from another class in this module
+        #: (``self.catalog = TenantCatalog(...)``) — attr -> class name.
+        self.typed_attrs: dict[str, str] = {}
+        #: Methods whose bodies make a blocking call (directly or on a
+        #: blocking attribute).
+        self.blocking_methods: set[str] = set()
+
+
+def _build_class_models(tree: ast.Module) -> dict[str, _ClassModel]:
+    """Two-pass intra-module analysis: which methods block the loop?
+
+    Pass 1 binds ``self.<attr>`` assignments to blocking resources or to
+    classes defined in the same module; pass 2 marks methods blocking when
+    they call a blocking API directly or call through a blocking attribute.
+    A final propagation marks methods blocking when they call a blocking
+    method of a same-module class held in a typed attribute — that is how a
+    synchronous ``self.catalog.touch()`` (a SQLite write) surfaces inside an
+    ``async def`` even though ``sqlite3`` never appears in the async body.
+    """
+    class_names = {
+        node.name for node in tree.body if isinstance(node, ast.ClassDef)
+    }
+    models: dict[str, _ClassModel] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        model = models[node.name] = _ClassModel()
+        methods = [
+            child for child in node.body
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for method in methods:
+            for statement in ast.walk(method):
+                if not isinstance(statement, ast.Assign):
+                    continue
+                if not isinstance(statement.value, ast.Call):
+                    continue
+                called = dotted_name(statement.value.func)
+                if called is None:
+                    continue
+                for target in statement.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        if _is_blocking_name(called):
+                            model.blocking_attrs.add(target.attr)
+                        elif called in class_names:
+                            model.typed_attrs[target.attr] = called
+        model.sync_methods = {
+            method.name: method
+            for method in methods
+            if isinstance(method, ast.FunctionDef)
+            # async methods are RL002's *subjects*, not sources
+        }
+        for name, method in model.sync_methods.items():
+            for call in ast.walk(method):
+                if not isinstance(call, ast.Call):
+                    continue
+                called = dotted_name(call.func)
+                if called is None:
+                    continue
+                if _is_blocking_name(called):
+                    model.blocking_methods.add(name)
+                    break
+                parts = called.split(".")
+                if len(parts) == 3 and parts[0] == "self" and parts[1] in model.blocking_attrs:
+                    model.blocking_methods.add(name)
+                    break
+    # Fixpoint propagation: a sync method that calls a blocking method —
+    # its own class's (``self._touch()``) or a typed attribute's
+    # (``self.catalog.touch()``) — blocks too.  This is how a catalog write
+    # two hops away still surfaces inside an ``async def``.
+    changed = True
+    while changed:
+        changed = False
+        for model in models.values():
+            for name, method in model.sync_methods.items():
+                if name in model.blocking_methods:
+                    continue
+                if _calls_blocking(method, model, models):
+                    model.blocking_methods.add(name)
+                    changed = True
+    return models
+
+
+def _calls_blocking(
+    method: ast.FunctionDef, model: _ClassModel, models: dict[str, _ClassModel]
+) -> bool:
+    for call in ast.walk(method):
+        if not isinstance(call, ast.Call):
+            continue
+        called = dotted_name(call.func)
+        if called is None:
+            continue
+        parts = called.split(".")
+        if len(parts) == 2 and parts[0] == "self" and parts[1] in model.blocking_methods:
+            return True
+        if len(parts) == 3 and parts[0] == "self":
+            attr_class = models.get(model.typed_attrs.get(parts[1], ""))
+            if attr_class is not None and parts[2] in attr_class.blocking_methods:
+                return True
+    return False
+
+
+def _sync_descendants(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk an async body without descending into nested function defs.
+
+    A nested ``def`` is a value, not loop-time execution — it typically ends
+    up inside ``run_in_executor``, which is exactly the sanctioned escape.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class NoBlockingInAsyncRule(Rule):
+    """RL002: no synchronous blocking calls inside ``async def``.
+
+    The serving tier is single-loop by design (PR 5): one stalled coroutine
+    stalls ingest, queries and heartbeats together.  Blocking work belongs
+    in ``loop.run_in_executor`` (see ``SketchService.snapshot_async`` for
+    the repo pattern) or behind an explicit, justified suppression.
+    """
+
+    code = "RL002"
+    name = "no-blocking-in-async"
+    rationale = (
+        "one asyncio loop serves ingest, queries and timers; a synchronous "
+        "sleep/file/socket/sqlite call stalls them all [PR 5/7] — route it "
+        "through loop.run_in_executor"
+    )
+
+    def check_module(self, module: ModuleFile) -> Iterator[Finding]:
+        models = _build_class_models(module.tree)
+        # Map every async method to its enclosing class (for self.* binding).
+        owners: dict[ast.AsyncFunctionDef, str] = {}
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                for child in node.body:
+                    if isinstance(child, ast.AsyncFunctionDef):
+                        owners[child] = node.name
+        for func in [n for n in ast.walk(module.tree) if isinstance(n, ast.AsyncFunctionDef)]:
+            owner = models.get(owners.get(func, ""))
+            for node in _sync_descendants(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                called = dotted_name(node.func)
+                if called is None:
+                    continue
+                if _is_blocking_name(called):
+                    yield module.finding(
+                        node,
+                        self.code,
+                        "%s() blocks the event loop inside 'async def %s'; "
+                        "run it in an executor (loop.run_in_executor)"
+                        % (called, func.name),
+                    )
+                    continue
+                if owner is None:
+                    continue
+                parts = called.split(".")
+                if len(parts) == 2 and parts[0] == "self" and parts[1] in owner.blocking_methods:
+                    yield module.finding(
+                        node,
+                        self.code,
+                        "%s() is a synchronous method that blocks (directly or "
+                        "through a blocking attribute); inside 'async def %s' "
+                        "it stalls the event loop" % (called, func.name),
+                    )
+                    continue
+                if len(parts) != 3 or parts[0] != "self":
+                    continue
+                attr, method_name = parts[1], parts[2]
+                if attr in owner.blocking_attrs:
+                    yield module.finding(
+                        node,
+                        self.code,
+                        "self.%s is a blocking resource; %s() inside "
+                        "'async def %s' stalls the event loop" % (attr, called, func.name),
+                    )
+                    continue
+                attr_class = models.get(owner.typed_attrs.get(attr, ""))
+                if attr_class is not None and method_name in attr_class.blocking_methods:
+                    yield module.finding(
+                        node,
+                        self.code,
+                        "%s() is synchronous blocking I/O (%s.%s blocks); "
+                        "inside 'async def %s' it stalls the event loop — "
+                        "run it in an executor"
+                        % (called, owner.typed_attrs[attr], method_name, func.name),
+                    )
+
+
+def _is_lock_like(node: ast.expr) -> bool:
+    """Heuristic: does this ``async with`` context expression name a lock?"""
+    target = node
+    if isinstance(target, ast.Call):
+        name = dotted_name(target.func)
+        if name is not None and "lock" in name.lower():
+            return True
+        target = target.func
+    name = dotted_name(target)
+    return name is not None and "lock" in name.lower()
+
+
+def _mutates_shared_state(body: list[ast.stmt]) -> bool:
+    """Does the lock body write ``self.<attr>`` (or ``self.<attr>[...]``)?"""
+    for statement in body:
+        for node in ast.walk(statement):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            for target in targets:
+                base: ast.expr = target
+                while isinstance(base, (ast.Subscript, ast.Attribute)):
+                    if (
+                        isinstance(base, ast.Attribute)
+                        and isinstance(base.value, ast.Name)
+                        and base.value.id == "self"
+                    ):
+                        return True
+                    base = base.value
+    return False
+
+
+@register
+class AwaitUnderLockRule(Rule):
+    """RL003: no slow awaits inside a mutating ``async with <lock>`` body.
+
+    The race class PR 7 fixed by hand: hold a tenant/service lock, await a
+    network round-trip or timer, and mutate shared maps in the same block —
+    every other task serializes behind the round-trip, and a cancellation
+    mid-await leaves the mutation half-applied.  Awaiting *local* work under
+    a lock (drain, restore, snapshot of the guarded object) is the intended
+    pattern and stays silent; it is the known slow awaits
+    (``asyncio.sleep``, client ``request``/``connect``, channel ``submit``)
+    that get flagged.
+    """
+
+    code = "RL003"
+    name = "await-under-lock"
+    rationale = (
+        "awaiting a network round-trip or timer while holding a lock whose "
+        "body mutates shared service state serializes every peer behind it "
+        "and reopens the evict/restore race class [PR 7]"
+    )
+
+    def check_module(self, module: ModuleFile) -> Iterator[Finding]:
+        for func in [n for n in ast.walk(module.tree) if isinstance(n, ast.AsyncFunctionDef)]:
+            for node in ast.walk(func):
+                if not isinstance(node, ast.AsyncWith):
+                    continue
+                if not any(_is_lock_like(item.context_expr) for item in node.items):
+                    continue
+                if not _mutates_shared_state(node.body):
+                    continue
+                for statement in node.body:
+                    for child in ast.walk(statement):
+                        if not isinstance(child, ast.Await):
+                            continue
+                        value = child.value
+                        if not isinstance(value, ast.Call):
+                            continue
+                        called = dotted_name(value.func)
+                        if called is None:
+                            continue
+                        slow = called in _SLOW_AWAIT_CALLS or (
+                            called.split(".")[-1] in _SLOW_AWAIT_NAMES
+                        )
+                        if slow:
+                            yield module.finding(
+                                child,
+                                self.code,
+                                "await %s(...) inside a lock whose body mutates "
+                                "shared state: peers serialize behind the "
+                                "round-trip and a mid-await cancellation leaves "
+                                "the mutation half-applied" % (called,),
+                            )

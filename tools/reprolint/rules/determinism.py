@@ -1,0 +1,136 @@
+"""Determinism rules: RL001 (no salted hash) and RL005 (no nondeterminism).
+
+Both guard the same contract from different directions: sketch state must be
+byte-identically reproducible across processes and restarts.  PR 6 made the
+shard partition survive restarts by banning the per-process-salted builtin
+``hash()`` in favour of the pinned ``crc32v1`` scheme; PR 1-4 made replay
+byte-identical by seeding every random draw and driving every expiry off
+stream clocks instead of wall clocks.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import Finding, ModuleFile
+from . import Rule, dotted_name, register
+
+#: Directories whose partition/merge paths must never see builtin ``hash()``.
+_HASH_BANNED_DIRS = frozenset(["service", "distributed", "windows"])
+
+#: Sketch-state directories where byte-identical replay is contractual.
+_DETERMINISTIC_DIRS = frozenset(["core", "windows", "queries", "streams", "distributed"])
+
+#: Wall-clock reads that leak host time into sketch state.  Monotonic
+#: counters (``perf_counter``/``monotonic``) are deliberately not listed:
+#: the runner uses them for throughput *reporting*, which never touches
+#: sketch state — it is absolute wall time flowing into clocks that breaks
+#: replay.
+_WALL_CLOCK_CALLS = frozenset(
+    ["time.time", "time.time_ns", "datetime.now", "datetime.utcnow",
+     "datetime.datetime.now", "datetime.datetime.utcnow"]
+)
+
+#: Seeded constructors: allowed when called with an explicit seed argument.
+_SEEDED_CONSTRUCTORS = frozenset(
+    ["random.Random", "np.random.default_rng", "numpy.random.default_rng",
+     "np.random.SeedSequence", "numpy.random.SeedSequence",
+     "np.random.Generator", "numpy.random.Generator"]
+)
+
+
+def _in_scoped_dirs(module: ModuleFile, dirs: frozenset) -> bool:
+    return any(part in dirs for part in module.parts[:-1])
+
+
+@register
+class NoSaltedHashRule(Rule):
+    """RL001: builtin ``hash()`` is banned in partition/merge paths.
+
+    Python salts string hashing per process (PYTHONHASHSEED), so a shard
+    assignment computed with ``hash()`` changes across restarts and differs
+    between the router, replay clients and reference tests.  PR 6 pinned the
+    ``crc32v1`` scheme (``service/router.py::shard_of``) for exactly this
+    reason; hashing for sketch dimensions goes through ``HashFamily``
+    (``core/hashing.py``), which is seeded and pinned by tests.
+    """
+
+    code = "RL001"
+    name = "no-salted-hash"
+    rationale = (
+        "shard partitioning must survive restarts: use crc32v1 (shard_of) or "
+        "HashFamily, never the per-process-salted builtin hash() [PR 6]"
+    )
+
+    def applies_to(self, module: ModuleFile) -> bool:
+        return _in_scoped_dirs(module, _HASH_BANNED_DIRS)
+
+    def check_module(self, module: ModuleFile) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                yield module.finding(
+                    node,
+                    self.code,
+                    "builtin hash() is salted per process; use crc32v1 "
+                    "(service.router.shard_of) or core.hashing.HashFamily for "
+                    "anything that partitions or merges state",
+                )
+
+
+@register
+class NoNondeterminismRule(Rule):
+    """RL005: no unseeded randomness or wall-clock reads in sketch state.
+
+    The serialization round-trip, snapshot/restore, and the sharded tier all
+    rely on byte-identical replay: the same stream through the same
+    configuration must rebuild the same buckets.  An unseeded ``random.*``
+    draw or a ``time.time()`` read inside core/windows/queries/streams/
+    distributed breaks that silently — the tests that would catch it compare
+    two in-process runs, which share the leaked entropy.
+    """
+
+    code = "RL005"
+    name = "no-nondeterminism"
+    rationale = (
+        "sketch-state modules promise byte-identical replay: randomness must "
+        "be seeded, clocks must come from the stream, not the host [PR 1-5]"
+    )
+
+    def applies_to(self, module: ModuleFile) -> bool:
+        return _in_scoped_dirs(module, _DETERMINISTIC_DIRS)
+
+    def check_module(self, module: ModuleFile) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            if name in _WALL_CLOCK_CALLS:
+                yield module.finding(
+                    node,
+                    self.code,
+                    "%s() reads the host clock inside a sketch-state module; "
+                    "derive time from stream clocks so replay stays "
+                    "byte-identical" % (name,),
+                )
+            elif name in _SEEDED_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield module.finding(
+                        node,
+                        self.code,
+                        "%s() without an explicit seed is nondeterministic; "
+                        "pass the configured seed" % (name,),
+                    )
+            elif name.startswith(("random.", "np.random.", "numpy.random.")):
+                yield module.finding(
+                    node,
+                    self.code,
+                    "%s() draws from global, unseeded RNG state; use a seeded "
+                    "random.Random/np.random.default_rng instance" % (name,),
+                )

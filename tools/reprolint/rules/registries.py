@@ -1,0 +1,201 @@
+"""RL004: the protocol registries must stay mutually exhaustive.
+
+PR 7 split the error surface into three coupled registries: the exception
+registry (``service/errors.py::ERROR_CODES``), the gateway's HTTP status
+table (``service/gateway.py::STATUS_FOR_CODE``) and the documented table in
+``docs/api.md``.  The query-op surface is coupled the same way: the TCP
+server's dispatch set (``server.py::_QUERY_OPS``), the in-process handlers
+(``core.py::_QUERY_HANDLERS``), the router's merge handlers
+(``router.py::_ROUTER_QUERY_HANDLERS``) and the op tables in ``docs/api.md``.
+Today only runtime tests notice a hole; this rule makes the cross-check a
+static, named invariant: add a code or an op in one place and the checker
+names every other place it must appear.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from ..engine import Finding, ModuleFile, Project
+from . import Rule, register
+
+_ERRORS_MODULE = "src/repro/service/errors.py"
+_GATEWAY_MODULE = "src/repro/service/gateway.py"
+_SERVER_MODULE = "src/repro/service/server.py"
+_CORE_MODULE = "src/repro/service/core.py"
+_ROUTER_MODULE = "src/repro/service/router.py"
+_API_DOC = "docs/api.md"
+
+
+def _module_assignment(module: ModuleFile, name: str) -> ast.expr | None:
+    """Value expression of the module-level assignment binding ``name``."""
+    for node in module.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return node.value
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == name
+        ):
+            return node.value
+    return None
+
+
+def _string_keys(value: ast.expr | None) -> dict[str, ast.expr] | None:
+    """String keys of a dict/frozenset/set literal -> their AST nodes."""
+    if value is None:
+        return None
+    keys: dict[str, ast.expr] = {}
+    if isinstance(value, ast.Dict):
+        for key in value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                keys[key.value] = key
+        return keys
+    if isinstance(value, ast.Call) and len(value.args) == 1:
+        return _string_keys(value.args[0])
+    if isinstance(value, (ast.List, ast.Tuple, ast.Set)):
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                keys[element.value] = element
+        return keys
+    return None
+
+
+def _documented_codes(text: str) -> set[str]:
+    """First backticked token of every markdown table row (``| `X` | ...``)."""
+    return set(re.findall(r"^\|\s*`([^`]+)`\s*\|", text, flags=re.MULTILINE))
+
+
+@register
+class RegistryExhaustivenessRule(Rule):
+    """RL004: error codes and protocol ops must be registered everywhere.
+
+    Inert outside this repository (the rule stays silent when the service
+    registry modules are absent), so scanning a fixture tree or a vendored
+    subdirectory does not produce noise.
+    """
+
+    code = "RL004"
+    name = "registry-exhaustiveness"
+    rationale = (
+        "ERROR_CODES, STATUS_FOR_CODE, the op dispatch tables and docs/api.md "
+        "describe one protocol; a code or op present in some of them is a "
+        "client-visible hole [PR 7]"
+    )
+    project_level = True
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        errors_module = project.module_for_role(_ERRORS_MODULE)
+        if errors_module is None:
+            return
+        doc_text = project.read_text(_API_DOC)
+        documented = _documented_codes(doc_text) if doc_text is not None else None
+        yield from self._check_error_codes(project, errors_module, documented)
+        yield from self._check_query_ops(project, documented)
+
+    # ----------------------------------------------------------- error codes
+    def _check_error_codes(
+        self,
+        project: Project,
+        errors_module: ModuleFile,
+        documented: set[str] | None,
+    ) -> Iterator[Finding]:
+        error_codes = _string_keys(_module_assignment(errors_module, "ERROR_CODES"))
+        if error_codes is None:
+            yield errors_module.finding(
+                errors_module.tree,
+                self.code,
+                "ERROR_CODES registry not found as a module-level dict literal",
+            )
+            return
+        gateway = project.module_for_role(_GATEWAY_MODULE)
+        statuses = (
+            _string_keys(_module_assignment(gateway, "STATUS_FOR_CODE"))
+            if gateway is not None
+            else None
+        )
+        if statuses is not None:
+            for code_name, node in error_codes.items():
+                if code_name not in statuses:
+                    yield errors_module.finding(
+                        node,
+                        self.code,
+                        "error code %r has no HTTP status in "
+                        "gateway.STATUS_FOR_CODE; the gateway would answer "
+                        "500 for a registered, typed error" % (code_name,),
+                    )
+        if documented is not None:
+            for code_name, node in error_codes.items():
+                if code_name not in documented:
+                    yield errors_module.finding(
+                        node,
+                        self.code,
+                        "error code %r is not documented in docs/api.md "
+                        "(no `| `%s` |` table row)" % (code_name, code_name),
+                    )
+
+    # ------------------------------------------------------------- query ops
+    def _check_query_ops(
+        self, project: Project, documented: set[str] | None
+    ) -> Iterator[Finding]:
+        server = project.module_for_role(_SERVER_MODULE)
+        if server is None:
+            return
+        query_ops = _string_keys(_module_assignment(server, "_QUERY_OPS"))
+        tenant_ops = _string_keys(_module_assignment(server, "_TENANT_OPS"))
+        if query_ops is None:
+            yield server.finding(
+                server.tree, self.code, "server._QUERY_OPS dispatch set not found"
+            )
+            return
+        tables = []
+        core = project.module_for_role(_CORE_MODULE)
+        if core is not None:
+            tables.append(
+                ("core.py _QUERY_HANDLERS", core,
+                 _string_keys(_module_assignment(core, "_QUERY_HANDLERS")))
+            )
+        router = project.module_for_role(_ROUTER_MODULE)
+        if router is not None:
+            tables.append(
+                ("router.py _ROUTER_QUERY_HANDLERS", router,
+                 _string_keys(_module_assignment(router, "_ROUTER_QUERY_HANDLERS")))
+            )
+        for label, module, handlers in tables:
+            if handlers is None:
+                yield module.finding(
+                    module.tree, self.code, "%s dispatch table not found" % (label,)
+                )
+                continue
+            for op, node in query_ops.items():
+                if op not in handlers:
+                    yield server.finding(
+                        node,
+                        self.code,
+                        "query op %r is served by the TCP server but missing "
+                        "from %s — a %s request would fail on that tier"
+                        % (op, label, op),
+                    )
+            for op, node in handlers.items():
+                if op not in query_ops:
+                    yield module.finding(
+                        node,
+                        self.code,
+                        "query op %r has a handler in %s but is not in "
+                        "server._QUERY_OPS — unreachable over the protocol"
+                        % (op, label),
+                    )
+        if documented is not None:
+            for ops in (query_ops, tenant_ops or {}):
+                for op, node in ops.items():
+                    if op not in documented:
+                        yield server.finding(
+                            node,
+                            self.code,
+                            "protocol op %r is not documented in docs/api.md "
+                            "(no `| `%s` |` table row)" % (op, op),
+                        )

@@ -1,0 +1,342 @@
+"""Typing ratchet: per-module mypy strictness can go up, never down.
+
+The repo's typing posture lives in two places: ``pyproject.toml`` (what
+mypy actually enforces in CI) and ``tools/typing_manifest.json`` (the
+committed floor).  Each module has a strictness *level*:
+
+    0  default            (bodies of untyped defs unchecked)
+    1  check_untyped_defs (every body type-checked)
+    2  disallow_untyped_defs (every def fully annotated)
+
+``python -m tools.typing_ratchet`` (the CI check) fails when:
+
+* the global ``check_untyped_defs`` flag is off — level 1 is the repo floor;
+* a module under ``src/repro`` is missing from the manifest (new modules
+  must be registered at their level via ``--update``);
+* a module's effective level in ``pyproject.toml`` dropped below its
+  manifest level (the ratchet: loosening an override is a regression);
+* a level-2 module contains a def that mypy's ``disallow_untyped_defs``
+  would reject — verified locally with ``ast`` so the ratchet catches the
+  regression even where mypy is not installed.
+
+``--update`` regenerates the manifest from the current pyproject + tree,
+keeping each module's level at ``max(manifest, effective)`` unless
+``--allow-lower`` is given.  ``--self-test`` feeds the checker synthetic
+regressions and fails unless every one is detected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import fnmatch
+import json
+import re
+import sys
+from pathlib import Path
+from collections.abc import Callable, Sequence
+from typing import Any
+
+LEVEL_NAMES = {0: "default", 1: "check_untyped_defs", 2: "disallow_untyped_defs"}
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_DEFAULT_PYPROJECT = _REPO_ROOT / "pyproject.toml"
+_DEFAULT_MANIFEST = _REPO_ROOT / "tools" / "typing_manifest.json"
+_DEFAULT_SRC = _REPO_ROOT / "src" / "repro"
+
+
+class MypyConfig:
+    """The slice of ``[tool.mypy]`` the ratchet cares about."""
+
+    def __init__(
+        self,
+        check_untyped_defs: bool,
+        overrides: Sequence[tuple[tuple[str, ...], dict[str, bool]]],
+    ) -> None:
+        self.check_untyped_defs = check_untyped_defs
+        #: Each entry: (module patterns, {flag: value}) in file order.
+        self.overrides = list(overrides)
+
+    def effective_level(self, module: str) -> int:
+        level = 1 if self.check_untyped_defs else 0
+        for patterns, flags in self.overrides:
+            if not any(fnmatch.fnmatchcase(module, pattern) for pattern in patterns):
+                continue
+            if flags.get("disallow_untyped_defs"):
+                level = max(level, 2)
+            elif flags.get("check_untyped_defs"):
+                level = max(level, 1)
+        return level
+
+
+def _parse_pyproject(text: str) -> MypyConfig:
+    try:
+        import tomllib
+
+        data = tomllib.loads(text)
+    except ModuleNotFoundError:  # Python 3.10: no tomllib; minimal fallback
+        data = _parse_toml_fallback(text)
+    mypy_cfg: dict[str, Any] = data.get("tool", {}).get("mypy", {})
+    overrides = []
+    for entry in mypy_cfg.get("overrides", []):
+        modules = entry.get("module", [])
+        if isinstance(modules, str):
+            modules = [modules]
+        flags = {
+            key: bool(value)
+            for key, value in entry.items()
+            if key in ("check_untyped_defs", "disallow_untyped_defs")
+        }
+        overrides.append((tuple(modules), flags))
+    return MypyConfig(bool(mypy_cfg.get("check_untyped_defs", False)), overrides)
+
+
+def _parse_toml_fallback(text: str) -> dict[str, Any]:
+    """Just enough TOML for this repo's ``[tool.mypy]`` tables.
+
+    Handles ``key = true/false``, ``key = "str"``, and (possibly multiline)
+    ``key = [ "a", "b" ]`` inside ``[tool.mypy]`` and
+    ``[[tool.mypy.overrides]]``.  Anything else is ignored.
+    """
+    mypy: dict[str, Any] = {}
+    overrides: list[dict[str, Any]] = []
+    current: dict[str, Any] | None = None
+    pending_key: str | None = None
+    pending_items: list[str] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip() if not raw.strip().startswith("#") else ""
+        if not line:
+            continue
+        if pending_key is not None:
+            pending_items.extend(re.findall(r'"([^"]*)"', line))
+            if "]" in line:
+                assert current is not None
+                current[pending_key] = pending_items
+                pending_key, pending_items = None, []
+            continue
+        if line.startswith("[["):
+            name = line.strip("[]").strip()
+            if name == "tool.mypy.overrides":
+                current = {}
+                overrides.append(current)
+            else:
+                current = None
+            continue
+        if line.startswith("["):
+            name = line.strip("[]").strip()
+            current = mypy if name == "tool.mypy" else None
+            continue
+        if current is None or "=" not in line:
+            continue
+        key, _, value = line.partition("=")
+        key, value = key.strip(), value.strip()
+        if value.startswith("[") and "]" not in value:
+            pending_key = key
+            pending_items = re.findall(r'"([^"]*)"', value)
+            continue
+        if value.startswith("["):
+            current[key] = re.findall(r'"([^"]*)"', value)
+        elif value in ("true", "false"):
+            current[key] = value == "true"
+        else:
+            current[key] = value.strip('"')
+    if overrides:
+        mypy["overrides"] = overrides
+    return {"tool": {"mypy": mypy}}
+
+
+def iter_modules(src: Path) -> dict[str, Path]:
+    """Dotted module name -> path for every Python file under ``src``."""
+    package_root = src.parent
+    modules: dict[str, Path] = {}
+    for path in sorted(src.rglob("*.py")):
+        relative = path.relative_to(package_root).with_suffix("")
+        parts = list(relative.parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        modules[".".join(parts)] = path
+    return modules
+
+
+def annotation_violations(tree: ast.AST) -> list[tuple[int, str, str]]:
+    """Defs that mypy's ``disallow_untyped_defs`` would reject.
+
+    Mirrors mypy's rule: every parameter annotated and a return annotation
+    present; ``__init__`` may omit the return annotation only when at least
+    one of its parameters is annotated.
+    """
+    problems: list[tuple[int, str, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = node.args
+        params = args.posonlyargs + args.args + args.kwonlyargs
+        if params and params[0].arg in ("self", "cls"):
+            params = params[1:]
+        params = params + [extra for extra in (args.vararg, args.kwarg) if extra]
+        missing = [param.arg for param in params if param.annotation is None]
+        if missing:
+            problems.append(
+                (node.lineno, node.name, "unannotated parameter(s): %s" % ", ".join(missing))
+            )
+            continue
+        if node.returns is None:
+            annotated_any = any(param.annotation is not None for param in params)
+            if node.name == "__init__" and annotated_any:
+                continue
+            problems.append((node.lineno, node.name, "missing return annotation"))
+    return problems
+
+
+def load_manifest(path: Path) -> dict[str, Any]:
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def run_check(
+    config: MypyConfig,
+    manifest: dict[str, Any],
+    modules: dict[str, Path],
+    read_source: Callable[[Path], str] | None = None,
+) -> list[str]:
+    """All ratchet violations (empty list == pass)."""
+    read = read_source if read_source is not None else (
+        lambda path: path.read_text(encoding="utf-8")
+    )
+    problems: list[str] = []
+    if manifest.get("global", {}).get("check_untyped_defs") and not config.check_untyped_defs:
+        problems.append(
+            "pyproject.toml: [tool.mypy] check_untyped_defs is off but the "
+            "manifest requires it repo-wide — that is a ratchet regression"
+        )
+    recorded: dict[str, int] = {
+        name: int(level) for name, level in manifest.get("modules", {}).items()
+    }
+    for name in sorted(modules):
+        if name not in recorded:
+            problems.append(
+                "%s: not in tools/typing_manifest.json — register new modules "
+                "with `python -m tools.typing_ratchet --update`" % (name,)
+            )
+    for name, floor in sorted(recorded.items()):
+        if name not in modules:
+            continue  # deleted modules drop out at the next --update
+        effective = config.effective_level(name)
+        if effective < floor:
+            problems.append(
+                "%s: effective mypy level %d (%s) is below the manifest floor "
+                "%d (%s) — strictness only ratchets up"
+                % (name, effective, LEVEL_NAMES[effective], floor, LEVEL_NAMES[floor])
+            )
+        if floor >= 2:
+            tree = ast.parse(read(modules[name]))
+            for line, func, why in annotation_violations(tree):
+                problems.append(
+                    "%s:%d: def %s: %s (module is at disallow_untyped_defs "
+                    "in the manifest)" % (modules[name], line, func, why)
+                )
+    return problems
+
+
+def run_update(
+    config: MypyConfig,
+    manifest: dict[str, Any],
+    modules: dict[str, Path],
+    allow_lower: bool,
+) -> dict[str, Any]:
+    recorded = {name: int(level) for name, level in manifest.get("modules", {}).items()}
+    updated: dict[str, int] = {}
+    for name in sorted(modules):
+        effective = config.effective_level(name)
+        floor = recorded.get(name, 0)
+        updated[name] = effective if allow_lower else max(effective, floor)
+    return {
+        "_comment": (
+            "Per-module mypy strictness floor; see tools/typing_ratchet.py. "
+            "Levels: 0 default, 1 check_untyped_defs, 2 disallow_untyped_defs. "
+            "Regenerate with `python -m tools.typing_ratchet --update`."
+        ),
+        "global": {"check_untyped_defs": config.check_untyped_defs},
+        "modules": updated,
+    }
+
+
+def run_self_test(
+    config: MypyConfig, manifest: dict[str, Any], modules: dict[str, Path]
+) -> list[str]:
+    """Feed the checker synthetic regressions; report any it misses."""
+    missed: list[str] = []
+    if run_check(config, manifest, modules):
+        return ["baseline check is not clean; fix that before --self-test"]
+    # 1. Global flag flipped off.
+    loosened = MypyConfig(False, config.overrides)
+    if not run_check(loosened, manifest, modules):
+        missed.append("undetected: check_untyped_defs flipped off globally")
+    # 2. A module's overrides dropped below a level-2 floor.
+    strict = [name for name, level in manifest.get("modules", {}).items() if int(level) >= 2]
+    if strict:
+        victim = strict[0]
+        no_overrides = MypyConfig(config.check_untyped_defs, [])
+        if config.effective_level(victim) >= 2 and not run_check(
+            no_overrides, manifest, modules
+        ):
+            missed.append("undetected: disallow_untyped_defs override removed")
+    # 3. A module missing from the manifest.
+    pruned = dict(manifest, modules=dict(manifest.get("modules", {})))
+    if pruned["modules"]:
+        pruned["modules"].pop(sorted(pruned["modules"])[0])
+        if not run_check(config, pruned, modules):
+            missed.append("undetected: module deleted from the manifest")
+    # 4. An untyped def sneaked into a level-2 module.
+    if strict and strict[0] in modules:
+        def untyped_source(path: Path) -> str:
+            return "def regression(x):\n    return x\n"
+
+        if not run_check(config, manifest, {strict[0]: modules[strict[0]]}, untyped_source):
+            missed.append("undetected: untyped def in a disallow_untyped_defs module")
+    return missed
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.typing_ratchet",
+        description="Check (default) or update the per-module mypy strictness floor.",
+    )
+    parser.add_argument("--update", action="store_true",
+                        help="regenerate tools/typing_manifest.json from pyproject + tree")
+    parser.add_argument("--allow-lower", action="store_true",
+                        help="with --update: record levels even when lower than the floor")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the checker detects synthetic regressions")
+    parser.add_argument("--pyproject", type=Path, default=_DEFAULT_PYPROJECT)
+    parser.add_argument("--manifest", type=Path, default=_DEFAULT_MANIFEST)
+    parser.add_argument("--src", type=Path, default=_DEFAULT_SRC)
+    args = parser.parse_args(argv)
+
+    config = _parse_pyproject(args.pyproject.read_text(encoding="utf-8"))
+    modules = iter_modules(args.src)
+    if args.update:
+        manifest = load_manifest(args.manifest) if args.manifest.exists() else {}
+        updated = run_update(config, manifest, modules, allow_lower=args.allow_lower)
+        args.manifest.write_text(json.dumps(updated, indent=2) + "\n", encoding="utf-8")
+        print("typing-ratchet: wrote %s (%d modules)" % (args.manifest, len(updated["modules"])))
+        return 0
+    manifest = load_manifest(args.manifest)
+    if args.self_test:
+        missed = run_self_test(config, manifest, modules)
+        for problem in missed:
+            print("typing-ratchet: self-test FAILED: %s" % (problem,))
+        if not missed:
+            print("typing-ratchet: self-test passed (all synthetic regressions detected)")
+        return 1 if missed else 0
+    problems = run_check(config, manifest, modules)
+    for problem in problems:
+        print("typing-ratchet: %s" % (problem,))
+    if problems:
+        print("typing-ratchet: %d problem(s)" % (len(problems),))
+        return 1
+    print("typing-ratchet: clean (%d modules at their floor)" % (len(modules),))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
