@@ -287,6 +287,19 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="BYTES", dest="memory_budget",
                               help="resident-memory budget of the pool in bytes; "
                                    "exceeding it evicts least-recently-touched tenants")
+    serve_parser.add_argument("--journal-dir", type=str, default=None,
+                              help="write-ahead ingest journal directory: chunks are "
+                                   "journaled before they are acknowledged, so recovery "
+                                   "is snapshot + journal-tail replay (per-shard "
+                                   "subdirectories under --shards)")
+    serve_parser.add_argument("--journal-fsync", action="store_true",
+                              help="fsync every journal append (power-loss durable) "
+                                   "instead of the default flush-per-append "
+                                   "(process-crash durable)")
+    serve_parser.add_argument("--supervise", action="store_true",
+                              help="with --shards: watch worker liveness and respawn "
+                                   "dead shards automatically (snapshot restore + "
+                                   "journal replay, capped exponential backoff)")
 
     gateway_parser = subparsers.add_parser(
         "gateway",
@@ -508,6 +521,9 @@ def _serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
             pool=args.pool,
             pool_dir=args.pool_dir,
             memory_budget_bytes=args.memory_budget,
+            journal_dir=args.journal_dir,
+            journal_fsync=args.journal_fsync,
+            supervise=args.supervise,
         )
     except ConfigurationError as exc:
         out("error: %s" % (exc,))

@@ -45,13 +45,21 @@ gateway`` (the REST front), and ``repro replay`` (``--connections M`` for
 concurrent ingest).
 """
 
+from . import failpoints
 from .config import ServiceConfig
 from .core import IngestRejectedError, ServiceStoppedError, SketchService
-from .client import ServiceClient, ServiceRequestError, SyncServiceClient, wait_for_server
+from .client import (
+    RetryPolicy,
+    ServiceClient,
+    ServiceRequestError,
+    SyncServiceClient,
+    wait_for_server,
+)
 from .errors import (
     ERROR_CODES,
     BadRequestError,
     ClockRegressionError,
+    DeadlineExceededError,
     EmptyStateError,
     InvalidParameterError,
     ModeMismatchError,
@@ -67,6 +75,7 @@ from .errors import (
     exception_for_error,
 )
 from .gateway import STATUS_FOR_CODE, GatewayServer, run_gateway, status_for_code
+from .journal import IngestJournal, JournalRecord, journal_dir_for_shard
 from .launch import ServeProcess, repro_env
 from .models import HeavyHitter, ServerInfo, ServerStats, TenantDescription, TenantStats
 from .pool import TENANT_CONFIG_KEYS, TenantCatalog, TenantPool
@@ -90,6 +99,7 @@ from .router import (
 from .server import SketchServer, dispatch_service_op, run_server
 from .shard_worker import ShardProcess, ShardUnavailableError, sites_of_shard, worker_config
 from .snapshot import load_snapshot, service_state_from_snapshot, snapshot_payload, write_snapshot
+from .supervision import DEGRADED, HEALTHY, RECOVERING, ShardSupervisor
 
 __all__ = [
     "ServiceConfig",
@@ -100,6 +110,7 @@ __all__ = [
     # clients + typed results
     "ServiceClient",
     "SyncServiceClient",
+    "RetryPolicy",
     "wait_for_server",
     "HeavyHitter",
     "ServerInfo",
@@ -118,6 +129,7 @@ __all__ = [
     "ClockRegressionError",
     "ServiceStoppedError",
     "ShardUnavailableError",
+    "DeadlineExceededError",
     "VersionMismatchError",
     "PoolDisabledError",
     "TenantRequiredError",
@@ -159,6 +171,15 @@ __all__ = [
     "ShardProcess",
     "sites_of_shard",
     "worker_config",
+    # fault tolerance
+    "IngestJournal",
+    "JournalRecord",
+    "journal_dir_for_shard",
+    "ShardSupervisor",
+    "HEALTHY",
+    "DEGRADED",
+    "RECOVERING",
+    "failpoints",
     # snapshots
     "snapshot_payload",
     "write_snapshot",

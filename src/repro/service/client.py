@@ -25,21 +25,33 @@ as one-release deprecation shims.
 Every operation takes an optional ``tenant`` keyword: against a pooled
 server it namespaces the call to that tenant; against a single-sketch
 server passing one raises :class:`~repro.service.errors.PoolDisabledError`.
+
+Connections may carry a :class:`RetryPolicy`: typed operations then retry
+transient failures (dropped connections, dead shards, expired deadlines)
+with capped exponential backoff and jitter, reconnecting and re-running the
+handshake as needed.  Retried ingest is exactly-once: every ingest chunk
+carries this connection's ``client`` id and a monotonically increasing
+``seq``, and the server acknowledges-but-skips chunks it already applied.
 """
 
 from __future__ import annotations
 import contextlib
 
 import asyncio
+import random
 import socket
 import time
+import uuid
 import warnings
 from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
 from typing import Any
 
 from .errors import (
+    DeadlineExceededError,
     ProtocolError,
     ServiceRequestError,
+    ShardUnavailableError,
     VersionMismatchError,
     exception_for_error,
 )
@@ -52,7 +64,50 @@ from .protocol import (
     protocol_major,
 )
 
-__all__ = ["ServiceRequestError", "ServiceClient", "SyncServiceClient", "wait_for_server"]
+__all__ = [
+    "ServiceRequestError",
+    "RetryPolicy",
+    "ServiceClient",
+    "SyncServiceClient",
+    "wait_for_server",
+]
+
+#: Deadline applied to operations whose server-side work is legitimately
+#: slow (drain, snapshot, restart_shard): a retrying client never cuts them
+#: off at the ordinary per-operation budget.
+_SLOW_OP_DEADLINE = 600.0
+
+#: Bound on establishing one TCP connection (RL006): a black-holed endpoint
+#: (dropped SYNs, dead NAT entry) would otherwise park connect() until the
+#: kernel gives up, far past any retry budget.
+_CONNECT_TIMEOUT = 30.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry and deadline policy for one client connection.
+
+    Attributes:
+        attempts: Maximum attempts per operation (1 disables retries).
+        base_delay: Backoff before the first retry, in seconds.
+        max_delay: Cap of the exponential backoff.
+        jitter: Multiplicative jitter fraction added to each delay (0.5
+            means delays are scaled by a uniform factor in ``[1.0, 1.5]``),
+            de-synchronizing clients that failed together.
+        deadline: Overall per-operation budget in seconds (``None`` means
+            unbounded); covers every attempt plus the backoff between them.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    deadline: float | None = 30.0
+
+    def delay_for(self, retry_index: int) -> float:
+        """Backoff before retry number ``retry_index`` (0-based), jittered."""
+        delay = min(self.max_delay, self.base_delay * (2.0**retry_index))
+        return delay * (1.0 + random.random() * self.jitter)
 
 
 def wait_for_server(host: str = "127.0.0.1", port: int = 7600, timeout: float = 30.0) -> None:
@@ -86,25 +141,61 @@ def _unwrap(response: dict[str, Any]) -> Any:
 class ServiceClient:
     """Asyncio client for one sketch-service connection."""
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        retry: RetryPolicy | None = None,
+        host: str | None = None,
+        port: int | None = None,
+        handshake: bool = True,
+    ) -> None:
         self._reader = reader
         self._writer = writer
         #: Protocol version the server announced at handshake (``None``
         #: when the connection was opened with ``handshake=False``).
         self.server_protocol_version: str | None = None
+        #: Retry policy for typed operations (``None`` = fail on first error).
+        self.retry = retry
+        self._host = host
+        self._port = port
+        self._handshake = handshake
+        #: Stable id of this logical client, sent with every ingest chunk
+        #: (with a per-connection ``seq``) so servers can deduplicate retries.
+        self.client_id = uuid.uuid4().hex[:16]
+        self._ingest_seq = 0
+        #: Attempts that were retried (any operation, any cause).
+        self.retries = 0
+        #: Successful transport reconnects performed by the retry layer.
+        self.reconnects = 0
 
     @classmethod
     async def connect(
-        cls, host: str = "127.0.0.1", port: int = 7600, handshake: bool = True
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 7600,
+        handshake: bool = True,
+        retry: RetryPolicy | None = None,
+        timeout: float = _CONNECT_TIMEOUT,
     ) -> ServiceClient:
         """Open a connection and (by default) run the version handshake.
+
+        Args:
+            retry: Optional :class:`RetryPolicy`; when given, typed
+                operations retry transient failures (reconnecting as
+                needed) and carry per-operation deadlines.
+            timeout: Bound on establishing the TCP connection; raises the
+                builtin :class:`TimeoutError` (an ``OSError``, hence
+                retryable) when it expires.
 
         Raises:
             VersionMismatchError: The server speaks a different protocol
                 major, or predates the ``hello`` operation entirely.
         """
-        reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES)
-        client = cls(reader, writer)
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port, limit=MAX_LINE_BYTES), timeout
+        )
+        client = cls(reader, writer, retry=retry, host=host, port=port, handshake=handshake)
         if handshake:
             try:
                 await client.hello()
@@ -131,18 +222,91 @@ class ServiceClient:
     async def __aexit__(self, *exc_info: object) -> None:
         await self.close()
 
-    async def request(self, message: dict[str, Any]) -> Any:
-        """Send one request and return its unwrapped result.
+    async def request(self, message: dict[str, Any], deadline: float | None = None) -> Any:
+        """Send one request and return its unwrapped result (one attempt).
 
         Raises the typed exception for the response's error code on any
-        ``ok: false`` answer.
+        ``ok: false`` answer, and :class:`DeadlineExceededError` when no
+        response arrives within ``deadline`` seconds.
         """
+        if deadline is not None:
+            try:
+                return await asyncio.wait_for(self._request_once(message), deadline)
+            except asyncio.TimeoutError:
+                raise DeadlineExceededError(
+                    "no response to %r within %.1f s" % (message.get("op"), deadline),
+                    op=str(message.get("op")) if message.get("op") is not None else None,
+                ) from None
+        return await self._request_once(message)
+
+    async def _request_once(self, message: dict[str, Any]) -> Any:
         self._writer.write(encode_message(message))
         await self._writer.drain()
         line = await self._reader.readline()
         if not line:
             raise ConnectionError("server closed the connection")
         return _unwrap(decode_line(line))
+
+    async def _reconnect(self) -> None:
+        """Replace a dead/desynchronized transport with a fresh connection."""
+        if self._host is None or self._port is None:
+            raise ConnectionError("cannot reconnect: connection endpoint unknown")
+        with contextlib.suppress(OSError):
+            await self.close()
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self._host, self._port, limit=MAX_LINE_BYTES),
+            _CONNECT_TIMEOUT,
+        )
+        self._reader = reader
+        self._writer = writer
+        self.reconnects += 1
+        if self._handshake:
+            await self.hello()
+
+    async def call(self, message: dict[str, Any], deadline: float | None = None) -> Any:
+        """Run one raw protocol message under the connection's retry policy.
+
+        Without a policy this is a plain single-attempt :meth:`request`.
+        With one, transient failures — dropped connections, dead shards,
+        expired per-attempt deadlines — are retried with capped exponential
+        backoff until the policy's attempts or overall deadline run out.
+        After a transport-level failure the connection is torn down and
+        re-opened (with handshake): a half-written request would otherwise
+        desynchronize the response stream.
+        """
+        policy = self.retry
+        if policy is None:
+            return await self.request(message, deadline=deadline)
+        budget = policy.deadline if deadline is None else deadline
+        start = time.monotonic()
+        attempt = 0
+        needs_reconnect = False
+        while True:
+            remaining: float | None = None
+            if budget is not None:
+                remaining = budget - (time.monotonic() - start)
+                if remaining <= 0.0:
+                    raise DeadlineExceededError(
+                        "operation %r exceeded its %.1f s deadline after %d attempt(s)"
+                        % (message.get("op"), budget, attempt),
+                        op=str(message.get("op")) if message.get("op") is not None else None,
+                    )
+            try:
+                if needs_reconnect:
+                    await self._reconnect()
+                    needs_reconnect = False
+                return await self.request(message, deadline=remaining)
+            except (ShardUnavailableError, DeadlineExceededError, OSError) as exc:
+                # A shard rejection arrives on a healthy stream; anything
+                # transport-shaped (or an abandoned in-flight request)
+                # forces a reconnect before the next attempt.
+                if not isinstance(exc, ShardUnavailableError):
+                    needs_reconnect = True
+                attempt += 1
+                if attempt >= policy.attempts:
+                    raise
+                self.retries += 1
+                await asyncio.sleep(policy.delay_for(attempt - 1))
 
     @staticmethod
     def _message(op: str, tenant: str | None, **fields: Any) -> dict[str, Any]:
@@ -171,15 +335,15 @@ class ServiceClient:
 
     # ------------------------------------------------------------ operations
     async def ping(self) -> str:
-        return str(await self.request({"op": "ping"}))
+        return str(await self.call({"op": "ping"}))
 
     async def get_info(self) -> ServerInfo:
         """Static server parameters, typed."""
-        return ServerInfo.from_payload(dict(await self.request({"op": "info"})))
+        return ServerInfo.from_payload(dict(await self.call({"op": "info"})))
 
     async def get_stats(self) -> ServerStats:
         """Live server counters, typed."""
-        return ServerStats.from_payload(dict(await self.request({"op": "stats"})))
+        return ServerStats.from_payload(dict(await self.call({"op": "stats"})))
 
     async def info(self) -> dict[str, Any]:
         """Deprecated: use :meth:`get_info` (this returns its ``.raw``)."""
@@ -214,16 +378,23 @@ class ServiceClient:
         message["clocks"] = list(clocks)
         if values is not None:
             message["values"] = list(values)
-        result = await self.request(message)
+        # Exactly-once marker: the same (client, seq) pair is reused across
+        # retries of this chunk, so a server that applied it but lost the
+        # ack re-acknowledges without double-counting.  (Pooled tenants are
+        # not journaled and ignore the marker.)
+        self._ingest_seq += 1
+        message["client"] = self.client_id
+        message["seq"] = self._ingest_seq
+        result = await self.call(message)
         return int(result["accepted"])
 
     async def drain(self, tenant: str | None = None) -> float | None:
-        result = await self.request(self._message("drain", tenant))
+        result = await self.call(self._message("drain", tenant), deadline=_SLOW_OP_DEADLINE)
         return result.get("applied_clock")
 
     async def expire(self, tenant: str | None = None) -> float | None:
         """Force one expiry sweep; returns the applied clock."""
-        result = await self.request(self._message("expire", tenant))
+        result = await self.call(self._message("expire", tenant))
         return result.get("applied_clock")
 
     async def point(
@@ -234,7 +405,7 @@ class ServiceClient:
     ) -> float:
         message = self._message("point", tenant, range=range_length)
         message["key"] = key
-        return float(await self.request(message))
+        return float(await self.call(message))
 
     async def range_query(
         self,
@@ -244,7 +415,7 @@ class ServiceClient:
         tenant: str | None = None,
     ) -> float:
         return float(
-            await self.request(self._message("range", tenant, lo=lo, hi=hi, range=range_length))
+            await self.call(self._message("range", tenant, lo=lo, hi=hi, range=range_length))
         )
 
     async def heavy_hitters(
@@ -253,7 +424,7 @@ class ServiceClient:
         range_length: float | None = None,
         tenant: str | None = None,
     ) -> list[HeavyHitter]:
-        rows = await self.request(
+        rows = await self.call(
             self._message("heavy_hitters", tenant, phi=phi, range=range_length)
         )
         return [HeavyHitter(int(key), float(estimate)) for key, estimate in rows]
@@ -265,7 +436,7 @@ class ServiceClient:
         tenant: str | None = None,
     ) -> int:
         return int(
-            await self.request(
+            await self.call(
                 self._message("quantile", tenant, fraction=fraction, range=range_length)
             )
         )
@@ -276,7 +447,7 @@ class ServiceClient:
         range_length: float | None = None,
         tenant: str | None = None,
     ) -> list[int]:
-        result = await self.request(
+        result = await self.call(
             self._message("quantiles", tenant, fractions=list(fractions), range=range_length)
         )
         return [int(key) for key in result]
@@ -284,55 +455,80 @@ class ServiceClient:
     async def self_join(
         self, range_length: float | None = None, tenant: str | None = None
     ) -> float:
-        return float(await self.request(self._message("self_join", tenant, range=range_length)))
+        return float(await self.call(self._message("self_join", tenant, range=range_length)))
 
     async def arrivals(
         self, range_length: float | None = None, tenant: str | None = None
     ) -> float:
         """Estimated in-window arrival total."""
-        return float(await self.request(self._message("arrivals", tenant, range=range_length)))
+        return float(await self.call(self._message("arrivals", tenant, range=range_length)))
 
     async def staleness(
         self, now: float | None = None, tenant: str | None = None
     ) -> float:
         """Multisite answer staleness at stream clock ``now``."""
-        return float(await self.request(self._message("staleness", tenant, now=now)))
+        return float(await self.call(self._message("staleness", tenant, now=now)))
 
     async def snapshot(
         self, path: str | None = None, tenant: str | None = None
     ) -> str:
-        result = await self.request(self._message("snapshot", tenant, path=path))
+        result = await self.call(self._message("snapshot", tenant, path=path), deadline=_SLOW_OP_DEADLINE)
         return str(result["path"])
 
     async def restart_shard(self, shard: int) -> dict[str, Any]:
         """Ask a sharded server to respawn one worker from its snapshot."""
-        return dict(await self.request({"op": "restart_shard", "shard": shard}))
+        return dict(
+            await self.call({"op": "restart_shard", "shard": shard}, deadline=_SLOW_OP_DEADLINE)
+        )
+
+    async def failpoint(
+        self,
+        spec: str | None = None,
+        disarm: bool = False,
+        name: str | None = None,
+        shard: int | None = None,
+    ) -> dict[str, Any]:
+        """Arm or disarm fault-injection sites (:mod:`repro.service.failpoints`).
+
+        Deliberately bypasses the retry layer: a failpoint that severs the
+        connection would otherwise re-arm itself on every retry.
+        """
+        message: dict[str, Any] = {"op": "failpoint"}
+        if spec is not None:
+            message["spec"] = spec
+        if disarm:
+            message["disarm"] = True
+        if name is not None:
+            message["name"] = name
+        if shard is not None:
+            message["shard"] = shard
+        return dict(await self.request(message))
 
     # ------------------------------------------------------ tenant lifecycle
     async def create_tenant(
         self, tenant: str, config: dict[str, Any] | None = None
     ) -> TenantStats:
         """Create a tenant on a pooled server (optional config overrides)."""
-        result = await self.request(self._message("tenant_create", tenant, config=config))
+        result = await self.call(self._message("tenant_create", tenant, config=config))
         return TenantStats.from_payload(dict(result))
 
     async def delete_tenant(self, tenant: str) -> None:
         """Delete a tenant: its live state, snapshot and catalog entry."""
-        await self.request(self._message("tenant_delete", tenant))
+        await self.call(self._message("tenant_delete", tenant))
 
     async def list_tenants(self) -> list[TenantDescription]:
         """Describe every tenant in the pool's catalog."""
-        rows = await self.request({"op": "tenant_list"})
+        rows = await self.call({"op": "tenant_list"})
         return [TenantDescription.from_payload(dict(row)) for row in rows]
 
     async def tenant_stats(self, tenant: str) -> TenantStats:
         """Live counters of one tenant (restores it when evicted)."""
-        result = await self.request(self._message("tenant_stats", tenant))
+        result = await self.call(self._message("tenant_stats", tenant))
         return TenantStats.from_payload(dict(result))
 
     async def pool_sweep(self) -> dict[str, Any]:
         """Run the pool's expiry + budget-enforcement sweep immediately."""
-        return dict(await self.request({"op": "pool_sweep"}))
+        return dict(await self.call({"op": "pool_sweep"}, deadline=_SLOW_OP_DEADLINE))
 
     async def shutdown(self) -> None:
         await self.request({"op": "shutdown"})
@@ -363,11 +559,12 @@ class SyncServiceClient:
         port: int = 7600,
         timeout: float | None = 30.0,
         handshake: bool = True,
+        retry: RetryPolicy | None = None,
     ) -> SyncServiceClient:
         """Open a blocking connection (and handshake) to a running server."""
         loop = asyncio.new_event_loop()
         try:
-            opening = ServiceClient.connect(host, port, handshake=handshake)
+            opening = ServiceClient.connect(host, port, handshake=handshake, retry=retry)
             if timeout is not None:
                 client = loop.run_until_complete(asyncio.wait_for(opening, timeout))
             else:
@@ -396,6 +593,21 @@ class SyncServiceClient:
     @property
     def server_protocol_version(self) -> str | None:
         return self._client.server_protocol_version
+
+    @property
+    def client_id(self) -> str:
+        """Stable id sent with every ingest chunk (exactly-once dedup key)."""
+        return self._client.client_id
+
+    @property
+    def retries(self) -> int:
+        """Attempts the retry layer re-ran (any operation, any cause)."""
+        return self._client.retries
+
+    @property
+    def reconnects(self) -> int:
+        """Transport reconnects the retry layer performed."""
+        return self._client.reconnects
 
     def request(self, message: dict[str, Any]) -> Any:
         """Send one request and return its unwrapped result."""
@@ -509,6 +721,15 @@ class SyncServiceClient:
 
     def restart_shard(self, shard: int) -> dict[str, Any]:
         return self._call(self._client.restart_shard(shard))
+
+    def failpoint(
+        self,
+        spec: str | None = None,
+        disarm: bool = False,
+        name: str | None = None,
+        shard: int | None = None,
+    ) -> dict[str, Any]:
+        return self._call(self._client.failpoint(spec, disarm=disarm, name=name, shard=shard))
 
     # ------------------------------------------------------ tenant lifecycle
     def create_tenant(

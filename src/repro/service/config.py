@@ -80,6 +80,25 @@ class ServiceConfig:
             per-tenant ``memory_bytes()``.  When the accounted total exceeds
             it, cold tenants are evicted (LRU) to snapshots until it fits.
             ``None`` disables eviction.
+        journal_dir: Directory of the write-ahead ingest journal.  When set,
+            every validated chunk is journaled *before* it is acked, the
+            journal rotates at snapshot epochs, and a restarted service
+            replays the tail on boot — no acked record is lost to a crash.
+            ``None`` disables journaling (the pre-WAL durability posture).
+        journal_fsync: Per-append ``os.fsync`` of the journal.  The default
+            (``False``) flushes to the OS on every record — durable against
+            process crashes, which is what the supervisor heals — while the
+            fsync upgrade buys power-loss durability at a throughput cost.
+        dedup_clients: Per-client ingest dedup window size: the service
+            remembers the highest acked ``(client_id, seq)`` for this many
+            most-recent clients, so a retried chunk is acked idempotently
+            instead of double-applied.  Exactly-once ingest holds as long
+            as a client's entry is not evicted mid-retry.
+        supervise: Automatic shard recovery in the sharded tier: the router
+            watches worker liveness and respawns dead shards (snapshot
+            restore + journal replay) with capped exponential backoff.
+            Off by default — the unsupervised tier fails fast and leaves
+            recovery to the operator (``restart_shard``).
     """
 
     mode: str = "flat"
@@ -103,6 +122,10 @@ class ServiceConfig:
     pool: bool = False
     pool_dir: str | None = None
     memory_budget_bytes: int | None = None
+    journal_dir: str | None = None
+    journal_fsync: bool = False
+    dedup_clients: int = 1_024
+    supervise: bool = False
 
     def __post_init__(self) -> None:
         if self.mode not in SERVICE_MODES:
@@ -150,6 +173,19 @@ class ServiceConfig:
                 )
         if self.pool_dir is not None and not self.pool:
             raise ConfigurationError("pool_dir requires pool")
+        if self.dedup_clients <= 0:
+            raise ConfigurationError(
+                "dedup_clients must be positive, got %r" % (self.dedup_clients,)
+            )
+        if self.journal_fsync and self.journal_dir is None:
+            raise ConfigurationError("journal_fsync requires journal_dir")
+        if self.journal_dir is not None and self.pool:
+            raise ConfigurationError(
+                "journaling of pooled tenants is not supported yet; "
+                "journal_dir does not compose with pool"
+            )
+        if self.supervise and self.shards is None:
+            raise ConfigurationError("supervise requires shards (it heals the sharded tier)")
 
     # ------------------------------------------------------------- wire form
     def to_dict(self) -> dict[str, Any]:
@@ -176,6 +212,10 @@ class ServiceConfig:
             "pool": self.pool,
             "pool_dir": self.pool_dir,
             "memory_budget_bytes": self.memory_budget_bytes,
+            "journal_dir": self.journal_dir,
+            "journal_fsync": self.journal_fsync,
+            "dedup_clients": self.dedup_clients,
+            "supervise": self.supervise,
         }
 
     @classmethod
@@ -204,6 +244,11 @@ class ServiceConfig:
                 pool=bool(payload.get("pool", False)),
                 pool_dir=payload.get("pool_dir"),
                 memory_budget_bytes=payload.get("memory_budget_bytes"),
+                # Absent in pre-journal snapshots; default to the old posture.
+                journal_dir=payload.get("journal_dir"),
+                journal_fsync=bool(payload.get("journal_fsync", False)),
+                dedup_clients=int(payload.get("dedup_clients", 1_024)),
+                supervise=bool(payload.get("supervise", False)),
             )
         except (KeyError, ValueError) as exc:
             raise ConfigurationError("malformed service config payload: %s" % (exc,)) from exc
@@ -230,4 +275,8 @@ class ServiceConfig:
         if self.pool:
             info["pool"] = True
             info["memory_budget_bytes"] = self.memory_budget_bytes
+        if self.journal_dir is not None:
+            info["journaled"] = True
+        if self.supervise:
+            info["supervised"] = True
         return info

@@ -37,6 +37,7 @@ import math
 import os
 import sys
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from collections.abc import Callable, Hashable, Sequence
 from typing import Any
@@ -59,6 +60,7 @@ from .errors import (
     ServiceStoppedError,
     UnknownOperationError,
 )
+from .journal import IngestJournal, JournalRecord
 
 __all__ = [
     "ServiceError",
@@ -164,6 +166,13 @@ class _IngestChunk:
     keys: list[Hashable]
     clocks: list[float]
     values: list[int] | None
+    # Retry identity of the producing client, when it sent one: the highest
+    # applied seq per client rides in snapshots so a reconnect-and-resend
+    # after recovery still dedups exactly-once.
+    client_id: str | None = None
+    seq: int | None = None
+    # Position of this chunk in the write-ahead journal (None: not journaled).
+    journal_seq: int | None = None
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -178,6 +187,10 @@ class SketchService:
             ``None`` a fresh state is built from ``config``.
         records_ingested: Ingest counter carried over from a snapshot.
         applied_clock: Stream clock carried over from a snapshot.
+        applied_seqs: Per-client highest *applied* ingest seq, carried over
+            from a snapshot, so retry dedup survives a crash.
+        journal_seq: Journal position of the snapshot this service was
+            restored from; boot replay skips journal records at or below it.
     """
 
     def __init__(
@@ -186,6 +199,8 @@ class SketchService:
         state: ServiceState | None = None,
         records_ingested: int = 0,
         applied_clock: float | None = None,
+        applied_seqs: dict[str, int] | None = None,
+        journal_seq: int = 0,
     ) -> None:
         self.config = config
         self.state: ServiceState = state if state is not None else self._build_state(config)
@@ -194,6 +209,8 @@ class SketchService:
         self.ingest_apply_errors = 0
         self.background_errors = 0
         self.snapshots_written = 0
+        self.duplicate_chunks = 0
+        self.journal_errors = 0
         self.last_snapshot_path: str | None = None
         self._applied_clock: float | None = applied_clock
         self._submitted_clock: float | None = applied_clock
@@ -204,6 +221,20 @@ class SketchService:
         self._ingest_task: asyncio.Task[None] | None = None
         self._background_tasks: list[asyncio.Task[None]] = []
         self._stopping = False
+        # Exactly-once dedup state.  `_applied_seqs` only advances when a
+        # chunk is applied (it is what snapshots persist); `_acked_seqs`
+        # advances at ack time and is what the ingest path checks, so a
+        # retry of a still-queued chunk dedups too.
+        self._applied_seqs: dict[str, int] = dict(applied_seqs or {})
+        self._acked_seqs: dict[str, int] = dict(self._applied_seqs)
+        self._applied_journal_seq = journal_seq
+        self._journal: IngestJournal | None = None
+        if config.journal_dir is not None:
+            self._journal = IngestJournal(config.journal_dir, fsync_each=config.journal_fsync)
+        # Single-thread executor: journal appends must hit the file in ack
+        # order, and a one-worker pool is a FIFO queue (the same sanctioned
+        # blocking-I/O escape the tenant catalog uses).
+        self._journal_executor: ThreadPoolExecutor | None = None
 
     # -------------------------------------------------------------- building
     @staticmethod
@@ -251,6 +282,19 @@ class SketchService:
             raise ServiceError("service already started")
         self._queue = asyncio.Queue(maxsize=self.config.queue_chunks)
         self._stopping = False
+        if self._journal is not None:
+            # Recover before accepting ingest: replay the journal tail the
+            # restored snapshot does not contain, then continue appending
+            # where the intact journal ends.
+            self._journal_executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="ingest-journal"
+            )
+            loop = asyncio.get_running_loop()
+            records = await loop.run_in_executor(
+                self._journal_executor, self._journal.recover, self._applied_journal_seq
+            )
+            self._replay_journal_records(records)
+            await loop.run_in_executor(self._journal_executor, self._journal.open_for_append)
         self._ingest_task = asyncio.create_task(self._ingest_loop(), name="sketch-ingest")
         if self.config.expire_every is not None:
             self._background_tasks.append(
@@ -292,6 +336,12 @@ class SketchService:
         self._background_tasks = []
         if drain and self.config.snapshot_path is not None:
             final_snapshot = self.snapshot_now()
+        if self._journal is not None and self._journal_executor is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                self._journal_executor, self._journal.close
+            )
+            self._journal_executor.shutdown(wait=True)
+            self._journal_executor = None
         self._queue = None
         return final_snapshot
 
@@ -354,21 +404,101 @@ class SketchService:
         clocks: Sequence[float],
         values: Sequence[int] | None = None,
         site: int = 0,
+        client_id: str | None = None,
+        seq: int | None = None,
     ) -> int:
         """Validate and enqueue one chunk of arrivals; returns the accepted count.
 
         The returned acknowledgement means *accepted and ordered*, not yet
-        applied: a crash before the next snapshot loses unapplied chunks, and
-        queries reflect the chunk only after it leaves the queue (await
-        :meth:`drain` for a barrier).  When the queue is full this call
-        suspends until the consumer frees a slot — backpressure, not loss.
+        applied: queries reflect the chunk only after it leaves the queue
+        (await :meth:`drain` for a barrier).  Without a journal, a crash
+        before the next snapshot loses acked-unapplied chunks; with
+        ``journal_dir`` set the chunk hits the write-ahead journal *before*
+        this call returns, so the ack is crash-durable.  When the queue is
+        full this call suspends until the consumer frees a slot —
+        backpressure, not loss.
+
+        ``(client_id, seq)`` is the optional retry identity: a chunk whose
+        seq is at or below the client's acked high-water mark is re-acked
+        without being re-applied, which is what makes reconnect-and-resend
+        exactly-once.
         """
+        if client_id is not None and seq is not None:
+            acked = self._acked_seqs.get(client_id)
+            if acked is not None and seq <= acked:
+                # Duplicate of an already-acked chunk (client retried after a
+                # lost response): idempotent re-ack, nothing applied.
+                self.duplicate_chunks += 1
+                return len(keys)
         chunk = self._validate_chunk(keys, clocks, values, site)
+        chunk.client_id = client_id
+        chunk.seq = seq
         assert self._queue is not None  # _validate_chunk guarantees started
+        # Ordering-critical section: the mark advance must follow validation
+        # with no await in between, or a concurrent producer could validate
+        # against a stale mark and regress clocks after the ack.
         self._submitted_clock = chunk.clocks[-1]
         self._pending_arrivals += len(chunk)
+        if self._journal is not None and self._journal_executor is not None:
+            # Journal-before-ack.  The single-worker executor is FIFO and
+            # run_in_executor submits synchronously here (before this
+            # coroutine yields), so journal order matches mark order — and
+            # loop wakeups of these futures are FIFO too, so queue order
+            # matches journal order.
+            loop = asyncio.get_running_loop()
+            try:
+                chunk.journal_seq = await loop.run_in_executor(
+                    self._journal_executor,
+                    self._journal.append,
+                    chunk.site,
+                    chunk.keys,
+                    chunk.clocks,
+                    chunk.values,
+                    client_id,
+                    seq,
+                )
+            except Exception as exc:
+                # Not acked; the chunk is dropped.  The submitted mark stays
+                # advanced (another producer may have validated against it
+                # already), so a retry of *this* clock range can be rejected
+                # as a regression — disk-failure-class behaviour, surfaced
+                # loudly rather than silently un-journaled.
+                self._pending_arrivals -= len(chunk)
+                self.journal_errors += 1
+                raise ServiceError(
+                    "write-ahead journal append failed: %s" % (exc,)
+                ) from exc
+        if client_id is not None and seq is not None:
+            self._note_seq(self._acked_seqs, client_id, seq)
         await self._queue.put(chunk)
         return len(chunk)
+
+    def _note_seq(self, table: dict[str, int], client_id: str, seq: int) -> None:
+        """Advance a client's seq high-water mark; LRU-evict beyond the cap."""
+        previous = table.pop(client_id, None)
+        table[client_id] = seq if previous is None or seq > previous else previous
+        limit = self.config.dedup_clients
+        while len(table) > limit:
+            table.pop(next(iter(table)))
+
+    def _replay_journal_records(self, records: list[JournalRecord]) -> None:
+        """Apply recovered journal records (acked pre-crash, lost from state)."""
+        for record in records:
+            chunk = _IngestChunk(
+                site=record.site,
+                keys=record.keys,
+                clocks=record.clocks,
+                values=record.values,
+                client_id=record.client_id,
+                seq=record.seq,
+                journal_seq=record.jseq,
+            )
+            self._pending_arrivals += len(chunk)
+            self._apply_chunks([chunk])
+            if record.client_id is not None and record.seq is not None:
+                self._note_seq(self._acked_seqs, record.client_id, record.seq)
+        if records:
+            self._submitted_clock = self._applied_clock
 
     async def drain(self) -> None:
         """Resolve once every acknowledged arrival has been applied."""
@@ -479,6 +609,14 @@ class SketchService:
             self._pending_arrivals -= count
             self._applied_clock = clocks[-1]
             self.ingest_batches += 1
+            # Applied-position bookkeeping rides the same synchronous apply
+            # step, so any snapshot (a cut between micro-batches) carries a
+            # journal position and dedup map consistent with its state.
+            for chunk in chunks[index:scan]:
+                if chunk.journal_seq is not None:
+                    self._applied_journal_seq = chunk.journal_seq
+                if chunk.client_id is not None and chunk.seq is not None:
+                    self._note_seq(self._applied_seqs, chunk.client_id, chunk.seq)
             index = scan
 
     # ----------------------------------------------------- background sweeps
@@ -557,6 +695,12 @@ class SketchService:
             path_written = await loop.run_in_executor(
                 None, write_snapshot, destination, payload
             )
+            if self._journal is not None and self._journal_executor is not None:
+                # The snapshot carries the applied journal position, so the
+                # journal can rotate: recovery = this snapshot + the fresh
+                # epoch's tail.  Rotation keeps the previous epoch as
+                # insurance against a crash between these two steps.
+                await loop.run_in_executor(self._journal_executor, self._journal.rotate)
         self.snapshots_written += 1
         self.last_snapshot_path = path_written
         return path_written
@@ -575,6 +719,13 @@ class SketchService:
         if destination is None:
             raise InvalidParameterError("no snapshot_path configured")
         path_written = write_snapshot(destination, snapshot_payload(self))
+        if self._journal is not None:
+            # Route the rotation through the journal executor when it is
+            # live so it cannot interleave with an in-flight append.
+            if self._journal_executor is not None:
+                self._journal_executor.submit(self._journal.rotate).result()
+            else:
+                self._journal.rotate()
         self.snapshots_written += 1
         self.last_snapshot_path = path_written
         return path_written
@@ -737,7 +888,12 @@ class SketchService:
             "last_snapshot_path": self.last_snapshot_path,
             "uptime_seconds": time.monotonic() - self._started_monotonic,
             "draining": self._stopping,
+            "duplicate_chunks": self.duplicate_chunks,
+            "dedup_clients_tracked": len(self._acked_seqs),
         }
+        if self._journal is not None:
+            stats["journal"] = self._journal.stats()
+            stats["journal_errors"] = self.journal_errors
         if isinstance(state, PeriodicAggregationCoordinator):
             stats["rounds"] = state.stats.rounds
             stats["transfer_bytes"] = state.stats.transfer_bytes

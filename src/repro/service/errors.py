@@ -36,6 +36,7 @@ __all__ = [
     "ClockRegressionError",
     "ServiceStoppedError",
     "ShardUnavailableError",
+    "DeadlineExceededError",
     "VersionMismatchError",
     "PoolDisabledError",
     "TenantRequiredError",
@@ -143,6 +144,18 @@ class ShardUnavailableError(ServiceRequestError):
     code = "SHARD_UNAVAILABLE"
 
 
+class DeadlineExceededError(ServiceRequestError):
+    """An operation ran past its deadline and was abandoned.
+
+    Raised client-side when a per-operation deadline expires before the
+    response arrives, and router-side when a shard fan-out exceeds its
+    budget.  The request may or may not have been applied by the server;
+    idempotent retries (ingest with ``client``/``seq``) are safe.
+    """
+
+    code = "DEADLINE_EXCEEDED"
+
+
 class VersionMismatchError(ServiceRequestError):
     """Client and server speak incompatible protocol majors."""
 
@@ -199,6 +212,10 @@ ERROR_CODES: dict[str, tuple] = {
     ),
     "SERVICE_STOPPED": (ServiceStoppedError, "Service is draining or stopped; no new work accepted."),
     "SHARD_UNAVAILABLE": (ShardUnavailableError, "A shard worker is dead or unreachable."),
+    "DEADLINE_EXCEEDED": (
+        DeadlineExceededError,
+        "The operation ran past its deadline before a response arrived.",
+    ),
     "VERSION_MISMATCH": (
         VersionMismatchError,
         "Client and server speak incompatible protocol majors.",

@@ -8,6 +8,7 @@ care, it speaks the same protocol every client does, handshake included).
 Routes (all under ``/v1``; responses are JSON envelopes, exactly the wire
 shape of the TCP protocol)::
 
+    GET    /v1/healthz                      gateway+backend liveness (200/503)
     GET    /v1/info                         server parameters
     GET    /v1/stats                        live counters
     GET    /v1/tenants                      tenant catalog listing
@@ -39,11 +40,12 @@ import contextlib
 import asyncio
 import json
 import signal
+import uuid
 from collections.abc import Callable
 from typing import Any
 from urllib.parse import parse_qsl, unquote, urlsplit
 
-from .client import ServiceClient
+from .client import RetryPolicy, ServiceClient
 from .errors import (
     ProtocolError,
     ServiceError,
@@ -75,6 +77,7 @@ STATUS_FOR_CODE: dict[str, int] = {
     "TENANT_EXISTS": 409,
     "SERVICE_STOPPED": 503,
     "SHARD_UNAVAILABLE": 503,
+    "DEADLINE_EXCEEDED": 504,
     "TENANT_EVICTED": 500,
     "INTERNAL": 500,
 }
@@ -87,7 +90,22 @@ _REASONS = {
     409: "Conflict",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
+
+#: ``Retry-After`` value (seconds) sent with every 503: transient by
+#: definition — the backend is restarting or a shard is mid-recovery.
+_RETRY_AFTER_SECONDS = 1
+
+#: Retry policy of the gateway's backend channel: reconnect-and-retry wins
+#: over fail-loud now that ingest is exactly-once (``client``/``seq`` dedup).
+_BACKEND_RETRY = RetryPolicy(attempts=4, base_delay=0.1, max_delay=2.0, deadline=30.0)
+
+#: Budget for the healthz probe — a health check must answer fast.
+_HEALTH_DEADLINE = 2.0
+
+#: Bound on establishing one backend connection (RL006).
+_CONNECT_TIMEOUT = 10.0
 
 #: Request bodies larger than this are rejected (same bound as the protocol).
 _MAX_BODY_BYTES = MAX_LINE_BYTES
@@ -112,10 +130,14 @@ class _BackendChannel:
     """One serialized protocol connection to the backend tier.
 
     Requests on the NDJSON protocol are answered in order, so one connection
-    guarded by a lock serves the gateway; a lost connection fails the
-    in-flight request (503) and reconnects lazily on the next one — the
-    gateway never silently retries, because a died-after-send ingest may
-    already be applied.
+    guarded by a lock serves the gateway.  The connection carries a
+    :class:`~repro.service.client.RetryPolicy`: a dropped connection or a
+    restarted backend is reconnected and the request retried with backoff,
+    which is safe for ingest because every chunk carries this channel's
+    stable ``client`` id and a monotonic ``seq`` — a backend that already
+    applied the chunk re-acknowledges it without double-counting.  Only when
+    the whole retry budget is exhausted does the request fail (503/504), and
+    the channel reconnects lazily on the next one.
     """
 
     def __init__(self, host: str, port: int) -> None:
@@ -123,6 +145,13 @@ class _BackendChannel:
         self.port = port
         self._client: ServiceClient | None = None
         self._lock = asyncio.Lock()
+        # Exactly-once identity of this channel: stable across backend
+        # reconnects (a fresh ServiceClient would mint a fresh id, losing
+        # the dedup window mid-retry).
+        self._client_id = uuid.uuid4().hex[:16]
+        self._seq = 0
+        #: Requests that needed at least one retry/reconnect to succeed.
+        self.retried_requests = 0
 
     async def request(self, message: dict[str, Any]) -> Any:
         # The lock intentionally serializes the whole round-trip: a channel
@@ -130,18 +159,68 @@ class _BackendChannel:
         # one-response per connection (no interleaving), so peers queueing
         # behind the await is the design, not the RL003 race.
         async with self._lock:
-            if self._client is None:
-                self._client = await ServiceClient.connect(  # reprolint: disable=RL003
-                    self.host, self.port
-                )
+            if message.get("op") == "ingest" and "seq" not in message:
+                self._seq += 1
+                message = dict(message, client=self._client_id, seq=self._seq)
             try:
-                return await self._client.request(message)  # reprolint: disable=RL003
+                if self._client is None:
+                    self._client = await ServiceClient.connect(  # reprolint: disable=RL003 -- see lock note
+                        self.host, self.port, retry=_BACKEND_RETRY, timeout=_CONNECT_TIMEOUT
+                    )
+                retries_before = self._client.retries
+                try:
+                    return await self._client.call(
+                        message, deadline=self._deadline_for(message)
+                    )
+                finally:
+                    if self._client is not None and self._client.retries > retries_before:
+                        self.retried_requests += 1
             except (ConnectionError, OSError) as exc:
                 client, self._client = self._client, None
-                await client.close()
+                if client is not None:
+                    await client.close()
                 raise ServiceStoppedError(
                     "backend connection lost: %s" % (exc,), op=message.get("op")
                 ) from exc
+
+    @staticmethod
+    def _deadline_for(message: dict[str, Any]) -> float | None:
+        """Per-op budget: ``None`` defers to the channel's policy default."""
+        if message.get("op") in ("drain", "snapshot", "restart_shard", "pool_sweep"):
+            return 600.0
+        return None
+
+    async def ping(self, deadline: float) -> bool:
+        """One bounded liveness probe; never raises.
+
+        The outer ``wait_for`` also bounds time spent queueing behind an
+        in-flight request on the channel lock: a wedged backend makes the
+        health check answer "degraded", not hang.
+        """
+        try:
+            return await asyncio.wait_for(self._ping_locked(deadline), deadline * 2.0)
+        except Exception:  # noqa: BLE001 - a health probe reports, never raises
+            return False
+
+    async def _ping_locked(self, deadline: float) -> bool:
+        async with self._lock:
+            try:
+                if self._client is None:
+                    self._client = await ServiceClient.connect(  # reprolint: disable=RL003 -- bounded probe
+                        self.host, self.port, retry=_BACKEND_RETRY, timeout=deadline
+                    )
+                # Deadline-bounded probe on the one-connection channel:
+                # serializing peers behind it is the design, not the race.
+                await self._client.request(  # reprolint: disable=RL003 -- bounded probe
+                    {"op": "ping"}, deadline=deadline
+                )
+                return True
+            except Exception:  # noqa: BLE001 - degraded, with cleanup
+                client, self._client = self._client, None
+                if client is not None:
+                    with contextlib.suppress(OSError):
+                        await client.close()
+                return False
 
     async def close(self) -> None:
         async with self._lock:
@@ -229,12 +308,17 @@ class GatewayServer:
         try:
             status, payload = await self._handle_request(reader)
             body = json.dumps(payload).encode("utf-8")
+            retry_after = ""
+            if status == 503:
+                retry_after = "Retry-After: %d\r\n" % _RETRY_AFTER_SECONDS
             writer.write(
                 (
                     "HTTP/1.1 %d %s\r\n"
                     "Content-Type: application/json\r\n"
                     "Content-Length: %d\r\n"
-                    "Connection: close\r\n\r\n" % (status, _REASONS.get(status, "Error"), len(body))
+                    "%s"
+                    "Connection: close\r\n\r\n"
+                    % (status, _REASONS.get(status, "Error"), len(body), retry_after)
                 ).encode("ascii")
                 + body
             )
@@ -253,9 +337,14 @@ class GatewayServer:
         op: str | None = None
         try:
             method, path, params, body = await self._read_request(reader)
+            if path == ["v1", "healthz"]:
+                self._require(method, "GET", "healthz")
+                return await self._healthz()
             message = self._route(method, path, params, body)
             op = message.get("op")
-            result = await self.backend.request(message)
+            # The channel applies per-op deadlines itself (_deadline_for
+            # plus _BACKEND_RETRY's overall budget).
+            result = await self.backend.request(message)  # reprolint: disable=RL006
             return 200, {"ok": True, "result": result}
         except _RouteError as exc:
             envelope = {"code": exc.code, "message": str(exc), "op": op}
@@ -266,6 +355,21 @@ class GatewayServer:
         except Exception as exc:  # noqa: BLE001 - the gateway must answer
             envelope = {"code": "INTERNAL", "message": str(exc), "op": op}
             return 500, {"ok": False, "error": envelope}
+
+    async def _healthz(self) -> tuple[int, dict[str, Any]]:
+        """Liveness answer: 200 when the backend answers a bounded ping,
+        503 (with ``Retry-After``) when it does not."""
+        healthy = await self.backend.ping(_HEALTH_DEADLINE)
+        if healthy:
+            return 200, {"ok": True, "result": {"status": "healthy"}}
+        return 503, {
+            "ok": False,
+            "error": {
+                "code": "SERVICE_STOPPED",
+                "message": "backend did not answer a ping within %.1f s" % _HEALTH_DEADLINE,
+                "op": "ping",
+            },
+        }
 
     async def _read_request(
         self, reader: asyncio.StreamReader

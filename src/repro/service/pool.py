@@ -333,6 +333,9 @@ class TenantPool:
             snapshot_path=None,
             snapshot_every=None,
             expire_every=None,
+            journal_dir=None,
+            journal_fsync=False,
+            supervise=False,
         )
         for key, value in overrides.items():
             if key not in TENANT_CONFIG_KEYS:

@@ -16,7 +16,9 @@ mid-stream.  Minor revisions are additive (new ops, new optional fields) and
 interoperate freely.  ``info`` also reports the server's version for
 observability.  Version history: ``1.x`` used a bare-string ``error`` field;
 ``2.0`` introduced the typed envelope, the hello exchange and
-tenant-namespaced operations.
+tenant-namespaced operations; ``2.1`` added the ``failpoint`` op, optional
+``client``/``seq`` exactly-once ingest markers and the ``DEADLINE_EXCEEDED``
+error code.
 
 On a pooled server (``repro serve --pool``) every stateful op below accepts
 a ``tenant`` field naming the target tenant, plus the tenant lifecycle ops
@@ -32,7 +34,11 @@ Operations (see :meth:`repro.service.server.SketchServer` for dispatch):
 ``info``                  service mode/parameters a client needs to build load
 ``stats``                 live counters: ingested, pending, clock, memory, ...
 ``ingest``                ``keys``/``clocks``(/``values``/``site``) columns;
-                          acknowledged once *enqueued* (see ``drain``)
+                          acknowledged once *enqueued* (see ``drain``) — and,
+                          when journaling, only after the chunk is journaled.
+                          Optional ``client``/``seq`` markers make retries
+                          exactly-once: an already-acked ``seq`` is
+                          re-acknowledged without being re-applied
 ``drain``                 barrier: resolves once every previously acknowledged
                           arrival has been applied to the sketch state
 ``point``                 point-frequency query (``key``, optional ``range``)
@@ -53,6 +59,10 @@ Operations (see :meth:`repro.service.server.SketchServer` for dispatch):
                           result is the path
 ``restart_shard``         respawn worker ``shard`` from its last per-shard
                           snapshot (sharded servers only)
+``failpoint``             fault injection: arm a ``spec`` of named failure
+                          sites, ``disarm`` (optionally one ``name``), or
+                          target one worker with ``shard``; result lists the
+                          armed sites
 ``shutdown``              drain, snapshot (if configured) and stop the server
 ========================= ======================================================
 """
@@ -80,8 +90,9 @@ __all__ = [
 
 #: Wire-protocol version spoken by this build, as ``major.minor``.  Majors
 #: gate interoperability (the hello exchange rejects a mismatch); minors are
-#: additive.  2.0 = typed error envelope + hello + tenant namespacing.
-PROTOCOL_VERSION = "2.0"
+#: additive.  2.0 = typed error envelope + hello + tenant namespacing;
+#: 2.1 = failpoint op + exactly-once ingest markers + DEADLINE_EXCEEDED.
+PROTOCOL_VERSION = "2.1"
 
 #: Major component of :data:`PROTOCOL_VERSION`.
 PROTOCOL_MAJOR = 2

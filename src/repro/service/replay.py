@@ -27,9 +27,14 @@ from typing import Any
 from ..core.errors import ConfigurationError
 from ..streams.generators import IntegerZipfTrace, make_trace
 from ..streams.stream import Stream
-from .client import ServiceClient, ServiceRequestError
+from .client import RetryPolicy, ServiceClient, ServiceRequestError
 
 __all__ = ["ReplayReport", "build_replay_stream", "run_replay"]
+
+#: Retry policy of replay connections: a restarted backend or a recovering
+#: shard costs retries, not an aborted replay.  Exactly-once ingest markers
+#: (``client``/``seq``) make resumed chunks safe to re-send.
+_REPLAY_RETRY = RetryPolicy(attempts=6, base_delay=0.1, max_delay=2.0, deadline=120.0)
 
 
 @dataclass
@@ -48,6 +53,8 @@ class ReplayReport:
     query_p50_ms: float = 0.0
     query_p99_ms: float = 0.0
     query_max_ms: float = 0.0
+    retried_chunks: int = 0
+    reconnects: int = 0
     server_stats: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
@@ -65,6 +72,8 @@ class ReplayReport:
             "query_p50_ms": self.query_p50_ms,
             "query_p99_ms": self.query_p99_ms,
             "query_max_ms": self.query_max_ms,
+            "retried_chunks": self.retried_chunks,
+            "reconnects": self.reconnects,
             "server_stats": self.server_stats,
         }
 
@@ -93,6 +102,11 @@ class ReplayReport:
         if self.query_errors:
             lines.append("query errors:           %d (e.g. pre-first-round multisite reads)"
                          % self.query_errors)
+        if self.retried_chunks or self.reconnects:
+            lines.append(
+                "retried chunks:         %d (%d reconnects; exactly-once via client/seq)"
+                % (self.retried_chunks, self.reconnects)
+            )
         if self.server_stats:
             lines.append(
                 "server state:           %d ingested, clock %s, %.1f KiB resident"
@@ -239,7 +253,7 @@ async def run_replay(
         raise ConfigurationError("batch_size must be positive, got %r" % (batch_size,))
     if connections <= 0:
         raise ConfigurationError("connections must be positive, got %r" % (connections,))
-    client = await ServiceClient.connect(host, port)
+    client = await ServiceClient.connect(host, port, retry=_REPLAY_RETRY, timeout=30.0)
     extra_clients: list[ServiceClient] = []
     try:
         info = (await client.get_info()).raw
@@ -255,7 +269,7 @@ async def run_replay(
 
         plans = _plan_connections(keys, clocks, mode, sites, shards, groups, batch_size)
         for _ in range(groups - 1):
-            extra_clients.append(await ServiceClient.connect(host, port))
+            extra_clients.append(await ServiceClient.connect(host, port, retry=_REPLAY_RETRY, timeout=30.0))
         clients = [client] + extra_clients
 
         start = time.perf_counter()
@@ -274,7 +288,10 @@ async def run_replay(
                     delay = scheduled - time.perf_counter()
                     if delay > 0:
                         await asyncio.sleep(delay)
+                retries_before = own.retries
                 accepted = await own.ingest(batch_keys, batch_clocks, site=site)
+                if own.retries > retries_before:
+                    report.retried_chunks += 1
                 sent_total += accepted
                 batches_total += 1
                 own_batches += 1
@@ -290,6 +307,7 @@ async def run_replay(
                         report.query_errors += 1
 
         await asyncio.gather(*(run_connection(index) for index in range(groups)))
+        report.reconnects = sum(own.reconnects for own in clients)
         elapsed = time.perf_counter() - start
         drain_start = time.perf_counter()
         await client.drain()

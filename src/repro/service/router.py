@@ -75,6 +75,7 @@ from .core import (
 from .core import _require_param  # shared "missing required parameter" wording
 from .errors import (
     ClockRegressionError,
+    DeadlineExceededError,
     InvalidParameterError,
     ModeMismatchError,
     ServiceRequestError,
@@ -94,6 +95,7 @@ from .protocol import (
 from .server import dispatch_service_op
 from .shard_worker import ShardProcess, ShardUnavailableError, sites_of_shard, worker_config
 from .snapshot import write_snapshot
+from .supervision import ShardSupervisor
 
 __all__ = [
     "PARTITION_SCHEME",
@@ -113,6 +115,12 @@ PARTITION_SCHEME = "crc32v1"
 
 MANIFEST_KIND = "shard_manifest"
 MANIFEST_VERSION = 1
+
+#: Default deadline of one shard fan-out, in seconds.  Generous — it exists
+#: to bound *hangs* (a worker wedged mid-request would otherwise stall the
+#: router forever), not to race healthy operations; ingest backpressure and
+#: large snapshots finish orders of magnitude sooner.
+_FAN_DEADLINE = 120.0
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 _GOLDEN = 0x9E3779B97F4A7C15  # Fibonacci-hashing multiplier (2**64 / phi)
@@ -191,13 +199,19 @@ class _ShardChannel:
         )
 
     @classmethod
-    async def connect(cls, shard_id: int, host: str, port: int) -> _ShardChannel:
-        reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES)
+    async def connect(
+        cls, shard_id: int, host: str, port: int, timeout: float = 30.0
+    ) -> _ShardChannel:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port, limit=MAX_LINE_BYTES), timeout
+        )
         channel = cls(shard_id, reader, writer)
         # Version handshake before any real traffic: an incompatible worker
         # fails loudly here, not on an unknown op mid-stream.
         try:
-            result = await channel.submit({"op": "hello", "protocol_version": PROTOCOL_VERSION})
+            result = await asyncio.wait_for(
+                channel.submit({"op": "hello", "protocol_version": PROTOCOL_VERSION}), timeout
+            )
             version = result.get("protocol_version") if isinstance(result, dict) else None
             if isinstance(version, str):
                 check_protocol_version(version)
@@ -388,7 +402,7 @@ class ProcessShardBackend:
         process = self.processes[shard]
         assert process is not None
         port = await process.wait_ready()
-        self.channels[shard] = await _ShardChannel.connect(shard, self.host, port)
+        self.channels[shard] = await _ShardChannel.connect(shard, self.host, port, timeout=30.0)
 
     def alive(self, shard: int) -> bool:
         process = self.processes[shard]
@@ -497,6 +511,12 @@ class ShardRouter:
             else ProcessShardBackend(config, host=host)
         )
         self._high_water: list[float | None] = [None] * self.num_shards
+        # Per-client highest seq recorded at fan-out time: a retried chunk
+        # (seq at or below the record) skips the per-shard clock pre-flight
+        # — its first attempt already advanced the marks — and is re-fanned
+        # so every worker can apply-or-dedup it.
+        self._client_seqs: dict[str, int] = {}
+        self._supervisor: ShardSupervisor | None = None
         self._restore_paths: dict[int, str] = {}
         self._snapshot_epoch = 0
         self._snapshot_lock = asyncio.Lock()
@@ -590,6 +610,9 @@ class ShardRouter:
         self._started_monotonic = time.monotonic()
         if self._restore_paths:
             await self._reseed_from_workers()
+        if self.config.supervise:
+            self._supervisor = ShardSupervisor(self)
+            await self._supervisor.start()
 
     async def _reseed_from_workers(self) -> None:
         """Adopt the workers' restored clocks as the routing high-water marks."""
@@ -603,6 +626,9 @@ class ShardRouter:
         """Drain, final-snapshot (when configured and healthy), stop workers."""
         self._stopping = True
         final_path: str | None = None
+        if self._supervisor is not None:
+            await self._supervisor.stop()
+            self._supervisor = None
         if self._started:
             degraded = self.degraded_shards()
             if drain and not degraded:
@@ -662,14 +688,27 @@ class ShardRouter:
                 )
             )
 
-    async def _gather(self, futures: Sequence[Awaitable[Any]]) -> list[Any]:
+    async def _gather(
+        self, futures: Sequence[Awaitable[Any]], deadline: float | None = None
+    ) -> list[Any]:
         """Await all submissions; raise the first failure after all settle.
 
         ``return_exceptions`` keeps every future retrieved even when one
         fails fast — otherwise a slow shard's later failure would surface as
-        an unretrieved-exception warning from the event loop.
+        an unretrieved-exception warning from the event loop.  Every await
+        carries a deadline (:data:`_FAN_DEADLINE` by default): a wedged
+        worker surfaces as :class:`~repro.service.errors
+        .DeadlineExceededError` instead of hanging the router and everything
+        queued behind this request.
         """
-        results = await asyncio.gather(*futures, return_exceptions=True)
+        limit = deadline if deadline is not None else _FAN_DEADLINE
+        gathered = asyncio.gather(*futures, return_exceptions=True)
+        try:
+            results = await asyncio.wait_for(gathered, timeout=limit)
+        except asyncio.TimeoutError:
+            raise DeadlineExceededError(
+                "shard fan-out exceeded its %.0f s deadline" % (limit,)
+            ) from None
         for result in results:
             if isinstance(result, BaseException):
                 raise result
@@ -734,6 +773,8 @@ class ShardRouter:
         values: Sequence[int] | None = None,
         site: int = 0,
         tenant: str | None = None,
+        client_id: str | None = None,
+        seq: int | None = None,
     ) -> int:
         """Partition one chunk across shards and await every worker's ack.
 
@@ -743,6 +784,13 @@ class ShardRouter:
         sub-chunks written back-to-back with no suspension point in between
         — concurrent callers cannot interleave a conflicting chunk into the
         middle of the fan-out.
+
+        A ``(client_id, seq)`` retry identity makes partial fan-out failures
+        recoverable: the seq is recorded before anything is submitted, and a
+        retried chunk skips the per-shard clock pre-flight (its first attempt
+        already advanced the marks) and is re-fanned with the identity
+        attached, so each worker either applies it or dedups it — the ack
+        the client finally sees covers every shard exactly once.
         """
         if self._stopping or not self._started:
             raise ServiceStoppedError("service is not accepting ingest")
@@ -780,6 +828,10 @@ class ShardRouter:
             validate_values_column(values)
         mode = self.config.mode
         validate_keys_for_mode(keys, mode, self.config.universe_bits)
+        retry = False
+        if client_id is not None and seq is not None:
+            recorded = self._client_seqs.get(client_id)
+            retry = recorded is not None and seq <= recorded
 
         if mode == "multisite":
             if not isinstance(site, int) or isinstance(site, bool) or not (
@@ -812,10 +864,14 @@ class ShardRouter:
             parts = self._partition(keys, clocks, values)
 
         # Pre-flight every target shard, then advance all marks and submit
-        # all sub-chunks synchronously (no awaits until the gather).
+        # all sub-chunks synchronously (no awaits until the gather).  A
+        # retry skips the clock pre-flight: its first attempt already
+        # advanced these marks, so re-checking would self-reject it.
         for shard, message in parts.items():
             if not self.workers.alive(shard):
                 raise ShardUnavailableError("shard %d is down" % (shard,))
+            if retry:
+                continue
             mark = self._high_water[shard]
             first = message["clocks"][0]
             if mark is not None and first < mark:
@@ -823,14 +879,36 @@ class ShardRouter:
                     "shard %d: out-of-order clock %r (high-water mark %r); arrival "
                     "clocks must be non-decreasing per shard" % (shard, first, mark)
                 )
+        if client_id is not None and seq is not None and not retry:
+            # Recorded before the fan-out, not after: if the gather fails
+            # midway the chunk may have reached some shards, and the retry
+            # must be recognized as such.
+            self._note_client_seq(client_id, seq)
         futures = []
         for shard, message in parts.items():
-            self._high_water[shard] = message["clocks"][-1]
+            if client_id is not None and seq is not None:
+                message["client"] = client_id
+                message["seq"] = seq
+            mark = self._high_water[shard]
+            last = message["clocks"][-1]
+            if mark is None or last > mark:
+                self._high_water[shard] = last
             futures.append(self.workers.submit(shard, message))
         await self._gather(futures)
-        self.records_ingested += n
-        self.ingest_batches += 1
+        if not retry:
+            self.records_ingested += n
+            self.ingest_batches += 1
         return n
+
+    def _note_client_seq(self, client_id: str, seq: int) -> None:
+        """Record a client's fan-out seq; LRU-evict beyond the dedup cap."""
+        previous = self._client_seqs.pop(client_id, None)
+        self._client_seqs[client_id] = (
+            seq if previous is None or seq > previous else previous
+        )
+        limit = self.config.dedup_clients
+        while len(self._client_seqs) > limit:
+            self._client_seqs.pop(next(iter(self._client_seqs)))
 
     def _partition(
         self,
@@ -907,7 +985,8 @@ class ShardRouter:
             # is the sum of the per-block frequencies (Theorem 4 linearity).
             return await self._fan_sum(message)
         shard = self._owner_shard(key)
-        return float(await self.workers.submit(shard, message))
+        results = await self._gather([self.workers.submit(shard, message)])
+        return float(results[0])
 
     async def _query_arrivals(self, message: dict[str, Any]) -> float:
         return await self._fan_sum(message)
@@ -1072,11 +1151,13 @@ class ShardRouter:
                 entry["pending_arrivals"] = stats.get("pending_arrivals")
                 entry["memory_bytes"] = stats.get("memory_bytes")
             details.append(entry)
+        supervision = self._supervisor.describe() if self._supervisor is not None else {}
         if self.config.pool:
             return {
                 "mode": self.config.mode,
                 "backend": self.config.backend,
                 "pool": True,
+                **supervision,
                 "shards": self.num_shards,
                 "degraded": self.degraded_shards(),
                 "tenants_total": total("tenants_total"),
@@ -1097,6 +1178,7 @@ class ShardRouter:
             "backend": self.config.backend,
             "shards": self.num_shards,
             "degraded": self.degraded_shards(),
+            **supervision,
             "records_ingested": total("records_ingested"),
             "ingest_batches": self.ingest_batches,
             "ingest_apply_errors": total("ingest_apply_errors"),
@@ -1205,13 +1287,32 @@ class ShardRouter:
         if restore is not None and not os.path.exists(restore):
             restore = None
         await self.workers.restart(shard, restore)
-        stats = await self.workers.submit(shard, {"op": "stats"})
+        stats = (await self._gather([self.workers.submit(shard, {"op": "stats"})]))[0]
         self._high_water[shard] = stats.get("applied_clock")
         return {
             "shard": shard,
             "restored_from": restore,
             "applied_clock": self._high_water[shard],
         }
+
+    async def forward_failpoint(self, shard: int, message: dict[str, Any]) -> Any:
+        """Forward a ``failpoint`` op to one worker (chaos fault targeting).
+
+        Runtime arming through the protocol, rather than the environment, is
+        what keeps supervised chaos bounded: a respawned worker boots with a
+        clean failpoint registry instead of re-arming a kill from an
+        inherited variable and dying in a loop.
+        """
+        self._require_started()
+        if not (0 <= shard < self.num_shards):
+            raise InvalidParameterError(
+                "shard must be in [0, %d), got %r" % (self.num_shards, shard)
+            )
+        forwarded = {
+            key: value for key, value in message.items() if key not in ("shard", "id")
+        }
+        results = await self._gather([self.workers.submit(shard, forwarded)])
+        return results[0]
 
     def __repr__(self) -> str:
         return "ShardRouter(mode=%s, shards=%d, ingested=%d, degraded=%r)" % (

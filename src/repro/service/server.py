@@ -26,6 +26,7 @@ from collections.abc import Callable
 from typing import Any, TYPE_CHECKING
 
 from ..core.errors import ConfigurationError, EmptyStructureError
+from . import failpoints
 from .config import ServiceConfig
 from .core import IngestRejectedError, ServiceError, ServiceStoppedError, SketchService
 from .errors import (
@@ -134,6 +135,7 @@ async def dispatch_service_op(service: ServingState, message: dict[str, Any]) ->
             return await _maybe_await(service.tenant_delete(tenant))
         return await _maybe_await(service.tenant_stats(tenant))
     if op == "ingest":
+        await failpoints.fire_async("server.ingest")
         keys = message.get("keys")
         clocks = message.get("clocks")
         if not isinstance(keys, list) or not isinstance(clocks, list):
@@ -144,10 +146,20 @@ async def dispatch_service_op(service: ServingState, message: dict[str, Any]) ->
         site = message.get("site", 0)
         if not isinstance(site, int) or isinstance(site, bool):
             raise IngestRejectedError("'site' must be an integer")
+        client_id = message.get("client")
+        if client_id is not None and not isinstance(client_id, str):
+            raise IngestRejectedError("'client' must be a string when present")
+        seq = message.get("seq")
+        if seq is not None and (not isinstance(seq, int) or isinstance(seq, bool)):
+            raise IngestRejectedError("'seq' must be an integer when present")
         if pooled:
+            # Pooled tenants are not journaled (config forbids the combo),
+            # so the retry identity is dropped rather than half-honoured.
             accepted = await service.ingest(keys, clocks, values, site=site, tenant=tenant)
         else:
-            accepted = await service.ingest(keys, clocks, values, site=site)
+            accepted = await service.ingest(
+                keys, clocks, values, site=site, client_id=client_id, seq=seq
+            )
         return {"accepted": accepted}
     if op == "drain":
         if pooled:
@@ -174,6 +186,32 @@ async def dispatch_service_op(service: ServingState, message: dict[str, Any]) ->
         if not isinstance(shard, int) or isinstance(shard, bool):
             raise ProtocolError("restart_shard requires an integer 'shard'")
         return await restart(shard)
+    if op == "failpoint":
+        # Fault injection: arm/disarm named failure sites in *this* process,
+        # or (with 'shard') in one worker of a sharded server.  Inline
+        # dispatch like restart_shard — an operator op, not a query.
+        shard = message.get("shard")
+        if shard is not None:
+            forward = getattr(service, "forward_failpoint", None)
+            if forward is None:
+                raise ServiceError("'shard' targeting requires a sharded server")
+            if not isinstance(shard, int) or isinstance(shard, bool):
+                raise ProtocolError("'shard' must be an integer when present")
+            return await forward(shard, message)
+        spec = message.get("spec")
+        if spec is not None:
+            if not isinstance(spec, str):
+                raise ProtocolError("'spec' must be a string when present")
+            try:
+                return {"armed": failpoints.configure(spec)}
+            except failpoints.FailpointError as exc:
+                raise BadRequestError(str(exc), op=op) from exc
+        if message.get("disarm"):
+            name = message.get("name")
+            if name is not None and not isinstance(name, str):
+                raise ProtocolError("'name' must be a string when present")
+            failpoints.disarm(name)
+        return {"armed": failpoints.armed()}
     if op in _QUERY_OPS:
         return await _maybe_await(service.query(op, message))
     raise UnknownOperationError("unknown op %r" % (op,))
@@ -266,6 +304,10 @@ class SketchServer:
                 if not line:
                     break
                 response = await self._dispatch_line(line)
+                # "drop" here severs the connection *after* dispatch: the
+                # request took effect but its ack is lost — the retry/dedup
+                # scenario, as a failpoint.
+                await failpoints.fire_async("server.respond")
                 writer.write(encode_message(response))
                 await writer.drain()
                 if self._shutdown_event.is_set():
@@ -375,8 +417,20 @@ async def run_server(
         service.config.expire_every = config.expire_every
         service.config.batch_size = config.batch_size
         service.config.queue_chunks = config.queue_chunks
+        service.config.journal_dir = config.journal_dir
+        service.config.journal_fsync = config.journal_fsync
+        service.config.dedup_clients = config.dedup_clients
+        if config.journal_dir is not None:
+            from .journal import IngestJournal
+
+            service._journal = IngestJournal(
+                config.journal_dir, fsync_each=config.journal_fsync
+            )
     else:
         service = SketchService(config)
+    # Boot-time fault injection (chaos harness): a spec in REPRO_FAILPOINTS
+    # arms this process before it serves its first request.
+    failpoints.load_from_env()
     server = SketchServer(service, host=host, port=port)
     await server.start()
 

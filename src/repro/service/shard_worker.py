@@ -35,6 +35,7 @@ from dataclasses import replace
 from ..distributed.runner import plan_shards
 from .config import ServiceConfig
 from .errors import ServiceError, ShardUnavailableError
+from .journal import journal_dir_for_shard
 
 __all__ = ["ShardUnavailableError", "ShardProcess", "worker_config", "sites_of_shard"]
 
@@ -81,6 +82,11 @@ def worker_config(config: ServiceConfig, shard_id: int) -> ServiceConfig:
         pool_dir = os.path.join(pool_dir, "shard%d" % shard_id)
         if budget is not None:
             budget = max(1, budget // config.shards)
+    journal_dir = config.journal_dir
+    if journal_dir is not None:
+        # One write-ahead journal per worker, keyed by shard id so a
+        # respawned worker finds exactly its own acked tail.
+        journal_dir = journal_dir_for_shard(journal_dir, shard_id)
     return replace(
         config,
         shards=None,
@@ -89,6 +95,9 @@ def worker_config(config: ServiceConfig, shard_id: int) -> ServiceConfig:
         snapshot_path=None,
         pool_dir=pool_dir,
         memory_budget_bytes=budget,
+        journal_dir=journal_dir,
+        # Supervision lives in the router; a worker is a plain service.
+        supervise=False,
     )
 
 

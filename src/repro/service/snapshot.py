@@ -30,6 +30,7 @@ from ..serialization import (
     hierarchical_from_dict,
     hierarchical_to_dict,
 )
+from . import failpoints
 from .config import ServiceConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -85,6 +86,11 @@ def snapshot_payload(service: SketchService) -> dict[str, Any]:
         "config": service.config.to_dict(),
         "records_ingested": service.records_ingested,
         "applied_clock": service.applied_clock,
+        # Journal position and per-client applied seqs of this cut: restore
+        # replays only journal records *after* this position, and retry
+        # dedup picks up exactly where the snapshot left off.
+        "journal_seq": service._applied_journal_seq,
+        "applied_seqs": dict(service._applied_seqs),
         "state": state_payload,
     }
 
@@ -97,9 +103,17 @@ def write_snapshot(path: str | os.PathLike, payload: dict[str, Any]) -> str:
     descriptor, temporary = tempfile.mkstemp(
         prefix=os.path.basename(destination) + ".", suffix=".tmp", dir=directory
     )
+    corrupt = failpoints.fire("snapshot.write")
     try:
         with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, separators=(",", ":"))
+            document = json.dumps(payload, separators=(",", ":"))
+            if corrupt is not None and corrupt[0] == "corrupt":
+                # Injected corruption: half the document reaches the file —
+                # what a crash inside an unprotected (non-atomic) writer
+                # would leave.  The atomic-replace path still runs, so this
+                # exercises the *reader's* validation, not the temp cleanup.
+                document = document[: len(document) // 2]
+            handle.write(document)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(temporary, destination)
@@ -169,9 +183,15 @@ def service_state_from_snapshot(payload: dict[str, Any]) -> SketchService:
         state = hierarchical_from_dict(state_payload["sketch"], backend=config.backend)
     else:
         state = ecm_sketch_from_dict(state_payload["sketch"], backend=config.backend)
+    applied_seqs = {
+        str(client): int(seq)
+        for client, seq in dict(payload.get("applied_seqs", {})).items()
+    }
     return SketchService(
         config,
         state=state,
         records_ingested=int(payload["records_ingested"]),
         applied_clock=payload.get("applied_clock"),
+        applied_seqs=applied_seqs,
+        journal_seq=int(payload.get("journal_seq", 0)),
     )

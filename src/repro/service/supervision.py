@@ -1,0 +1,142 @@
+"""Supervised shard recovery: watch worker liveness, respawn the dead.
+
+:class:`ShardSupervisor` turns the sharded tier from fail-fast into
+self-healing.  It polls worker liveness off the router's backend and walks
+each shard through a small state machine::
+
+    healthy ──(worker died)──> degraded ──(restart begins)──> recovering
+       ^                                                          │
+       └────────────(restore + journal replay done)──────────────┘
+
+Recovery is the router's existing :meth:`~repro.service.router.ShardRouter
+.restart_shard` — respawn the worker, restore its last per-shard epoch
+snapshot, let its write-ahead journal replay the acked tail, and re-adopt
+its clock as the routing high-water mark.  A restart that fails (snapshot
+gone, port exhaustion, the failpoint killing the respawn too) retries with
+capped exponential backoff instead of hot-looping.
+
+Supervision is opt-in (``ServiceConfig.supervise``): the unsupervised tier
+keeps its documented fail-fast semantics — degraded shards are reported in
+``stats`` and recovery is the operator's ``restart_shard`` call.
+"""
+
+from __future__ import annotations
+import contextlib
+
+import asyncio
+import sys
+from typing import Any, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .router import ShardRouter
+
+__all__ = ["ShardSupervisor", "HEALTHY", "DEGRADED", "RECOVERING"]
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+RECOVERING = "recovering"
+
+
+class ShardSupervisor:
+    """Liveness watcher + restart driver for one router's shards.
+
+    Args:
+        router: The router whose workers to supervise (already constructed;
+            the supervisor starts after the router's own ``start``).
+        check_every: Liveness poll period, in seconds.
+        base_backoff: Delay after the first failed restart attempt.
+        max_backoff: Cap of the exponential backoff between attempts.
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        check_every: float = 0.25,
+        base_backoff: float = 0.5,
+        max_backoff: float = 15.0,
+    ) -> None:
+        self.router = router
+        self.check_every = check_every
+        self.base_backoff = base_backoff
+        self.max_backoff = max_backoff
+        self.states: list[str] = [HEALTHY] * router.num_shards
+        self.restarts: list[int] = [0] * router.num_shards
+        self.failed_restarts: list[int] = [0] * router.num_shards
+        self._recovery_tasks: dict[int, asyncio.Task[None]] = {}
+        self._watch_task: asyncio.Task[None] | None = None
+
+    async def start(self) -> None:
+        if self._watch_task is not None:
+            return
+        self._watch_task = asyncio.create_task(self._watch_loop(), name="shard-supervisor")
+
+    async def stop(self) -> None:
+        tasks = list(self._recovery_tasks.values())
+        if self._watch_task is not None:
+            tasks.append(self._watch_task)
+        self._watch_task = None
+        self._recovery_tasks = {}
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await task
+
+    async def _watch_loop(self) -> None:
+        router = self.router
+        while True:
+            if router._started and not router._stopping:
+                for shard in range(router.num_shards):
+                    if shard in self._recovery_tasks:
+                        continue
+                    if router.workers.alive(shard):
+                        self.states[shard] = HEALTHY
+                    else:
+                        self.states[shard] = DEGRADED
+                        self._recovery_tasks[shard] = asyncio.create_task(
+                            self._recover(shard), name="shard%d-recovery" % shard
+                        )
+            await asyncio.sleep(self.check_every)
+
+    async def _recover(self, shard: int) -> None:
+        """Restart one dead shard, retrying with capped exponential backoff."""
+        backoff = self.base_backoff
+        try:
+            while self.router._started and not self.router._stopping:
+                self.states[shard] = RECOVERING
+                try:
+                    report = await self.router.restart_shard(shard)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    self.failed_restarts[shard] += 1
+                    self.states[shard] = DEGRADED
+                    print(
+                        "shard-supervisor: shard %d restart failed (%s: %s); "
+                        "retrying in %.1f s"
+                        % (shard, type(exc).__name__, exc, backoff),
+                        file=sys.stderr,
+                        flush=True,
+                    )
+                    await asyncio.sleep(backoff)
+                    backoff = min(backoff * 2.0, self.max_backoff)
+                    continue
+                self.restarts[shard] += 1
+                self.states[shard] = HEALTHY
+                print(
+                    "shard-supervisor: shard %d recovered (restored_from=%s, clock=%r)"
+                    % (shard, report.get("restored_from"), report.get("applied_clock")),
+                    file=sys.stderr,
+                    flush=True,
+                )
+                return
+        finally:
+            self._recovery_tasks.pop(shard, None)
+
+    def describe(self) -> dict[str, Any]:
+        """Supervision counters for the router's ``stats`` surface."""
+        return {
+            "shard_states": list(self.states),
+            "restarts": list(self.restarts),
+            "failed_restarts": list(self.failed_restarts),
+        }

@@ -1,0 +1,196 @@
+"""The serving tier's chaos acceptance test: kill every shard, lose nothing.
+
+A supervised, journaled sharded server is fed a replay through a retrying
+client while a ``server.ingest=kill`` failpoint SIGKILLs **each** worker
+once, mid-stream, at staggered points.  The contract under test is the
+whole PR-9 stack at once:
+
+* the supervisor respawns every victim automatically — the test never
+  calls ``restart_shard``;
+* no acked record is lost (worker journals replay the acked tail on
+  respawn) and none is double-applied (``(client, seq)`` dedup across the
+  client's retries);
+* point, heavy-hitter and quantile answers are byte-identical to a clean,
+  identically-configured sharded run over the same trace.
+
+Kills are armed through the ``failpoint`` protocol op with ``shard``
+targeting, so the faults travel exactly the path production chaos drills
+would take, and respawned workers boot with a clean registry instead of
+re-arming themselves into a crash loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import replace
+from typing import Any
+
+import pytest
+
+from repro.service import ServiceConfig, ShardRouter
+from repro.service.client import RetryPolicy, ServiceClient
+from repro.service.server import SketchServer
+
+pytestmark = pytest.mark.integration
+
+SHARDS = 3
+RECORDS = 600
+CHUNK = 40
+PHI = 0.05
+FRACTIONS = [0.25, 0.5, 0.75]
+
+#: Retry posture of the chaos client: patient enough to ride out a worker
+#: respawn (spawn boots a fresh interpreter; seconds on loaded CI), with an
+#: overall deadline so a recovery that never happens still fails the test.
+_CHAOS_RETRY = RetryPolicy(attempts=60, base_delay=0.25, max_delay=2.0, deadline=240.0)
+
+_STEP_TIMEOUT = 120.0
+
+
+def _config(tmp_path) -> ServiceConfig:
+    return ServiceConfig(
+        mode="hierarchical",
+        universe_bits=8,
+        epsilon=0.1,
+        window=1_000_000.0,
+        shards=SHARDS,
+        batch_size=64,
+        expire_every=None,
+        seed=5,
+        snapshot_path=str(tmp_path / "chaos-manifest.json"),
+        journal_dir=str(tmp_path / "wal"),
+        supervise=True,
+    )
+
+
+def _trace(records: int) -> tuple[list[int], list[float]]:
+    """Deterministic skewed trace: 5 hot keys over a spread tail, so the
+    heavy-hitter and quantile comparisons exercise non-trivial answers."""
+    keys = []
+    for index in range(records):
+        if index % 2 == 0:
+            keys.append((index // 2) % 5)
+        else:
+            keys.append(5 + (index * 37) % 200)
+    clocks = [1.0 + index for index in range(records)]
+    return keys, clocks
+
+
+async def _bounded(awaitable, timeout: float = _STEP_TIMEOUT):
+    """Every step of a chaos test must finish or fail — never hang."""
+    return await asyncio.wait_for(awaitable, timeout)
+
+
+async def _reference_answers(
+    config: ServiceConfig, keys: list[int], clocks: list[float]
+) -> dict[str, Any]:
+    """A clean, identically-parameterised sharded run over the full trace."""
+    clean = replace(config, journal_dir=None, supervise=False, snapshot_path=None)
+    router = ShardRouter(clean)
+    await _bounded(router.start())
+    try:
+        await _bounded(router.ingest(keys, clocks))
+        await _bounded(router.drain())
+        answers: dict[str, Any] = {
+            "points": {
+                key: float(await router.query("point", {"op": "point", "key": key}))
+                for key in sorted(set(keys))
+            },
+            "heavy_hitters": [
+                (int(key), float(estimate))
+                for key, estimate in await router.query(
+                    "heavy_hitters", {"op": "heavy_hitters", "phi": PHI}
+                )
+            ],
+            "quantiles": [
+                int(
+                    await router.query(
+                        "quantile", {"op": "quantile", "fraction": fraction}
+                    )
+                )
+                for fraction in FRACTIONS
+            ],
+        }
+    finally:
+        await router.stop(drain=False)
+    return answers
+
+
+class TestChaos:
+    def test_sigkill_every_shard_mid_replay_recovers_without_loss(self, tmp_path):
+        config = _config(tmp_path)
+        keys, clocks = _trace(RECORDS)
+
+        async def body():
+            server = SketchServer(ShardRouter(config))
+            await _bounded(server.start())
+            client = None
+            try:
+                client = await _bounded(
+                    ServiceClient.connect("127.0.0.1", server.port, retry=_CHAOS_RETRY)
+                )
+                # Arm one SIGKILL per worker at staggered ingest hits, so the
+                # kills land at different points of the replay (and sometimes
+                # overlap: two shards down at once is a supported state).
+                for shard in range(SHARDS):
+                    armed = await _bounded(
+                        client.failpoint(
+                            spec="server.ingest=kill@%d" % (3 + 4 * shard), shard=shard
+                        )
+                    )
+                    assert "server.ingest" in armed["armed"]
+
+                # Replay in chunks through the retrying client.  Every chunk
+                # must ack in full: a chunk whose fan-out died mid-flight is
+                # retried under the same (client, seq) until the supervisor
+                # has respawned the victim — never re-sent as new data.
+                for start in range(0, RECORDS, CHUNK):
+                    accepted = await _bounded(
+                        client.ingest(keys[start : start + CHUNK], clocks[start : start + CHUNK]),
+                        240.0,
+                    )
+                    assert accepted == len(keys[start : start + CHUNK])
+                assert client.retries > 0  # the kills really did land mid-replay
+
+                # Recovery was *automatic*: this test never calls
+                # restart_shard; the supervisor's counters prove the respawns.
+                stats = await _bounded(self._settled_stats(client))
+                assert stats["degraded"] == []
+                assert stats["shard_states"] == ["healthy"] * SHARDS
+                assert all(count >= 1 for count in stats["restarts"])
+
+                # No acked record lost, none double-applied.
+                await _bounded(client.drain(), 240.0)
+                stats = (await _bounded(client.get_stats())).raw
+                assert stats["records_ingested"] == RECORDS
+
+                reference = await _reference_answers(config, keys, clocks)
+                for key, expected in reference["points"].items():
+                    assert await _bounded(client.point(key)) == expected, key
+                served_hitters = [
+                    (row.key, row.estimate)
+                    for row in await _bounded(client.heavy_hitters(PHI))
+                ]
+                assert served_hitters == reference["heavy_hitters"]
+                served_quantiles = [
+                    await _bounded(client.quantile(fraction)) for fraction in FRACTIONS
+                ]
+                assert served_quantiles == reference["quantiles"]
+            finally:
+                if client is not None:
+                    await client.close()
+                await server.shutdown()
+                await _bounded(server.serve_until_shutdown())
+
+        asyncio.run(body())
+
+    @staticmethod
+    async def _settled_stats(client: ServiceClient) -> dict[str, Any]:
+        """Poll stats until every shard is healthy (or the bound expires)."""
+        while True:
+            stats = (await client.get_stats()).raw
+            if stats.get("degraded") == [] and set(stats.get("shard_states", [])) == {
+                "healthy"
+            }:
+                return stats
+            await asyncio.sleep(0.25)

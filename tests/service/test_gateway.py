@@ -15,6 +15,7 @@ from typing import Any
 import pytest
 
 from repro.service import (
+    PROTOCOL_VERSION,
     GatewayServer,
     ServiceClient,
     ServiceConfig,
@@ -60,6 +61,29 @@ async def get(port: int, path: str) -> Any:
     assert status == 200, payload
     assert payload["ok"] is True
     return payload["result"]
+
+
+async def http_with_headers(
+    port: int, method: str, path: str
+) -> tuple[int, dict[str, str], dict[str, Any]]:
+    """Like :func:`http`, but also returns the response headers (lowercased)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        head = "%s %s HTTP/1.1\r\nHost: gateway\r\nContent-Length: 0\r\n\r\n" % (method, path)
+        writer.write(head.encode("ascii"))
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    header, _, rest = raw.partition(b"\r\n\r\n")
+    lines = header.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(None, 2)[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, json.loads(rest)
 
 
 def pool_config(pool_dir) -> ServiceConfig:
@@ -235,7 +259,7 @@ class TestTenantRest:
 
                 info = await get(port, "/v1/info")
                 assert info["pool"] is True
-                assert info["protocol_version"] == "2.0"
+                assert info["protocol_version"] == PROTOCOL_VERSION
                 stats = await get(port, "/v1/stats")
                 assert stats["tenants_total"] == 1
                 assert stack.gateway.requests_served >= 8
@@ -333,6 +357,26 @@ class TestStatusMapping:
 
         run(body())
 
+    def test_503_carries_retry_after(self, tmp_path):
+        async def body():
+            pool = TenantPool(pool_config(tmp_path))
+            server = SketchServer(pool)
+            await server.__aenter__()
+            gateway = GatewayServer(backend_port=server.port, port=0)
+            await gateway.start()
+            try:
+                await server.__aexit__(None, None, None)
+                status, headers, payload = await http_with_headers(
+                    gateway.port, "GET", "/v1/info"
+                )
+                assert status == 503
+                assert payload["error"]["code"] == "SERVICE_STOPPED"
+                assert headers.get("retry-after") == "1"
+            finally:
+                await gateway.stop()
+
+        run(body())
+
     def test_unpooled_backend_maps_pool_disabled(self, tmp_path):
         async def body():
             config = ServiceConfig(mode="flat", epsilon=EPSILON, delta=0.05, window=WINDOW)
@@ -353,5 +397,92 @@ class TestStatusMapping:
                     assert result == 1.0
                 finally:
                     await gateway.stop()
+
+        run(body())
+
+
+def _flat_config() -> ServiceConfig:
+    return ServiceConfig(mode="flat", epsilon=EPSILON, delta=0.05, window=WINDOW)
+
+
+class TestResilience:
+    """Healthz, Retry-After and the reconnect-to-a-restarted-backend path."""
+
+    def test_healthz_reports_healthy_then_degraded(self, tmp_path):
+        async def body():
+            server = SketchServer(SketchService(_flat_config()))
+            await server.__aenter__()
+            gateway = GatewayServer(backend_port=server.port, port=0)
+            await gateway.start()
+            try:
+                status, headers, payload = await http_with_headers(
+                    gateway.port, "GET", "/v1/healthz"
+                )
+                assert status == 200
+                assert payload == {"ok": True, "result": {"status": "healthy"}}
+                assert "retry-after" not in headers
+
+                await server.__aexit__(None, None, None)
+                status, headers, payload = await http_with_headers(
+                    gateway.port, "GET", "/v1/healthz"
+                )
+                assert status == 503
+                assert payload["ok"] is False
+                assert payload["error"]["code"] == "SERVICE_STOPPED"
+                assert headers.get("retry-after") == "1"
+            finally:
+                await gateway.stop()
+
+        run(body())
+
+    def test_healthz_is_get_only(self, tmp_path):
+        async def body():
+            async with SketchServer(SketchService(_flat_config())) as server:
+                gateway = GatewayServer(backend_port=server.port, port=0)
+                await gateway.start()
+                try:
+                    status, payload = await http(gateway.port, "POST", "/v1/healthz")
+                    assert status == 405
+                    assert payload["error"]["code"] == "METHOD_NOT_ALLOWED"
+                finally:
+                    await gateway.stop()
+
+        run(body())
+
+    def test_gateway_reconnects_to_a_restarted_backend(self, tmp_path):
+        """Kill the backend mid-session, restart it on the same port: the
+        gateway's channel must reconnect and keep serving, and the retried
+        ingest must not double-count (channel-level client/seq dedup)."""
+
+        async def body():
+            first = SketchServer(SketchService(_flat_config()))
+            await first.__aenter__()
+            port = first.port
+            gateway = GatewayServer(backend_port=port, port=0)
+            await gateway.start()
+            try:
+                status, payload = await http(
+                    gateway.port, "POST", "/v1/ingest", {"keys": [1, 2], "clocks": [1.0, 2.0]}
+                )
+                assert status == 200 and payload["result"] == {"accepted": 2}
+
+                await first.__aexit__(None, None, None)
+                second = SketchServer(SketchService(_flat_config()), port=port)
+                await second.__aenter__()
+                try:
+                    status, payload = await http(
+                        gateway.port, "POST", "/v1/ingest", {"keys": [3], "clocks": [3.0]}
+                    )
+                    assert status == 200 and payload["result"] == {"accepted": 1}
+                    await http(gateway.port, "POST", "/v1/drain")
+                    assert await get(gateway.port, "/v1/query/point?key=3") == 1.0
+                    status, _, payload = await http_with_headers(
+                        gateway.port, "GET", "/v1/healthz"
+                    )
+                    assert status == 200
+                finally:
+                    await second.__aexit__(None, None, None)
+            finally:
+                await gateway.stop()
 
         run(body())

@@ -347,6 +347,76 @@ class TestRL005:
 
 
 # --------------------------------------------------------------------------
+# RL006 no-unbounded-rpc-await
+
+
+class TestRL006:
+    def test_flags_deadlineless_request_and_submit(self, tmp_path):
+        write_module(
+            tmp_path,
+            "src/repro/service/fanout.py",
+            "class Router:\n"
+            "    async def probe(self):\n"
+            "        return await self.channel.request({'op': 'ping'})\n"
+            "    async def push(self, message):\n"
+            "        return await self.channel.submit(message)\n",
+        )
+        findings = lint(tmp_path, ["RL006"])
+        assert codes_of(findings) == ["RL006", "RL006"]
+        messages = " ".join(finding.message for finding in findings)
+        assert "deadline" in messages and "request" in messages and "submit" in messages
+
+    def test_flags_bare_open_connection(self, tmp_path):
+        write_module(
+            tmp_path,
+            "src/repro/service/dial.py",
+            "import asyncio\n"
+            "async def dial(host, port):\n"
+            "    return await asyncio.open_connection(host, port)\n",
+        )
+        assert codes_of(lint(tmp_path, ["RL006"])) == ["RL006"]
+
+    def test_silent_with_deadline_timeout_or_wait_for(self, tmp_path):
+        write_module(
+            tmp_path,
+            "src/repro/service/fanout.py",
+            "import asyncio\n"
+            "class Router:\n"
+            "    async def probe(self):\n"
+            "        return await self.channel.request({'op': 'ping'}, deadline=5.0)\n"
+            "    async def dial(self, host, port):\n"
+            "        return await asyncio.wait_for(asyncio.open_connection(host, port), 5.0)\n"
+            "    async def hello(self, client):\n"
+            "        return await client.connect(timeout=5.0)\n",
+        )
+        assert lint(tmp_path, ["RL006"]) == []
+
+    def test_silent_for_self_receivers_and_non_rpc_awaits(self, tmp_path):
+        # self.request(...) is the transport implementing itself: the bound
+        # lives one frame up in its caller.  call(...) IS the bounded
+        # retry wrapper.
+        write_module(
+            tmp_path,
+            "src/repro/service/client2.py",
+            "class Client:\n"
+            "    async def ping(self):\n"
+            "        return await self.request({'op': 'ping'})\n"
+            "    async def point(self, key):\n"
+            "        return await self.inner.call({'op': 'point', 'key': key})\n",
+        )
+        assert lint(tmp_path, ["RL006"]) == []
+
+    def test_silent_outside_the_serving_tier(self, tmp_path):
+        write_module(
+            tmp_path,
+            "src/repro/experiments/driver.py",
+            "async def probe(channel):\n"
+            "    return await channel.request({'op': 'ping'})\n",
+        )
+        assert lint(tmp_path, ["RL006"]) == []
+
+
+# --------------------------------------------------------------------------
 # suppressions
 
 
@@ -453,13 +523,13 @@ class TestReporting:
         out: list[str] = []
         assert lint_main(["--list-rules"], out=out.append) == 0
         catalog = "\n".join(out)
-        for code in ["RL001", "RL002", "RL003", "RL004", "RL005"]:
+        for code in ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]:
             assert code in catalog
 
 
 class TestRegistry:
-    def test_all_five_rules_are_registered(self):
-        assert {"RL001", "RL002", "RL003", "RL004", "RL005"} <= set(RULES)
+    def test_all_six_rules_are_registered(self):
+        assert {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006"} <= set(RULES)
 
     def test_register_rejects_bad_and_duplicate_codes(self):
         with pytest.raises(ValueError):

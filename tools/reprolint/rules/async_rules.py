@@ -1,5 +1,5 @@
-"""Event-loop safety rules: RL002 (no blocking in async) and RL003
-(no slow awaits under a mutating lock).
+"""Event-loop safety rules: RL002 (no blocking in async), RL003
+(no slow awaits under a mutating lock) and RL006 (no unbounded RPC awaits).
 
 The whole serving tier hangs off one asyncio loop (PR 5): the ingest
 consumer, every connection handler, the snapshot and sweep timers.  A
@@ -7,7 +7,11 @@ synchronous ``time.sleep``/file/socket/sqlite call inside an ``async def``
 stalls all of them at once — ingest backpressure, query latency, heartbeats.
 And holding a tenant/service lock across a network round-trip while the
 body also mutates shared maps is the evict/restore race shape PR 7 fixed by
-hand.  These rules make both regressions visible at review time.
+hand.  PR 9 adds the third leg: every awaited client/channel round-trip in
+the serving tier must carry a deadline, because a crashed peer that never
+answers would otherwise park the awaiting coroutine forever — exactly the
+hang the supervised-recovery work exists to rule out.  These rules make all
+three regressions visible at review time.
 """
 
 from __future__ import annotations
@@ -37,6 +41,16 @@ _SLOW_AWAIT_CALLS = frozenset(
     ["asyncio.sleep", "asyncio.wait", "asyncio.wait_for", "asyncio.gather", "asyncio.shield",
      "asyncio.open_connection", "asyncio.start_server", "asyncio.to_thread"]
 )
+
+#: Awaited RPC entry points that must carry an explicit bound (RL006).
+#: ``call`` is deliberately absent: it is this repo's retry wrapper, the
+#: layer that *applies* the policy deadline.  ``self.<name>`` receivers are
+#: exempt for the same reason — that is the transport implementing itself,
+#: and the bound lives one frame up in its caller.
+_RPC_AWAIT_NAMES = frozenset(["request", "submit", "connect", "open_connection"])
+
+#: Keyword arguments that satisfy RL006: the call carries its own bound.
+_BOUNDING_KEYWORDS = frozenset(["deadline", "timeout"])
 
 
 def _is_blocking_name(name: str) -> bool:
@@ -341,3 +355,56 @@ class AwaitUnderLockRule(Rule):
                                 "round-trip and a mid-await cancellation leaves "
                                 "the mutation half-applied" % (called,),
                             )
+
+
+@register
+class NoUnboundedRpcAwaitRule(Rule):
+    """RL006: awaited RPCs in the serving tier must carry a deadline.
+
+    A crashed shard worker or a half-open TCP connection never answers; an
+    ``await client.request(...)`` with no bound then parks the coroutine
+    forever, and with it whatever drain barrier, gateway request or router
+    fan-out was waiting on the answer.  PR 9 gave every client/channel
+    round-trip a deadline (``RetryPolicy``; ``request(..., deadline=)``);
+    this rule keeps new call sites honest.  Satisfying forms: a
+    ``deadline=``/``timeout=`` keyword on the call, wrapping the await in
+    ``asyncio.wait_for`` (the awaited call is then ``wait_for``, which is
+    not an RPC name), or routing through the bounded retry wrapper
+    (``call``).  ``self.<name>(...)`` receivers stay silent — that is the
+    transport layer implementing itself, where the bound lives one frame up.
+    """
+
+    code = "RL006"
+    name = "no-unbounded-rpc-await"
+    rationale = (
+        "an awaited RPC without a deadline parks its coroutine forever on a "
+        "dead peer; pass deadline=/timeout=, wrap in asyncio.wait_for, or go "
+        "through the bounded retry wrapper [PR 9]"
+    )
+
+    def applies_to(self, module: ModuleFile) -> bool:
+        return "service" in module.parts[:-1]
+
+    def check_module(self, module: ModuleFile) -> Iterator[Finding]:
+        for func in [n for n in ast.walk(module.tree) if isinstance(n, ast.AsyncFunctionDef)]:
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Await) or not isinstance(node.value, ast.Call):
+                    continue
+                call = node.value
+                called = dotted_name(call.func)
+                if called is None:
+                    continue
+                parts = called.split(".")
+                if parts[-1] not in _RPC_AWAIT_NAMES:
+                    continue
+                if len(parts) == 2 and parts[0] == "self":
+                    continue
+                if any(keyword.arg in _BOUNDING_KEYWORDS for keyword in call.keywords):
+                    continue
+                yield module.finding(
+                    node,
+                    self.code,
+                    "await %s(...) carries no deadline and would hang forever "
+                    "on a dead peer; pass deadline=/timeout= or wrap the await "
+                    "in asyncio.wait_for" % (called,),
+                )
