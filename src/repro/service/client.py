@@ -233,6 +233,10 @@ class ServiceClient:
             try:
                 return await asyncio.wait_for(self._request_once(message), deadline)
             except asyncio.TimeoutError:
+                # The wait_for cancelled the round-trip mid-flight; the
+                # server's eventual response would desynchronize the stream,
+                # so the transport must not be reused.
+                await self._invalidate()
                 raise DeadlineExceededError(
                     "no response to %r within %.1f s" % (message.get("op"), deadline),
                     op=str(message.get("op")) if message.get("op") is not None else None,
@@ -246,6 +250,19 @@ class ServiceClient:
         if not line:
             raise ConnectionError("server closed the connection")
         return _unwrap(decode_line(line))
+
+    async def _invalidate(self) -> None:
+        """Tear down a transport whose response stream cannot be trusted.
+
+        Called when :meth:`call` gives up with a reconnect still pending: a
+        deadline cancelled ``_request_once`` mid-round-trip, so the server's
+        eventual response is sitting unread in the stream.  Reusing that
+        connection would pair the *next* request with the *stale* response
+        — silently misattributing every answer after it — so the transport
+        is closed and any later use fails as an honest connection error.
+        """
+        with contextlib.suppress(OSError):
+            await self.close()
 
     async def _reconnect(self) -> None:
         """Replace a dead/desynchronized transport with a fresh connection."""
@@ -286,6 +303,8 @@ class ServiceClient:
             if budget is not None:
                 remaining = budget - (time.monotonic() - start)
                 if remaining <= 0.0:
+                    if needs_reconnect:
+                        await self._invalidate()
                     raise DeadlineExceededError(
                         "operation %r exceeded its %.1f s deadline after %d attempt(s)"
                         % (message.get("op"), budget, attempt),
@@ -304,6 +323,8 @@ class ServiceClient:
                     needs_reconnect = True
                 attempt += 1
                 if attempt >= policy.attempts:
+                    if needs_reconnect:
+                        await self._invalidate()
                     raise
                 self.retries += 1
                 await asyncio.sleep(policy.delay_for(attempt - 1))

@@ -439,6 +439,15 @@ class SketchService:
         # against a stale mark and regress clocks after the ack.
         self._submitted_clock = chunk.clocks[-1]
         self._pending_arrivals += len(chunk)
+        previous_ack: int | None = None
+        if client_id is not None and seq is not None:
+            # Claim the seq *before* the awaited journal append: a client
+            # that reconnected and resent while this request is parked on
+            # the journal executor must hit the dedup check above, or both
+            # copies would be journaled and applied.  Rolled back below if
+            # the append fails (so the seq is not marked acked-and-lost).
+            previous_ack = self._acked_seqs.get(client_id)
+            self._note_seq(self._acked_seqs, client_id, seq)
         if self._journal is not None and self._journal_executor is not None:
             # Journal-before-ack.  The single-worker executor is FIFO and
             # run_in_executor submits synchronously here (before this
@@ -464,12 +473,22 @@ class SketchService:
                 # as a regression — disk-failure-class behaviour, surfaced
                 # loudly rather than silently un-journaled.
                 self._pending_arrivals -= len(chunk)
+                if (
+                    client_id is not None
+                    and seq is not None
+                    and self._acked_seqs.get(client_id) == seq
+                ):
+                    # Undo only *our* claim: a concurrent chunk from the
+                    # same client may have advanced the mark past ours, and
+                    # that chunk's ack must stand.
+                    if previous_ack is None:
+                        self._acked_seqs.pop(client_id, None)
+                    else:
+                        self._acked_seqs[client_id] = previous_ack
                 self.journal_errors += 1
                 raise ServiceError(
                     "write-ahead journal append failed: %s" % (exc,)
                 ) from exc
-        if client_id is not None and seq is not None:
-            self._note_seq(self._acked_seqs, client_id, seq)
         await self._queue.put(chunk)
         return len(chunk)
 
@@ -691,16 +710,24 @@ class SketchService:
         # os.replace *after* a newer one and silently roll the file back.
         async with self._snapshot_lock:
             payload = snapshot_payload(self)
+            # Captured in the same no-await tick as the payload: the mark
+            # may advance during the disk write below, but rotation must
+            # fence epoch deletion on the position *this* snapshot covers.
+            applied_jseq = self._applied_journal_seq
             loop = asyncio.get_running_loop()
             path_written = await loop.run_in_executor(
                 None, write_snapshot, destination, payload
             )
             if self._journal is not None and self._journal_executor is not None:
                 # The snapshot carries the applied journal position, so the
-                # journal can rotate: recovery = this snapshot + the fresh
-                # epoch's tail.  Rotation keeps the previous epoch as
-                # insurance against a crash between these two steps.
-                await loop.run_in_executor(self._journal_executor, self._journal.rotate)
+                # journal can rotate: recovery = this snapshot + the epochs
+                # holding records past that position.  Rotation keeps the
+                # previous epoch as insurance against a crash between these
+                # two steps, and keeps any epoch whose tail the snapshot
+                # has not covered (journaled-but-queued records).
+                await loop.run_in_executor(
+                    self._journal_executor, self._journal.rotate, applied_jseq
+                )
         self.snapshots_written += 1
         self.last_snapshot_path = path_written
         return path_written
@@ -718,14 +745,16 @@ class SketchService:
         destination = path if path is not None else self.config.snapshot_path
         if destination is None:
             raise InvalidParameterError("no snapshot_path configured")
-        path_written = write_snapshot(destination, snapshot_payload(self))
+        payload = snapshot_payload(self)
+        applied_jseq = self._applied_journal_seq
+        path_written = write_snapshot(destination, payload)
         if self._journal is not None:
             # Route the rotation through the journal executor when it is
             # live so it cannot interleave with an in-flight append.
             if self._journal_executor is not None:
-                self._journal_executor.submit(self._journal.rotate).result()
+                self._journal_executor.submit(self._journal.rotate, applied_jseq).result()
             else:
-                self._journal.rotate()
+                self._journal.rotate(applied_jseq)
         self.snapshots_written += 1
         self.last_snapshot_path = path_written
         return path_written

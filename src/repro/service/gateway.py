@@ -47,6 +47,7 @@ from urllib.parse import parse_qsl, unquote, urlsplit
 
 from .client import RetryPolicy, ServiceClient
 from .errors import (
+    DeadlineExceededError,
     ProtocolError,
     ServiceError,
     ServiceStoppedError,
@@ -175,6 +176,18 @@ class _BackendChannel:
                 finally:
                     if self._client is not None and self._client.retries > retries_before:
                         self.retried_requests += 1
+            except DeadlineExceededError:
+                # The deadline abandoned an in-flight round-trip, leaving the
+                # server's eventual response unread: the stream is
+                # desynchronized and reusing it would pair later requests
+                # with stale answers.  Drop the client (it already closed its
+                # transport) and reconnect lazily on the next request; the
+                # 504 mapping for this request is unchanged.
+                client, self._client = self._client, None
+                if client is not None:
+                    with contextlib.suppress(OSError):
+                        await client.close()
+                raise
             except (ConnectionError, OSError) as exc:
                 client, self._client = self._client, None
                 if client is not None:

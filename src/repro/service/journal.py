@@ -29,7 +29,9 @@ Durability posture: appends are flushed to the OS (``file.flush``) on every
 record, which makes them SIGKILL-durable — the crash mode the supervisor
 heals — but not power-loss-durable.  ``fsync_each=True`` upgrades to a
 per-append ``os.fsync`` for callers that want the stronger contract and can
-afford the throughput cost; rotation always fsyncs before switching files.
+afford the throughput cost; it also fsyncs the journal *directory* whenever
+an epoch file is created, so the new file's directory entry survives power
+loss too.  Rotation always fsyncs before switching files.
 
 All methods do blocking file I/O and are meant to be called from the
 service's single-thread journal executor, never directly on the event loop
@@ -110,6 +112,11 @@ class IngestJournal:
         self.records_replayed = 0
         self.truncations = 0
         self._file: Any = None
+        # Highest jseq each closed epoch holds (populated by recover() and
+        # at rotation): the deletion fence — an epoch may only be unlinked
+        # once a snapshot's applied position has passed its tail, or a
+        # journaled-but-still-queued record would lose its epoch file.
+        self._epoch_tails: dict[int, int] = {}
 
     # -- recovery ---------------------------------------------------------
 
@@ -165,6 +172,7 @@ class IngestJournal:
                     if record.jseq > after_jseq:
                         self.records_replayed += 1
                         records.append(record)
+            self._epoch_tails[epoch] = last_jseq
             if truncated:
                 # Truncate in place (to zero for whole-file damage — the
                 # empty file keeps this epoch number from being reused).
@@ -189,6 +197,21 @@ class IngestJournal:
         self._file = open(path, "ab")
         if fresh:
             self._write_header()
+            if self.fsync_each:
+                # Per-record fsync promises power-loss durability, which the
+                # file's own fsync alone cannot deliver for a *new* file: the
+                # directory entry is metadata of the directory, so it must be
+                # fsynced too or the freshly created epoch can vanish whole.
+                os.fsync(self._file.fileno())
+                self._fsync_directory()
+
+    def _fsync_directory(self) -> None:
+        """Flush the journal directory's entries (new-file durability)."""
+        fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def _write_header(self) -> None:
         header = {
@@ -247,23 +270,35 @@ class IngestJournal:
 
     # -- rotation ---------------------------------------------------------
 
-    def rotate(self) -> None:
-        """Start a new epoch file; keep current + previous epochs only.
+    def rotate(self, applied_jseq: int | None = None) -> None:
+        """Start a new epoch file; delete epochs the snapshot has covered.
 
-        Called right after a snapshot lands.  The snapshot carries the last
-        applied ``jseq``, so epochs older than the previous one can never
-        be needed again (the previous epoch is kept as cheap insurance for
-        a crash between the snapshot write and this rotation).
+        Called right after a snapshot lands.  ``applied_jseq`` is the
+        journal position that snapshot captured: an epoch is deleted only
+        when it is older than the previous one (the previous epoch is kept
+        as cheap insurance for a crash between the snapshot write and this
+        rotation) *and* its last record is at or below ``applied_jseq``.
+        The second fence matters under backpressure: a chunk journaled —
+        and acked — epochs ago can still be sitting queued-unapplied, in
+        which case its ``jseq`` is past every snapshot taken so far and
+        its epoch file must survive until a snapshot finally covers it.
+        ``applied_jseq=None`` (position unknown) deletes nothing.
         """
         if self._file is not None:
             self._file.flush()
             os.fsync(self._file.fileno())
             self._file.close()
             self._file = None
+        self._epoch_tails[self.epoch] = self.next_jseq - 1
         self.epoch += 1
         for epoch, path in self._epoch_files():
-            if epoch < self.epoch - 1:
-                path.unlink()
+            if epoch >= self.epoch - 1:
+                continue
+            tail = self._epoch_tails.get(epoch)
+            if applied_jseq is None or tail is None or tail > applied_jseq:
+                continue
+            path.unlink()
+            self._epoch_tails.pop(epoch, None)
         self.open_for_append()
 
     def close(self) -> None:

@@ -85,17 +85,30 @@ class ShardSupervisor:
     async def _watch_loop(self) -> None:
         router = self.router
         while True:
-            if router._started and not router._stopping:
-                for shard in range(router.num_shards):
-                    if shard in self._recovery_tasks:
-                        continue
-                    if router.workers.alive(shard):
-                        self.states[shard] = HEALTHY
-                    else:
-                        self.states[shard] = DEGRADED
-                        self._recovery_tasks[shard] = asyncio.create_task(
-                            self._recover(shard), name="shard%d-recovery" % shard
-                        )
+            try:
+                if router._started and not router._stopping:
+                    for shard in range(router.num_shards):
+                        if shard in self._recovery_tasks:
+                            continue
+                        if router.workers.alive(shard):
+                            self.states[shard] = HEALTHY
+                        else:
+                            self.states[shard] = DEGRADED
+                            self._recovery_tasks[shard] = asyncio.create_task(
+                                self._recover(shard), name="shard%d-recovery" % shard
+                            )
+            except Exception as exc:  # noqa: BLE001 - the watcher must outlive one bad poll
+                # An unexpected error here would otherwise kill the watch
+                # task silently, permanently disabling self-healing while
+                # stats keep reporting stale shard states.  Report and keep
+                # polling (CancelledError still propagates: it is a
+                # BaseException, not caught here).
+                print(
+                    "shard-supervisor: liveness poll failed (%s: %s); will retry"
+                    % (type(exc).__name__, exc),
+                    file=sys.stderr,
+                    flush=True,
+                )
             await asyncio.sleep(self.check_every)
 
     async def _recover(self, shard: int) -> None:

@@ -1,0 +1,94 @@
+"""Transport hygiene after an abandoned round-trip.
+
+When a deadline cancels ``_request_once`` mid-flight, the server's eventual
+response is left unread in the stream.  Reusing that connection would pair
+the *next* request with the *stale* response — every later answer on the
+connection silently shifted by one.  These tests pin the fix: exhausting
+the retry budget (or a single-attempt deadline) invalidates the transport,
+so the next operation either reconnects cleanly (retry policy) or fails as
+an honest connection error (no policy) — never misattributes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.client import RetryPolicy, ServiceClient
+from repro.service.errors import DeadlineExceededError
+from repro.service.protocol import PROTOCOL_VERSION
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def _serve(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+    """Minimal protocol peer: ``sleepy`` answers late, everything else fast."""
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            op = json.loads(line).get("op")
+            if op == "hello":
+                result: object = {"protocol_version": PROTOCOL_VERSION}
+            elif op == "sleepy":
+                # Long past every deadline used below, but the answer DOES
+                # eventually land on the stream — the misattribution bait.
+                await asyncio.sleep(0.4)
+                result = "late"
+            else:
+                result = "pong"
+            writer.write((json.dumps({"ok": True, "result": result}) + "\n").encode())
+            await writer.drain()
+    except (ConnectionError, OSError):
+        pass
+    finally:
+        writer.close()
+
+
+class TestAbandonedRoundTrip:
+    def test_deadline_exhaustion_invalidates_the_transport(self):
+        async def body():
+            server = await asyncio.start_server(_serve, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            async with server:
+                client = await ServiceClient.connect(
+                    "127.0.0.1",
+                    port,
+                    retry=RetryPolicy(attempts=2, base_delay=0.01, max_delay=0.01),
+                )
+                try:
+                    with pytest.raises(DeadlineExceededError):
+                        await client.call({"op": "sleepy"}, deadline=0.05)
+                    # Pre-fix, the channel would now read the late "sleepy"
+                    # answer as this ping's response.  Post-fix the retry
+                    # layer reconnects and gets the real one.
+                    assert await client.ping() == "pong"
+                    assert client.reconnects >= 1
+                finally:
+                    await client.close()
+
+        run(body())
+
+    def test_single_attempt_deadline_also_invalidates(self):
+        async def body():
+            server = await asyncio.start_server(_serve, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            async with server:
+                client = await ServiceClient.connect("127.0.0.1", port)
+                try:
+                    with pytest.raises(DeadlineExceededError):
+                        await client.request({"op": "sleepy"}, deadline=0.05)
+                    # No retry policy: the desynced transport is closed, so
+                    # reuse fails loudly instead of answering from the
+                    # stale stream.
+                    with pytest.raises(OSError):
+                        await client.request({"op": "ping"})
+                finally:
+                    await client.close()
+
+        run(body())

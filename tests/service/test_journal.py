@@ -224,6 +224,65 @@ class TestSnapshotRotationCrashWindow:
         assert restored_count == reference_count
 
 
+class TestRotationRetention:
+    def test_rotation_keeps_epochs_with_unapplied_tails(self, tmp_path):
+        """An epoch is deleted only once the snapshot's applied journal
+        position has passed its last record: under backpressure a chunk
+        journaled (and acked) epochs ago can still be queued-unapplied,
+        and deleting its epoch would lose an acked record on crash."""
+        journal = IngestJournal(tmp_path)
+        journal.open_for_append()
+        for keys, clocks in _chunks(2):  # epoch 0: jseq 1, 2
+            journal.append(0, keys, clocks, None, None, None)
+        journal.rotate(applied_jseq=2)  # -> epoch 1
+        for keys, clocks in _chunks(2, size=4):  # epoch 1: jseq 3, 4
+            journal.append(0, keys, clocks, None, None, None)
+        # The snapshot applied only through jseq 3: epoch 0 (tail 2) is
+        # covered and goes; epoch 1 (tail 4) is not and must survive even
+        # once it is older than the previous epoch.
+        journal.rotate(applied_jseq=3)  # -> epoch 2
+        assert not (tmp_path / "wal.0.ndjson").exists()
+        journal.rotate(applied_jseq=3)  # -> epoch 3; epoch 1 still past the mark
+        assert (tmp_path / "wal.1.ndjson").exists()
+        # Replay still reaches the retained records.
+        assert [r.jseq for r in IngestJournal(tmp_path).recover(after_jseq=3)] == [4]
+        journal.rotate(applied_jseq=4)  # epoch 1 finally covered
+        assert not (tmp_path / "wal.1.ndjson").exists()
+        journal.close()
+
+    def test_rotation_without_a_position_deletes_nothing(self, tmp_path):
+        journal = IngestJournal(tmp_path)
+        journal.open_for_append()
+        for keys, clocks in _chunks(2):
+            journal.append(0, keys, clocks, None, None, None)
+        journal.rotate()
+        journal.rotate()
+        journal.rotate()
+        journal.close()
+        assert (tmp_path / "wal.0.ndjson").exists()
+
+    def test_recovered_journal_rebuilds_epoch_tails(self, tmp_path):
+        """The deletion fence survives a restart: recovery re-learns each
+        epoch's last jseq from the files themselves."""
+        journal = IngestJournal(tmp_path)
+        journal.open_for_append()
+        for keys, clocks in _chunks(2):  # epoch 0: jseq 1, 2
+            journal.append(0, keys, clocks, None, None, None)
+        journal.rotate(applied_jseq=2)  # -> epoch 1
+        for keys, clocks in _chunks(2, size=4):  # epoch 1: jseq 3, 4
+            journal.append(0, keys, clocks, None, None, None)
+        journal.close()
+
+        recovered = IngestJournal(tmp_path)
+        recovered.recover()
+        recovered.open_for_append()
+        recovered.rotate(applied_jseq=2)  # -> epoch 2: epoch 0 covered, gone
+        assert not (tmp_path / "wal.0.ndjson").exists()
+        recovered.rotate(applied_jseq=2)  # -> epoch 3: epoch 1 tail 4 > 2, kept
+        assert (tmp_path / "wal.1.ndjson").exists()
+        recovered.close()
+
+
 class TestDedupWindowEviction:
     def test_resident_client_retry_is_deduped(self, tmp_path):
         config = _service_config(tmp_path, dedup_clients=4)
@@ -261,6 +320,27 @@ class TestDedupWindowEviction:
         assert replayed == 1
         assert duplicates == 0  # eviction means the retry is NOT recognized
         assert ingested == 4  # ... and the record really is double-applied
+
+    def test_concurrent_duplicate_during_journal_append_is_deduped(self, tmp_path):
+        """The dedup claim lands *before* the awaited journal append: a
+        reconnect-resend racing the original request (still parked on the
+        journal executor) must re-ack, not journal and apply a second copy."""
+        config = _service_config(tmp_path)
+
+        async def scenario():
+            async with SketchService(config) as service:
+                first, second = await asyncio.gather(
+                    service.ingest([1, 2], [1, 2], client_id="c0", seq=1),
+                    service.ingest([1, 2], [1, 2], client_id="c0", seq=1),
+                )
+                await service.drain()
+                return first, second, service.duplicate_chunks, service.records_ingested
+
+        first, second, duplicates, ingested = run(scenario())
+        assert first == 2
+        assert second == 2
+        assert duplicates == 1
+        assert ingested == 2  # one copy applied, never both
 
     def test_dedup_state_survives_crash_recovery(self, tmp_path):
         """A retry that lands *after* a crash must still dedup: the acked

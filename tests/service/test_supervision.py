@@ -1,0 +1,56 @@
+"""The supervisor's watch loop must outlive a failing liveness poll.
+
+An unexpected error from ``workers.alive`` (or task creation) must not kill
+the shard-supervisor task silently — that would permanently disable
+self-healing while ``stats`` keeps reporting stale shard states.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from repro.service.supervision import HEALTHY, ShardSupervisor
+
+
+class _Workers:
+    def __init__(self, fail_polls: int) -> None:
+        self.fail_polls = fail_polls
+        self.polls = 0
+
+    def alive(self, shard: int) -> bool:
+        self.polls += 1
+        if self.fail_polls > 0:
+            self.fail_polls -= 1
+            raise RuntimeError("injected poll failure")
+        return True
+
+
+class _Router:
+    """Just enough router surface for the supervisor's watch loop."""
+
+    def __init__(self, fail_polls: int) -> None:
+        self.num_shards = 1
+        self._started = True
+        self._stopping = False
+        self.workers = _Workers(fail_polls)
+
+    async def restart_shard(self, shard: int) -> dict[str, Any]:
+        return {"restored_from": None, "applied_clock": None}
+
+
+def test_watch_loop_survives_a_failing_liveness_poll():
+    async def body():
+        router = _Router(fail_polls=2)
+        supervisor = ShardSupervisor(router, check_every=0.01)  # type: ignore[arg-type]
+        await supervisor.start()
+        for _ in range(500):
+            await asyncio.sleep(0.01)
+            if router.workers.polls >= 4:
+                break
+        await supervisor.stop()
+        return router.workers.polls, list(supervisor.states)
+
+    polls, states = asyncio.run(body())
+    assert polls >= 4  # kept polling straight through the injected failures
+    assert states == [HEALTHY]
