@@ -171,7 +171,16 @@ def _sharded_scaling() -> dict[str, Any]:
         connections=SHARD_COUNT,
         fidelity_shards=SHARD_COUNT,
     )
+    from repro.core import ECMConfig
+
     return {
+        # The counter-store backend under the servers: labels the scaling
+        # ratio so the guard never diffs a kernel-backed run against a
+        # NumPy baseline (see benchmarks/compare_bench.py).
+        "backend": ECMConfig(
+            epsilon_cm=float(EPSILON), epsilon_sw=float(EPSILON), delta=0.05,
+            window=float(WINDOW),
+        ).resolved_backend,
         "shards_1": one,
         "shards_%d" % SHARD_COUNT: many,
         "speedup": many["arrivals_per_second"] / one["arrivals_per_second"],

@@ -43,19 +43,30 @@ DEFAULT_FLOOR_CLAMP = 4.0
 RATIO_KEYS = frozenset(["speedup"])
 
 
-def iter_ratio_leaves(tree: Any, prefix: str = "") -> Iterator[tuple[str, float]]:
-    """Yield ``(dotted.path, value)`` for every gated ratio leaf in a JSON tree."""
+def iter_ratio_leaves(
+    tree: Any, prefix: str = "", backend: str | None = None
+) -> Iterator[tuple[str, tuple[float, str | None]]]:
+    """Yield ``(dotted.path, (value, backend))`` for every gated ratio leaf.
+
+    ``backend`` is the nearest enclosing dict's ``"backend"`` label (rows
+    measured against the compiled kernels vs the NumPy columnar path carry
+    different labels, and their ratios must never be diffed against each
+    other).
+    """
     if isinstance(tree, dict):
+        label = tree.get("backend")
+        if isinstance(label, str):
+            backend = label
         for key in sorted(tree):
             path = "%s.%s" % (prefix, key) if prefix else str(key)
             value = tree[key]
             if key in RATIO_KEYS and isinstance(value, (int, float)) and not isinstance(value, bool):
-                yield path, float(value)
+                yield path, (float(value), backend)
             else:
-                yield from iter_ratio_leaves(value, path)
+                yield from iter_ratio_leaves(value, path, backend)
     elif isinstance(tree, list):
         for index, value in enumerate(tree):
-            yield from iter_ratio_leaves(value, "%s[%d]" % (prefix, index))
+            yield from iter_ratio_leaves(value, "%s[%d]" % (prefix, index), backend)
 
 
 def compare_trees(
@@ -69,11 +80,21 @@ def compare_trees(
     fresh_leaves = dict(iter_ratio_leaves(fresh))
     report: list[str] = []
     regressions: list[str] = []
-    for path, base_value in sorted(baseline_leaves.items()):
-        fresh_value = fresh_leaves.get(path)
-        if fresh_value is None:
+    for path, (base_value, base_backend) in sorted(baseline_leaves.items()):
+        fresh_entry = fresh_leaves.get(path)
+        if fresh_entry is None:
             report.append("  MISSING  %-48s baseline %6.2fx, absent in fresh run" % (path, base_value))
             regressions.append("%s: ratio missing from the fresh results" % path)
+            continue
+        fresh_value, fresh_backend = fresh_entry
+        if base_backend != fresh_backend:
+            # A kernel ratio against a NumPy baseline (or vice versa) is not
+            # a regression signal — different code paths, different bars.
+            report.append(
+                "  skipped  %-48s backend changed: %s -> %s (baseline %.2fx, fresh %.2fx)"
+                % (path, base_backend or "unlabelled", fresh_backend or "unlabelled",
+                   base_value, fresh_value)
+            )
             continue
         floor = min(base_value * (1.0 - tolerance), floor_clamp)
         status = "ok" if fresh_value >= floor else "REGRESSED"
@@ -93,7 +114,9 @@ def compare_trees(
                 )
             )
     for path in sorted(set(fresh_leaves) - set(baseline_leaves)):
-        report.append("  new      %-48s fresh %6.2fx (no baseline yet)" % (path, fresh_leaves[path]))
+        report.append(
+            "  new      %-48s fresh %6.2fx (no baseline yet)" % (path, fresh_leaves[path][0])
+        )
     return report, regressions
 
 
@@ -124,12 +147,17 @@ def self_test(tolerance: float = DEFAULT_TOLERANCE) -> int:
     slowdown_10["stages"][0]["speedup"] = 2.0 * 0.90  # 10% drift: within tolerance
     clamped = {"sweep": {"speedup": 30.0}}
     clamped_fresh = {"sweep": {"speedup": 5.0}}  # above the clamp: must pass
+    # A kernel run diffed against a NumPy baseline: the ratio halves, but the
+    # backend label changed, so the guard must skip the row, not flag it.
+    numpy_baseline = {"ingest": {"backend": "kernels", "speedup": 8.0}}
+    kernel_fresh = {"ingest": {"backend": "columnar", "speedup": 2.5}}
 
     _, must_fail = compare_trees(baseline, slowdown_30, tolerance)
     _, must_pass = compare_trees(baseline, slowdown_10, tolerance)
     _, missing = compare_trees(baseline, {"meta": {}}, tolerance)
     _, clamp_pass = compare_trees(clamped, clamped_fresh, tolerance)
     _, clamp_fail = compare_trees(clamped, {"sweep": {"speedup": 3.0}}, tolerance)
+    backend_report, backend_switch = compare_trees(numpy_baseline, kernel_fresh, tolerance)
 
     failures: list[str] = []
     if not must_fail:
@@ -143,12 +171,20 @@ def self_test(tolerance: float = DEFAULT_TOLERANCE) -> int:
                         % (DEFAULT_FLOOR_CLAMP, clamp_pass))
     if not clamp_fail:
         failures.append("a collapse below the %gx clamp was not flagged" % DEFAULT_FLOOR_CLAMP)
+    if backend_switch:
+        failures.append(
+            "guard diffed ratios across a backend change instead of skipping: %s"
+            % backend_switch
+        )
+    if not any("skipped" in line and "backend changed" in line for line in backend_report):
+        failures.append("guard did not report the backend-change skip")
     if failures:
         for failure in failures:
             print("self-test FAILED: %s" % failure)
         return 1
     print("self-test passed: 30%% slowdown flagged, 10%% drift tolerated, missing "
-          "ratios flagged, floors clamp at %gx (tolerance %.0f%%)"
+          "ratios flagged, cross-backend rows skipped, floors clamp at %gx "
+          "(tolerance %.0f%%)"
           % (DEFAULT_FLOOR_CLAMP, 100.0 * tolerance))
     return 0
 

@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING
 
 from .analysis.reporting import write_rows
 from .baselines import ExactStreamSummary
-from .core import ECMSketch
+from .core import ECMSketch, known_backend_names
 
 if TYPE_CHECKING:
     from .core.config import ECMConfig
@@ -192,9 +192,10 @@ def build_parser() -> argparse.ArgumentParser:
     demo_parser = subparsers.add_parser("demo", help="run a quick end-to-end sanity demo")
     demo_parser.add_argument("--records", type=int, default=10_000)
     demo_parser.add_argument("--epsilon", type=float, default=0.05)
-    demo_parser.add_argument("--backend", choices=["columnar", "object"], default="columnar",
-                             help="counter-grid storage backend (columnar SoA arrays "
-                                  "vs one Python counter object per cell)")
+    demo_parser.add_argument("--backend", choices=["auto", *known_backend_names()],
+                             default="auto",
+                             help="counter-grid storage backend ('auto' lets the registry "
+                                  "pick the best supported backend)")
     demo_parser.add_argument("--batch-size", type=_positive_int, default=None,
                              help="ingest via the batched fast path (add_many) in chunks "
                                   "of this many records")
@@ -239,8 +240,10 @@ def build_parser() -> argparse.ArgumentParser:
                                    "keys, a hierarchical stack over an integer universe, "
                                    "or per-site sketches behind a periodic-aggregation "
                                    "coordinator")
-    serve_parser.add_argument("--backend", choices=["columnar", "object"], default="columnar",
-                              help="counter-grid storage backend")
+    serve_parser.add_argument("--backend", choices=["auto", *known_backend_names()],
+                              default="auto",
+                              help="counter-grid storage backend ('auto' lets the registry "
+                                   "pick the best supported backend)")
     serve_parser.add_argument("--epsilon", type=float, default=0.05,
                               help="total point-query error budget (default 0.05)")
     serve_parser.add_argument("--delta", type=float, default=0.05)
@@ -405,7 +408,7 @@ def _demo(
     batch_size: int | None = None,
     workers: int | None = None,
     shards: int | None = None,
-    backend: str = "columnar",
+    backend: str = "auto",
 ) -> None:
     """A self-contained sanity demo mirroring examples/quickstart.py."""
     window = 1_000_000.0

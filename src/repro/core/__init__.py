@@ -9,10 +9,20 @@ from .config import (
     split_point_query_deterministic,
     split_point_query_randomized,
 )
-from .counter_store import CounterStore, ObjectCounterStore
+from .counter_store import (
+    BackendRegistration,
+    CounterStore,
+    ObjectCounterStore,
+    known_backend_names,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+    unregister_backend,
+)
 from .countmin import CountMinSketch, dimensions_for_error
 from .ecm_sketch import ECMSketch
 from .errors import (
+    BackendUnavailableError,
     ConfigurationError,
     EmptyStructureError,
     IncompatibleSketchError,
@@ -28,6 +38,12 @@ __all__ = [
     "ECMSketch",
     "CounterStore",
     "ObjectCounterStore",
+    "BackendRegistration",
+    "register_backend",
+    "unregister_backend",
+    "registered_backends",
+    "known_backend_names",
+    "resolve_backend",
     "CountMinSketch",
     "dimensions_for_error",
     "HashFamily",
@@ -41,6 +57,7 @@ __all__ = [
     "split_inner_product_deterministic",
     "ReproError",
     "ConfigurationError",
+    "BackendUnavailableError",
     "IncompatibleSketchError",
     "WindowModelError",
     "OutOfOrderArrivalError",

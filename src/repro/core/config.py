@@ -35,7 +35,6 @@ from .countmin import dimensions_for_error
 from .errors import ConfigurationError
 
 __all__ = [
-    "COLUMNAR_MAX_PER_LIMIT",
     "CounterType",
     "split_point_query_deterministic",
     "split_point_query_randomized",
@@ -44,15 +43,6 @@ __all__ = [
     "inner_product_error",
     "ECMConfig",
 ]
-
-
-#: Largest per-level bucket cap (``ceil(ceil(1/epsilon_sw) / 2) + 1``) for
-#: which a ``backend="columnar"`` request actually uses the columnar store.
-#: The columnar layout pads every (cell, level) to that many slots, so below
-#: ``epsilon_sw ~ 0.008`` the padding of sparse grids outweighs the win of
-#: eliminating per-bucket objects and the config resolves to the object
-#: layout instead.
-COLUMNAR_MAX_PER_LIMIT = 64
 
 
 class CounterType(enum.Enum):
@@ -163,14 +153,18 @@ class ECMConfig:
         seed: Hash seed shared by all sketches that should be mergeable.
         width: Count-Min array width; derived from ``epsilon_cm`` if omitted.
         depth: Count-Min array depth; derived from ``delta`` if omitted.
-        backend: Counter-grid storage backend: ``"columnar"`` (the default)
-            stores all exponential histograms of the sketch in shared
-            structure-of-arrays NumPy buffers
-            (:class:`~repro.windows.columnar_eh.ColumnarEHStore`);
-            ``"object"`` keeps one Python counter object per cell (the
-            reference layout).  Counter types without a columnar
-            implementation (waves) always resolve to the object layout.  The
-            backend is a storage detail: estimates and serialized state are
+        backend: Counter-grid storage backend, resolved through the backend
+            registry (:func:`repro.core.counter_store.resolve_backend`).
+            ``"auto"`` (the default) picks the highest-priority registered
+            backend whose capability predicate accepts this configuration —
+            ``"kernels"`` (compiled columnar hot paths, needs numba or an
+            explicit ``REPRO_KERNELS=1`` override) over ``"columnar"``
+            (structure-of-arrays NumPy buffers) over ``"object"`` (one
+            Python counter per cell, any counter type).  Naming a backend
+            explicitly either uses exactly that backend or raises
+            :class:`~repro.core.errors.BackendUnavailableError` with the
+            rejection reason; there is no silent demotion.  The backend is a
+            storage detail: estimates and serialized state are
             byte-identical across backends, and the field never travels on
             the wire.
     """
@@ -186,7 +180,7 @@ class ECMConfig:
     seed: int = 0
     width: int = field(default=0)
     depth: int = field(default=0)
-    backend: str = "columnar"
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         validate_epsilon(self.epsilon_cm, "epsilon_cm")
@@ -198,10 +192,17 @@ class ECMConfig:
             raise ConfigurationError("model must be a WindowModel")
         if not isinstance(self.counter_type, CounterType):
             raise ConfigurationError("counter_type must be a CounterType")
-        if self.backend not in ("columnar", "object"):
-            raise ConfigurationError(
-                "backend must be 'columnar' or 'object', got %r" % (self.backend,)
-            )
+        if self.backend != "auto":
+            # Unknown names fail at construction time; whether the named
+            # backend *supports* this configuration is checked at resolution
+            # (it may depend on the environment, e.g. numba availability).
+            from .counter_store import known_backend_names
+
+            if self.backend not in known_backend_names():
+                raise ConfigurationError(
+                    "unknown backend %r; expected 'auto' or one of: %s"
+                    % (self.backend, ", ".join(known_backend_names()))
+                )
         derived_width, derived_depth = dimensions_for_error(self.epsilon_cm, self.delta)
         if self.width <= 0:
             self.width = derived_width
@@ -228,7 +229,7 @@ class ECMConfig:
         max_arrivals: int | None = None,
         delta_sw: float = 0.05,
         seed: int = 0,
-        backend: str = "columnar",
+        backend: str = "auto",
     ) -> ECMConfig:
         """Configuration minimising memory for a total point-query error budget."""
         if counter_type is CounterType.RANDOMIZED_WAVE:
@@ -259,7 +260,7 @@ class ECMConfig:
         max_arrivals: int | None = None,
         delta_sw: float = 0.05,
         seed: int = 0,
-        backend: str = "columnar",
+        backend: str = "auto",
     ) -> ECMConfig:
         """Configuration minimising memory for a total inner-product error budget."""
         if counter_type is CounterType.RANDOMIZED_WAVE:
@@ -284,26 +285,21 @@ class ECMConfig:
     # ------------------------------------------------------------ summaries
     @property
     def resolved_backend(self) -> str:
-        """The storage backend the sketch will actually use.
+        """Name of the storage backend the sketch will actually use.
 
-        The columnar store only implements exponential histograms, so
-        wave-based counter types always resolve to the object-per-cell
-        reference layout.  It also pads every ``(cell, level)`` to
-        ``max_per_level + 2`` bucket slots, which is a win whenever cells
-        carry real load but dominates sparse grids once ``epsilon_sw`` gets
-        tiny (the hierarchical stacks of Section 6.1 are the worst case:
-        many near-empty grids with a few deep cells).  Configs whose
-        per-level bucket cap exceeds :data:`COLUMNAR_MAX_PER_LIMIT`
-        (``epsilon_sw`` below ~0.008) therefore resolve to the object
-        layout as well.
+        Delegates to the backend registry
+        (:func:`repro.core.counter_store.resolve_backend`): ``"auto"``
+        resolves to the highest-priority backend whose capability predicate
+        accepts this configuration; an explicit name resolves to itself or
+        raises :class:`~repro.core.errors.BackendUnavailableError` with the
+        rejection reason.  Exponential-histogram grids resolve columnar at
+        every epsilon — the lazily-grown slot axis removed the old
+        tiny-epsilon (``COLUMNAR_MAX_PER_LIMIT``) escape hatch to the object
+        layout — while wave counter types resolve to the object backend.
         """
-        if self.counter_type is not CounterType.EXPONENTIAL_HISTOGRAM or self.backend != "columnar":
-            return "object"
-        k = int(math.ceil(1.0 / self.epsilon_sw))
-        max_per_level = int(math.ceil(k / 2.0)) + 1
-        if max_per_level > COLUMNAR_MAX_PER_LIMIT:
-            return "object"
-        return "columnar"
+        from .counter_store import resolve_backend
+
+        return resolve_backend(self).name
 
     @property
     def total_point_error(self) -> float:

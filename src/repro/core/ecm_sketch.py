@@ -28,7 +28,6 @@ from collections.abc import Callable, Hashable, Sequence
 import numpy as np
 
 from ..windows.base import SlidingWindowCounter, WindowModel
-from ..windows.columnar_eh import ColumnarEHStore
 from ..windows.deterministic_wave import DeterministicWave
 from ..windows.exponential_histogram import ExponentialHistogram
 from ..windows.merge import (
@@ -40,7 +39,7 @@ from ..windows.merge import (
 )
 from ..windows.randomized_wave import RandomizedWave
 from .config import CounterType, ECMConfig
-from .counter_store import CounterStore, ObjectCounterStore
+from .counter_store import CounterStore, resolve_backend
 from .countmin import CountMinSketch
 from .errors import (
     ConfigurationError,
@@ -92,23 +91,13 @@ class ECMSketch:
         self.model = config.model
         self.counter_type = config.counter_type
         self.hashes = HashFamily(depth=self.depth, width=self.width, seed=config.seed)
-        #: Storage backend actually in use ("columnar" or "object").
-        self.backend = config.resolved_backend
-        if self.backend == "columnar":
-            self._store: CounterStore = ColumnarEHStore(
-                depth=self.depth,
-                width=self.width,
-                epsilon=config.epsilon_sw,
-                window=config.window,
-                model=config.model,
-            )
-        else:
-            self._store = ObjectCounterStore(
-                [
-                    [self._make_counter(row, column) for column in range(self.width)]
-                    for row in range(self.depth)
-                ]
-            )
+        # Capability-negotiated store selection: the registry resolves
+        # config.backend ("auto" picks by priority, explicit names fail
+        # loudly) and its factory builds the store.
+        registration = resolve_backend(config)
+        #: Name of the storage backend actually in use.
+        self.backend = registration.name
+        self._store: CounterStore = registration.factory(config, self._make_counter)
         self._total_arrivals = 0
         self._last_clock: float | None = None
         # Item -> stable fingerprint memo used by the batched ingestion path;
@@ -130,7 +119,7 @@ class ECMSketch:
         max_arrivals: int | None = None,
         seed: int = 0,
         stream_tag: int = 0,
-        backend: str = "columnar",
+        backend: str = "auto",
     ) -> ECMSketch:
         """Sketch sized for a total point-query error of ``epsilon``."""
         config = ECMConfig.for_point_queries(
@@ -156,7 +145,7 @@ class ECMSketch:
         max_arrivals: int | None = None,
         seed: int = 0,
         stream_tag: int = 0,
-        backend: str = "columnar",
+        backend: str = "auto",
     ) -> ECMSketch:
         """Sketch sized for a total inner-product error of ``epsilon``."""
         config = ECMConfig.for_inner_product_queries(
@@ -343,7 +332,7 @@ class ECMSketch:
         # (its vector path never materialises Python scalars); the object
         # store receives plain lists, exactly as the per-cell add_batch seam
         # always has.  Mixed-type batches stay Python lists for both.
-        keep_arrays = store.backend_name == "columnar"
+        keep_arrays = store.prefers_arrays
         payloads = []
         for row in range(self.depth):
             arrival_columns = columns[row]
@@ -435,7 +424,7 @@ class ECMSketch:
             # path costs more than the estimates it saves.
             return [self.point_query(item, range_length, now_value) for item in items]
         hashed = self.hashes.hash_many(items)
-        if self.backend == "columnar":
+        if self._store.prefers_arrays:
             # One gathered pass over the deduplicated cells, reading the
             # estimates straight out of the columnar arrays.
             flat_cells = hashed.astype(np.int64) + (
@@ -475,7 +464,7 @@ class ECMSketch:
         other_now = other._resolve_now(now)
         mine = self._store.estimate_grid(range_length, now_value)
         best: float | None = None
-        if other.backend == "columnar":
+        if other._store.prefers_arrays:
             theirs = other._store.estimate_grid(range_length, other_now)
             for row in range(self.depth):
                 row_product = 0.0

@@ -10,6 +10,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ConfigurationError",
+    "BackendUnavailableError",
     "IncompatibleSketchError",
     "WindowModelError",
     "OutOfOrderArrivalError",
@@ -26,6 +27,16 @@ class ConfigurationError(ReproError, ValueError):
 
     Examples include non-positive epsilon/delta, zero-length sliding windows,
     or a Count-Min array with zero width or depth.
+    """
+
+
+class BackendUnavailableError(ConfigurationError):
+    """Raised when a requested counter-store backend cannot serve a config.
+
+    An explicitly-named backend (``backend="kernels"`` without numba,
+    ``backend="columnar"`` with wave counters) fails loudly with the
+    registry's rejection reason instead of silently demoting; ``"auto"``
+    raises only when *no* registered backend accepts the configuration.
     """
 
 

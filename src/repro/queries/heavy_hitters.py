@@ -62,7 +62,7 @@ class FrequentItemsTracker:
         counter_type: CounterType = CounterType.EXPONENTIAL_HISTOGRAM,
         max_arrivals: int | None = None,
         seed: int = 0,
-        backend: str = "columnar",
+        backend: str = "auto",
     ) -> None:
         self._sketch = HierarchicalECMSketch(
             universe_bits=universe_bits,

@@ -83,7 +83,7 @@ class HierarchicalECMSketch:
         max_arrivals: int | None = None,
         seed: int = 0,
         stream_tag: int = 0,
-        backend: str = "columnar",
+        backend: str = "auto",
     ) -> None:
         self.universe_bits = validate_universe_bits(universe_bits)
         self.window = window

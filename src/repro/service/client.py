@@ -19,8 +19,8 @@ matching its error code (see :mod:`repro.service.errors`), so
 in-process.  Results are typed too — :meth:`ServiceClient.get_info` /
 :meth:`ServiceClient.get_stats` return dataclasses, ``heavy_hitters``
 returns :class:`~repro.service.models.HeavyHitter` rows (tuple-compatible
-with the old pairs).  The old dict-returning ``info()``/``stats()`` remain
-as one-release deprecation shims.
+with the old pairs).  The raw response payloads stay reachable through the
+dataclasses' ``.raw`` escape hatch.
 
 Every operation takes an optional ``tenant`` keyword: against a pooled
 server it namespaces the call to that tenant; against a single-sketch
@@ -42,7 +42,6 @@ import random
 import socket
 import time
 import uuid
-import warnings
 from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
 from typing import Any
@@ -366,26 +365,6 @@ class ServiceClient:
         """Live server counters, typed."""
         return ServerStats.from_payload(dict(await self.call({"op": "stats"})))
 
-    async def info(self) -> dict[str, Any]:
-        """Deprecated: use :meth:`get_info` (this returns its ``.raw``)."""
-        warnings.warn(
-            "ServiceClient.info() is deprecated; use get_info() (ServerInfo.raw "
-            "holds the full payload)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return (await self.get_info()).raw
-
-    async def stats(self) -> dict[str, Any]:
-        """Deprecated: use :meth:`get_stats` (this returns its ``.raw``)."""
-        warnings.warn(
-            "ServiceClient.stats() is deprecated; use get_stats() (ServerStats.raw "
-            "holds the full payload)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return (await self.get_stats()).raw
-
     async def ingest(
         self,
         keys: Sequence[Hashable],
@@ -646,26 +625,6 @@ class SyncServiceClient:
 
     def get_stats(self) -> ServerStats:
         return self._call(self._client.get_stats())
-
-    def info(self) -> dict[str, Any]:
-        """Deprecated: use :meth:`get_info` (this returns its ``.raw``)."""
-        warnings.warn(
-            "SyncServiceClient.info() is deprecated; use get_info() (ServerInfo.raw "
-            "holds the full payload)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._call(self._client.get_info()).raw
-
-    def stats(self) -> dict[str, Any]:
-        """Deprecated: use :meth:`get_stats` (this returns its ``.raw``)."""
-        warnings.warn(
-            "SyncServiceClient.stats() is deprecated; use get_stats() (ServerStats.raw "
-            "holds the full payload)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._call(self._client.get_stats()).raw
 
     def ingest(
         self,

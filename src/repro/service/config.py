@@ -44,7 +44,9 @@ class ServiceConfig:
             count-based windows).
         model: Time-based or count-based window model.
         counter_type: Sliding-window counter algorithm (EH by default).
-        backend: Counter-grid storage backend (``"columnar"``/``"object"``).
+        backend: Counter-grid storage backend: ``"auto"`` (registry picks
+            the best supported backend) or an explicit registered name
+            (``"kernels"``/``"columnar"``/``"object"``).
         universe_bits: Key-universe capacity of the hierarchical mode
             (``2**universe_bits`` distinct integer keys).
         sites: Number of observation sites of the multisite mode.
@@ -107,7 +109,7 @@ class ServiceConfig:
     window: float = 1_000_000.0
     model: WindowModel = WindowModel.TIME_BASED
     counter_type: CounterType = CounterType.EXPONENTIAL_HISTOGRAM
-    backend: str = "columnar"
+    backend: str = "auto"
     universe_bits: int = 12
     sites: int = 4
     period: float = 10_000.0

@@ -63,7 +63,13 @@ from typing import Any
 
 import numpy as np
 
-from ..core.counter_store import CounterStore, RowPayload, RunPayload
+from ..core.counter_store import (
+    CounterFactory,
+    CounterStore,
+    RowPayload,
+    RunPayload,
+    register_backend,
+)
 from ..core.errors import ConfigurationError, OutOfOrderArrivalError
 from .base import SlidingWindowCounter, WindowModel, validate_epsilon, validate_window
 from .exponential_histogram import _BULK_EXPANSION_LIMIT, Bucket, ExponentialHistogram
@@ -75,6 +81,13 @@ _MAX_EXACT_INT = 1 << 53
 
 #: Initial number of level planes; doubles on demand.
 _INITIAL_LEVELS = 2
+
+#: Initial slot capacity per (cell, level).  The slot axis grows on demand
+#: toward ``max_per_level + 2``, so sparse grids (the tiny-epsilon
+#: hierarchical stacks of Section 6.1) never pay for the worst-case per-level
+#: bucket cap — the reason the old ``COLUMNAR_MAX_PER_LIMIT`` escape hatch to
+#: the object backend is no longer needed.
+_INITIAL_SLOTS = 8
 
 #: Store-wide clock modes: every clock so far was an int / was a float; the
 #: store is empty; or the stream mixed both and per-bucket flag arrays are
@@ -103,6 +116,7 @@ class ColumnarEHStore(CounterStore):
     """
 
     backend_name = "columnar"
+    prefers_arrays = True
 
     def __init__(
         self,
@@ -126,7 +140,10 @@ class ColumnarEHStore(CounterStore):
         # cell cascades exactly like its object-backend twin.
         self.k = int(math.ceil(1.0 / self.epsilon))
         self._max_per = int(math.ceil(self.k / 2.0)) + 1
-        self._slots = self._max_per + 2
+        # The slot axis starts small and grows on demand: a (cell, level)
+        # only ever holds up to max_per live buckets, but near-empty grids
+        # would waste ~max_per slots per level if allocated eagerly.
+        self._slots = min(self._max_per + 2, _INITIAL_SLOTS)
         self._num_levels = _INITIAL_LEVELS
         cells, levels, slots = self.cells, self._num_levels, self._slots
         self._starts = np.zeros((cells, levels, slots), dtype=np.float64)
@@ -213,7 +230,12 @@ class ColumnarEHStore(CounterStore):
     def _ensure_slots(self, needed: int) -> None:
         if needed <= self._slots:
             return
-        new_slots = max(needed, self._slots * 2)
+        # Double toward the canonical ceiling (max_per + 2 covers the scalar
+        # cascade's transient max_per + 1 occupancy); only exotic loaded
+        # states can demand more.
+        new_slots = min(
+            max(needed, self._slots * 2), max(self._max_per + 2, needed)
+        )
         pad = new_slots - self._slots
         cells, levels = self.cells, self._num_levels
         grown = [
@@ -374,7 +396,7 @@ class ColumnarEHStore(CounterStore):
                 shift_arrays = self._slot_arrays()
             next_count = int(counts[cell, level + 1])
             if next_count + 1 > self._slots:
-                # Only reachable through exotic loaded states; reallocation
+                # Lazy slot growth (or an exotic loaded state); reallocation
                 # invalidates every local alias.
                 self._ensure_slots(next_count + 1)
                 starts, ends = self._starts, self._ends
@@ -703,6 +725,9 @@ class ColumnarEHStore(CounterStore):
         merges = np.maximum((totals - (max_per - 1)) >> 1, 0)
         retained = totals - 2 * merges
         retained_max = int(retained.max())
+        # Retained counts never exceed max_per, but the lazily-grown slot
+        # axis may still be narrower than this level's write-back width.
+        self._ensure_slots(retained_max)
         total_max = seq_ends.shape[1]
         merges_max = int(merges.max())
         if merges_max == 0:
@@ -730,34 +755,50 @@ class ColumnarEHStore(CounterStore):
         if not candidates.size:
             return
         counts = self._counts[candidates]
-        slots = self._slots
-        valid = np.arange(slots)[None, None, :] < counts[:, :, None]
-        ends = self._ends[candidates]
+        live_levels = np.flatnonzero(counts.any(axis=0))
+        if not live_levels.size:
+            self._oldest_end[candidates] = np.inf
+            return
+        # Trim the working set to the occupied corner of the grid: levels
+        # beyond the deepest live one and slots beyond the fullest level are
+        # all dead weight for this sweep.
+        used = int(live_levels[-1]) + 1
+        counts = counts[:, :used]
+        max_live = int(counts.max())
+        lane = self._lanes(max_live)
+        block = np.ix_(candidates, np.arange(used), lane)
+        ends = self._ends[block]
+        valid = lane[None, None, :] < counts[:, :, None]
         # Within-level buckets are time-ordered, so the expired set is a
         # per-level prefix and the sum directly gives the shift distance.
         expired_mask = valid & (ends <= threshold)
         drop = expired_mask.sum(axis=2, dtype=np.int64)
         if drop.any():
             if self._sizes is None:
-                level_sizes = np.left_shift(
-                    np.int64(1), np.arange(self._num_levels, dtype=np.int64)
-                )
+                level_sizes = np.left_shift(np.int64(1), np.arange(used, dtype=np.int64))
                 removed = (drop * level_sizes[None, :]).sum(axis=1)
             else:
-                removed = (self._sizes[candidates] * expired_mask).sum(axis=(1, 2))
+                removed = (self._sizes[block] * expired_mask).sum(axis=(1, 2))
             self._uppers[candidates] -= removed
-            shift_index = np.minimum(
-                np.arange(slots)[None, None, :] + drop[:, :, None], slots - 1
-            )
+            # Only survivors of (cell, level) rows that dropped a prefix
+            # move; gather/scatter exactly those buckets instead of
+            # rewriting the whole candidate grid (the fancy-index gather on
+            # the right evaluates before the assignment, so overlap between
+            # source and target slots is safe).
+            surviving = valid & ~expired_mask & (drop > 0)[:, :, None]
+            cand_pos, level_idx, slot_idx = np.nonzero(surviving)
+            cell_idx = candidates[cand_pos]
+            target_idx = slot_idx - drop[cand_pos, level_idx]
             for array in self._slot_arrays():
-                array[candidates] = np.take_along_axis(array[candidates], shift_index, axis=2)
-            self._counts[candidates] = (counts - drop).astype(np.int32)
-        # Exact refresh: these cells were flagged by the (lower bound) cache.
-        new_counts = self._counts[candidates]
-        first_ends = self._ends[candidates][:, :, 0]
-        self._oldest_end[candidates] = np.where(
-            new_counts > 0, first_ends, np.inf
-        ).min(axis=1)
+                array[cell_idx, level_idx, target_idx] = array[cell_idx, level_idx, slot_idx]
+            counts = (counts - drop).astype(np.int32)
+            self._counts[candidates[:, None], np.arange(used)[None, :]] = counts
+        # Exact refresh: the post-shift first end of each level is the
+        # pre-shift end at index ``drop`` (clamped for fully-expired levels,
+        # which the counts mask discards anyway).
+        gather = np.minimum(drop, max_live - 1)[:, :, None]
+        first_ends = np.take_along_axis(ends, gather, axis=2)[:, :, 0]
+        self._oldest_end[candidates] = np.where(counts > 0, first_ends, np.inf).min(axis=1)
 
     # ----------------------------------------------------------------- queries
     def _cell_sizes(self, cell: int) -> np.ndarray:
@@ -966,3 +1007,29 @@ class ColumnarEHStore(CounterStore):
 
     def resident_bytes(self) -> int:
         return self.memory_bytes()
+
+
+# ---------------------------------------------------------------- registration
+def columnar_supports(config: Any) -> str | None:
+    """Capability predicate shared by the columnar-family backends."""
+    from ..core.config import CounterType
+
+    if config.counter_type is not CounterType.EXPONENTIAL_HISTOGRAM:
+        return (
+            "the columnar layout only implements exponential-histogram "
+            "counters; counter_type=%s needs the object backend" % (config.counter_type,)
+        )
+    return None
+
+
+def _columnar_factory(config: Any, make_counter: CounterFactory) -> ColumnarEHStore:
+    return ColumnarEHStore(
+        depth=config.depth,
+        width=config.width,
+        epsilon=config.epsilon_sw,
+        window=config.window,
+        model=config.model,
+    )
+
+
+register_backend("columnar", _columnar_factory, columnar_supports, priority=10)

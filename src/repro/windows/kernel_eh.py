@@ -1,0 +1,161 @@
+"""Kernel-accelerated columnar store: compiled hot paths, NumPy everywhere else.
+
+:class:`KernelEHStore` is :class:`~repro.windows.columnar_eh.ColumnarEHStore`
+with its three hot paths — the deferred ingest cascade, the expire/compaction
+sweep and the multi-cell point-query walk — routed through the
+``numba``-compilable kernels of :mod:`repro.windows._eh_kernels`.  Everything
+else (growth, demotions, serialization interchange, scalar updates) is
+inherited unchanged, and so is the equivalence contract: the serialized state
+after any operation is byte-identical to both the NumPy columnar store and
+the object reference backend.
+
+The kernels only understand canonical mode (sizes implied by the level index,
+clock int-ness a store-wide mode).  A demoting load — exotic bucket sizes or
+mixed int/float clocks — materialises the side arrays, and every overridden
+method then defers to the NumPy implementation, which handles demoted state
+exactly.  The batched-ingest gate in ``ingest_sorted_rows`` already routes
+non-canonical rows to the reference fallback, so ``_deferred_cascade`` only
+ever sees canonical state.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.counter_store import CounterFactory, register_backend
+from ._eh_kernels import (
+    cascade_runs,
+    estimate_cells_canonical,
+    expire_cells,
+    kernels_compiled,
+    kernels_disabled,
+    kernels_enabled,
+)
+from .columnar_eh import ColumnarEHStore, columnar_supports
+
+__all__ = ["KernelEHStore"]
+
+
+class KernelEHStore(ColumnarEHStore):
+    """Columnar EH store with compiled cascade/expiry/query kernels."""
+
+    backend_name = "kernels"
+
+    #: Whether the kernels are machine code (numba) or interpreted Python
+    #: (``REPRO_KERNELS=1`` without numba; equivalence testing only).
+    compiled = property(lambda self: kernels_compiled())
+
+    # ------------------------------------------------------------ ingest path
+    def _deferred_cascade(
+        self,
+        cells: np.ndarray,
+        unit_clocks: np.ndarray,
+        unit_offsets: np.ndarray,
+        unit_counts: np.ndarray,
+    ) -> None:
+        # Pre-size the level and slot axes: merge counts per level follow from
+        # the bucket counts alone (totals -> merges -> carried pairs), so the
+        # kernel's exact demand is a handful of vectorized passes here and the
+        # nopython loop never needs to reallocate.
+        max_per = self._max_per
+        counts = self._counts
+        num_levels = self._num_levels
+        incoming = unit_counts.astype(np.int64)
+        active = cells
+        level = 0
+        need_slots = 0
+        while True:
+            if level < num_levels:
+                existing = counts[active, level].astype(np.int64)
+                totals = existing + incoming
+            else:
+                totals = incoming
+            merges = np.maximum((totals - (max_per - 1)) >> 1, 0)
+            retained = totals - 2 * merges
+            peak = int(retained.max())
+            if peak > need_slots:
+                need_slots = peak
+            if not merges.any():
+                break
+            keep = merges > 0
+            active = active[keep]
+            incoming = merges[keep]
+            level += 1
+        self._ensure_level(level)
+        self._ensure_slots(need_slots)
+        cascade_runs(
+            self._starts,
+            self._ends,
+            self._counts,
+            cells,
+            unit_clocks,
+            np.ascontiguousarray(unit_offsets, dtype=np.int64),
+            max_per,
+        )
+
+    # ----------------------------------------------------------------- expiry
+    def expire_all(self, now: float) -> None:
+        if self._sizes is not None or self._start_int is not None:
+            # Demoted state: explicit size/flag planes must shift alongside
+            # the clock planes; the NumPy sweep handles them all.
+            super().expire_all(now)
+            return
+        threshold = now - self.window
+        candidates = np.flatnonzero(self._oldest_end <= threshold)
+        if not candidates.size:
+            return
+        expire_cells(
+            self._starts,
+            self._ends,
+            self._counts,
+            self._uppers,
+            self._oldest_end,
+            candidates,
+            threshold,
+        )
+
+    # ---------------------------------------------------------------- queries
+    def estimate_cells(
+        self, cells: np.ndarray, range_length: float | None, now: float
+    ) -> np.ndarray:
+        if self._sizes is not None:
+            # Demoted sizes change both the totals and the straddling-bucket
+            # subtraction; only the NumPy walk reads the explicit size plane.
+            return super().estimate_cells(cells, range_length, now)
+        start = self._query_start(range_length, now)
+        cell_ids = np.ascontiguousarray(cells, dtype=np.int64)
+        out = np.empty(cell_ids.shape[0], dtype=np.float64)
+        estimate_cells_canonical(
+            self._starts, self._ends, self._counts, cell_ids, start, out
+        )
+        return out
+
+
+# ---------------------------------------------------------------- registration
+def _kernels_supports(config: Any) -> str | None:
+    reason = columnar_supports(config)
+    if reason is not None:
+        return reason
+    if kernels_disabled():
+        return "disabled by REPRO_KERNELS=0"
+    if not kernels_enabled():
+        return (
+            "numba is not installed (pip install 'repro[kernels]') and "
+            "REPRO_KERNELS=1 does not force the interpreted kernels"
+        )
+    return None
+
+
+def _kernels_factory(config: Any, make_counter: CounterFactory) -> KernelEHStore:
+    return KernelEHStore(
+        depth=config.depth,
+        width=config.width,
+        epsilon=config.epsilon_sw,
+        window=config.window,
+        model=config.model,
+    )
+
+
+register_backend("kernels", _kernels_factory, _kernels_supports, priority=20)

@@ -1,0 +1,174 @@
+"""Backend registry: capability negotiation, rejection reasons, plugins.
+
+``ECMConfig.backend`` resolution goes through a registry of
+:class:`~repro.core.BackendRegistration` entries: ``"auto"`` picks the
+highest-priority backend whose ``supports()`` accepts the configuration,
+explicit names either get exactly that backend or fail loudly with the
+registry's rejection reason, and third parties can register their own
+stores without touching core code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BackendUnavailableError,
+    ConfigurationError,
+    CounterType,
+    ECMConfig,
+    ECMSketch,
+    known_backend_names,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+    unregister_backend,
+)
+from repro.core.counter_store import ObjectCounterStore
+from repro.windows import ColumnarEHStore, KernelEHStore
+from repro.windows._eh_kernels import kernels_compiled
+
+WINDOW = 400.0
+
+
+def _eh_config(backend: str = "auto", **kwargs) -> ECMConfig:
+    kwargs.setdefault("epsilon", 0.1)
+    kwargs.setdefault("delta", 0.1)
+    return ECMConfig.for_point_queries(window=WINDOW, backend=backend, **kwargs)
+
+
+def _wave_config(backend: str = "auto") -> ECMConfig:
+    return ECMConfig.for_point_queries(
+        epsilon=0.1,
+        delta=0.1,
+        window=WINDOW,
+        counter_type=CounterType.DETERMINISTIC_WAVE,
+        max_arrivals=1000,
+        backend=backend,
+    )
+
+
+class TestBuiltinRegistrations:
+    def test_builtin_backends_present_in_priority_order(self):
+        names = known_backend_names()
+        assert names == ["kernels", "columnar", "object"]
+        priorities = [entry.priority for entry in registered_backends()]
+        assert priorities == sorted(priorities, reverse=True)
+
+    def test_auto_prefers_best_available_backend(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        expected = "kernels" if kernels_compiled() else "columnar"
+        config = _eh_config()
+        assert config.resolved_backend == expected
+        assert ECMSketch(config).backend == expected
+
+    def test_auto_falls_back_to_object_for_waves(self):
+        for counter_type in (CounterType.DETERMINISTIC_WAVE, CounterType.RANDOMIZED_WAVE):
+            config = ECMConfig.for_point_queries(
+                epsilon=0.2,
+                delta=0.2,
+                window=WINDOW,
+                counter_type=counter_type,
+                max_arrivals=1000,
+            )
+            sketch = ECMSketch(config)
+            assert sketch.backend == "object"
+            assert isinstance(sketch._store, ObjectCounterStore)
+
+    def test_tiny_epsilon_hierarchical_config_stays_columnar(self, monkeypatch):
+        """The old COLUMNAR_MAX_PER_LIMIT=64 silently demoted tiny-epsilon
+        grids to the object backend; lazy slot growth removed the cap."""
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        config = ECMConfig(
+            epsilon_cm=0.005, epsilon_sw=0.005, delta=0.05, window=3_600_000.0
+        )
+        assert config.resolved_backend in ("columnar", "kernels")
+        sketch = ECMSketch(config)
+        assert isinstance(sketch._store, ColumnarEHStore)
+
+
+class TestExplicitSelection:
+    def test_explicit_columnar_rejects_waves_loudly(self):
+        with pytest.raises(BackendUnavailableError, match="counter_type"):
+            ECMSketch(_wave_config(backend="columnar"))
+
+    def test_explicit_kernels_rejects_waves_loudly(self):
+        with pytest.raises(BackendUnavailableError, match="counter_type"):
+            ECMSketch(_wave_config(backend="kernels"))
+
+    def test_explicit_kernels_without_numba_or_force(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        if kernels_compiled():
+            pytest.skip("numba installed: explicit kernels succeed here")
+        with pytest.raises(BackendUnavailableError, match="numba"):
+            ECMSketch(_eh_config(backend="kernels"))
+
+    def test_unknown_backend_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            _eh_config(backend="rowwise")
+
+    def test_auto_never_raises_for_supported_counter_types(self):
+        # The object floor accepts everything, so "auto" always resolves.
+        for config in (_eh_config(), _wave_config()):
+            assert resolve_backend(config).name in known_backend_names()
+
+
+class TestKernelEnvironmentOverrides:
+    def test_forced_kernels_resolve_even_without_numba(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "1")
+        config = _eh_config()
+        assert config.resolved_backend == "kernels"
+        sketch = ECMSketch(_eh_config(backend="kernels"))
+        assert isinstance(sketch._store, KernelEHStore)
+
+    def test_disabled_kernels_resolve_to_columnar(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "0")
+        assert _eh_config().resolved_backend == "columnar"
+        with pytest.raises(BackendUnavailableError, match="REPRO_KERNELS"):
+            ECMSketch(_eh_config(backend="kernels"))
+
+
+class TestThirdPartyRegistration:
+    def test_plugin_backend_wins_auto_selection(self):
+        class PluginStore(ObjectCounterStore):
+            backend_name = "plugin"
+
+        def factory(config, make_counter):
+            return PluginStore(
+                [
+                    [make_counter(row, column) for column in range(config.width)]
+                    for row in range(config.depth)
+                ]
+            )
+
+        register_backend("plugin", factory, lambda config: None, priority=99)
+        try:
+            assert known_backend_names()[0] == "plugin"
+            sketch = ECMSketch(_eh_config())
+            assert sketch.backend == "plugin"
+            assert isinstance(sketch._store, PluginStore)
+        finally:
+            unregister_backend("plugin")
+        assert "plugin" not in known_backend_names()
+
+    def test_rejecting_plugin_is_skipped_with_reason(self):
+        register_backend(
+            "picky", lambda c, m: None, lambda c: "never accepts", priority=99
+        )
+        try:
+            assert _eh_config().resolved_backend != "picky"
+            with pytest.raises(BackendUnavailableError, match="never accepts"):
+                resolve_backend(_eh_config(backend="picky"))
+        finally:
+            unregister_backend("picky")
+
+    def test_duplicate_registration_requires_replace(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_backend("object", lambda c, m: None, lambda c: None)
+
+    def test_auto_is_a_reserved_name(self):
+        with pytest.raises(ConfigurationError, match="reserved|resolver"):
+            register_backend("auto", lambda c, m: None, lambda c: None)
+
+    def test_unregister_missing_backend_is_noop(self):
+        unregister_backend("never-registered")

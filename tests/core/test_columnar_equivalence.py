@@ -1,11 +1,16 @@
-"""Cross-backend equivalence: columnar vs object counter stores.
+"""Cross-backend equivalence: columnar/kernel vs object counter stores.
 
-The columnar backend is a pure storage change: for every counter lifecycle —
-scalar adds, batched adds (weighted and unweighted, int and float clocks,
-window-crossing runs), whole-grid expiry sweeps, merges and serialization
-round-trips — the sketch must be *observably identical* to the object-per-cell
-reference backend: identical estimates (bitwise), identical per-cell bucket
-structures, and byte-identical serialized state.
+The accelerated backends are pure storage/execution changes: for every counter
+lifecycle — scalar adds, batched adds (weighted and unweighted, int and float
+clocks, window-crossing runs), whole-grid expiry sweeps, merges and
+serialization round-trips — the sketch must be *observably identical* to the
+object-per-cell reference backend: identical estimates (bitwise), identical
+per-cell bucket structures, and byte-identical serialized state.
+
+Every scenario runs twice, once against the NumPy ``columnar`` backend and
+once against the ``kernels`` backend with ``REPRO_KERNELS=1`` forcing the
+kernels on even when numba is absent (they then run as interpreted Python, so
+the equivalence contract is checked in both environments).
 
 The deterministic tests pin the named scenarios; the hypothesis driver
 (``slow`` marker) explores random interleavings of the whole lifecycle.
@@ -13,18 +18,40 @@ The deterministic tests pin the named scenarios; the hypothesis driver
 
 from __future__ import annotations
 
+import contextlib
+import os
 import random
+from collections.abc import Iterator
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import CounterType, ECMConfig, ECMSketch
+from repro.core import ECMConfig, ECMSketch
 from repro.core.errors import ConfigurationError
 from repro.serialization import dumps, ecm_sketch_to_dict, loads
 from repro.windows import ColumnarEHStore, WindowModel
 
 WINDOW = 400.0
+
+ACCELERATED_BACKENDS = ("columnar", "kernels")
+
+
+@contextlib.contextmanager
+def _forced_kernels(backend: str) -> Iterator[None]:
+    """Force kernel eligibility while a ``kernels``-backend sketch is built."""
+    if backend != "kernels":
+        yield
+        return
+    previous = os.environ.get("REPRO_KERNELS")
+    os.environ["REPRO_KERNELS"] = "1"
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ["REPRO_KERNELS"]
+        else:
+            os.environ["REPRO_KERNELS"] = previous
 
 
 def _pair(
@@ -33,15 +60,33 @@ def _pair(
     window: float = WINDOW,
     model: WindowModel = WindowModel.TIME_BASED,
     seed: int = 3,
+    backend: str = "columnar",
 ) -> tuple[ECMSketch, ECMSketch]:
-    """The same configuration on both backends."""
+    """The same configuration on the object backend and an accelerated one."""
     sketches = []
-    for backend in ("object", "columnar"):
-        config = ECMConfig.for_point_queries(
-            epsilon=epsilon, delta=delta, window=window, model=model, seed=seed, backend=backend
-        )
-        sketches.append(ECMSketch(config))
+    with _forced_kernels(backend):
+        for name in ("object", backend):
+            config = ECMConfig.for_point_queries(
+                epsilon=epsilon, delta=delta, window=window, model=model, seed=seed, backend=name
+            )
+            sketches.append(ECMSketch(config))
     return sketches[0], sketches[1]
+
+
+class _AcceleratedBackendCase:
+    """Parametrizes every test in a subclass over the accelerated backends."""
+
+    accel = "columnar"
+
+    @pytest.fixture(autouse=True, params=ACCELERATED_BACKENDS)
+    def _accelerated_backend(self, request, monkeypatch) -> str:
+        if request.param == "kernels":
+            monkeypatch.setenv("REPRO_KERNELS", "1")
+        self.accel = request.param
+        return request.param
+
+    def _pair(self, **kwargs) -> tuple[ECMSketch, ECMSketch]:
+        return _pair(backend=self.accel, **kwargs)
 
 
 def _assert_twins(reference: ECMSketch, columnar: ECMSketch, keys) -> None:
@@ -64,42 +109,24 @@ def _assert_twins(reference: ECMSketch, columnar: ECMSketch, keys) -> None:
     assert reference.serialized_bytes() == columnar.serialized_bytes()
 
 
-class TestDeterministicLifecycles:
+class TestDeterministicLifecycles(_AcceleratedBackendCase):
     def test_backend_resolution(self):
-        _, columnar = _pair()
-        assert columnar.backend == "columnar"
-        assert isinstance(columnar._store, ColumnarEHStore)
-        for counter_type in (CounterType.DETERMINISTIC_WAVE, CounterType.RANDOMIZED_WAVE):
-            config = ECMConfig.for_point_queries(
-                epsilon=0.2,
-                delta=0.2,
-                window=WINDOW,
-                counter_type=counter_type,
-                max_arrivals=1000,
-                backend="columnar",
-            )
-            assert ECMSketch(config).backend == "object"
-        # Tiny epsilon_sw: the per-level slot padding would dominate sparse
-        # grids, so the request resolves to the object layout.
-        tiny = ECMConfig.for_point_queries(epsilon=0.01, delta=0.1, window=WINDOW)
-        assert tiny.resolved_backend == "object"
-        assert ECMSketch(tiny).backend == "object"
-
-    def test_invalid_backend_rejected(self):
-        with pytest.raises(ConfigurationError):
-            ECMConfig.for_point_queries(
-                epsilon=0.1, delta=0.1, window=WINDOW, backend="rowwise"
-            )
+        _, accelerated = self._pair()
+        assert accelerated.backend == self.accel
+        assert isinstance(accelerated._store, ColumnarEHStore)
+        # Registry selection and rejection semantics live in
+        # tests/core/test_backend_registry.py; this just pins that an explicit
+        # request for the accelerated backend is honoured, not downgraded.
 
     def test_scalar_adds(self):
-        reference, columnar = _pair()
+        reference, columnar = self._pair()
         for t in range(200):
             for sketch in (reference, columnar):
                 sketch.add("k%d" % (t % 17), clock=float(t), value=1 + t % 3)
         _assert_twins(reference, columnar, ["k%d" % i for i in range(17)])
 
     def test_scalar_adds_integer_clocks(self):
-        reference, columnar = _pair()
+        reference, columnar = self._pair()
         for t in range(150):
             for sketch in (reference, columnar):
                 sketch.add(t % 11, clock=t)
@@ -107,7 +134,7 @@ class TestDeterministicLifecycles:
 
     def test_batched_adds_window_crossing(self):
         """Batches spanning several windows exercise the expiring slow path."""
-        reference, columnar = _pair()
+        reference, columnar = self._pair()
         rng = random.Random(7)
         clock = 0.0
         for _ in range(12):
@@ -121,7 +148,7 @@ class TestDeterministicLifecycles:
         _assert_twins(reference, columnar, ["k%d" % i for i in range(23)])
 
     def test_batched_weighted_adds(self):
-        reference, columnar = _pair()
+        reference, columnar = self._pair()
         rng = random.Random(11)
         clock = 0
         for _ in range(8):
@@ -136,7 +163,7 @@ class TestDeterministicLifecycles:
         _assert_twins(reference, columnar, list(range(19)))
 
     def test_mixed_scalar_batched_and_expire(self):
-        reference, columnar = _pair()
+        reference, columnar = self._pair()
         rng = random.Random(13)
         clock = 0.0
         for step in range(30):
@@ -160,7 +187,7 @@ class TestDeterministicLifecycles:
 
     def test_expire_sweep_drops_dead_buckets(self):
         """expire() removes out-of-window state without changing answers."""
-        _, columnar = _pair()
+        _, columnar = self._pair()
         for t in range(100):
             columnar.add("key", clock=float(t))
         before = columnar.point_query("key", now=99.0)
@@ -173,8 +200,8 @@ class TestDeterministicLifecycles:
 
     def test_merges_across_backends(self):
         """Merging object- and columnar-backed inputs gives identical roots."""
-        ref_a, col_a = _pair(seed=5)
-        ref_b, col_b = _pair(seed=5)
+        ref_a, col_a = self._pair(seed=5)
+        ref_b, col_b = self._pair(seed=5)
         for t in range(120):
             for sketch in (ref_a, col_a):
                 sketch.add("a%d" % (t % 7), clock=float(t))
@@ -187,7 +214,7 @@ class TestDeterministicLifecycles:
         assert dumps(ECMSketch.aggregate([col_a, col_b])) == dumps(merged_col)
 
     def test_serialization_roundtrip_keeps_ingesting(self):
-        reference, columnar = _pair()
+        reference, columnar = self._pair()
         for t in range(100):
             for sketch in (reference, columnar):
                 sketch.add("k%d" % (t % 6), clock=float(t))
@@ -200,14 +227,14 @@ class TestDeterministicLifecycles:
         assert dumps(restored_ref) == dumps(restored_col) == dumps(reference)
 
     def test_count_based_windows(self):
-        reference, columnar = _pair(model=WindowModel.COUNT_BASED)
+        reference, columnar = self._pair(model=WindowModel.COUNT_BASED)
         for index in range(300):
             for sketch in (reference, columnar):
                 sketch.add("k%d" % (index % 13), clock=index)
         _assert_twins(reference, columnar, ["k%d" % i for i in range(13)])
 
     def test_counter_accessor_materialises_equal_histograms(self):
-        reference, columnar = _pair()
+        reference, columnar = self._pair()
         for t in range(80):
             for sketch in (reference, columnar):
                 sketch.add("x%d" % (t % 4), clock=float(t))
@@ -222,12 +249,12 @@ class TestDeterministicLifecycles:
 
     def test_huge_integer_clock_rejected(self):
         """Clocks beyond float64's exact-int range raise instead of drifting."""
-        _, columnar = _pair()
+        _, columnar = self._pair()
         with pytest.raises(ConfigurationError):
             columnar.add("k", clock=(1 << 60) + 1)
 
 
-class TestExoticStatesDemoteGracefully:
+class TestExoticStatesDemoteGracefully(_AcceleratedBackendCase):
     """Hand-crafted wire payloads break the canonical-layout invariants; the
     store must absorb them (demoting its implied-size/flag modes) and stay
     byte-identical to the object backend afterwards."""
@@ -248,7 +275,7 @@ class TestExoticStatesDemoteGracefully:
 
     def test_exotic_payload_roundtrip_and_updates(self):
         reference = self._crafted_payload("object")
-        columnar = self._crafted_payload("columnar")
+        columnar = self._crafted_payload(self.accel)
         assert dumps(reference) == dumps(columnar)
         # Keep mutating after the demotion: scalar, batched, expiry.
         for t in range(5, 40):
@@ -262,7 +289,7 @@ class TestExoticStatesDemoteGracefully:
         assert dumps(reference) == dumps(columnar)
 
     def test_mixed_clock_types_stay_identical(self):
-        reference, columnar = _pair()
+        reference, columnar = self._pair()
         # Alternate int-clock and float-clock batches, then a mixed batch.
         for sketch in (reference, columnar):
             sketch.add_many(["a", "b", "a"], [1, 2, 3])
@@ -273,9 +300,9 @@ class TestExoticStatesDemoteGracefully:
         assert dumps(reference) == dumps(columnar)
 
 
-class TestMemoryAccounting:
+class TestMemoryAccounting(_AcceleratedBackendCase):
     def test_columnar_reports_true_array_footprint(self):
-        _, columnar = _pair()
+        _, columnar = self._pair()
         store = columnar._store
         assert isinstance(store, ColumnarEHStore)
         baseline = columnar.memory_bytes()
@@ -296,7 +323,7 @@ class TestMemoryAccounting:
         backend's ``memory_bytes()`` itself still reports the paper's 32-bit
         synopsis model, so the honest comparison is against its
         ``resident_memory_bytes()`` walk."""
-        reference, columnar = _pair(epsilon=0.1)
+        reference, columnar = self._pair(epsilon=0.1)
         rng = random.Random(2)
         clock = 0.0
         for _ in range(40):
@@ -326,12 +353,13 @@ operation_strategy = st.lists(
 
 
 @pytest.mark.slow
+@pytest.mark.parametrize("accel", ACCELERATED_BACKENDS)
 @settings(max_examples=40, deadline=None)
 @given(ops=operation_strategy, integer_clocks=st.booleans(), merge_at_end=st.booleans())
-def test_random_interleavings_stay_identical(ops, integer_clocks, merge_at_end):
+def test_random_interleavings_stay_identical(accel, ops, integer_clocks, merge_at_end):
     """Random add_many/expire/estimate/merge interleavings on both backends
     produce identical estimates, bucket counts and serialized state."""
-    reference, columnar = _pair(epsilon=0.25, window=120.0)
+    reference, columnar = _pair(epsilon=0.25, window=120.0, backend=accel)
     rng = random.Random(4242)
     clock: float = 0 if integer_clocks else 0.0
 
@@ -378,6 +406,9 @@ def test_random_interleavings_stay_identical(ops, integer_clocks, merge_at_end):
                 == columnar.counter(row, column).bucket_count()
             )
     if merge_at_end:
-        assert dumps(ECMSketch.merge_many([reference, reference])) == dumps(
-            ECMSketch.merge_many([columnar, columnar])
-        )
+        # merge_many builds result sketches with the inputs' (sticky) backend,
+        # so kernel eligibility must be forced for the merge too.
+        with _forced_kernels(accel):
+            assert dumps(ECMSketch.merge_many([reference, reference])) == dumps(
+                ECMSketch.merge_many([columnar, columnar])
+            )

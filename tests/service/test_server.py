@@ -42,12 +42,11 @@ class TestProtocolDispatch:
                 assert await client.self_join() == 5.0
                 stats = await client.get_stats()
                 assert stats.records_ingested == 3
-                # The 1.x dict-returning surface survives one release as
-                # a deprecated shim over the typed results.
-                with pytest.warns(DeprecationWarning):
-                    assert (await client.info())["mode"] == "flat"
-                with pytest.warns(DeprecationWarning):
-                    assert (await client.stats())["records_ingested"] == 3
+                # The 1.x dict-returning info()/stats() shims are gone; the
+                # raw payloads stay reachable through the typed results.
+                assert not hasattr(client, "info")
+                assert not hasattr(client, "stats")
+                assert stats.raw["records_ingested"] == 3
 
         run(body())
 

@@ -134,7 +134,7 @@ class TestServeReplayParsers:
         args = build_parser().parse_args(["serve"])
         assert args.port == 7600
         assert args.mode == "flat"
-        assert args.backend == "columnar"
+        assert args.backend == "auto"
         assert args.batch_size == 1024
         assert args.restore is None
 

@@ -24,10 +24,10 @@ class TestRatioDiscovery:
         }
         leaves = dict(compare_bench.iter_ratio_leaves(tree))
         assert leaves == {
-            "ingest.speedup": 2.5,
-            "stages[0].speedup": 1.5,
-            "stages[1].other.speedup": 3.0,
-            "speedup": 4.0,
+            "ingest.speedup": (2.5, None),
+            "stages[0].speedup": (1.5, None),
+            "stages[1].other.speedup": (3.0, None),
+            "speedup": (4.0, None),
         }
 
     def test_ignores_non_numeric_and_non_ratio_keys(self):
@@ -35,6 +35,18 @@ class TestRatioDiscovery:
             {"speedup": "fast", "records_per_second": 99.0, "flag": True}
         ))
         assert leaves == {}
+
+    def test_backend_labels_are_inherited_from_enclosing_dicts(self):
+        tree = {
+            "backend": "kernels",
+            "ingest": {"speedup": 2.5},
+            "stages": [{"backend": "columnar", "speedup": 1.5}],
+        }
+        leaves = dict(compare_bench.iter_ratio_leaves(tree))
+        assert leaves == {
+            "ingest.speedup": (2.5, "kernels"),
+            "stages[0].speedup": (1.5, "columnar"),
+        }
 
 
 class TestComparison:
@@ -56,6 +68,13 @@ class TestComparison:
             {"a": {"speedup": 2.0}}, {}, 0.25
         )
         assert len(regressions) == 1
+
+    def test_backend_switch_is_skipped_not_flagged(self):
+        baseline = {"a": {"backend": "kernels", "speedup": 8.0}}
+        fresh = {"a": {"backend": "columnar", "speedup": 2.0}}  # would be -75%
+        report, regressions = compare_bench.compare_trees(baseline, fresh, 0.25)
+        assert regressions == []
+        assert any("backend changed: kernels -> columnar" in line for line in report)
 
     def test_new_ratio_in_fresh_run_is_not_a_failure(self):
         report, regressions = compare_bench.compare_trees(

@@ -1,0 +1,70 @@
+"""Backend-encapsulation rule: RL007 (stores are built by the registry).
+
+PR 10 replaced the hardcoded backend string checks with a capability-
+negotiated registry (``repro.core.counter_store.register_backend``): every
+counter store is built by its registered factory after ``supports()``
+accepted the configuration.  A direct ``ColumnarEHStore(...)`` call outside
+the backend implementations bypasses that negotiation — it can construct a
+store the configuration is not eligible for (wave counters, kernels without
+numba) and silently skips third-party registrations.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import Finding, ModuleFile
+from . import Rule, dotted_name, register
+
+#: Counter-store classes whose construction is reserved to the registry.
+_STORE_CLASSES = frozenset(["ColumnarEHStore", "KernelEHStore", "ObjectCounterStore"])
+
+#: Modules allowed to construct stores directly: the backend implementations
+#: themselves (everything under ``windows/``) and the registry module that
+#: hosts the object backend's factory.
+_ALLOWED_DIR = "windows"
+_ALLOWED_FILES = frozenset(["counter_store.py"])
+
+
+@register
+class RegistryBuildsBackendsRule(Rule):
+    """RL007: counter stores are constructed through the backend registry.
+
+    ``ECMSketch`` resolves its store with ``resolve_backend(config)`` and
+    calls the winning registration's factory; no other code path should
+    instantiate a store class by name.  The backend modules under
+    ``windows/`` and the registry module (``core/counter_store.py``, which
+    hosts the object backend's factory) are the only legitimate
+    construction sites.
+    """
+
+    code = "RL007"
+    name = "registry-builds-backends"
+    rationale = (
+        "counter stores must be built by their registered factory after "
+        "capability negotiation; direct construction bypasses supports() "
+        "and third-party registrations [PR 10]"
+    )
+
+    def applies_to(self, module: ModuleFile) -> bool:
+        if module.parts[-1] in _ALLOWED_FILES:
+            return False
+        return _ALLOWED_DIR not in module.parts[:-1]
+
+    def check_module(self, module: ModuleFile) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            leaf = name.rsplit(".", 1)[-1]
+            if leaf in _STORE_CLASSES:
+                yield module.finding(
+                    node,
+                    self.code,
+                    "direct %s(...) construction bypasses the backend registry; "
+                    "resolve the store with repro.core.resolve_backend(config) "
+                    "(or register a backend) instead" % (leaf,),
+                )
